@@ -1,0 +1,128 @@
+// Micro-benchmarks of the IR substrate: tokenization, stemming, index
+// construction, and posting-list evaluation — including the galloping vs
+// linear intersection ablation called out in DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "ir/inverted_index.hpp"
+#include "ir/retrieval.hpp"
+#include "support/bench_world.hpp"
+
+namespace {
+
+using namespace qadist;
+
+const ir::InvertedIndex& whole_index() {
+  static const ir::InvertedIndex index = [] {
+    const auto& world = bench::bench_world();
+    const corpus::SubCollection whole(
+        &world.corpus.collection, 0,
+        static_cast<corpus::DocId>(world.corpus.collection.size()));
+    ir::Analyzer analyzer;
+    return ir::InvertedIndex::build(whole, analyzer);
+  }();
+  return index;
+}
+
+std::vector<std::vector<std::string>> query_terms() {
+  const auto& world = bench::bench_world();
+  ir::Analyzer analyzer;
+  std::vector<std::vector<std::string>> out;
+  for (const auto& q : world.questions) {
+    out.push_back(analyzer.index_terms(q.text));
+  }
+  return out;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  const auto& world = bench::bench_world();
+  const auto& text = world.corpus.collection.document(0).paragraphs[0];
+  ir::Analyzer analyzer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.tokenize(text));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_Stem(benchmark::State& state) {
+  ir::Analyzer analyzer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.stem("lighthouses"));
+    benchmark::DoNotOptimize(analyzer.stem("founded"));
+    benchmark::DoNotOptimize(analyzer.stem("cities"));
+  }
+}
+BENCHMARK(BM_Stem);
+
+void BM_IndexBuild(benchmark::State& state) {
+  const auto& world = bench::bench_world();
+  const auto docs = static_cast<corpus::DocId>(state.range(0));
+  const corpus::SubCollection sub(&world.corpus.collection, 0, docs);
+  ir::Analyzer analyzer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ir::InvertedIndex::build(sub, analyzer));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * docs);
+}
+BENCHMARK(BM_IndexBuild)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_IntersectGalloping(benchmark::State& state) {
+  const auto& index = whole_index();
+  const auto queries = query_terms();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ir::intersect_all(index, queries[i++ % queries.size()]));
+  }
+}
+BENCHMARK(BM_IntersectGalloping);
+
+void BM_IntersectLinear(benchmark::State& state) {
+  const auto& index = whole_index();
+  const auto queries = query_terms();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ir::intersect_all_linear(index, queries[i++ % queries.size()]));
+  }
+}
+BENCHMARK(BM_IntersectLinear);
+
+void BM_UnionCount(benchmark::State& state) {
+  const auto& index = whole_index();
+  const auto queries = query_terms();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ir::union_count(index, queries[i++ % queries.size()]));
+  }
+}
+BENCHMARK(BM_UnionCount);
+
+void BM_Retrieve(benchmark::State& state) {
+  const auto& index = whole_index();
+  const auto queries = query_terms();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ir::retrieve(index, queries[i++ % queries.size()], 60));
+  }
+}
+BENCHMARK(BM_Retrieve);
+
+void BM_IndexSerialize(benchmark::State& state) {
+  const auto& index = whole_index();
+  for (auto _ : state) {
+    std::stringstream s;
+    index.save(s);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * whole_index().byte_size()));
+}
+BENCHMARK(BM_IndexSerialize);
+
+}  // namespace

@@ -1,0 +1,87 @@
+// Micro-benchmarks of the scheduling substrate: meta-scheduler cost vs
+// pool size, load-table operations, and the partitioners — the per-question
+// overheads Eq. 15 models as linear scans.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "parallel/partition.hpp"
+#include "sched/dispatcher.hpp"
+#include "sched/meta_scheduler.hpp"
+
+namespace {
+
+using namespace qadist;
+
+sched::LoadTable make_table(std::size_t nodes, std::uint64_t seed) {
+  sched::LoadTable table;
+  Rng rng(seed);
+  for (sched::NodeId id = 0; id < nodes; ++id) {
+    table.update(id,
+                 sched::ResourceLoad{rng.uniform(0.0, 4.0),
+                                     rng.uniform(0.0, 4.0)},
+                 0.0);
+  }
+  return table;
+}
+
+void BM_MetaSchedule(benchmark::State& state) {
+  const auto table = make_table(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::meta_schedule(table, sched::kApWeights, 2.0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MetaSchedule)->Arg(4)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_DecideMigration(benchmark::State& state) {
+  const auto table = make_table(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::decide_migration(table, 0, sched::kQaWeights, 0.668));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecideMigration)->Arg(4)->Arg(128)->Arg(1024);
+
+void BM_LoadTableUpdate(benchmark::State& state) {
+  auto table = make_table(64, 3);
+  double t = 1.0;
+  for (auto _ : state) {
+    table.update(17, sched::ResourceLoad{1.0, 2.0}, t, 0.9);
+    t += 1.0;
+  }
+}
+BENCHMARK(BM_LoadTableUpdate);
+
+void BM_PartitionSend(benchmark::State& state) {
+  const std::vector<double> weights(12, 1.0);
+  const auto items = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parallel::partition_send(items, weights));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PartitionSend)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_PartitionIsend(benchmark::State& state) {
+  const std::vector<double> weights(12, 1.0);
+  const auto items = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parallel::partition_isend(items, weights));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PartitionIsend)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_MakeChunks(benchmark::State& state) {
+  const auto items = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parallel::make_chunks(items, 40));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MakeChunks)->Arg(1000)->Arg(100000);
+
+}  // namespace

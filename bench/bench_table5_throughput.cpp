@@ -1,0 +1,46 @@
+// Reproduces paper Table 5: "System throughput (questions/minute)" for the
+// DNS / INTER / DQA load-balancing policies on 4, 8 and 12 nodes under
+// sustained 2x overload (Sec. 6.1 protocol), seed-averaged.
+//
+// Absolute rates differ (simulated hardware, synthetic corpus); the shape
+// to reproduce is DQA > INTER > DNS at every node count, and throughput
+// scaling with nodes.
+
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "support/bench_world.hpp"
+
+int main() {
+  using namespace qadist;
+  using cluster::Policy;
+  const auto& world = bench::bench_world();
+  constexpr int kSeeds = 10;
+
+  // Paper Table 5 values for reference.
+  const double paper[3][3] = {
+      {2.64, 3.45, 4.18}, {5.04, 5.52, 7.77}, {7.89, 9.71, 12.09}};
+  const std::size_t node_counts[] = {4, 8, 12};
+
+  TextTable table({"", "DNS", "INTER", "DQA", "paper DNS/INTER/DQA"});
+  for (int row = 0; row < 3; ++row) {
+    const std::size_t nodes = node_counts[row];
+    std::vector<std::string> cells{std::to_string(nodes) + " processors"};
+    for (Policy policy : {Policy::kDns, Policy::kInter, Policy::kDqa}) {
+      const auto r =
+          bench::run_policy_averaged(world, policy, nodes, kSeeds);
+      cells.push_back(cell(r.throughput_qpm, 2));
+    }
+    cells.push_back(format_double(paper[row][0], 2) + " / " +
+                    format_double(paper[row][1], 2) + " / " +
+                    format_double(paper[row][2], 2));
+    table.add_row(cells);
+  }
+
+  std::printf(
+      "Table 5 — System throughput (questions/minute), %d seeds averaged\n%s",
+      kSeeds, table.render().c_str());
+  std::printf("Expected shape: DQA > INTER > DNS at every node count.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces paper Table 6: "Average question response times (seconds)"
+// under the same high-load protocol as Table 5.
+//
+// Shape to reproduce: DQA < INTER < DNS at every node count.
+
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "support/bench_world.hpp"
+
+int main() {
+  using namespace qadist;
+  using cluster::Policy;
+  const auto& world = bench::bench_world();
+  constexpr int kSeeds = 10;
+
+  const double paper[3][3] = {{143.88, 122.51, 111.85},
+                              {135.30, 118.82, 113.53},
+                              {132.45, 115.29, 106.03}};
+  const std::size_t node_counts[] = {4, 8, 12};
+
+  TextTable table(
+      {"", "DNS", "INTER", "DQA", "paper DNS/INTER/DQA"});
+  for (int row = 0; row < 3; ++row) {
+    const std::size_t nodes = node_counts[row];
+    std::vector<std::string> cells{std::to_string(nodes) + " processors"};
+    for (Policy policy : {Policy::kDns, Policy::kInter, Policy::kDqa}) {
+      const auto r =
+          bench::run_policy_averaged(world, policy, nodes, kSeeds);
+      cells.push_back(cell(r.mean_latency, 1));
+    }
+    cells.push_back(format_double(paper[row][0], 1) + " / " +
+                    format_double(paper[row][1], 1) + " / " +
+                    format_double(paper[row][2], 1));
+    table.add_row(cells);
+  }
+
+  std::printf(
+      "Table 6 — Average question response times (seconds), %d seeds\n%s",
+      kSeeds, table.render().c_str());
+  std::printf("Expected shape: DQA < INTER < DNS at every node count.\n");
+  return 0;
+}

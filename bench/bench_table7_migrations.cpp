@@ -1,0 +1,46 @@
+// Reproduces paper Table 7: "Number of migrated questions at the three
+// scheduling points" — how often each dispatcher disagreed with the
+// previous placement decision, for INTER (QA dispatcher only) and DQA
+// (QA + PR + AP dispatchers), at 4/8/12 nodes (32/64/96 questions).
+//
+// Shape to reproduce: the embedded PR and AP dispatchers are *active* —
+// they override the question dispatcher's placement for a large fraction
+// of questions (paper: 10/32, 34/64, 43/96 for PR).
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "support/bench_world.hpp"
+
+int main() {
+  using namespace qadist;
+  using cluster::Policy;
+  const auto& world = bench::bench_world();
+  constexpr int kSeeds = 10;
+
+  TextTable table({"Questions (nodes)", "INTER QA", "DQA QA", "DQA PR",
+                   "DQA AP", "paper (INTER QA; DQA QA/PR/AP)"});
+  const std::size_t node_counts[] = {4, 8, 12};
+  const char* paper[] = {"8; 17/10/10", "15; 26/34/33", "23; 37/43/41"};
+  for (int row = 0; row < 3; ++row) {
+    const std::size_t nodes = node_counts[row];
+    const auto inter =
+        bench::run_policy_averaged(world, Policy::kInter, nodes, kSeeds);
+    const auto dqa =
+        bench::run_policy_averaged(world, Policy::kDqa, nodes, kSeeds);
+    table.add_row({std::to_string(8 * nodes) + " (" + std::to_string(nodes) +
+                       " processors)",
+                   cell(inter.migrations_qa, 1), cell(dqa.migrations_qa, 1),
+                   cell(dqa.migrations_pr, 1), cell(dqa.migrations_ap, 1),
+                   paper[row]});
+  }
+
+  std::printf(
+      "Table 7 — Migrated questions at the three scheduling points "
+      "(%d-seed averages)\n%s",
+      kSeeds, table.render().c_str());
+  std::printf(
+      "Expected shape: PR and AP dispatchers frequently override the "
+      "question dispatcher's node choice.\n");
+  return 0;
+}

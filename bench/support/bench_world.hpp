@@ -1,0 +1,70 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cost_model.hpp"
+#include "cluster/plan.hpp"
+#include "cluster/system.hpp"
+#include "corpus/generator.hpp"
+#include "qa/engine.hpp"
+
+namespace qadist::bench {
+
+/// The shared benchmark world: one synthetic corpus sized so that a
+/// question retrieves/accepts enough paragraphs to exercise partitioning
+/// (a few hundred accepted, vs the paper's ~880), the engine over it, a
+/// TREC-like question set, the calibrated cost model, and precomputed
+/// question plans for the simulator.
+///
+/// Built once per bench binary (it runs the real pipeline for every plan).
+struct BenchWorld {
+  corpus::GeneratedCorpus corpus;
+  std::unique_ptr<qa::Engine> engine;
+  std::vector<corpus::Question> questions;
+  std::unique_ptr<cluster::CostModel> cost;
+  std::vector<cluster::QuestionPlan> plans;
+
+  /// Mean sequential (1-node, reference-disk) service time of the plans.
+  [[nodiscard]] double mean_service_seconds() const;
+  /// Mean accepted paragraphs per question.
+  [[nodiscard]] double mean_accepted_paragraphs() const;
+};
+
+/// Singleton accessor; construction logs progress to stderr.
+const BenchWorld& bench_world();
+
+/// High-load workload per the paper's Sec. 6.1 protocol: 8·N questions
+/// submitted with inter-arrival gaps sustaining ~2x the aggregate service
+/// rate, identical sequence for every policy at a given seed.
+cluster::Metrics run_high_load(const BenchWorld& world,
+                               cluster::Policy policy, std::size_t nodes,
+                               std::uint64_t seed,
+                               const cluster::SystemConfig* base = nullptr);
+
+/// Seed-averaged high-load metrics (throughput, latency, migrations).
+struct PolicyResult {
+  double throughput_qpm = 0.0;
+  double mean_latency = 0.0;
+  double p95_latency = 0.0;
+  double migrations_qa = 0.0;
+  double migrations_pr = 0.0;
+  double migrations_ap = 0.0;
+};
+
+PolicyResult run_policy_averaged(const BenchWorld& world,
+                                 cluster::Policy policy, std::size_t nodes,
+                                 int seeds,
+                                 const cluster::SystemConfig* base = nullptr);
+
+/// Low-load run (paper Sec. 6.2 protocol): `count` questions one at a
+/// time, fully drained between submissions; returns the metrics.
+cluster::Metrics run_low_load(const BenchWorld& world, std::size_t nodes,
+                              std::size_t count,
+                              const cluster::SystemConfig* base = nullptr);
+
+/// RECV chunk size scaled from the paper's optimum (40 of ~880 accepted
+/// paragraphs) to this world's accepted-paragraph count.
+std::size_t scaled_chunk(const BenchWorld& world, double paper_chunk = 40.0);
+
+}  // namespace qadist::bench

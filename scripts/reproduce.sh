@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, and regenerates every paper
+# exhibit into results/. Usage: scripts/reproduce.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+
+mkdir -p results
+
+echo "== tests =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure 2>&1 | tee results/tests.txt
+
+echo "== benches =="
+for b in "$BUILD_DIR"/bench/bench_*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name="$(basename "$b")"
+  echo "-- $name"
+  "$b" 2>/dev/null | tee "results/$name.txt"
+done
+
+echo "== examples =="
+for e in "$BUILD_DIR"/examples/*; do
+  [ -f "$e" ] && [ -x "$e" ] || continue
+  name="$(basename "$e")"
+  echo "-- $name"
+  "$e" 2>/dev/null | tee "results/example_$name.txt"
+done
+
+echo "All outputs written to results/."

@@ -1,0 +1,98 @@
+#include "cluster/cost_model.hpp"
+
+#include "common/check.hpp"
+
+namespace qadist::cluster {
+
+CostModel CostModel::calibrate(const qa::Engine& engine,
+                               std::span<const corpus::Question> sample,
+                               const CostAnchors& anchors) {
+  QADIST_CHECK(!sample.empty(), << "calibration needs sample questions");
+
+  // Measure the average per-question work of the real pipeline.
+  double postings = 0.0;
+  double text_bytes = 0.0;
+  double accepted_bytes = 0.0;
+  double ap_tokens = 0.0;
+  double ap_windows = 0.0;
+  for (const auto& q : sample) {
+    const auto result = engine.answer(q);
+    postings += static_cast<double>(result.work.retrieval.postings_scanned);
+    text_bytes +=
+        static_cast<double>(result.work.retrieval.bytes_materialized);
+    ap_tokens += static_cast<double>(result.work.answer.tokens_scanned);
+    ap_windows += static_cast<double>(result.work.answer.windows_scored);
+    accepted_bytes += static_cast<double>(result.work.paragraphs_accepted);
+  }
+  const auto n = static_cast<double>(sample.size());
+  postings /= n;
+  text_bytes /= n;
+  ap_tokens /= n;
+  ap_windows /= n;
+
+  CostModel model;
+  model.anchors_ = anchors;
+
+  // --- PR: t_pr_total splits into disk and CPU by Table 3's 80/20. Disk
+  // time becomes a byte volume at the reference bandwidth, spread across
+  // index postings (half) and paragraph text (half) so both query
+  // selectivity and paragraph sizes move the per-sub-collection cost.
+  const double pr_disk_time = anchors.t_pr_total * anchors.pr_disk_fraction;
+  const double pr_disk_volume =
+      pr_disk_time * anchors.reference_disk.bytes_per_second;
+  const double pr_cpu_time = anchors.t_pr_total - pr_disk_time;
+  QADIST_CHECK(postings > 0.0, << "sample produced no postings");
+  QADIST_CHECK(text_bytes > 0.0, << "sample materialized no paragraphs");
+  model.pr_cpu_per_posting_ = pr_cpu_time / postings;
+  model.pr_disk_per_posting_ = 0.5 * pr_disk_volume / postings;
+  model.pr_disk_per_text_byte_ = 0.5 * pr_disk_volume / text_bytes;
+
+  // --- PS: pure CPU per paragraph byte.
+  model.ps_cpu_per_byte_ = anchors.t_ps_total / text_bytes;
+
+  // --- AP: pure CPU (Table 3), split half per scanned token, half per
+  // scored window; both scale with paragraph complexity.
+  QADIST_CHECK(ap_tokens > 0.0, << "sample scanned no AP tokens");
+  model.ap_cpu_per_token_ =
+      0.5 * anchors.t_ap_total * (1.0 - anchors.ap_disk_fraction) / ap_tokens;
+  model.ap_cpu_per_window_ =
+      ap_windows > 0.0
+          ? 0.5 * anchors.t_ap_total * (1.0 - anchors.ap_disk_fraction) /
+                ap_windows
+          : 0.0;
+  return model;
+}
+
+Demand CostModel::qp() const { return Demand{anchors_.t_qp, 0.0}; }
+
+Demand CostModel::po() const { return Demand{anchors_.t_po, 0.0}; }
+
+Demand CostModel::pr(const qa::RetrievalWork& work) const {
+  Demand d;
+  const auto postings = static_cast<double>(work.postings_scanned);
+  const auto bytes = static_cast<double>(work.bytes_materialized);
+  d.cpu_seconds = pr_cpu_per_posting_ * postings;
+  d.disk_bytes =
+      pr_disk_per_posting_ * postings + pr_disk_per_text_byte_ * bytes;
+  return d;
+}
+
+Demand CostModel::ps(std::size_t paragraph_bytes) const {
+  return Demand{ps_cpu_per_byte_ * static_cast<double>(paragraph_bytes), 0.0};
+}
+
+Demand CostModel::ap(const qa::AnswerWork& work) const {
+  Demand d;
+  d.cpu_seconds =
+      ap_cpu_per_token_ * static_cast<double>(work.tokens_scanned) +
+      ap_cpu_per_window_ * static_cast<double>(work.windows_scored);
+  return d;
+}
+
+Demand CostModel::answer_sort(std::size_t n_answers) const {
+  // Merging/sorting a handful of answers: microseconds each, never a
+  // bottleneck (paper Eq. 29 drops it) but modelled for completeness.
+  return Demand{1e-5 * static_cast<double>(n_answers), 0.0};
+}
+
+}  // namespace qadist::cluster

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <span>
+
+#include "common/units.hpp"
+#include "corpus/generator.hpp"
+#include "qa/engine.hpp"
+
+namespace qadist::cluster {
+
+/// A sub-task's simulated resource demand.
+struct Demand {
+  double cpu_seconds = 0.0;
+  double disk_bytes = 0.0;
+};
+
+/// Calibration anchors: the paper's measured single-processor module times
+/// (Table 8) and resource splits (Table 3). `reference_disk` is the node
+/// disk bandwidth the disk-byte volumes are derived against.
+struct CostAnchors {
+  double t_qp = 0.81;
+  double t_pr_total = 38.01;   ///< all sub-collections, one question
+  double t_ps_total = 2.06;
+  double t_po = 0.02;
+  double t_ap_total = 117.55;
+  double pr_disk_fraction = 0.80;  ///< Table 3: PR is 80% disk
+  double ap_disk_fraction = 0.00;  ///< Table 3: AP is pure CPU
+  Bandwidth reference_disk = Bandwidth::from_mbps(250);
+};
+
+/// Execution-driven cost model: converts the *real* pipeline's work
+/// counters (postings scanned, bytes materialized, tokens scanned, windows
+/// scored) into simulated CPU-seconds and disk-bytes, scaled so that the
+/// *average* question reproduces the paper's Table 8 module times on the
+/// reference hardware. Per-question and per-paragraph variance — the thing
+/// load balancing reacts to — comes from the actual work counts, not from
+/// a random distribution.
+class CostModel {
+ public:
+  /// Runs `sample` questions through the engine to measure average work,
+  /// then derives per-unit rates hitting the anchors.
+  [[nodiscard]] static CostModel calibrate(
+      const qa::Engine& engine, std::span<const corpus::Question> sample,
+      const CostAnchors& anchors = CostAnchors{});
+
+  [[nodiscard]] Demand qp() const;
+  [[nodiscard]] Demand po() const;
+
+  /// One PR call against one sub-collection.
+  [[nodiscard]] Demand pr(const qa::RetrievalWork& work) const;
+
+  /// PS over a batch of paragraphs totalling `paragraph_bytes`.
+  [[nodiscard]] Demand ps(std::size_t paragraph_bytes) const;
+
+  /// AP over one paragraph with the given work counters.
+  [[nodiscard]] Demand ap(const qa::AnswerWork& work) const;
+
+  /// Answer merging/sorting of n answers (small, memory-bound).
+  [[nodiscard]] Demand answer_sort(std::size_t n_answers) const;
+
+  [[nodiscard]] const CostAnchors& anchors() const { return anchors_; }
+
+ private:
+  CostAnchors anchors_;
+  // Per-unit rates derived by calibrate().
+  double pr_cpu_per_posting_ = 0.0;
+  double pr_disk_per_posting_ = 0.0;        // index I/O bytes
+  double pr_disk_per_text_byte_ = 0.0;      // paragraph materialization I/O
+  double ps_cpu_per_byte_ = 0.0;
+  double ap_cpu_per_token_ = 0.0;
+  double ap_cpu_per_window_ = 0.0;
+};
+
+}  // namespace qadist::cluster

@@ -1,0 +1,74 @@
+#pragma once
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+#include <vector>
+
+namespace qadist::cluster {
+
+/// Per-question distribution overhead components — the paper's Table 9
+/// columns (keyword sending, paragraph receiving, paragraph sending,
+/// answer receiving, answer sorting).
+struct OverheadBreakdown {
+  RunningStats keyword_send;
+  RunningStats paragraph_receive;
+  RunningStats paragraph_send;
+  RunningStats answer_receive;
+  RunningStats answer_sort;
+
+  [[nodiscard]] double total_mean() const {
+    return keyword_send.mean() + paragraph_receive.mean() +
+           paragraph_send.mean() + answer_receive.mean() + answer_sort.mean();
+  }
+};
+
+/// Everything a simulation run measures.
+struct Metrics {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  Samples latencies;        ///< per-question response times (seconds)
+  Seconds first_submit = 0.0;
+  Seconds makespan = 0.0;   ///< completion time of the last question
+
+  // Migration counts at the three scheduling points (paper Table 7).
+  std::size_t migrations_qa = 0;
+  std::size_t migrations_pr = 0;
+  std::size_t migrations_ap = 0;
+
+  // Per-question simulated module stage times (paper Table 8 columns).
+  RunningStats t_qp;
+  RunningStats t_pr;   ///< PR stage wall (retrieval legs incl. transfers)
+  RunningStats t_ps;   ///< scoring time on the slowest PR leg
+  RunningStats t_po;
+  RunningStats t_ap;   ///< AP stage wall
+
+  OverheadBreakdown overhead;  ///< paper Table 9
+
+  /// Per-node work served over the whole run (CPU-seconds, disk bytes),
+  /// indexed by node id — the balance view behind the policy comparisons.
+  std::vector<double> node_cpu_work;
+  std::vector<double> node_disk_bytes;
+
+  /// max/mean of per-node CPU work — 1.0 is a perfectly balanced run.
+  [[nodiscard]] double cpu_work_imbalance() const {
+    if (node_cpu_work.empty()) return 1.0;
+    double max_work = 0.0;
+    double total = 0.0;
+    for (double w : node_cpu_work) {
+      max_work = max_work > w ? max_work : w;
+      total += w;
+    }
+    const double mean = total / static_cast<double>(node_cpu_work.size());
+    return mean > 0.0 ? max_work / mean : 1.0;
+  }
+
+  /// Questions per minute over the busy interval.
+  [[nodiscard]] double throughput_qpm() const {
+    const Seconds busy = makespan - first_submit;
+    if (busy <= 0.0) return 0.0;
+    return static_cast<double>(completed) / (busy / 60.0);
+  }
+};
+
+}  // namespace qadist::cluster

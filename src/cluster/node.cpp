@@ -1,0 +1,61 @@
+#include "cluster/node.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace qadist::cluster {
+
+Node::Node(simnet::Simulation& sim, sched::NodeId id, const NodeConfig& config)
+    : id_(id), sim_(&sim), config_(config) {
+  QADIST_CHECK(config.memory_slots >= 1);
+  QADIST_CHECK(config.thrash_exponent >= 0.0);
+  QADIST_CHECK(config.cpu_speed > 0.0);
+  const std::string base = "node" + std::to_string(id);
+  cpu_ = std::make_unique<simnet::FairShareServer>(
+      sim, base + ".cpu", config.cpu_cores * config.cpu_speed,
+      /*max_rate_per_customer=*/config.cpu_speed);
+  disk_ = std::make_unique<simnet::FairShareServer>(
+      sim, base + ".disk", config.disk.bytes_per_second,
+      config.disk.bytes_per_second);
+  last_sample_ = sim.now();
+}
+
+void Node::question_departed() {
+  QADIST_CHECK(resident_questions_ > 0,
+               << "node " << id_ << ": departure without arrival");
+  --resident_questions_;
+}
+
+double Node::work_multiplier() const {
+  if (config_.thrash_exponent == 0.0 ||
+      resident_questions_ <= config_.memory_slots) {
+    return 1.0;
+  }
+  return std::pow(static_cast<double>(resident_questions_) /
+                      static_cast<double>(config_.memory_slots),
+                  config_.thrash_exponent);
+}
+
+sched::ResourceLoad Node::sample_load() {
+  const Seconds now = sim_->now();
+  const double cpu_integral = cpu_->load_integral();
+  const double disk_integral = disk_->load_integral();
+  sched::ResourceLoad load;
+  const Seconds dt = now - last_sample_;
+  if (dt > 0.0) {
+    load.cpu = (cpu_integral - last_cpu_integral_) / dt;
+    load.disk = (disk_integral - last_disk_integral_) / dt;
+  } else {
+    // Zero-length period: report instantaneous occupancy.
+    load.cpu = cpu_->active();
+    load.disk = disk_->active();
+  }
+  last_sample_ = now;
+  last_cpu_integral_ = cpu_integral;
+  last_disk_integral_ = disk_integral;
+  return load;
+}
+
+}  // namespace qadist::cluster

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <memory>
+
+#include "common/units.hpp"
+#include "sched/load.hpp"
+#include "simnet/fair_share.hpp"
+
+namespace qadist::cluster {
+
+/// Hardware of one simulated cluster node, mirroring the paper's testbed:
+/// a single-CPU Pentium III box with a local disk and 256 MB of RAM. The
+/// CPU and disk are fair-share servers — time-sharing under load is what
+/// makes overloaded nodes slow, which is what load balancing exists to
+/// avoid.
+struct NodeConfig {
+  double cpu_cores = 1.0;
+  Bandwidth disk = Bandwidth::from_mbps(250);
+
+  /// Memory-pressure model (paper Sec. 4.2: a question needs 25-40 MB;
+  /// with 256 MB per node, more than ~4 simultaneous questions cause
+  /// "excessive page swapping"). While more than `memory_slots` questions
+  /// are resident, every unit of work on the node is inflated by
+  /// (resident/slots)^thrash_exponent. The default exponent of 0 disables
+  /// the model (pure CPU/disk time-sharing), which is what the calibrated
+  /// experiments use; bench_ablations measures its effect.
+  int memory_slots = 4;
+  double thrash_exponent = 0.0;
+
+  /// Relative CPU speed (1.0 = the reference Pentium III). The paper's
+  /// testbed is homogeneous; heterogeneous speeds are an extension that
+  /// exercises the meta-scheduler's weighted partitioning for real —
+  /// slower nodes accumulate backlog, broadcast higher loads, and receive
+  /// smaller partitions.
+  double cpu_speed = 1.0;
+};
+
+class Node {
+ public:
+  Node(simnet::Simulation& sim, sched::NodeId id, const NodeConfig& config);
+
+  [[nodiscard]] sched::NodeId id() const { return id_; }
+  [[nodiscard]] simnet::FairShareServer& cpu() { return *cpu_; }
+  [[nodiscard]] simnet::FairShareServer& disk() { return *disk_; }
+
+  /// Resident-question tracking for the memory model. The System calls
+  /// these when a question starts/finishes on this node as its host.
+  void question_arrived() { ++resident_questions_; }
+  void question_departed();
+  [[nodiscard]] int resident_questions() const { return resident_questions_; }
+
+  /// Work inflation factor from memory pressure; 1.0 while the model is
+  /// disabled or the node is within its memory budget.
+  [[nodiscard]] double work_multiplier() const;
+
+  /// Time-averaged resource loads since the previous call — the load
+  /// monitor's per-period measurement (average active customers per
+  /// resource over the period).
+  [[nodiscard]] sched::ResourceLoad sample_load();
+
+ private:
+  sched::NodeId id_;
+  simnet::Simulation* sim_;
+  NodeConfig config_;
+  std::unique_ptr<simnet::FairShareServer> cpu_;
+  std::unique_ptr<simnet::FairShareServer> disk_;
+  int resident_questions_ = 0;
+  Seconds last_sample_ = 0.0;
+  double last_cpu_integral_ = 0.0;
+  double last_disk_integral_ = 0.0;
+};
+
+}  // namespace qadist::cluster

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <vector>
+
+#include "cluster/cost_model.hpp"
+#include "corpus/generator.hpp"
+#include "qa/engine.hpp"
+
+namespace qadist::cluster {
+
+/// The fully-resolved execution plan of one question: the real pipeline is
+/// executed once on the host (producing the actual answers and the actual
+/// per-unit work counts), and the simulation then replays its resource
+/// demands under whatever placement/partitioning the schedulers choose.
+/// Because demands are recorded at the iterative-unit granularity — one
+/// entry per sub-collection for PR, one per accepted paragraph for AP —
+/// any partition of the units has an exact simulated cost.
+struct QuestionPlan {
+  corpus::Question source;
+  qa::ProcessedQuestion processed;
+
+  Demand qp;
+  std::size_t question_bytes = 0;  ///< S_q: question text shipped on migration
+  std::size_t keyword_bytes = 0;   ///< keywords shipped to remote PR
+
+  /// One PR iterative unit = one sub-collection.
+  struct PrUnit {
+    Demand demand;              ///< retrieval cost on the executing node
+    Demand ps;                  ///< scoring the retrieved paragraphs (fused leg)
+    std::size_t paragraphs = 0;
+    std::size_t bytes_out = 0;  ///< paragraph text shipped back to the host
+  };
+  std::vector<PrUnit> pr_units;
+
+  Demand po;
+  std::size_t accepted_paragraphs = 0;
+
+  /// One AP iterative unit = one accepted paragraph (in PO rank order, so
+  /// unit index == rank — the property ISEND exploits).
+  struct ApUnit {
+    Demand demand;
+    std::size_t bytes_in = 0;   ///< paragraph text shipped to the AP node
+    std::size_t answer_bytes_out = 0;
+  };
+  std::vector<ApUnit> ap_units;
+
+  Demand answer_sort;
+  std::size_t answer_bytes = 0;  ///< final answers shipped back to the user
+  std::vector<qa::Answer> answers;
+
+  /// Total work the question would cost sequentially (for reporting).
+  [[nodiscard]] double total_cpu_seconds() const;
+  [[nodiscard]] double total_disk_bytes() const;
+};
+
+/// Executes the real pipeline once and records the plan.
+[[nodiscard]] QuestionPlan make_plan(const qa::Engine& engine,
+                                     const CostModel& cost,
+                                     const corpus::Question& question);
+
+/// Scales every resource demand and transfer size of a plan by `factor`.
+/// Used by workload generators to synthesize question populations of
+/// different weights (e.g. the paper's mixed TREC-8/TREC-9 set, whose two
+/// halves average 48 s and 94 s); the plan's logical structure (unit
+/// counts, answers) is unchanged.
+void scale_plan(QuestionPlan& plan, double factor);
+
+}  // namespace qadist::cluster

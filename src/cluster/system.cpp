@@ -1,0 +1,486 @@
+#include "cluster/system.hpp"
+#include <cmath>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace qadist::cluster {
+
+using parallel::Strategy;
+using sched::NodeId;
+
+std::string_view to_string(Policy policy) {
+  switch (policy) {
+    case Policy::kDns:
+      return "DNS";
+    case Policy::kInter:
+      return "INTER";
+    case Policy::kDqa:
+      return "DQA";
+    case Policy::kTwoChoice:
+      return "TWO-CHOICE";
+  }
+  QADIST_UNREACHABLE("bad Policy");
+}
+
+/// Per-question bookkeeping shared between the main task coroutine and its
+/// PR/AP leg coroutines. Lives in the question_process frame.
+struct System::QuestionState {
+  const QuestionPlan* plan = nullptr;
+  NodeId host = 0;
+  Seconds submitted = 0.0;
+
+  // Stage timings (paper Table 8 columns).
+  double t_qp = 0.0;
+  double t_pr_stage = 0.0;
+  double t_ps_max = 0.0;  // scoring time on the slowest PR leg
+  double t_po = 0.0;
+  double t_ap_stage = 0.0;
+
+  // Overhead components (paper Table 9 columns).
+  double oh_keyword_send = 0.0;
+  double oh_paragraph_receive = 0.0;
+  double oh_paragraph_send = 0.0;
+  double oh_answer_receive = 0.0;
+  double oh_answer_sort = 0.0;
+};
+
+System::System(simnet::Simulation& sim, const SystemConfig& config)
+    : sim_(sim), config_(config) {
+  QADIST_CHECK(config.nodes >= 1);
+  QADIST_CHECK(config.pr_strategy != Strategy::kIsend,
+               << "ISEND does not apply to PR: collections are unranked "
+                  "(paper Sec. 6.3)");
+  QADIST_CHECK(config.node_cpu_speeds.empty() ||
+                   config.node_cpu_speeds.size() == config.nodes,
+               << "node_cpu_speeds arity mismatch");
+  nodes_.reserve(config.nodes);
+  for (NodeId id = 0; id < config.nodes; ++id) {
+    NodeConfig node_config = config.node;
+    if (!config.node_cpu_speeds.empty()) {
+      node_config.cpu_speed = config.node_cpu_speeds[id];
+    }
+    nodes_.push_back(std::make_unique<Node>(sim, id, node_config));
+  }
+  node_broadcasting_.assign(config.nodes, 1);
+  two_choice_rng_.reseed(config.seed);
+  network_ = std::make_unique<simnet::Link>(
+      sim, "lan", config.network, config.per_message_overhead);
+}
+
+System::~System() = default;
+
+void System::record_trace(NodeId node, std::string event) {
+  if (trace_ != nullptr) trace_->record(sim_.now(), node, std::move(event));
+}
+
+void System::submit(const QuestionPlan& plan, Seconds at) {
+  QADIST_CHECK(!started_, << "submit after run()");
+  const NodeId dns_node = next_dns_node_;
+  next_dns_node_ = static_cast<NodeId>((next_dns_node_ + 1) % nodes_.size());
+  ++total_submitted_;
+  if (metrics_.submitted == 0 || at < metrics_.first_submit) {
+    metrics_.first_submit = at;
+  }
+  ++metrics_.submitted;
+  sim_.schedule_at(at, [this, &plan, dns_node] {
+    question_process(plan, dns_node);
+  });
+}
+
+void System::schedule_leave(NodeId node, Seconds at) {
+  QADIST_CHECK(node < nodes_.size());
+  sim_.schedule_at(at, [this, node] { node_broadcasting_[node] = 0; });
+}
+
+void System::schedule_join(NodeId node, Seconds at) {
+  QADIST_CHECK(node < nodes_.size());
+  sim_.schedule_at(at, [this, node] { node_broadcasting_[node] = 1; });
+}
+
+Metrics System::run() {
+  QADIST_CHECK(!started_, << "run() called twice");
+  started_ = true;
+  // Seed the load table so dispatch decisions at t=0 see every
+  // broadcasting node, then start the per-node monitors.
+  for (const auto& node : nodes_) {
+    if (node_broadcasting_[node->id()] != 0) {
+      table_.update(node->id(), sched::ResourceLoad{}, sim_.now());
+    }
+  }
+  for (const auto& node : nodes_) {
+    monitor_process(*node);
+  }
+  sim_.run();
+  QADIST_CHECK(metrics_.completed == total_submitted_,
+               << "simulation drained with " << metrics_.completed << "/"
+               << total_submitted_ << " questions completed");
+  for (const auto& node : nodes_) {
+    metrics_.node_cpu_work.push_back(node->cpu().work_served());
+    metrics_.node_disk_bytes.push_back(node->disk().work_served());
+  }
+  return metrics_;
+}
+
+simnet::SimProcess System::monitor_process(Node& node) {
+  // Periodically: measure local load, fold it into the damped average,
+  // broadcast it on the shared segment, refresh the table, and drop silent
+  // peers (paper Sec. 3.1). Monitors stop once the workload drains so the
+  // event queue can empty.
+  sched::ResourceLoad ema;
+  while (!all_done_) {
+    const auto sample = node.sample_load();
+    const double alpha =
+        config_.load_smoothing_tau > 0.0
+            ? 1.0 - std::exp(-config_.monitor_period / config_.load_smoothing_tau)
+            : 1.0;
+    ema.cpu += alpha * (sample.cpu - ema.cpu);
+    ema.disk += alpha * (sample.disk - ema.disk);
+    if (node_broadcasting_[node.id()] != 0) {
+      co_await network_->transfer(
+          static_cast<double>(config_.load_packet_bytes));
+      // The damped broadcast absorbs only `alpha` of newly placed load per
+      // period, so keep the complementary share of the reservations alive.
+      table_.update(node.id(), ema, sim_.now(),
+                    /*reservation_keep=*/1.0 - alpha);
+    }
+    table_.expire(sim_.now(), config_.membership_timeout);
+    co_await simnet::Delay(sim_, config_.monitor_period);
+  }
+}
+
+simnet::SimProcess System::pr_leg(
+    QuestionState& q, NodeId node,
+    std::shared_ptr<std::deque<std::size_t>> units, simnet::WaitGroup& wg) {
+  const QuestionPlan& plan = *q.plan;
+  Node& executor = *nodes_[node];
+  bool sent_keywords = node == q.host;  // local leg ships nothing
+  double leg_ps = 0.0;
+
+  while (!units->empty()) {
+    const std::size_t idx = units->front();
+    units->pop_front();
+    const auto& unit = plan.pr_units[idx];
+
+    if (!sent_keywords) {
+      const Seconds t0 = sim_.now();
+      co_await network_->transfer(static_cast<double>(plan.keyword_bytes));
+      q.oh_keyword_send += sim_.now() - t0;
+      sent_keywords = true;
+    }
+
+    const Seconds unit_start = sim_.now();
+    const double thrash = executor.work_multiplier();
+    co_await executor.disk().consume(unit.demand.disk_bytes * thrash);
+    co_await executor.cpu().consume(unit.demand.cpu_seconds * thrash);
+    record_trace(node, "finished collection " + std::to_string(idx) + " in " +
+                           format_double(sim_.now() - unit_start, 2) +
+                           " secs (" + std::to_string(unit.paragraphs) +
+                           " paragraphs)");
+
+    // Paragraph scoring runs fused on the retrieval node (paper Fig. 3).
+    const Seconds ps0 = sim_.now();
+    co_await executor.cpu().consume(unit.ps.cpu_seconds *
+                                    executor.work_multiplier());
+    leg_ps += sim_.now() - ps0;
+
+    if (node != q.host && unit.bytes_out > 0) {
+      // Ship the scored paragraphs back; the paragraph merging module on
+      // the host re-reads them from its disk (paper Eq. 27).
+      const Seconds t0 = sim_.now();
+      co_await network_->transfer(static_cast<double>(unit.bytes_out));
+      co_await nodes_[q.host]->disk().consume(
+          static_cast<double>(unit.bytes_out));
+      q.oh_paragraph_receive += sim_.now() - t0;
+    }
+  }
+  q.t_ps_max = std::max(q.t_ps_max, leg_ps);
+  wg.done();
+}
+
+simnet::SimProcess System::ap_leg(
+    QuestionState& q, NodeId node, std::vector<std::size_t> units,
+    std::shared_ptr<std::deque<parallel::Chunk>> chunks,
+    simnet::WaitGroup& wg) {
+  const QuestionPlan& plan = *q.plan;
+  Node& executor = *nodes_[node];
+  const bool remote = node != q.host;
+  const Seconds leg_start = sim_.now();
+  std::size_t processed = 0;
+
+  // Each batch: ship paragraphs in, burn CPU per paragraph, ship answers
+  // back. Answers return per batch, which is why tiny RECV chunks pay more
+  // overhead (paper Sec. 4.1.2).
+  if (chunks != nullptr) {
+    // RECV: compete for chunks.
+    while (!chunks->empty()) {
+      const parallel::Chunk chunk = chunks->front();
+      chunks->pop_front();
+      std::size_t bytes_in = 0;
+      std::size_t bytes_out = 0;
+      for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+        bytes_in += plan.ap_units[i].bytes_in;
+        bytes_out += plan.ap_units[i].answer_bytes_out;
+      }
+      if (remote && bytes_in > 0) {
+        const Seconds t0 = sim_.now();
+        co_await network_->transfer(static_cast<double>(bytes_in));
+        q.oh_paragraph_send += sim_.now() - t0;
+      }
+      for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+        co_await executor.cpu().consume(plan.ap_units[i].demand.cpu_seconds *
+                                        executor.work_multiplier());
+        ++processed;
+      }
+      // Per-batch answer extraction floor (paper Sec. 4.1.2).
+      co_await executor.cpu().consume(config_.per_batch_answer_cpu);
+      if (remote && bytes_out > 0) {
+        const Seconds t0 = sim_.now();
+        co_await network_->transfer(static_cast<double>(bytes_out));
+        q.oh_answer_receive += sim_.now() - t0;
+      }
+    }
+  } else {
+    // SEND/ISEND: the sender shipped us a fixed partition; move its input
+    // once, process, return answers once.
+    std::size_t bytes_in = 0;
+    std::size_t bytes_out = 0;
+    for (std::size_t i : units) {
+      bytes_in += plan.ap_units[i].bytes_in;
+      bytes_out += plan.ap_units[i].answer_bytes_out;
+    }
+    if (remote && bytes_in > 0) {
+      const Seconds t0 = sim_.now();
+      co_await network_->transfer(static_cast<double>(bytes_in));
+      q.oh_paragraph_send += sim_.now() - t0;
+    }
+    for (std::size_t i : units) {
+      co_await executor.cpu().consume(plan.ap_units[i].demand.cpu_seconds *
+                                      executor.work_multiplier());
+      ++processed;
+    }
+    if (processed > 0) {
+      // One answer-extraction pass per partition (paper Sec. 4.1.2).
+      co_await executor.cpu().consume(config_.per_batch_answer_cpu);
+    }
+    if (remote && bytes_out > 0) {
+      const Seconds t0 = sim_.now();
+      co_await network_->transfer(static_cast<double>(bytes_out));
+      q.oh_answer_receive += sim_.now() - t0;
+    }
+  }
+  if (processed > 0) {
+    record_trace(node, "finished " + std::to_string(processed) +
+                           " paragraphs in " +
+                           format_double(sim_.now() - leg_start, 2) + " secs");
+  }
+  wg.done();
+}
+
+simnet::SimProcess System::question_process(const QuestionPlan& plan,
+                                            NodeId dns_node) {
+  QuestionState q;
+  q.plan = &plan;
+  q.submitted = sim_.now();
+  NodeId host = dns_node;
+
+  // The DNS front-end may hand a question to a node that has left the
+  // pool (its A record outlives the membership): reroute to the least
+  // loaded member, regardless of policy.
+  if (!table_.is_member(host)) {
+    const auto fallback = table_.least_loaded(sched::kQaWeights);
+    QADIST_CHECK(fallback.has_value(), << "no nodes in the pool");
+    host = *fallback;
+  }
+
+  // ---- Scheduling point 1.
+  if (config_.policy == Policy::kTwoChoice) {
+    // Power-of-two-choices: sample two members, keep the lighter.
+    const auto members = table_.members();
+    if (members.size() >= 2) {
+      const NodeId a = members[two_choice_rng_.below(members.size())];
+      NodeId b = a;
+      while (b == a) b = members[two_choice_rng_.below(members.size())];
+      const double la =
+          sched::load_function(table_.load_of(a), sched::kQaWeights);
+      const double lb =
+          sched::load_function(table_.load_of(b), sched::kQaWeights);
+      const NodeId choice = la <= lb ? a : b;
+      if (choice != host) {
+        co_await network_->transfer(static_cast<double>(plan.question_bytes));
+        host = choice;
+        ++metrics_.migrations_qa;
+      }
+    }
+  } else if (config_.policy != Policy::kDns && table_.is_member(host)) {
+    const auto decision = sched::decide_migration(
+        table_, host, sched::kQaWeights,
+        sched::single_task_load(sched::kQaWeights));
+    if (decision.migrate) {
+      co_await network_->transfer(static_cast<double>(plan.question_bytes));
+      host = decision.target;
+      ++metrics_.migrations_qa;
+      record_trace(host, "question " + std::to_string(plan.source.id) +
+                             " migrated from N" + std::to_string(dns_node + 1));
+    }
+  }
+  q.host = host;
+  nodes_[host]->question_arrived();
+  // Reserve the question's expected load so simultaneous arrivals don't
+  // all herd onto the same momentarily-idle node before the next broadcast.
+  table_.reserve(host, sched::ResourceLoad{sched::kQaWeights.cpu,
+                                           sched::kQaWeights.disk});
+  record_trace(host, "started question " + std::to_string(plan.source.id));
+
+  // ---- QP (sequential, on the host).
+  {
+    const Seconds t0 = sim_.now();
+    co_await nodes_[host]->cpu().consume(plan.qp.cpu_seconds *
+                                         nodes_[host]->work_multiplier());
+    q.t_qp = sim_.now() - t0;
+  }
+
+  // ---- Scheduling point 2: the PR dispatcher (DQA only).
+  std::vector<NodeId> pr_nodes{host};
+  std::vector<double> pr_weights{1.0};
+  if (config_.policy == Policy::kDqa) {
+    auto ms = sched::meta_schedule(table_, sched::kPrWeights,
+                                   config_.pr_underload_threshold);
+    if (!config_.enable_partitioning && ms.selected.size() > 1) {
+      // Partitioning disabled: keep only the heaviest-weighted node.
+      const std::size_t best = static_cast<std::size_t>(
+          std::max_element(ms.weights.begin(), ms.weights.end()) -
+          ms.weights.begin());
+      ms.selected = {ms.selected[best]};
+      ms.weights = {1.0};
+      ms.partitioned = false;
+    }
+    if (!(ms.selected.size() == 1 && ms.selected[0] == host)) {
+      ++metrics_.migrations_pr;
+    }
+    pr_nodes = std::move(ms.selected);
+    pr_weights = std::move(ms.weights);
+  }
+
+  const Seconds pr_start = sim_.now();
+  {
+    simnet::WaitGroup wg(sim_);
+    if (config_.pr_strategy == Strategy::kRecv || pr_nodes.size() == 1) {
+      // Receiver-controlled: every leg competes for the sub-collection
+      // queue (paper Fig. 7a: "four nodes compete for the 8 sub-
+      // collections").
+      auto units = std::make_shared<std::deque<std::size_t>>();
+      for (std::size_t i = 0; i < plan.pr_units.size(); ++i) {
+        units->push_back(i);
+      }
+      for (NodeId node : pr_nodes) {
+        wg.add(1);
+        pr_leg(q, node, units, wg);
+      }
+    } else {
+      // SEND ablation: weighted contiguous blocks of sub-collections.
+      const auto partitions =
+          parallel::partition_send(plan.pr_units.size(), pr_weights);
+      for (std::size_t w = 0; w < pr_nodes.size(); ++w) {
+        auto units = std::make_shared<std::deque<std::size_t>>(
+            partitions[w].items.begin(), partitions[w].items.end());
+        wg.add(1);
+        pr_leg(q, pr_nodes[w], units, wg);
+      }
+    }
+    co_await wg.wait();
+  }
+  q.t_pr_stage = sim_.now() - pr_start;
+
+  // ---- PO (sequential and centralized, on the host).
+  {
+    const Seconds t0 = sim_.now();
+    co_await nodes_[host]->cpu().consume(plan.po.cpu_seconds *
+                                         nodes_[host]->work_multiplier());
+    q.t_po = sim_.now() - t0;
+    record_trace(host, "accepted " + std::to_string(plan.accepted_paragraphs) +
+                           " paragraphs");
+  }
+
+  // ---- Scheduling point 3: the AP dispatcher (DQA only).
+  std::vector<NodeId> ap_nodes{host};
+  std::vector<double> ap_weights{1.0};
+  if (config_.policy == Policy::kDqa) {
+    auto ms = sched::meta_schedule(table_, sched::kApWeights,
+                                   config_.ap_underload_threshold);
+    if (!config_.enable_partitioning && ms.selected.size() > 1) {
+      const std::size_t best = static_cast<std::size_t>(
+          std::max_element(ms.weights.begin(), ms.weights.end()) -
+          ms.weights.begin());
+      ms.selected = {ms.selected[best]};
+      ms.weights = {1.0};
+      ms.partitioned = false;
+    }
+    if (!(ms.selected.size() == 1 && ms.selected[0] == host)) {
+      ++metrics_.migrations_ap;
+    }
+    ap_nodes = std::move(ms.selected);
+    ap_weights = std::move(ms.weights);
+  }
+
+  const Seconds ap_start = sim_.now();
+  if (!plan.ap_units.empty()) {
+    simnet::WaitGroup wg(sim_);
+    if (config_.ap_strategy == Strategy::kRecv || ap_nodes.size() == 1) {
+      auto chunks = std::make_shared<std::deque<parallel::Chunk>>();
+      for (const auto& c :
+           parallel::make_chunks(plan.ap_units.size(), config_.ap_chunk)) {
+        chunks->push_back(c);
+      }
+      for (NodeId node : ap_nodes) {
+        wg.add(1);
+        ap_leg(q, node, {}, chunks, wg);
+      }
+    } else {
+      const auto partitions =
+          config_.ap_strategy == Strategy::kIsend
+              ? parallel::partition_isend(plan.ap_units.size(), ap_weights)
+              : parallel::partition_send(plan.ap_units.size(), ap_weights);
+      for (std::size_t w = 0; w < ap_nodes.size(); ++w) {
+        wg.add(1);
+        ap_leg(q, ap_nodes[w], partitions[w].items, nullptr, wg);
+      }
+    }
+    co_await wg.wait();
+  }
+  q.t_ap_stage = sim_.now() - ap_start;
+
+  // ---- Answer merging + sorting (host).
+  {
+    const Seconds t0 = sim_.now();
+    co_await nodes_[host]->cpu().consume(plan.answer_sort.cpu_seconds *
+                                         nodes_[host]->work_multiplier());
+    q.oh_answer_sort = sim_.now() - t0;
+  }
+  record_trace(host, "answered question " + std::to_string(plan.source.id) +
+                         " in " + format_double(sim_.now() - q.submitted, 2) +
+                         " secs");
+
+  nodes_[host]->question_departed();
+
+  // ---- Bookkeeping.
+  const Seconds latency = sim_.now() - q.submitted;
+  metrics_.latencies.add(latency);
+  metrics_.makespan = std::max(metrics_.makespan, sim_.now());
+  metrics_.t_qp.add(q.t_qp);
+  metrics_.t_pr.add(std::max(0.0, q.t_pr_stage - q.t_ps_max));
+  metrics_.t_ps.add(q.t_ps_max);
+  metrics_.t_po.add(q.t_po);
+  metrics_.t_ap.add(q.t_ap_stage);
+  metrics_.overhead.keyword_send.add(q.oh_keyword_send);
+  metrics_.overhead.paragraph_receive.add(q.oh_paragraph_receive);
+  metrics_.overhead.paragraph_send.add(q.oh_paragraph_send);
+  metrics_.overhead.answer_receive.add(q.oh_answer_receive);
+  metrics_.overhead.answer_sort.add(q.oh_answer_sort);
+  ++metrics_.completed;
+  if (metrics_.completed == total_submitted_) all_done_ = true;
+}
+
+}  // namespace qadist::cluster

@@ -1,0 +1,174 @@
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cluster/metrics.hpp"
+#include "common/rng.hpp"
+#include "cluster/node.hpp"
+#include "cluster/plan.hpp"
+#include "cluster/trace.hpp"
+#include "parallel/partition.hpp"
+#include "sched/dispatcher.hpp"
+#include "sched/load_table.hpp"
+#include "sched/meta_scheduler.hpp"
+#include "simnet/event.hpp"
+#include "simnet/link.hpp"
+#include "simnet/process.hpp"
+#include "simnet/simulation.hpp"
+
+namespace qadist::cluster {
+
+/// The three load-balancing policies compared in paper Sec. 6.1:
+///  DNS   — round-robin placement only (the DNS name-to-address baseline);
+///  INTER — DNS plus the question dispatcher (whole-task migration before
+///          the task starts; the model of [3,7]);
+///  DQA   — INTER plus the PR and AP dispatchers embedded in the task (the
+///          paper's contribution). Under low load the embedded dispatchers
+///          partition the bottleneck modules (intra-question parallelism);
+///          under high load they degrade gracefully into extra migration
+///          points.
+/// An extension beyond the paper: kTwoChoice implements the classic
+/// "power of two choices" dispatcher — each question samples two pool
+/// members and takes the lighter one. No threshold, no broadcast scan;
+/// included as a modern baseline against the paper's INTER design.
+enum class Policy { kDns, kInter, kDqa, kTwoChoice };
+
+[[nodiscard]] std::string_view to_string(Policy policy);
+
+struct SystemConfig {
+  std::size_t nodes = 12;
+  NodeConfig node;
+  /// Per-node CPU speed overrides (extension; empty = homogeneous). When
+  /// set, entry i replaces node.cpu_speed for node i; must have exactly
+  /// `nodes` entries.
+  std::vector<double> node_cpu_speeds;
+  /// Shared-segment Ethernet: all transfers fair-share this link.
+  Bandwidth network = Bandwidth::from_mbps(100);
+  Seconds monitor_period = 1.0;
+  Seconds membership_timeout = 3.0;
+  std::size_t load_packet_bytes = 64;
+  /// Fixed cost of every remote transfer (TCP connection setup, RPC
+  /// framing) on top of the bandwidth-shared byte time.
+  Seconds per_message_overhead = 2e-3;
+  /// CPU floor per dispatched AP batch: each batch's AP module extracts and
+  /// ranks its own top-N_a answer set before returning, regardless of batch
+  /// size — "a constant number N_a of answers must be extracted from each
+  /// chunk" (paper Sec. 4.1.2). This is what makes tiny RECV chunks
+  /// expensive and produces the Figure 10 U-curve.
+  Seconds per_batch_answer_cpu = 0.1;
+  /// Time constant for exponentially-damped load averages (the kernel
+  /// loadavg the paper's monitors read is damped the same way). A Q/A task
+  /// alternates disk-bound (PR) and CPU-bound (AP) phases tens of seconds
+  /// long; damping makes the broadcast load reflect a node's *backlog*
+  /// rather than which phase its tasks happen to be in, so the question
+  /// dispatcher stops chasing phases (see bench_ablations, ablation A).
+  Seconds load_smoothing_tau = 30.0;
+
+  Policy policy = Policy::kDqa;
+  /// Seed for the system's own randomized decisions (only kTwoChoice uses
+  /// randomness; everything else is deterministic given the workload).
+  std::uint64_t seed = 1;
+  /// DQA only: allow the embedded dispatchers to partition (low load).
+  /// When false, they only migrate — used to isolate migration effects.
+  bool enable_partitioning = true;
+
+  /// Under-load thresholds for the embedded dispatchers (paper Eq. 7-8:
+  /// a node is under-loaded while its module load function is below the
+  /// load one sub-task generates). The monitored load includes the
+  /// deciding question's *own* current activity — roughly one
+  /// question-load — so the defaults sit one unit above the
+  /// single-sub-task values (0.68 for PR, 1.0 for AP).
+  double pr_underload_threshold =
+      sched::single_task_load(sched::kPrWeights) + 1.0;
+  double ap_underload_threshold =
+      sched::single_task_load(sched::kApWeights) + 1.0;
+
+  /// PR partitioning strategy: kRecv (the paper's choice — collection
+  /// processing cost varies too widely for weight-based partitioning) or
+  /// kSend (the ablation). kIsend is rejected: collections are unranked.
+  parallel::Strategy pr_strategy = parallel::Strategy::kRecv;
+  std::size_t pr_chunk = 1;  ///< sub-collections per RECV chunk
+
+  /// AP partitioning strategy: any of the three.
+  parallel::Strategy ap_strategy = parallel::Strategy::kRecv;
+  std::size_t ap_chunk = 40;  ///< paragraphs per RECV chunk (paper Fig. 10)
+};
+
+/// The distributed question answering system (paper Fig. 2/3) running on
+/// the discrete-event simulator: N nodes with CPUs and disks, a shared
+/// network, per-node load monitors broadcasting once a second, and a Q/A
+/// task coroutine with the three scheduling points.
+///
+/// Usage: construct, `submit()` plans with arrival times, then `run()`.
+/// Plans must outlive the run.
+class System {
+ public:
+  System(simnet::Simulation& sim, const SystemConfig& config);
+  ~System();
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Schedules a question for arrival at absolute sim time `at`. The DNS
+  /// front-end assigns it round-robin over the nodes (paper Sec. 3.1).
+  void submit(const QuestionPlan& plan, Seconds at);
+
+  /// Membership dynamics (paper Sec. 3.1: "processors must be able to
+  /// dynamically join or leave the system pool" — membership is purely
+  /// broadcast-driven). A leaving node stops broadcasting at `at` and
+  /// drops out of the pool once its last broadcast ages past the
+  /// membership timeout; work already placed on it drains normally
+  /// (graceful leave). A joining node starts broadcasting at `at` and is
+  /// schedulable from its first packet.
+  void schedule_leave(sched::NodeId node, Seconds at);
+  void schedule_join(sched::NodeId node, Seconds at);
+
+  /// Direct node access (metrics inspection in tests/benches).
+  [[nodiscard]] Node& node(std::size_t index) { return *nodes_.at(index); }
+
+  /// Optional Fig. 7-style execution trace (only wired when set).
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+  /// Runs the simulation until every submitted question completes and
+  /// returns the measurements. Call exactly once.
+  [[nodiscard]] Metrics run();
+
+  [[nodiscard]] const sched::LoadTable& load_table() const { return table_; }
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+
+ private:
+  struct QuestionState;  // per-question bookkeeping (defined in .cpp)
+
+  simnet::SimProcess monitor_process(Node& node);
+  simnet::SimProcess question_process(const QuestionPlan& plan,
+                                      sched::NodeId dns_node);
+
+  // Stage helpers (coroutines awaited from question_process via WaitGroup).
+  simnet::SimProcess pr_leg(QuestionState& q, sched::NodeId node,
+                            std::shared_ptr<std::deque<std::size_t>> units,
+                            simnet::WaitGroup& wg);
+  simnet::SimProcess ap_leg(QuestionState& q, sched::NodeId node,
+                            std::vector<std::size_t> units,
+                            std::shared_ptr<std::deque<parallel::Chunk>> chunks,
+                            simnet::WaitGroup& wg);
+
+  void record_trace(sched::NodeId node, std::string event);
+
+  simnet::Simulation& sim_;
+  SystemConfig config_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<char> node_broadcasting_;  // membership: monitor active?
+  std::unique_ptr<simnet::Link> network_;
+  sched::LoadTable table_;
+  Metrics metrics_;
+  TraceRecorder* trace_ = nullptr;
+  Rng two_choice_rng_{1};
+  sched::NodeId next_dns_node_ = 0;
+  std::size_t total_submitted_ = 0;
+  bool all_done_ = false;
+  bool started_ = false;
+};
+
+}  // namespace qadist::cluster

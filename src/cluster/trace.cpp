@@ -1,0 +1,23 @@
+#include "cluster/trace.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace qadist::cluster {
+
+void TraceRecorder::record(Seconds time, sched::NodeId node,
+                           std::string event) {
+  entries_.push_back(Entry{time, node, std::move(event)});
+}
+
+std::string TraceRecorder::render() const {
+  std::ostringstream os;
+  for (const auto& e : entries_) {
+    os << "[" << format_double(e.time, 2) << "s] N" << (e.node + 1) << " "
+       << e.event << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace qadist::cluster

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sched/load.hpp"
+
+namespace qadist::cluster {
+
+/// Records per-node timestamped events during a simulation — the data
+/// behind the paper's Figure 7 execution traces ("N2 finished collection 3
+/// in 0.19 secs", "N4 sorted 220 paragraphs", ...).
+class TraceRecorder {
+ public:
+  void record(Seconds time, sched::NodeId node, std::string event);
+
+  struct Entry {
+    Seconds time = 0.0;
+    sched::NodeId node = 0;
+    std::string event;
+  };
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  /// Renders the trace in the paper's "N<k> <event>  <t> secs" layout.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace qadist::cluster

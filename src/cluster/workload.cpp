@@ -1,0 +1,64 @@
+#include "cluster/workload.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace qadist::cluster {
+
+double mean_service_seconds(std::span<const QuestionPlan> plans,
+                            Bandwidth reference_disk) {
+  if (plans.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& p : plans) {
+    total += p.total_cpu_seconds() +
+             p.total_disk_bytes() / reference_disk.bytes_per_second;
+  }
+  return total / static_cast<double>(plans.size());
+}
+
+void apply_bimodal_mix(std::span<QuestionPlan> plans, double light_scale) {
+  QADIST_CHECK(light_scale > 0.0);
+  for (std::size_t i = 0; i < plans.size(); i += 2) {
+    scale_plan(plans[i], light_scale);
+  }
+}
+
+void submit_overload(System& system, std::span<const QuestionPlan> plans,
+                     const OverloadWorkload& workload) {
+  QADIST_CHECK(!plans.empty());
+  QADIST_CHECK(workload.overload_factor > 0.0);
+  const std::size_t nodes = system.config().nodes;
+  const std::size_t count =
+      workload.count != 0 ? workload.count : 8 * nodes;
+  const double mean_service =
+      mean_service_seconds(plans, workload.reference_disk);
+  // Mean gap g = service / (overload · N)  =>  gaps uniform in [0, 2g].
+  const double max_gap = 2.0 * mean_service /
+                         (workload.overload_factor *
+                          static_cast<double>(nodes));
+  Rng arrivals(workload.seed);
+  Seconds at = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t pick =
+        (i * 7 + workload.seed * 13) % plans.size();
+    system.submit(plans[pick], at);
+    at += arrivals.uniform(0.0, max_gap);
+  }
+}
+
+void submit_serial(System& system, std::span<const QuestionPlan> plans,
+                   const SerialWorkload& workload) {
+  QADIST_CHECK(!plans.empty());
+  QADIST_CHECK(workload.stride >= 1);
+  const double gap =
+      10.0 * mean_service_seconds(plans, workload.reference_disk);
+  Seconds at = 0.0;
+  for (std::size_t i = 0; i < workload.count; ++i) {
+    const std::size_t pick =
+        (workload.offset + i * workload.stride) % plans.size();
+    system.submit(plans[pick], at);
+    at += gap;
+  }
+}
+
+}  // namespace qadist::cluster

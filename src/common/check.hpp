@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace qadist {
+
+/// Terminates the program with a diagnostic. Used by QADIST_CHECK; callable
+/// directly for unconditional failures ("unreachable" branches).
+[[noreturn]] inline void panic(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "qadist panic at %s:%d: %s\n", file, line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+namespace detail {
+
+// Builds the failure message lazily so the happy path stays cheap.
+struct CheckMessage {
+  std::ostringstream os;
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    os << v;
+    return *this;
+  }
+  [[nodiscard]] std::string str() const { return os.str(); }
+};
+
+}  // namespace detail
+
+}  // namespace qadist
+
+/// Invariant check that stays enabled in release builds. Prefer this over
+/// <cassert> for conditions whose violation means internal corruption: a
+/// scheduler handing out work twice is not something to optimize away.
+#define QADIST_CHECK(cond, ...)                                              \
+  do {                                                                       \
+    if (!(cond)) [[unlikely]] {                                              \
+      ::qadist::panic(__FILE__, __LINE__,                                    \
+                      (::qadist::detail::CheckMessage{}                      \
+                       << "QADIST_CHECK(" #cond ") failed " __VA_ARGS__)     \
+                          .str());                                           \
+    }                                                                        \
+  } while (false)
+
+/// Marks a branch that must never execute.
+#define QADIST_UNREACHABLE(msg) ::qadist::panic(__FILE__, __LINE__, (msg))

@@ -1,0 +1,53 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace qadist {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_message(LogLevel level, std::string_view component,
+                 const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::string line;
+  line.reserve(component.size() + message.size() + 16);
+  line += "[";
+  line += level_name(level);
+  line += "] ";
+  line.append(component.data(), component.size());
+  line += ": ";
+  line += message;
+  line += "\n";
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace qadist

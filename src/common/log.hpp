@@ -1,0 +1,54 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace qadist {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are discarded. Benches set
+/// this to kWarn so table output stays clean.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one formatted line to stderr (thread-safe: single write call).
+void log_message(LogLevel level, std::string_view component,
+                 const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, component_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+}  // namespace qadist
+
+/// Streaming log macros: QADIST_LOG_INFO("cluster") << "node " << id << " up";
+#define QADIST_LOG_AT(level, component)                    \
+  if (static_cast<int>(level) < static_cast<int>(::qadist::log_level())) { \
+  } else                                                   \
+    ::qadist::detail::LogLine(level, component)
+
+#define QADIST_LOG_DEBUG(component) QADIST_LOG_AT(::qadist::LogLevel::kDebug, component)
+#define QADIST_LOG_INFO(component) QADIST_LOG_AT(::qadist::LogLevel::kInfo, component)
+#define QADIST_LOG_WARN(component) QADIST_LOG_AT(::qadist::LogLevel::kWarn, component)
+#define QADIST_LOG_ERROR(component) QADIST_LOG_AT(::qadist::LogLevel::kError, component)

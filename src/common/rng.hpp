@@ -1,0 +1,81 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+
+namespace qadist {
+
+/// Deterministic, fast PRNG: xoshiro256** seeded via SplitMix64.
+///
+/// Every stochastic component in qadist takes an explicit seed so that
+/// corpus generation, workload arrival processes, and simulations are fully
+/// reproducible run-to-run. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initializes the state from a 64-bit seed (SplitMix64 expansion).
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit value (xoshiro256** scrambler).
+  result_type operator()();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's method.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Exponentially distributed value with the given rate (mean = 1/rate).
+  double exponential(double rate);
+
+  /// Normally distributed value (Marsaglia polar method).
+  double normal(double mean, double stddev);
+
+  /// Log-normal with the given underlying normal parameters. Useful for
+  /// modelling heavy-tailed per-item service times.
+  double lognormal(double mu, double sigma);
+
+  /// true with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle of a span in place.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child generator; use to give each parallel
+  /// worker / node its own stream without correlation.
+  [[nodiscard]] Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  // Cached second output of the polar method.
+  double normal_spare_ = 0.0;
+  bool has_normal_spare_ = false;
+};
+
+/// SplitMix64 step: the canonical 64-bit seed expander.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace qadist

@@ -1,0 +1,136 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace qadist {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void Samples::add(double x) {
+  values_.push_back(x);
+  sorted_ = false;
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::quantile(double q) const {
+  QADIST_CHECK(q >= 0.0 && q <= 1.0, << "quantile " << q << " out of range");
+  QADIST_CHECK(!values_.empty(), << "quantile of empty sample set");
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  if (values_.size() == 1) return values_.front();
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  if (idx + 1 >= values_.size()) return values_.back();
+  return values_[idx] * (1.0 - frac) + values_[idx + 1] * frac;
+}
+
+std::string Samples::summary() const {
+  std::ostringstream os;
+  if (values_.empty()) {
+    os << "n=0";
+    return os.str();
+  }
+  os << "n=" << values_.size() << " mean=" << mean() << " p50=" << quantile(0.5)
+     << " p95=" << quantile(0.95) << " max=" << max();
+  return os.str();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  QADIST_CHECK(hi > lo, << "histogram range empty: [" << lo << ", " << hi << ")");
+  QADIST_CHECK(buckets >= 1);
+  bucket_width_ = (hi - lo) / static_cast<double>(buckets);
+}
+
+void Histogram::add(double x) {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / bucket_width_);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t bucket) const {
+  QADIST_CHECK(bucket < counts_.size());
+  return counts_[bucket];
+}
+
+double Histogram::bucket_low(std::size_t bucket) const {
+  QADIST_CHECK(bucket < counts_.size());
+  return lo_ + bucket_width_ * static_cast<double>(bucket);
+}
+
+double Histogram::bucket_high(std::size_t bucket) const {
+  return bucket_low(bucket) + bucket_width_;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar = counts_[b] * width / peak;
+    os.width(12);
+    os << bucket_low(b) << " |";
+    os << std::string(bar, '#') << " " << counts_[b] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace qadist

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qadist {
+
+/// Splits on a single delimiter character; keeps empty fields.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view text,
+                                                  char delim);
+
+/// Splits on any run of whitespace; drops empty fields.
+[[nodiscard]] std::vector<std::string_view> split_whitespace(
+    std::string_view text);
+
+/// Joins pieces with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& pieces,
+                               std::string_view sep);
+
+/// Trims ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// ASCII lowercasing (the corpus is ASCII by construction).
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+/// printf-light formatting of a double with fixed decimals.
+[[nodiscard]] std::string format_double(double value, int decimals);
+
+/// Human-readable byte count ("1.5 MB").
+[[nodiscard]] std::string format_bytes(double bytes);
+
+}  // namespace qadist

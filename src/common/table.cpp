@@ -1,0 +1,104 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace qadist {
+
+namespace {
+
+bool looks_numeric(std::string_view s) {
+  bool digit = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != '%' && c != ' ' &&
+               c != 'x' && c != 'e') {
+      return false;
+    }
+  }
+  return digit;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  QADIST_CHECK(!headers_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  QADIST_CHECK(cells.size() == headers_.size(),
+               << "row arity " << cells.size() << " != header arity "
+               << headers_.size());
+  rows_.push_back({std::move(cells), false});
+}
+
+void TextTable::add_separator() { rows_.push_back({{}, true}); }
+
+std::size_t TextTable::rows() const {
+  std::size_t n = 0;
+  for (const auto& r : rows_)
+    if (!r.separator) ++n;
+  return n;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      widths[c] = std::max(widths[c], row.cells[c].size());
+  }
+
+  const auto rule = [&] {
+    std::string line = "+";
+    for (auto w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  }();
+
+  const auto emit = [&](const std::vector<std::string>& cells,
+                        std::ostringstream& os) {
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const auto& text = cells[c];
+      const std::size_t pad = widths[c] - text.size();
+      if (looks_numeric(text)) {
+        os << " " << std::string(pad, ' ') << text << " |";
+      } else {
+        os << " " << text << std::string(pad, ' ') << " |";
+      }
+    }
+    os << "\n";
+  };
+
+  std::ostringstream os;
+  os << rule;
+  emit(headers_, os);
+  os << rule;
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      os << rule;
+    } else {
+      emit(row.cells, os);
+    }
+  }
+  os << rule;
+  return os.str();
+}
+
+std::string cell(double value, int decimals) {
+  return format_double(value, decimals);
+}
+
+std::string cell_percent(double fraction, int decimals) {
+  return format_double(fraction * 100.0, decimals) + " %";
+}
+
+}  // namespace qadist

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qadist {
+
+/// Aligned plain-text table, used by every benchmark harness to print the
+/// paper's tables in a recognizable layout.
+///
+///   TextTable t({"Module", "% of Task Time"});
+///   t.add_row({"QP", "1.2 %"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  [[nodiscard]] std::size_t rows() const;
+
+  /// Renders with a header rule; numeric-looking cells are right-aligned.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+/// Convenience: "123.46" / "1.2 %" style cell helpers.
+[[nodiscard]] std::string cell(double value, int decimals = 2);
+[[nodiscard]] std::string cell_percent(double fraction, int decimals = 1);
+
+}  // namespace qadist

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+namespace qadist {
+
+/// Simulation time is kept in double seconds throughout; these aliases make
+/// interfaces self-documenting.
+using Seconds = double;
+using Bytes = std::uint64_t;
+
+/// Bandwidth in bytes/second. The paper quotes link speeds in bits/second
+/// (10 Mbps Ethernet etc.), so conversions are provided to keep bench code
+/// speaking the paper's language.
+struct Bandwidth {
+  double bytes_per_second = 0.0;
+
+  [[nodiscard]] static constexpr Bandwidth from_bits_per_second(double bps) {
+    return Bandwidth{bps / 8.0};
+  }
+  [[nodiscard]] static constexpr Bandwidth from_mbps(double mbps) {
+    return from_bits_per_second(mbps * 1e6);
+  }
+  [[nodiscard]] static constexpr Bandwidth from_gbps(double gbps) {
+    return from_bits_per_second(gbps * 1e9);
+  }
+  [[nodiscard]] static constexpr Bandwidth from_megabytes_per_second(double mbs) {
+    return Bandwidth{mbs * 1e6};
+  }
+
+  [[nodiscard]] constexpr double mbps() const {
+    return bytes_per_second * 8.0 / 1e6;
+  }
+
+  /// Time to move `n` bytes at this bandwidth.
+  [[nodiscard]] constexpr Seconds transfer_time(double n) const {
+    return n / bytes_per_second;
+  }
+};
+
+constexpr Bytes operator""_KB(unsigned long long v) { return v * 1024; }
+constexpr Bytes operator""_MB(unsigned long long v) { return v * 1024 * 1024; }
+constexpr Bytes operator""_GB(unsigned long long v) {
+  return v * 1024 * 1024 * 1024;
+}
+
+}  // namespace qadist

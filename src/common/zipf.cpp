@@ -1,0 +1,36 @@
+#include "common/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace qadist {
+
+ZipfDistribution::ZipfDistribution(std::uint32_t n, double s) : s_(s) {
+  QADIST_CHECK(n >= 1, << "Zipf needs at least one rank");
+  QADIST_CHECK(s >= 0.0, << "Zipf exponent must be non-negative, got " << s);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::uint32_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k) + 1.0, s_);
+    cdf_[k] = acc;
+  }
+  norm_ = acc;
+  const double inv = 1.0 / acc;
+  for (auto& c : cdf_) c *= inv;
+  cdf_.back() = 1.0;  // guard against rounding leaving the tail unreachable
+}
+
+std::uint32_t ZipfDistribution::operator()(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint32_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::pmf(std::uint32_t rank) const {
+  QADIST_CHECK(rank < cdf_.size());
+  return 1.0 / (std::pow(static_cast<double>(rank) + 1.0, s_) * norm_);
+}
+
+}  // namespace qadist

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace qadist {
+
+/// Zipfian sampler over ranks {0, 1, ..., n-1} with exponent s:
+/// P(rank = k) proportional to 1 / (k+1)^s.
+///
+/// Term frequencies in natural-language corpora follow a Zipf law, and the
+/// synthetic corpus generator relies on this to reproduce realistic posting
+/// list skew (a handful of very long lists, a long tail of short ones) —
+/// the property that makes paragraph-retrieval cost vary so widely across
+/// sub-collections in the paper's Figure 7.
+///
+/// Implementation: inverse-CDF over a precomputed cumulative table. Build is
+/// O(n); sampling is O(log n). For corpus-sized vocabularies (<= a few
+/// hundred thousand terms) this is both simple and fast, and unlike
+/// rejection-based samplers it is exactly distributed.
+class ZipfDistribution {
+ public:
+  /// @param n number of ranks; must be >= 1.
+  /// @param s exponent; s = 0 degenerates to uniform, s ~ 1 is classic Zipf.
+  ZipfDistribution(std::uint32_t n, double s);
+
+  /// Draws a rank in [0, n).
+  std::uint32_t operator()(Rng& rng) const;
+
+  /// Probability mass of a given rank.
+  [[nodiscard]] double pmf(std::uint32_t rank) const;
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(cdf_.size());
+  }
+  [[nodiscard]] double exponent() const { return s_; }
+
+ private:
+  double s_;
+  double norm_;  // generalized harmonic number H_{n,s}
+  std::vector<double> cdf_;
+};
+
+}  // namespace qadist

@@ -1,0 +1,99 @@
+#include "corpus/collection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include "common/check.hpp"
+
+namespace qadist::corpus {
+
+Collection::Collection(std::vector<Document> docs) {
+  for (auto& d : docs) add(std::move(d));
+}
+
+void Collection::add(Document doc) {
+  QADIST_CHECK(doc.id == docs_.size(),
+               << "document ids must be dense: expected " << docs_.size()
+               << " got " << doc.id);
+  paragraphs_ += doc.paragraphs.size();
+  bytes_ += doc.byte_size();
+  docs_.push_back(std::move(doc));
+}
+
+const Document& Collection::document(DocId id) const {
+  QADIST_CHECK(id < docs_.size(), << "doc id " << id << " out of range");
+  return docs_[id];
+}
+
+const std::string& Collection::paragraph(const ParagraphRef& ref) const {
+  const Document& doc = document(ref.doc);
+  QADIST_CHECK(ref.index < doc.paragraphs.size(),
+               << "paragraph " << ref.index << " out of range in doc "
+               << ref.doc);
+  return doc.paragraphs[ref.index];
+}
+
+SubCollection::SubCollection(const Collection* parent, DocId first, DocId last)
+    : parent_(parent), first_(first), last_(last) {
+  QADIST_CHECK(parent != nullptr);
+  QADIST_CHECK(first <= last && last <= parent->size());
+}
+
+const Document& SubCollection::document(DocId id) const {
+  QADIST_CHECK(contains(id));
+  return parent_->document(id);
+}
+
+std::size_t SubCollection::total_bytes() const {
+  std::size_t bytes = 0;
+  for (DocId id = first_; id < last_; ++id)
+    bytes += parent_->document(id).byte_size();
+  return bytes;
+}
+
+std::vector<SubCollection> split_collection(const Collection& collection,
+                                            std::size_t k) {
+  QADIST_CHECK(k >= 1);
+  const auto n = collection.size();
+  std::vector<SubCollection> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto first = static_cast<DocId>(n * i / k);
+    const auto last = static_cast<DocId>(n * (i + 1) / k);
+    out.emplace_back(&collection, first, last);
+  }
+  return out;
+}
+
+std::vector<SubCollection> split_collection_skewed(const Collection& collection,
+                                                   std::size_t k,
+                                                   double size_ratio) {
+  QADIST_CHECK(k >= 1);
+  QADIST_CHECK(size_ratio >= 1.0, << "size_ratio must be >= 1");
+  if (k == 1 || size_ratio == 1.0) return split_collection(collection, k);
+
+  // Geometric weights w_i = r^i with r chosen so w_{k-1}/w_0 = size_ratio.
+  const double r = std::pow(size_ratio, 1.0 / static_cast<double>(k - 1));
+  std::vector<double> cumulative(k);
+  double acc = 0.0;
+  double w = 1.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    acc += w;
+    cumulative[i] = acc;
+    w *= r;
+  }
+
+  const auto n = static_cast<double>(collection.size());
+  std::vector<SubCollection> out;
+  out.reserve(k);
+  DocId first = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto last = static_cast<DocId>(
+        i + 1 == k ? collection.size()
+                   : std::llround(n * cumulative[i] / acc));
+    out.emplace_back(&collection, first, std::max(first, last));
+    first = std::max(first, last);
+  }
+  return out;
+}
+
+}  // namespace qadist::corpus

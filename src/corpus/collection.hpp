@@ -1,0 +1,79 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "corpus/types.hpp"
+
+namespace qadist::corpus {
+
+/// An ordered set of documents — the searchable universe of one Q/A
+/// deployment. Mirrors the TREC collection the paper retrieves from.
+class Collection {
+ public:
+  Collection() = default;
+  explicit Collection(std::vector<Document> docs);
+
+  [[nodiscard]] std::size_t size() const { return docs_.size(); }
+  [[nodiscard]] bool empty() const { return docs_.empty(); }
+  [[nodiscard]] std::span<const Document> documents() const { return docs_; }
+
+  /// Document lookup by id. Ids are dense and equal to position.
+  [[nodiscard]] const Document& document(DocId id) const;
+
+  [[nodiscard]] const std::string& paragraph(const ParagraphRef& ref) const;
+
+  [[nodiscard]] std::size_t total_paragraphs() const { return paragraphs_; }
+  [[nodiscard]] std::size_t total_bytes() const { return bytes_; }
+
+  void add(Document doc);
+
+ private:
+  std::vector<Document> docs_;
+  std::size_t paragraphs_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+/// A contiguous document-id slice of a parent collection — the paper's
+/// "sub-collection" (TREC-9 was split into 8, each separately indexed,
+/// PR iterating over them). Cheap value type: holds a pointer to the parent.
+class SubCollection {
+ public:
+  SubCollection() = default;
+  SubCollection(const Collection* parent, DocId first, DocId last);
+
+  [[nodiscard]] DocId first() const { return first_; }
+  [[nodiscard]] DocId last() const { return last_; }  ///< exclusive
+  [[nodiscard]] std::size_t size() const { return last_ - first_; }
+  [[nodiscard]] const Collection& parent() const { return *parent_; }
+
+  [[nodiscard]] const Document& document(DocId id) const;
+  [[nodiscard]] bool contains(DocId id) const {
+    return id >= first_ && id < last_;
+  }
+
+  /// Bytes of text in this slice (drives simulated PR disk cost).
+  [[nodiscard]] std::size_t total_bytes() const;
+
+ private:
+  const Collection* parent_ = nullptr;
+  DocId first_ = 0;
+  DocId last_ = 0;
+};
+
+/// Splits a collection into `k` contiguous sub-collections with near-equal
+/// document counts (the paper's "logical separation ... into eight
+/// sub-collections").
+[[nodiscard]] std::vector<SubCollection> split_collection(
+    const Collection& collection, std::size_t k);
+
+/// Splits into `k` contiguous sub-collections whose document counts follow
+/// a geometric progression with largest/smallest = `size_ratio`. Real TREC
+/// sub-collections are topic-oriented and wildly uneven — the paper's PR
+/// processing times per collection spread by ~8x (Fig. 7: 0.19 s-1.52 s),
+/// which is precisely why weight-based (SEND) partitioning fails for PR.
+/// size_ratio = 1 reduces to the even split.
+[[nodiscard]] std::vector<SubCollection> split_collection_skewed(
+    const Collection& collection, std::size_t k, double size_ratio);
+
+}  // namespace qadist::corpus

@@ -1,0 +1,102 @@
+#include "corpus/fact.hpp"
+
+#include "common/check.hpp"
+
+namespace qadist::corpus {
+
+std::string_view to_string(Relation relation) {
+  switch (relation) {
+    case Relation::kLocatedIn:
+      return "LOCATED_IN";
+    case Relation::kFoundedBy:
+      return "FOUNDED_BY";
+    case Relation::kFoundedIn:
+      return "FOUNDED_IN";
+    case Relation::kLeaderOf:
+      return "LEADER_OF";
+    case Relation::kPopulationOf:
+      return "POPULATION_OF";
+    case Relation::kNationalityOf:
+      return "NATIONALITY_OF";
+    case Relation::kTreats:
+      return "TREATS";
+    case Relation::kHeadquarteredIn:
+      return "HEADQUARTERED_IN";
+    case Relation::kCostOf:
+      return "COST_OF";
+  }
+  QADIST_UNREACHABLE("bad Relation");
+}
+
+EntityType answer_type_of(Relation relation) {
+  switch (relation) {
+    case Relation::kLocatedIn:
+    case Relation::kHeadquarteredIn:
+      return EntityType::kLocation;
+    case Relation::kFoundedBy:
+    case Relation::kLeaderOf:
+      return EntityType::kPerson;
+    case Relation::kFoundedIn:
+      return EntityType::kDate;
+    case Relation::kPopulationOf:
+      return EntityType::kQuantity;
+    case Relation::kNationalityOf:
+      return EntityType::kNationality;
+    case Relation::kTreats:
+      return EntityType::kDisease;
+    case Relation::kCostOf:
+      return EntityType::kMoney;
+  }
+  QADIST_UNREACHABLE("bad Relation");
+}
+
+std::string render_fact_sentence(const Fact& fact) {
+  switch (fact.relation) {
+    case Relation::kLocatedIn:
+      return fact.subject + " is located in " + fact.object + " .";
+    case Relation::kFoundedBy:
+      return fact.subject + " was founded by " + fact.object + " .";
+    case Relation::kFoundedIn:
+      return fact.subject + " was founded in " + fact.object + " .";
+    case Relation::kLeaderOf:
+      return fact.object + " is the leader of " + fact.subject + " .";
+    case Relation::kPopulationOf:
+      return fact.subject + " has a population of " + fact.object + " .";
+    case Relation::kNationalityOf:
+      return fact.subject + " is of " + fact.object + " nationality .";
+    case Relation::kTreats:
+      return fact.subject + " is used to treat " + fact.object + " .";
+    case Relation::kHeadquarteredIn:
+      return fact.subject + " is headquartered in " + fact.object + " .";
+    case Relation::kCostOf:
+      return "the construction of " + fact.subject + " cost " + fact.object +
+             " .";
+  }
+  QADIST_UNREACHABLE("bad Relation");
+}
+
+std::string render_question_text(const Fact& fact) {
+  switch (fact.relation) {
+    case Relation::kLocatedIn:
+      return "Where is " + fact.subject + " ?";
+    case Relation::kFoundedBy:
+      return "Who founded " + fact.subject + " ?";
+    case Relation::kFoundedIn:
+      return "When was " + fact.subject + " founded ?";
+    case Relation::kLeaderOf:
+      return "Who is the leader of " + fact.subject + " ?";
+    case Relation::kPopulationOf:
+      return "What is the population of " + fact.subject + " ?";
+    case Relation::kNationalityOf:
+      return "What is the nationality of " + fact.subject + " ?";
+    case Relation::kTreats:
+      return "What does " + fact.subject + " treat ?";
+    case Relation::kHeadquarteredIn:
+      return "Where is " + fact.subject + " headquartered ?";
+    case Relation::kCostOf:
+      return "How much did " + fact.subject + " cost ?";
+  }
+  QADIST_UNREACHABLE("bad Relation");
+}
+
+}  // namespace qadist::corpus

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "corpus/entity.hpp"
+#include "corpus/types.hpp"
+
+namespace qadist::corpus {
+
+/// Relations a fact sentence can express. Each relation determines the
+/// answer entity type of the question derived from it.
+enum class Relation {
+  kLocatedIn,       // "<subj> is located in <LOCATION>"
+  kFoundedBy,       // "<subj> was founded by <PERSON>"
+  kFoundedIn,       // "<subj> was founded in <DATE>"
+  kLeaderOf,        // "<PERSON> is the leader of <subj>"  (answer: person)
+  kPopulationOf,    // "<subj> has a population of <QUANTITY>"
+  kNationalityOf,   // "<PERSON-subj> is of <NATIONALITY> descent"
+  kTreats,          // "<subj> is a known treatment for <DISEASE>"
+  kHeadquarteredIn, // "<subj> is headquartered in <LOCATION>"
+  kCostOf,          // "<subj> was built for <MONEY>"
+};
+
+inline constexpr int kRelationCount = 9;
+
+[[nodiscard]] std::string_view to_string(Relation relation);
+
+/// Entity type of the object slot (= expected answer type of the question).
+[[nodiscard]] EntityType answer_type_of(Relation relation);
+
+/// A ground-truth triple embedded in exactly one corpus sentence. The
+/// question generator turns facts into questions with known gold answers,
+/// which lets tests assert that the pipeline extracts correct answers —
+/// not just that it runs.
+struct Fact {
+  std::string subject;
+  Relation relation = Relation::kLocatedIn;
+  std::string object;
+  DocId doc = 0;           ///< document carrying the fact sentence
+  std::uint32_t paragraph = 0;  ///< paragraph index within that document
+};
+
+/// Renders the canonical corpus sentence expressing a fact.
+[[nodiscard]] std::string render_fact_sentence(const Fact& fact);
+
+/// Renders the natural-language question asking for the fact's object.
+[[nodiscard]] std::string render_question_text(const Fact& fact);
+
+}  // namespace qadist::corpus

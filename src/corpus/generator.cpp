@@ -1,0 +1,272 @@
+#include "corpus/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "corpus/name_forge.hpp"
+
+namespace qadist::corpus {
+
+namespace {
+
+/// Entity pools minted once per corpus; facts and distractors draw from
+/// these so the gazetteer stays closed over the generated world.
+struct EntityPools {
+  std::vector<std::string> persons;
+  std::vector<std::string> locations;
+  std::vector<std::string> organizations;
+  std::vector<std::string> nationalities;
+  std::vector<std::string> diseases;
+
+  const std::vector<std::string>& of(EntityType type) const {
+    switch (type) {
+      case EntityType::kPerson:
+        return persons;
+      case EntityType::kLocation:
+        return locations;
+      case EntityType::kOrganization:
+        return organizations;
+      case EntityType::kNationality:
+        return nationalities;
+      case EntityType::kDisease:
+        return diseases;
+      default:
+        QADIST_UNREACHABLE("pooled types only");
+    }
+  }
+};
+
+std::vector<std::string> mint_pool(NameForge& forge, EntityType type,
+                                   std::uint32_t count,
+                                   std::unordered_set<std::string>& taken) {
+  std::vector<std::string> pool;
+  pool.reserve(count);
+  while (pool.size() < count) {
+    std::string name = forge.of_type(type);
+    if (taken.insert(name).second) pool.push_back(std::move(name));
+  }
+  return pool;
+}
+
+EntityPools mint_pools(NameForge& forge, std::uint32_t per_type,
+                       Gazetteer& gazetteer,
+                       std::unordered_set<std::string>& taken) {
+  EntityPools pools;
+  pools.persons = mint_pool(forge, EntityType::kPerson, per_type, taken);
+  pools.locations = mint_pool(forge, EntityType::kLocation, per_type, taken);
+  pools.organizations =
+      mint_pool(forge, EntityType::kOrganization, per_type, taken);
+  pools.nationalities =
+      mint_pool(forge, EntityType::kNationality, per_type, taken);
+  pools.diseases = mint_pool(forge, EntityType::kDisease, per_type, taken);
+  const auto reg = [&](const std::vector<std::string>& pool, EntityType t) {
+    for (const auto& name : pool) gazetteer.add(name, t);
+  };
+  reg(pools.persons, EntityType::kPerson);
+  reg(pools.locations, EntityType::kLocation);
+  reg(pools.organizations, EntityType::kOrganization);
+  reg(pools.nationalities, EntityType::kNationality);
+  reg(pools.diseases, EntityType::kDisease);
+  return pools;
+}
+
+const std::string& pick(Rng& rng, const std::vector<std::string>& pool) {
+  QADIST_CHECK(!pool.empty());
+  return pool[rng.below(pool.size())];
+}
+
+std::string filler_sentence(Rng& rng, const Vocabulary& vocab,
+                            const CorpusConfig& cfg, const EntityPools& pools) {
+  const auto words =
+      cfg.min_words_per_sentence +
+      rng.below(cfg.max_words_per_sentence - cfg.min_words_per_sentence + 1);
+  std::string s;
+  for (std::uint64_t w = 0; w < words; ++w) {
+    if (!s.empty()) s += ' ';
+    s += vocab.sample(rng);
+  }
+  if (rng.bernoulli(cfg.distractor_mention_probability)) {
+    // Drop a pooled entity mention mid-sentence: a plausible-but-wrong
+    // candidate for the answer processor to consider and reject.
+    static constexpr EntityType kMentionable[] = {
+        EntityType::kPerson, EntityType::kLocation, EntityType::kOrganization,
+        EntityType::kNationality, EntityType::kDisease};
+    const EntityType t = kMentionable[rng.below(std::size(kMentionable))];
+    s += ' ';
+    s += pick(rng, pools.of(t));
+  }
+  s += " .";
+  return s;
+}
+
+/// Mints a fresh, unique subject appropriate for a relation, registering it
+/// in the gazetteer under its own entity type.
+std::string mint_subject(Relation relation, NameForge& forge,
+                         Gazetteer& gazetteer,
+                         std::unordered_set<std::string>& taken) {
+  for (;;) {
+    std::string subject;
+    EntityType type = EntityType::kUnknown;
+    switch (relation) {
+      case Relation::kLocatedIn:
+      case Relation::kCostOf:
+        subject = forge.landmark();
+        type = EntityType::kLocation;
+        break;
+      case Relation::kFoundedBy:
+      case Relation::kFoundedIn:
+      case Relation::kLeaderOf:
+      case Relation::kHeadquarteredIn:
+        subject = forge.organization();
+        type = EntityType::kOrganization;
+        break;
+      case Relation::kPopulationOf:
+        subject = forge.location();
+        type = EntityType::kLocation;
+        break;
+      case Relation::kNationalityOf:
+        subject = forge.person();
+        type = EntityType::kPerson;
+        break;
+      case Relation::kTreats:
+        subject = forge.stem() + "ine";  // a medication-style name
+        type = EntityType::kOrganization;  // not an answer candidate type
+        break;
+    }
+    if (!taken.insert(subject).second) continue;
+    gazetteer.add(subject, type);
+    return subject;
+  }
+}
+
+std::string mint_object(Relation relation, Rng& rng, NameForge& forge,
+                        const EntityPools& pools) {
+  switch (answer_type_of(relation)) {
+    case EntityType::kDate:
+      return forge.date();  // pattern-recognized, not pooled
+    case EntityType::kQuantity:
+      return forge.quantity();
+    case EntityType::kMoney:
+      return forge.money();
+    case EntityType::kPerson:
+      return pick(rng, pools.persons);
+    case EntityType::kLocation:
+      return pick(rng, pools.locations);
+    case EntityType::kNationality:
+      return pick(rng, pools.nationalities);
+    case EntityType::kDisease:
+      return pick(rng, pools.diseases);
+    default:
+      QADIST_UNREACHABLE("unexpected answer type");
+  }
+}
+
+}  // namespace
+
+GeneratedCorpus generate_corpus(const CorpusConfig& config) {
+  QADIST_CHECK(config.num_documents >= 1);
+  QADIST_CHECK(config.max_sentences_per_paragraph >=
+               config.min_sentences_per_paragraph);
+  QADIST_CHECK(config.max_words_per_sentence >= config.min_words_per_sentence);
+
+  GeneratedCorpus out;
+  out.config = config;
+
+  Rng rng(config.seed);
+  NameForge forge(rng.split());
+  Vocabulary vocab(config.vocabulary_size, config.zipf_exponent, rng());
+
+  std::unordered_set<std::string> taken;
+  EntityPools pools =
+      mint_pools(forge, config.entities_per_type, out.gazetteer, taken);
+
+  const double log_mean = std::log(config.mean_paragraphs_per_doc) -
+                          0.5 * config.paragraph_length_sigma *
+                              config.paragraph_length_sigma;
+
+  for (DocId doc_id = 0; doc_id < config.num_documents; ++doc_id) {
+    Document doc;
+    doc.id = doc_id;
+    doc.title = forge.stem() + " " + vocab.sample(rng) + " report";
+
+    const auto paragraphs = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::lround(
+               rng.lognormal(log_mean, config.paragraph_length_sigma))));
+
+    // Decide which facts this document will carry, and where.
+    std::uint32_t fact_count = 0;
+    {
+      // Cheap Poisson(mean) via inversion — means are small.
+      const double mean = config.facts_per_document;
+      double p = std::exp(-mean);
+      double cdf = p;
+      const double u = rng.uniform01();
+      while (u > cdf && fact_count < 8) {
+        ++fact_count;
+        p *= mean / fact_count;
+        cdf += p;
+      }
+    }
+
+    for (std::uint32_t p = 0; p < paragraphs; ++p) {
+      const auto sentences = config.min_sentences_per_paragraph +
+                             rng.below(config.max_sentences_per_paragraph -
+                                       config.min_sentences_per_paragraph + 1);
+      std::string paragraph;
+      for (std::uint64_t s = 0; s < sentences; ++s) {
+        if (!paragraph.empty()) paragraph += ' ';
+        paragraph += filler_sentence(rng, vocab, config, pools);
+      }
+      doc.paragraphs.push_back(std::move(paragraph));
+    }
+
+    for (std::uint32_t f = 0; f < fact_count; ++f) {
+      const auto relation =
+          static_cast<Relation>(rng.below(kRelationCount));
+      Fact fact;
+      fact.relation = relation;
+      fact.subject = mint_subject(relation, forge, out.gazetteer, taken);
+      fact.object = mint_object(relation, rng, forge, pools);
+      fact.doc = doc_id;
+      fact.paragraph = static_cast<std::uint32_t>(
+          rng.below(doc.paragraphs.size()));
+      // Splice the fact sentence into the chosen paragraph.
+      std::string& target = doc.paragraphs[fact.paragraph];
+      target += ' ';
+      target += render_fact_sentence(fact);
+      out.facts.push_back(std::move(fact));
+    }
+
+    out.collection.add(std::move(doc));
+  }
+  return out;
+}
+
+std::vector<Question> generate_questions(const GeneratedCorpus& corpus,
+                                         std::size_t count,
+                                         std::uint64_t seed) {
+  std::vector<std::size_t> order(corpus.facts.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Rng rng(seed);
+  rng.shuffle(std::span<std::size_t>(order));
+
+  std::vector<Question> questions;
+  const std::size_t n = std::min(count, order.size());
+  questions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Fact& fact = corpus.facts[order[i]];
+    Question q;
+    q.id = static_cast<std::uint32_t>(i);
+    q.text = render_question_text(fact);
+    q.gold_type = answer_type_of(fact.relation);
+    q.gold_answer = fact.object;
+    q.gold_doc = fact.doc;
+    questions.push_back(std::move(q));
+  }
+  return questions;
+}
+
+}  // namespace qadist::corpus

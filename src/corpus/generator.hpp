@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/collection.hpp"
+#include "corpus/entity.hpp"
+#include "corpus/fact.hpp"
+#include "corpus/vocabulary.hpp"
+
+namespace qadist::corpus {
+
+/// Knobs for the synthetic world. Defaults produce a test-sized corpus;
+/// benches scale `num_documents` up.
+struct CorpusConfig {
+  std::uint64_t seed = 42;
+  std::uint32_t num_documents = 400;
+  std::uint32_t vocabulary_size = 8000;
+  double zipf_exponent = 1.05;
+
+  // Document shape. Lengths are drawn log-normally so a few documents are
+  // much longer than most — the heavy tail behind uneven PR sub-task cost.
+  double mean_paragraphs_per_doc = 6.0;
+  double paragraph_length_sigma = 0.6;  ///< lognormal sigma for doc length
+  std::uint32_t min_sentences_per_paragraph = 2;
+  std::uint32_t max_sentences_per_paragraph = 6;
+  std::uint32_t min_words_per_sentence = 6;
+  std::uint32_t max_words_per_sentence = 14;
+
+  // World population.
+  std::uint32_t entities_per_type = 120;  ///< pool size per entity type
+  double facts_per_document = 1.4;        ///< mean; Poisson-ish per doc
+  double distractor_mention_probability = 0.12;  ///< per filler sentence
+};
+
+/// The generated world: searchable text plus the ground truth about it.
+struct GeneratedCorpus {
+  CorpusConfig config;
+  Collection collection;
+  Gazetteer gazetteer;
+  std::vector<Fact> facts;
+};
+
+/// Builds a corpus. Deterministic in `config.seed`.
+[[nodiscard]] GeneratedCorpus generate_corpus(const CorpusConfig& config);
+
+/// A benchmark/test question with its ground truth attached.
+struct Question {
+  std::uint32_t id = 0;
+  std::string text;
+  EntityType gold_type = EntityType::kUnknown;  ///< for evaluation only
+  std::string gold_answer;                      ///< for evaluation only
+  DocId gold_doc = 0;
+};
+
+/// Derives up to `count` questions from distinct corpus facts.
+/// Deterministic in `seed`.
+[[nodiscard]] std::vector<Question> generate_questions(
+    const GeneratedCorpus& corpus, std::size_t count, std::uint64_t seed);
+
+}  // namespace qadist::corpus

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "corpus/entity.hpp"
+
+namespace qadist::corpus {
+
+/// Deterministic synthetic proper-name generator.
+///
+/// Mints pronounceable, capitalized entity names ("Doran Veltis",
+/// "Port Amsen", "Velinosis") from syllable tables, plus pattern-shaped
+/// dates, quantities and money amounts. Names are built from a seeded RNG,
+/// so the same seed always produces the same world. Collisions across calls
+/// are possible in principle; the corpus generator deduplicates.
+class NameForge {
+ public:
+  explicit NameForge(Rng rng) : rng_(rng) {}
+
+  /// A capitalized pronounceable stem, 2-3 syllables ("Amsen", "Veltor").
+  std::string stem();
+
+  std::string person();        ///< "Doran Veltis"
+  std::string location();      ///< "Port Amsen" / "Lake Tarnin" / "Amsen City"
+  std::string organization();  ///< "Amsen Textile Group"
+  std::string disease();       ///< "Velinosis" / "Amsen Fever"
+  std::string nationality();   ///< "Amsenian"
+  std::string date();          ///< "March 14 , 1912" (pattern-recognizable)
+  std::string quantity();      ///< "3400000" style numeral
+  std::string money();         ///< "$ 12 million"
+
+  /// A concrete landmark-style subject ("the Amsen Lighthouse").
+  std::string landmark();
+
+  /// Mints a name of the requested type (kUnknown is invalid).
+  std::string of_type(EntityType type);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace qadist::corpus

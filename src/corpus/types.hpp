@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qadist::corpus {
+
+using DocId = std::uint32_t;
+
+/// A document: a title plus a sequence of paragraphs. Paragraphs are the
+/// unit the Q/A pipeline scores and partitions (paper Table 2: PS and AP
+/// iterate at paragraph granularity).
+struct Document {
+  DocId id = 0;
+  std::string title;
+  std::vector<std::string> paragraphs;
+
+  /// Total text bytes (title + paragraphs); drives the simulated disk cost.
+  [[nodiscard]] std::size_t byte_size() const {
+    std::size_t n = title.size();
+    for (const auto& p : paragraphs) n += p.size();
+    return n;
+  }
+};
+
+/// Globally unique paragraph address within a collection.
+struct ParagraphRef {
+  DocId doc = 0;
+  std::uint32_t index = 0;
+
+  friend bool operator==(const ParagraphRef&, const ParagraphRef&) = default;
+  friend auto operator<=>(const ParagraphRef&, const ParagraphRef&) = default;
+};
+
+}  // namespace qadist::corpus

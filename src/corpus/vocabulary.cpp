@@ -1,0 +1,58 @@
+#include "corpus/vocabulary.hpp"
+
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace qadist::corpus {
+
+namespace {
+
+// Lowercase pronounceable word synthesis: alternate consonant clusters and
+// vowels. Distinctness is guaranteed by a suffix counter on collision.
+std::string make_word(Rng& rng, std::uint32_t rank) {
+  static constexpr const char* kC[] = {"b", "c", "d",  "f",  "g",  "j",
+                                       "l", "m", "n",  "p",  "r",  "s",
+                                       "t", "v", "w",  "th", "ch", "sh"};
+  static constexpr const char* kV[] = {"a", "e", "i", "o", "u", "ea", "ou"};
+  // Short words for low ranks (frequent words are short in real language).
+  const int syllables = rank < 50 ? 1 : (rank < 2000 ? 2 : 3);
+  std::string w;
+  for (int i = 0; i < syllables; ++i) {
+    w += kC[rng.below(std::size(kC))];
+    w += kV[rng.below(std::size(kV))];
+  }
+  if (rng.bernoulli(0.4)) w += kC[rng.below(std::size(kC))];
+  return w;
+}
+
+}  // namespace
+
+Vocabulary::Vocabulary(std::uint32_t size, double zipf_s, std::uint64_t seed)
+    : dist_(size, zipf_s) {
+  QADIST_CHECK(size >= 1);
+  Rng rng(seed);
+  words_.reserve(size);
+  std::unordered_set<std::string> seen;
+  seen.reserve(size * 2);
+  for (std::uint32_t rank = 0; rank < size; ++rank) {
+    std::string w = make_word(rng, rank);
+    while (!seen.insert(w).second) {
+      w += 'x';  // cheap de-collision; keeps the word pronounceable enough
+    }
+    words_.push_back(std::move(w));
+  }
+}
+
+const std::string& Vocabulary::word(std::uint32_t rank) const {
+  QADIST_CHECK(rank < words_.size());
+  return words_[rank];
+}
+
+const std::string& Vocabulary::sample(Rng& rng) const {
+  return words_[dist_(rng)];
+}
+
+std::uint32_t Vocabulary::sample_rank(Rng& rng) const { return dist_(rng); }
+
+}  // namespace qadist::corpus

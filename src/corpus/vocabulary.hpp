@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+
+namespace qadist::corpus {
+
+/// Background vocabulary with Zipfian usage frequencies.
+///
+/// Words are lowercase pronounceable strings, rank 0 being the most
+/// frequent. The generator draws filler text from here, which gives the
+/// inverted index the posting-length skew that makes paragraph-retrieval
+/// cost vary widely across sub-collections (the effect behind the paper's
+/// Figure 7 traces and Table 8's uneven PR partitions).
+class Vocabulary {
+ public:
+  /// @param size number of distinct words
+  /// @param zipf_s frequency skew exponent (~1.0 for natural text)
+  Vocabulary(std::uint32_t size, double zipf_s, std::uint64_t seed);
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(words_.size());
+  }
+  [[nodiscard]] const std::string& word(std::uint32_t rank) const;
+
+  /// Draws a word according to the Zipfian distribution.
+  const std::string& sample(Rng& rng) const;
+
+  /// Draws a rank (useful when the caller wants the rank itself).
+  [[nodiscard]] std::uint32_t sample_rank(Rng& rng) const;
+
+ private:
+  std::vector<std::string> words_;
+  ZipfDistribution dist_;
+};
+
+}  // namespace qadist::corpus

@@ -1,0 +1,89 @@
+#include "ir/analyzer.hpp"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace qadist::ir {
+
+bool is_stopword(std::string_view word) {
+  static const std::unordered_set<std::string_view> kStopwords = {
+      "a",    "an",    "and",  "are",  "as",    "at",    "be",   "by",
+      "did",  "do",    "does", "for",  "from",  "had",   "has",  "have",
+      "how",  "in",    "is",   "it",   "its",   "many",  "much", "of",
+      "on",   "or",    "that", "the",  "their", "there", "this", "to",
+      "was",  "were",  "what", "when", "where", "which", "who",  "whom",
+      "why",  "will",  "with"};
+  return kStopwords.contains(word);
+}
+
+std::vector<Token> Analyzer::tokenize(std::string_view text) const {
+  std::vector<Token> tokens;
+  std::uint32_t position = 0;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    const auto c = static_cast<unsigned char>(text[i]);
+    if (c == '$') {
+      tokens.push_back(Token{"$", position++, false, false});
+      ++i;
+      continue;
+    }
+    if (!std::isalnum(c)) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    bool capitalized = std::isupper(c) != 0;
+    bool numeric = true;
+    while (i < n && std::isalnum(static_cast<unsigned char>(text[i]))) {
+      if (!std::isdigit(static_cast<unsigned char>(text[i]))) numeric = false;
+      ++i;
+    }
+    std::string lowered;
+    lowered.reserve(i - start);
+    for (std::size_t k = start; k < i; ++k) {
+      lowered.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(text[k]))));
+    }
+    tokens.push_back(Token{std::move(lowered), position++, capitalized, numeric});
+  }
+  return tokens;
+}
+
+std::string Analyzer::stem(std::string_view word) const {
+  std::string w(word);
+  const auto ends_with = [&](std::string_view suffix) {
+    return w.size() >= suffix.size() &&
+           std::string_view(w).substr(w.size() - suffix.size()) == suffix;
+  };
+  const auto chop = [&](std::size_t n) { w.resize(w.size() - n); };
+
+  if (w.size() > 4 && ends_with("ies")) {
+    chop(3);
+    w += 'y';
+  } else if (w.size() > 5 && ends_with("ing")) {
+    chop(3);
+  } else if (w.size() > 4 && ends_with("ed")) {
+    chop(2);
+  } else if (w.size() > 4 && (ends_with("sses") || ends_with("xes") ||
+                              ends_with("zes") || ends_with("ches") ||
+                              ends_with("shes"))) {
+    // Sibilant plurals take -es ("churches" -> "church"); a bare -es rule
+    // would over-chop regular plurals like "lighthouses".
+    chop(2);
+  } else if (w.size() > 3 && ends_with("s") && !ends_with("ss")) {
+    chop(1);
+  }
+  return w;
+}
+
+std::vector<std::string> Analyzer::index_terms(std::string_view text) const {
+  std::vector<std::string> terms;
+  for (const Token& token : tokenize(text)) {
+    if (is_stopword(token.text)) continue;
+    terms.push_back(token.numeric ? token.text : stem(token.text));
+  }
+  return terms;
+}
+
+}  // namespace qadist::ir

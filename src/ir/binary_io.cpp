@@ -1,0 +1,88 @@
+#include "ir/binary_io.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace qadist::ir {
+
+void BinaryWriter::write_u8(std::uint8_t v) {
+  out_.put(static_cast<char>(v));
+}
+
+void BinaryWriter::write_u32(std::uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out_.write(buf, 4);
+}
+
+void BinaryWriter::write_u64(std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out_.write(buf, 8);
+}
+
+void BinaryWriter::write_string(std::string_view s) {
+  write_u32(static_cast<std::uint32_t>(s.size()));
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void BinaryWriter::write_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    out_.put(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out_.put(static_cast<char>(v));
+}
+
+std::uint8_t BinaryReader::read_u8() {
+  const int c = in_.get();
+  QADIST_CHECK(c != std::char_traits<char>::eof(), << "truncated stream");
+  return static_cast<std::uint8_t>(c);
+}
+
+std::uint32_t BinaryReader::read_u32() {
+  char buf[4];
+  in_.read(buf, 4);
+  QADIST_CHECK(in_.gcount() == 4, << "truncated stream reading u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(buf[i])) << (8 * i);
+  return v;
+}
+
+std::uint64_t BinaryReader::read_u64() {
+  char buf[8];
+  in_.read(buf, 8);
+  QADIST_CHECK(in_.gcount() == 8, << "truncated stream reading u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i])) << (8 * i);
+  return v;
+}
+
+std::uint64_t BinaryReader::read_varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const int c = in_.get();
+    QADIST_CHECK(c != std::char_traits<char>::eof(),
+                 << "truncated stream reading varint");
+    QADIST_CHECK(shift < 64, << "varint overflows 64 bits");
+    v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+std::string BinaryReader::read_string() {
+  const std::uint32_t len = read_u32();
+  std::string s(len, '\0');
+  in_.read(s.data(), static_cast<std::streamsize>(len));
+  QADIST_CHECK(static_cast<std::uint32_t>(in_.gcount()) == len,
+               << "truncated stream reading string of length " << len);
+  return s;
+}
+
+}  // namespace qadist::ir

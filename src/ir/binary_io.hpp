@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace qadist::ir {
+
+/// Minimal little-endian binary framing used by all qadist persistence
+/// (index files, corpus files). Writers/readers are symmetric; readers
+/// validate stream health and fail via QADIST_CHECK on truncation —
+/// a corrupt index is not a recoverable condition for an experiment.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(out) {}
+
+  void write_u8(std::uint8_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_string(std::string_view s);  ///< u32 length + bytes
+
+  /// LEB128 variable-length unsigned integer (1 byte for values < 128).
+  /// Index files store delta-encoded postings this way: paragraph-key
+  /// deltas and term frequencies are tiny, so varints shrink index files
+  /// by several-fold versus fixed-width words.
+  void write_varint(std::uint64_t v);
+
+ private:
+  std::ostream& out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& in) : in_(in) {}
+
+  [[nodiscard]] std::uint8_t read_u8();
+  [[nodiscard]] std::uint32_t read_u32();
+  [[nodiscard]] std::uint64_t read_u64();
+  [[nodiscard]] std::string read_string();
+  [[nodiscard]] std::uint64_t read_varint();
+
+ private:
+  std::istream& in_;
+};
+
+}  // namespace qadist::ir

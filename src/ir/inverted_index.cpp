@@ -1,0 +1,137 @@
+#include "ir/inverted_index.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "ir/binary_io.hpp"
+
+namespace qadist::ir {
+
+namespace {
+constexpr std::uint32_t kIndexMagic = 0x51414958;  // "QAIX"
+// Version 2: postings are delta-encoded varints — each entry stores the
+// gap between successive (doc, paragraph) keys plus the term frequency,
+// all LEB128-encoded. Typical gaps and frequencies are small, so index
+// files shrink several-fold versus the fixed-width v1 layout.
+constexpr std::uint32_t kIndexVersion = 2;
+}  // namespace
+
+InvertedIndex InvertedIndex::build(const corpus::SubCollection& sub,
+                                   const Analyzer& analyzer) {
+  InvertedIndex index;
+  for (corpus::DocId doc = sub.first(); doc < sub.last(); ++doc) {
+    const corpus::Document& document = sub.document(doc);
+    for (std::uint32_t p = 0; p < document.paragraphs.size(); ++p) {
+      ++index.paragraph_count_;
+      // Count term frequencies within this paragraph.
+      std::map<std::string, std::uint32_t> tf;
+      for (auto& term : analyzer.index_terms(document.paragraphs[p])) {
+        ++tf[std::move(term)];
+      }
+      for (const auto& [term, count] : tf) {
+        auto [it, inserted] = index.terms_.try_emplace(
+            term, static_cast<std::uint32_t>(index.postings_.size()));
+        if (inserted) index.postings_.emplace_back();
+        index.postings_[it->second].push_back(Posting{doc, p, count});
+        ++index.posting_count_;
+      }
+    }
+  }
+  // Paragraphs were visited in (doc, paragraph) order, so each postings list
+  // is already sorted; assert rather than re-sort.
+  for (const auto& list : index.postings_) {
+    QADIST_CHECK(std::is_sorted(list.begin(), list.end(),
+                                [](const Posting& a, const Posting& b) {
+                                  return a.key() < b.key();
+                                }));
+  }
+  return index;
+}
+
+const std::vector<Posting>* InvertedIndex::postings(
+    std::string_view term) const {
+  const auto it = terms_.find(std::string(term));
+  if (it == terms_.end()) return nullptr;
+  return &postings_[it->second];
+}
+
+std::size_t InvertedIndex::document_frequency(std::string_view term) const {
+  const auto* list = postings(term);
+  return list != nullptr ? list->size() : 0;
+}
+
+std::size_t InvertedIndex::byte_size() const {
+  std::size_t bytes = 0;
+  for (const auto& [term, slot] : terms_) {
+    bytes += term.size() + sizeof(std::uint32_t);
+    bytes += postings_[slot].size() * sizeof(Posting);
+  }
+  return bytes;
+}
+
+void InvertedIndex::save(std::ostream& out) const {
+  BinaryWriter w(out);
+  w.write_u32(kIndexMagic);
+  w.write_u32(kIndexVersion);
+  w.write_u64(paragraph_count_);
+  w.write_u32(static_cast<std::uint32_t>(terms_.size()));
+  // Emit terms in deterministic (sorted) order so files are reproducible.
+  std::vector<const std::string*> ordered;
+  ordered.reserve(terms_.size());
+  std::vector<std::uint32_t> slots;
+  for (const auto& [term, slot] : terms_) {
+    ordered.push_back(&term);
+    slots.push_back(slot);
+  }
+  std::vector<std::size_t> perm(ordered.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+    return *ordered[a] < *ordered[b];
+  });
+  for (std::size_t i : perm) {
+    w.write_string(*ordered[i]);
+    const auto& list = postings_[slots[i]];
+    w.write_u32(static_cast<std::uint32_t>(list.size()));
+    std::uint64_t previous_key = 0;
+    for (const Posting& p : list) {
+      const std::uint64_t key = p.key();
+      w.write_varint(key - previous_key);  // sorted: gaps are non-negative
+      w.write_varint(p.tf);
+      previous_key = key;
+    }
+  }
+}
+
+InvertedIndex InvertedIndex::load(std::istream& in) {
+  BinaryReader r(in);
+  QADIST_CHECK(r.read_u32() == kIndexMagic, << "not a qadist index file");
+  const auto version = r.read_u32();
+  QADIST_CHECK(version == kIndexVersion,
+               << "unsupported index version " << version);
+  InvertedIndex index;
+  index.paragraph_count_ = r.read_u64();
+  const std::uint32_t term_count = r.read_u32();
+  index.postings_.reserve(term_count);
+  for (std::uint32_t t = 0; t < term_count; ++t) {
+    std::string term = r.read_string();
+    const std::uint32_t len = r.read_u32();
+    std::vector<Posting> list(len);
+    std::uint64_t key = 0;
+    for (auto& p : list) {
+      key += r.read_varint();
+      p.doc = static_cast<corpus::DocId>(key >> 32);
+      p.paragraph = static_cast<std::uint32_t>(key & 0xffffffff);
+      p.tf = static_cast<std::uint32_t>(r.read_varint());
+    }
+    index.posting_count_ += list.size();
+    index.terms_.emplace(std::move(term),
+                         static_cast<std::uint32_t>(index.postings_.size()));
+    index.postings_.push_back(std::move(list));
+  }
+  return index;
+}
+
+}  // namespace qadist::ir

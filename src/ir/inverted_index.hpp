@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/collection.hpp"
+#include "ir/analyzer.hpp"
+
+namespace qadist::ir {
+
+/// One postings entry: a term occurs `tf` times in paragraph
+/// (`doc`, `paragraph`). Postings are sorted by (doc, paragraph), which is
+/// what intersection/union evaluation relies on.
+struct Posting {
+  corpus::DocId doc = 0;
+  std::uint32_t paragraph = 0;
+  std::uint32_t tf = 0;
+
+  [[nodiscard]] std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(doc) << 32) | paragraph;
+  }
+  friend bool operator==(const Posting&, const Posting&) = default;
+};
+
+/// Paragraph-granularity Boolean inverted index over one sub-collection —
+/// our stand-in for the ZPrise Boolean IR engine the paper indexes each
+/// TREC-9 sub-collection with.
+///
+/// Terms are analyzer-normalized (lowercase, stemmed, stopped). The index is
+/// immutable after build; queries are thread-safe reads, so host-parallel PR
+/// partitions can share one instance.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Indexes every paragraph of a sub-collection.
+  [[nodiscard]] static InvertedIndex build(const corpus::SubCollection& sub,
+                                           const Analyzer& analyzer);
+
+  /// Postings for an (already analyzer-normalized) term; nullptr if absent.
+  [[nodiscard]] const std::vector<Posting>* postings(
+      std::string_view term) const;
+
+  /// Number of paragraphs containing the term (its postings length).
+  [[nodiscard]] std::size_t document_frequency(std::string_view term) const;
+
+  [[nodiscard]] std::size_t term_count() const { return terms_.size(); }
+  [[nodiscard]] std::size_t posting_count() const { return posting_count_; }
+  [[nodiscard]] std::size_t paragraph_count() const { return paragraph_count_; }
+
+  /// Approximate in-memory footprint; also the serialized size driver.
+  [[nodiscard]] std::size_t byte_size() const;
+
+  /// Binary serialization (little-endian, versioned, magic-checked). The
+  /// paper's PR module reads indexes from per-node disks; persistence makes
+  /// that a real I/O path in host-mode experiments.
+  void save(std::ostream& out) const;
+  [[nodiscard]] static InvertedIndex load(std::istream& in);
+
+ private:
+  std::unordered_map<std::string, std::uint32_t> terms_;  // term -> slot
+  std::vector<std::vector<Posting>> postings_;            // slot -> postings
+  std::size_t posting_count_ = 0;
+  std::size_t paragraph_count_ = 0;
+};
+
+}  // namespace qadist::ir

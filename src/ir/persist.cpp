@@ -1,0 +1,137 @@
+#include "ir/persist.hpp"
+
+#include <fstream>
+
+#include "common/check.hpp"
+#include "ir/binary_io.hpp"
+
+namespace qadist::ir {
+
+namespace {
+constexpr std::uint32_t kCollectionMagic = 0x5141434c;  // "QACL"
+constexpr std::uint32_t kCollectionVersion = 1;
+constexpr std::uint32_t kWorldMagic = 0x51415744;  // "QAWD"
+constexpr std::uint32_t kWorldVersion = 1;
+}  // namespace
+
+void save_collection(const corpus::Collection& collection, std::ostream& out) {
+  BinaryWriter w(out);
+  w.write_u32(kCollectionMagic);
+  w.write_u32(kCollectionVersion);
+  w.write_u32(static_cast<std::uint32_t>(collection.size()));
+  for (const auto& doc : collection.documents()) {
+    w.write_u32(doc.id);
+    w.write_string(doc.title);
+    w.write_u32(static_cast<std::uint32_t>(doc.paragraphs.size()));
+    for (const auto& p : doc.paragraphs) w.write_string(p);
+  }
+}
+
+corpus::Collection load_collection(std::istream& in) {
+  BinaryReader r(in);
+  QADIST_CHECK(r.read_u32() == kCollectionMagic,
+               << "not a qadist collection file");
+  const auto version = r.read_u32();
+  QADIST_CHECK(version == kCollectionVersion,
+               << "unsupported collection version " << version);
+  corpus::Collection collection;
+  const std::uint32_t docs = r.read_u32();
+  for (std::uint32_t i = 0; i < docs; ++i) {
+    corpus::Document doc;
+    doc.id = r.read_u32();
+    doc.title = r.read_string();
+    const std::uint32_t paragraphs = r.read_u32();
+    doc.paragraphs.reserve(paragraphs);
+    for (std::uint32_t p = 0; p < paragraphs; ++p)
+      doc.paragraphs.push_back(r.read_string());
+    collection.add(std::move(doc));
+  }
+  return collection;
+}
+
+void save_collection_file(const corpus::Collection& collection,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  QADIST_CHECK(out.good(), << "cannot open " << path << " for writing");
+  save_collection(collection, out);
+  QADIST_CHECK(out.good(), << "write failed for " << path);
+}
+
+corpus::Collection load_collection_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  QADIST_CHECK(in.good(), << "cannot open " << path);
+  return load_collection(in);
+}
+
+void save_world(const corpus::GeneratedCorpus& world, std::ostream& out) {
+  BinaryWriter w(out);
+  w.write_u32(kWorldMagic);
+  w.write_u32(kWorldVersion);
+  save_collection(world.collection, out);
+
+  const auto entries = world.gazetteer.entries();
+  w.write_u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [surface, type] : entries) {
+    w.write_string(surface);
+    w.write_u8(static_cast<std::uint8_t>(type));
+  }
+
+  w.write_u32(static_cast<std::uint32_t>(world.facts.size()));
+  for (const auto& fact : world.facts) {
+    w.write_string(fact.subject);
+    w.write_u8(static_cast<std::uint8_t>(fact.relation));
+    w.write_string(fact.object);
+    w.write_u32(fact.doc);
+    w.write_u32(fact.paragraph);
+  }
+}
+
+corpus::GeneratedCorpus load_world(std::istream& in) {
+  BinaryReader r(in);
+  QADIST_CHECK(r.read_u32() == kWorldMagic, << "not a qadist world file");
+  const auto version = r.read_u32();
+  QADIST_CHECK(version == kWorldVersion,
+               << "unsupported world version " << version);
+  corpus::GeneratedCorpus world;
+  world.collection = load_collection(in);
+
+  const std::uint32_t entities = r.read_u32();
+  for (std::uint32_t i = 0; i < entities; ++i) {
+    std::string surface = r.read_string();
+    const auto type = static_cast<corpus::EntityType>(r.read_u8());
+    QADIST_CHECK(static_cast<int>(type) < corpus::kEntityTypeCount,
+                 << "corrupt entity type");
+    world.gazetteer.add(surface, type);
+  }
+
+  const std::uint32_t facts = r.read_u32();
+  world.facts.reserve(facts);
+  for (std::uint32_t i = 0; i < facts; ++i) {
+    corpus::Fact fact;
+    fact.subject = r.read_string();
+    const auto relation = r.read_u8();
+    QADIST_CHECK(relation < corpus::kRelationCount, << "corrupt relation");
+    fact.relation = static_cast<corpus::Relation>(relation);
+    fact.object = r.read_string();
+    fact.doc = r.read_u32();
+    fact.paragraph = r.read_u32();
+    world.facts.push_back(std::move(fact));
+  }
+  return world;
+}
+
+void save_world_file(const corpus::GeneratedCorpus& world,
+                     const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  QADIST_CHECK(out.good(), << "cannot open " << path << " for writing");
+  save_world(world, out);
+  QADIST_CHECK(out.good(), << "write failed for " << path);
+}
+
+corpus::GeneratedCorpus load_world_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  QADIST_CHECK(in.good(), << "cannot open " << path);
+  return load_world(in);
+}
+
+}  // namespace qadist::ir

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "corpus/collection.hpp"
+#include "corpus/generator.hpp"
+
+namespace qadist::ir {
+
+/// Binary serialization of a document collection. Each cluster node keeps a
+/// copy of the collection on its local disk in the paper's deployment;
+/// these routines make that a real on-disk artifact for host-mode runs
+/// (examples persist the corpus, PR loads sub-collections back).
+void save_collection(const corpus::Collection& collection, std::ostream& out);
+[[nodiscard]] corpus::Collection load_collection(std::istream& in);
+
+/// File-path convenience wrappers (fail via QADIST_CHECK on I/O errors).
+void save_collection_file(const corpus::Collection& collection,
+                          const std::string& path);
+[[nodiscard]] corpus::Collection load_collection_file(const std::string& path);
+
+/// Serialization of the complete generated world — collection, gazetteer
+/// and ground-truth facts — so a deployment (or a later benchmark run) can
+/// reload exactly the corpus it was built against without re-generating.
+void save_world(const corpus::GeneratedCorpus& world, std::ostream& out);
+[[nodiscard]] corpus::GeneratedCorpus load_world(std::istream& in);
+void save_world_file(const corpus::GeneratedCorpus& world,
+                     const std::string& path);
+[[nodiscard]] corpus::GeneratedCorpus load_world_file(const std::string& path);
+
+}  // namespace qadist::ir

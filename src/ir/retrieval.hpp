@@ -1,0 +1,47 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "corpus/types.hpp"
+#include "ir/inverted_index.hpp"
+
+namespace qadist::ir {
+
+/// A paragraph matched by retrieval, with the number of distinct query
+/// keywords it contains — the raw signal paragraph scoring builds on.
+struct ParagraphMatch {
+  corpus::ParagraphRef ref;
+  std::uint32_t keywords_present = 0;
+  std::uint32_t total_tf = 0;  ///< summed term frequency over matched terms
+
+  friend bool operator==(const ParagraphMatch&, const ParagraphMatch&) = default;
+};
+
+/// Strict Boolean AND: paragraphs containing *all* terms. Uses galloping
+/// (exponential-search) intersection ordered shortest-list-first — the
+/// classical skippy intersection that keeps conjunctive queries cheap when
+/// one term is rare.
+[[nodiscard]] std::vector<ParagraphMatch> intersect_all(
+    const InvertedIndex& index, std::span<const std::string> terms);
+
+/// Linear k-way merge intersection (reference implementation; also the
+/// baseline for the micro-benchmark ablation of galloping vs linear).
+[[nodiscard]] std::vector<ParagraphMatch> intersect_all_linear(
+    const InvertedIndex& index, std::span<const std::string> terms);
+
+/// Union with per-paragraph match counting: every paragraph containing at
+/// least one term, annotated with how many distinct terms it contains.
+[[nodiscard]] std::vector<ParagraphMatch> union_count(
+    const InvertedIndex& index, std::span<const std::string> terms);
+
+/// The Boolean retrieval policy of the PR module: start from the strict
+/// conjunction and progressively relax the required-keyword count until at
+/// least `min_paragraphs` paragraphs match (or the requirement reaches one
+/// keyword). Mirrors FALCON's keyword relaxation loop.
+[[nodiscard]] std::vector<ParagraphMatch> retrieve(
+    const InvertedIndex& index, std::span<const std::string> terms,
+    std::size_t min_paragraphs);
+
+}  // namespace qadist::ir

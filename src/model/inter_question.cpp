@@ -1,0 +1,72 @@
+#include "model/inter_question.hpp"
+
+#include "common/check.hpp"
+
+namespace qadist::model {
+
+double InterQuestionModel::monitoring_overhead(double n) const {
+  QADIST_CHECK(n >= 1.0);
+  // Per monitoring tick (1 Hz): local measurement + broadcast of S_load on
+  // a link all N nodes broadcast on simultaneously + storing N entries.
+  const double per_second = p_.t_measure +
+                            p_.s_load * n / p_.net.bytes_per_second +
+                            n * p_.s_load / p_.mem_bandwidth;
+  // The monitor runs for the duration of the (average) question.
+  return p_.T * per_second;
+}
+
+double InterQuestionModel::dispatch_overhead(double n) const {
+  // Three dispatchers, each scanning N in-memory load entries.
+  return 3.0 * n * p_.s_load / p_.mem_bandwidth;
+}
+
+double InterQuestionModel::migration_overhead(double n) const {
+  // Expected bytes moved by the three dispatching points (Eq. 17-19):
+  //   QA:  question out, answers back;
+  //   PR:  keywords out, paragraphs back;
+  //   AP:  accepted paragraphs out, answers back.
+  const double qa_bytes = p_.s_question + p_.n_answers * p_.s_answer;
+  const double pr_bytes =
+      p_.n_keywords * p_.s_keyword + p_.n_paragraphs * p_.s_paragraph;
+  const double ap_bytes =
+      p_.n_accepted * p_.s_paragraph + p_.n_answers * p_.s_answer;
+  const double expected_bytes =
+      p_.p_qa * qa_bytes + p_.p_pr * pr_bytes + p_.p_ap * ap_bytes;
+  // The shared link is used by N·Q questions, each with probability P_net,
+  // so the bandwidth available to one transfer is B_net / (N·Q·P_net)
+  // (Eq. 17's available-bandwidth argument). Disk read-back of migrated
+  // paragraphs adds the B_disk term of Eq. 18-19.
+  const double net_time = expected_bytes * n * p_.Q * p_.p_net /
+                          p_.net.bytes_per_second;
+  const double disk_bytes = p_.p_pr * p_.n_paragraphs * p_.s_paragraph +
+                            p_.p_ap * p_.n_answers * p_.s_answer;
+  const double disk_time = disk_bytes / p_.disk.bytes_per_second;
+  return net_time + disk_time;
+}
+
+double InterQuestionModel::distribution_overhead(double n) const {
+  return monitoring_overhead(n) + dispatch_overhead(n) +
+         migration_overhead(n);
+}
+
+double InterQuestionModel::speedup(double n) const {
+  QADIST_CHECK(n >= 1.0);
+  return n / (1.0 + distribution_overhead(n) / p_.T);
+}
+
+double InterQuestionModel::max_processors_at_efficiency(double target) const {
+  QADIST_CHECK(target > 0.0 && target < 1.0);
+  if (efficiency(1.0) < target) return 0.0;
+  double lo = 1.0;
+  double hi = 1.0;
+  // Exponential probe for an upper bound, then bisect.
+  while (efficiency(hi) >= target && hi < 1e9) hi *= 2.0;
+  if (hi >= 1e9) return hi;
+  for (int iter = 0; iter < 64; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (efficiency(mid) >= target ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace qadist::model

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "model/params.hpp"
+
+namespace qadist::model {
+
+/// Analytical inter-question parallelism model (paper Sec. 5.1, Eq. 9-23).
+///
+/// Computes the system speedup when N·Q questions run on N nodes with all
+/// three dispatching points active but no partitioning (the high-load
+/// regime). Speedup is limited by the per-question distribution overhead:
+/// load monitoring, dispatcher scans, and migration traffic on the shared
+/// network, whose available bandwidth shrinks as B_net/(N·P_net).
+class InterQuestionModel {
+ public:
+  explicit InterQuestionModel(InterQuestionParams params) : p_(params) {}
+
+  /// Eq. 14: load monitoring overhead per question on an N-node system —
+  /// every second the monitor measures locally, broadcasts S_load over the
+  /// shared link, and stores N peers' packets.
+  [[nodiscard]] double monitoring_overhead(double n) const;
+
+  /// Eq. 15: dispatcher scan overhead — the three dispatchers each scan N
+  /// load entries in memory.
+  [[nodiscard]] double dispatch_overhead(double n) const;
+
+  /// Eq. 20: expected migration traffic time per question — each
+  /// dispatching point moves its payload with its migration probability,
+  /// over a network shared by N·Q·P_net concurrent users.
+  [[nodiscard]] double migration_overhead(double n) const;
+
+  /// Eq. 21: total per-question distribution overhead.
+  [[nodiscard]] double distribution_overhead(double n) const;
+
+  /// Eq. 23: S(N) = N / (1 + T_distrib(N) / T).
+  [[nodiscard]] double speedup(double n) const;
+
+  /// E(N) = S(N) / N.
+  [[nodiscard]] double efficiency(double n) const { return speedup(n) / n; }
+
+  /// Largest processor count whose efficiency is still at least `target`
+  /// (bisection; efficiency is monotone decreasing in N). Answers the
+  /// deployment question behind Fig. 8: "how big can this cluster grow
+  /// before the network eats the gains?"
+  [[nodiscard]] double max_processors_at_efficiency(double target) const;
+
+  [[nodiscard]] const InterQuestionParams& params() const { return p_; }
+
+ private:
+  InterQuestionParams p_;
+};
+
+}  // namespace qadist::model

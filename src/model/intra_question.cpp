@@ -1,0 +1,32 @@
+#include "model/intra_question.hpp"
+
+#include "common/check.hpp"
+
+namespace qadist::model {
+
+double IntraQuestionModel::t_par() const {
+  return p_.t_cpu_parallel + p_.v_io / p_.disk.bytes_per_second;
+}
+
+double IntraQuestionModel::t_seq() const {
+  return p_.t_qp + p_.t_po +
+         p_.w_partition_bytes * (1.0 / p_.net.bytes_per_second +
+                                 1.0 / p_.disk.bytes_per_second);
+}
+
+double IntraQuestionModel::t1() const { return p_.t_qp + p_.t_po + t_par(); }
+
+double IntraQuestionModel::t_n(double n) const {
+  QADIST_CHECK(n >= 1.0);
+  return t_seq() + t_par() / n;
+}
+
+double IntraQuestionModel::speedup(double n) const { return t1() / t_n(n); }
+
+double IntraQuestionModel::n_max() const { return t_par() / t_seq(); }
+
+double IntraQuestionModel::speedup_at_n_max() const {
+  return t1() / (2.0 * t_seq());
+}
+
+}  // namespace qadist::model

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "model/params.hpp"
+
+namespace qadist::model {
+
+/// Analytical intra-question parallelism model (paper Sec. 5.2, Eq. 24-36).
+///
+/// One question's modules are split over N nodes. The parallelizable part
+/// (PR + PS + AP) shrinks as 1/N; the sequential part — QP, PO, plus the
+/// constant partitioning overhead of shipping paragraphs between nodes and
+/// re-reading them from disk (Eq. 27/29) — does not. The practical
+/// processor limit is where the two halves break even:
+///
+///   T_N   = T_seq + T_par / N          (Eq. 31)
+///   N_max = T_par / T_seq              (Eq. 34)
+///   S(N)  = T_1 / T_N                  (Eq. 35)
+class IntraQuestionModel {
+ public:
+  explicit IntraQuestionModel(IntraQuestionParams params) : p_(params) {}
+
+  /// T_par: the parallelizable time — CPU compute plus the PR disk scan at
+  /// the configured disk bandwidth (Eq. 32 with bandwidth made explicit).
+  [[nodiscard]] double t_par() const;
+
+  /// T_seq: QP + PO + the partitioning overhead W·(1/B_net + 1/B_disk)
+  /// (Eq. 33, from Eq. 27 and 29).
+  [[nodiscard]] double t_seq() const;
+
+  /// T_1: single-node question time — no partitioning overhead (Eq. 24).
+  [[nodiscard]] double t1() const;
+
+  /// T_N (Eq. 31). n = 1 still pays the overhead (the distributed system
+  /// with partitioning enabled on one node).
+  [[nodiscard]] double t_n(double n) const;
+
+  /// S(N) = T_1 / T_N (Eq. 35-36).
+  [[nodiscard]] double speedup(double n) const;
+
+  /// N_max = T_par / T_seq: past this processor count the sequential part
+  /// dominates and more nodes stop paying off (Eq. 34).
+  [[nodiscard]] double n_max() const;
+
+  /// Speedup at the practical limit; equals T_1 / (2·T_seq).
+  [[nodiscard]] double speedup_at_n_max() const;
+
+  [[nodiscard]] const IntraQuestionParams& params() const { return p_; }
+
+ private:
+  IntraQuestionParams p_;
+};
+
+}  // namespace qadist::model

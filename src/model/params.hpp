@@ -1,0 +1,53 @@
+#pragma once
+
+#include "common/units.hpp"
+
+namespace qadist::model {
+
+/// Parameters of the analytical model (paper Sec. 5 notation), with the
+/// TREC-9-calibrated defaults used for Fig. 8. All byte sizes and counts
+/// are per-question averages.
+struct InterQuestionParams {
+  double T = 94.0;           ///< avg sequential question time (TREC-9, Sec. 2.2)
+  double Q = 8.0;            ///< questions per processor in the workload
+  double t_measure = 1e-3;   ///< T_measure: local load measurement time
+  double s_load = 64.0;      ///< S_load: load broadcast packet bytes
+  double s_question = 64.0;  ///< S_q: question message bytes
+  double n_keywords = 5.0;   ///< N_k
+  double s_keyword = 8.0;    ///< S_key
+  double n_paragraphs = 1300.0;  ///< N_p: paragraphs out of PR
+  double s_paragraph = 222.0;    ///< S_par
+  double n_accepted = 880.0;     ///< N_pa: paragraphs accepted by PO
+  double n_answers = 5.0;        ///< N_a
+  double s_answer = 250.0;       ///< S_ans
+  // Migration probabilities at the three dispatching points, computed from
+  // paper Table 7's 12-processor row (37/96, 43/96, 41/96).
+  double p_qa = 0.39;
+  double p_pr = 0.45;
+  double p_ap = 0.43;
+  double p_net = 0.7;  ///< P_net: probability a task touches the network
+  Bandwidth net = Bandwidth::from_mbps(100);       ///< B_net
+  Bandwidth disk = Bandwidth::from_mbps(250);      ///< B_disk
+  double mem_bandwidth = 800e6;                    ///< B_mem, bytes/s
+};
+
+/// Parameters of the intra-question model (paper Eq. 24-36). The four
+/// calibrated values below reproduce the paper's Table 4 within ~3% in all
+/// 16 (disk x net) cells — see DESIGN.md Sec. 5 for the calibration.
+struct IntraQuestionParams {
+  double t_qp = 0.81;  ///< T_QP (paper Table 8, 1 processor)
+  double t_po = 0.02;  ///< T_PO — the two inherently sequential modules
+  /// CPU seconds of the parallelizable part (PR + PS + AP compute).
+  double t_cpu_parallel = 46.9;
+  /// Disk bytes read by the parallelizable part (dominated by PR); its
+  /// time contribution scales with 1/B_disk, which is why higher disk
+  /// bandwidth *lowers* the useful processor count (paper Fig. 9b).
+  double v_io = 430e6;
+  /// (N_p + N_pa) · S_par: bytes shipped between nodes when the PR and AP
+  /// modules are partitioned (paper Eq. 27/29).
+  double w_partition_bytes = 485e3;
+  Bandwidth net = Bandwidth::from_mbps(100);
+  Bandwidth disk = Bandwidth::from_mbps(250);
+};
+
+}  // namespace qadist::model

@@ -1,0 +1,217 @@
+#include "parallel/executor.hpp"
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+
+#include "common/check.hpp"
+
+namespace qadist::parallel {
+
+namespace {
+
+/// Per-worker run state shared between dispatch rounds.
+struct WorkerState {
+  std::size_t processed = 0;           // items completed so far (whole run)
+  std::size_t fail_after = SIZE_MAX;   // injected failure threshold
+  bool failed = false;
+};
+
+std::vector<WorkerState> init_workers(const ExecutorOptions& options) {
+  std::vector<WorkerState> workers(options.workers);
+  for (const auto& f : options.failures) {
+    QADIST_CHECK(f.worker < options.workers,
+                 << "failure spec for unknown worker " << f.worker);
+    workers[f.worker].fail_after = f.after_items;
+  }
+  return workers;
+}
+
+std::vector<double> effective_weights(const ExecutorOptions& options,
+                                      std::size_t count) {
+  if (options.weights.empty()) return std::vector<double>(count, 1.0);
+  QADIST_CHECK(options.weights.size() == options.workers,
+               << "weights arity mismatch");
+  return options.weights;
+}
+
+}  // namespace
+
+ExecutorReport PartitionedExecutor::run(std::size_t total_items,
+                                        const ExecutorOptions& options,
+                                        const ItemFn& fn) {
+  QADIST_CHECK(options.workers >= 1);
+  QADIST_CHECK(fn != nullptr);
+  if (options.strategy == Strategy::kRecv) {
+    return run_receiver(total_items, options, fn);
+  }
+  return run_sender(total_items, options, fn);
+}
+
+ExecutorReport PartitionedExecutor::run_sender(std::size_t total_items,
+                                               const ExecutorOptions& options,
+                                               const ItemFn& fn) {
+  auto workers = init_workers(options);
+  const auto all_weights = effective_weights(options, options.workers);
+
+  // `pending` holds the item ids still to process; each round re-partitions
+  // it over the surviving workers (paper Fig. 5c: "build a new task from
+  // the unprocessed partitions; jump to Step 1").
+  std::vector<std::size_t> pending(total_items);
+  for (std::size_t i = 0; i < total_items; ++i) pending[i] = i;
+
+  ExecutorReport report;
+  while (!pending.empty()) {
+    ++report.rounds;
+    std::vector<std::size_t> alive;
+    std::vector<double> weights;
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      if (!workers[w].failed) {
+        alive.push_back(w);
+        weights.push_back(all_weights[w]);
+      }
+    }
+    QADIST_CHECK(!alive.empty(),
+                 << "all workers failed with " << pending.size()
+                 << " items unprocessed");
+
+    const auto partitions =
+        options.strategy == Strategy::kIsend
+            ? partition_isend(pending.size(), weights)
+            : partition_send(pending.size(), weights);
+
+    // done[] is indexed by position in `pending`; each slot is written by
+    // exactly one worker, read by the dispatcher after wait_idle().
+    std::vector<char> done(pending.size(), 0);
+
+    for (const auto& partition : partitions) {
+      const std::size_t w = alive[partition.worker];
+      WorkerState& state = workers[w];
+      pool_->submit([&, w, items = partition.items] {
+        for (std::size_t idx : items) {
+          if (state.processed >= state.fail_after) {
+            state.failed = true;
+            return;  // dies mid-partition; remainder stays unprocessed
+          }
+          fn(pending[idx], w);
+          done[idx] = 1;
+          ++state.processed;
+        }
+      });
+    }
+    pool_->wait_idle();
+
+    std::vector<std::size_t> unprocessed;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (done[i] == 0) unprocessed.push_back(pending[i]);
+    }
+    pending = std::move(unprocessed);
+  }
+
+  for (const auto& w : workers) {
+    report.items_per_worker.push_back(w.processed);
+    if (!w.failed) ++report.surviving_workers;
+  }
+  return report;
+}
+
+ExecutorReport PartitionedExecutor::run_receiver(std::size_t total_items,
+                                                 const ExecutorOptions& options,
+                                                 const ItemFn& fn) {
+  auto workers = init_workers(options);
+
+  std::mutex mutex;
+  std::deque<Chunk> available;
+  for (const Chunk& c : make_chunks(total_items, options.chunk_size)) {
+    available.push_back(c);
+  }
+  std::size_t outstanding = total_items;
+
+  ExecutorReport report;
+  report.rounds = 1;
+
+  for (std::size_t w = 0; w < options.workers; ++w) {
+    pool_->submit([&, w] {
+      WorkerState& state = workers[w];
+      for (;;) {
+        Chunk chunk;
+        {
+          std::lock_guard lock(mutex);
+          if (available.empty()) return;
+          chunk = available.front();
+          available.pop_front();
+        }
+        for (std::size_t item = chunk.begin; item < chunk.end; ++item) {
+          if (state.processed >= state.fail_after) {
+            // Die mid-chunk: the unprocessed remainder goes back to the
+            // chunk set for a surviving worker (paper Fig. 6b step iv-z).
+            state.failed = true;
+            std::lock_guard lock(mutex);
+            available.push_back(Chunk{item, chunk.end});
+            return;
+          }
+          fn(item, w);
+          ++state.processed;
+          {
+            std::lock_guard lock(mutex);
+            --outstanding;
+          }
+        }
+      }
+    });
+  }
+  pool_->wait_idle();
+
+  // Survivors exit when `available` momentarily empties, which can strand a
+  // re-queued remainder chunk from a late failure. Drain until done.
+  for (;;) {
+    std::vector<std::size_t> alive;
+    {
+      std::lock_guard lock(mutex);
+      if (outstanding == 0) break;
+      QADIST_CHECK(!available.empty(), << "items lost");
+    }
+    for (std::size_t w = 0; w < options.workers; ++w) {
+      if (!workers[w].failed) alive.push_back(w);
+    }
+    QADIST_CHECK(!alive.empty(), << "all workers failed with items pending");
+    ++report.rounds;
+    for (std::size_t w : alive) {
+      pool_->submit([&, w] {
+        WorkerState& state = workers[w];
+        for (;;) {
+          Chunk chunk;
+          {
+            std::lock_guard lock(mutex);
+            if (available.empty()) return;
+            chunk = available.front();
+            available.pop_front();
+          }
+          for (std::size_t item = chunk.begin; item < chunk.end; ++item) {
+            if (state.processed >= state.fail_after) {
+              state.failed = true;
+              std::lock_guard lock(mutex);
+              available.push_back(Chunk{item, chunk.end});
+              return;
+            }
+            fn(item, w);
+            ++state.processed;
+            {
+              std::lock_guard lock(mutex);
+              --outstanding;
+            }
+          }
+        }
+      });
+    }
+    pool_->wait_idle();
+  }
+
+  for (const auto& w : workers) {
+    report.items_per_worker.push_back(w.processed);
+    if (!w.failed) ++report.surviving_workers;
+  }
+  return report;
+}
+
+}  // namespace qadist::parallel

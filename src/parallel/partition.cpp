@@ -1,0 +1,117 @@
+#include "parallel/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace qadist::parallel {
+
+std::string_view to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kSend:
+      return "SEND";
+    case Strategy::kIsend:
+      return "ISEND";
+    case Strategy::kRecv:
+      return "RECV";
+  }
+  QADIST_UNREACHABLE("bad Strategy");
+}
+
+std::vector<std::size_t> apportion(std::size_t total_items,
+                                   std::span<const double> weights) {
+  QADIST_CHECK(!weights.empty());
+  double sum = 0.0;
+  for (double w : weights) {
+    QADIST_CHECK(w >= 0.0, << "negative weight " << w);
+    sum += w;
+  }
+  QADIST_CHECK(sum > 0.0, << "all weights zero");
+
+  const std::size_t n = weights.size();
+  std::vector<std::size_t> counts(n, 0);
+  std::vector<double> remainders(n, 0.0);
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double exact = static_cast<double>(total_items) * weights[i] / sum;
+    counts[i] = static_cast<std::size_t>(std::floor(exact));
+    remainders[i] = exact - std::floor(exact);
+    assigned += counts[i];
+  }
+  // Hand the leftover items to the largest remainders (ties: lower index).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (remainders[a] != remainders[b]) return remainders[a] > remainders[b];
+    return a < b;
+  });
+  for (std::size_t k = 0; assigned < total_items; ++k) {
+    ++counts[order[k % n]];
+    ++assigned;
+  }
+  return counts;
+}
+
+std::vector<Partition> partition_send(std::size_t total_items,
+                                      std::span<const double> weights) {
+  const auto counts = apportion(total_items, weights);
+  std::vector<Partition> partitions(weights.size());
+  std::size_t next = 0;
+  for (std::size_t w = 0; w < weights.size(); ++w) {
+    partitions[w].worker = w;
+    partitions[w].items.reserve(counts[w]);
+    for (std::size_t k = 0; k < counts[w]; ++k)
+      partitions[w].items.push_back(next++);
+  }
+  QADIST_CHECK(next == total_items);
+  return partitions;
+}
+
+std::vector<Partition> partition_isend(std::size_t total_items,
+                                       std::span<const double> weights) {
+  const auto counts = apportion(total_items, weights);
+  std::vector<Partition> partitions(weights.size());
+  std::vector<std::size_t> remaining = counts;
+  for (std::size_t w = 0; w < weights.size(); ++w) {
+    partitions[w].worker = w;
+    partitions[w].items.reserve(counts[w]);
+  }
+  // Deal items round-robin, skipping workers whose quota is exhausted. With
+  // equal weights this is the plain interleaving of paper Fig. 5(b); with
+  // unequal weights heavier workers simply stay in the rotation longer.
+  std::size_t item = 0;
+  while (item < total_items) {
+    bool dealt = false;
+    for (std::size_t w = 0; w < weights.size() && item < total_items; ++w) {
+      if (remaining[w] > 0) {
+        partitions[w].items.push_back(item++);
+        --remaining[w];
+        dealt = true;
+      }
+    }
+    QADIST_CHECK(dealt, << "apportion under-counted");
+  }
+  return partitions;
+}
+
+std::vector<Chunk> make_chunks(std::size_t total_items,
+                               std::size_t chunk_size) {
+  QADIST_CHECK(chunk_size >= 1);
+  std::vector<Chunk> chunks;
+  if (total_items == 0) return chunks;
+  const std::size_t full = total_items / chunk_size;
+  for (std::size_t c = 0; c < full; ++c) {
+    chunks.push_back(Chunk{c * chunk_size, (c + 1) * chunk_size});
+  }
+  if (chunks.empty()) {
+    chunks.push_back(Chunk{0, total_items});
+  } else {
+    // Absorb the remainder into the final (padded) chunk — paper Fig. 6(a).
+    chunks.back().end = total_items;
+  }
+  return chunks;
+}
+
+}  // namespace qadist::parallel

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace qadist::parallel {
+
+/// The three partitioning strategies of paper Sec. 4.1.
+enum class Strategy {
+  kSend,   ///< sender-controlled, contiguous weighted blocks (Fig. 5a)
+  kIsend,  ///< sender-controlled, weighted interleaving (Fig. 5b)
+  kRecv,   ///< receiver-controlled chunk self-scheduling (Fig. 6)
+};
+
+[[nodiscard]] std::string_view to_string(Strategy s);
+
+/// One worker's share of the item array (item indices, not values — the
+/// same partitioner drives host threads and simulated nodes).
+struct Partition {
+  std::size_t worker = 0;
+  std::vector<std::size_t> items;
+};
+
+/// Splits `total_items` into integer counts proportional to `weights`
+/// (largest-remainder apportionment; weights need not be normalized; all
+/// counts sum exactly to total_items). This is Step 5 of the paper's
+/// meta-scheduling algorithm turned into arithmetic.
+[[nodiscard]] std::vector<std::size_t> apportion(
+    std::size_t total_items, std::span<const double> weights);
+
+/// SEND: worker i receives the next count[i] *consecutive* items. Assumes
+/// near-uniform per-item cost — the assumption the paper shows failing for
+/// AP (Fig. 7a: equal counts, 60s spread in finish times).
+[[nodiscard]] std::vector<Partition> partition_send(
+    std::size_t total_items, std::span<const double> weights);
+
+/// ISEND: worker i still receives count[i] items, but dealt in a weighted
+/// round-robin over the (rank-sorted) item array, so each worker's average
+/// per-item cost is similar when cost decreases with rank (paper Fig. 5b).
+[[nodiscard]] std::vector<Partition> partition_isend(
+    std::size_t total_items, std::span<const double> weights);
+
+/// RECV chunking: equal-size [begin, end) chunks, the last one padded to
+/// absorb the remainder (paper Fig. 6a). Workers self-schedule over these.
+struct Chunk {
+  std::size_t begin = 0;
+  std::size_t end = 0;  ///< exclusive
+
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+  friend bool operator==(const Chunk&, const Chunk&) = default;
+};
+
+[[nodiscard]] std::vector<Chunk> make_chunks(std::size_t total_items,
+                                             std::size_t chunk_size);
+
+}  // namespace qadist::parallel

@@ -1,0 +1,47 @@
+#include "qa/evaluation.hpp"
+
+namespace qadist::qa {
+
+namespace {
+
+std::string normalize(const ir::Analyzer& analyzer, const std::string& text) {
+  std::string out;
+  for (const auto& tok : analyzer.tokenize(text)) {
+    if (!out.empty()) out += ' ';
+    out += tok.text;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool answer_matches(const ir::Analyzer& analyzer, const std::string& candidate,
+                    const std::string& gold) {
+  return normalize(analyzer, candidate) == normalize(analyzer, gold);
+}
+
+EvaluationResult evaluate(const Engine& engine,
+                          std::span<const corpus::Question> questions) {
+  EvaluationResult result;
+  result.questions = questions.size();
+  for (const auto& q : questions) {
+    const auto answer = engine.answer(q);
+    if (answer.answers.empty()) continue;
+    ++result.answered;
+    for (std::size_t rank = 0; rank < answer.answers.size(); ++rank) {
+      if (answer_matches(engine.analyzer(), answer.answers[rank].candidate,
+                         q.gold_answer)) {
+        if (rank == 0) ++result.correct_at_1;
+        ++result.correct_at_k;
+        result.mrr += 1.0 / static_cast<double>(rank + 1);
+        break;
+      }
+    }
+  }
+  if (result.questions > 0) {
+    result.mrr /= static_cast<double>(result.questions);
+  }
+  return result;
+}
+
+}  // namespace qadist::qa

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "corpus/generator.hpp"
+#include "qa/engine.hpp"
+
+namespace qadist::qa {
+
+/// TREC-style quality metrics over a question set with gold answers — the
+/// evaluation FALCON was ranked first by (66.4% short / 86.1% long correct
+/// answers in TREC-9). Our closed synthetic world should score higher; the
+/// metric exists so quality regressions in the pipeline are caught, not
+/// because the paper's contribution is qualitative.
+struct EvaluationResult {
+  std::size_t questions = 0;
+  std::size_t answered = 0;       ///< questions with at least one answer
+  std::size_t correct_at_1 = 0;   ///< gold answer ranked first
+  std::size_t correct_at_k = 0;   ///< gold answer anywhere in the returned list
+  double mrr = 0.0;               ///< mean reciprocal rank of the gold answer
+
+  [[nodiscard]] double accuracy_at_1() const {
+    return questions == 0 ? 0.0
+                          : static_cast<double>(correct_at_1) /
+                                static_cast<double>(questions);
+  }
+  [[nodiscard]] double accuracy_at_k() const {
+    return questions == 0 ? 0.0
+                          : static_cast<double>(correct_at_k) /
+                                static_cast<double>(questions);
+  }
+};
+
+/// Token-normalized answer comparison: lowercase, punctuation-insensitive
+/// ("March 14 , 1912" matches "march 14 1912").
+[[nodiscard]] bool answer_matches(const ir::Analyzer& analyzer,
+                                  const std::string& candidate,
+                                  const std::string& gold);
+
+/// Runs every question through the engine and scores the answer lists.
+[[nodiscard]] EvaluationResult evaluate(
+    const Engine& engine, std::span<const corpus::Question> questions);
+
+}  // namespace qadist::qa

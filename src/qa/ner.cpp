@@ -1,0 +1,114 @@
+#include "qa/ner.hpp"
+
+#include <array>
+
+#include "qa/text_match.hpp"
+
+namespace qadist::qa {
+
+namespace {
+
+bool is_month(std::string_view w) {
+  static constexpr std::array<std::string_view, 12> kMonths = {
+      "january", "february", "march",     "april",   "may",      "june",
+      "july",    "august",   "september", "october", "november", "december"};
+  for (auto m : kMonths)
+    if (w == m) return true;
+  return false;
+}
+
+bool is_year(const ir::Token& t) {
+  if (!t.numeric || t.text.size() != 4) return false;
+  const int y = std::stoi(t.text);
+  return y >= 1000 && y <= 2100;
+}
+
+std::string surface(const std::vector<ir::Token>& tokens, std::uint32_t first,
+                    std::uint32_t count) {
+  return surface_span(tokens, first, count);
+}
+
+}  // namespace
+
+std::vector<EntityMention> EntityRecognizer::recognize(
+    const std::vector<ir::Token>& tokens) const {
+  std::vector<EntityMention> mentions;
+  const auto n = static_cast<std::uint32_t>(tokens.size());
+  const auto max_len =
+      static_cast<std::uint32_t>(std::max<std::size_t>(1, gazetteer_->max_tokens()));
+
+  std::uint32_t i = 0;
+  while (i < n) {
+    const ir::Token& tok = tokens[i];
+
+    // --- Gazetteer: longest capitalized-led n-gram first. Entity names may
+    // begin with a lowercase article ("the Amsen Lighthouse"), so "the" is
+    // also allowed to open a candidate span.
+    if (tok.capitalized || tok.text == "the") {
+      bool matched = false;
+      const std::uint32_t limit = std::min(max_len, n - i);
+      for (std::uint32_t len = limit; len >= 1 && !matched; --len) {
+        std::string key;
+        for (std::uint32_t k = i; k < i + len; ++k) {
+          if (!key.empty()) key += ' ';
+          key += tokens[k].text;
+        }
+        if (const auto type = gazetteer_->lookup(key)) {
+          mentions.push_back(EntityMention{*type, i, len,
+                                           surface(tokens, i, len), 1.0});
+          i += len;
+          matched = true;
+        }
+      }
+      if (matched) continue;
+    }
+
+    // --- DATE: "<month> <day> [<year>]" or a bare plausible year.
+    if (is_month(tok.text) && i + 1 < n && tokens[i + 1].numeric) {
+      std::uint32_t len = 2;
+      if (i + 2 < n && is_year(tokens[i + 2])) len = 3;
+      mentions.push_back(EntityMention{corpus::EntityType::kDate, i, len,
+                                       surface(tokens, i, len), 0.9});
+      i += len;
+      continue;
+    }
+    if (is_year(tok)) {
+      mentions.push_back(EntityMention{corpus::EntityType::kDate, i, 1,
+                                       surface(tokens, i, 1), 0.6});
+      ++i;
+      continue;
+    }
+
+    // --- MONEY: "$ <number> [million|thousand|billion]".
+    if (tok.text == "$" && i + 1 < n && tokens[i + 1].numeric) {
+      std::uint32_t len = 2;
+      if (i + 2 < n &&
+          (tokens[i + 2].text == "million" || tokens[i + 2].text == "thousand" ||
+           tokens[i + 2].text == "billion")) {
+        len = 3;
+      }
+      mentions.push_back(EntityMention{corpus::EntityType::kMoney, i, len,
+                                       surface(tokens, i, len), 0.9});
+      i += len;
+      continue;
+    }
+
+    // --- QUANTITY: standalone multi-digit numbers (years already handled).
+    if (tok.numeric && tok.text.size() >= 3) {
+      mentions.push_back(EntityMention{corpus::EntityType::kQuantity, i, 1,
+                                       surface(tokens, i, 1), 0.9});
+      ++i;
+      continue;
+    }
+
+    ++i;
+  }
+  return mentions;
+}
+
+std::vector<EntityMention> EntityRecognizer::recognize_text(
+    std::string_view text) const {
+  return recognize(analyzer_->tokenize(text));
+}
+
+}  // namespace qadist::qa

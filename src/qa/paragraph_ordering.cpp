@@ -1,0 +1,26 @@
+#include "qa/paragraph_ordering.hpp"
+
+#include <algorithm>
+
+namespace qadist::qa {
+
+std::vector<ScoredParagraph> ParagraphOrderer::order_and_filter(
+    std::vector<ScoredParagraph> paragraphs) const {
+  std::sort(paragraphs.begin(), paragraphs.end(),
+            [](const ScoredParagraph& a, const ScoredParagraph& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.paragraph.ref < b.paragraph.ref;
+            });
+  if (paragraphs.empty()) return paragraphs;
+
+  const double cutoff = paragraphs.front().score * config_.relative_threshold;
+  std::size_t keep = 0;
+  while (keep < paragraphs.size() && keep < config_.max_accepted &&
+         paragraphs[keep].score >= cutoff) {
+    ++keep;
+  }
+  paragraphs.resize(keep);
+  return paragraphs;
+}
+
+}  // namespace qadist::qa

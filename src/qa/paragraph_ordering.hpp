@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "qa/question.hpp"
+
+namespace qadist::qa {
+
+/// Paragraph Ordering (PO): sorts scored paragraphs in descending rank and
+/// applies the acceptance filter, "only the paragraphs with a rank over a
+/// certain threshold are passed to the next stage" (paper Sec. 2.1).
+///
+/// Deliberately sequential and centralized: the paper keeps PO on one node
+/// so the distributed system accepts exactly the same paragraphs as the
+/// sequential one (Sec. 3.2), and so do we.
+class ParagraphOrderer {
+ public:
+  struct Config {
+    /// Accept paragraphs scoring at least this fraction of the top score.
+    double relative_threshold = 0.55;
+    /// Hard cap on accepted paragraphs (bounds AP work per question).
+    std::size_t max_accepted = 400;
+  };
+
+  ParagraphOrderer() = default;
+  explicit ParagraphOrderer(Config config) : config_(config) {}
+
+  /// Sort + filter. Ties broken by paragraph address, making the order —
+  /// and therefore every downstream result — fully deterministic.
+  [[nodiscard]] std::vector<ScoredParagraph> order_and_filter(
+      std::vector<ScoredParagraph> paragraphs) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace qadist::qa

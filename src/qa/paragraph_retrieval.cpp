@@ -1,0 +1,34 @@
+#include "qa/paragraph_retrieval.hpp"
+
+namespace qadist::qa {
+
+std::vector<RetrievedParagraph> ParagraphRetriever::retrieve(
+    const ir::InvertedIndex& index, const ProcessedQuestion& question,
+    RetrievalWork* work) const {
+  std::size_t postings = 0;
+  for (const auto& term : question.keywords)
+    postings += index.document_frequency(term);
+
+  const auto matches =
+      ir::retrieve(index, question.keywords, min_paragraphs_);
+
+  std::vector<RetrievedParagraph> out;
+  out.reserve(matches.size());
+  std::size_t bytes = 0;
+  for (const auto& m : matches) {
+    RetrievedParagraph p;
+    p.ref = m.ref;
+    p.text = collection_->paragraph(m.ref);
+    p.keywords_present = m.keywords_present;
+    bytes += p.text.size();
+    out.push_back(std::move(p));
+  }
+  if (work != nullptr) {
+    work->postings_scanned += postings;
+    work->paragraphs_returned += out.size();
+    work->bytes_materialized += bytes;
+  }
+  return out;
+}
+
+}  // namespace qadist::qa

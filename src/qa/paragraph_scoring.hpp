@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "ir/analyzer.hpp"
+#include "qa/question.hpp"
+
+namespace qadist::qa {
+
+/// Paragraph Scoring (PS): ranks one retrieved paragraph with the three
+/// surface-text heuristics of LASSO/FALCON (paper Sec. 2.1 — keyword
+/// presence, same-word-sequence, inter-keyword distance). Iterative unit:
+/// the paragraph — this is what gets partitioned intra-question.
+///
+/// Heuristics (each normalized to [0,1], then weighted):
+///  H1 completeness: fraction of question keywords present;
+///  H2 sequence:     longest run of keywords appearing in question order;
+///  H3 proximity:    1 / (1 + smallest token window covering all present
+///                   keywords).
+class ParagraphScorer {
+ public:
+  struct Weights {
+    double completeness = 0.5;
+    double sequence = 0.2;
+    double proximity = 0.3;
+  };
+
+  explicit ParagraphScorer(const ir::Analyzer& analyzer)
+      : analyzer_(&analyzer) {}
+  ParagraphScorer(const ir::Analyzer& analyzer, Weights weights)
+      : analyzer_(&analyzer), weights_(weights) {}
+
+  /// Scores one paragraph against the question. Thread-safe.
+  [[nodiscard]] ScoredParagraph score(const ProcessedQuestion& question,
+                                      RetrievedParagraph paragraph) const;
+
+  /// Convenience: score a whole batch in order.
+  [[nodiscard]] std::vector<ScoredParagraph> score_all(
+      const ProcessedQuestion& question,
+      std::vector<RetrievedParagraph> paragraphs) const;
+
+ private:
+  const ir::Analyzer* analyzer_;
+  Weights weights_;
+};
+
+}  // namespace qadist::qa

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/entity.hpp"
+#include "corpus/generator.hpp"
+
+namespace qadist::qa {
+
+/// Output of the Question Processing module: the expected answer entity
+/// type plus the retrieval keywords (analyzer-normalized, deduplicated,
+/// question order preserved — the order matters to the answer-window
+/// same-order heuristic).
+struct ProcessedQuestion {
+  std::uint32_t id = 0;
+  std::string text;
+  corpus::EntityType answer_type = corpus::EntityType::kUnknown;
+  std::vector<std::string> keywords;
+};
+
+/// A paragraph handed from Paragraph Retrieval to scoring: its address,
+/// materialized text, and the retrieval-time keyword hit count.
+struct RetrievedParagraph {
+  corpus::ParagraphRef ref;
+  std::string text;
+  std::uint32_t keywords_present = 0;
+};
+
+/// A paragraph with its Paragraph Scoring rank value attached.
+struct ScoredParagraph {
+  RetrievedParagraph paragraph;
+  double score = 0.0;
+};
+
+/// One extracted answer: the candidate entity plus its surrounding answer
+/// window (the "50/250 bytes of text" the paper returns), and its combined
+/// heuristic score.
+struct Answer {
+  std::string candidate;  ///< the entity string proposed as the answer
+  std::string window;     ///< short context snippet around the candidate
+  double score = 0.0;
+  corpus::ParagraphRef ref;
+  corpus::EntityType type = corpus::EntityType::kUnknown;
+};
+
+}  // namespace qadist::qa

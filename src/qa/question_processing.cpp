@@ -1,0 +1,49 @@
+#include "qa/question_processing.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace qadist::qa {
+
+using corpus::EntityType;
+
+EntityType QuestionProcessor::classify(const std::string& question) const {
+  const std::string q = to_lower(question);
+  const auto has = [&](std::string_view needle) {
+    return q.find(needle) != std::string::npos;
+  };
+
+  // Most specific cues first: "what ..." questions need their noun focus.
+  if (has("nationality")) return EntityType::kNationality;
+  if (has("population") || has("how many")) return EntityType::kQuantity;
+  if (has("how much") || has("cost")) return EntityType::kMoney;
+  if (has("disease") || has("treat")) return EntityType::kDisease;
+  if (has("when ") || q.starts_with("when")) return EntityType::kDate;
+  if (has("who ") || q.starts_with("who")) return EntityType::kPerson;
+  if (has("where ") || q.starts_with("where")) return EntityType::kLocation;
+  if (has("what city") || has("what country") || has("what place"))
+    return EntityType::kLocation;
+  if (has("what company") || has("what organization"))
+    return EntityType::kOrganization;
+  return EntityType::kUnknown;
+}
+
+ProcessedQuestion QuestionProcessor::process(std::uint32_t id,
+                                             const std::string& question) const {
+  ProcessedQuestion out;
+  out.id = id;
+  out.text = question;
+  out.answer_type = classify(question);
+  // Keywords: analyzer-normalized content terms, deduplicated but kept in
+  // question order (the answer-window heuristics compare orders).
+  for (auto& term : analyzer_->index_terms(question)) {
+    if (std::find(out.keywords.begin(), out.keywords.end(), term) ==
+        out.keywords.end()) {
+      out.keywords.push_back(std::move(term));
+    }
+  }
+  return out;
+}
+
+}  // namespace qadist::qa

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "corpus/generator.hpp"
+#include "ir/analyzer.hpp"
+#include "qa/question.hpp"
+
+namespace qadist::qa {
+
+/// Question Processing (QP): the first, non-iterative pipeline module
+/// (paper Fig. 1, ~1% of task time). Classifies the expected answer type
+/// from the question's interrogative structure and extracts the retrieval
+/// keywords.
+class QuestionProcessor {
+ public:
+  explicit QuestionProcessor(const ir::Analyzer& analyzer)
+      : analyzer_(&analyzer) {}
+
+  /// Rule-based answer-type classification ("where" -> LOCATION, "who" ->
+  /// PERSON, "when" -> DATE, "how much"/"cost" -> MONEY, ...). Falls back
+  /// to kUnknown, in which case answer processing accepts any entity type.
+  [[nodiscard]] corpus::EntityType classify(const std::string& question) const;
+
+  /// Full QP: classify + keyword extraction.
+  [[nodiscard]] ProcessedQuestion process(std::uint32_t id,
+                                          const std::string& question) const;
+  [[nodiscard]] ProcessedQuestion process(const corpus::Question& q) const {
+    return process(q.id, q.text);
+  }
+
+ private:
+  const ir::Analyzer* analyzer_;
+};
+
+}  // namespace qadist::qa

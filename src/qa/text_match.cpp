@@ -1,0 +1,38 @@
+#include "qa/text_match.hpp"
+
+namespace qadist::qa {
+
+std::vector<int> map_keywords(const ir::Analyzer& analyzer,
+                              std::span<const std::string> keywords,
+                              const std::vector<ir::Token>& tokens) {
+  std::vector<int> map(tokens.size(), -1);
+  for (std::size_t t = 0; t < tokens.size(); ++t) {
+    const auto& tok = tokens[t];
+    if (ir::is_stopword(tok.text)) continue;
+    const std::string norm = tok.numeric ? tok.text : analyzer.stem(tok.text);
+    for (std::size_t k = 0; k < keywords.size(); ++k) {
+      if (keywords[k] == norm) {
+        map[t] = static_cast<int>(k);
+        break;
+      }
+    }
+  }
+  return map;
+}
+
+std::string surface_span(const std::vector<ir::Token>& tokens,
+                         std::size_t first, std::size_t count) {
+  std::string out;
+  for (std::size_t i = first; i < first + count && i < tokens.size(); ++i) {
+    if (!out.empty()) out += ' ';
+    std::string word = tokens[i].text;
+    if (tokens[i].capitalized && !word.empty() && word[0] >= 'a' &&
+        word[0] <= 'z') {
+      word[0] = static_cast<char>(word[0] - 'a' + 'A');
+    }
+    out += word;
+  }
+  return out;
+}
+
+}  // namespace qadist::qa

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/analyzer.hpp"
+
+namespace qadist::qa {
+
+/// Maps each paragraph token to the index of the (analyzer-normalized)
+/// keyword it matches, or -1. Shared by paragraph scoring and answer
+/// windowing so both stages agree on what counts as a keyword hit.
+[[nodiscard]] std::vector<int> map_keywords(
+    const ir::Analyzer& analyzer, std::span<const std::string> keywords,
+    const std::vector<ir::Token>& tokens);
+
+/// Space-joined surface form of a token range, re-capitalizing tokens whose
+/// source was capitalized. (Punctuation between tokens is not recoverable.)
+[[nodiscard]] std::string surface_span(const std::vector<ir::Token>& tokens,
+                                       std::size_t first, std::size_t count);
+
+}  // namespace qadist::qa

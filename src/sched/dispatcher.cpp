@@ -1,0 +1,24 @@
+#include "sched/dispatcher.hpp"
+
+#include "common/check.hpp"
+
+namespace qadist::sched {
+
+MigrationDecision decide_migration(const LoadTable& table, NodeId current,
+                                   const LoadWeights& weights,
+                                   double single_question_load) {
+  QADIST_CHECK(table.is_member(current),
+               << "dispatching from non-member node " << current);
+  const auto best = table.least_loaded(weights);
+  QADIST_CHECK(best.has_value());
+  if (*best == current) return {};
+
+  const double here = load_function(table.load_of(current), weights);
+  const double there = load_function(table.load_of(*best), weights);
+  if (here - there > single_question_load) {
+    return MigrationDecision{true, *best};
+  }
+  return {};
+}
+
+}  // namespace qadist::sched

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <optional>
+
+#include "sched/load_table.hpp"
+
+namespace qadist::sched {
+
+/// The question dispatcher's migration rule (paper Sec. 3.1): move the Q/A
+/// task to the least-loaded node, but only when the load gap exceeds the
+/// average workload of a single question — "to avoid useless migrations, a
+/// question is migrated only if the difference between the load of the
+/// source node and the load of the destination node is greater than the
+/// average workload of a single question."
+struct MigrationDecision {
+  bool migrate = false;
+  NodeId target = 0;
+};
+
+/// @param current node the task currently sits on (must be a pool member).
+/// @param single_question_load the threshold: the load one question adds
+///        (by Eq. 1's weighting, one fully busy question contributes
+///        single_task_load(kQaWeights)).
+[[nodiscard]] MigrationDecision decide_migration(
+    const LoadTable& table, NodeId current, const LoadWeights& weights,
+    double single_question_load);
+
+}  // namespace qadist::sched

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+
+namespace qadist::sched {
+
+/// Node identifier within a cluster.
+using NodeId = std::uint32_t;
+
+/// A node's per-resource load sample. Loads are time-averaged active
+/// customer counts over the last monitoring period (the simulated analogue
+/// of /proc loadavg): 0 = idle, 1 = one task's worth of demand, values > 1
+/// mean queueing/time-sharing.
+struct ResourceLoad {
+  double cpu = 0.0;
+  double disk = 0.0;
+
+  friend bool operator==(const ResourceLoad&, const ResourceLoad&) = default;
+};
+
+/// Per-module resource weights (paper Eq. 1-3): how much each resource
+/// matters to a module, measured as the fraction of its execution time
+/// spent on that resource.
+struct LoadWeights {
+  double cpu = 0.0;
+  double disk = 0.0;
+};
+
+/// Paper Table 3, measured on the TREC-9 question set: the whole Q/A task
+/// is CPU-leaning, PR is disk-dominated, AP is pure CPU.
+inline constexpr LoadWeights kQaWeights{0.79, 0.21};   // Eq. 4
+inline constexpr LoadWeights kPrWeights{0.20, 0.80};   // Eq. 5
+inline constexpr LoadWeights kApWeights{1.00, 0.00};   // Eq. 6
+
+/// The weighted load function loadFunction_m(P) = w_cpu·cpuLoad(P) +
+/// w_disk·diskLoad(P) (paper Eq. 1-3).
+[[nodiscard]] constexpr double load_function(const ResourceLoad& load,
+                                             const LoadWeights& weights) {
+  return weights.cpu * load.cpu + weights.disk * load.disk;
+}
+
+/// Load contributed by one task of the given module running alone — the
+/// under-load thresholds of paper Eq. 7-8: a node is under-loaded for a
+/// module while its load function is below what a single such sub-task
+/// generates. One lone PR sub-task keeps the disk ~fully busy and the CPU
+/// at ~20%: loadFn_PR = 0.2·0.2 + 0.8·0.8 = 0.68. A lone AP sub-task pins
+/// the CPU: loadFn_AP = 1.0.
+[[nodiscard]] constexpr double single_task_load(const LoadWeights& weights) {
+  return weights.cpu * weights.cpu + weights.disk * weights.disk;
+}
+
+}  // namespace qadist::sched

@@ -1,0 +1,54 @@
+#include "sched/meta_scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace qadist::sched {
+
+MetaSchedule meta_schedule(const LoadTable& table,
+                           const LoadWeights& module_weights,
+                           double underload_threshold) {
+  MetaSchedule out;
+  const auto members = table.members();
+  QADIST_CHECK(!members.empty(), << "meta_schedule over an empty pool");
+
+  std::vector<double> loads;
+  loads.reserve(members.size());
+  for (NodeId id : members) {
+    loads.push_back(load_function(table.load_of(id), module_weights));
+  }
+
+  // Step 1: all under-loaded processors.
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (loads[i] < underload_threshold) {
+      out.selected.push_back(members[i]);
+      out.weights.push_back(loads[i]);  // raw load for now
+    }
+  }
+  out.partitioned = out.selected.size() > 1;
+
+  // Step 2: none under-loaded -> single least-loaded processor.
+  if (out.selected.empty()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      if (loads[i] < loads[best]) best = i;
+    }
+    out.selected.push_back(members[best]);
+    out.weights.assign(1, 1.0);
+    return out;
+  }
+
+  // Steps 3-4: headroom weights, normalized.
+  const double load_max =
+      *std::max_element(out.weights.begin(), out.weights.end());
+  double sum = 0.0;
+  for (double& w : out.weights) {
+    w = (1.0 + load_max - w) / (1.0 + load_max);
+    sum += w;
+  }
+  for (double& w : out.weights) w /= sum;
+  return out;
+}
+
+}  // namespace qadist::sched

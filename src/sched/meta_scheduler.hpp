@@ -1,0 +1,41 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sched/load_table.hpp"
+
+namespace qadist::sched {
+
+/// Outcome of the meta-scheduling algorithm (paper Fig. 4).
+struct MetaSchedule {
+  /// Nodes the task will run on (>= 1). Singleton when no node was
+  /// under-loaded — Step 2's fall-back to the least-loaded node, i.e. the
+  /// task migrates whole instead of partitioning.
+  std::vector<NodeId> selected;
+  /// Normalized weights (sum = 1), parallel to `selected`.
+  std::vector<double> weights;
+  /// True when Step 1 found under-loaded nodes (intra-question parallelism
+  /// is worth exploiting), false when Step 2 fell back to one node.
+  bool partitioned = false;
+};
+
+/// The meta-scheduling algorithm of paper Fig. 4, parameterized — exactly
+/// as the paper does — by a load function (module resource weights) and an
+/// under-load condition (threshold on that load function):
+///
+///  1. select all processors P with loadFunction(P) under `underload_threshold`
+///  2. if none, select the single processor with the smallest load value
+///  3. give each selected processor an unnormalized weight growing with its
+///     available headroom: w_P = (1 + loadMax - load_P) / (1 + loadMax),
+///     where loadMax is the largest load among the selected set (the "+1"
+///     keeps the most-loaded selected node at a positive share; with equal
+///     loads this degenerates to equal weights)
+///  4. normalize: W_P = w_P / sum(w)
+///  5. (performed by the caller) assign fraction W_P of the task to P —
+///     see parallel::apportion / partition_send / partition_isend.
+[[nodiscard]] MetaSchedule meta_schedule(const LoadTable& table,
+                                         const LoadWeights& module_weights,
+                                         double underload_threshold);
+
+}  // namespace qadist::sched

@@ -1,0 +1,114 @@
+#include "simnet/fair_share.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace qadist::simnet {
+
+namespace {
+// Tolerance for declaring a flow complete after floating-point advancement.
+// Each advance() subtracts rate·dt from every flow, so the accumulated
+// error scales with the *service magnitudes*, not with the flow's own work
+// (a 64-byte packet sharing a 12 MB/s link drifts by link-scale ulps).
+// A flow is done when less than 0.1 µs of service remains at the current
+// per-flow rate — far below anything an experiment can observe, far above
+// any realistic drift.
+double done_tolerance(double total_work, double per_flow_rate) {
+  return std::max(1e-9 * std::max(1.0, total_work), 1e-7 * per_flow_rate);
+}
+}  // namespace
+
+FairShareServer::FairShareServer(Simulation& sim, std::string name,
+                                 double total_rate,
+                                 double max_rate_per_customer)
+    : sim_(sim),
+      name_(std::move(name)),
+      total_rate_(total_rate),
+      max_rate_(max_rate_per_customer),
+      last_update_(sim.now()) {
+  QADIST_CHECK(total_rate_ > 0.0, << name_ << ": total_rate must be positive");
+  QADIST_CHECK(max_rate_ > 0.0, << name_ << ": max_rate must be positive");
+}
+
+double FairShareServer::per_flow_rate() const {
+  if (flows_.empty()) return 0.0;
+  return std::min(max_rate_, total_rate_ / static_cast<double>(flows_.size()));
+}
+
+void FairShareServer::advance() {
+  const Seconds now = sim_.now();
+  const Seconds dt = now - last_update_;
+  if (dt > 0.0 && !flows_.empty()) {
+    const double rate = per_flow_rate();
+    for (auto& flow : flows_) flow.remaining -= rate * dt;
+    const auto f = static_cast<double>(flows_.size());
+    load_integral_ += f * dt;
+    busy_integral_ += std::min(1.0, f / parallelism()) * dt;
+  }
+  last_update_ = now;
+}
+
+void FairShareServer::reschedule() {
+  ++generation_;
+  if (flows_.empty()) return;
+  const double rate = per_flow_rate();
+  QADIST_CHECK(rate > 0.0);
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& flow : flows_)
+    min_remaining = std::min(min_remaining, flow.remaining);
+  const Seconds eta = std::max(0.0, min_remaining) / rate;
+  const std::uint64_t gen = generation_;
+  sim_.schedule(eta, [this, gen] { on_completion(gen); });
+}
+
+void FairShareServer::on_completion(std::uint64_t generation) {
+  if (generation != generation_) return;  // superseded by a later change
+  advance();
+  const double rate = per_flow_rate();
+  std::vector<std::coroutine_handle<>> finished;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->remaining <= done_tolerance(it->total, rate)) {
+      work_served_ += it->total;
+      finished.push_back(it->handle);
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  QADIST_CHECK(!finished.empty(),
+               << name_ << ": completion event found no finished flow");
+  reschedule();
+  for (auto h : finished) {
+    sim_.schedule(0.0, [h] { h.resume(); });
+  }
+}
+
+void FairShareServer::enqueue(double work, std::coroutine_handle<> h) {
+  if (work <= 0.0) {
+    sim_.schedule(0.0, [h] { h.resume(); });
+    return;
+  }
+  advance();
+  flows_.push_back(Flow{work, work, h});
+  reschedule();
+}
+
+void FairShareServer::ConsumeAwaiter::await_suspend(std::coroutine_handle<> h) {
+  server_.enqueue(work_, h);
+}
+
+double FairShareServer::load_integral() {
+  advance();
+  reschedule();  // advance() consumed elapsed time; replan next completion
+  return load_integral_;
+}
+
+double FairShareServer::busy_integral() {
+  advance();
+  reschedule();
+  return busy_integral_;
+}
+
+}  // namespace qadist::simnet

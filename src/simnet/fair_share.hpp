@@ -1,0 +1,115 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "simnet/simulation.hpp"
+
+namespace qadist::simnet {
+
+/// Fluid-flow fair-sharing server: the single resource primitive behind all
+/// three contended resources in the simulated cluster.
+///
+/// Customers `co_await server.consume(work)`, where `work` is in resource
+/// units (CPU-seconds for a processor, bytes for a disk or network link).
+/// While F customers are active, each progresses at
+///
+///     rate = min(max_rate_per_customer, total_rate / F)
+///
+/// which models:
+///   * a CPU with c cores:  max_rate = 1 cpu-sec/sec, total_rate = c
+///     (a lone task can't use two cores; c tasks run at full speed; more
+///     than c tasks timeshare — exactly the paper's ">4 simultaneous
+///     questions slow down" behaviour),
+///   * a disk:              max_rate = total_rate = bandwidth,
+///   * a shared Ethernet:   max_rate = total_rate = link bandwidth
+///     (fluid-flow TCP fairness across concurrent transfers).
+///
+/// The implementation is event-driven: whenever the customer set changes,
+/// remaining work is advanced at the old rate, the per-customer rate is
+/// recomputed, and the next completion is (re)scheduled. Completion events
+/// are invalidated by a generation counter rather than removed from the
+/// queue. Cost: O(F) per arrival/departure — fine for cluster-scale F.
+///
+/// Load accounting for the schedulers: the server integrates both the
+/// customer count (`load_integral`, the simulated /proc loadavg) and the
+/// saturation fraction (`busy_integral`, utilization in [0,1]) over time;
+/// LoadMonitor differentiates these per broadcast period.
+class FairShareServer {
+ public:
+  FairShareServer(Simulation& sim, std::string name, double total_rate,
+                  double max_rate_per_customer);
+  FairShareServer(const FairShareServer&) = delete;
+  FairShareServer& operator=(const FairShareServer&) = delete;
+
+  class [[nodiscard]] ConsumeAwaiter {
+   public:
+    ConsumeAwaiter(FairShareServer& server, double work)
+        : server_(server), work_(work) {}
+    bool await_ready() const noexcept { return work_ <= 0.0; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+
+   private:
+    FairShareServer& server_;
+    double work_;
+  };
+
+  /// Awaitable: completes once `work` resource-units have been served.
+  ConsumeAwaiter consume(double work) { return ConsumeAwaiter(*this, work); }
+
+  /// Low-level entry used by composite awaitables (e.g. simnet::Link):
+  /// registers `h` as a customer with `work` units remaining; `h` is
+  /// resumed when the work completes. Equivalent to what awaiting
+  /// consume(work) does on suspension.
+  void enqueue(double work, std::coroutine_handle<> h);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] double total_rate() const { return total_rate_; }
+  [[nodiscard]] double max_rate_per_customer() const { return max_rate_; }
+
+  /// Number of customers a full-speed server can host before slowdown.
+  [[nodiscard]] double parallelism() const { return total_rate_ / max_rate_; }
+
+  /// Customers currently in service.
+  [[nodiscard]] int active() const { return static_cast<int>(flows_.size()); }
+
+  /// Time-integral of the active customer count since construction.
+  [[nodiscard]] double load_integral();
+
+  /// Time-integral of min(1, active/parallelism) since construction.
+  [[nodiscard]] double busy_integral();
+
+  /// Total work units served to completed customers.
+  [[nodiscard]] double work_served() const { return work_served_; }
+
+ private:
+  friend class ConsumeAwaiter;
+
+  struct Flow {
+    double remaining;
+    double total;
+    std::coroutine_handle<> handle;
+  };
+
+  [[nodiscard]] double per_flow_rate() const;
+  void advance();      // settle work/integrals up to sim_.now()
+  void reschedule();   // plan the next completion event
+  void on_completion(std::uint64_t generation);
+
+  Simulation& sim_;
+  std::string name_;
+  double total_rate_;
+  double max_rate_;
+  std::vector<Flow> flows_;
+  Seconds last_update_ = 0.0;
+  double load_integral_ = 0.0;
+  double busy_integral_ = 0.0;
+  double work_served_ = 0.0;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace qadist::simnet

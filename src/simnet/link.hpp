@@ -1,0 +1,77 @@
+#pragma once
+
+#include <coroutine>
+#include <memory>
+#include <string>
+
+#include "common/units.hpp"
+#include "simnet/fair_share.hpp"
+
+namespace qadist::simnet {
+
+/// A network link: fixed per-message latency (connection setup, RPC
+/// framing) followed by fair-share bandwidth across all concurrent
+/// transfers — the fluid-flow model of a shared Ethernet segment.
+///
+///   Link lan(sim, "lan", Bandwidth::from_mbps(100), 2e-3);
+///   co_await lan.transfer(bytes);   // from any SimProcess
+class Link {
+ public:
+  Link(Simulation& sim, std::string name, Bandwidth bandwidth,
+       Seconds per_message_latency)
+      : sim_(&sim),
+        per_message_latency_(per_message_latency),
+        channel_(std::make_unique<FairShareServer>(
+            sim, std::move(name), bandwidth.bytes_per_second,
+            bandwidth.bytes_per_second)) {}
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Chained awaiter: suspends for the per-message latency, then joins the
+  /// shared channel for the payload bytes. The awaiter object lives in the
+  /// awaiting coroutine's frame for the whole transfer, so capturing
+  /// `this` across the two phases is safe.
+  class [[nodiscard]] TransferAwaiter {
+   public:
+    TransferAwaiter(Link& link, double bytes) : link_(link), bytes_(bytes) {}
+
+    bool await_ready() const noexcept {
+      return link_.per_message_latency_ <= 0.0 && bytes_ <= 0.0;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      ++link_.messages_;
+      link_.sim_->schedule(link_.per_message_latency_, [this, h] {
+        link_.channel_->enqueue(bytes_, h);
+      });
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    Link& link_;
+    double bytes_;
+  };
+
+  /// Awaitable: completes when `bytes` have crossed the link.
+  TransferAwaiter transfer(double bytes) { return TransferAwaiter(*this, bytes); }
+
+  [[nodiscard]] Seconds per_message_latency() const {
+    return per_message_latency_;
+  }
+  [[nodiscard]] FairShareServer& channel() { return *channel_; }
+
+  /// Messages transferred so far (latency legs counted).
+  [[nodiscard]] std::uint64_t messages() const { return messages_; }
+  /// Total payload bytes completed.
+  [[nodiscard]] double bytes_served() const { return channel_->work_served(); }
+
+ private:
+  friend class TransferAwaiter;
+
+  Simulation* sim_;
+  Seconds per_message_latency_;
+  std::unique_ptr<FairShareServer> channel_;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace qadist::simnet

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/check.hpp"
+#include "simnet/simulation.hpp"
+
+namespace qadist::simnet {
+
+/// Unbounded FIFO message queue between simulated processes.
+///
+/// `send()` never blocks (the underlying transport's latency is modelled
+/// separately by the network link — a mailbox is just the destination
+/// buffer). `co_await box.recv()` suspends until a message is available.
+/// Multiple receivers are served in arrival order.
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Simulation& sim) : sim_(&sim) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Deposits a message; wakes the oldest waiting receiver, if any.
+  void send(T value) {
+    if (!receivers_.empty()) {
+      Awaiter* r = receivers_.front();
+      receivers_.pop_front();
+      r->slot = std::move(value);
+      auto h = r->handle;
+      sim_->schedule(0.0, [h] { h.resume(); });
+    } else {
+      queue_.push_back(std::move(value));
+    }
+  }
+
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] bool has_waiting_receiver() const {
+    return !receivers_.empty();
+  }
+
+  struct [[nodiscard]] Awaiter {
+    Mailbox& box;
+    std::optional<T> slot;
+    std::coroutine_handle<> handle;
+
+    bool await_ready() {
+      if (!box.queue_.empty()) {
+        slot = std::move(box.queue_.front());
+        box.queue_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      box.receivers_.push_back(this);
+    }
+    T await_resume() {
+      QADIST_CHECK(slot.has_value());
+      return std::move(*slot);
+    }
+  };
+
+  /// Awaitable: produces the next message (FIFO).
+  Awaiter recv() { return Awaiter{*this, std::nullopt, {}}; }
+
+ private:
+  friend struct Awaiter;
+  Simulation* sim_;
+  std::deque<T> queue_;
+  std::deque<Awaiter*> receivers_;
+};
+
+}  // namespace qadist::simnet

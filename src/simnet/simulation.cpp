@@ -1,0 +1,49 @@
+#include "simnet/simulation.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace qadist::simnet {
+
+void Simulation::schedule(Seconds delay, std::function<void()> fn) {
+  if (delay < 0.0) delay = 0.0;
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulation::schedule_at(Seconds when, std::function<void()> fn) {
+  QADIST_CHECK(fn != nullptr);
+  if (when < now_) when = now_;
+  queue_.push(Entry{when, next_seq_++, std::move(fn)});
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; moving the callback out requires a copy
+  // otherwise, so we const_cast the known-unique top entry.
+  auto& top = const_cast<Entry&>(queue_.top());
+  Seconds when = top.when;
+  auto fn = std::move(top.fn);
+  queue_.pop();
+  QADIST_CHECK(when >= now_, << "time went backwards: " << when << " < " << now_);
+  now_ = when;
+  ++executed_;
+  fn();
+  return true;
+}
+
+Seconds Simulation::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+Seconds Simulation::run_until(Seconds deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace qadist::simnet

@@ -1,0 +1,137 @@
+#include "cluster/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/plan.hpp"
+#include "support/test_world.hpp"
+
+namespace qadist::cluster {
+namespace {
+
+using qadist::testing::test_world;
+
+const CostModel& shared_cost_model() {
+  static const CostModel model = [] {
+    const auto& world = test_world();
+    return CostModel::calibrate(
+        *world.engine,
+        std::span<const corpus::Question>(world.questions).subspan(0, 20));
+  }();
+  return model;
+}
+
+TEST(CostModelTest, AverageSequentialTimeMatchesAnchors) {
+  // Replaying an average question's plan on the reference hardware must
+  // land near the paper's Table 8 single-processor total (158.47 s):
+  // calibration promises the averages, not each question.
+  const auto& world = test_world();
+  const auto& cost = shared_cost_model();
+  const auto& anchors = cost.anchors();
+
+  double total = 0.0;
+  const std::size_t n = 20;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto plan = make_plan(*world.engine, cost, world.questions[i]);
+    total += plan.total_cpu_seconds() +
+             plan.total_disk_bytes() /
+                 anchors.reference_disk.bytes_per_second;
+  }
+  const double avg = total / static_cast<double>(n);
+  const double expected = anchors.t_qp + anchors.t_pr_total +
+                          anchors.t_ps_total + anchors.t_po +
+                          anchors.t_ap_total;
+  EXPECT_NEAR(avg, expected, expected * 0.02);
+}
+
+TEST(CostModelTest, ModuleProportionsMatchTable2Shape) {
+  // AP must dominate (paper Table 2: 69.7% in TREC-9), PR second.
+  const auto& world = test_world();
+  const auto& cost = shared_cost_model();
+  const auto plan = make_plan(*world.engine, cost, world.questions[0]);
+
+  double pr = 0.0, ps = 0.0, ap = 0.0;
+  for (const auto& u : plan.pr_units) {
+    pr += u.demand.cpu_seconds +
+          u.demand.disk_bytes / cost.anchors().reference_disk.bytes_per_second;
+    ps += u.ps.cpu_seconds;
+  }
+  for (const auto& u : plan.ap_units) ap += u.demand.cpu_seconds;
+
+  EXPECT_GT(ap, pr);
+  EXPECT_GT(pr, ps);
+  EXPECT_GT(ps, plan.qp.cpu_seconds + plan.po.cpu_seconds);
+}
+
+TEST(CostModelTest, DemandScalesWithWork) {
+  const auto& cost = shared_cost_model();
+  qa::RetrievalWork small{100, 10, 1000};
+  qa::RetrievalWork big{1000, 100, 10000};
+  EXPECT_LT(cost.pr(small).disk_bytes, cost.pr(big).disk_bytes);
+  EXPECT_LT(cost.pr(small).cpu_seconds, cost.pr(big).cpu_seconds);
+
+  qa::AnswerWork light{1, 50, 2, 1};
+  qa::AnswerWork heavy{1, 500, 20, 10};
+  EXPECT_LT(cost.ap(light).cpu_seconds, cost.ap(heavy).cpu_seconds);
+}
+
+TEST(CostModelTest, ApIsPureCpu) {
+  const auto& cost = shared_cost_model();
+  qa::AnswerWork work{1, 100, 5, 3};
+  EXPECT_DOUBLE_EQ(cost.ap(work).disk_bytes, 0.0);
+}
+
+TEST(PlanTest, PlanAnswersMatchEngine) {
+  const auto& world = test_world();
+  const auto& cost = shared_cost_model();
+  const auto& q = world.questions[2];
+  const auto plan = make_plan(*world.engine, cost, q);
+  const auto direct = world.engine->answer(q);
+  ASSERT_EQ(plan.answers.size(), direct.answers.size());
+  for (std::size_t i = 0; i < plan.answers.size(); ++i) {
+    EXPECT_EQ(plan.answers[i].candidate, direct.answers[i].candidate);
+  }
+}
+
+TEST(PlanTest, UnitCountsMatchPipeline) {
+  const auto& world = test_world();
+  const auto& cost = shared_cost_model();
+  const auto& q = world.questions[3];
+  const auto plan = make_plan(*world.engine, cost, q);
+  const auto direct = world.engine->answer(q);
+
+  EXPECT_EQ(plan.pr_units.size(), world.engine->subcollection_count());
+  EXPECT_EQ(plan.ap_units.size(), direct.work.paragraphs_accepted);
+  std::size_t retrieved = 0;
+  for (const auto& u : plan.pr_units) retrieved += u.paragraphs;
+  EXPECT_EQ(retrieved, direct.work.paragraphs_retrieved);
+}
+
+TEST(PlanTest, ApUnitCostDecreasesWithRankOnAverage) {
+  // PO orders paragraphs by relevance, which correlates with AP work —
+  // the property that makes ISEND effective (paper Sec. 4.1.3). Check the
+  // first-half average cost exceeds the second-half average.
+  const auto& world = test_world();
+  const auto& cost = shared_cost_model();
+  double front = 0.0, back = 0.0;
+  std::size_t front_n = 0, back_n = 0;
+  for (std::size_t qi = 0; qi < 10; ++qi) {
+    const auto plan = make_plan(*world.engine, cost, world.questions[qi]);
+    const std::size_t half = plan.ap_units.size() / 2;
+    if (half == 0) continue;
+    for (std::size_t i = 0; i < half; ++i) {
+      front += plan.ap_units[i].demand.cpu_seconds;
+      ++front_n;
+    }
+    for (std::size_t i = half; i < plan.ap_units.size(); ++i) {
+      back += plan.ap_units[i].demand.cpu_seconds;
+      ++back_n;
+    }
+  }
+  ASSERT_GT(front_n, 0u);
+  ASSERT_GT(back_n, 0u);
+  EXPECT_GT(front / static_cast<double>(front_n),
+            back / static_cast<double>(back_n));
+}
+
+}  // namespace
+}  // namespace qadist::cluster

@@ -1,0 +1,108 @@
+// Cost-model calibration under anchor variants: scaling the paper's
+// module-time anchors must scale the simulated demands proportionally —
+// the property that makes the model portable to other reference hardware.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cost_model.hpp"
+#include "cluster/plan.hpp"
+#include "support/test_world.hpp"
+
+namespace qadist::cluster {
+namespace {
+
+using qadist::testing::test_world;
+
+std::span<const corpus::Question> sample() {
+  return std::span<const corpus::Question>(test_world().questions)
+      .subspan(0, 12);
+}
+
+TEST(CostVariantsTest, DoublingApAnchorDoublesApDemand) {
+  const auto& engine = *test_world().engine;
+  CostAnchors base;
+  CostAnchors heavy = base;
+  heavy.t_ap_total *= 2.0;
+  const auto m1 = CostModel::calibrate(engine, sample(), base);
+  const auto m2 = CostModel::calibrate(engine, sample(), heavy);
+  qa::AnswerWork work{1, 500, 10, 4};
+  EXPECT_NEAR(m2.ap(work).cpu_seconds, 2.0 * m1.ap(work).cpu_seconds, 1e-9);
+  // PR demands untouched.
+  qa::RetrievalWork rw{100, 10, 5000};
+  EXPECT_NEAR(m2.pr(rw).cpu_seconds, m1.pr(rw).cpu_seconds, 1e-12);
+  EXPECT_NEAR(m2.pr(rw).disk_bytes, m1.pr(rw).disk_bytes, 1e-9);
+}
+
+TEST(CostVariantsTest, FasterReferenceDiskMeansMoreBytes) {
+  // The same measured PR *time* at a faster reference disk implies a
+  // larger I/O volume (time x bandwidth).
+  const auto& engine = *test_world().engine;
+  CostAnchors slow;
+  slow.reference_disk = Bandwidth::from_mbps(100);
+  CostAnchors fast;
+  fast.reference_disk = Bandwidth::from_mbps(1000);
+  const auto m_slow = CostModel::calibrate(engine, sample(), slow);
+  const auto m_fast = CostModel::calibrate(engine, sample(), fast);
+  qa::RetrievalWork rw{100, 10, 5000};
+  EXPECT_NEAR(m_fast.pr(rw).disk_bytes, 10.0 * m_slow.pr(rw).disk_bytes,
+              1e-6 * m_fast.pr(rw).disk_bytes);
+  // And the simulated PR time at each model's own reference is identical.
+  const double t_slow =
+      m_slow.pr(rw).cpu_seconds +
+      m_slow.pr(rw).disk_bytes / slow.reference_disk.bytes_per_second;
+  const double t_fast =
+      m_fast.pr(rw).cpu_seconds +
+      m_fast.pr(rw).disk_bytes / fast.reference_disk.bytes_per_second;
+  EXPECT_NEAR(t_slow, t_fast, 1e-9);
+}
+
+TEST(CostVariantsTest, PrDiskFractionRedistributesDemand) {
+  const auto& engine = *test_world().engine;
+  CostAnchors io_heavy;
+  io_heavy.pr_disk_fraction = 0.95;
+  CostAnchors cpu_heavy;
+  cpu_heavy.pr_disk_fraction = 0.05;
+  const auto m_io = CostModel::calibrate(engine, sample(), io_heavy);
+  const auto m_cpu = CostModel::calibrate(engine, sample(), cpu_heavy);
+  qa::RetrievalWork rw{100, 10, 5000};
+  EXPECT_GT(m_io.pr(rw).disk_bytes, m_cpu.pr(rw).disk_bytes);
+  EXPECT_LT(m_io.pr(rw).cpu_seconds, m_cpu.pr(rw).cpu_seconds);
+}
+
+TEST(CostVariantsTest, FlatModulesIgnoreAnchorsTheyDontOwn) {
+  const auto& engine = *test_world().engine;
+  CostAnchors anchors;
+  anchors.t_qp = 2.5;
+  anchors.t_po = 0.25;
+  const auto m = CostModel::calibrate(engine, sample(), anchors);
+  EXPECT_DOUBLE_EQ(m.qp().cpu_seconds, 2.5);
+  EXPECT_DOUBLE_EQ(m.po().cpu_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(m.qp().disk_bytes, 0.0);
+}
+
+TEST(CostVariantsTest, PlanTotalsScaleWithAnchors) {
+  const auto& world = test_world();
+  CostAnchors base;
+  CostAnchors doubled = base;
+  doubled.t_pr_total *= 2.0;
+  doubled.t_ps_total *= 2.0;
+  doubled.t_ap_total *= 2.0;
+  doubled.t_qp *= 2.0;
+  doubled.t_po *= 2.0;
+  const auto m1 = CostModel::calibrate(*world.engine, sample(), base);
+  const auto m2 = CostModel::calibrate(*world.engine, sample(), doubled);
+  const auto& q = world.questions.front();
+  const auto p1 = make_plan(*world.engine, m1, q);
+  const auto p2 = make_plan(*world.engine, m2, q);
+  const double service1 =
+      p1.total_cpu_seconds() +
+      p1.total_disk_bytes() / base.reference_disk.bytes_per_second;
+  const double service2 =
+      p2.total_cpu_seconds() +
+      p2.total_disk_bytes() / doubled.reference_disk.bytes_per_second;
+  // answer_sort's fixed micro-cost is the only non-scaling term.
+  EXPECT_NEAR(service2, 2.0 * service1, 0.01 * service2);
+}
+
+}  // namespace
+}  // namespace qadist::cluster

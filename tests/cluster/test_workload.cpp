@@ -1,0 +1,141 @@
+#include "cluster/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/test_world.hpp"
+
+namespace qadist::cluster {
+namespace {
+
+using qadist::testing::test_world;
+
+std::vector<QuestionPlan> small_plans() {
+  const auto& world = test_world();
+  const auto cost = CostModel::calibrate(
+      *world.engine,
+      std::span<const corpus::Question>(world.questions).subspan(0, 8));
+  std::vector<QuestionPlan> out;
+  for (std::size_t i = 0; i < 10; ++i) {
+    out.push_back(make_plan(*world.engine, cost, world.questions[i]));
+  }
+  return out;
+}
+
+TEST(WorkloadTest, MeanServiceMatchesManualComputation) {
+  const auto plans = small_plans();
+  const auto disk = Bandwidth::from_mbps(250);
+  double manual = 0.0;
+  for (const auto& p : plans) {
+    manual += p.total_cpu_seconds() +
+              p.total_disk_bytes() / disk.bytes_per_second;
+  }
+  manual /= static_cast<double>(plans.size());
+  EXPECT_NEAR(mean_service_seconds(plans, disk), manual, 1e-9);
+  EXPECT_EQ(mean_service_seconds({}, disk), 0.0);
+}
+
+TEST(WorkloadTest, BimodalMixScalesAlternatePlans) {
+  auto plans = small_plans();
+  std::vector<double> before;
+  for (const auto& p : plans) before.push_back(p.total_cpu_seconds());
+  apply_bimodal_mix(plans, 0.5);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const double expected = (i % 2 == 0) ? before[i] * 0.5 : before[i];
+    EXPECT_NEAR(plans[i].total_cpu_seconds(), expected, 1e-9) << i;
+  }
+}
+
+TEST(WorkloadTest, OverloadSubmitsEightPerNodeByDefault) {
+  const auto plans = small_plans();
+  simnet::Simulation sim;
+  SystemConfig cfg;
+  cfg.nodes = 3;
+  cfg.ap_chunk = 8;
+  System system(sim, cfg);
+  submit_overload(system, plans, OverloadWorkload{});
+  const auto metrics = system.run();
+  EXPECT_EQ(metrics.completed, 24u);  // 8 x 3 nodes
+}
+
+TEST(WorkloadTest, OverloadArrivalRateMatchesFactor) {
+  const auto plans = small_plans();
+  const double service = mean_service_seconds(plans, Bandwidth::from_mbps(250));
+  simnet::Simulation sim;
+  SystemConfig cfg;
+  cfg.nodes = 4;
+  cfg.ap_chunk = 8;
+  System system(sim, cfg);
+  OverloadWorkload workload;
+  workload.count = 64;
+  workload.overload_factor = 2.0;
+  workload.seed = 5;
+  submit_overload(system, plans, workload);
+  const auto metrics = system.run();
+  // The last arrival should land near count x mean_gap, where mean_gap =
+  // service / (overload x nodes). Uniform gaps: wide tolerance.
+  const double expected_window = 64.0 * service / (2.0 * 4.0);
+  EXPECT_GT(metrics.makespan, 0.5 * expected_window);
+  EXPECT_EQ(metrics.completed, 64u);
+}
+
+TEST(WorkloadTest, SerialDrainsBetweenQuestions) {
+  const auto plans = small_plans();
+  simnet::Simulation sim;
+  SystemConfig cfg;
+  cfg.nodes = 4;
+  cfg.ap_chunk = 8;
+  System system(sim, cfg);
+  SerialWorkload workload;
+  workload.count = 5;
+  submit_serial(system, plans, workload);
+  const auto metrics = system.run();
+  EXPECT_EQ(metrics.completed, 5u);
+  // Fully drained between questions: the max latency is far below the gap,
+  // so no queueing — p95 close to the mean of individual runtimes.
+  EXPECT_LT(metrics.latencies.max(),
+            10.0 * mean_service_seconds(plans, Bandwidth::from_mbps(250)));
+}
+
+TEST(WorkloadTest, SerialStrideSelectsPlans) {
+  const auto plans = small_plans();
+  // stride 2 offset 1 picks plans 1,3,5,...; verify via determinism: two
+  // systems given the same selection produce identical latencies.
+  const auto run = [&] {
+    simnet::Simulation sim;
+    SystemConfig cfg;
+    cfg.nodes = 2;
+    cfg.ap_chunk = 8;
+    System system(sim, cfg);
+    SerialWorkload workload;
+    workload.count = 4;
+    workload.offset = 1;
+    workload.stride = 2;
+    submit_serial(system, plans, workload);
+    return system.run();
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_DOUBLE_EQ(a.latencies.mean(), b.latencies.mean());
+}
+
+TEST(WorkloadTest, SameSeedSameArrivalsAcrossPolicies) {
+  const auto plans = small_plans();
+  const auto first_completion = [&](Policy policy) {
+    simnet::Simulation sim;
+    SystemConfig cfg;
+    cfg.nodes = 2;
+    cfg.policy = policy;
+    cfg.ap_chunk = 8;
+    System system(sim, cfg);
+    OverloadWorkload workload;
+    workload.count = 6;
+    workload.seed = 9;
+    submit_overload(system, plans, workload);
+    const auto m = system.run();
+    return m.submitted;
+  };
+  EXPECT_EQ(first_completion(Policy::kDns), first_completion(Policy::kDqa));
+}
+
+}  // namespace
+}  // namespace qadist::cluster

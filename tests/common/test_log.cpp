@@ -1,0 +1,53 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qadist {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LogTest, LevelRoundTrips) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(LogTest, MacroCompilesAndFilters) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  // With logging off the streaming expression must not be evaluated.
+  int evaluations = 0;
+  const auto count = [&] {
+    ++evaluations;
+    return 42;
+  };
+  QADIST_LOG_INFO("test") << "value " << count();
+  EXPECT_EQ(evaluations, 0);
+
+  set_log_level(LogLevel::kDebug);
+  QADIST_LOG_DEBUG("test") << "now evaluated " << count();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LogTest, MessageBelowLevelDropped) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  // These must be no-ops (manually verified by the filter logic; here we
+  // only assert the calls are safe at every level).
+  QADIST_LOG_DEBUG("t") << "dropped";
+  QADIST_LOG_INFO("t") << "dropped";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace qadist

@@ -1,0 +1,109 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace qadist {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownValues) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(99);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    whole.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // copy
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(SamplesTest, QuantilesOfKnownSet) {
+  Samples s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(SamplesTest, QuantileInterpolates) {
+  Samples s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.1), 1.0);
+}
+
+TEST(SamplesTest, InsertAfterQueryResorts) {
+  Samples s;
+  s.add(5.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  s.add(100.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+}
+
+TEST(SamplesTest, SummaryMentionsCount) {
+  Samples s;
+  s.add(1.0);
+  EXPECT_NE(s.summary().find("n=1"), std::string::npos);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // clamps into bucket 0
+  h.add(0.5);
+  h.add(9.9);
+  h.add(25.0);   // clamps into last bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_low(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_high(1), 4.0);
+}
+
+TEST(HistogramTest, AsciiRendersAllBuckets) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1.0);
+  const auto art = h.ascii(10);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace qadist

@@ -1,0 +1,59 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qadist {
+namespace {
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitWhitespaceDropsEmpty) {
+  const auto parts = split_whitespace("  alpha\tbeta \n gamma  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "alpha");
+  EXPECT_EQ(parts[1], "beta");
+  EXPECT_EQ(parts[2], "gamma");
+}
+
+TEST(StringsTest, SplitWhitespaceEmptyInput) {
+  EXPECT_TRUE(split_whitespace("").empty());
+  EXPECT_TRUE(split_whitespace("   ").empty());
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(to_lower("MiXeD 123"), "mixed 123");
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(StringsTest, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KB");
+  EXPECT_NE(format_bytes(3.5 * 1024 * 1024).find("MB"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qadist

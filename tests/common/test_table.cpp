@@ -1,0 +1,51 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qadist {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable t({"Module", "Time"});
+  t.add_row({"QP", "1.2 %"});
+  t.add_row({"AP", "69.7 %"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("Module"), std::string::npos);
+  EXPECT_NE(out.find("69.7 %"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTableTest, SeparatorNotCountedAsRow) {
+  TextTable t({"A"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTableTest, ColumnsAlign) {
+  TextTable t({"N", "Value"});
+  t.add_row({"1", "short"});
+  t.add_row({"1000", "a much longer cell"});
+  const auto out = t.render();
+  // All lines between rules must have equal width.
+  std::size_t width = 0;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    auto end = out.find('\n', start);
+    if (end == std::string::npos) end = out.size();
+    const auto len = end - start;
+    if (width == 0) width = len;
+    EXPECT_EQ(len, width);
+    start = end + 1;
+  }
+}
+
+TEST(TextTableTest, CellHelpers) {
+  EXPECT_EQ(cell(3.14159), "3.14");
+  EXPECT_EQ(cell(3.14159, 1), "3.1");
+  EXPECT_EQ(cell_percent(0.697), "69.7 %");
+}
+
+}  // namespace
+}  // namespace qadist

@@ -1,0 +1,36 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qadist {
+namespace {
+
+TEST(BandwidthTest, BitByteConversions) {
+  const auto hundred_mbps = Bandwidth::from_mbps(100);
+  EXPECT_DOUBLE_EQ(hundred_mbps.bytes_per_second, 12.5e6);
+  EXPECT_DOUBLE_EQ(hundred_mbps.mbps(), 100.0);
+
+  const auto gig = Bandwidth::from_gbps(1);
+  EXPECT_DOUBLE_EQ(gig.bytes_per_second, 125e6);
+
+  const auto raw = Bandwidth::from_bits_per_second(8e6);
+  EXPECT_DOUBLE_EQ(raw.bytes_per_second, 1e6);
+
+  const auto mbs = Bandwidth::from_megabytes_per_second(10);
+  EXPECT_DOUBLE_EQ(mbs.mbps(), 80.0);
+}
+
+TEST(BandwidthTest, TransferTime) {
+  const auto link = Bandwidth::from_mbps(100);  // 12.5 MB/s
+  EXPECT_DOUBLE_EQ(link.transfer_time(12.5e6), 1.0);
+  EXPECT_DOUBLE_EQ(link.transfer_time(0.0), 0.0);
+}
+
+TEST(ByteLiteralsTest, Values) {
+  EXPECT_EQ(1_KB, 1024u);
+  EXPECT_EQ(2_MB, 2u * 1024 * 1024);
+  EXPECT_EQ(3_GB, 3ull * 1024 * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace qadist

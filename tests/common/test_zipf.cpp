@@ -1,0 +1,70 @@
+#include "common/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace qadist {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution z(1000, 1.1);
+  double sum = 0.0;
+  for (std::uint32_t k = 0; k < z.size(); ++k) sum += z.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfIsDecreasing) {
+  ZipfDistribution z(100, 1.0);
+  for (std::uint32_t k = 1; k < z.size(); ++k) {
+    EXPECT_LT(z.pmf(k), z.pmf(k - 1));
+  }
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  ZipfDistribution z(10, 0.0);
+  for (std::uint32_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(z.pmf(k), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, SingleRankAlwaysZero) {
+  ZipfDistribution z(1, 1.0);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z(rng), 0u);
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesMatchPmf) {
+  ZipfDistribution z(50, 1.0);
+  Rng rng(77);
+  std::vector<int> counts(50, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z(rng)];
+  for (std::uint32_t k = 0; k < 5; ++k) {
+    const double expected = z.pmf(k) * n;
+    EXPECT_NEAR(counts[k], expected, expected * 0.05 + 30);
+  }
+}
+
+TEST(ZipfTest, SamplesAlwaysInRange) {
+  ZipfDistribution z(7, 1.3);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z(rng), 7u);
+}
+
+// Property sweep: the head rank's mass grows with the exponent.
+class ZipfExponentTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentTest, HeadMassGrowsWithExponent) {
+  const double s = GetParam();
+  ZipfDistribution lo(200, s);
+  ZipfDistribution hi(200, s + 0.5);
+  EXPECT_GT(hi.pmf(0), lo.pmf(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentTest,
+                         ::testing::Values(0.0, 0.5, 1.0, 1.5, 2.0));
+
+}  // namespace
+}  // namespace qadist

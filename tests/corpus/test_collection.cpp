@@ -1,0 +1,90 @@
+#include "corpus/collection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qadist::corpus {
+namespace {
+
+Collection make_collection(std::uint32_t docs, std::uint32_t paragraphs_each) {
+  Collection c;
+  for (std::uint32_t i = 0; i < docs; ++i) {
+    Document d;
+    d.id = i;
+    d.title = "doc " + std::to_string(i);
+    for (std::uint32_t p = 0; p < paragraphs_each; ++p) {
+      d.paragraphs.push_back("text " + std::to_string(i) + " " +
+                             std::to_string(p));
+    }
+    c.add(std::move(d));
+  }
+  return c;
+}
+
+TEST(CollectionTest, CountsParagraphsAndBytes) {
+  const auto c = make_collection(3, 2);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.total_paragraphs(), 6u);
+  EXPECT_GT(c.total_bytes(), 0u);
+}
+
+TEST(CollectionTest, ParagraphLookup) {
+  const auto c = make_collection(3, 2);
+  EXPECT_EQ(c.paragraph(ParagraphRef{1, 0}), "text 1 0");
+  EXPECT_EQ(c.paragraph(ParagraphRef{2, 1}), "text 2 1");
+}
+
+TEST(CollectionTest, ParagraphRefOrdering) {
+  EXPECT_LT((ParagraphRef{0, 5}), (ParagraphRef{1, 0}));
+  EXPECT_LT((ParagraphRef{1, 0}), (ParagraphRef{1, 1}));
+  EXPECT_EQ((ParagraphRef{2, 3}), (ParagraphRef{2, 3}));
+}
+
+TEST(SplitCollectionTest, CoversEveryDocumentOnce) {
+  const auto c = make_collection(10, 1);
+  const auto subs = split_collection(c, 3);
+  ASSERT_EQ(subs.size(), 3u);
+  std::vector<int> seen(10, 0);
+  for (const auto& sub : subs) {
+    for (DocId id = sub.first(); id < sub.last(); ++id) ++seen[id];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(SplitCollectionTest, NearEqualSizes) {
+  const auto c = make_collection(10, 1);
+  const auto subs = split_collection(c, 3);
+  for (const auto& sub : subs) {
+    EXPECT_GE(sub.size(), 3u);
+    EXPECT_LE(sub.size(), 4u);
+  }
+}
+
+TEST(SplitCollectionTest, MoreSplitsThanDocsYieldsEmpties) {
+  const auto c = make_collection(2, 1);
+  const auto subs = split_collection(c, 5);
+  ASSERT_EQ(subs.size(), 5u);
+  std::size_t total = 0;
+  for (const auto& sub : subs) total += sub.size();
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(SplitCollectionTest, SingleSplitIsWholeCollection) {
+  const auto c = make_collection(4, 2);
+  const auto subs = split_collection(c, 1);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0].size(), 4u);
+  EXPECT_EQ(subs[0].total_bytes(), c.total_bytes());
+}
+
+TEST(SubCollectionTest, ContainsAndLookup) {
+  const auto c = make_collection(6, 1);
+  const SubCollection sub(&c, 2, 4);
+  EXPECT_TRUE(sub.contains(2));
+  EXPECT_TRUE(sub.contains(3));
+  EXPECT_FALSE(sub.contains(4));
+  EXPECT_FALSE(sub.contains(1));
+  EXPECT_EQ(sub.document(2).id, 2u);
+}
+
+}  // namespace
+}  // namespace qadist::corpus

@@ -1,0 +1,136 @@
+#include "corpus/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.hpp"
+#include "corpus/fact.hpp"
+
+namespace qadist::corpus {
+namespace {
+
+CorpusConfig small_config() {
+  CorpusConfig c;
+  c.seed = 3;
+  c.num_documents = 120;
+  c.vocabulary_size = 2000;
+  return c;
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  const auto a = generate_corpus(small_config());
+  const auto b = generate_corpus(small_config());
+  ASSERT_EQ(a.collection.size(), b.collection.size());
+  ASSERT_EQ(a.facts.size(), b.facts.size());
+  EXPECT_EQ(a.collection.document(5).paragraphs,
+            b.collection.document(5).paragraphs);
+  EXPECT_EQ(a.facts[0].subject, b.facts[0].subject);
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  auto cfg = small_config();
+  const auto a = generate_corpus(cfg);
+  cfg.seed = 4;
+  const auto b = generate_corpus(cfg);
+  EXPECT_NE(a.collection.document(0).paragraphs,
+            b.collection.document(0).paragraphs);
+}
+
+TEST(GeneratorTest, FactSentencePresentInNamedParagraph) {
+  const auto corpus = generate_corpus(small_config());
+  ASSERT_FALSE(corpus.facts.empty());
+  for (const auto& fact : corpus.facts) {
+    const auto& doc = corpus.collection.document(fact.doc);
+    ASSERT_LT(fact.paragraph, doc.paragraphs.size());
+    const auto& text = doc.paragraphs[fact.paragraph];
+    EXPECT_NE(text.find(fact.subject), std::string::npos)
+        << "subject '" << fact.subject << "' missing from its paragraph";
+    EXPECT_NE(text.find(fact.object), std::string::npos)
+        << "object '" << fact.object << "' missing from its paragraph";
+  }
+}
+
+TEST(GeneratorTest, SubjectsAreUnique) {
+  const auto corpus = generate_corpus(small_config());
+  std::set<std::string> subjects;
+  for (const auto& fact : corpus.facts) {
+    EXPECT_TRUE(subjects.insert(fact.subject).second)
+        << "duplicate subject " << fact.subject;
+  }
+}
+
+TEST(GeneratorTest, GazetteerKnowsPooledAnswers) {
+  const auto corpus = generate_corpus(small_config());
+  for (const auto& fact : corpus.facts) {
+    const auto type = answer_type_of(fact.relation);
+    if (type == EntityType::kDate || type == EntityType::kQuantity ||
+        type == EntityType::kMoney) {
+      continue;  // pattern-recognized, not gazetteer entries
+    }
+    const auto found = corpus.gazetteer.lookup(to_lower(fact.object));
+    ASSERT_TRUE(found.has_value()) << fact.object;
+    EXPECT_EQ(*found, type);
+  }
+}
+
+TEST(GeneratorTest, DocumentLengthsVary) {
+  const auto corpus = generate_corpus(small_config());
+  std::size_t min_p = SIZE_MAX, max_p = 0;
+  for (const auto& doc : corpus.collection.documents()) {
+    min_p = std::min(min_p, doc.paragraphs.size());
+    max_p = std::max(max_p, doc.paragraphs.size());
+  }
+  // The lognormal tail should make lengths spread by at least 3x.
+  EXPECT_GE(max_p, 3 * std::max<std::size_t>(min_p, 1));
+}
+
+TEST(QuestionGenTest, QuestionsCarryGroundTruth) {
+  const auto corpus = generate_corpus(small_config());
+  const auto questions = generate_questions(corpus, 20, 99);
+  ASSERT_FALSE(questions.empty());
+  for (const auto& q : questions) {
+    EXPECT_FALSE(q.text.empty());
+    EXPECT_FALSE(q.gold_answer.empty());
+    EXPECT_NE(q.gold_type, EntityType::kUnknown);
+    EXPECT_LT(q.gold_doc, corpus.collection.size());
+  }
+}
+
+TEST(QuestionGenTest, DistinctFactsNoDuplicates) {
+  const auto corpus = generate_corpus(small_config());
+  const auto questions = generate_questions(corpus, 1000, 99);
+  EXPECT_LE(questions.size(), corpus.facts.size());
+  std::set<std::string> texts;
+  for (const auto& q : questions) {
+    EXPECT_TRUE(texts.insert(q.text).second) << "duplicate " << q.text;
+  }
+}
+
+TEST(QuestionGenTest, DeterministicInSeed) {
+  const auto corpus = generate_corpus(small_config());
+  const auto a = generate_questions(corpus, 10, 5);
+  const auto b = generate_questions(corpus, 10, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].text, b[i].text);
+}
+
+TEST(FactTest, AnswerTypeCoversAllRelations) {
+  for (int r = 0; r < kRelationCount; ++r) {
+    const auto rel = static_cast<Relation>(r);
+    EXPECT_NE(answer_type_of(rel), EntityType::kUnknown);
+    EXPECT_FALSE(to_string(rel).empty());
+  }
+}
+
+TEST(FactTest, QuestionTextMentionsSubject) {
+  Fact f;
+  f.subject = "the Amsen Lighthouse";
+  f.object = "Port Varen";
+  for (int r = 0; r < kRelationCount; ++r) {
+    f.relation = static_cast<Relation>(r);
+    EXPECT_NE(render_question_text(f).find(f.subject), std::string::npos);
+    EXPECT_NE(render_fact_sentence(f).find(f.object), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace qadist::corpus

@@ -1,0 +1,76 @@
+#include "corpus/name_forge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+namespace qadist::corpus {
+namespace {
+
+NameForge make_forge(std::uint64_t seed = 1) { return NameForge(Rng(seed)); }
+
+TEST(NameForgeTest, Deterministic) {
+  NameForge a = make_forge(5);
+  NameForge b = make_forge(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.person(), b.person());
+}
+
+TEST(NameForgeTest, StemIsCapitalized) {
+  NameForge forge = make_forge();
+  for (int i = 0; i < 50; ++i) {
+    const auto s = forge.stem();
+    ASSERT_FALSE(s.empty());
+    EXPECT_TRUE(std::isupper(static_cast<unsigned char>(s[0]))) << s;
+  }
+}
+
+TEST(NameForgeTest, PersonHasTwoWords) {
+  NameForge forge = make_forge();
+  for (int i = 0; i < 20; ++i) {
+    const auto p = forge.person();
+    EXPECT_NE(p.find(' '), std::string::npos) << p;
+  }
+}
+
+TEST(NameForgeTest, DateLooksLikeADate) {
+  NameForge forge = make_forge();
+  for (int i = 0; i < 20; ++i) {
+    const auto d = forge.date();
+    EXPECT_NE(d.find(','), std::string::npos) << d;
+    // Ends in a 4-digit year.
+    const auto year = d.substr(d.size() - 4);
+    for (char c : year) EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(c)));
+  }
+}
+
+TEST(NameForgeTest, QuantityIsLargeNumeral) {
+  NameForge forge = make_forge();
+  for (int i = 0; i < 50; ++i) {
+    const auto q = forge.quantity();
+    EXPECT_GE(q.size(), 5u) << q;  // >= 10000 so it can't look like a year
+    for (char c : q) EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(c)));
+  }
+}
+
+TEST(NameForgeTest, MoneyStartsWithDollar) {
+  NameForge forge = make_forge();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(forge.money().substr(0, 2), "$ ");
+  }
+}
+
+TEST(NameForgeTest, LandmarkStartsWithArticle) {
+  NameForge forge = make_forge();
+  EXPECT_EQ(forge.landmark().substr(0, 4), "the ");
+}
+
+TEST(NameForgeTest, OfTypeCoversAllConcreteTypes) {
+  NameForge forge = make_forge();
+  for (int t = 0; t < kEntityTypeCount; ++t) {
+    const auto name = forge.of_type(static_cast<EntityType>(t));
+    EXPECT_FALSE(name.empty());
+  }
+}
+
+}  // namespace
+}  // namespace qadist::corpus

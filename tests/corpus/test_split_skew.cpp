@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "corpus/collection.hpp"
+
+namespace qadist::corpus {
+namespace {
+
+Collection docs(std::uint32_t n) {
+  Collection c;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Document d;
+    d.id = i;
+    d.title = "t";
+    d.paragraphs = {"p"};
+    c.add(std::move(d));
+  }
+  return c;
+}
+
+TEST(SplitSkewTest, RatioOneEqualsEvenSplit) {
+  const auto c = docs(100);
+  const auto even = split_collection(c, 8);
+  const auto skewed = split_collection_skewed(c, 8, 1.0);
+  ASSERT_EQ(even.size(), skewed.size());
+  for (std::size_t i = 0; i < even.size(); ++i) {
+    EXPECT_EQ(even[i].first(), skewed[i].first());
+    EXPECT_EQ(even[i].last(), skewed[i].last());
+  }
+}
+
+TEST(SplitSkewTest, CoversEveryDocumentOnce) {
+  const auto c = docs(977);
+  for (double ratio : {1.0, 2.0, 3.0, 8.0}) {
+    const auto subs = split_collection_skewed(c, 8, ratio);
+    ASSERT_EQ(subs.size(), 8u);
+    DocId expected = 0;
+    for (const auto& sub : subs) {
+      EXPECT_EQ(sub.first(), expected);
+      expected = sub.last();
+    }
+    EXPECT_EQ(expected, c.size());
+  }
+}
+
+TEST(SplitSkewTest, SizesGrowGeometrically) {
+  const auto c = docs(10000);
+  const auto subs = split_collection_skewed(c, 4, 8.0);
+  ASSERT_EQ(subs.size(), 4u);
+  // Monotone increasing sizes, last/first close to the requested ratio.
+  for (std::size_t i = 1; i < subs.size(); ++i) {
+    EXPECT_GT(subs[i].size(), subs[i - 1].size());
+  }
+  const double ratio = static_cast<double>(subs.back().size()) /
+                       static_cast<double>(subs.front().size());
+  EXPECT_NEAR(ratio, 8.0, 1.0);
+}
+
+TEST(SplitSkewTest, SingleSubCollection) {
+  const auto c = docs(10);
+  const auto subs = split_collection_skewed(c, 1, 5.0);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0].size(), 10u);
+}
+
+TEST(SplitSkewTest, TinyCollectionDoesNotUnderflow) {
+  const auto c = docs(3);
+  const auto subs = split_collection_skewed(c, 8, 4.0);
+  ASSERT_EQ(subs.size(), 8u);
+  std::size_t total = 0;
+  for (const auto& sub : subs) total += sub.size();
+  EXPECT_EQ(total, 3u);
+}
+
+}  // namespace
+}  // namespace qadist::corpus

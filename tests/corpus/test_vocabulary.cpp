@@ -1,0 +1,70 @@
+#include "corpus/vocabulary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace qadist::corpus {
+namespace {
+
+TEST(VocabularyTest, WordsAreDistinct) {
+  Vocabulary v(2000, 1.0, 5);
+  std::set<std::string> seen;
+  for (std::uint32_t i = 0; i < v.size(); ++i) {
+    EXPECT_TRUE(seen.insert(v.word(i)).second) << v.word(i);
+  }
+}
+
+TEST(VocabularyTest, DeterministicForSeed) {
+  Vocabulary a(500, 1.0, 9);
+  Vocabulary b(500, 1.0, 9);
+  for (std::uint32_t i = 0; i < 500; ++i) EXPECT_EQ(a.word(i), b.word(i));
+}
+
+TEST(VocabularyTest, DifferentSeedsDiffer) {
+  Vocabulary a(500, 1.0, 1);
+  Vocabulary b(500, 1.0, 2);
+  int same = 0;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    if (a.word(i) == b.word(i)) ++same;
+  }
+  EXPECT_LT(same, 100);
+}
+
+TEST(VocabularyTest, FrequentWordsAreShort) {
+  Vocabulary v(5000, 1.0, 3);
+  double head = 0.0, tail = 0.0;
+  for (std::uint32_t i = 0; i < 50; ++i)
+    head += static_cast<double>(v.word(i).size());
+  for (std::uint32_t i = 4000; i < 4050; ++i)
+    tail += static_cast<double>(v.word(i).size());
+  EXPECT_LT(head, tail);
+}
+
+TEST(VocabularyTest, SamplingFollowsZipfSkew) {
+  Vocabulary v(1000, 1.1, 7);
+  Rng rng(13);
+  std::size_t head_hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (v.sample_rank(rng) < 10) ++head_hits;
+  }
+  // With s=1.1 the top-10 ranks carry a large share of the mass.
+  EXPECT_GT(head_hits, n / 4);
+}
+
+TEST(VocabularyTest, SampleReturnsOwnWords) {
+  Vocabulary v(50, 1.0, 3);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto& w = v.sample(rng);
+    bool found = false;
+    for (std::uint32_t r = 0; r < v.size() && !found; ++r) {
+      found = (v.word(r) == w);
+    }
+    EXPECT_TRUE(found) << w;
+  }
+}
+
+}  // namespace
+}  // namespace qadist::corpus

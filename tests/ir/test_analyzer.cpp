@@ -1,0 +1,92 @@
+#include "ir/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qadist::ir {
+namespace {
+
+TEST(AnalyzerTest, TokenizeLowercasesAndFlags) {
+  Analyzer a;
+  const auto tokens = a.tokenize("Port Amsen has 34000 people.");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].text, "port");
+  EXPECT_TRUE(tokens[0].capitalized);
+  EXPECT_EQ(tokens[1].text, "amsen");
+  EXPECT_TRUE(tokens[1].capitalized);
+  EXPECT_FALSE(tokens[2].capitalized);
+  EXPECT_TRUE(tokens[3].numeric);
+  EXPECT_EQ(tokens[3].text, "34000");
+  EXPECT_EQ(tokens[4].text, "people");
+}
+
+TEST(AnalyzerTest, DollarIsItsOwnToken) {
+  Analyzer a;
+  const auto tokens = a.tokenize("cost $ 12 million");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].text, "$");
+}
+
+TEST(AnalyzerTest, PunctuationSeparates) {
+  Analyzer a;
+  const auto tokens = a.tokenize("a,b;c.d");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[3].text, "d");
+  EXPECT_EQ(tokens[3].position, 3u);
+}
+
+TEST(AnalyzerTest, EmptyAndWhitespaceInputs) {
+  Analyzer a;
+  EXPECT_TRUE(a.tokenize("").empty());
+  EXPECT_TRUE(a.tokenize("  \t\n ...!?").empty());
+}
+
+TEST(AnalyzerTest, StemmerRules) {
+  Analyzer a;
+  EXPECT_EQ(a.stem("founded"), "found");
+  EXPECT_EQ(a.stem("cities"), "city");
+  EXPECT_EQ(a.stem("running"), "runn");
+  EXPECT_EQ(a.stem("churches"), "church");
+  EXPECT_EQ(a.stem("lighthouses"), "lighthouse");
+  // Guards: short words and -ss words untouched.
+  EXPECT_EQ(a.stem("is"), "is");
+  EXPECT_EQ(a.stem("class"), "class");
+  EXPECT_EQ(a.stem("gas"), "gas");
+}
+
+TEST(AnalyzerTest, StemIsIdempotentOnCommonForms) {
+  Analyzer a;
+  for (const char* w : {"found", "city", "treat", "monument", "harbor"}) {
+    EXPECT_EQ(a.stem(a.stem(w)), a.stem(w)) << w;
+  }
+}
+
+TEST(AnalyzerTest, IndexTermsDropStopwordsAndStem) {
+  Analyzer a;
+  const auto terms = a.index_terms("Where is the Amsen Lighthouse located?");
+  // "where", "is", "the" are stopwords.
+  ASSERT_EQ(terms.size(), 3u);
+  EXPECT_EQ(terms[0], "amsen");
+  EXPECT_EQ(terms[1], "lighthouse");
+  EXPECT_EQ(terms[2], "locat");
+}
+
+TEST(AnalyzerTest, NumbersKeptVerbatim) {
+  Analyzer a;
+  const auto terms = a.index_terms("population of 340000");
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[1], "340000");
+}
+
+TEST(StopwordTest, QuestionWordsAreStopwords) {
+  for (const char* w : {"where", "who", "when", "what", "how", "the", "of"}) {
+    EXPECT_TRUE(is_stopword(w)) << w;
+  }
+  for (const char* w : {"population", "nationality", "cost", "treat",
+                        "founded", "leader"}) {
+    EXPECT_FALSE(is_stopword(w)) << w;
+  }
+}
+
+}  // namespace
+}  // namespace qadist::ir

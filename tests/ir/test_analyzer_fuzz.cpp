@@ -1,0 +1,155 @@
+// Robustness sweeps for the analyzer and retrieval path: random byte
+// soup, pathological token shapes, and consistency invariants that must
+// hold for arbitrary input.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "corpus/generator.hpp"
+#include "ir/analyzer.hpp"
+#include "ir/inverted_index.hpp"
+#include "ir/retrieval.hpp"
+
+namespace qadist::ir {
+namespace {
+
+std::string random_bytes(Rng& rng, std::size_t n) {
+  std::string s(n, '\0');
+  for (auto& c : s) c = static_cast<char>(rng.below(256));
+  return s;
+}
+
+std::string random_ascii(Rng& rng, std::size_t n) {
+  static constexpr char kAlphabet[] =
+      "abc XYZ 0123 .,;!?$-_\t\n\"'()jklmnopq";
+  std::string s(n, '\0');
+  for (auto& c : s) c = kAlphabet[rng.below(sizeof(kAlphabet) - 1)];
+  return s;
+}
+
+TEST(AnalyzerFuzzTest, ArbitraryBytesNeverCrash) {
+  Rng rng(404);
+  Analyzer a;
+  for (int i = 0; i < 200; ++i) {
+    const auto text = random_bytes(rng, rng.below(500));
+    const auto tokens = a.tokenize(text);
+    for (const auto& t : tokens) {
+      EXPECT_FALSE(t.text.empty());
+      for (char c : t.text) {
+        // Tokens are lowercase alphanumerics or '$'.
+        EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '$')
+            << static_cast<int>(c);
+      }
+    }
+  }
+}
+
+TEST(AnalyzerFuzzTest, PositionsAreDense) {
+  Rng rng(405);
+  Analyzer a;
+  for (int i = 0; i < 100; ++i) {
+    const auto tokens = a.tokenize(random_ascii(rng, rng.below(400)));
+    for (std::size_t t = 0; t < tokens.size(); ++t) {
+      EXPECT_EQ(tokens[t].position, t);
+    }
+  }
+}
+
+TEST(AnalyzerFuzzTest, StemNeverGrowsNorEmpties) {
+  Rng rng(406);
+  Analyzer a;
+  for (int i = 0; i < 500; ++i) {
+    std::string word;
+    const auto len = 1 + rng.below(12);
+    for (std::uint64_t k = 0; k < len; ++k) {
+      word += static_cast<char>('a' + rng.below(26));
+    }
+    const auto stemmed = a.stem(word);
+    EXPECT_LE(stemmed.size(), word.size() + 1);  // "ies"->"y" can't grow net
+    EXPECT_FALSE(stemmed.empty());
+  }
+}
+
+TEST(AnalyzerFuzzTest, IndexTermsNeverContainStopwords) {
+  Rng rng(407);
+  Analyzer a;
+  for (int i = 0; i < 100; ++i) {
+    for (const auto& term : a.index_terms(random_ascii(rng, 300))) {
+      EXPECT_FALSE(is_stopword(term)) << term;
+      EXPECT_FALSE(term.empty());
+    }
+  }
+}
+
+TEST(RetrievalFuzzTest, RetrieveOnEmptyIndexIsEmpty) {
+  corpus::Collection c;
+  corpus::Document d;
+  d.id = 0;
+  d.title = "t";
+  d.paragraphs = {};
+  c.add(std::move(d));
+  const corpus::SubCollection sub(&c, 0, 1);
+  Analyzer a;
+  const auto index = InvertedIndex::build(sub, a);
+  const std::vector<std::string> terms = {"anything"};
+  EXPECT_TRUE(retrieve(index, terms, 10).empty());
+  EXPECT_TRUE(intersect_all(index, terms).empty());
+  EXPECT_TRUE(union_count(index, terms).empty());
+}
+
+TEST(RetrievalFuzzTest, RepeatedQueryTermsAreHarmless) {
+  corpus::Collection c;
+  corpus::Document d;
+  d.id = 0;
+  d.title = "t";
+  d.paragraphs = {"alpha beta alpha"};
+  c.add(std::move(d));
+  const corpus::SubCollection sub(&c, 0, 1);
+  Analyzer a;
+  const auto index = InvertedIndex::build(sub, a);
+  const std::vector<std::string> repeated = {"alpha", "alpha", "alpha"};
+  const auto matches = intersect_all(index, repeated);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].keywords_present, 3u);  // counts query slots
+}
+
+TEST(RetrievalFuzzTest, RandomQueriesSatisfyContainment) {
+  // For any query: AND result is a subset of the union result, and the
+  // relaxed retrieve() is between them.
+  corpus::CorpusConfig cc;
+  cc.seed = 5;
+  cc.num_documents = 50;
+  cc.vocabulary_size = 400;
+  const auto world = corpus::generate_corpus(cc);
+  Analyzer a;
+  const corpus::SubCollection sub(
+      &world.collection, 0,
+      static_cast<corpus::DocId>(world.collection.size()));
+  const auto index = InvertedIndex::build(sub, a);
+
+  Rng rng(901);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::string> terms;
+    const auto n_terms = 1 + rng.below(4);
+    for (std::uint64_t t = 0; t < n_terms; ++t) {
+      const auto doc = rng.below(world.collection.size());
+      const auto& text = world.collection.document(
+          static_cast<corpus::DocId>(doc));
+      const auto candidates = a.index_terms(text.paragraphs[0]);
+      if (!candidates.empty()) {
+        terms.push_back(candidates[rng.below(candidates.size())]);
+      }
+    }
+    if (terms.empty()) continue;
+    const auto strict = intersect_all(index, terms);
+    const auto all = union_count(index, terms);
+    const auto relaxed = retrieve(index, terms, 5);
+    EXPECT_LE(strict.size(), all.size());
+    EXPECT_LE(strict.size(), relaxed.size());
+    EXPECT_LE(relaxed.size(), all.size());
+  }
+}
+
+}  // namespace
+}  // namespace qadist::ir

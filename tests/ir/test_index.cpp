@@ -1,0 +1,84 @@
+#include "ir/inverted_index.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qadist::ir {
+namespace {
+
+corpus::Collection tiny_collection() {
+  corpus::Collection c;
+  corpus::Document d0;
+  d0.id = 0;
+  d0.title = "first";
+  d0.paragraphs = {"the amsen lighthouse stands tall",
+                   "amsen harbor amsen ships"};
+  c.add(std::move(d0));
+  corpus::Document d1;
+  d1.id = 1;
+  d1.title = "second";
+  d1.paragraphs = {"lighthouse keepers live here"};
+  c.add(std::move(d1));
+  return c;
+}
+
+TEST(InvertedIndexTest, BuildsPostingsWithTf) {
+  const auto c = tiny_collection();
+  const corpus::SubCollection sub(&c, 0, 2);
+  Analyzer analyzer;
+  const auto index = InvertedIndex::build(sub, analyzer);
+
+  const auto* amsen = index.postings("amsen");
+  ASSERT_NE(amsen, nullptr);
+  ASSERT_EQ(amsen->size(), 2u);
+  EXPECT_EQ((*amsen)[0], (Posting{0, 0, 1}));
+  EXPECT_EQ((*amsen)[1], (Posting{0, 1, 2}));  // "amsen" twice in paragraph 1
+
+  const auto* lighthouse = index.postings("lighthouse");
+  ASSERT_NE(lighthouse, nullptr);
+  EXPECT_EQ(lighthouse->size(), 2u);
+  EXPECT_EQ(index.document_frequency("lighthouse"), 2u);
+}
+
+TEST(InvertedIndexTest, StopwordsNotIndexed) {
+  const auto c = tiny_collection();
+  const corpus::SubCollection sub(&c, 0, 2);
+  Analyzer analyzer;
+  const auto index = InvertedIndex::build(sub, analyzer);
+  EXPECT_EQ(index.postings("the"), nullptr);
+  EXPECT_EQ(index.document_frequency("the"), 0u);
+}
+
+TEST(InvertedIndexTest, RespectsSubCollectionBounds) {
+  const auto c = tiny_collection();
+  const corpus::SubCollection sub(&c, 1, 2);  // only doc 1
+  Analyzer analyzer;
+  const auto index = InvertedIndex::build(sub, analyzer);
+  EXPECT_EQ(index.postings("amsen"), nullptr);
+  const auto* keeper = index.postings("keeper");
+  ASSERT_NE(keeper, nullptr);
+  EXPECT_EQ((*keeper)[0].doc, 1u);
+  EXPECT_EQ(index.paragraph_count(), 1u);
+}
+
+TEST(InvertedIndexTest, Counts) {
+  const auto c = tiny_collection();
+  const corpus::SubCollection sub(&c, 0, 2);
+  Analyzer analyzer;
+  const auto index = InvertedIndex::build(sub, analyzer);
+  EXPECT_GT(index.term_count(), 5u);
+  EXPECT_GT(index.posting_count(), index.term_count() - 1);
+  EXPECT_EQ(index.paragraph_count(), 3u);
+  EXPECT_GT(index.byte_size(), 0u);
+}
+
+TEST(InvertedIndexTest, EmptySubCollection) {
+  const auto c = tiny_collection();
+  const corpus::SubCollection sub(&c, 1, 1);
+  Analyzer analyzer;
+  const auto index = InvertedIndex::build(sub, analyzer);
+  EXPECT_EQ(index.term_count(), 0u);
+  EXPECT_EQ(index.paragraph_count(), 0u);
+}
+
+}  // namespace
+}  // namespace qadist::ir

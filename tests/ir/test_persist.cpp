@@ -1,0 +1,141 @@
+#include "ir/persist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "corpus/generator.hpp"
+#include "ir/binary_io.hpp"
+#include "ir/inverted_index.hpp"
+
+namespace qadist::ir {
+namespace {
+
+TEST(BinaryIoTest, VarintRoundTrips) {
+  std::stringstream s;
+  BinaryWriter w(s);
+  const std::uint64_t values[] = {0,    1,    127,        128,
+                                  300,  16383, 16384,     1u << 20,
+                                  ~0ull >> 1,  ~0ull};
+  for (auto v : values) w.write_varint(v);
+  BinaryReader r(s);
+  for (auto v : values) EXPECT_EQ(r.read_varint(), v);
+}
+
+TEST(BinaryIoTest, VarintIsCompactForSmallValues) {
+  std::stringstream s;
+  BinaryWriter w(s);
+  for (int i = 0; i < 100; ++i) w.write_varint(5);
+  EXPECT_EQ(s.str().size(), 100u);  // one byte each
+}
+
+TEST(PersistTest, VarintIndexIsSmallerThanFixedWidth) {
+  const auto corpus = [] {
+    corpus::CorpusConfig cfg;
+    cfg.seed = 10;
+    cfg.num_documents = 40;
+    cfg.vocabulary_size = 600;
+    return corpus::generate_corpus(cfg);
+  }();
+  Analyzer analyzer;
+  const corpus::SubCollection sub(
+      &corpus.collection, 0,
+      static_cast<corpus::DocId>(corpus.collection.size()));
+  const auto index = InvertedIndex::build(sub, analyzer);
+  std::stringstream s;
+  index.save(s);
+  // v1 stored 12 bytes per posting; the delta-varint layout should cut
+  // posting storage by well over half.
+  const std::size_t fixed_width_posting_bytes = index.posting_count() * 12;
+  EXPECT_LT(s.str().size(), fixed_width_posting_bytes);
+}
+
+TEST(BinaryIoTest, RoundTripsPrimitives) {
+  std::stringstream s;
+  BinaryWriter w(s);
+  w.write_u8(7);
+  w.write_u32(0xdeadbeef);
+  w.write_u64(0x0123456789abcdefULL);
+  w.write_string("hello world");
+  w.write_string("");
+
+  BinaryReader r(s);
+  EXPECT_EQ(r.read_u8(), 7);
+  EXPECT_EQ(r.read_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.read_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.read_string(), "hello world");
+  EXPECT_EQ(r.read_string(), "");
+}
+
+corpus::GeneratedCorpus small_corpus() {
+  corpus::CorpusConfig cfg;
+  cfg.seed = 10;
+  cfg.num_documents = 40;
+  cfg.vocabulary_size = 600;
+  return corpus::generate_corpus(cfg);
+}
+
+TEST(PersistTest, CollectionRoundTrip) {
+  const auto corpus = small_corpus();
+  std::stringstream s;
+  save_collection(corpus.collection, s);
+  const auto loaded = load_collection(s);
+  ASSERT_EQ(loaded.size(), corpus.collection.size());
+  ASSERT_EQ(loaded.total_paragraphs(), corpus.collection.total_paragraphs());
+  for (corpus::DocId id = 0; id < loaded.size(); ++id) {
+    EXPECT_EQ(loaded.document(id).title, corpus.collection.document(id).title);
+    EXPECT_EQ(loaded.document(id).paragraphs,
+              corpus.collection.document(id).paragraphs);
+  }
+}
+
+TEST(PersistTest, IndexRoundTripPreservesQueries) {
+  const auto corpus = small_corpus();
+  Analyzer analyzer;
+  const corpus::SubCollection sub(
+      &corpus.collection, 0, static_cast<corpus::DocId>(corpus.collection.size()));
+  const auto index = InvertedIndex::build(sub, analyzer);
+
+  std::stringstream s;
+  index.save(s);
+  const auto loaded = InvertedIndex::load(s);
+
+  EXPECT_EQ(loaded.term_count(), index.term_count());
+  EXPECT_EQ(loaded.posting_count(), index.posting_count());
+  EXPECT_EQ(loaded.paragraph_count(), index.paragraph_count());
+
+  // Spot-check the postings of the fact subjects' terms.
+  for (std::size_t f = 0; f < std::min<std::size_t>(corpus.facts.size(), 10); ++f) {
+    for (const auto& term : analyzer.index_terms(corpus.facts[f].subject)) {
+      const auto* a = index.postings(term);
+      const auto* b = loaded.postings(term);
+      ASSERT_NE(a, nullptr) << term;
+      ASSERT_NE(b, nullptr) << term;
+      EXPECT_EQ(*a, *b) << term;
+    }
+  }
+}
+
+TEST(PersistTest, IndexFileIsDeterministic) {
+  const auto corpus = small_corpus();
+  Analyzer analyzer;
+  const corpus::SubCollection sub(
+      &corpus.collection, 0, static_cast<corpus::DocId>(corpus.collection.size()));
+  const auto index = InvertedIndex::build(sub, analyzer);
+  std::stringstream s1, s2;
+  index.save(s1);
+  index.save(s2);
+  EXPECT_EQ(s1.str(), s2.str());
+}
+
+TEST(PersistTest, FileRoundTrip) {
+  const auto corpus = small_corpus();
+  const std::string path = ::testing::TempDir() + "/qadist_collection.bin";
+  save_collection_file(corpus.collection, path);
+  const auto loaded = load_collection_file(path);
+  EXPECT_EQ(loaded.size(), corpus.collection.size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qadist::ir

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ir/persist.hpp"
+#include "qa/engine.hpp"
+#include "qa/evaluation.hpp"
+
+namespace qadist::ir {
+namespace {
+
+corpus::GeneratedCorpus small_world() {
+  corpus::CorpusConfig cfg;
+  cfg.seed = 77;
+  cfg.num_documents = 60;
+  cfg.vocabulary_size = 800;
+  return corpus::generate_corpus(cfg);
+}
+
+TEST(WorldPersistTest, RoundTripsCollectionGazetteerAndFacts) {
+  const auto world = small_world();
+  std::stringstream s;
+  save_world(world, s);
+  const auto loaded = load_world(s);
+
+  EXPECT_EQ(loaded.collection.size(), world.collection.size());
+  EXPECT_EQ(loaded.collection.total_paragraphs(),
+            world.collection.total_paragraphs());
+  EXPECT_EQ(loaded.gazetteer.size(), world.gazetteer.size());
+  EXPECT_EQ(loaded.gazetteer.max_tokens(), world.gazetteer.max_tokens());
+  EXPECT_EQ(loaded.gazetteer.entries(), world.gazetteer.entries());
+
+  ASSERT_EQ(loaded.facts.size(), world.facts.size());
+  for (std::size_t i = 0; i < world.facts.size(); ++i) {
+    EXPECT_EQ(loaded.facts[i].subject, world.facts[i].subject);
+    EXPECT_EQ(loaded.facts[i].relation, world.facts[i].relation);
+    EXPECT_EQ(loaded.facts[i].object, world.facts[i].object);
+    EXPECT_EQ(loaded.facts[i].doc, world.facts[i].doc);
+    EXPECT_EQ(loaded.facts[i].paragraph, world.facts[i].paragraph);
+  }
+}
+
+TEST(WorldPersistTest, LoadedWorldAnswersQuestionsIdentically) {
+  const auto world = small_world();
+  std::stringstream s;
+  save_world(world, s);
+  const auto loaded = load_world(s);
+
+  const qa::Engine original(world);
+  const qa::Engine reloaded(loaded);
+  const auto questions = corpus::generate_questions(world, 10, 3);
+  for (const auto& q : questions) {
+    const auto a = original.answer(q);
+    const auto b = reloaded.answer(q);
+    ASSERT_EQ(a.answers.size(), b.answers.size()) << q.text;
+    for (std::size_t i = 0; i < a.answers.size(); ++i) {
+      EXPECT_EQ(a.answers[i].candidate, b.answers[i].candidate);
+      EXPECT_DOUBLE_EQ(a.answers[i].score, b.answers[i].score);
+    }
+  }
+}
+
+TEST(WorldPersistTest, QuestionsRegenerateFromLoadedFacts) {
+  const auto world = small_world();
+  std::stringstream s;
+  save_world(world, s);
+  const auto loaded = load_world(s);
+  const auto a = corpus::generate_questions(world, 20, 4);
+  const auto b = corpus::generate_questions(loaded, 20, 4);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].text, b[i].text);
+    EXPECT_EQ(a[i].gold_answer, b[i].gold_answer);
+  }
+}
+
+TEST(WorldPersistTest, FileRoundTrip) {
+  const auto world = small_world();
+  const std::string path = ::testing::TempDir() + "/qadist_world.bin";
+  save_world_file(world, path);
+  const auto loaded = load_world_file(path);
+  EXPECT_EQ(loaded.collection.size(), world.collection.size());
+  EXPECT_EQ(loaded.facts.size(), world.facts.size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qadist::ir

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "model/inter_question.hpp"
+#include "model/intra_question.hpp"
+
+namespace qadist::model {
+namespace {
+
+// ----------------------------------------------------- intra-question
+
+IntraQuestionParams intra_with(double disk_mbps, double net_mbps) {
+  IntraQuestionParams p;
+  p.disk = Bandwidth::from_mbps(disk_mbps);
+  p.net = Bandwidth::from_mbps(net_mbps);
+  return p;
+}
+
+TEST(IntraModelTest, ReproducesPaperTable4) {
+  // Paper Table 4: practical processor limits and speedups for the
+  // disk x network bandwidth grid. Our calibrated parameters must land
+  // within a few percent of every cell.
+  struct Cell {
+    double disk_mbps, net_mbps, n_max, speedup;
+  };
+  const Cell cells[] = {
+      {100, 1, 17, 8.65},     {100, 10, 64, 32.84},  {100, 100, 89, 45.75},
+      {100, 1000, 93, 47.73}, {250, 1, 13, 6.61},    {250, 10, 49, 25.30},
+      {250, 100, 68, 35.33},  {250, 1000, 71, 36.87}, {500, 1, 12, 6.01},
+      {500, 10, 43, 22.49},   {500, 100, 61, 31.81}, {500, 1000, 64, 33.28},
+      {1000, 1, 11, 5.59},    {1000, 10, 41, 21.35}, {1000, 100, 57, 29.90},
+      {1000, 1000, 60, 31.34},
+  };
+  for (const auto& cell : cells) {
+    const IntraQuestionModel m(intra_with(cell.disk_mbps, cell.net_mbps));
+    EXPECT_NEAR(m.n_max(), cell.n_max, cell.n_max * 0.08)
+        << "disk=" << cell.disk_mbps << " net=" << cell.net_mbps;
+    EXPECT_NEAR(m.speedup_at_n_max(), cell.speedup, cell.speedup * 0.08)
+        << "disk=" << cell.disk_mbps << " net=" << cell.net_mbps;
+  }
+}
+
+TEST(IntraModelTest, SpeedupMonotoneInN) {
+  const IntraQuestionModel m(intra_with(250, 100));
+  double prev = 0.0;
+  for (double n = 1; n <= 200; n += 1) {
+    const double s = m.speedup(n);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(IntraModelTest, SpeedupBoundedByAsymptote) {
+  const IntraQuestionModel m(intra_with(250, 100));
+  const double asymptote = m.t1() / m.t_seq();
+  EXPECT_LT(m.speedup(1e7), asymptote);
+  EXPECT_GT(m.speedup(1e7), 0.99 * asymptote);
+}
+
+TEST(IntraModelTest, SpeedupAtNmaxIsHalfAsymptote) {
+  const IntraQuestionModel m(intra_with(500, 10));
+  EXPECT_NEAR(m.speedup(m.n_max()), m.speedup_at_n_max(), 1e-9);
+  EXPECT_NEAR(m.speedup_at_n_max(), 0.5 * m.t1() / m.t_seq(), 1e-9);
+}
+
+TEST(IntraModelTest, FasterNetworkRaisesNmax) {
+  // Fig. 9(a): higher network bandwidth -> less partitioning overhead ->
+  // more useful processors.
+  EXPECT_LT(IntraQuestionModel(intra_with(250, 1)).n_max(),
+            IntraQuestionModel(intra_with(250, 100)).n_max());
+}
+
+TEST(IntraModelTest, FasterDiskLowersSpeedup) {
+  // Fig. 9(b): higher disk bandwidth shrinks the parallelizable part, so
+  // the relative overhead grows and the speedup drops.
+  EXPECT_GT(IntraQuestionModel(intra_with(100, 1000)).speedup(50),
+            IntraQuestionModel(intra_with(1000, 1000)).speedup(50));
+}
+
+TEST(IntraModelTest, T1HasNoPartitioningOverhead) {
+  const IntraQuestionModel m(intra_with(250, 1));  // huge overhead if paid
+  EXPECT_LT(m.t1(), m.t_n(1));  // the 1-node distributed run pays it
+}
+
+// ----------------------------------------------------- inter-question
+
+InterQuestionParams inter_with(double net_mbps) {
+  InterQuestionParams p;
+  p.net = Bandwidth::from_mbps(net_mbps);
+  return p;
+}
+
+TEST(InterModelTest, GigabitEfficiencyAt1000Nodes) {
+  // Paper Sec. 5.1: "for a 1 Gbps network the system efficiency is
+  // approximately 0.9 for 1000 processors."
+  const InterQuestionModel m(inter_with(1000));
+  EXPECT_NEAR(m.efficiency(1000), 0.9, 0.03);
+}
+
+TEST(InterModelTest, HundredMbpsEfficiencyAt100Nodes) {
+  // Paper: "efficiency 0.9 for 100 processors and a 100 Mbps network."
+  const InterQuestionModel m(inter_with(100));
+  EXPECT_NEAR(m.efficiency(100), 0.9, 0.03);
+}
+
+TEST(InterModelTest, SpeedupGrowsWithBandwidth) {
+  for (double n : {100.0, 500.0, 1000.0}) {
+    EXPECT_LT(InterQuestionModel(inter_with(10)).speedup(n),
+              InterQuestionModel(inter_with(100)).speedup(n));
+    EXPECT_LT(InterQuestionModel(inter_with(100)).speedup(n),
+              InterQuestionModel(inter_with(1000)).speedup(n));
+  }
+}
+
+TEST(InterModelTest, EfficiencyDecreasesWithN) {
+  const InterQuestionModel m(inter_with(100));
+  double prev = 1.1;
+  for (double n : {1.0, 10.0, 100.0, 1000.0}) {
+    const double e = m.efficiency(n);
+    EXPECT_LT(e, prev);
+    EXPECT_GT(e, 0.0);
+    prev = e;
+  }
+}
+
+TEST(InterModelTest, SpeedupBelowIdeal) {
+  const InterQuestionModel m(inter_with(1000));
+  for (double n : {1.0, 16.0, 128.0, 1024.0}) {
+    EXPECT_LT(m.speedup(n), n);
+    EXPECT_GT(m.speedup(n), 0.0);
+  }
+}
+
+TEST(InterModelTest, MaxProcessorsAtEfficiency) {
+  const InterQuestionModel m(inter_with(1000));
+  const double n90 = m.max_processors_at_efficiency(0.9);
+  // Consistency: efficiency at the bound is the target, just above it not.
+  EXPECT_GE(m.efficiency(n90), 0.9 - 1e-6);
+  EXPECT_LT(m.efficiency(n90 * 1.01), 0.9);
+  // The paper's claim: ~0.9 efficiency at 1000 processors on 1 Gbps.
+  EXPECT_NEAR(n90, 1000.0, 200.0);
+  // A slower network supports far fewer processors at the same bar.
+  EXPECT_LT(InterQuestionModel(inter_with(10)).max_processors_at_efficiency(0.9),
+            n90 / 5);
+}
+
+TEST(InterModelTest, OverheadDecomposition) {
+  const InterQuestionModel m(inter_with(100));
+  const double n = 64;
+  EXPECT_NEAR(m.distribution_overhead(n),
+              m.monitoring_overhead(n) + m.dispatch_overhead(n) +
+                  m.migration_overhead(n),
+              1e-12);
+  // Migration traffic dominates monitoring and dispatch at scale.
+  EXPECT_GT(m.migration_overhead(n), m.monitoring_overhead(n));
+  EXPECT_GT(m.migration_overhead(n), m.dispatch_overhead(n));
+}
+
+}  // namespace
+}  // namespace qadist::model

@@ -1,0 +1,171 @@
+#include "parallel/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+namespace qadist::parallel {
+namespace {
+
+class ExecutorTest : public ::testing::TestWithParam<Strategy> {
+ protected:
+  ThreadPool pool_{4};
+  PartitionedExecutor executor_{pool_};
+};
+
+TEST_P(ExecutorTest, EveryItemProcessedExactlyOnce) {
+  const std::size_t n = 237;
+  std::vector<std::atomic<int>> hits(n);
+  ExecutorOptions options;
+  options.strategy = GetParam();
+  options.workers = 4;
+  options.chunk_size = 10;
+  const auto report = executor_.run(
+      n, options, [&](std::size_t item, std::size_t) { ++hits[item]; });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  EXPECT_EQ(report.surviving_workers, 4u);
+  EXPECT_EQ(std::accumulate(report.items_per_worker.begin(),
+                            report.items_per_worker.end(), std::size_t{0}),
+            n);
+}
+
+TEST_P(ExecutorTest, ZeroItemsIsFine) {
+  ExecutorOptions options;
+  options.strategy = GetParam();
+  options.workers = 3;
+  int calls = 0;
+  executor_.run(0, options, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_P(ExecutorTest, MoreWorkersThanItems) {
+  ExecutorOptions options;
+  options.strategy = GetParam();
+  options.workers = 4;
+  options.chunk_size = 1;
+  std::vector<std::atomic<int>> hits(2);
+  executor_.run(2, options,
+                [&](std::size_t item, std::size_t) { ++hits[item]; });
+  EXPECT_EQ(hits[0].load(), 1);
+  EXPECT_EQ(hits[1].load(), 1);
+}
+
+TEST_P(ExecutorTest, SingleWorkerFailureRecovers) {
+  const std::size_t n = 100;
+  std::vector<std::atomic<int>> hits(n);
+  ExecutorOptions options;
+  options.strategy = GetParam();
+  options.workers = 4;
+  options.chunk_size = 7;
+  options.failures = {FailureSpec{1, 5}};  // worker 1 dies after 5 items
+  const auto report = executor_.run(
+      n, options, [&](std::size_t item, std::size_t) { ++hits[item]; });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  if (GetParam() == Strategy::kRecv) {
+    // Self-scheduling: a fast peer may drain the chunk set before worker 1
+    // reaches its failure threshold, in which case it survives untouched.
+    EXPECT_GE(report.surviving_workers, 3u);
+    EXPECT_LE(report.items_per_worker[1], 5u);
+  } else {
+    // Sender-controlled dispatch always hands worker 1 a partition, so it
+    // deterministically dies after exactly 5 items.
+    EXPECT_EQ(report.surviving_workers, 3u);
+    EXPECT_EQ(report.items_per_worker[1], 5u);
+  }
+}
+
+TEST_P(ExecutorTest, MultipleFailuresRecover) {
+  const std::size_t n = 80;
+  std::vector<std::atomic<int>> hits(n);
+  ExecutorOptions options;
+  options.strategy = GetParam();
+  options.workers = 4;
+  options.chunk_size = 5;
+  options.failures = {FailureSpec{0, 3}, FailureSpec{2, 10}};
+  const auto report = executor_.run(
+      n, options, [&](std::size_t item, std::size_t) { ++hits[item]; });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  if (GetParam() == Strategy::kRecv) {
+    EXPECT_GE(report.surviving_workers, 2u);
+  } else {
+    EXPECT_EQ(report.surviving_workers, 2u);
+  }
+}
+
+TEST_P(ExecutorTest, ImmediateFailureStillCompletes) {
+  const std::size_t n = 30;
+  std::vector<std::atomic<int>> hits(n);
+  ExecutorOptions options;
+  options.strategy = GetParam();
+  options.workers = 2;
+  options.chunk_size = 4;
+  options.failures = {FailureSpec{0, 0}};  // dies before any item
+  executor_.run(n, options,
+                [&](std::size_t item, std::size_t) { ++hits[item]; });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, ExecutorTest,
+                         ::testing::Values(Strategy::kSend, Strategy::kIsend,
+                                           Strategy::kRecv),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(ExecutorWeightsTest, WeightedSendSkewsLoad) {
+  ThreadPool pool(4);
+  PartitionedExecutor executor(pool);
+  ExecutorOptions options;
+  options.strategy = Strategy::kSend;
+  options.workers = 2;
+  options.weights = {3.0, 1.0};
+  const auto report =
+      executor.run(100, options, [](std::size_t, std::size_t) {});
+  EXPECT_EQ(report.items_per_worker[0], 75u);
+  EXPECT_EQ(report.items_per_worker[1], 25u);
+}
+
+TEST(ExecutorRecvTest, WorkersCompeteForChunks) {
+  ThreadPool pool(4);
+  PartitionedExecutor executor(pool);
+  ExecutorOptions options;
+  options.strategy = Strategy::kRecv;
+  options.workers = 4;
+  options.chunk_size = 1;
+  // Uneven costs: item 0 is huge, the rest tiny. RECV should let the other
+  // workers absorb the tail while one worker is stuck on item 0.
+  std::atomic<int> done{0};
+  std::atomic<std::size_t> blocked_worker{SIZE_MAX};
+  const auto report = executor.run(40, options,
+                                   [&](std::size_t item, std::size_t worker) {
+                                     if (item == 0) {
+                                       blocked_worker.store(worker);
+                                       while (done.load() < 39) {
+                                       }
+                                     } else {
+                                       done.fetch_add(1);
+                                     }
+                                   });
+  // The worker stuck on item 0 processed exactly that one item; the peers
+  // self-scheduled the whole tail around it.
+  ASSERT_NE(blocked_worker.load(), SIZE_MAX);
+  EXPECT_EQ(report.items_per_worker[blocked_worker.load()], 1u);
+}
+
+TEST(ExecutorReportTest, SenderRecoveryTakesExtraRounds) {
+  ThreadPool pool(2);
+  PartitionedExecutor executor(pool);
+  ExecutorOptions options;
+  options.strategy = Strategy::kSend;
+  options.workers = 2;
+  options.failures = {FailureSpec{0, 2}};
+  const auto report =
+      executor.run(20, options, [](std::size_t, std::size_t) {});
+  EXPECT_GE(report.rounds, 2u);
+}
+
+}  // namespace
+}  // namespace qadist::parallel

@@ -1,0 +1,144 @@
+#include "parallel/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace qadist::parallel {
+namespace {
+
+std::set<std::size_t> all_items(const std::vector<Partition>& parts) {
+  std::set<std::size_t> items;
+  for (const auto& p : parts) {
+    for (auto i : p.items) {
+      EXPECT_TRUE(items.insert(i).second) << "item " << i << " duplicated";
+    }
+  }
+  return items;
+}
+
+TEST(ApportionTest, EqualWeightsSplitEvenly) {
+  const std::vector<double> w(4, 1.0);
+  const auto counts = apportion(8, w);
+  for (auto c : counts) EXPECT_EQ(c, 2u);
+}
+
+TEST(ApportionTest, SumsExactly) {
+  const std::vector<double> w = {0.37, 1.9, 0.01, 2.2, 0.7};
+  for (std::size_t total : {0u, 1u, 7u, 100u, 881u}) {
+    const auto counts = apportion(total, w);
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::size_t{0}),
+              total);
+  }
+}
+
+TEST(ApportionTest, ProportionalToWeights) {
+  const std::vector<double> w = {1.0, 3.0};
+  const auto counts = apportion(100, w);
+  EXPECT_EQ(counts[0], 25u);
+  EXPECT_EQ(counts[1], 75u);
+}
+
+TEST(ApportionTest, ZeroWeightGetsNothingWhenDivisible) {
+  const std::vector<double> w = {0.0, 1.0};
+  const auto counts = apportion(10, w);
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], 10u);
+}
+
+TEST(SendPartitionTest, ContiguousBlocks) {
+  const std::vector<double> w = {1.0, 1.0, 2.0};
+  const auto parts = partition_send(8, w);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].items, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(parts[1].items, (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(parts[2].items, (std::vector<std::size_t>{4, 5, 6, 7}));
+  EXPECT_EQ(all_items(parts).size(), 8u);
+}
+
+TEST(IsendPartitionTest, InterleavesRoundRobin) {
+  const std::vector<double> w = {1.0, 1.0};
+  const auto parts = partition_isend(6, w);
+  EXPECT_EQ(parts[0].items, (std::vector<std::size_t>{0, 2, 4}));
+  EXPECT_EQ(parts[1].items, (std::vector<std::size_t>{1, 3, 5}));
+}
+
+TEST(IsendPartitionTest, SameCountsAsSend) {
+  const std::vector<double> w = {0.5, 1.5, 1.0};
+  const auto send = partition_send(100, w);
+  const auto isend = partition_isend(100, w);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(send[i].items.size(), isend[i].items.size());
+  }
+  EXPECT_EQ(all_items(isend).size(), 100u);
+}
+
+TEST(IsendPartitionTest, BalancesLinearlyDecreasingCosts) {
+  // Cost of item i = N - i (sorted descending, like PO output). ISEND's
+  // per-worker cost totals must be far closer than SEND's.
+  const std::size_t n = 100;
+  const std::vector<double> w(4, 1.0);
+  const auto cost = [n](std::size_t i) {
+    return static_cast<double>(n - i);
+  };
+  const auto spread = [&](const std::vector<Partition>& parts) {
+    double lo = 1e18, hi = 0;
+    for (const auto& p : parts) {
+      double total = 0;
+      for (auto i : p.items) total += cost(i);
+      lo = std::min(lo, total);
+      hi = std::max(hi, total);
+    }
+    return hi - lo;
+  };
+  EXPECT_LT(spread(partition_isend(n, w)), spread(partition_send(n, w)) / 10);
+}
+
+TEST(ChunkTest, EqualChunksWithPaddedLast) {
+  const auto chunks = make_chunks(10, 4);
+  // 10/4 = 2 full chunks; remainder absorbed into the last -> [0,4) [4,10).
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0], (Chunk{0, 4}));
+  EXPECT_EQ(chunks[1], (Chunk{4, 10}));
+}
+
+TEST(ChunkTest, ExactDivision) {
+  const auto chunks = make_chunks(12, 4);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[2], (Chunk{8, 12}));
+}
+
+TEST(ChunkTest, FewerItemsThanChunkSize) {
+  const auto chunks = make_chunks(3, 10);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (Chunk{0, 3}));
+}
+
+TEST(ChunkTest, ZeroItems) {
+  EXPECT_TRUE(make_chunks(0, 5).empty());
+}
+
+TEST(ChunkTest, CoverageIsExactAndDisjoint) {
+  for (std::size_t n : {1u, 5u, 40u, 881u}) {
+    for (std::size_t cs : {1u, 5u, 40u, 100u}) {
+      const auto chunks = make_chunks(n, cs);
+      std::size_t expected_begin = 0;
+      for (const auto& c : chunks) {
+        EXPECT_EQ(c.begin, expected_begin);
+        EXPECT_GT(c.end, c.begin);
+        expected_begin = c.end;
+      }
+      EXPECT_EQ(expected_begin, n);
+    }
+  }
+}
+
+TEST(StrategyTest, Names) {
+  EXPECT_EQ(to_string(Strategy::kSend), "SEND");
+  EXPECT_EQ(to_string(Strategy::kIsend), "ISEND");
+  EXPECT_EQ(to_string(Strategy::kRecv), "RECV");
+}
+
+}  // namespace
+}  // namespace qadist::parallel

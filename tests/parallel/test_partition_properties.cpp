@@ -1,0 +1,106 @@
+// Property sweeps of the partitioners over an (items x workers) grid: the
+// coverage/consistency invariants must hold for every combination.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/rng.hpp"
+#include "parallel/partition.hpp"
+
+namespace qadist::parallel {
+namespace {
+
+struct Grid {
+  std::size_t items;
+  std::size_t workers;
+};
+
+class PartitionProperties : public ::testing::TestWithParam<Grid> {};
+
+void check_cover(const std::vector<Partition>& parts, std::size_t items) {
+  std::set<std::size_t> seen;
+  for (const auto& p : parts) {
+    for (std::size_t i : p.items) {
+      ASSERT_LT(i, items);
+      ASSERT_TRUE(seen.insert(i).second) << "item " << i << " duplicated";
+    }
+  }
+  ASSERT_EQ(seen.size(), items);
+}
+
+TEST_P(PartitionProperties, SendCoversExactlyOnce) {
+  const auto [items, workers] = GetParam();
+  const std::vector<double> weights(workers, 1.0);
+  check_cover(partition_send(items, weights), items);
+}
+
+TEST_P(PartitionProperties, IsendCoversExactlyOnce) {
+  const auto [items, workers] = GetParam();
+  const std::vector<double> weights(workers, 1.0);
+  check_cover(partition_isend(items, weights), items);
+}
+
+TEST_P(PartitionProperties, WeightedCountsMatchApportion) {
+  const auto [items, workers] = GetParam();
+  Rng rng(items * 31 + workers);
+  std::vector<double> weights(workers);
+  for (auto& w : weights) w = rng.uniform(0.1, 5.0);
+  const auto counts = apportion(items, weights);
+  const auto send = partition_send(items, weights);
+  const auto isend = partition_isend(items, weights);
+  for (std::size_t w = 0; w < workers; ++w) {
+    EXPECT_EQ(send[w].items.size(), counts[w]);
+    EXPECT_EQ(isend[w].items.size(), counts[w]);
+  }
+}
+
+TEST_P(PartitionProperties, SendBlocksAreContiguousAndOrdered) {
+  const auto [items, workers] = GetParam();
+  const std::vector<double> weights(workers, 1.0);
+  const auto parts = partition_send(items, weights);
+  std::size_t expected = 0;
+  for (const auto& p : parts) {
+    for (std::size_t i : p.items) {
+      EXPECT_EQ(i, expected);
+      ++expected;
+    }
+  }
+}
+
+TEST_P(PartitionProperties, IsendItemsAreStrictlyIncreasingPerWorker) {
+  const auto [items, workers] = GetParam();
+  const std::vector<double> weights(workers, 1.0);
+  for (const auto& p : partition_isend(items, weights)) {
+    for (std::size_t k = 1; k < p.items.size(); ++k) {
+      EXPECT_GT(p.items[k], p.items[k - 1]);
+    }
+  }
+}
+
+TEST_P(PartitionProperties, ChunksTileTheRange) {
+  const auto [items, workers] = GetParam();
+  const std::size_t chunk_size = std::max<std::size_t>(1, items / (2 * workers));
+  const auto chunks = make_chunks(items, chunk_size);
+  std::size_t expected = 0;
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.begin, expected);
+    EXPECT_GT(c.end, c.begin);
+    expected = c.end;
+  }
+  EXPECT_EQ(expected, items);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PartitionProperties,
+    ::testing::Values(Grid{0, 1}, Grid{1, 1}, Grid{1, 8}, Grid{7, 3},
+                      Grid{8, 8}, Grid{100, 7}, Grid{881, 12},
+                      Grid{881, 16}, Grid{10000, 5}),
+    [](const auto& info) {
+      return "i" + std::to_string(info.param.items) + "_w" +
+             std::to_string(info.param.workers);
+    });
+
+}  // namespace
+}  // namespace qadist::parallel

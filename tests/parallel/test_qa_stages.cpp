@@ -1,0 +1,158 @@
+#include "parallel/qa_stages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/test_world.hpp"
+
+namespace qadist::parallel {
+namespace {
+
+using testing::test_world;
+
+ExecutorOptions recv_options(std::size_t workers, std::size_t chunk = 10) {
+  ExecutorOptions o;
+  o.strategy = Strategy::kRecv;
+  o.workers = workers;
+  o.chunk_size = chunk;
+  return o;
+}
+
+class QaStagesTest : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(QaStagesTest, ParallelApMatchesSequential) {
+  const auto& world = test_world();
+  const auto& engine = *world.engine;
+  ThreadPool pool(4);
+
+  const auto& q = world.questions.at(0);
+  const auto sequential = engine.answer(q);
+
+  auto pq = engine.process_question(q.id, q.text);
+  std::vector<qa::ScoredParagraph> scored;
+  for (std::size_t sub = 0; sub < engine.subcollection_count(); ++sub) {
+    for (auto& p : engine.retrieve(sub, pq)) {
+      scored.push_back(engine.score(pq, std::move(p)));
+    }
+  }
+  auto accepted = engine.order(std::move(scored));
+
+  ExecutorOptions options;
+  options.strategy = GetParam();
+  options.workers = 4;
+  options.chunk_size = 5;
+  const auto parallel =
+      parallel_answer_processing(engine, pq, accepted, pool, options);
+
+  ASSERT_EQ(parallel.answers.size(), sequential.answers.size());
+  for (std::size_t i = 0; i < parallel.answers.size(); ++i) {
+    EXPECT_EQ(parallel.answers[i].candidate, sequential.answers[i].candidate);
+    EXPECT_DOUBLE_EQ(parallel.answers[i].score, sequential.answers[i].score);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, QaStagesTest,
+                         ::testing::Values(Strategy::kSend, Strategy::kIsend,
+                                           Strategy::kRecv),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(QaStagesTest2, ParallelRetrievalMatchesSequentialSet) {
+  const auto& world = test_world();
+  const auto& engine = *world.engine;
+  ThreadPool pool(4);
+
+  const auto& q = world.questions.at(1);
+  auto pq = engine.process_question(q.id, q.text);
+
+  std::vector<qa::ScoredParagraph> sequential;
+  for (std::size_t sub = 0; sub < engine.subcollection_count(); ++sub) {
+    for (auto& p : engine.retrieve(sub, pq)) {
+      sequential.push_back(engine.score(pq, std::move(p)));
+    }
+  }
+
+  const auto parallel =
+      parallel_retrieve_and_score(engine, pq, pool, recv_options(4, 1));
+  ASSERT_EQ(parallel.paragraphs.size(), sequential.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(parallel.paragraphs[i].paragraph.ref,
+              sequential[i].paragraph.ref);
+    EXPECT_DOUBLE_EQ(parallel.paragraphs[i].score, sequential[i].score);
+  }
+}
+
+TEST(QaStagesTest2, AnswerParallelEndToEndMatchesSequential) {
+  const auto& world = test_world();
+  const auto& engine = *world.engine;
+  ThreadPool pool(4);
+
+  const auto& q = world.questions.at(2);
+  const auto sequential = engine.answer(q);
+  const auto parallel = answer_parallel(engine, q.id, q.text, pool,
+                                        recv_options(4, 1), recv_options(4, 8));
+  ASSERT_EQ(parallel.answers.size(), sequential.answers.size());
+  for (std::size_t i = 0; i < parallel.answers.size(); ++i) {
+    EXPECT_EQ(parallel.answers[i].candidate, sequential.answers[i].candidate);
+  }
+  EXPECT_EQ(parallel.work.paragraphs_accepted,
+            sequential.work.paragraphs_accepted);
+}
+
+TEST(QaStagesTest2, AnswerBatchMatchesSequentialPerQuestion) {
+  const auto& world = test_world();
+  const auto& engine = *world.engine;
+  ThreadPool pool(4);
+  const auto batch = std::span<const corpus::Question>(world.questions)
+                         .subspan(0, 12);
+  const auto results = answer_batch(engine, batch, pool);
+  ASSERT_EQ(results.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto sequential = engine.answer(batch[i]);
+    ASSERT_EQ(results[i].answers.size(), sequential.answers.size())
+        << batch[i].text;
+    for (std::size_t k = 0; k < sequential.answers.size(); ++k) {
+      EXPECT_EQ(results[i].answers[k].candidate,
+                sequential.answers[k].candidate);
+    }
+    EXPECT_EQ(results[i].question.id, batch[i].id);
+  }
+}
+
+TEST(QaStagesTest2, AnswerBatchEmptyInput) {
+  const auto& world = test_world();
+  ThreadPool pool(2);
+  EXPECT_TRUE(
+      answer_batch(*world.engine, std::span<const corpus::Question>{}, pool)
+          .empty());
+}
+
+TEST(QaStagesTest2, ApSurvivesWorkerFailure) {
+  const auto& world = test_world();
+  const auto& engine = *world.engine;
+  ThreadPool pool(4);
+
+  const auto& q = world.questions.at(3);
+  const auto sequential = engine.answer(q);
+
+  auto pq = engine.process_question(q.id, q.text);
+  std::vector<qa::ScoredParagraph> scored;
+  for (std::size_t sub = 0; sub < engine.subcollection_count(); ++sub) {
+    for (auto& p : engine.retrieve(sub, pq)) {
+      scored.push_back(engine.score(pq, std::move(p)));
+    }
+  }
+  auto accepted = engine.order(std::move(scored));
+
+  auto options = recv_options(4, 3);
+  options.failures = {FailureSpec{2, 1}};
+  const auto parallel =
+      parallel_answer_processing(engine, pq, accepted, pool, options);
+  ASSERT_EQ(parallel.answers.size(), sequential.answers.size());
+  for (std::size_t i = 0; i < parallel.answers.size(); ++i) {
+    EXPECT_EQ(parallel.answers[i].candidate, sequential.answers[i].candidate);
+  }
+}
+
+}  // namespace
+}  // namespace qadist::parallel

@@ -1,0 +1,124 @@
+#include "qa/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/analyzer.hpp"
+#include "support/test_world.hpp"
+
+namespace qadist {
+namespace {
+
+using testing::test_world;
+
+/// Normalizes an answer/gold string to lowercase tokens joined by spaces so
+/// comparisons survive punctuation loss ("March 14 , 1912" == "march 14 1912").
+std::string normalize(const std::string& text) {
+  ir::Analyzer analyzer;
+  std::string out;
+  for (const auto& tok : analyzer.tokenize(text)) {
+    if (!out.empty()) out += ' ';
+    out += tok.text;
+  }
+  return out;
+}
+
+bool answered_correctly(const qa::QAResult& result,
+                        const corpus::Question& question) {
+  const std::string gold = normalize(question.gold_answer);
+  for (const auto& answer : result.answers) {
+    if (normalize(answer.candidate) == gold) return true;
+  }
+  return false;
+}
+
+TEST(EngineTest, AnswersSampleQuestionEndToEnd) {
+  const auto& world = test_world();
+  ASSERT_FALSE(world.questions.empty());
+  const auto& q = world.questions.front();
+  const auto result = world.engine->answer(q);
+  EXPECT_FALSE(result.answers.empty()) << "no answers for: " << q.text;
+}
+
+TEST(EngineTest, AccuracyOverQuestionSetIsHigh) {
+  const auto& world = test_world();
+  std::size_t correct = 0;
+  for (const auto& q : world.questions) {
+    if (answered_correctly(world.engine->answer(q), q)) ++correct;
+  }
+  const double accuracy =
+      static_cast<double>(correct) / static_cast<double>(world.questions.size());
+  // FALCON answered 66.4% short / 86.1% long in TREC-9; our closed synthetic
+  // world should do at least as well as the real system did on real text.
+  EXPECT_GE(accuracy, 0.66) << "correct=" << correct << "/"
+                            << world.questions.size();
+}
+
+TEST(EngineTest, ModuleTimesCoverPipeline) {
+  const auto& world = test_world();
+  const auto result = world.engine->answer(world.questions.front());
+  EXPECT_GT(result.times.total(), 0.0);
+  EXPECT_GE(result.times.pr, 0.0);
+  EXPECT_GE(result.times.ap, 0.0);
+  EXPECT_GT(result.work.paragraphs_retrieved, 0u);
+  EXPECT_GT(result.work.paragraphs_accepted, 0u);
+  EXPECT_LE(result.work.paragraphs_accepted, result.work.paragraphs_retrieved);
+}
+
+TEST(EngineTest, DeterministicAcrossRuns) {
+  const auto& world = test_world();
+  const auto& q = world.questions.at(1);
+  const auto a = world.engine->answer(q);
+  const auto b = world.engine->answer(q);
+  ASSERT_EQ(a.answers.size(), b.answers.size());
+  for (std::size_t i = 0; i < a.answers.size(); ++i) {
+    EXPECT_EQ(a.answers[i].candidate, b.answers[i].candidate);
+    EXPECT_DOUBLE_EQ(a.answers[i].score, b.answers[i].score);
+  }
+}
+
+TEST(EngineTest, StageApiMatchesEndToEnd) {
+  const auto& world = test_world();
+  const auto& engine = *world.engine;
+  const auto& q = world.questions.at(2);
+
+  const auto result = engine.answer(q);
+
+  // Re-run via the stage API; must agree exactly.
+  auto pq = engine.process_question(q.id, q.text);
+  std::vector<qa::RetrievedParagraph> retrieved;
+  for (std::size_t sub = 0; sub < engine.subcollection_count(); ++sub) {
+    auto batch = engine.retrieve(sub, pq);
+    for (auto& p : batch) retrieved.push_back(std::move(p));
+  }
+  std::vector<qa::ScoredParagraph> scored;
+  for (auto& p : retrieved) scored.push_back(engine.score(pq, std::move(p)));
+  auto accepted = engine.order(std::move(scored));
+  auto answers = engine.answer_paragraphs(pq, accepted);
+
+  ASSERT_EQ(answers.size(), result.answers.size());
+  for (std::size_t i = 0; i < answers.size(); ++i) {
+    EXPECT_EQ(answers[i].candidate, result.answers[i].candidate);
+    EXPECT_DOUBLE_EQ(answers[i].score, result.answers[i].score);
+  }
+}
+
+TEST(EngineTest, AnswersCarryExpectedType) {
+  const auto& world = test_world();
+  std::size_t typed = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < 10 && i < world.questions.size(); ++i) {
+    const auto& q = world.questions[i];
+    const auto result = world.engine->answer(q);
+    for (const auto& a : result.answers) {
+      ++total;
+      if (a.type == q.gold_type) ++typed;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  // The AP type filter should make every returned answer match the
+  // question's expected type whenever QP classified it correctly.
+  EXPECT_GE(static_cast<double>(typed) / static_cast<double>(total), 0.9);
+}
+
+}  // namespace
+}  // namespace qadist

@@ -1,0 +1,47 @@
+#include "qa/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/test_world.hpp"
+
+namespace qadist::qa {
+namespace {
+
+using testing::test_world;
+
+TEST(AnswerMatchesTest, NormalizesPunctuationAndCase) {
+  ir::Analyzer analyzer;
+  EXPECT_TRUE(answer_matches(analyzer, "March 14 1912", "March 14 , 1912"));
+  EXPECT_TRUE(answer_matches(analyzer, "port varen", "Port Varen"));
+  EXPECT_TRUE(answer_matches(analyzer, "$ 12 million", "$12 million"));
+  EXPECT_FALSE(answer_matches(analyzer, "Port Varen", "Port Amsen"));
+  EXPECT_FALSE(answer_matches(analyzer, "", "Port Amsen"));
+}
+
+TEST(EvaluationTest, ScoresTheTestWorldWell) {
+  const auto& world = test_world();
+  const auto result = evaluate(*world.engine, world.questions);
+  EXPECT_EQ(result.questions, world.questions.size());
+  EXPECT_GT(result.answered, 0u);
+  // FALCON's TREC-9 bar: 66.4% correct short answers. Our closed world
+  // should clear it comfortably for answers anywhere in the top-k list.
+  EXPECT_GE(result.accuracy_at_k(), 0.664);
+  EXPECT_GE(result.accuracy_at_1(), 0.5);
+  // Invariants among the metrics.
+  EXPECT_GE(result.correct_at_k, result.correct_at_1);
+  EXPECT_LE(result.correct_at_k, result.answered);
+  EXPECT_GE(result.mrr, result.accuracy_at_1());
+  EXPECT_LE(result.mrr, result.accuracy_at_k() + 1e-12);
+}
+
+TEST(EvaluationTest, EmptyQuestionSet) {
+  const auto& world = test_world();
+  const auto result =
+      evaluate(*world.engine, std::span<const corpus::Question>{});
+  EXPECT_EQ(result.questions, 0u);
+  EXPECT_EQ(result.accuracy_at_1(), 0.0);
+  EXPECT_EQ(result.mrr, 0.0);
+}
+
+}  // namespace
+}  // namespace qadist::qa

@@ -1,0 +1,107 @@
+// Pipeline properties swept per relation type: every question family the
+// corpus generator can mint must flow through QP type classification,
+// retrieval, and answer extraction successfully.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corpus/fact.hpp"
+#include "qa/evaluation.hpp"
+#include "support/test_world.hpp"
+
+namespace qadist::qa {
+namespace {
+
+using testing::test_world;
+
+class RelationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RelationSweep, QpClassifiesItsTemplateCorrectly) {
+  const auto relation = static_cast<corpus::Relation>(GetParam());
+  corpus::Fact fact;
+  fact.subject = "Veldor Institute";
+  fact.relation = relation;
+  fact.object = "placeholder";
+  const auto text = corpus::render_question_text(fact);
+
+  const auto& engine = *test_world().engine;
+  const auto pq = engine.process_question(0, text);
+  EXPECT_EQ(pq.answer_type, corpus::answer_type_of(relation))
+      << "question: " << text;
+  EXPECT_FALSE(pq.keywords.empty());
+}
+
+TEST_P(RelationSweep, GoldAnswerFoundForAtLeastHalfTheFamily) {
+  const auto relation = static_cast<corpus::Relation>(GetParam());
+  const auto& world = test_world();
+  std::vector<corpus::Question> family;
+  for (const auto& q : world.questions) {
+    if (q.gold_type == corpus::answer_type_of(relation)) {
+      family.push_back(q);
+    }
+  }
+  if (family.size() < 2) {
+    GTEST_SKIP() << "too few questions of this family in the test world";
+  }
+  const auto result = evaluate(*world.engine, family);
+  EXPECT_GE(result.accuracy_at_k(), 0.5)
+      << corpus::to_string(relation) << " family of " << family.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Relations, RelationSweep,
+    ::testing::Range(0, corpus::kRelationCount), [](const auto& info) {
+      return std::string(
+          corpus::to_string(static_cast<corpus::Relation>(info.param)));
+    });
+
+TEST(PipelinePropertyTest, EveryAnswerWindowContainsItsCandidate) {
+  const auto& world = test_world();
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto result = world.engine->answer(world.questions[i]);
+    for (const auto& a : result.answers) {
+      EXPECT_NE(a.window.find(a.candidate), std::string::npos)
+          << "candidate '" << a.candidate << "' missing from window '"
+          << a.window << "'";
+    }
+  }
+}
+
+TEST(PipelinePropertyTest, ScoresAreSortedAndBounded) {
+  const auto& world = test_world();
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto result = world.engine->answer(world.questions[i]);
+    for (std::size_t k = 0; k < result.answers.size(); ++k) {
+      EXPECT_GE(result.answers[k].score, 0.0);
+      EXPECT_LE(result.answers[k].score, 1.0 + 1e-9);
+      if (k > 0) {
+        EXPECT_LE(result.answers[k].score, result.answers[k - 1].score);
+      }
+    }
+  }
+}
+
+TEST(PipelinePropertyTest, CandidatesAreUniquePerQuestion) {
+  const auto& world = test_world();
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto result = world.engine->answer(world.questions[i]);
+    std::set<std::string> seen;
+    for (const auto& a : result.answers) {
+      EXPECT_TRUE(seen.insert(a.candidate).second)
+          << "duplicate candidate " << a.candidate;
+    }
+  }
+}
+
+TEST(PipelinePropertyTest, AcceptedParagraphsNeverExceedRetrieved) {
+  const auto& world = test_world();
+  for (const auto& q : world.questions) {
+    const auto result = world.engine->answer(q);
+    EXPECT_LE(result.work.paragraphs_accepted,
+              result.work.paragraphs_retrieved);
+  }
+}
+
+}  // namespace
+}  // namespace qadist::qa

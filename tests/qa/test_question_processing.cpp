@@ -1,0 +1,65 @@
+#include "qa/question_processing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qadist::qa {
+namespace {
+
+using corpus::EntityType;
+
+class QpTest : public ::testing::Test {
+ protected:
+  ir::Analyzer analyzer_;
+  QuestionProcessor qp_{analyzer_};
+};
+
+TEST_F(QpTest, ClassifiesInterrogatives) {
+  EXPECT_EQ(qp_.classify("Where is the Taj Mahal ?"), EntityType::kLocation);
+  EXPECT_EQ(qp_.classify("Who founded Amsen Steel Works ?"),
+            EntityType::kPerson);
+  EXPECT_EQ(qp_.classify("When was the bridge built ?"), EntityType::kDate);
+  EXPECT_EQ(qp_.classify("What is the population of Port Amsen ?"),
+            EntityType::kQuantity);
+  EXPECT_EQ(qp_.classify("What is the nationality of Pope John Paul II ?"),
+            EntityType::kNationality);
+  EXPECT_EQ(qp_.classify("How much did the monument cost ?"),
+            EntityType::kMoney);
+  EXPECT_EQ(qp_.classify("What does Veltorine treat ?"), EntityType::kDisease);
+}
+
+TEST_F(QpTest, UnknownForNonQuestions) {
+  EXPECT_EQ(qp_.classify("Tell me about lighthouses"), EntityType::kUnknown);
+}
+
+TEST_F(QpTest, KeywordsDropStopwordsKeepOrder) {
+  const auto pq = qp_.process(1, "Where is the Amsen Lighthouse ?");
+  EXPECT_EQ(pq.answer_type, EntityType::kLocation);
+  ASSERT_EQ(pq.keywords.size(), 2u);
+  EXPECT_EQ(pq.keywords[0], "amsen");
+  EXPECT_EQ(pq.keywords[1], "lighthouse");
+}
+
+TEST_F(QpTest, KeywordsDeduplicated) {
+  const auto pq = qp_.process(2, "Who is the leader of Leader Leader Group ?");
+  // "leader" appears three times but is kept once.
+  std::size_t leaders = 0;
+  for (const auto& k : pq.keywords) {
+    if (k == "leader") ++leaders;
+  }
+  EXPECT_EQ(leaders, 1u);
+}
+
+TEST_F(QpTest, PreservesIdAndText) {
+  const auto pq = qp_.process(42, "Where is X ?");
+  EXPECT_EQ(pq.id, 42u);
+  EXPECT_EQ(pq.text, "Where is X ?");
+}
+
+TEST_F(QpTest, StemsKeywords) {
+  const auto pq = qp_.process(3, "Who founded the Amsen Observatory ?");
+  EXPECT_NE(std::find(pq.keywords.begin(), pq.keywords.end(), "found"),
+            pq.keywords.end());
+}
+
+}  // namespace
+}  // namespace qadist::qa

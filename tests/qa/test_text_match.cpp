@@ -1,0 +1,59 @@
+#include "qa/text_match.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qadist::qa {
+namespace {
+
+class TextMatchTest : public ::testing::Test {
+ protected:
+  ir::Analyzer analyzer_;
+};
+
+TEST_F(TextMatchTest, MapsStemmedKeywords) {
+  const std::vector<std::string> keywords = {"found", "amsen"};
+  const auto tokens = analyzer_.tokenize("he founded the Amsen works");
+  const auto map = map_keywords(analyzer_, keywords, tokens);
+  ASSERT_EQ(map.size(), 5u);
+  EXPECT_EQ(map[0], -1);  // "he"
+  EXPECT_EQ(map[1], 0);   // "founded" -> "found"
+  EXPECT_EQ(map[2], -1);  // "the" (stopword)
+  EXPECT_EQ(map[3], 1);   // "amsen"
+  EXPECT_EQ(map[4], -1);  // "works" -> "work" not a keyword
+}
+
+TEST_F(TextMatchTest, NumericTokensMatchVerbatim) {
+  const std::vector<std::string> keywords = {"340000"};
+  const auto tokens = analyzer_.tokenize("population of 340000 people");
+  const auto map = map_keywords(analyzer_, keywords, tokens);
+  EXPECT_EQ(map[2], 0);
+}
+
+TEST_F(TextMatchTest, FirstMatchingKeywordWins) {
+  // A token matching multiple keywords maps to the first (question order).
+  const std::vector<std::string> keywords = {"amsen", "amsen"};
+  const auto tokens = analyzer_.tokenize("amsen");
+  EXPECT_EQ(map_keywords(analyzer_, keywords, tokens)[0], 0);
+}
+
+TEST_F(TextMatchTest, EmptyInputs) {
+  EXPECT_TRUE(map_keywords(analyzer_, {}, {}).empty());
+  const auto tokens = analyzer_.tokenize("some words");
+  const auto map = map_keywords(analyzer_, {}, tokens);
+  for (int m : map) EXPECT_EQ(m, -1);
+}
+
+TEST_F(TextMatchTest, SurfaceSpanRecapitalizes) {
+  const auto tokens = analyzer_.tokenize("the Amsen Lighthouse is TALL");
+  EXPECT_EQ(surface_span(tokens, 0, 3), "the Amsen Lighthouse");
+  EXPECT_EQ(surface_span(tokens, 4, 1), "Tall");  // only first letter restored
+}
+
+TEST_F(TextMatchTest, SurfaceSpanClampsAtEnd) {
+  const auto tokens = analyzer_.tokenize("one two");
+  EXPECT_EQ(surface_span(tokens, 1, 10), "two");
+  EXPECT_EQ(surface_span(tokens, 5, 2), "");
+}
+
+}  // namespace
+}  // namespace qadist::qa

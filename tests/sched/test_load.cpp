@@ -1,0 +1,42 @@
+#include "sched/load.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qadist::sched {
+namespace {
+
+TEST(LoadFunctionTest, WeightedCombination) {
+  const ResourceLoad load{2.0, 1.0};
+  EXPECT_DOUBLE_EQ(load_function(load, LoadWeights{1.0, 0.0}), 2.0);
+  EXPECT_DOUBLE_EQ(load_function(load, LoadWeights{0.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(load_function(load, LoadWeights{0.5, 0.5}), 1.5);
+}
+
+TEST(LoadFunctionTest, PaperTable3Weights) {
+  // Eq. 4-6 instantiated with Table 3: sanity of the constants themselves.
+  EXPECT_DOUBLE_EQ(kQaWeights.cpu + kQaWeights.disk, 1.0);
+  EXPECT_DOUBLE_EQ(kPrWeights.cpu + kPrWeights.disk, 1.0);
+  EXPECT_DOUBLE_EQ(kApWeights.cpu + kApWeights.disk, 1.0);
+  EXPECT_GT(kQaWeights.cpu, kQaWeights.disk);   // Q/A task leans CPU
+  EXPECT_GT(kPrWeights.disk, kPrWeights.cpu);   // PR leans disk
+  EXPECT_DOUBLE_EQ(kApWeights.disk, 0.0);       // AP is pure CPU
+}
+
+TEST(LoadFunctionTest, SingleTaskLoadThresholds) {
+  // One lone PR sub-task: 0.2 CPU-active + 0.8 disk-active, weighted by
+  // the same split -> 0.68; one lone AP sub-task -> 1.0 (Eq. 7-8).
+  EXPECT_NEAR(single_task_load(kPrWeights), 0.68, 1e-12);
+  EXPECT_NEAR(single_task_load(kApWeights), 1.0, 1e-12);
+  EXPECT_NEAR(single_task_load(kQaWeights), 0.79 * 0.79 + 0.21 * 0.21, 1e-12);
+}
+
+TEST(LoadFunctionTest, MoreLoadMeansBiggerValue) {
+  const ResourceLoad light{0.3, 0.1};
+  const ResourceLoad heavy{3.0, 2.0};
+  for (const auto& w : {kQaWeights, kPrWeights, kApWeights}) {
+    EXPECT_LT(load_function(light, w), load_function(heavy, w));
+  }
+}
+
+}  // namespace
+}  // namespace qadist::sched

@@ -1,0 +1,80 @@
+#include "sched/load_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qadist::sched {
+namespace {
+
+TEST(LoadTableTest, UpdateCreatesMembership) {
+  LoadTable t;
+  EXPECT_FALSE(t.is_member(3));
+  t.update(3, ResourceLoad{1.0, 0.5}, 0.0);
+  EXPECT_TRUE(t.is_member(3));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.load_of(3), (ResourceLoad{1.0, 0.5}));
+}
+
+TEST(LoadTableTest, ExpireDropsSilentNodes) {
+  LoadTable t;
+  t.update(0, ResourceLoad{}, 0.0);
+  t.update(1, ResourceLoad{}, 5.0);
+  t.expire(7.0, 3.0);
+  EXPECT_FALSE(t.is_member(0));  // last heard at 0: 7s of silence > 3s
+  EXPECT_TRUE(t.is_member(1));
+  EXPECT_EQ(t.members(), std::vector<NodeId>{1});
+}
+
+TEST(LoadTableTest, RejoinAfterExpiry) {
+  LoadTable t;
+  t.update(0, ResourceLoad{}, 0.0);
+  t.expire(10.0, 3.0);
+  EXPECT_FALSE(t.is_member(0));
+  t.update(0, ResourceLoad{2.0, 0.0}, 10.0);  // broadcasting again = rejoin
+  EXPECT_TRUE(t.is_member(0));
+  EXPECT_DOUBLE_EQ(t.load_of(0).cpu, 2.0);
+}
+
+TEST(LoadTableTest, LeastLoadedRespectsWeights) {
+  LoadTable t;
+  t.update(0, ResourceLoad{0.1, 5.0}, 0.0);  // idle CPU, hammered disk
+  t.update(1, ResourceLoad{5.0, 0.1}, 0.0);  // hammered CPU, idle disk
+  // A CPU-bound module prefers node 0; a disk-bound module prefers node 1.
+  EXPECT_EQ(*t.least_loaded(kApWeights), 0u);
+  EXPECT_EQ(*t.least_loaded(kPrWeights), 1u);
+}
+
+TEST(LoadTableTest, LeastLoadedTieBreaksLow) {
+  LoadTable t;
+  t.update(2, ResourceLoad{1.0, 1.0}, 0.0);
+  t.update(1, ResourceLoad{1.0, 1.0}, 0.0);
+  EXPECT_EQ(*t.least_loaded(kQaWeights), 1u);
+}
+
+TEST(LoadTableTest, EmptyTableHasNoLeastLoaded) {
+  LoadTable t;
+  EXPECT_FALSE(t.least_loaded(kQaWeights).has_value());
+}
+
+TEST(LoadTableTest, ReservationsAddAndClearOnUpdate) {
+  LoadTable t;
+  t.update(0, ResourceLoad{1.0, 0.0}, 0.0);
+  t.reserve(0, ResourceLoad{0.79, 0.21});
+  EXPECT_NEAR(t.load_of(0).cpu, 1.79, 1e-12);
+  EXPECT_NEAR(t.load_of(0).disk, 0.21, 1e-12);
+  t.reserve(0, ResourceLoad{0.79, 0.21});
+  EXPECT_NEAR(t.load_of(0).cpu, 2.58, 1e-12);
+  // Next broadcast reflects reality; reservations reset.
+  t.update(0, ResourceLoad{2.0, 0.4}, 1.0);
+  EXPECT_NEAR(t.load_of(0).cpu, 2.0, 1e-12);
+}
+
+TEST(LoadTableTest, ReservationAffectsLeastLoaded) {
+  LoadTable t;
+  t.update(0, ResourceLoad{}, 0.0);
+  t.update(1, ResourceLoad{}, 0.0);
+  t.reserve(0, ResourceLoad{1.0, 0.0});
+  EXPECT_EQ(*t.least_loaded(kQaWeights), 1u);
+}
+
+}  // namespace
+}  // namespace qadist::sched

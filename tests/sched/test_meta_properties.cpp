@@ -1,0 +1,92 @@
+// Property sweeps of the meta-scheduler over randomized load tables: the
+// invariants of paper Fig. 4 must hold for any pool state.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sched/meta_scheduler.hpp"
+
+namespace qadist::sched {
+namespace {
+
+struct Scenario {
+  std::size_t nodes;
+  double max_load;
+  std::uint64_t seed;
+};
+
+class MetaSchedulerProperties : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(MetaSchedulerProperties, InvariantsHoldOnRandomTables) {
+  const auto scenario = GetParam();
+  Rng rng(scenario.seed);
+  for (int round = 0; round < 50; ++round) {
+    LoadTable table;
+    for (NodeId id = 0; id < scenario.nodes; ++id) {
+      table.update(id,
+                   ResourceLoad{rng.uniform(0.0, scenario.max_load),
+                                rng.uniform(0.0, scenario.max_load)},
+                   0.0);
+    }
+    for (const auto& weights : {kQaWeights, kPrWeights, kApWeights}) {
+      const double threshold = rng.uniform(0.1, 3.0);
+      const auto ms = meta_schedule(table, weights, threshold);
+
+      // 1. Always at least one node selected, all of them pool members.
+      ASSERT_FALSE(ms.selected.empty());
+      for (NodeId id : ms.selected) ASSERT_TRUE(table.is_member(id));
+
+      // 2. No duplicates.
+      for (std::size_t i = 0; i < ms.selected.size(); ++i) {
+        for (std::size_t j = i + 1; j < ms.selected.size(); ++j) {
+          ASSERT_NE(ms.selected[i], ms.selected[j]);
+        }
+      }
+
+      // 3. Weights parallel, positive, normalized.
+      ASSERT_EQ(ms.weights.size(), ms.selected.size());
+      double sum = 0.0;
+      for (double w : ms.weights) {
+        ASSERT_GT(w, 0.0);
+        sum += w;
+      }
+      ASSERT_NEAR(sum, 1.0, 1e-9);
+
+      // 4. partitioned <=> more than one node selected.
+      ASSERT_EQ(ms.partitioned, ms.selected.size() > 1);
+
+      // 5. Every selected node (when partitioned) is under the threshold;
+      //    when not partitioned via step 2, the single node is the global
+      //    minimum.
+      if (ms.partitioned) {
+        for (NodeId id : ms.selected) {
+          ASSERT_LT(load_function(table.load_of(id), weights), threshold);
+        }
+      }
+
+      // 6. Lighter selected nodes never get smaller weights.
+      for (std::size_t i = 0; i < ms.selected.size(); ++i) {
+        for (std::size_t j = 0; j < ms.selected.size(); ++j) {
+          const double li = load_function(table.load_of(ms.selected[i]), weights);
+          const double lj = load_function(table.load_of(ms.selected[j]), weights);
+          if (li < lj) {
+            ASSERT_GE(ms.weights[i], ms.weights[j] - 1e-12);
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pools, MetaSchedulerProperties,
+    ::testing::Values(Scenario{1, 1.0, 1}, Scenario{2, 2.0, 2},
+                      Scenario{4, 0.5, 3}, Scenario{8, 4.0, 4},
+                      Scenario{16, 2.0, 5}, Scenario{64, 8.0, 6}),
+    [](const auto& info) {
+      return "nodes" + std::to_string(info.param.nodes) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace qadist::sched

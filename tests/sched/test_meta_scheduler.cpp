@@ -1,0 +1,110 @@
+#include "sched/meta_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/dispatcher.hpp"
+
+namespace qadist::sched {
+namespace {
+
+LoadTable table_with(std::initializer_list<ResourceLoad> loads) {
+  LoadTable t;
+  NodeId id = 0;
+  for (const auto& l : loads) t.update(id++, l, 0.0);
+  return t;
+}
+
+TEST(MetaSchedulerTest, AllIdleSelectsEveryoneEqually) {
+  const auto t = table_with({{0, 0}, {0, 0}, {0, 0}, {0, 0}});
+  const auto ms = meta_schedule(t, kApWeights, 1.0);
+  EXPECT_TRUE(ms.partitioned);
+  ASSERT_EQ(ms.selected.size(), 4u);
+  for (double w : ms.weights) EXPECT_NEAR(w, 0.25, 1e-12);
+}
+
+TEST(MetaSchedulerTest, WeightsSumToOne) {
+  const auto t = table_with({{0.1, 0}, {0.5, 0}, {0.9, 0}});
+  const auto ms = meta_schedule(t, kApWeights, 1.0);
+  double sum = 0;
+  for (double w : ms.weights) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(MetaSchedulerTest, LighterNodesGetBiggerWeights) {
+  const auto t = table_with({{0.1, 0}, {0.8, 0}});
+  const auto ms = meta_schedule(t, kApWeights, 1.0);
+  ASSERT_EQ(ms.selected.size(), 2u);
+  EXPECT_GT(ms.weights[0], ms.weights[1]);
+  // Headroom formula: the most loaded selected node keeps a positive share.
+  EXPECT_GT(ms.weights[1], 0.0);
+}
+
+TEST(MetaSchedulerTest, OverloadedNodesExcluded) {
+  const auto t = table_with({{0.2, 0}, {3.0, 0}, {0.4, 0}});
+  const auto ms = meta_schedule(t, kApWeights, 1.0);
+  EXPECT_TRUE(ms.partitioned);
+  EXPECT_EQ(ms.selected, (std::vector<NodeId>{0, 2}));
+}
+
+TEST(MetaSchedulerTest, NoUnderloadedFallsBackToLeastLoaded) {
+  // Step 2 of Fig. 4: everyone is busy -> pick the single best node, no
+  // partitioning.
+  const auto t = table_with({{4.0, 0}, {2.5, 0}, {3.0, 0}});
+  const auto ms = meta_schedule(t, kApWeights, 1.0);
+  EXPECT_FALSE(ms.partitioned);
+  EXPECT_EQ(ms.selected, std::vector<NodeId>{1});
+  EXPECT_EQ(ms.weights, std::vector<double>{1.0});
+}
+
+TEST(MetaSchedulerTest, UsesModuleWeights) {
+  // Node 0: busy disk; node 1: busy CPU. For the disk-bound PR module only
+  // node 1 is under-loaded.
+  const auto t = table_with({{0.0, 2.0}, {2.0, 0.0}});
+  const auto pr = meta_schedule(t, kPrWeights, single_task_load(kPrWeights));
+  EXPECT_EQ(pr.selected, std::vector<NodeId>{1});
+  // For the CPU-bound AP module it's the other way round.
+  const auto ap = meta_schedule(t, kApWeights, single_task_load(kApWeights));
+  EXPECT_EQ(ap.selected, std::vector<NodeId>{0});
+}
+
+TEST(MetaSchedulerTest, SingletonUnderloadedIsNotPartitioned) {
+  const auto t = table_with({{0.1, 0}, {5.0, 0}});
+  const auto ms = meta_schedule(t, kApWeights, 1.0);
+  EXPECT_FALSE(ms.partitioned);
+  EXPECT_EQ(ms.selected, std::vector<NodeId>{0});
+}
+
+// ------------------------------------------------------------ dispatcher
+
+TEST(DispatcherTest, NoMigrationWhenBalanced) {
+  const auto t = table_with({{1.0, 0.2}, {1.0, 0.2}});
+  const auto d = decide_migration(t, 0, kQaWeights,
+                                  single_task_load(kQaWeights));
+  EXPECT_FALSE(d.migrate);
+}
+
+TEST(DispatcherTest, MigratesWhenGapExceedsOneQuestion) {
+  const auto t = table_with({{5.0, 1.0}, {0.1, 0.0}});
+  const auto d = decide_migration(t, 0, kQaWeights,
+                                  single_task_load(kQaWeights));
+  EXPECT_TRUE(d.migrate);
+  EXPECT_EQ(d.target, 1u);
+}
+
+TEST(DispatcherTest, SmallGapDoesNotMigrate) {
+  // Gap of ~0.4 question-loads: below the one-question threshold, the
+  // migration would be "useless" (paper Sec. 3.1).
+  const auto t = table_with({{0.4, 0.0}, {0.1, 0.0}});
+  const auto d = decide_migration(t, 0, kQaWeights,
+                                  single_task_load(kQaWeights));
+  EXPECT_FALSE(d.migrate);
+}
+
+TEST(DispatcherTest, CurrentIsBestNoMigration) {
+  const auto t = table_with({{0.1, 0.0}, {4.0, 0.0}});
+  const auto d = decide_migration(t, 0, kQaWeights, 0.5);
+  EXPECT_FALSE(d.migrate);
+}
+
+}  // namespace
+}  // namespace qadist::sched

@@ -1,0 +1,148 @@
+// Stress and interaction tests of the discrete-event kernel: thousands of
+// interleaved processes, resources and links, with conservation checks.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "simnet/event.hpp"
+#include "simnet/fair_share.hpp"
+#include "simnet/mailbox.hpp"
+#include "simnet/process.hpp"
+#include "simnet/resource.hpp"
+#include "simnet/simulation.hpp"
+
+namespace qadist::simnet {
+namespace {
+
+SimProcess worker(Simulation& sim, FairShareServer& cpu,
+                  FairShareServer& disk, Resource& slots, Seconds start,
+                  double cpu_work, double disk_work, int& completed) {
+  co_await Delay(sim, start);
+  ResourceLease lease = co_await slots.acquire();
+  co_await disk.consume(disk_work);
+  co_await cpu.consume(cpu_work);
+  ++completed;
+}
+
+TEST(EngineStressTest, ThousandProcessesAllComplete) {
+  Simulation sim;
+  FairShareServer cpu(sim, "cpu", 4.0, 1.0);
+  FairShareServer disk(sim, "disk", 100.0, 100.0);
+  Resource slots(sim, 8);
+  Rng rng(7);
+  int completed = 0;
+  double total_cpu = 0.0, total_disk = 0.0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    const double c = rng.uniform(0.01, 2.0);
+    const double d = rng.uniform(0.1, 20.0);
+    total_cpu += c;
+    total_disk += d;
+    worker(sim, cpu, disk, slots, rng.uniform(0.0, 50.0), c, d, completed);
+  }
+  sim.run();
+  EXPECT_EQ(completed, n);
+  EXPECT_NEAR(cpu.work_served(), total_cpu, 1e-6 * total_cpu);
+  EXPECT_NEAR(disk.work_served(), total_disk, 1e-6 * total_disk);
+  EXPECT_EQ(cpu.active(), 0);
+  EXPECT_EQ(slots.available(), 8);
+  // Makespan lower bounds: neither resource can beat its capacity.
+  EXPECT_GE(sim.now(), total_cpu / 4.0);
+  EXPECT_GE(sim.now(), total_disk / 100.0);
+}
+
+TEST(EngineStressTest, DeterministicUnderHeavyInterleaving) {
+  const auto run = [] {
+    Simulation sim;
+    FairShareServer cpu(sim, "cpu", 2.0, 1.0);
+    Resource slots(sim, 3);
+    Rng rng(99);
+    int completed = 0;
+    for (int i = 0; i < 300; ++i) {
+      worker(sim, cpu, cpu, slots, rng.uniform(0.0, 10.0),
+             rng.uniform(0.01, 1.0), rng.uniform(0.01, 1.0), completed);
+    }
+    sim.run();
+    return sim.now();
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+SimProcess relay(Simulation& sim, Mailbox<int>& in, Mailbox<int>& out,
+                 int count) {
+  for (int i = 0; i < count; ++i) {
+    const int v = co_await in.recv();
+    co_await Delay(sim, 0.001);
+    out.send(v + 1);
+  }
+}
+
+TEST(EngineStressTest, MailboxRelayChainPreservesOrderAndCount) {
+  Simulation sim;
+  constexpr int kHops = 10;
+  constexpr int kMessages = 100;
+  std::vector<std::unique_ptr<Mailbox<int>>> boxes;
+  for (int h = 0; h <= kHops; ++h) {
+    boxes.push_back(std::make_unique<Mailbox<int>>(sim));
+  }
+  for (int h = 0; h < kHops; ++h) {
+    relay(sim, *boxes[static_cast<std::size_t>(h)],
+          *boxes[static_cast<std::size_t>(h + 1)], kMessages);
+  }
+  std::vector<int> received;
+  [](Mailbox<int>& sink, int count, std::vector<int>& out) -> SimProcess {
+    for (int i = 0; i < count; ++i) out.push_back(co_await sink.recv());
+  }(*boxes[kHops], kMessages, received);
+
+  for (int i = 0; i < kMessages; ++i) boxes[0]->send(i * 10);
+  sim.run();
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(received[static_cast<std::size_t>(i)], i * 10 + kHops);
+  }
+}
+
+SimProcess barrier_participant(Simulation& sim, Event& go, WaitGroup& done,
+                               Seconds jitter) {
+  co_await Delay(sim, jitter);
+  co_await go.wait();
+  co_await Delay(sim, 0.5);
+  done.done();
+}
+
+TEST(EngineStressTest, EventReleasesManyWaitersAtOnce) {
+  Simulation sim;
+  Event go(sim);
+  WaitGroup done(sim);
+  done.add(200);
+  Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    barrier_participant(sim, go, done, rng.uniform(0.0, 5.0));
+  }
+  double released_at = -1.0;
+  sim.schedule(10.0, [&] { go.set(); });
+  [](Simulation& s, WaitGroup& wg, double& t) -> SimProcess {
+    co_await wg.wait();
+    t = s.now();
+  }(sim, done, released_at);
+  sim.run();
+  EXPECT_NEAR(released_at, 10.5, 1e-9);
+}
+
+TEST(EngineStressTest, RunUntilInterleavesWithRun) {
+  Simulation sim;
+  int fired = 0;
+  for (int i = 1; i <= 100; ++i) {
+    sim.schedule(static_cast<double>(i), [&] { ++fired; });
+  }
+  sim.run_until(25.5);
+  EXPECT_EQ(fired, 25);
+  sim.run_until(50.0);
+  EXPECT_EQ(fired, 50);
+  sim.run();
+  EXPECT_EQ(fired, 100);
+}
+
+}  // namespace
+}  // namespace qadist::simnet

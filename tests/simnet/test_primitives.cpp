@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "simnet/event.hpp"
+#include "simnet/mailbox.hpp"
+#include "simnet/process.hpp"
+#include "simnet/resource.hpp"
+#include "simnet/simulation.hpp"
+
+namespace qadist::simnet {
+namespace {
+
+SimProcess delayer(Simulation& sim, Seconds d, std::vector<double>& log) {
+  co_await Delay(sim, d);
+  log.push_back(sim.now());
+}
+
+TEST(ProcessTest, DelayResumesAtRightTime) {
+  Simulation sim;
+  std::vector<double> log;
+  delayer(sim, 2.5, log);
+  delayer(sim, 1.0, log);
+  sim.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], 1.0);
+  EXPECT_EQ(log[1], 2.5);
+}
+
+TEST(ProcessTest, ZeroDelayDoesNotSuspend) {
+  Simulation sim;
+  std::vector<double> log;
+  delayer(sim, 0.0, log);
+  // Ran eagerly to completion without any event.
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_TRUE(sim.empty());
+}
+
+SimProcess event_waiter(Simulation& sim, Event& ev, std::vector<double>& log) {
+  co_await ev.wait();
+  log.push_back(sim.now());
+}
+
+TEST(EventTest, WakesAllWaiters) {
+  Simulation sim;
+  Event ev(sim);
+  std::vector<double> log;
+  event_waiter(sim, ev, log);
+  event_waiter(sim, ev, log);
+  sim.schedule(3.0, [&] { ev.set(); });
+  sim.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], 3.0);
+  EXPECT_EQ(log[1], 3.0);
+}
+
+TEST(EventTest, WaitAfterSetPassesThrough) {
+  Simulation sim;
+  Event ev(sim);
+  ev.set();
+  ev.set();  // idempotent
+  std::vector<double> log;
+  event_waiter(sim, ev, log);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_TRUE(ev.is_set());
+}
+
+SimProcess wg_child(Simulation& sim, Seconds work, WaitGroup& wg) {
+  co_await Delay(sim, work);
+  wg.done();
+}
+
+SimProcess wg_parent(Simulation& sim, WaitGroup& wg, double& finished_at) {
+  wg.add(3);
+  wg_child(sim, 1.0, wg);
+  wg_child(sim, 5.0, wg);
+  wg_child(sim, 2.0, wg);
+  co_await wg.wait();
+  finished_at = sim.now();
+}
+
+TEST(WaitGroupTest, WaitsForAllChildren) {
+  Simulation sim;
+  WaitGroup wg(sim);
+  double finished_at = -1;
+  wg_parent(sim, wg, finished_at);
+  sim.run();
+  EXPECT_EQ(finished_at, 5.0);
+  EXPECT_EQ(wg.count(), 0);
+}
+
+TEST(WaitGroupTest, ZeroCountWaitIsImmediate) {
+  Simulation sim;
+  WaitGroup wg(sim);
+  double finished_at = -1;
+  [](Simulation& s, WaitGroup& w, double& t) -> SimProcess {
+    co_await w.wait();
+    t = s.now();
+  }(sim, wg, finished_at);
+  EXPECT_EQ(finished_at, 0.0);
+}
+
+SimProcess consumer(Simulation& sim, Mailbox<std::string>& box,
+                    std::vector<std::string>& got) {
+  for (int i = 0; i < 3; ++i) {
+    auto msg = co_await box.recv();
+    got.push_back(std::to_string(sim.now()) + ":" + msg);
+  }
+}
+
+TEST(MailboxTest, DeliversInFifoOrder) {
+  Simulation sim;
+  Mailbox<std::string> box(sim);
+  std::vector<std::string> got;
+  consumer(sim, box, got);
+  sim.schedule(1.0, [&] {
+    box.send("a");
+    box.send("b");
+  });
+  sim.schedule(2.0, [&] { box.send("c"); });
+  sim.run();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].substr(got[0].find(':') + 1), "a");
+  EXPECT_EQ(got[1].substr(got[1].find(':') + 1), "b");
+  EXPECT_EQ(got[2].substr(got[2].find(':') + 1), "c");
+}
+
+TEST(MailboxTest, BufferedMessageReceivedWithoutSuspend) {
+  Simulation sim;
+  Mailbox<int> box(sim);
+  box.send(42);
+  EXPECT_EQ(box.pending(), 1u);
+  int got = 0;
+  [](Mailbox<int>& b, int& out) -> SimProcess {
+    out = co_await b.recv();
+  }(box, got);
+  EXPECT_EQ(got, 42);
+}
+
+SimProcess resource_user(Simulation& sim, Resource& res, Seconds hold,
+                         std::vector<std::pair<double, double>>& spans) {
+  ResourceLease lease = co_await res.acquire();
+  const double start = sim.now();
+  co_await Delay(sim, hold);
+  spans.emplace_back(start, sim.now());
+}
+
+TEST(ResourceTest, CapacityLimitsConcurrency) {
+  Simulation sim;
+  Resource res(sim, 2);
+  std::vector<std::pair<double, double>> spans;
+  for (int i = 0; i < 4; ++i) resource_user(sim, res, 1.0, spans);
+  sim.run();
+  ASSERT_EQ(spans.size(), 4u);
+  // Two run [0,1], two run [1,2] (FIFO handoff via zero-delay events).
+  EXPECT_EQ(spans[0].second, 1.0);
+  EXPECT_EQ(spans[1].second, 1.0);
+  EXPECT_EQ(spans[2].first, 1.0);
+  EXPECT_EQ(spans[3].first, 1.0);
+  EXPECT_EQ(res.available(), 2);
+  EXPECT_EQ(res.queued(), 0);
+}
+
+TEST(ResourceTest, PressureCountsHoldersAndWaiters) {
+  Simulation sim;
+  Resource res(sim, 1);
+  std::vector<std::pair<double, double>> spans;
+  resource_user(sim, res, 10.0, spans);
+  resource_user(sim, res, 10.0, spans);
+  // First holds, second queued.
+  EXPECT_EQ(res.pressure(), 2);
+  sim.run();
+  EXPECT_EQ(res.pressure(), 0);
+}
+
+TEST(ResourceTest, LeaseResetReleasesEarly) {
+  Simulation sim;
+  Resource res(sim, 1);
+  [](Simulation& s, Resource& r) -> SimProcess {
+    ResourceLease lease = co_await r.acquire();
+    co_await Delay(s, 1.0);
+    lease.reset();
+    EXPECT_FALSE(lease.holds());
+    co_await Delay(s, 10.0);
+  }(sim, res);
+  sim.run_until(2.0);
+  EXPECT_EQ(res.available(), 1);
+}
+
+TEST(ResourceTest, LeaseMoveTransfersOwnership) {
+  Simulation sim;
+  Resource res(sim, 1);
+  [](Resource& r) -> SimProcess {
+    ResourceLease a = co_await r.acquire();
+    ResourceLease b = std::move(a);
+    EXPECT_FALSE(a.holds());  // NOLINT(bugprone-use-after-move): testing move semantics
+    EXPECT_TRUE(b.holds());
+  }(res);
+  sim.run();
+  EXPECT_EQ(res.available(), 1);
+}
+
+}  // namespace
+}  // namespace qadist::simnet

@@ -1,0 +1,99 @@
+#include "simnet/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qadist::simnet {
+namespace {
+
+TEST(SimulationTest, StartsAtZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulationTest, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3.0);
+}
+
+TEST(SimulationTest, EqualTimesFireInSchedulingOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulationTest, EventsCanScheduleEvents) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] {
+    ++fired;
+    sim.schedule(1.0, [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 2.0);
+}
+
+TEST(SimulationTest, NegativeDelayClampsToNow) {
+  Simulation sim;
+  double fired_at = -1.0;
+  sim.schedule(5.0, [&] {
+    sim.schedule(-3.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 5.0);
+}
+
+TEST(SimulationTest, RunUntilStopsEarly) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(10.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, RunUntilAdvancesClockWhenIdle) {
+  Simulation sim;
+  sim.run_until(42.0);
+  EXPECT_EQ(sim.now(), 42.0);
+}
+
+TEST(SimulationTest, StepExecutesExactlyOne) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(sim.executed_events(), 2u);
+}
+
+TEST(SimulationTest, ScheduleAtAbsoluteTime) {
+  Simulation sim;
+  double t = -1;
+  sim.schedule_at(7.5, [&] { t = sim.now(); });
+  sim.run();
+  EXPECT_EQ(t, 7.5);
+}
+
+}  // namespace
+}  // namespace qadist::simnet

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <memory>
+
+#include "corpus/generator.hpp"
+#include "qa/engine.hpp"
+
+namespace qadist::testing {
+
+/// Shared small world for pipeline-level tests: one corpus + engine +
+/// question set, built once per test binary (engine construction indexes
+/// the whole corpus, so rebuilding per-test would dominate runtimes).
+struct TestWorld {
+  corpus::GeneratedCorpus corpus;
+  std::unique_ptr<qa::Engine> engine;
+  std::vector<corpus::Question> questions;
+};
+
+inline const TestWorld& test_world() {
+  static const TestWorld world = [] {
+    TestWorld w;
+    corpus::CorpusConfig config;
+    config.seed = 7;
+    config.num_documents = 300;
+    config.vocabulary_size = 5000;
+    w.corpus = corpus::generate_corpus(config);
+    w.engine = std::make_unique<qa::Engine>(w.corpus);
+    w.questions = corpus::generate_questions(w.corpus, 60, /*seed=*/11);
+    return w;
+  }();
+  return world;
+}
+
+}  // namespace qadist::testing

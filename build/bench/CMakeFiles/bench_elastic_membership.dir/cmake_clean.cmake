@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_elastic_membership.dir/bench_elastic_membership.cpp.o"
+  "CMakeFiles/bench_elastic_membership.dir/bench_elastic_membership.cpp.o.d"
+  "bench_elastic_membership"
+  "bench_elastic_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_elastic_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

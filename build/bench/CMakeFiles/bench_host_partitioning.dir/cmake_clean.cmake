@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_host_partitioning.dir/bench_host_partitioning.cpp.o"
+  "CMakeFiles/bench_host_partitioning.dir/bench_host_partitioning.cpp.o.d"
+  "bench_host_partitioning"
+  "bench_host_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_simnet.dir/bench_micro_simnet.cpp.o"
+  "CMakeFiles/bench_micro_simnet.dir/bench_micro_simnet.cpp.o.d"
+  "bench_micro_simnet"
+  "bench_micro_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_practical_limits.dir/bench_table4_practical_limits.cpp.o"
+  "CMakeFiles/bench_table4_practical_limits.dir/bench_table4_practical_limits.cpp.o.d"
+  "bench_table4_practical_limits"
+  "bench_table4_practical_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_practical_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

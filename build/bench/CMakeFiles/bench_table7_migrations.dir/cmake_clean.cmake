@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_migrations.dir/bench_table7_migrations.cpp.o"
+  "CMakeFiles/bench_table7_migrations.dir/bench_table7_migrations.cpp.o.d"
+  "bench_table7_migrations"
+  "bench_table7_migrations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_migrations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

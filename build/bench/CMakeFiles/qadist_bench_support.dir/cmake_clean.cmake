@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qadist_bench_support.dir/support/bench_world.cpp.o"
+  "CMakeFiles/qadist_bench_support.dir/support/bench_world.cpp.o.d"
+  "lib/libqadist_bench_support.a"
+  "lib/libqadist_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qadist_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

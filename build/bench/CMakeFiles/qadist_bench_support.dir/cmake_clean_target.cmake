@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "lib/libqadist_bench_support.a"
+)

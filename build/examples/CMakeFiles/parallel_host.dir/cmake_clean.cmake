@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_host.dir/parallel_host.cpp.o"
+  "CMakeFiles/parallel_host.dir/parallel_host.cpp.o.d"
+  "parallel_host"
+  "parallel_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

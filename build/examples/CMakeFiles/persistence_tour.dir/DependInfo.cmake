@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/persistence_tour.cpp" "examples/CMakeFiles/persistence_tour.dir/persistence_tour.cpp.o" "gcc" "examples/CMakeFiles/persistence_tour.dir/persistence_tour.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/qadist_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/qadist_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/qadist_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/qadist_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/qa/CMakeFiles/qadist_qa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/qadist_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/qadist_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/qadist_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qadist_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

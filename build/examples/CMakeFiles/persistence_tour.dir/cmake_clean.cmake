@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistence_tour.dir/persistence_tour.cpp.o"
+  "CMakeFiles/persistence_tour.dir/persistence_tour.cpp.o.d"
+  "persistence_tour"
+  "persistence_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistence_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

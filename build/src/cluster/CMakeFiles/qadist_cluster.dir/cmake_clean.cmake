@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qadist_cluster.dir/cost_model.cpp.o"
+  "CMakeFiles/qadist_cluster.dir/cost_model.cpp.o.d"
+  "CMakeFiles/qadist_cluster.dir/node.cpp.o"
+  "CMakeFiles/qadist_cluster.dir/node.cpp.o.d"
+  "CMakeFiles/qadist_cluster.dir/plan.cpp.o"
+  "CMakeFiles/qadist_cluster.dir/plan.cpp.o.d"
+  "CMakeFiles/qadist_cluster.dir/system.cpp.o"
+  "CMakeFiles/qadist_cluster.dir/system.cpp.o.d"
+  "CMakeFiles/qadist_cluster.dir/trace.cpp.o"
+  "CMakeFiles/qadist_cluster.dir/trace.cpp.o.d"
+  "CMakeFiles/qadist_cluster.dir/workload.cpp.o"
+  "CMakeFiles/qadist_cluster.dir/workload.cpp.o.d"
+  "libqadist_cluster.a"
+  "libqadist_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qadist_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

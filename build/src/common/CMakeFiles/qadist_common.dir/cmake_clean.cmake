@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qadist_common.dir/log.cpp.o"
+  "CMakeFiles/qadist_common.dir/log.cpp.o.d"
+  "CMakeFiles/qadist_common.dir/rng.cpp.o"
+  "CMakeFiles/qadist_common.dir/rng.cpp.o.d"
+  "CMakeFiles/qadist_common.dir/stats.cpp.o"
+  "CMakeFiles/qadist_common.dir/stats.cpp.o.d"
+  "CMakeFiles/qadist_common.dir/strings.cpp.o"
+  "CMakeFiles/qadist_common.dir/strings.cpp.o.d"
+  "CMakeFiles/qadist_common.dir/table.cpp.o"
+  "CMakeFiles/qadist_common.dir/table.cpp.o.d"
+  "CMakeFiles/qadist_common.dir/zipf.cpp.o"
+  "CMakeFiles/qadist_common.dir/zipf.cpp.o.d"
+  "libqadist_common.a"
+  "libqadist_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qadist_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

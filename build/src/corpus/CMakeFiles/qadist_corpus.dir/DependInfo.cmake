@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/collection.cpp" "src/corpus/CMakeFiles/qadist_corpus.dir/collection.cpp.o" "gcc" "src/corpus/CMakeFiles/qadist_corpus.dir/collection.cpp.o.d"
+  "/root/repo/src/corpus/entity.cpp" "src/corpus/CMakeFiles/qadist_corpus.dir/entity.cpp.o" "gcc" "src/corpus/CMakeFiles/qadist_corpus.dir/entity.cpp.o.d"
+  "/root/repo/src/corpus/fact.cpp" "src/corpus/CMakeFiles/qadist_corpus.dir/fact.cpp.o" "gcc" "src/corpus/CMakeFiles/qadist_corpus.dir/fact.cpp.o.d"
+  "/root/repo/src/corpus/generator.cpp" "src/corpus/CMakeFiles/qadist_corpus.dir/generator.cpp.o" "gcc" "src/corpus/CMakeFiles/qadist_corpus.dir/generator.cpp.o.d"
+  "/root/repo/src/corpus/name_forge.cpp" "src/corpus/CMakeFiles/qadist_corpus.dir/name_forge.cpp.o" "gcc" "src/corpus/CMakeFiles/qadist_corpus.dir/name_forge.cpp.o.d"
+  "/root/repo/src/corpus/vocabulary.cpp" "src/corpus/CMakeFiles/qadist_corpus.dir/vocabulary.cpp.o" "gcc" "src/corpus/CMakeFiles/qadist_corpus.dir/vocabulary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qadist_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

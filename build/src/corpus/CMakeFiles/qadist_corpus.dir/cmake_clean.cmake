@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qadist_corpus.dir/collection.cpp.o"
+  "CMakeFiles/qadist_corpus.dir/collection.cpp.o.d"
+  "CMakeFiles/qadist_corpus.dir/entity.cpp.o"
+  "CMakeFiles/qadist_corpus.dir/entity.cpp.o.d"
+  "CMakeFiles/qadist_corpus.dir/fact.cpp.o"
+  "CMakeFiles/qadist_corpus.dir/fact.cpp.o.d"
+  "CMakeFiles/qadist_corpus.dir/generator.cpp.o"
+  "CMakeFiles/qadist_corpus.dir/generator.cpp.o.d"
+  "CMakeFiles/qadist_corpus.dir/name_forge.cpp.o"
+  "CMakeFiles/qadist_corpus.dir/name_forge.cpp.o.d"
+  "CMakeFiles/qadist_corpus.dir/vocabulary.cpp.o"
+  "CMakeFiles/qadist_corpus.dir/vocabulary.cpp.o.d"
+  "libqadist_corpus.a"
+  "libqadist_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qadist_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

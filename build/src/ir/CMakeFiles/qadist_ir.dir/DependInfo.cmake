@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/analyzer.cpp" "src/ir/CMakeFiles/qadist_ir.dir/analyzer.cpp.o" "gcc" "src/ir/CMakeFiles/qadist_ir.dir/analyzer.cpp.o.d"
+  "/root/repo/src/ir/binary_io.cpp" "src/ir/CMakeFiles/qadist_ir.dir/binary_io.cpp.o" "gcc" "src/ir/CMakeFiles/qadist_ir.dir/binary_io.cpp.o.d"
+  "/root/repo/src/ir/inverted_index.cpp" "src/ir/CMakeFiles/qadist_ir.dir/inverted_index.cpp.o" "gcc" "src/ir/CMakeFiles/qadist_ir.dir/inverted_index.cpp.o.d"
+  "/root/repo/src/ir/persist.cpp" "src/ir/CMakeFiles/qadist_ir.dir/persist.cpp.o" "gcc" "src/ir/CMakeFiles/qadist_ir.dir/persist.cpp.o.d"
+  "/root/repo/src/ir/retrieval.cpp" "src/ir/CMakeFiles/qadist_ir.dir/retrieval.cpp.o" "gcc" "src/ir/CMakeFiles/qadist_ir.dir/retrieval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qadist_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/qadist_corpus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qadist_ir.dir/analyzer.cpp.o"
+  "CMakeFiles/qadist_ir.dir/analyzer.cpp.o.d"
+  "CMakeFiles/qadist_ir.dir/binary_io.cpp.o"
+  "CMakeFiles/qadist_ir.dir/binary_io.cpp.o.d"
+  "CMakeFiles/qadist_ir.dir/inverted_index.cpp.o"
+  "CMakeFiles/qadist_ir.dir/inverted_index.cpp.o.d"
+  "CMakeFiles/qadist_ir.dir/persist.cpp.o"
+  "CMakeFiles/qadist_ir.dir/persist.cpp.o.d"
+  "CMakeFiles/qadist_ir.dir/retrieval.cpp.o"
+  "CMakeFiles/qadist_ir.dir/retrieval.cpp.o.d"
+  "libqadist_ir.a"
+  "libqadist_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qadist_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqadist_ir.a"
+)

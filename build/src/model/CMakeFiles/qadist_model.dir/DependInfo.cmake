@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/inter_question.cpp" "src/model/CMakeFiles/qadist_model.dir/inter_question.cpp.o" "gcc" "src/model/CMakeFiles/qadist_model.dir/inter_question.cpp.o.d"
+  "/root/repo/src/model/intra_question.cpp" "src/model/CMakeFiles/qadist_model.dir/intra_question.cpp.o" "gcc" "src/model/CMakeFiles/qadist_model.dir/intra_question.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qadist_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qadist_model.dir/inter_question.cpp.o"
+  "CMakeFiles/qadist_model.dir/inter_question.cpp.o.d"
+  "CMakeFiles/qadist_model.dir/intra_question.cpp.o"
+  "CMakeFiles/qadist_model.dir/intra_question.cpp.o.d"
+  "libqadist_model.a"
+  "libqadist_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qadist_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

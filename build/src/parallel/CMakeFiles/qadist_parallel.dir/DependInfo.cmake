@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/executor.cpp" "src/parallel/CMakeFiles/qadist_parallel.dir/executor.cpp.o" "gcc" "src/parallel/CMakeFiles/qadist_parallel.dir/executor.cpp.o.d"
+  "/root/repo/src/parallel/partition.cpp" "src/parallel/CMakeFiles/qadist_parallel.dir/partition.cpp.o" "gcc" "src/parallel/CMakeFiles/qadist_parallel.dir/partition.cpp.o.d"
+  "/root/repo/src/parallel/qa_stages.cpp" "src/parallel/CMakeFiles/qadist_parallel.dir/qa_stages.cpp.o" "gcc" "src/parallel/CMakeFiles/qadist_parallel.dir/qa_stages.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/parallel/CMakeFiles/qadist_parallel.dir/thread_pool.cpp.o" "gcc" "src/parallel/CMakeFiles/qadist_parallel.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qadist_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qa/CMakeFiles/qadist_qa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/qadist_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/qadist_corpus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

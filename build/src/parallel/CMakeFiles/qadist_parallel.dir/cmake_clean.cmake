@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qadist_parallel.dir/executor.cpp.o"
+  "CMakeFiles/qadist_parallel.dir/executor.cpp.o.d"
+  "CMakeFiles/qadist_parallel.dir/partition.cpp.o"
+  "CMakeFiles/qadist_parallel.dir/partition.cpp.o.d"
+  "CMakeFiles/qadist_parallel.dir/qa_stages.cpp.o"
+  "CMakeFiles/qadist_parallel.dir/qa_stages.cpp.o.d"
+  "CMakeFiles/qadist_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/qadist_parallel.dir/thread_pool.cpp.o.d"
+  "libqadist_parallel.a"
+  "libqadist_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qadist_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

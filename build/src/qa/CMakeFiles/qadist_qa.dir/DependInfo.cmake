@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qa/answer_processing.cpp" "src/qa/CMakeFiles/qadist_qa.dir/answer_processing.cpp.o" "gcc" "src/qa/CMakeFiles/qadist_qa.dir/answer_processing.cpp.o.d"
+  "/root/repo/src/qa/engine.cpp" "src/qa/CMakeFiles/qadist_qa.dir/engine.cpp.o" "gcc" "src/qa/CMakeFiles/qadist_qa.dir/engine.cpp.o.d"
+  "/root/repo/src/qa/evaluation.cpp" "src/qa/CMakeFiles/qadist_qa.dir/evaluation.cpp.o" "gcc" "src/qa/CMakeFiles/qadist_qa.dir/evaluation.cpp.o.d"
+  "/root/repo/src/qa/ner.cpp" "src/qa/CMakeFiles/qadist_qa.dir/ner.cpp.o" "gcc" "src/qa/CMakeFiles/qadist_qa.dir/ner.cpp.o.d"
+  "/root/repo/src/qa/paragraph_ordering.cpp" "src/qa/CMakeFiles/qadist_qa.dir/paragraph_ordering.cpp.o" "gcc" "src/qa/CMakeFiles/qadist_qa.dir/paragraph_ordering.cpp.o.d"
+  "/root/repo/src/qa/paragraph_retrieval.cpp" "src/qa/CMakeFiles/qadist_qa.dir/paragraph_retrieval.cpp.o" "gcc" "src/qa/CMakeFiles/qadist_qa.dir/paragraph_retrieval.cpp.o.d"
+  "/root/repo/src/qa/paragraph_scoring.cpp" "src/qa/CMakeFiles/qadist_qa.dir/paragraph_scoring.cpp.o" "gcc" "src/qa/CMakeFiles/qadist_qa.dir/paragraph_scoring.cpp.o.d"
+  "/root/repo/src/qa/question_processing.cpp" "src/qa/CMakeFiles/qadist_qa.dir/question_processing.cpp.o" "gcc" "src/qa/CMakeFiles/qadist_qa.dir/question_processing.cpp.o.d"
+  "/root/repo/src/qa/text_match.cpp" "src/qa/CMakeFiles/qadist_qa.dir/text_match.cpp.o" "gcc" "src/qa/CMakeFiles/qadist_qa.dir/text_match.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qadist_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/qadist_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/qadist_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

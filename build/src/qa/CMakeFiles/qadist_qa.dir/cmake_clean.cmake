@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qadist_qa.dir/answer_processing.cpp.o"
+  "CMakeFiles/qadist_qa.dir/answer_processing.cpp.o.d"
+  "CMakeFiles/qadist_qa.dir/engine.cpp.o"
+  "CMakeFiles/qadist_qa.dir/engine.cpp.o.d"
+  "CMakeFiles/qadist_qa.dir/evaluation.cpp.o"
+  "CMakeFiles/qadist_qa.dir/evaluation.cpp.o.d"
+  "CMakeFiles/qadist_qa.dir/ner.cpp.o"
+  "CMakeFiles/qadist_qa.dir/ner.cpp.o.d"
+  "CMakeFiles/qadist_qa.dir/paragraph_ordering.cpp.o"
+  "CMakeFiles/qadist_qa.dir/paragraph_ordering.cpp.o.d"
+  "CMakeFiles/qadist_qa.dir/paragraph_retrieval.cpp.o"
+  "CMakeFiles/qadist_qa.dir/paragraph_retrieval.cpp.o.d"
+  "CMakeFiles/qadist_qa.dir/paragraph_scoring.cpp.o"
+  "CMakeFiles/qadist_qa.dir/paragraph_scoring.cpp.o.d"
+  "CMakeFiles/qadist_qa.dir/question_processing.cpp.o"
+  "CMakeFiles/qadist_qa.dir/question_processing.cpp.o.d"
+  "CMakeFiles/qadist_qa.dir/text_match.cpp.o"
+  "CMakeFiles/qadist_qa.dir/text_match.cpp.o.d"
+  "libqadist_qa.a"
+  "libqadist_qa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qadist_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

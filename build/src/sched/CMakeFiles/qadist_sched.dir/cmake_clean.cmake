@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qadist_sched.dir/dispatcher.cpp.o"
+  "CMakeFiles/qadist_sched.dir/dispatcher.cpp.o.d"
+  "CMakeFiles/qadist_sched.dir/load_table.cpp.o"
+  "CMakeFiles/qadist_sched.dir/load_table.cpp.o.d"
+  "CMakeFiles/qadist_sched.dir/meta_scheduler.cpp.o"
+  "CMakeFiles/qadist_sched.dir/meta_scheduler.cpp.o.d"
+  "libqadist_sched.a"
+  "libqadist_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qadist_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

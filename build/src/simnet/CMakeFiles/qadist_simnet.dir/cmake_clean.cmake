@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qadist_simnet.dir/fair_share.cpp.o"
+  "CMakeFiles/qadist_simnet.dir/fair_share.cpp.o.d"
+  "CMakeFiles/qadist_simnet.dir/simulation.cpp.o"
+  "CMakeFiles/qadist_simnet.dir/simulation.cpp.o.d"
+  "libqadist_simnet.a"
+  "libqadist_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qadist_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

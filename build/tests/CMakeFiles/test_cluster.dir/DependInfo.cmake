@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/test_cost_model.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_cost_model.cpp.o.d"
+  "/root/repo/tests/cluster/test_cost_variants.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_cost_variants.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_cost_variants.cpp.o.d"
+  "/root/repo/tests/cluster/test_heterogeneous.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_heterogeneous.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_heterogeneous.cpp.o.d"
+  "/root/repo/tests/cluster/test_membership.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_membership.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_membership.cpp.o.d"
+  "/root/repo/tests/cluster/test_system.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_system.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_system.cpp.o.d"
+  "/root/repo/tests/cluster/test_system_edge.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_system_edge.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_system_edge.cpp.o.d"
+  "/root/repo/tests/cluster/test_trace.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_trace.cpp.o.d"
+  "/root/repo/tests/cluster/test_two_choice.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_two_choice.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_two_choice.cpp.o.d"
+  "/root/repo/tests/cluster/test_workload.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_workload.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/qadist_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/qadist_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/qadist_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/qadist_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/qa/CMakeFiles/qadist_qa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/qadist_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/qadist_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/qadist_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qadist_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

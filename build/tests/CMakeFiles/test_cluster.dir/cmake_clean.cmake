@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster.dir/cluster/test_cost_model.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_cost_model.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_cost_variants.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_cost_variants.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_heterogeneous.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_heterogeneous.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_membership.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_membership.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_system.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_system.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_system_edge.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_system_edge.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_trace.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_trace.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_two_choice.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_two_choice.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_workload.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_workload.cpp.o.d"
+  "test_cluster"
+  "test_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

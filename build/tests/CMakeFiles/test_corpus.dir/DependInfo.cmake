@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/corpus/test_collection.cpp" "tests/CMakeFiles/test_corpus.dir/corpus/test_collection.cpp.o" "gcc" "tests/CMakeFiles/test_corpus.dir/corpus/test_collection.cpp.o.d"
+  "/root/repo/tests/corpus/test_entity.cpp" "tests/CMakeFiles/test_corpus.dir/corpus/test_entity.cpp.o" "gcc" "tests/CMakeFiles/test_corpus.dir/corpus/test_entity.cpp.o.d"
+  "/root/repo/tests/corpus/test_generator.cpp" "tests/CMakeFiles/test_corpus.dir/corpus/test_generator.cpp.o" "gcc" "tests/CMakeFiles/test_corpus.dir/corpus/test_generator.cpp.o.d"
+  "/root/repo/tests/corpus/test_name_forge.cpp" "tests/CMakeFiles/test_corpus.dir/corpus/test_name_forge.cpp.o" "gcc" "tests/CMakeFiles/test_corpus.dir/corpus/test_name_forge.cpp.o.d"
+  "/root/repo/tests/corpus/test_split_skew.cpp" "tests/CMakeFiles/test_corpus.dir/corpus/test_split_skew.cpp.o" "gcc" "tests/CMakeFiles/test_corpus.dir/corpus/test_split_skew.cpp.o.d"
+  "/root/repo/tests/corpus/test_vocabulary.cpp" "tests/CMakeFiles/test_corpus.dir/corpus/test_vocabulary.cpp.o" "gcc" "tests/CMakeFiles/test_corpus.dir/corpus/test_vocabulary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/qadist_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/qadist_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/qadist_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/qadist_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/qa/CMakeFiles/qadist_qa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/qadist_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/qadist_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/qadist_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qadist_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

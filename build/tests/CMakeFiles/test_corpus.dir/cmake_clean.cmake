@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corpus.dir/corpus/test_collection.cpp.o"
+  "CMakeFiles/test_corpus.dir/corpus/test_collection.cpp.o.d"
+  "CMakeFiles/test_corpus.dir/corpus/test_entity.cpp.o"
+  "CMakeFiles/test_corpus.dir/corpus/test_entity.cpp.o.d"
+  "CMakeFiles/test_corpus.dir/corpus/test_generator.cpp.o"
+  "CMakeFiles/test_corpus.dir/corpus/test_generator.cpp.o.d"
+  "CMakeFiles/test_corpus.dir/corpus/test_name_forge.cpp.o"
+  "CMakeFiles/test_corpus.dir/corpus/test_name_forge.cpp.o.d"
+  "CMakeFiles/test_corpus.dir/corpus/test_split_skew.cpp.o"
+  "CMakeFiles/test_corpus.dir/corpus/test_split_skew.cpp.o.d"
+  "CMakeFiles/test_corpus.dir/corpus/test_vocabulary.cpp.o"
+  "CMakeFiles/test_corpus.dir/corpus/test_vocabulary.cpp.o.d"
+  "test_corpus"
+  "test_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir.dir/ir/test_analyzer.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/test_analyzer.cpp.o.d"
+  "CMakeFiles/test_ir.dir/ir/test_analyzer_fuzz.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/test_analyzer_fuzz.cpp.o.d"
+  "CMakeFiles/test_ir.dir/ir/test_index.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/test_index.cpp.o.d"
+  "CMakeFiles/test_ir.dir/ir/test_persist.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/test_persist.cpp.o.d"
+  "CMakeFiles/test_ir.dir/ir/test_retrieval.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/test_retrieval.cpp.o.d"
+  "CMakeFiles/test_ir.dir/ir/test_world_persist.cpp.o"
+  "CMakeFiles/test_ir.dir/ir/test_world_persist.cpp.o.d"
+  "test_ir"
+  "test_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel.dir/parallel/test_executor.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_executor.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_partition.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_partition.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_partition_properties.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_partition_properties.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_qa_stages.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_qa_stages.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_thread_pool.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_thread_pool.cpp.o.d"
+  "test_parallel"
+  "test_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/qa/test_answer_processing.cpp" "tests/CMakeFiles/test_qa.dir/qa/test_answer_processing.cpp.o" "gcc" "tests/CMakeFiles/test_qa.dir/qa/test_answer_processing.cpp.o.d"
+  "/root/repo/tests/qa/test_answer_window.cpp" "tests/CMakeFiles/test_qa.dir/qa/test_answer_window.cpp.o" "gcc" "tests/CMakeFiles/test_qa.dir/qa/test_answer_window.cpp.o.d"
+  "/root/repo/tests/qa/test_engine.cpp" "tests/CMakeFiles/test_qa.dir/qa/test_engine.cpp.o" "gcc" "tests/CMakeFiles/test_qa.dir/qa/test_engine.cpp.o.d"
+  "/root/repo/tests/qa/test_engine_config.cpp" "tests/CMakeFiles/test_qa.dir/qa/test_engine_config.cpp.o" "gcc" "tests/CMakeFiles/test_qa.dir/qa/test_engine_config.cpp.o.d"
+  "/root/repo/tests/qa/test_evaluation.cpp" "tests/CMakeFiles/test_qa.dir/qa/test_evaluation.cpp.o" "gcc" "tests/CMakeFiles/test_qa.dir/qa/test_evaluation.cpp.o.d"
+  "/root/repo/tests/qa/test_ner.cpp" "tests/CMakeFiles/test_qa.dir/qa/test_ner.cpp.o" "gcc" "tests/CMakeFiles/test_qa.dir/qa/test_ner.cpp.o.d"
+  "/root/repo/tests/qa/test_pipeline_properties.cpp" "tests/CMakeFiles/test_qa.dir/qa/test_pipeline_properties.cpp.o" "gcc" "tests/CMakeFiles/test_qa.dir/qa/test_pipeline_properties.cpp.o.d"
+  "/root/repo/tests/qa/test_question_processing.cpp" "tests/CMakeFiles/test_qa.dir/qa/test_question_processing.cpp.o" "gcc" "tests/CMakeFiles/test_qa.dir/qa/test_question_processing.cpp.o.d"
+  "/root/repo/tests/qa/test_scoring.cpp" "tests/CMakeFiles/test_qa.dir/qa/test_scoring.cpp.o" "gcc" "tests/CMakeFiles/test_qa.dir/qa/test_scoring.cpp.o.d"
+  "/root/repo/tests/qa/test_text_match.cpp" "tests/CMakeFiles/test_qa.dir/qa/test_text_match.cpp.o" "gcc" "tests/CMakeFiles/test_qa.dir/qa/test_text_match.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/qadist_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/qadist_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/qadist_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/qadist_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/qa/CMakeFiles/qadist_qa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/qadist_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/qadist_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/qadist_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qadist_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qa.dir/qa/test_answer_processing.cpp.o"
+  "CMakeFiles/test_qa.dir/qa/test_answer_processing.cpp.o.d"
+  "CMakeFiles/test_qa.dir/qa/test_answer_window.cpp.o"
+  "CMakeFiles/test_qa.dir/qa/test_answer_window.cpp.o.d"
+  "CMakeFiles/test_qa.dir/qa/test_engine.cpp.o"
+  "CMakeFiles/test_qa.dir/qa/test_engine.cpp.o.d"
+  "CMakeFiles/test_qa.dir/qa/test_engine_config.cpp.o"
+  "CMakeFiles/test_qa.dir/qa/test_engine_config.cpp.o.d"
+  "CMakeFiles/test_qa.dir/qa/test_evaluation.cpp.o"
+  "CMakeFiles/test_qa.dir/qa/test_evaluation.cpp.o.d"
+  "CMakeFiles/test_qa.dir/qa/test_ner.cpp.o"
+  "CMakeFiles/test_qa.dir/qa/test_ner.cpp.o.d"
+  "CMakeFiles/test_qa.dir/qa/test_pipeline_properties.cpp.o"
+  "CMakeFiles/test_qa.dir/qa/test_pipeline_properties.cpp.o.d"
+  "CMakeFiles/test_qa.dir/qa/test_question_processing.cpp.o"
+  "CMakeFiles/test_qa.dir/qa/test_question_processing.cpp.o.d"
+  "CMakeFiles/test_qa.dir/qa/test_scoring.cpp.o"
+  "CMakeFiles/test_qa.dir/qa/test_scoring.cpp.o.d"
+  "CMakeFiles/test_qa.dir/qa/test_text_match.cpp.o"
+  "CMakeFiles/test_qa.dir/qa/test_text_match.cpp.o.d"
+  "test_qa"
+  "test_qa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched.dir/sched/test_load.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_load.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_load_table.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_load_table.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_meta_properties.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_meta_properties.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_meta_scheduler.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_meta_scheduler.cpp.o.d"
+  "test_sched"
+  "test_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simnet.dir/simnet/test_engine_stress.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/test_engine_stress.cpp.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/test_fair_share.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/test_fair_share.cpp.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/test_link.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/test_link.cpp.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/test_primitives.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/test_primitives.cpp.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/test_simulation.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/test_simulation.cpp.o.d"
+  "test_simnet"
+  "test_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

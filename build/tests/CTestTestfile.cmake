@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;qadist_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_simnet "/root/repo/build/tests/test_simnet")
+set_tests_properties(test_simnet PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;qadist_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_corpus "/root/repo/build/tests/test_corpus")
+set_tests_properties(test_corpus PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;25;qadist_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ir "/root/repo/build/tests/test_ir")
+set_tests_properties(test_ir PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;33;qadist_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_qa "/root/repo/build/tests/test_qa")
+set_tests_properties(test_qa PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;41;qadist_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sched "/root/repo/build/tests/test_sched")
+set_tests_properties(test_sched PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;53;qadist_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_model "/root/repo/build/tests/test_model")
+set_tests_properties(test_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;59;qadist_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cluster "/root/repo/build/tests/test_cluster")
+set_tests_properties(test_cluster PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;62;qadist_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_parallel "/root/repo/build/tests/test_parallel")
+set_tests_properties(test_parallel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;73;qadist_add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,90 @@
+// Fault injection: what does losing a node mid-run cost each AP
+// partitioning strategy? Not a paper exhibit — the paper's cluster ran
+// for months (Sec. 5) and the strategies differ in how much work a crash
+// strands: SEND/ISEND lose the whole partition of the dead node and
+// re-partition it over the survivors, RECV loses only the in-flight
+// chunk (the shared deque keeps the rest).
+//
+// Scenario: an 8-node DQA cluster under sustained 2x overload; two nodes
+// crash (no restart) at 1/4 and 1/2 of the expected run. Each strategy is
+// run fault-free and faulted with an identical question sequence.
+
+#include <cstdio>
+
+#include "cluster/workload.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "support/bench_world.hpp"
+
+int main() {
+  using namespace qadist;
+  using cluster::Policy;
+  using parallel::Strategy;
+  const auto& world = bench::bench_world();
+  constexpr std::size_t kNodes = 8;
+
+  // Work-bound makespan estimate: 8*N questions over N nodes.
+  const double est_makespan = 8.0 * world.mean_service_seconds();
+
+  const auto run = [&](Strategy strategy, bool faulted) {
+    simnet::Simulation sim;
+    cluster::SystemConfig cfg;
+    cfg.nodes = kNodes;
+    cfg.policy = Policy::kDqa;
+    cfg.ap_strategy = strategy;
+    cfg.ap_chunk = bench::scaled_chunk(world);
+    if (faulted) {
+      cfg.faults.crashes.push_back(cluster::FaultEvent{
+          static_cast<sched::NodeId>(kNodes - 2), 0.25 * est_makespan});
+      cfg.faults.crashes.push_back(cluster::FaultEvent{
+          static_cast<sched::NodeId>(kNodes - 1), 0.50 * est_makespan});
+    }
+    cluster::System system(sim, cfg);
+    cluster::OverloadWorkload workload;
+    workload.seed = 7;
+    workload.reference_disk = world.cost->anchors().reference_disk;
+    cluster::submit_overload(system, world.plans, workload);
+    return system.run();
+  };
+
+  TextTable table({"AP strategy", "Run", "Makespan (s)", "Mean lat (s)",
+                   "p95 (s)", "Legs lost", "Items recov",
+                   "Recov legs", "Q restarts", "Detect (s)"});
+  std::printf("Two crashes at t=%.0fs and t=%.0fs, no restart (8 -> 6 nodes)\n",
+              0.25 * est_makespan, 0.50 * est_makespan);
+  for (const Strategy strategy :
+       {Strategy::kSend, Strategy::kIsend, Strategy::kRecv}) {
+    const auto clean = run(strategy, false);
+    const auto fault = run(strategy, true);
+    if (clean.completed != clean.submitted ||
+        fault.completed != fault.submitted) {
+      std::printf("ERROR: questions lost (%zu/%zu clean, %zu/%zu faulted)\n",
+                  clean.completed, clean.submitted, fault.completed,
+                  fault.submitted);
+      return 1;
+    }
+    table.add_row({std::string(to_string(strategy)), "fault-free",
+                   cell(clean.makespan, 0), cell(clean.latencies.mean(), 1),
+                   cell(clean.latencies.quantile(0.95), 1), "-", "-", "-", "-",
+                   "-"});
+    table.add_row({"", "2 crashes", cell(fault.makespan, 0),
+                   cell(fault.latencies.mean(), 1),
+                   cell(fault.latencies.quantile(0.95), 1),
+                   std::to_string(fault.legs_lost),
+                   std::to_string(fault.items_recovered),
+                   std::to_string(fault.recovery_legs),
+                   std::to_string(fault.question_restarts),
+                   cell(fault.recovery_latency.mean(), 2)});
+    const double overhead =
+        100.0 * (fault.makespan - clean.makespan) / clean.makespan;
+    table.add_row({"", "overhead", cell(overhead, 1) + "%", "", "", "", "", "",
+                   "", ""});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "Expected shape: every question completes in every run; RECV strands "
+      "only the in-flight chunk per lost leg while SEND/ISEND strand the "
+      "dead node's whole partition, so RECV recovers fewer items; most of "
+      "the faulted slowdown is capacity loss (6 survivors), not recovery.\n");
+  return 0;
+}

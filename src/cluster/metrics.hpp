@@ -36,6 +36,16 @@ struct Metrics {
   std::size_t migrations_pr = 0;
   std::size_t migrations_ap = 0;
 
+  // Fault injection and recovery (paper Sec. 5 operates the cluster for
+  // months; these measure what a mid-flight node loss costs).
+  std::size_t crashes = 0;          ///< node crashes actually applied
+  std::size_t crashes_skipped = 0;  ///< crashes dropped (last live node)
+  std::size_t legs_lost = 0;        ///< PR/AP legs killed by a crash
+  std::size_t items_recovered = 0;  ///< units re-dispatched after a loss
+  std::size_t recovery_legs = 0;    ///< replacement legs spawned
+  std::size_t question_restarts = 0;  ///< whole questions re-hosted
+  RunningStats recovery_latency;  ///< crash detection -> recovered dispatch
+
   // Per-question simulated module stage times (paper Table 8 columns).
   RunningStats t_qp;
   RunningStats t_pr;   ///< PR stage wall (retrieval legs incl. transfers)

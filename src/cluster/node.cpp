@@ -28,6 +28,17 @@ void Node::question_departed() {
   --resident_questions_;
 }
 
+void Node::crash() {
+  cpu_->halt();
+  disk_->halt();
+  resident_questions_ = 0;  // the hosted questions died with the process
+}
+
+void Node::restart() {
+  cpu_->restart();
+  disk_->restart();
+}
+
 double Node::work_multiplier() const {
   if (config_.thrash_exponent == 0.0 ||
       resident_questions_ <= config_.memory_slots) {

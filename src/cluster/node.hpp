@@ -49,6 +49,14 @@ class Node {
   void question_departed();
   [[nodiscard]] int resident_questions() const { return resident_questions_; }
 
+  /// Fault injection: a crash halts CPU and disk (in-flight work resumes
+  /// unserved — customers must check the owning System's crash flag after
+  /// every co_await) and forgets the resident questions, which die with
+  /// the process. restart() brings the hardware back empty.
+  void crash();
+  void restart();
+  [[nodiscard]] bool crashed() const { return cpu_->halted(); }
+
   /// Work inflation factor from memory pressure; 1.0 while the model is
   /// disabled or the node is within its memory budget.
   [[nodiscard]] double work_multiplier() const;

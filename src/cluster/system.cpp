@@ -2,6 +2,7 @@
 #include <cmath>
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.hpp"
 #include "common/strings.hpp"
@@ -10,6 +11,10 @@ namespace qadist::cluster {
 
 using parallel::Strategy;
 using sched::NodeId;
+
+namespace {
+constexpr std::size_t kNoUnit = static_cast<std::size_t>(-1);
+}  // namespace
 
 std::string_view to_string(Policy policy) {
   switch (policy) {
@@ -26,7 +31,9 @@ std::string_view to_string(Policy policy) {
 }
 
 /// Per-question bookkeeping shared between the main task coroutine and its
-/// PR/AP leg coroutines. Lives in the question_process frame.
+/// PR/AP leg coroutines. Lives in the question_process frame, so legs may
+/// only touch it while the coordinator is still waiting on them (a leg
+/// whose node crashed must exit without reading it — see pr_leg).
 struct System::QuestionState {
   const QuestionPlan* plan = nullptr;
   NodeId host = 0;
@@ -47,6 +54,38 @@ struct System::QuestionState {
   double oh_answer_sort = 0.0;
 };
 
+/// Coordinator/leg shared state for one PR leg. Held by shared_ptr from
+/// both sides: the leg outlives the coordinator frame when its node
+/// crashes (the coordinator recovers and moves on while the zombie
+/// coroutine drains its pending resumptions), so everything the zombie may
+/// still touch lives here or in the System.
+struct System::PrLegSlot {
+  NodeId node = 0;
+  std::size_t epoch = 0;  // crash_epoch_[node] at spawn
+  /// Pending sub-collections: the stage-shared deque under RECV (legs
+  /// compete), a private deque under SEND (the shipped block).
+  std::shared_ptr<std::deque<std::size_t>> units;
+  std::size_t in_flight = kNoUnit;  // popped, results not yet on the host
+  bool reported = false;
+  bool declared_dead = false;
+};
+
+/// Coordinator/leg shared state for one AP leg. Exactly one of `chunks`
+/// (RECV self-scheduling) or `units` (SEND/ISEND fixed partition) is
+/// active. RECV loses at most the in-flight chunk on a crash (answers ship
+/// per chunk); SEND/ISEND lose the whole partition (answers ship once at
+/// the end).
+struct System::ApLegSlot {
+  NodeId node = 0;
+  std::size_t epoch = 0;
+  std::vector<std::size_t> units;
+  std::shared_ptr<std::deque<parallel::Chunk>> chunks;
+  parallel::Chunk in_flight{};
+  bool has_in_flight = false;
+  bool reported = false;
+  bool declared_dead = false;
+};
+
 System::System(simnet::Simulation& sim, const SystemConfig& config)
     : sim_(sim), config_(config) {
   QADIST_CHECK(config.nodes >= 1);
@@ -65,6 +104,9 @@ System::System(simnet::Simulation& sim, const SystemConfig& config)
     nodes_.push_back(std::make_unique<Node>(sim, id, node_config));
   }
   node_broadcasting_.assign(config.nodes, 1);
+  node_crashed_.assign(config.nodes, 0);
+  crash_epoch_.assign(config.nodes, 0);
+  crash_time_.assign(config.nodes, 0.0);
   two_choice_rng_.reseed(config.seed);
   network_ = std::make_unique<simnet::Link>(
       sim, "lan", config.network, config.per_message_overhead);
@@ -97,7 +139,76 @@ void System::schedule_leave(NodeId node, Seconds at) {
 
 void System::schedule_join(NodeId node, Seconds at) {
   QADIST_CHECK(node < nodes_.size());
-  sim_.schedule_at(at, [this, node] { node_broadcasting_[node] = 1; });
+  sim_.schedule_at(at, [this, node] {
+    // Joining a crashed node implies a reboot first.
+    if (node_crashed_[node] != 0) apply_restart(node);
+    node_broadcasting_[node] = 1;
+  });
+}
+
+void System::schedule_crash(NodeId node, Seconds at, Seconds restart_after) {
+  QADIST_CHECK(node < nodes_.size());
+  sim_.schedule_at(at, [this, node, restart_after] {
+    apply_crash(node);
+    if (restart_after >= 0.0 && node_crashed_[node] != 0) {
+      sim_.schedule(restart_after, [this, node] { apply_restart(node); });
+    }
+  });
+}
+
+void System::apply_crash(NodeId node) {
+  if (node_crashed_[node] != 0) {
+    ++metrics_.crashes_skipped;  // already down
+    return;
+  }
+  std::size_t live = 0;
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    if (node_crashed_[n] == 0) ++live;
+  }
+  if (live <= 1) {
+    // Losing the last node would strand every question; skip (and count)
+    // so random fault processes can't wedge a run.
+    ++metrics_.crashes_skipped;
+    record_trace(node, "crash skipped (last live node)");
+    return;
+  }
+  node_crashed_[node] = 1;
+  ++crash_epoch_[node];
+  crash_time_[node] = sim_.now();
+  node_broadcasting_[node] = 0;  // a dead node broadcasts nothing
+  nodes_[node]->crash();
+  ++metrics_.crashes;
+  record_trace(node, "crashed");
+  // Deliberately no table_.remove here: membership stays broadcast-driven.
+  // The rest of the pool learns of the death either by expiry (the silent
+  // node ages past membership_timeout) or when a coordinator's reply
+  // timeout fires first.
+}
+
+void System::apply_restart(NodeId node) {
+  if (node_crashed_[node] == 0) return;
+  node_crashed_[node] = 0;
+  node_broadcasting_[node] = 1;  // schedulable again from its next broadcast
+  nodes_[node]->restart();
+  record_trace(node, "restarted");
+}
+
+NodeId System::pick_live(const sched::LoadWeights& weights) const {
+  std::optional<NodeId> best;
+  double best_load = 0.0;
+  for (NodeId m : table_.members()) {
+    if (node_crashed_[m] != 0) continue;  // dead but not yet expired
+    const double load = sched::load_function(table_.load_of(m), weights);
+    if (!best.has_value() || load < best_load) {
+      best = m;
+      best_load = load;
+    }
+  }
+  if (best.has_value()) return *best;
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    if (node_crashed_[n] == 0) return n;
+  }
+  QADIST_UNREACHABLE("no live nodes (apply_crash spares the last one)");
 }
 
 Metrics System::run() {
@@ -112,6 +223,12 @@ Metrics System::run() {
   }
   for (const auto& node : nodes_) {
     monitor_process(*node);
+  }
+  for (const auto& fault : config_.faults.crashes) {
+    schedule_crash(fault.node, fault.at, fault.restart_after);
+  }
+  if (config_.faults.mtbf > 0.0) {
+    fault_process();
   }
   sim_.run();
   QADIST_CHECK(metrics_.completed == total_submitted_,
@@ -151,22 +268,52 @@ simnet::SimProcess System::monitor_process(Node& node) {
   }
 }
 
-simnet::SimProcess System::pr_leg(
-    QuestionState& q, NodeId node,
-    std::shared_ptr<std::deque<std::size_t>> units, simnet::WaitGroup& wg) {
-  const QuestionPlan& plan = *q.plan;
-  Node& executor = *nodes_[node];
-  bool sent_keywords = node == q.host;  // local leg ships nothing
-  double leg_ps = 0.0;
+simnet::SimProcess System::fault_process() {
+  // Random crash generator: exponential inter-crash gaps (mean = MTBF),
+  // uniform victim. Deterministic given the config seed; decorrelated from
+  // the two-choice stream by a splitmix64-style constant.
+  Rng rng(config_.seed ^ 0x9e3779b97f4a7c15ULL);
+  while (!all_done_) {
+    co_await simnet::Delay(sim_,
+                           rng.exponential(1.0 / config_.faults.mtbf));
+    if (all_done_) break;
+    const NodeId victim = static_cast<NodeId>(rng.below(nodes_.size()));
+    apply_crash(victim);
+    if (config_.faults.restart_after >= 0.0 && node_crashed_[victim] != 0) {
+      sim_.schedule(config_.faults.restart_after,
+                    [this, victim] { apply_restart(victim); });
+    }
+  }
+}
 
-  while (!units->empty()) {
-    const std::size_t idx = units->front();
-    units->pop_front();
+simnet::SimProcess System::pr_leg(QuestionState& q,
+                                  std::shared_ptr<PrLegSlot> slot,
+                                  std::size_t index,
+                                  simnet::Mailbox<std::size_t>& reports) {
+  // Crash protocol: after EVERY co_await the leg re-checks its node's
+  // crash epoch. Once it moved, this coroutine is a zombie — the
+  // coordinator may have recovered the work, finished the question, and
+  // destroyed `q` and `reports` — so it exits touching only the slot
+  // (shared ownership) and System members. A dead leg never reports;
+  // the coordinator's reply timeout is the detection path.
+  const NodeId node = slot->node;
+  Node& executor = *nodes_[node];
+  const QuestionPlan& plan = *q.plan;
+  const NodeId host = q.host;
+  bool sent_keywords = node == host;  // local leg ships nothing
+  double leg_ps = 0.0;
+  const auto dead = [&] { return crash_epoch_[node] != slot->epoch; };
+
+  while (!slot->units->empty()) {
+    const std::size_t idx = slot->units->front();
+    slot->units->pop_front();
+    slot->in_flight = idx;
     const auto& unit = plan.pr_units[idx];
 
     if (!sent_keywords) {
       const Seconds t0 = sim_.now();
       co_await network_->transfer(static_cast<double>(plan.keyword_bytes));
+      if (dead()) co_return;
       q.oh_keyword_send += sim_.now() - t0;
       sent_keywords = true;
     }
@@ -174,7 +321,9 @@ simnet::SimProcess System::pr_leg(
     const Seconds unit_start = sim_.now();
     const double thrash = executor.work_multiplier();
     co_await executor.disk().consume(unit.demand.disk_bytes * thrash);
+    if (dead()) co_return;
     co_await executor.cpu().consume(unit.demand.cpu_seconds * thrash);
+    if (dead()) co_return;
     record_trace(node, "finished collection " + std::to_string(idx) + " in " +
                            format_double(sim_.now() - unit_start, 2) +
                            " secs (" + std::to_string(unit.paragraphs) +
@@ -184,40 +333,53 @@ simnet::SimProcess System::pr_leg(
     const Seconds ps0 = sim_.now();
     co_await executor.cpu().consume(unit.ps.cpu_seconds *
                                     executor.work_multiplier());
+    if (dead()) co_return;
     leg_ps += sim_.now() - ps0;
 
-    if (node != q.host && unit.bytes_out > 0) {
+    if (node != host && unit.bytes_out > 0) {
       // Ship the scored paragraphs back; the paragraph merging module on
       // the host re-reads them from its disk (paper Eq. 27).
       const Seconds t0 = sim_.now();
       co_await network_->transfer(static_cast<double>(unit.bytes_out));
-      co_await nodes_[q.host]->disk().consume(
+      if (dead()) co_return;
+      co_await nodes_[host]->disk().consume(
           static_cast<double>(unit.bytes_out));
+      if (dead()) co_return;
       q.oh_paragraph_receive += sim_.now() - t0;
     }
+    // The unit's results now live on the host: durable across our crash.
+    slot->in_flight = kNoUnit;
   }
   q.t_ps_max = std::max(q.t_ps_max, leg_ps);
-  wg.done();
+  slot->reported = true;
+  reports.send(index);
 }
 
-simnet::SimProcess System::ap_leg(
-    QuestionState& q, NodeId node, std::vector<std::size_t> units,
-    std::shared_ptr<std::deque<parallel::Chunk>> chunks,
-    simnet::WaitGroup& wg) {
-  const QuestionPlan& plan = *q.plan;
+simnet::SimProcess System::ap_leg(QuestionState& q,
+                                  std::shared_ptr<ApLegSlot> slot,
+                                  std::size_t index,
+                                  simnet::Mailbox<std::size_t>& reports) {
+  // Same crash protocol as pr_leg (see there).
+  const NodeId node = slot->node;
   Node& executor = *nodes_[node];
-  const bool remote = node != q.host;
+  const QuestionPlan& plan = *q.plan;
+  const NodeId host = q.host;
+  const bool remote = node != host;
   const Seconds leg_start = sim_.now();
   std::size_t processed = 0;
+  const auto dead = [&] { return crash_epoch_[node] != slot->epoch; };
 
   // Each batch: ship paragraphs in, burn CPU per paragraph, ship answers
   // back. Answers return per batch, which is why tiny RECV chunks pay more
   // overhead (paper Sec. 4.1.2).
-  if (chunks != nullptr) {
-    // RECV: compete for chunks.
-    while (!chunks->empty()) {
-      const parallel::Chunk chunk = chunks->front();
-      chunks->pop_front();
+  if (slot->chunks != nullptr) {
+    // RECV: compete for chunks. Only the in-flight chunk is at risk on a
+    // crash — earlier chunks already returned their answers.
+    while (!slot->chunks->empty()) {
+      const parallel::Chunk chunk = slot->chunks->front();
+      slot->chunks->pop_front();
+      slot->in_flight = chunk;
+      slot->has_in_flight = true;
       std::size_t bytes_in = 0;
       std::size_t bytes_out = 0;
       for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
@@ -227,47 +389,57 @@ simnet::SimProcess System::ap_leg(
       if (remote && bytes_in > 0) {
         const Seconds t0 = sim_.now();
         co_await network_->transfer(static_cast<double>(bytes_in));
+        if (dead()) co_return;
         q.oh_paragraph_send += sim_.now() - t0;
       }
       for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
         co_await executor.cpu().consume(plan.ap_units[i].demand.cpu_seconds *
                                         executor.work_multiplier());
+        if (dead()) co_return;
         ++processed;
       }
       // Per-batch answer extraction floor (paper Sec. 4.1.2).
       co_await executor.cpu().consume(config_.per_batch_answer_cpu);
+      if (dead()) co_return;
       if (remote && bytes_out > 0) {
         const Seconds t0 = sim_.now();
         co_await network_->transfer(static_cast<double>(bytes_out));
+        if (dead()) co_return;
         q.oh_answer_receive += sim_.now() - t0;
       }
+      slot->has_in_flight = false;  // answers are back: chunk is durable
     }
   } else {
     // SEND/ISEND: the sender shipped us a fixed partition; move its input
-    // once, process, return answers once.
+    // once, process, return answers once. Nothing is durable until the
+    // final answer transfer lands, so a crash loses the whole partition.
     std::size_t bytes_in = 0;
     std::size_t bytes_out = 0;
-    for (std::size_t i : units) {
+    for (std::size_t i : slot->units) {
       bytes_in += plan.ap_units[i].bytes_in;
       bytes_out += plan.ap_units[i].answer_bytes_out;
     }
     if (remote && bytes_in > 0) {
       const Seconds t0 = sim_.now();
       co_await network_->transfer(static_cast<double>(bytes_in));
+      if (dead()) co_return;
       q.oh_paragraph_send += sim_.now() - t0;
     }
-    for (std::size_t i : units) {
+    for (std::size_t i : slot->units) {
       co_await executor.cpu().consume(plan.ap_units[i].demand.cpu_seconds *
                                       executor.work_multiplier());
+      if (dead()) co_return;
       ++processed;
     }
     if (processed > 0) {
       // One answer-extraction pass per partition (paper Sec. 4.1.2).
       co_await executor.cpu().consume(config_.per_batch_answer_cpu);
+      if (dead()) co_return;
     }
     if (remote && bytes_out > 0) {
       const Seconds t0 = sim_.now();
       co_await network_->transfer(static_cast<double>(bytes_out));
+      if (dead()) co_return;
       q.oh_answer_receive += sim_.now() - t0;
     }
   }
@@ -276,7 +448,8 @@ simnet::SimProcess System::ap_leg(
                            " paragraphs in " +
                            format_double(sim_.now() - leg_start, 2) + " secs");
   }
-  wg.done();
+  slot->reported = true;
+  reports.send(index);
 }
 
 simnet::SimProcess System::question_process(const QuestionPlan& plan,
@@ -287,15 +460,14 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
   NodeId host = dns_node;
 
   // The DNS front-end may hand a question to a node that has left the
-  // pool (its A record outlives the membership): reroute to the least
-  // loaded member, regardless of policy.
-  if (!table_.is_member(host)) {
-    const auto fallback = table_.least_loaded(sched::kQaWeights);
-    QADIST_CHECK(fallback.has_value(), << "no nodes in the pool");
-    host = *fallback;
+  // pool or crashed (its A record outlives the membership): reroute to the
+  // least loaded live member, regardless of policy.
+  if (!table_.is_member(host) || node_crashed_[host] != 0) {
+    host = pick_live(sched::kQaWeights);
   }
 
-  // ---- Scheduling point 1.
+  // ---- Scheduling point 1 (first placement only; a retry after a host
+  // crash goes straight to the least-loaded live node instead).
   if (config_.policy == Policy::kTwoChoice) {
     // Power-of-two-choices: sample two members, keep the lighter.
     const auto members = table_.members();
@@ -308,7 +480,7 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
       const double lb =
           sched::load_function(table_.load_of(b), sched::kQaWeights);
       const NodeId choice = la <= lb ? a : b;
-      if (choice != host) {
+      if (choice != host && node_crashed_[choice] == 0) {
         co_await network_->transfer(static_cast<double>(plan.question_bytes));
         host = choice;
         ++metrics_.migrations_qa;
@@ -318,7 +490,7 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
     const auto decision = sched::decide_migration(
         table_, host, sched::kQaWeights,
         sched::single_task_load(sched::kQaWeights));
-    if (decision.migrate) {
+    if (decision.migrate && node_crashed_[decision.target] == 0) {
       co_await network_->transfer(static_cast<double>(plan.question_bytes));
       host = decision.target;
       ++metrics_.migrations_qa;
@@ -326,139 +498,411 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
                              " migrated from N" + std::to_string(dns_node + 1));
     }
   }
-  q.host = host;
-  nodes_[host]->question_arrived();
-  // Reserve the question's expected load so simultaneous arrivals don't
-  // all herd onto the same momentarily-idle node before the next broadcast.
-  table_.reserve(host, sched::ResourceLoad{sched::kQaWeights.cpu,
-                                           sched::kQaWeights.disk});
-  record_trace(host, "started question " + std::to_string(plan.source.id));
+  if (node_crashed_[host] != 0) host = pick_live(sched::kQaWeights);
 
-  // ---- QP (sequential, on the host).
-  {
-    const Seconds t0 = sim_.now();
-    co_await nodes_[host]->cpu().consume(plan.qp.cpu_seconds *
-                                         nodes_[host]->work_multiplier());
-    q.t_qp = sim_.now() - t0;
-  }
+  // ---- Attempt loop: one pass per host. A host crash loses the question
+  // (its state dies with the process); after the front-end's reply timeout
+  // it is resubmitted to a surviving node and starts over from QP.
+  for (;;) {
+    q.host = host;
+    const std::size_t host_epoch = crash_epoch_[host];
+    const auto host_dead = [&] { return crash_epoch_[host] != host_epoch; };
+    bool failed = false;
 
-  // ---- Scheduling point 2: the PR dispatcher (DQA only).
-  std::vector<NodeId> pr_nodes{host};
-  std::vector<double> pr_weights{1.0};
-  if (config_.policy == Policy::kDqa) {
-    auto ms = sched::meta_schedule(table_, sched::kPrWeights,
-                                   config_.pr_underload_threshold);
-    if (!config_.enable_partitioning && ms.selected.size() > 1) {
-      // Partitioning disabled: keep only the heaviest-weighted node.
-      const std::size_t best = static_cast<std::size_t>(
-          std::max_element(ms.weights.begin(), ms.weights.end()) -
-          ms.weights.begin());
-      ms.selected = {ms.selected[best]};
-      ms.weights = {1.0};
-      ms.partitioned = false;
+    nodes_[host]->question_arrived();
+    // Reserve the question's expected load so simultaneous arrivals don't
+    // all herd onto the same momentarily-idle node before the next
+    // broadcast.
+    table_.reserve(host, sched::ResourceLoad{sched::kQaWeights.cpu,
+                                             sched::kQaWeights.disk});
+    record_trace(host, "started question " + std::to_string(plan.source.id));
+
+    // ---- QP (sequential, on the host).
+    {
+      const Seconds t0 = sim_.now();
+      co_await nodes_[host]->cpu().consume(plan.qp.cpu_seconds *
+                                           nodes_[host]->work_multiplier());
+      failed = host_dead();
+      q.t_qp = sim_.now() - t0;
     }
-    if (!(ms.selected.size() == 1 && ms.selected[0] == host)) {
-      ++metrics_.migrations_pr;
+
+    // ---- Scheduling point 2: the PR dispatcher (DQA only).
+    if (!failed) {
+      std::vector<NodeId> pr_nodes{host};
+      std::vector<double> pr_weights{1.0};
+      if (config_.policy == Policy::kDqa) {
+        auto ms = sched::meta_schedule(table_, sched::kPrWeights,
+                                       config_.pr_underload_threshold);
+        // Drop nodes that crashed but have not yet expired from the table.
+        std::vector<NodeId> live_sel;
+        std::vector<double> live_w;
+        for (std::size_t i = 0; i < ms.selected.size(); ++i) {
+          if (node_crashed_[ms.selected[i]] != 0) continue;
+          live_sel.push_back(ms.selected[i]);
+          live_w.push_back(ms.weights[i]);
+        }
+        ms.selected = std::move(live_sel);
+        ms.weights = std::move(live_w);
+        if (ms.selected.empty()) {
+          ms.selected = {host};
+          ms.weights = {1.0};
+        }
+        if (!config_.enable_partitioning && ms.selected.size() > 1) {
+          // Partitioning disabled: keep only the heaviest-weighted node.
+          const std::size_t best = static_cast<std::size_t>(
+              std::max_element(ms.weights.begin(), ms.weights.end()) -
+              ms.weights.begin());
+          ms.selected = {ms.selected[best]};
+          ms.weights = {1.0};
+          ms.partitioned = false;
+        }
+        if (!(ms.selected.size() == 1 && ms.selected[0] == host)) {
+          ++metrics_.migrations_pr;
+        }
+        pr_nodes = std::move(ms.selected);
+        pr_weights = std::move(ms.weights);
+      }
+
+      // ---- PR stage with supervision. Legs report on `reports`; a reply
+      // silence of membership_timeout triggers a liveness sweep, and dead
+      // legs' unfinished sub-collections are recovered: requeued on the
+      // shared deque under RECV, re-partitioned over the surviving stage
+      // nodes under SEND. Finished units are durable (their paragraphs
+      // already reached the host disk), so recovery is per-unit.
+      const Seconds pr_start = sim_.now();
+      {
+        simnet::Mailbox<std::size_t> reports(sim_);
+        std::vector<std::shared_ptr<PrLegSlot>> slots;
+        const auto spawn = [&](NodeId node,
+                               std::shared_ptr<std::deque<std::size_t>> units) {
+          auto slot = std::make_shared<PrLegSlot>();
+          slot->node = node;
+          slot->epoch = crash_epoch_[node];
+          slot->units = std::move(units);
+          slots.push_back(slot);
+          pr_leg(q, slot, slots.size() - 1, reports);
+        };
+        const bool shared_queue =
+            config_.pr_strategy == Strategy::kRecv || pr_nodes.size() == 1;
+        std::shared_ptr<std::deque<std::size_t>> shared_units;
+        if (shared_queue) {
+          // Receiver-controlled: every leg competes for the sub-collection
+          // queue (paper Fig. 7a: "four nodes compete for the 8 sub-
+          // collections").
+          shared_units = std::make_shared<std::deque<std::size_t>>();
+          for (std::size_t i = 0; i < plan.pr_units.size(); ++i) {
+            shared_units->push_back(i);
+          }
+          for (NodeId node : pr_nodes) spawn(node, shared_units);
+        } else {
+          // SEND ablation: weighted contiguous blocks of sub-collections.
+          const auto partitions =
+              parallel::partition_send(plan.pr_units.size(), pr_weights);
+          for (const auto& p : partitions) {
+            spawn(pr_nodes[p.worker],
+                  std::make_shared<std::deque<std::size_t>>(p.items.begin(),
+                                                            p.items.end()));
+          }
+        }
+
+        std::size_t outstanding = slots.size();
+        while (outstanding > 0) {
+          const auto msg =
+              co_await reports.recv_for(config_.membership_timeout);
+          if (msg.has_value()) {
+            --outstanding;
+            continue;
+          }
+          // Reply timeout: sweep the unreported legs for dead nodes.
+          const bool host_down = host_dead();
+          std::size_t requeued = 0;
+          std::vector<std::pair<NodeId, std::deque<std::size_t>>> respawn;
+          for (const auto& sp : slots) {
+            PrLegSlot& s = *sp;
+            if (s.reported || s.declared_dead) continue;
+            if (crash_epoch_[s.node] == s.epoch) continue;  // still alive
+            s.declared_dead = true;
+            --outstanding;
+            ++metrics_.legs_lost;
+            table_.remove(s.node);
+            record_trace(host, "lost contact with N" +
+                                   std::to_string(s.node + 1) + " during PR");
+            if (host_down) continue;  // the whole question restarts anyway
+            std::deque<std::size_t> lost;
+            if (s.in_flight != kNoUnit) {
+              lost.push_back(s.in_flight);
+              s.in_flight = kNoUnit;
+            }
+            if (!shared_queue) {
+              for (std::size_t u : *s.units) lost.push_back(u);
+              s.units->clear();
+            }
+            if (lost.empty()) continue;
+            metrics_.items_recovered += lost.size();
+            metrics_.recovery_latency.add(sim_.now() - crash_time_[s.node]);
+            record_trace(host, "recovered " + std::to_string(lost.size()) +
+                                   " collections from N" +
+                                   std::to_string(s.node + 1));
+            if (shared_queue) {
+              // Requeue at the front: surviving legs pick the units up the
+              // next time they hit the deque.
+              for (auto it = lost.rbegin(); it != lost.rend(); ++it) {
+                shared_units->push_front(*it);
+              }
+              requeued += lost.size();
+            } else {
+              // Re-partition the dead leg's block over the surviving stage
+              // nodes (their original weights).
+              std::vector<NodeId> survivors;
+              std::vector<double> weights;
+              for (std::size_t i = 0; i < pr_nodes.size(); ++i) {
+                if (node_crashed_[pr_nodes[i]] != 0) continue;
+                survivors.push_back(pr_nodes[i]);
+                weights.push_back(pr_weights[i]);
+              }
+              if (survivors.empty()) {
+                survivors.push_back(host);  // host is live: !host_down
+                weights.push_back(1.0);
+              }
+              const auto parts =
+                  parallel::partition_send(lost.size(), weights);
+              for (const auto& p : parts) {
+                std::deque<std::size_t> block;
+                for (std::size_t j : p.items) block.push_back(lost[j]);
+                respawn.emplace_back(survivors[p.worker], std::move(block));
+              }
+            }
+          }
+          for (auto& [node, block] : respawn) {
+            spawn(node, std::make_shared<std::deque<std::size_t>>(
+                            std::move(block)));
+            ++outstanding;
+            ++metrics_.recovery_legs;
+          }
+          if (requeued > 0) {
+            // If no surviving leg is still draining the shared deque, the
+            // requeued units would be stranded: spawn a recovery leg.
+            bool any_live = false;
+            for (const auto& sp : slots) {
+              if (!sp->reported && !sp->declared_dead) {
+                any_live = true;
+                break;
+              }
+            }
+            if (!any_live) {
+              spawn(pick_live(sched::kPrWeights), shared_units);
+              ++outstanding;
+              ++metrics_.recovery_legs;
+            }
+          }
+        }
+      }
+      q.t_pr_stage = sim_.now() - pr_start;
+      failed = host_dead();
     }
-    pr_nodes = std::move(ms.selected);
-    pr_weights = std::move(ms.weights);
+
+    // ---- PO (sequential and centralized, on the host).
+    if (!failed) {
+      const Seconds t0 = sim_.now();
+      co_await nodes_[host]->cpu().consume(plan.po.cpu_seconds *
+                                           nodes_[host]->work_multiplier());
+      failed = host_dead();
+      q.t_po = sim_.now() - t0;
+      if (!failed) {
+        record_trace(host, "accepted " +
+                               std::to_string(plan.accepted_paragraphs) +
+                               " paragraphs");
+      }
+    }
+
+    // ---- Scheduling point 3: the AP dispatcher (DQA only).
+    if (!failed && !plan.ap_units.empty()) {
+      std::vector<NodeId> ap_nodes{host};
+      std::vector<double> ap_weights{1.0};
+      if (config_.policy == Policy::kDqa) {
+        auto ms = sched::meta_schedule(table_, sched::kApWeights,
+                                       config_.ap_underload_threshold);
+        std::vector<NodeId> live_sel;
+        std::vector<double> live_w;
+        for (std::size_t i = 0; i < ms.selected.size(); ++i) {
+          if (node_crashed_[ms.selected[i]] != 0) continue;
+          live_sel.push_back(ms.selected[i]);
+          live_w.push_back(ms.weights[i]);
+        }
+        ms.selected = std::move(live_sel);
+        ms.weights = std::move(live_w);
+        if (ms.selected.empty()) {
+          ms.selected = {host};
+          ms.weights = {1.0};
+        }
+        if (!config_.enable_partitioning && ms.selected.size() > 1) {
+          const std::size_t best = static_cast<std::size_t>(
+              std::max_element(ms.weights.begin(), ms.weights.end()) -
+              ms.weights.begin());
+          ms.selected = {ms.selected[best]};
+          ms.weights = {1.0};
+          ms.partitioned = false;
+        }
+        if (!(ms.selected.size() == 1 && ms.selected[0] == host)) {
+          ++metrics_.migrations_ap;
+        }
+        ap_nodes = std::move(ms.selected);
+        ap_weights = std::move(ms.weights);
+      }
+
+      // ---- AP stage with supervision. Recovery granularity follows the
+      // answer path: RECV loses only the in-flight chunk (requeued on the
+      // shared deque); SEND/ISEND lose the whole partition (answers ship
+      // once at the end), which is re-partitioned over the survivors.
+      const Seconds ap_start = sim_.now();
+      {
+        simnet::Mailbox<std::size_t> reports(sim_);
+        std::vector<std::shared_ptr<ApLegSlot>> slots;
+        const auto spawn =
+            [&](NodeId node, std::vector<std::size_t> units,
+                std::shared_ptr<std::deque<parallel::Chunk>> chunks) {
+              auto slot = std::make_shared<ApLegSlot>();
+              slot->node = node;
+              slot->epoch = crash_epoch_[node];
+              slot->units = std::move(units);
+              slot->chunks = std::move(chunks);
+              slots.push_back(slot);
+              ap_leg(q, slot, slots.size() - 1, reports);
+            };
+        const bool shared_queue =
+            config_.ap_strategy == Strategy::kRecv || ap_nodes.size() == 1;
+        std::shared_ptr<std::deque<parallel::Chunk>> shared_chunks;
+        if (shared_queue) {
+          shared_chunks = std::make_shared<std::deque<parallel::Chunk>>();
+          for (const auto& c :
+               parallel::make_chunks(plan.ap_units.size(), config_.ap_chunk)) {
+            shared_chunks->push_back(c);
+          }
+          for (NodeId node : ap_nodes) spawn(node, {}, shared_chunks);
+        } else {
+          const auto partitions =
+              config_.ap_strategy == Strategy::kIsend
+                  ? parallel::partition_isend(plan.ap_units.size(), ap_weights)
+                  : parallel::partition_send(plan.ap_units.size(), ap_weights);
+          for (const auto& p : partitions) {
+            spawn(ap_nodes[p.worker], p.items, nullptr);
+          }
+        }
+
+        std::size_t outstanding = slots.size();
+        while (outstanding > 0) {
+          const auto msg =
+              co_await reports.recv_for(config_.membership_timeout);
+          if (msg.has_value()) {
+            --outstanding;
+            continue;
+          }
+          const bool host_down = host_dead();
+          std::size_t requeued = 0;
+          std::vector<std::pair<NodeId, std::vector<std::size_t>>> respawn;
+          for (const auto& sp : slots) {
+            ApLegSlot& s = *sp;
+            if (s.reported || s.declared_dead) continue;
+            if (crash_epoch_[s.node] == s.epoch) continue;  // still alive
+            s.declared_dead = true;
+            --outstanding;
+            ++metrics_.legs_lost;
+            table_.remove(s.node);
+            record_trace(host, "lost contact with N" +
+                                   std::to_string(s.node + 1) + " during AP");
+            if (host_down) continue;
+            if (s.chunks != nullptr) {
+              if (!s.has_in_flight) continue;
+              s.chunks->push_front(s.in_flight);
+              s.has_in_flight = false;
+              requeued += s.in_flight.size();
+              metrics_.items_recovered += s.in_flight.size();
+              metrics_.recovery_latency.add(sim_.now() - crash_time_[s.node]);
+              record_trace(host, "requeued chunk of " +
+                                     std::to_string(s.in_flight.size()) +
+                                     " paragraphs from N" +
+                                     std::to_string(s.node + 1));
+            } else {
+              std::vector<std::size_t> lost = std::move(s.units);
+              s.units.clear();
+              if (lost.empty()) continue;
+              metrics_.items_recovered += lost.size();
+              metrics_.recovery_latency.add(sim_.now() - crash_time_[s.node]);
+              record_trace(host, "recovered " + std::to_string(lost.size()) +
+                                     " paragraphs from N" +
+                                     std::to_string(s.node + 1));
+              std::vector<NodeId> survivors;
+              std::vector<double> weights;
+              for (std::size_t i = 0; i < ap_nodes.size(); ++i) {
+                if (node_crashed_[ap_nodes[i]] != 0) continue;
+                survivors.push_back(ap_nodes[i]);
+                weights.push_back(ap_weights[i]);
+              }
+              if (survivors.empty()) {
+                survivors.push_back(host);
+                weights.push_back(1.0);
+              }
+              const auto parts =
+                  config_.ap_strategy == Strategy::kIsend
+                      ? parallel::partition_isend(lost.size(), weights)
+                      : parallel::partition_send(lost.size(), weights);
+              for (const auto& p : parts) {
+                std::vector<std::size_t> block;
+                block.reserve(p.items.size());
+                for (std::size_t j : p.items) block.push_back(lost[j]);
+                respawn.emplace_back(survivors[p.worker], std::move(block));
+              }
+            }
+          }
+          for (auto& [node, block] : respawn) {
+            spawn(node, std::move(block), nullptr);
+            ++outstanding;
+            ++metrics_.recovery_legs;
+          }
+          if (requeued > 0) {
+            bool any_live = false;
+            for (const auto& sp : slots) {
+              if (!sp->reported && !sp->declared_dead) {
+                any_live = true;
+                break;
+              }
+            }
+            if (!any_live) {
+              spawn(pick_live(sched::kApWeights), {}, shared_chunks);
+              ++outstanding;
+              ++metrics_.recovery_legs;
+            }
+          }
+        }
+      }
+      q.t_ap_stage = sim_.now() - ap_start;
+      failed = host_dead();
+    }
+
+    // ---- Answer merging + sorting (host).
+    if (!failed) {
+      const Seconds t0 = sim_.now();
+      co_await nodes_[host]->cpu().consume(plan.answer_sort.cpu_seconds *
+                                           nodes_[host]->work_multiplier());
+      failed = host_dead();
+      q.oh_answer_sort = sim_.now() - t0;
+    }
+
+    if (!failed) break;  // success: the host survived the whole attempt
+
+    // Host crash: everything this attempt computed died with it (no
+    // question_departed — the crash already zeroed the residents). The
+    // front-end notices after its reply timeout and resubmits.
+    const Seconds detect = crash_time_[host] + config_.membership_timeout;
+    if (detect > sim_.now()) {
+      co_await simnet::Delay(sim_, detect - sim_.now());
+    }
+    ++metrics_.question_restarts;
+    record_trace(host, "question " + std::to_string(plan.source.id) +
+                           " lost its host; resubmitting");
+    host = pick_live(sched::kQaWeights);
   }
 
-  const Seconds pr_start = sim_.now();
-  {
-    simnet::WaitGroup wg(sim_);
-    if (config_.pr_strategy == Strategy::kRecv || pr_nodes.size() == 1) {
-      // Receiver-controlled: every leg competes for the sub-collection
-      // queue (paper Fig. 7a: "four nodes compete for the 8 sub-
-      // collections").
-      auto units = std::make_shared<std::deque<std::size_t>>();
-      for (std::size_t i = 0; i < plan.pr_units.size(); ++i) {
-        units->push_back(i);
-      }
-      for (NodeId node : pr_nodes) {
-        wg.add(1);
-        pr_leg(q, node, units, wg);
-      }
-    } else {
-      // SEND ablation: weighted contiguous blocks of sub-collections.
-      const auto partitions =
-          parallel::partition_send(plan.pr_units.size(), pr_weights);
-      for (std::size_t w = 0; w < pr_nodes.size(); ++w) {
-        auto units = std::make_shared<std::deque<std::size_t>>(
-            partitions[w].items.begin(), partitions[w].items.end());
-        wg.add(1);
-        pr_leg(q, pr_nodes[w], units, wg);
-      }
-    }
-    co_await wg.wait();
-  }
-  q.t_pr_stage = sim_.now() - pr_start;
-
-  // ---- PO (sequential and centralized, on the host).
-  {
-    const Seconds t0 = sim_.now();
-    co_await nodes_[host]->cpu().consume(plan.po.cpu_seconds *
-                                         nodes_[host]->work_multiplier());
-    q.t_po = sim_.now() - t0;
-    record_trace(host, "accepted " + std::to_string(plan.accepted_paragraphs) +
-                           " paragraphs");
-  }
-
-  // ---- Scheduling point 3: the AP dispatcher (DQA only).
-  std::vector<NodeId> ap_nodes{host};
-  std::vector<double> ap_weights{1.0};
-  if (config_.policy == Policy::kDqa) {
-    auto ms = sched::meta_schedule(table_, sched::kApWeights,
-                                   config_.ap_underload_threshold);
-    if (!config_.enable_partitioning && ms.selected.size() > 1) {
-      const std::size_t best = static_cast<std::size_t>(
-          std::max_element(ms.weights.begin(), ms.weights.end()) -
-          ms.weights.begin());
-      ms.selected = {ms.selected[best]};
-      ms.weights = {1.0};
-      ms.partitioned = false;
-    }
-    if (!(ms.selected.size() == 1 && ms.selected[0] == host)) {
-      ++metrics_.migrations_ap;
-    }
-    ap_nodes = std::move(ms.selected);
-    ap_weights = std::move(ms.weights);
-  }
-
-  const Seconds ap_start = sim_.now();
-  if (!plan.ap_units.empty()) {
-    simnet::WaitGroup wg(sim_);
-    if (config_.ap_strategy == Strategy::kRecv || ap_nodes.size() == 1) {
-      auto chunks = std::make_shared<std::deque<parallel::Chunk>>();
-      for (const auto& c :
-           parallel::make_chunks(plan.ap_units.size(), config_.ap_chunk)) {
-        chunks->push_back(c);
-      }
-      for (NodeId node : ap_nodes) {
-        wg.add(1);
-        ap_leg(q, node, {}, chunks, wg);
-      }
-    } else {
-      const auto partitions =
-          config_.ap_strategy == Strategy::kIsend
-              ? parallel::partition_isend(plan.ap_units.size(), ap_weights)
-              : parallel::partition_send(plan.ap_units.size(), ap_weights);
-      for (std::size_t w = 0; w < ap_nodes.size(); ++w) {
-        wg.add(1);
-        ap_leg(q, ap_nodes[w], partitions[w].items, nullptr, wg);
-      }
-    }
-    co_await wg.wait();
-  }
-  q.t_ap_stage = sim_.now() - ap_start;
-
-  // ---- Answer merging + sorting (host).
-  {
-    const Seconds t0 = sim_.now();
-    co_await nodes_[host]->cpu().consume(plan.answer_sort.cpu_seconds *
-                                         nodes_[host]->work_multiplier());
-    q.oh_answer_sort = sim_.now() - t0;
-  }
   record_trace(host, "answered question " + std::to_string(plan.source.id) +
                          " in " + format_double(sim_.now() - q.submitted, 2) +
                          " secs");

@@ -15,6 +15,7 @@
 #include "sched/meta_scheduler.hpp"
 #include "simnet/event.hpp"
 #include "simnet/link.hpp"
+#include "simnet/mailbox.hpp"
 #include "simnet/process.hpp"
 #include "simnet/simulation.hpp"
 
@@ -36,6 +37,30 @@ namespace qadist::cluster {
 enum class Policy { kDns, kInter, kDqa, kTwoChoice };
 
 [[nodiscard]] std::string_view to_string(Policy policy);
+
+/// One scripted node crash. A crash halts the node's CPU and disk
+/// mid-flight (in-progress work is lost, not paused), drops its load
+/// broadcasts, and kills the questions it hosts. With `restart_after >= 0`
+/// the node reboots empty that many seconds later and rejoins the pool
+/// with its next broadcast.
+struct FaultEvent {
+  sched::NodeId node = 0;
+  Seconds at = 0.0;
+  Seconds restart_after = -1.0;  ///< < 0: the node stays down
+};
+
+/// Fault injection plan: scripted crashes, plus an optional random crash
+/// process (exponential inter-crash gaps with mean `mtbf`, uniform victim)
+/// driven by the system seed. A crash that would take down the last live
+/// node is skipped (and counted in Metrics::crashes_skipped) so every run
+/// can still drain.
+struct FaultPlan {
+  std::vector<FaultEvent> crashes;
+  Seconds mtbf = 0.0;            ///< > 0 enables random crashes
+  Seconds restart_after = -1.0;  ///< restart delay for random crashes
+
+  [[nodiscard]] bool enabled() const { return !crashes.empty() || mtbf > 0.0; }
+};
 
 struct SystemConfig {
   std::size_t nodes = 12;
@@ -94,6 +119,9 @@ struct SystemConfig {
   /// AP partitioning strategy: any of the three.
   parallel::Strategy ap_strategy = parallel::Strategy::kRecv;
   std::size_t ap_chunk = 40;  ///< paragraphs per RECV chunk (paper Fig. 10)
+
+  /// Fault injection (see FaultPlan). Empty by default: no crashes.
+  FaultPlan faults;
 };
 
 /// The distributed question answering system (paper Fig. 2/3) running on
@@ -125,6 +153,17 @@ class System {
   void schedule_leave(sched::NodeId node, Seconds at);
   void schedule_join(sched::NodeId node, Seconds at);
 
+  /// Schedules a crash at absolute sim time `at` (in addition to whatever
+  /// config().faults scripts). See FaultEvent for the crash semantics;
+  /// `restart_after < 0` means the node stays down.
+  void schedule_crash(sched::NodeId node, Seconds at,
+                      Seconds restart_after = -1.0);
+
+  /// Whether `node` is currently down from a fault (tests/benches).
+  [[nodiscard]] bool node_crashed(sched::NodeId node) const {
+    return node_crashed_.at(node) != 0;
+  }
+
   /// Direct node access (metrics inspection in tests/benches).
   [[nodiscard]] Node& node(std::size_t index) { return *nodes_.at(index); }
 
@@ -140,19 +179,33 @@ class System {
 
  private:
   struct QuestionState;  // per-question bookkeeping (defined in .cpp)
+  struct PrLegSlot;      // coordinator/leg shared state (defined in .cpp)
+  struct ApLegSlot;
 
   simnet::SimProcess monitor_process(Node& node);
+  simnet::SimProcess fault_process();
   simnet::SimProcess question_process(const QuestionPlan& plan,
                                       sched::NodeId dns_node);
 
-  // Stage helpers (coroutines awaited from question_process via WaitGroup).
-  simnet::SimProcess pr_leg(QuestionState& q, sched::NodeId node,
-                            std::shared_ptr<std::deque<std::size_t>> units,
-                            simnet::WaitGroup& wg);
-  simnet::SimProcess ap_leg(QuestionState& q, sched::NodeId node,
-                            std::vector<std::size_t> units,
-                            std::shared_ptr<std::deque<parallel::Chunk>> chunks,
-                            simnet::WaitGroup& wg);
+  // Stage legs. Each leg shares a slot with its coordinator (pending and
+  // in-flight work, completion flag) and reports its slot index on the
+  // stage mailbox when done. A leg whose node crashes reports nothing:
+  // the coordinator's reply timeout (recv_for membership_timeout) is what
+  // detects the loss, mirroring a real scatter-gather over TCP.
+  simnet::SimProcess pr_leg(QuestionState& q, std::shared_ptr<PrLegSlot> slot,
+                            std::size_t index,
+                            simnet::Mailbox<std::size_t>& reports);
+  simnet::SimProcess ap_leg(QuestionState& q, std::shared_ptr<ApLegSlot> slot,
+                            std::size_t index,
+                            simnet::Mailbox<std::size_t>& reports);
+
+  /// Least-loaded pool member that is actually up; falls back to any live
+  /// node when the table is momentarily empty. A live node always exists
+  /// (apply_crash never takes down the last one).
+  [[nodiscard]] sched::NodeId pick_live(const sched::LoadWeights& weights) const;
+
+  void apply_crash(sched::NodeId node);
+  void apply_restart(sched::NodeId node);
 
   void record_trace(sched::NodeId node, std::string event);
 
@@ -160,6 +213,9 @@ class System {
   SystemConfig config_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<char> node_broadcasting_;  // membership: monitor active?
+  std::vector<char> node_crashed_;       // fault state: node currently down?
+  std::vector<std::size_t> crash_epoch_;  // bumped per crash (zombie detection)
+  std::vector<Seconds> crash_time_;       // last crash time per node
   std::unique_ptr<simnet::Link> network_;
   sched::LoadTable table_;
   Metrics metrics_;

@@ -11,6 +11,14 @@ void TraceRecorder::record(Seconds time, sched::NodeId node,
   entries_.push_back(Entry{time, node, std::move(event)});
 }
 
+std::size_t TraceRecorder::count_containing(std::string_view needle) const {
+  std::size_t count = 0;
+  for (const auto& e : entries_) {
+    if (e.event.find(needle) != std::string::npos) ++count;
+  }
+  return count;
+}
+
 std::string TraceRecorder::render() const {
   std::ostringstream os;
   for (const auto& e : entries_) {

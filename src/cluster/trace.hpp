@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/units.hpp"
@@ -27,6 +28,10 @@ class TraceRecorder {
 
   /// Renders the trace in the paper's "N<k> <event>  <t> secs" layout.
   [[nodiscard]] std::string render() const;
+
+  /// Number of entries whose event text contains `needle` — lets tests
+  /// assert on crash/recovery activity without parsing the rendering.
+  [[nodiscard]] std::size_t count_containing(std::string_view needle) const;
 
  private:
   std::vector<Entry> entries_;

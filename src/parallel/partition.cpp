@@ -54,6 +54,22 @@ std::vector<std::size_t> apportion(std::size_t total_items,
   return counts;
 }
 
+namespace {
+
+/// Drops zero-item partitions (no point shipping them) and asserts the
+/// survivors still cover every item exactly once.
+std::vector<Partition> drop_empty_checked(std::vector<Partition> partitions,
+                                          std::size_t total_items) {
+  std::erase_if(partitions, [](const Partition& p) { return p.items.empty(); });
+  std::size_t covered = 0;
+  for (const auto& p : partitions) covered += p.items.size();
+  QADIST_CHECK(covered == total_items,
+               << "partitions cover " << covered << "/" << total_items);
+  return partitions;
+}
+
+}  // namespace
+
 std::vector<Partition> partition_send(std::size_t total_items,
                                       std::span<const double> weights) {
   const auto counts = apportion(total_items, weights);
@@ -66,7 +82,7 @@ std::vector<Partition> partition_send(std::size_t total_items,
       partitions[w].items.push_back(next++);
   }
   QADIST_CHECK(next == total_items);
-  return partitions;
+  return drop_empty_checked(std::move(partitions), total_items);
 }
 
 std::vector<Partition> partition_isend(std::size_t total_items,
@@ -93,7 +109,7 @@ std::vector<Partition> partition_isend(std::size_t total_items,
     }
     QADIST_CHECK(dealt, << "apportion under-counted");
   }
-  return partitions;
+  return drop_empty_checked(std::move(partitions), total_items);
 }
 
 std::vector<Chunk> make_chunks(std::size_t total_items,

@@ -17,7 +17,11 @@ enum class Strategy {
 [[nodiscard]] std::string_view to_string(Strategy s);
 
 /// One worker's share of the item array (item indices, not values — the
-/// same partitioner drives host threads and simulated nodes).
+/// same partitioner drives host threads and simulated nodes). Workers
+/// apportioned zero items get no Partition at all: shipping an empty
+/// partition still costs a message round-trip, so partition_send /
+/// partition_isend drop them before dispatch. `worker` always indexes the
+/// caller's weight array, so results stay attributable after the drop.
 struct Partition {
   std::size_t worker = 0;
   std::vector<std::size_t> items;
@@ -32,13 +36,15 @@ struct Partition {
 
 /// SEND: worker i receives the next count[i] *consecutive* items. Assumes
 /// near-uniform per-item cost — the assumption the paper shows failing for
-/// AP (Fig. 7a: equal counts, 60s spread in finish times).
+/// AP (Fig. 7a: equal counts, 60s spread in finish times). Empty
+/// partitions are dropped (see Partition).
 [[nodiscard]] std::vector<Partition> partition_send(
     std::size_t total_items, std::span<const double> weights);
 
 /// ISEND: worker i still receives count[i] items, but dealt in a weighted
 /// round-robin over the (rank-sorted) item array, so each worker's average
 /// per-item cost is similar when cost decreases with rank (paper Fig. 5b).
+/// Empty partitions are dropped (see Partition).
 [[nodiscard]] std::vector<Partition> partition_isend(
     std::size_t total_items, std::span<const double> weights);
 

@@ -1,5 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
+#include <utility>
+
 #include "common/check.hpp"
 
 namespace qadist::parallel {
@@ -34,6 +36,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -48,7 +55,12 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
       --in_flight_;

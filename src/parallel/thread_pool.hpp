@@ -3,6 +3,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -26,10 +27,15 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Tasks must not throw (std::terminate otherwise).
+  /// Enqueues a task. A task that throws does not kill the worker thread:
+  /// the first exception of a batch is captured and rethrown from the next
+  /// wait_idle() (later ones are dropped — by then the batch is already
+  /// failing and the first cause is the one worth reporting).
   void submit(std::function<void()> task);
 
-  /// Blocks the calling thread until all submitted work has completed.
+  /// Blocks the calling thread until all submitted work has completed,
+  /// then rethrows the first exception any task raised since the previous
+  /// wait_idle(). The pool stays usable after the throw.
   void wait_idle();
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
@@ -42,6 +48,7 @@ class ThreadPool {
   std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;  // dequeued but not finished
+  std::exception_ptr first_error_;  // first task failure since last wait_idle
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;
 };

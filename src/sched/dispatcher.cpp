@@ -15,7 +15,9 @@ MigrationDecision decide_migration(const LoadTable& table, NodeId current,
 
   const double here = load_function(table.load_of(current), weights);
   const double there = load_function(table.load_of(*best), weights);
-  if (here - there > single_question_load) {
+  // 2x: the migration moves one question-load across the gap, so the
+  // imbalance must still favor the move after the question lands.
+  if (here - there > 2.0 * single_question_load) {
     return MigrationDecision{true, *best};
   }
   return {};

@@ -7,11 +7,14 @@
 namespace qadist::sched {
 
 /// The question dispatcher's migration rule (paper Sec. 3.1): move the Q/A
-/// task to the least-loaded node, but only when the load gap exceeds the
-/// average workload of a single question — "to avoid useless migrations, a
-/// question is migrated only if the difference between the load of the
-/// source node and the load of the destination node is greater than the
-/// average workload of a single question."
+/// task to the least-loaded node, but only when the load gap is large
+/// enough that the migration is not "useless". The paper states the
+/// threshold as one single-question load; we require *twice* that, because
+/// the move itself shifts one question-load from source to target — under
+/// a 1x threshold a marginal imbalance (gap between 1x and 2x) reverses
+/// the moment the question lands, and the next decision migrates work
+/// straight back (ping-pong). With a 2x threshold the residual gap
+/// (gap - 2x) still favors the move after it completes.
 struct MigrationDecision {
   bool migrate = false;
   NodeId target = 0;

@@ -33,6 +33,10 @@ void LoadTable::reserve(NodeId node, const ResourceLoad& delta) {
   mutable_entry.reserved.disk += delta.disk;
 }
 
+void LoadTable::remove(NodeId node) {
+  if (node < entries_.size()) entries_[node].alive = false;
+}
+
 void LoadTable::expire(Seconds now, Seconds timeout) {
   for (auto& e : entries_) {
     if (e.alive && now - e.last_update > timeout) e.alive = false;

@@ -38,6 +38,12 @@ class LoadTable {
   /// Drops nodes whose last broadcast is older than `timeout`.
   void expire(Seconds now, Seconds timeout);
 
+  /// Drops one node immediately — a coordinator whose reply timeout fired
+  /// on a dead worker declares it out of the pool without waiting for its
+  /// broadcast to age past the membership timeout. No-op on non-members;
+  /// the node re-enters the pool with its next broadcast.
+  void remove(NodeId node);
+
   /// Current members, ascending id.
   [[nodiscard]] std::vector<NodeId> members() const;
 

@@ -86,13 +86,33 @@ void FairShareServer::on_completion(std::uint64_t generation) {
 }
 
 void FairShareServer::enqueue(double work, std::coroutine_handle<> h) {
-  if (work <= 0.0) {
+  if (work <= 0.0 || halted_) {
+    // Halted: resume without serving; the customer's post-await crash
+    // check observes the dead node and abandons the work.
     sim_.schedule(0.0, [h] { h.resume(); });
     return;
   }
   advance();
   flows_.push_back(Flow{work, work, h});
   reschedule();
+}
+
+void FairShareServer::halt() {
+  if (halted_) return;
+  advance();
+  halted_ = true;
+  ++generation_;  // invalidate any scheduled completion event
+  std::vector<Flow> orphans = std::move(flows_);
+  flows_.clear();
+  for (const auto& flow : orphans) {
+    sim_.schedule(0.0, [h = flow.handle] { h.resume(); });
+  }
+}
+
+void FairShareServer::restart() {
+  if (!halted_) return;
+  advance();  // settle integrals over the (flow-free) downtime
+  halted_ = false;
 }
 
 void FairShareServer::ConsumeAwaiter::await_suspend(std::coroutine_handle<> h) {

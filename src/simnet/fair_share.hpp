@@ -61,6 +61,20 @@ class FairShareServer {
   /// Awaitable: completes once `work` resource-units have been served.
   ConsumeAwaiter consume(double work) { return ConsumeAwaiter(*this, work); }
 
+  /// Fails the server (a node crash): every in-service customer is resumed
+  /// immediately with its remaining work unserved, and later enqueues
+  /// complete instantly without serving anything. The server cannot signal
+  /// failure through the void-returning awaitable, so the contract is that
+  /// every customer checks its node's crash flag right after each co_await
+  /// and discards the partial result (see cluster::System's PR/AP legs).
+  /// Work lost to a halt is not added to work_served().
+  void halt();
+
+  /// Returns a halted server to service (node reboot). Idempotent.
+  void restart();
+
+  [[nodiscard]] bool halted() const { return halted_; }
+
   /// Low-level entry used by composite awaitables (e.g. simnet::Link):
   /// registers `h` as a customer with `work` units remaining; `h` is
   /// resumed when the work completes. Equivalent to what awaiting
@@ -110,6 +124,7 @@ class FairShareServer {
   double busy_integral_ = 0.0;
   double work_served_ = 0.0;
   std::uint64_t generation_ = 0;
+  bool halted_ = false;
 };
 
 }  // namespace qadist::simnet

@@ -1,11 +1,14 @@
 #pragma once
 
+#include <algorithm>
 #include <coroutine>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/units.hpp"
 #include "simnet/simulation.hpp"
 
 namespace qadist::simnet {
@@ -14,8 +17,11 @@ namespace qadist::simnet {
 ///
 /// `send()` never blocks (the underlying transport's latency is modelled
 /// separately by the network link — a mailbox is just the destination
-/// buffer). `co_await box.recv()` suspends until a message is available.
-/// Multiple receivers are served in arrival order.
+/// buffer). `co_await box.recv()` suspends until a message is available;
+/// `co_await box.recv_for(t)` additionally gives up after `t` simulated
+/// seconds and produces nullopt — the primitive behind reply timeouts
+/// (e.g. a scatter-gather coordinator detecting a dead worker). Multiple
+/// receivers are served in arrival order.
 template <typename T>
 class Mailbox {
  public:
@@ -26,8 +32,9 @@ class Mailbox {
   /// Deposits a message; wakes the oldest waiting receiver, if any.
   void send(T value) {
     if (!receivers_.empty()) {
-      Awaiter* r = receivers_.front();
+      Waiter* r = receivers_.front();
       receivers_.pop_front();
+      if (r->settled != nullptr) *r->settled = true;
       r->slot = std::move(value);
       auto h = r->handle;
       sim_->schedule(0.0, [h] { h.resume(); });
@@ -41,37 +48,83 @@ class Mailbox {
     return !receivers_.empty();
   }
 
-  struct [[nodiscard]] Awaiter {
-    Mailbox& box;
+  /// A suspended receiver. `settled` guards the race between delivery and
+  /// a pending timeout event: whichever path fires first sets it, the
+  /// loser becomes a no-op (the shared_ptr outlives the awaiter, so a
+  /// late timeout callback never dereferences a destroyed frame).
+  struct Waiter {
     std::optional<T> slot;
     std::coroutine_handle<> handle;
+    std::shared_ptr<bool> settled;  // null for untimed receives
+  };
+
+  struct [[nodiscard]] Awaiter : Waiter {
+    Mailbox& box;
+
+    explicit Awaiter(Mailbox& b) : box(b) {}
 
     bool await_ready() {
       if (!box.queue_.empty()) {
-        slot = std::move(box.queue_.front());
+        this->slot = std::move(box.queue_.front());
         box.queue_.pop_front();
         return true;
       }
       return false;
     }
     void await_suspend(std::coroutine_handle<> h) {
-      handle = h;
+      this->handle = h;
       box.receivers_.push_back(this);
     }
     T await_resume() {
-      QADIST_CHECK(slot.has_value());
-      return std::move(*slot);
+      QADIST_CHECK(this->slot.has_value());
+      return std::move(*this->slot);
     }
   };
 
+  struct [[nodiscard]] TimedAwaiter : Waiter {
+    Mailbox& box;
+    Seconds timeout;
+
+    TimedAwaiter(Mailbox& b, Seconds t) : box(b), timeout(t) {}
+
+    bool await_ready() {
+      if (!box.queue_.empty()) {
+        this->slot = std::move(box.queue_.front());
+        box.queue_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      this->handle = h;
+      this->settled = std::make_shared<bool>(false);
+      box.receivers_.push_back(this);
+      Mailbox* b = &box;
+      Waiter* self = this;
+      box.sim_->schedule(timeout, [b, self, settled = this->settled] {
+        if (*settled) return;  // a send() won the race
+        *settled = true;
+        auto& rs = b->receivers_;
+        rs.erase(std::remove(rs.begin(), rs.end(), self), rs.end());
+        self->handle.resume();  // slot stays empty -> nullopt
+      });
+    }
+    std::optional<T> await_resume() { return std::move(this->slot); }
+  };
+
   /// Awaitable: produces the next message (FIFO).
-  Awaiter recv() { return Awaiter{*this, std::nullopt, {}}; }
+  Awaiter recv() { return Awaiter{*this}; }
+
+  /// Awaitable: the next message, or nullopt after `timeout` simulated
+  /// seconds without one.
+  TimedAwaiter recv_for(Seconds timeout) { return TimedAwaiter{*this, timeout}; }
 
  private:
   friend struct Awaiter;
+  friend struct TimedAwaiter;
   Simulation* sim_;
   std::deque<T> queue_;
-  std::deque<Awaiter*> receivers_;
+  std::deque<Waiter*> receivers_;
 };
 
 }  // namespace qadist::simnet

@@ -30,8 +30,10 @@ namespace qadist::simnet {
 ///
 /// Exceptions escaping a process terminate the program: a simulated node
 /// has no one to propagate to, and silently dropping failures would corrupt
-/// experiments. Model recoverable failures explicitly (see the failure
-/// injection hooks in parallel/ and cluster/).
+/// experiments. Model recoverable failures explicitly — see
+/// parallel::ExecutorOptions::failures for host-thread workers and
+/// cluster::FaultPlan (node crashes detected by reply timeout, per-strategy
+/// recovery) for the simulated cluster.
 class SimProcess {
  public:
   struct promise_type {

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 
 namespace qadist::parallel {
@@ -63,6 +64,36 @@ TEST(ThreadPoolTest, SingleThreadPoolIsSequential) {
   }
   pool.wait_idle();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, TaskExceptionRethrownFromWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The pool stays usable after the throw.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, OnlyFirstExceptionOfBatchIsReported) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  pool.wait_idle();  // the batch's remaining failures were dropped
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ThrowingTaskDoesNotKillWorker) {
+  ThreadPool pool(1);  // a single worker must survive its task throwing
+  pool.submit([] { throw std::runtime_error("boom"); });
+  std::atomic<bool> ran{false};
+  pool.submit([&] { ran = true; });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_TRUE(ran.load());
 }
 
 TEST(ThreadPoolTest, DestructorJoinsOutstandingWork) {

@@ -106,5 +106,31 @@ TEST(DispatcherTest, CurrentIsBestNoMigration) {
   EXPECT_FALSE(d.migrate);
 }
 
+TEST(DispatcherTest, PingPongGapDoesNotMigrate) {
+  // Regression: the moved question itself swings the gap by two loads
+  // (the source sheds one, the target gains one). With a gap of 1.5
+  // question-loads a 1x threshold migrates and leaves the imbalance
+  // reversed, so a stream of arrivals bounces work back and forth. The
+  // threshold must be 2x for the move to still pay off after landing.
+  const double one = single_task_load(kQaWeights);
+  const auto t = table_with({{1.5 * one / kQaWeights.cpu, 0.0}, {0.0, 0.0}});
+  const auto d = decide_migration(t, 0, kQaWeights, one);
+  EXPECT_FALSE(d.migrate) << "gap of 1.5 question-loads must not migrate";
+}
+
+TEST(DispatcherTest, MigrationAboveTwoLoadsDoesNotReverse) {
+  const double one = single_task_load(kQaWeights);
+  const auto t = table_with({{3.0 * one / kQaWeights.cpu, 0.0}, {0.0, 0.0}});
+  const auto d = decide_migration(t, 0, kQaWeights, one);
+  ASSERT_TRUE(d.migrate);
+  ASSERT_EQ(d.target, 1u);
+  // Land the question (source sheds one load, target gains one): the
+  // target's own dispatcher must not bounce it back.
+  const auto after = table_with(
+      {{2.0 * one / kQaWeights.cpu, 0.0}, {1.0 * one / kQaWeights.cpu, 0.0}});
+  const auto back = decide_migration(after, 1, kQaWeights, one);
+  EXPECT_FALSE(back.migrate);
+}
+
 }  // namespace
 }  // namespace qadist::sched

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "simnet/event.hpp"
@@ -136,6 +138,60 @@ TEST(MailboxTest, BufferedMessageReceivedWithoutSuspend) {
     out = co_await b.recv();
   }(box, got);
   EXPECT_EQ(got, 42);
+}
+
+SimProcess timed_consumer(Simulation& sim, Mailbox<int>& box, Seconds timeout,
+                          std::vector<std::pair<double, std::optional<int>>>& log) {
+  const std::optional<int> msg = co_await box.recv_for(timeout);
+  log.emplace_back(sim.now(), msg);
+}
+
+TEST(MailboxTest, RecvForTimesOutEmptyHanded) {
+  Simulation sim;
+  Mailbox<int> box(sim);
+  std::vector<std::pair<double, std::optional<int>>> log;
+  timed_consumer(sim, box, 3.0, log);
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(log[0].first, 3.0);
+  EXPECT_FALSE(log[0].second.has_value());
+}
+
+TEST(MailboxTest, RecvForDeliveryBeatsTimeout) {
+  Simulation sim;
+  Mailbox<int> box(sim);
+  std::vector<std::pair<double, std::optional<int>>> log;
+  timed_consumer(sim, box, 5.0, log);
+  sim.schedule(1.0, [&] { box.send(7); });
+  sim.run();  // the stale timeout event at t=5 must be a harmless no-op
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(log[0].first, 1.0);
+  ASSERT_TRUE(log[0].second.has_value());
+  EXPECT_EQ(*log[0].second, 7);
+}
+
+TEST(MailboxTest, RecvForBufferedMessageIsImmediate) {
+  Simulation sim;
+  Mailbox<int> box(sim);
+  box.send(9);
+  std::vector<std::pair<double, std::optional<int>>> log;
+  timed_consumer(sim, box, 2.0, log);
+  ASSERT_EQ(log.size(), 1u);  // resolved without suspending
+  EXPECT_DOUBLE_EQ(log[0].first, 0.0);
+  ASSERT_TRUE(log[0].second.has_value());
+  EXPECT_EQ(*log[0].second, 9);
+}
+
+TEST(MailboxTest, RecvForTimeoutLeavesLaterSendsBuffered) {
+  Simulation sim;
+  Mailbox<int> box(sim);
+  std::vector<std::pair<double, std::optional<int>>> log;
+  timed_consumer(sim, box, 1.0, log);
+  sim.schedule(2.0, [&] { box.send(11); });  // after the receiver gave up
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_FALSE(log[0].second.has_value());
+  EXPECT_EQ(box.pending(), 1u);  // nobody was waiting anymore
 }
 
 SimProcess resource_user(Simulation& sim, Resource& res, Seconds hold,

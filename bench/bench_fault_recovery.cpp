@@ -14,6 +14,7 @@
 #include "cluster/workload.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "support/bench_report.hpp"
 #include "support/bench_world.hpp"
 
 int main() {
@@ -47,6 +48,11 @@ int main() {
     return system.run();
   };
 
+  bench::BenchReport report("fault_recovery");
+  report.config("nodes", std::int64_t{kNodes});
+  report.config("crashes", std::int64_t{2});
+  report.config("protocol", "high-load 2x, 2 crashes, no restart");
+
   TextTable table({"AP strategy", "Run", "Makespan (s)", "Mean lat (s)",
                    "p95 (s)", "Legs lost", "Items recov",
                    "Recov legs", "Q restarts", "Detect (s)"});
@@ -79,6 +85,25 @@ int main() {
         100.0 * (fault.makespan - clean.makespan) / clean.makespan;
     table.add_row({"", "overhead", cell(overhead, 1) + "%", "", "", "", "", "",
                    "", ""});
+    const std::string strat{to_string(strategy)};
+    report.metric("makespan_seconds", {{"run", "clean"}, {"strategy", strat}},
+                  clean.makespan);
+    report.metric("makespan_seconds", {{"run", "faulted"}, {"strategy", strat}},
+                  fault.makespan);
+    report.metric("latency_seconds", {{"run", "faulted"}, {"strategy", strat}},
+                  fault.latencies);
+    report.metric("legs_lost", {{"strategy", strat}},
+                  static_cast<double>(fault.legs_lost));
+    report.metric("items_recovered", {{"strategy", strat}},
+                  static_cast<double>(fault.items_recovered));
+    report.metric("recovery_legs", {{"strategy", strat}},
+                  static_cast<double>(fault.recovery_legs));
+    report.metric("question_restarts", {{"strategy", strat}},
+                  static_cast<double>(fault.question_restarts));
+    report.metric("recovery_latency_seconds", {{"strategy", strat}},
+                  fault.recovery_latency);
+    report.metric("makespan_overhead_percent", {{"strategy", strat}},
+                  overhead);
   }
   std::printf("%s", table.render().c_str());
   std::printf(
@@ -86,5 +111,6 @@ int main() {
       "only the in-flight chunk per lost leg while SEND/ISEND strand the "
       "dead node's whole partition, so RECV recovers fewer items; most of "
       "the faulted slowdown is capacity loss (6 survivors), not recovery.\n");
+  report.write();
   return 0;
 }

@@ -14,12 +14,17 @@
 
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "support/bench_report.hpp"
 #include "support/bench_world.hpp"
 
 int main() {
   using namespace qadist;
   const auto& world = bench::bench_world();
   constexpr std::size_t kQuestions = 40;
+
+  bench::BenchReport report("fig10_chunk_granularity");
+  report.config("questions", std::int64_t{kQuestions});
+  report.config("protocol", "low-load (paper Sec. 6.2), RECV AP");
 
   const auto ap_time = [&](std::size_t nodes, std::size_t chunk) {
     cluster::SystemConfig cfg;
@@ -35,9 +40,19 @@ int main() {
                    "8 processors"});
   for (double paper_chunk : {5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0}) {
     const std::size_t chunk = bench::scaled_chunk(world, paper_chunk);
+    const double speedup4 = base4 / ap_time(4, chunk);
+    const double speedup8 = base4 / ap_time(8, chunk);
     table.add_row({format_double(paper_chunk, 0), std::to_string(chunk),
-                   cell(base4 / ap_time(4, chunk), 2),
-                   cell(base4 / ap_time(8, chunk), 2)});
+                   cell(speedup4, 2), cell(speedup8, 2)});
+    const std::string pc = format_double(paper_chunk, 0);
+    report.metric("ap_speedup",
+                  {{"nodes", "4"}, {"paper_chunk", pc},
+                   {"scaled_chunk", std::to_string(chunk)}},
+                  speedup4);
+    report.metric("ap_speedup",
+                  {{"nodes", "8"}, {"paper_chunk", pc},
+                   {"scaled_chunk", std::to_string(chunk)}},
+                  speedup8);
   }
 
   std::printf(
@@ -46,5 +61,6 @@ int main() {
   std::printf(
       "Expected shape: speedup peaks at a middle chunk size (paper: ~40 of "
       "~880 paragraphs) and degrades at both extremes.\n");
+  report.write();
   return 0;
 }

@@ -9,13 +9,28 @@
 // assigned weighted shares.
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
 
+#include "obs/export.hpp"
+#include "obs/span.hpp"
+#include "support/bench_report.hpp"
 #include "support/bench_world.hpp"
 
 int main() {
   using namespace qadist;
   using parallel::Strategy;
   const auto& world = bench::bench_world();
+
+  const char* results_env = std::getenv("QADIST_RESULTS_DIR");
+  const std::string results_dir =
+      (results_env != nullptr && *results_env != '\0') ? results_env
+                                                       : "results";
+  std::error_code ec;
+  std::filesystem::create_directories(results_dir, ec);
+  bench::BenchReport report("fig7_traces");
+  report.config("nodes", std::int64_t{4});
 
   // The paper traces question 226; we pick the plan with the most accepted
   // paragraphs so the AP partitioning behaviour is clearly visible.
@@ -39,7 +54,9 @@ int main() {
     cfg.ap_chunk = bench::scaled_chunk(world);
     cluster::System system(sim, cfg);
     cluster::TraceRecorder trace;
+    obs::Tracer tracer;
     system.set_trace(&trace);
+    system.set_tracer(&tracer);
     system.submit(world.plans[pick], 0.0);
     const auto metrics = system.run();
 
@@ -47,6 +64,18 @@ int main() {
                 world.plans[pick].source.text.c_str(),
                 trace.render().c_str());
     std::printf("  response time: %.2f s\n\n", metrics.latencies.mean());
+
+    // Machine-readable twins of this text trace: the same event stream as
+    // a JSONL log and a Perfetto-loadable Chrome trace.
+    const std::string strat{parallel::to_string(strategies[variant])};
+    const std::string stem = results_dir + "/TRACE_fig7_ap_" + strat;
+    obs::export_jsonl_file(tracer, stem + ".jsonl");
+    obs::export_chrome_trace_file(tracer, stem + ".chrome.json");
+    report.metric("response_seconds", {{"ap_strategy", strat}},
+                  metrics.latencies.mean());
+    report.metric("spans", {{"ap_strategy", strat}},
+                  static_cast<double>(tracer.spans().size()));
   }
+  report.write();
   return 0;
 }

@@ -10,6 +10,7 @@
 
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "support/bench_report.hpp"
 #include "support/bench_world.hpp"
 
 int main() {
@@ -17,6 +18,10 @@ int main() {
   using cluster::Policy;
   const auto& world = bench::bench_world();
   constexpr int kSeeds = 10;
+
+  bench::BenchReport report("table5_throughput");
+  report.config("seeds", std::int64_t{kSeeds});
+  report.config("protocol", "high-load 2x (paper Sec. 6.1)");
 
   // Paper Table 5 values for reference.
   const double paper[3][3] = {
@@ -27,10 +32,16 @@ int main() {
   for (int row = 0; row < 3; ++row) {
     const std::size_t nodes = node_counts[row];
     std::vector<std::string> cells{std::to_string(nodes) + " processors"};
+    int col = 0;
     for (Policy policy : {Policy::kDns, Policy::kInter, Policy::kDqa}) {
       const auto r =
           bench::run_policy_averaged(world, policy, nodes, kSeeds);
       cells.push_back(cell(r.throughput_qpm, 2));
+      report.metric("throughput_qpm",
+                    {{"nodes", std::to_string(nodes)},
+                     {"policy", std::string(cluster::to_string(policy))}},
+                    r.throughput_qpm, paper[row][col]);
+      ++col;
     }
     cells.push_back(format_double(paper[row][0], 2) + " / " +
                     format_double(paper[row][1], 2) + " / " +
@@ -42,5 +53,6 @@ int main() {
       "Table 5 — System throughput (questions/minute), %d seeds averaged\n%s",
       kSeeds, table.render().c_str());
   std::printf("Expected shape: DQA > INTER > DNS at every node count.\n");
+  report.write();
   return 0;
 }

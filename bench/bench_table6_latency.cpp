@@ -7,6 +7,7 @@
 
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "support/bench_report.hpp"
 #include "support/bench_world.hpp"
 
 int main() {
@@ -14,6 +15,10 @@ int main() {
   using cluster::Policy;
   const auto& world = bench::bench_world();
   constexpr int kSeeds = 10;
+
+  bench::BenchReport report("table6_latency");
+  report.config("seeds", std::int64_t{kSeeds});
+  report.config("protocol", "high-load 2x (paper Sec. 6.1)");
 
   const double paper[3][3] = {{143.88, 122.51, 111.85},
                               {135.30, 118.82, 113.53},
@@ -25,10 +30,18 @@ int main() {
   for (int row = 0; row < 3; ++row) {
     const std::size_t nodes = node_counts[row];
     std::vector<std::string> cells{std::to_string(nodes) + " processors"};
+    int col = 0;
     for (Policy policy : {Policy::kDns, Policy::kInter, Policy::kDqa}) {
       const auto r =
           bench::run_policy_averaged(world, policy, nodes, kSeeds);
       cells.push_back(cell(r.mean_latency, 1));
+      const obs::Labels labels{
+          {"nodes", std::to_string(nodes)},
+          {"policy", std::string(cluster::to_string(policy))}};
+      report.metric("mean_latency_seconds", labels, r.mean_latency,
+                    paper[row][col]);
+      report.metric("p95_latency_seconds", labels, r.p95_latency);
+      ++col;
     }
     cells.push_back(format_double(paper[row][0], 1) + " / " +
                     format_double(paper[row][1], 1) + " / " +
@@ -40,5 +53,6 @@ int main() {
       "Table 6 — Average question response times (seconds), %d seeds\n%s",
       kSeeds, table.render().c_str());
   std::printf("Expected shape: DQA < INTER < DNS at every node count.\n");
+  report.write();
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "common/table.hpp"
+#include "support/bench_report.hpp"
 #include "support/bench_world.hpp"
 
 int main() {
@@ -18,10 +19,16 @@ int main() {
   const auto& world = bench::bench_world();
   constexpr int kSeeds = 10;
 
+  bench::BenchReport report("table7_migrations");
+  report.config("seeds", std::int64_t{kSeeds});
+  report.config("protocol", "high-load 2x (paper Sec. 6.1)");
+
   TextTable table({"Questions (nodes)", "INTER QA", "DQA QA", "DQA PR",
                    "DQA AP", "paper (INTER QA; DQA QA/PR/AP)"});
   const std::size_t node_counts[] = {4, 8, 12};
   const char* paper[] = {"8; 17/10/10", "15; 26/34/33", "23; 37/43/41"};
+  const double paper_vals[3][4] = {
+      {8, 17, 10, 10}, {15, 26, 34, 33}, {23, 37, 43, 41}};
   for (int row = 0; row < 3; ++row) {
     const std::size_t nodes = node_counts[row];
     const auto inter =
@@ -33,6 +40,19 @@ int main() {
                    cell(inter.migrations_qa, 1), cell(dqa.migrations_qa, 1),
                    cell(dqa.migrations_pr, 1), cell(dqa.migrations_ap, 1),
                    paper[row]});
+    const std::string n = std::to_string(nodes);
+    report.metric("migrations", {{"nodes", n}, {"policy", "INTER"},
+                                 {"stage", "qa"}},
+                  inter.migrations_qa, paper_vals[row][0]);
+    report.metric("migrations", {{"nodes", n}, {"policy", "DQA"},
+                                 {"stage", "qa"}},
+                  dqa.migrations_qa, paper_vals[row][1]);
+    report.metric("migrations", {{"nodes", n}, {"policy", "DQA"},
+                                 {"stage", "pr"}},
+                  dqa.migrations_pr, paper_vals[row][2]);
+    report.metric("migrations", {{"nodes", n}, {"policy", "DQA"},
+                                 {"stage", "ap"}},
+                  dqa.migrations_ap, paper_vals[row][3]);
   }
 
   std::printf(
@@ -42,5 +62,6 @@ int main() {
   std::printf(
       "Expected shape: PR and AP dispatchers frequently override the "
       "question dispatcher's node choice.\n");
+  report.write();
   return 0;
 }

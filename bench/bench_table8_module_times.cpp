@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "common/table.hpp"
+#include "support/bench_report.hpp"
 #include "support/bench_world.hpp"
 
 int main() {
@@ -16,11 +17,21 @@ int main() {
   const auto& world = bench::bench_world();
   constexpr std::size_t kQuestions = 40;
 
+  bench::BenchReport report("table8_module_times");
+  report.config("questions", std::int64_t{kQuestions});
+  report.config("protocol", "low-load (paper Sec. 6.2), RECV partitioning");
+
   const char* paper[] = {
       "0.81 38.01 2.06 0.02 117.55 | 158.47",
       "0.81  9.78 0.54 0.02  31.51 |  43.13",
       "0.81  7.34 0.41 0.02  17.86 |  27.07",
       "0.81  7.34 0.41 0.02  11.90 |  21.17",
+  };
+  const double paper_vals[4][6] = {
+      {0.81, 38.01, 2.06, 0.02, 117.55, 158.47},
+      {0.81, 9.78, 0.54, 0.02, 31.51, 43.13},
+      {0.81, 7.34, 0.41, 0.02, 17.86, 27.07},
+      {0.81, 7.34, 0.41, 0.02, 11.90, 21.17},
   };
 
   TextTable table({"", "QP", "PR", "PS", "PO", "AP", "Response time",
@@ -34,6 +45,19 @@ int main() {
                    cell(m.t_ps.mean(), 2), cell(m.t_po.mean(), 2),
                    cell(m.t_ap.mean(), 2), cell(m.latencies.mean(), 2),
                    paper[row]});
+    const std::string n = std::to_string(nodes);
+    report.metric("stage_seconds", {{"nodes", n}, {"stage", "qp"}}, m.t_qp,
+                  paper_vals[row][0]);
+    report.metric("stage_seconds", {{"nodes", n}, {"stage", "pr"}}, m.t_pr,
+                  paper_vals[row][1]);
+    report.metric("stage_seconds", {{"nodes", n}, {"stage", "ps"}}, m.t_ps,
+                  paper_vals[row][2]);
+    report.metric("stage_seconds", {{"nodes", n}, {"stage", "po"}}, m.t_po,
+                  paper_vals[row][3]);
+    report.metric("stage_seconds", {{"nodes", n}, {"stage", "ap"}}, m.t_ap,
+                  paper_vals[row][4]);
+    report.metric("response_seconds", {{"nodes", n}}, m.latencies,
+                  paper_vals[row][5]);
   }
 
   std::printf(
@@ -43,5 +67,6 @@ int main() {
   std::printf(
       "Expected shape: PR/PS/AP shrink with nodes, QP/PO constant, PR "
       "saturates at the 8 sub-collections.\n");
+  report.write();
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common/table.hpp"
+#include "support/bench_report.hpp"
 #include "support/bench_world.hpp"
 
 int main() {
@@ -15,9 +16,16 @@ int main() {
   const auto& world = bench::bench_world();
   constexpr std::size_t kQuestions = 40;
 
+  bench::BenchReport report("table9_overhead");
+  report.config("questions", std::int64_t{kQuestions});
+  report.config("protocol", "low-load (paper Sec. 6.2)");
+
   const char* paper[] = {"0.04 0.19 0.15 0.05 0.01 | 0.44",
                          "0.08 0.24 0.19 0.09 0.01 | 0.61",
                          "0.08 0.24 0.22 0.12 0.01 | 0.67"};
+  const double paper_vals[3][6] = {{0.04, 0.19, 0.15, 0.05, 0.01, 0.44},
+                                   {0.08, 0.24, 0.19, 0.09, 0.01, 0.61},
+                                   {0.08, 0.24, 0.22, 0.12, 0.01, 0.67}};
 
   TextTable table({"", "Keyword send", "Paragraph recv", "Paragraph send",
                    "Answer recv", "Answer sort", "Total", "% of response",
@@ -35,6 +43,26 @@ int main() {
                    cell(oh.answer_receive.mean(), 3),
                    cell(oh.answer_sort.mean(), 3), cell(total, 3),
                    cell_percent(total / m.latencies.mean()), paper[row]});
+    const std::string n = std::to_string(nodes);
+    report.metric("overhead_seconds", {{"component", "keyword_send"},
+                                       {"nodes", n}},
+                  oh.keyword_send, paper_vals[row][0]);
+    report.metric("overhead_seconds", {{"component", "paragraph_receive"},
+                                       {"nodes", n}},
+                  oh.paragraph_receive, paper_vals[row][1]);
+    report.metric("overhead_seconds", {{"component", "paragraph_send"},
+                                       {"nodes", n}},
+                  oh.paragraph_send, paper_vals[row][2]);
+    report.metric("overhead_seconds", {{"component", "answer_receive"},
+                                       {"nodes", n}},
+                  oh.answer_receive, paper_vals[row][3]);
+    report.metric("overhead_seconds", {{"component", "answer_sort"},
+                                       {"nodes", n}},
+                  oh.answer_sort, paper_vals[row][4]);
+    report.metric("overhead_total_seconds", {{"nodes", n}}, total,
+                  paper_vals[row][5]);
+    report.metric("overhead_fraction_of_response", {{"nodes", n}},
+                  total / m.latencies.mean());
   }
 
   std::printf(
@@ -43,5 +71,6 @@ int main() {
   std::printf(
       "Expected shape: paragraph traffic dominates; total < ~3%% of the "
       "question response time.\n");
+  report.write();
   return 0;
 }

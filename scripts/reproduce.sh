@@ -31,4 +31,20 @@ for e in "$BUILD_DIR"/examples/*; do
   "$e" 2>/dev/null | tee "results/example_$name.txt"
 done
 
+# Structured twins: benches emit machine-readable BENCH_<name>.json
+# (schema qadist-bench-v1) next to the text tables, and bench_fig7_traces
+# exports TRACE_*.jsonl / TRACE_*.chrome.json (open the latter in
+# https://ui.perfetto.dev). List and sanity-check them.
+echo "== structured results =="
+json_count=0
+for j in results/BENCH_*.json; do
+  [ -f "$j" ] || continue
+  json_count=$((json_count + 1))
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$j" > /dev/null || echo "WARNING: invalid JSON: $j"
+  fi
+  echo "-- $j"
+done
+echo "$json_count bench JSON reports in results/."
+
 echo "All outputs written to results/."

@@ -24,6 +24,14 @@ struct OverheadBreakdown {
 };
 
 /// Everything a simulation run measures.
+///
+/// Compatibility facade: the live store is the System's
+/// obs::MetricsRegistry (every counter below is a registry counter, every
+/// RunningStats/Samples a registry histogram, updated as the run executes).
+/// System::run() snapshots the registry into this plain struct at the end
+/// so existing benches and tests keep their field-level access; new code
+/// that wants names, labels, or JSON should read System::registry()
+/// instead.
 struct Metrics {
   std::size_t submitted = 0;
   std::size_t completed = 0;

@@ -22,6 +22,13 @@ Node::Node(simnet::Simulation& sim, sched::NodeId id, const NodeConfig& config)
   last_sample_ = sim.now();
 }
 
+void Node::attach_registry(obs::MetricsRegistry& registry) {
+  const obs::Labels labels{{"node", std::to_string(id_)}};
+  cpu_load_gauge_ = &registry.gauge("node_cpu_load", labels);
+  disk_load_gauge_ = &registry.gauge("node_disk_load", labels);
+  hosted_counter_ = &registry.counter("node_questions_hosted", labels);
+}
+
 void Node::question_departed() {
   QADIST_CHECK(resident_questions_ > 0,
                << "node " << id_ << ": departure without arrival");
@@ -66,6 +73,10 @@ sched::ResourceLoad Node::sample_load() {
   last_sample_ = now;
   last_cpu_integral_ = cpu_integral;
   last_disk_integral_ = disk_integral;
+  if (cpu_load_gauge_ != nullptr) {
+    cpu_load_gauge_->set(load.cpu);
+    disk_load_gauge_->set(load.disk);
+  }
   return load;
 }
 

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/units.hpp"
+#include "obs/registry.hpp"
 #include "sched/load.hpp"
 #include "simnet/fair_share.hpp"
 
@@ -43,9 +44,19 @@ class Node {
   [[nodiscard]] simnet::FairShareServer& cpu() { return *cpu_; }
   [[nodiscard]] simnet::FairShareServer& disk() { return *disk_; }
 
+  /// Registers this node's observability instruments (labeled by node id):
+  /// `node_cpu_load` / `node_disk_load` gauges refreshed on every load
+  /// sample, and a `node_questions_hosted` counter. The registry must
+  /// outlive the node; called by System at construction, optional for
+  /// standalone nodes in tests.
+  void attach_registry(obs::MetricsRegistry& registry);
+
   /// Resident-question tracking for the memory model. The System calls
   /// these when a question starts/finishes on this node as its host.
-  void question_arrived() { ++resident_questions_; }
+  void question_arrived() {
+    ++resident_questions_;
+    if (hosted_counter_ != nullptr) hosted_counter_->inc();
+  }
   void question_departed();
   [[nodiscard]] int resident_questions() const { return resident_questions_; }
 
@@ -76,6 +87,9 @@ class Node {
   Seconds last_sample_ = 0.0;
   double last_cpu_integral_ = 0.0;
   double last_disk_integral_ = 0.0;
+  obs::Gauge* cpu_load_gauge_ = nullptr;
+  obs::Gauge* disk_load_gauge_ = nullptr;
+  obs::Counter* hosted_counter_ = nullptr;
 };
 
 }  // namespace qadist::cluster

@@ -68,6 +68,12 @@ struct System::PrLegSlot {
   std::size_t in_flight = kNoUnit;  // popped, results not yet on the host
   bool reported = false;
   bool declared_dead = false;
+  /// Stage span the leg nests under, and the leg's own span. The leg opens
+  /// leg_span eagerly and closes it on normal completion; a crashed leg is
+  /// a zombie that must not report, so the *coordinator* closes its span
+  /// (crashed=1) when the liveness sweep declares the leg dead.
+  obs::SpanId stage_span = obs::kNoSpan;
+  obs::SpanId leg_span = obs::kNoSpan;
 };
 
 /// Coordinator/leg shared state for one AP leg. Exactly one of `chunks`
@@ -84,6 +90,8 @@ struct System::ApLegSlot {
   bool has_in_flight = false;
   bool reported = false;
   bool declared_dead = false;
+  obs::SpanId stage_span = obs::kNoSpan;  // see PrLegSlot
+  obs::SpanId leg_span = obs::kNoSpan;
 };
 
 System::System(simnet::Simulation& sim, const SystemConfig& config)
@@ -110,11 +118,60 @@ System::System(simnet::Simulation& sim, const SystemConfig& config)
   two_choice_rng_.reseed(config.seed);
   network_ = std::make_unique<simnet::Link>(
       sim, "lan", config.network, config.per_message_overhead);
+  register_instruments();
+  cpu_probes_.reserve(config.nodes);
+  disk_probes_.reserve(config.nodes);
+  for (const auto& node : nodes_) {
+    node->attach_registry(registry_);
+    cpu_probes_.emplace_back(node->cpu());
+    disk_probes_.emplace_back(node->disk());
+  }
+}
+
+void System::register_instruments() {
+  ins_.submitted = &registry_.counter("questions_submitted");
+  ins_.completed = &registry_.counter("questions_completed");
+  ins_.migrations_qa = &registry_.counter("migrations", {{"stage", "qa"}});
+  ins_.migrations_pr = &registry_.counter("migrations", {{"stage", "pr"}});
+  ins_.migrations_ap = &registry_.counter("migrations", {{"stage", "ap"}});
+  ins_.crashes = &registry_.counter("crashes");
+  ins_.crashes_skipped = &registry_.counter("crashes_skipped");
+  ins_.legs_lost = &registry_.counter("legs_lost");
+  ins_.items_recovered = &registry_.counter("items_recovered");
+  ins_.recovery_legs = &registry_.counter("recovery_legs");
+  ins_.question_restarts = &registry_.counter("question_restarts");
+  ins_.latency = &registry_.histogram("question_latency_seconds");
+  ins_.recovery_latency = &registry_.histogram("recovery_latency_seconds");
+  ins_.t_qp = &registry_.histogram("stage_seconds", {{"stage", "qp"}});
+  ins_.t_pr = &registry_.histogram("stage_seconds", {{"stage", "pr"}});
+  ins_.t_ps = &registry_.histogram("stage_seconds", {{"stage", "ps"}});
+  ins_.t_po = &registry_.histogram("stage_seconds", {{"stage", "po"}});
+  ins_.t_ap = &registry_.histogram("stage_seconds", {{"stage", "ap"}});
+  ins_.oh_keyword_send =
+      &registry_.histogram("overhead_seconds", {{"component", "keyword_send"}});
+  ins_.oh_paragraph_receive = &registry_.histogram(
+      "overhead_seconds", {{"component", "paragraph_receive"}});
+  ins_.oh_paragraph_send = &registry_.histogram(
+      "overhead_seconds", {{"component", "paragraph_send"}});
+  ins_.oh_answer_receive = &registry_.histogram(
+      "overhead_seconds", {{"component", "answer_receive"}});
+  ins_.oh_answer_sort =
+      &registry_.histogram("overhead_seconds", {{"component", "answer_sort"}});
 }
 
 System::~System() = default;
 
 void System::record_trace(NodeId node, std::string event) {
+  record_event(node, std::move(event), {});
+}
+
+void System::record_event(NodeId node, std::string event, obs::Attrs attrs) {
+  // With a tracer wired, the instant event IS the record — the attached
+  // TraceRecorder (text sink) receives the rendering from the same call.
+  if (tracer_ != nullptr) {
+    tracer_->instant(sim_.now(), node, std::move(event), std::move(attrs));
+    return;
+  }
   if (trace_ != nullptr) trace_->record(sim_.now(), node, std::move(event));
 }
 
@@ -122,11 +179,9 @@ void System::submit(const QuestionPlan& plan, Seconds at) {
   QADIST_CHECK(!started_, << "submit after run()");
   const NodeId dns_node = next_dns_node_;
   next_dns_node_ = static_cast<NodeId>((next_dns_node_ + 1) % nodes_.size());
+  if (total_submitted_ == 0 || at < first_submit_) first_submit_ = at;
   ++total_submitted_;
-  if (metrics_.submitted == 0 || at < metrics_.first_submit) {
-    metrics_.first_submit = at;
-  }
-  ++metrics_.submitted;
+  ins_.submitted->inc();
   sim_.schedule_at(at, [this, &plan, dns_node] {
     question_process(plan, dns_node);
   });
@@ -158,7 +213,7 @@ void System::schedule_crash(NodeId node, Seconds at, Seconds restart_after) {
 
 void System::apply_crash(NodeId node) {
   if (node_crashed_[node] != 0) {
-    ++metrics_.crashes_skipped;  // already down
+    ins_.crashes_skipped->inc();  // already down
     return;
   }
   std::size_t live = 0;
@@ -168,7 +223,7 @@ void System::apply_crash(NodeId node) {
   if (live <= 1) {
     // Losing the last node would strand every question; skip (and count)
     // so random fault processes can't wedge a run.
-    ++metrics_.crashes_skipped;
+    ins_.crashes_skipped->inc();
     record_trace(node, "crash skipped (last live node)");
     return;
   }
@@ -177,8 +232,8 @@ void System::apply_crash(NodeId node) {
   crash_time_[node] = sim_.now();
   node_broadcasting_[node] = 0;  // a dead node broadcasts nothing
   nodes_[node]->crash();
-  ++metrics_.crashes;
-  record_trace(node, "crashed");
+  ins_.crashes->inc();
+  record_event(node, "crashed", {{"kind", std::string("crash")}});
   // Deliberately no table_.remove here: membership stays broadcast-driven.
   // The rest of the pool learns of the death either by expiry (the silent
   // node ages past membership_timeout) or when a coordinator's reply
@@ -190,7 +245,7 @@ void System::apply_restart(NodeId node) {
   node_crashed_[node] = 0;
   node_broadcasting_[node] = 1;  // schedulable again from its next broadcast
   nodes_[node]->restart();
-  record_trace(node, "restarted");
+  record_event(node, "restarted", {{"kind", std::string("restart")}});
 }
 
 NodeId System::pick_live(const sched::LoadWeights& weights) const {
@@ -231,14 +286,52 @@ Metrics System::run() {
     fault_process();
   }
   sim_.run();
-  QADIST_CHECK(metrics_.completed == total_submitted_,
-               << "simulation drained with " << metrics_.completed << "/"
+  QADIST_CHECK(completed_ == total_submitted_,
+               << "simulation drained with " << completed_ << "/"
                << total_submitted_ << " questions completed");
+
+  // Snapshot the registry into the Metrics compatibility facade.
+  registry_.gauge("first_submit_seconds").set(first_submit_);
+  registry_.gauge("makespan_seconds").set(makespan_);
+  Metrics out;
+  out.submitted = total_submitted_;
+  out.completed = completed_;
+  out.latencies = ins_.latency->samples();
+  out.first_submit = first_submit_;
+  out.makespan = makespan_;
+  const auto count = [](const obs::Counter* c) {
+    return static_cast<std::size_t>(c->value());
+  };
+  out.migrations_qa = count(ins_.migrations_qa);
+  out.migrations_pr = count(ins_.migrations_pr);
+  out.migrations_ap = count(ins_.migrations_ap);
+  out.crashes = count(ins_.crashes);
+  out.crashes_skipped = count(ins_.crashes_skipped);
+  out.legs_lost = count(ins_.legs_lost);
+  out.items_recovered = count(ins_.items_recovered);
+  out.recovery_legs = count(ins_.recovery_legs);
+  out.question_restarts = count(ins_.question_restarts);
+  out.recovery_latency = ins_.recovery_latency->stats();
+  out.t_qp = ins_.t_qp->stats();
+  out.t_pr = ins_.t_pr->stats();
+  out.t_ps = ins_.t_ps->stats();
+  out.t_po = ins_.t_po->stats();
+  out.t_ap = ins_.t_ap->stats();
+  out.overhead.keyword_send = ins_.oh_keyword_send->stats();
+  out.overhead.paragraph_receive = ins_.oh_paragraph_receive->stats();
+  out.overhead.paragraph_send = ins_.oh_paragraph_send->stats();
+  out.overhead.answer_receive = ins_.oh_answer_receive->stats();
+  out.overhead.answer_sort = ins_.oh_answer_sort->stats();
   for (const auto& node : nodes_) {
-    metrics_.node_cpu_work.push_back(node->cpu().work_served());
-    metrics_.node_disk_bytes.push_back(node->disk().work_served());
+    const double cpu_work = node->cpu().work_served();
+    const double disk_bytes = node->disk().work_served();
+    out.node_cpu_work.push_back(cpu_work);
+    out.node_disk_bytes.push_back(disk_bytes);
+    const obs::Labels labels{{"node", std::to_string(node->id())}};
+    registry_.gauge("node_cpu_work_seconds", labels).set(cpu_work);
+    registry_.gauge("node_disk_work_bytes", labels).set(disk_bytes);
   }
-  return metrics_;
+  return out;
 }
 
 simnet::SimProcess System::monitor_process(Node& node) {
@@ -249,6 +342,15 @@ simnet::SimProcess System::monitor_process(Node& node) {
   sched::ResourceLoad ema;
   while (!all_done_) {
     const auto sample = node.sample_load();
+    if (tracer_ != nullptr) {
+      // Per-node utilization timeline (Chrome trace counter track): busy
+      // fraction of each resource over the monitor period just ended.
+      const NodeId id = node.id();
+      tracer_->counter_sample(sim_.now(), id, "cpu_util",
+                              cpu_probes_[id].sample(sim_.now()));
+      tracer_->counter_sample(sim_.now(), id, "disk_util",
+                              disk_probes_[id].sample(sim_.now()));
+    }
     const double alpha =
         config_.load_smoothing_tau > 0.0
             ? 1.0 - std::exp(-config_.monitor_period / config_.load_smoothing_tau)
@@ -302,7 +404,18 @@ simnet::SimProcess System::pr_leg(QuestionState& q,
   const NodeId host = q.host;
   bool sent_keywords = node == host;  // local leg ships nothing
   double leg_ps = 0.0;
+  std::size_t units_done = 0;
   const auto dead = [&] { return crash_epoch_[node] != slot->epoch; };
+
+  std::uint64_t leg_track = 0;
+  if (tracer_ != nullptr) {
+    leg_track = tracer_->new_track();
+    slot->leg_span = tracer_->begin_span(
+        sim_.now(), "PR leg", node, leg_track, slot->stage_span,
+        {{"node", static_cast<std::int64_t>(node)},
+         {"strategy",
+          std::string(parallel::to_string(config_.pr_strategy))}});
+  }
 
   while (!slot->units->empty()) {
     const std::size_t idx = slot->units->front();
@@ -324,10 +437,13 @@ simnet::SimProcess System::pr_leg(QuestionState& q,
     if (dead()) co_return;
     co_await executor.cpu().consume(unit.demand.cpu_seconds * thrash);
     if (dead()) co_return;
-    record_trace(node, "finished collection " + std::to_string(idx) + " in " +
-                           format_double(sim_.now() - unit_start, 2) +
-                           " secs (" + std::to_string(unit.paragraphs) +
-                           " paragraphs)");
+    record_event(node,
+                 "finished collection " + std::to_string(idx) + " in " +
+                     format_double(sim_.now() - unit_start, 2) + " secs (" +
+                     std::to_string(unit.paragraphs) + " paragraphs)",
+                 {{"kind", std::string("pr_unit")},
+                  {"unit", static_cast<std::int64_t>(idx)},
+                  {"paragraphs", static_cast<std::int64_t>(unit.paragraphs)}});
 
     // Paragraph scoring runs fused on the retrieval node (paper Fig. 3).
     const Seconds ps0 = sim_.now();
@@ -335,6 +451,14 @@ simnet::SimProcess System::pr_leg(QuestionState& q,
                                     executor.work_multiplier());
     if (dead()) co_return;
     leg_ps += sim_.now() - ps0;
+    if (tracer_ != nullptr) {
+      // Recorded retroactively (begin+end in one go) so a crash mid-PS
+      // never leaves a dangling scoring span.
+      const obs::SpanId ps_span = tracer_->begin_span(
+          ps0, "PS", node, leg_track, slot->leg_span,
+          {{"unit", static_cast<std::int64_t>(idx)}});
+      tracer_->end_span(ps_span, sim_.now());
+    }
 
     if (node != host && unit.bytes_out > 0) {
       // Ship the scored paragraphs back; the paragraph merging module on
@@ -349,8 +473,14 @@ simnet::SimProcess System::pr_leg(QuestionState& q,
     }
     // The unit's results now live on the host: durable across our crash.
     slot->in_flight = kNoUnit;
+    ++units_done;
   }
   q.t_ps_max = std::max(q.t_ps_max, leg_ps);
+  if (tracer_ != nullptr && slot->leg_span != obs::kNoSpan) {
+    tracer_->end_span(slot->leg_span, sim_.now(),
+                      {{"units", static_cast<std::int64_t>(units_done)}});
+    slot->leg_span = obs::kNoSpan;
+  }
   slot->reported = true;
   reports.send(index);
 }
@@ -368,6 +498,15 @@ simnet::SimProcess System::ap_leg(QuestionState& q,
   const Seconds leg_start = sim_.now();
   std::size_t processed = 0;
   const auto dead = [&] { return crash_epoch_[node] != slot->epoch; };
+
+  if (tracer_ != nullptr) {
+    const std::uint64_t leg_track = tracer_->new_track();
+    slot->leg_span = tracer_->begin_span(
+        sim_.now(), "AP leg", node, leg_track, slot->stage_span,
+        {{"node", static_cast<std::int64_t>(node)},
+         {"strategy",
+          std::string(parallel::to_string(config_.ap_strategy))}});
+  }
 
   // Each batch: ship paragraphs in, burn CPU per paragraph, ship answers
   // back. Answers return per batch, which is why tiny RECV chunks pay more
@@ -444,9 +583,16 @@ simnet::SimProcess System::ap_leg(QuestionState& q,
     }
   }
   if (processed > 0) {
-    record_trace(node, "finished " + std::to_string(processed) +
-                           " paragraphs in " +
-                           format_double(sim_.now() - leg_start, 2) + " secs");
+    record_event(node,
+                 "finished " + std::to_string(processed) + " paragraphs in " +
+                     format_double(sim_.now() - leg_start, 2) + " secs",
+                 {{"kind", std::string("ap_done")},
+                  {"paragraphs", static_cast<std::int64_t>(processed)}});
+  }
+  if (tracer_ != nullptr && slot->leg_span != obs::kNoSpan) {
+    tracer_->end_span(slot->leg_span, sim_.now(),
+                      {{"paragraphs", static_cast<std::int64_t>(processed)}});
+    slot->leg_span = obs::kNoSpan;
   }
   slot->reported = true;
   reports.send(index);
@@ -458,6 +604,19 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
   q.plan = &plan;
   q.submitted = sim_.now();
   NodeId host = dns_node;
+  std::size_t restarts = 0;
+
+  // One span per question lifetime; stage spans nest under it on the same
+  // track, PR/AP legs fork onto their own tracks.
+  std::uint64_t q_track = 0;
+  obs::SpanId q_span = obs::kNoSpan;
+  if (tracer_ != nullptr) {
+    q_track = tracer_->new_track();
+    q_span = tracer_->begin_span(
+        sim_.now(), "question", dns_node, q_track, obs::kNoSpan,
+        {{"question", static_cast<std::int64_t>(plan.source.id)},
+         {"policy", std::string(to_string(config_.policy))}});
+  }
 
   // The DNS front-end may hand a question to a node that has left the
   // pool or crashed (its A record outlives the membership): reroute to the
@@ -483,17 +642,17 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
       if (choice != host && node_crashed_[choice] == 0) {
         co_await network_->transfer(static_cast<double>(plan.question_bytes));
         host = choice;
-        ++metrics_.migrations_qa;
+        ins_.migrations_qa->inc();
       }
     }
   } else if (config_.policy != Policy::kDns && table_.is_member(host)) {
     const auto decision = sched::decide_migration(
         table_, host, sched::kQaWeights,
-        sched::single_task_load(sched::kQaWeights));
+        sched::single_task_load(sched::kQaWeights), &registry_);
     if (decision.migrate && node_crashed_[decision.target] == 0) {
       co_await network_->transfer(static_cast<double>(plan.question_bytes));
       host = decision.target;
-      ++metrics_.migrations_qa;
+      ins_.migrations_qa->inc();
       record_trace(host, "question " + std::to_string(plan.source.id) +
                              " migrated from N" + std::to_string(dns_node + 1));
     }
@@ -520,10 +679,15 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
     // ---- QP (sequential, on the host).
     {
       const Seconds t0 = sim_.now();
+      obs::SpanId sp = obs::kNoSpan;
+      if (tracer_ != nullptr) {
+        sp = tracer_->begin_span(t0, "QP", host, q_track, q_span, {});
+      }
       co_await nodes_[host]->cpu().consume(plan.qp.cpu_seconds *
                                            nodes_[host]->work_multiplier());
       failed = host_dead();
       q.t_qp = sim_.now() - t0;
+      if (sp != obs::kNoSpan) tracer_->end_span(sp, sim_.now());
     }
 
     // ---- Scheduling point 2: the PR dispatcher (DQA only).
@@ -532,7 +696,8 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
       std::vector<double> pr_weights{1.0};
       if (config_.policy == Policy::kDqa) {
         auto ms = sched::meta_schedule(table_, sched::kPrWeights,
-                                       config_.pr_underload_threshold);
+                                       config_.pr_underload_threshold,
+                                       &registry_);
         // Drop nodes that crashed but have not yet expired from the table.
         std::vector<NodeId> live_sel;
         std::vector<double> live_w;
@@ -557,7 +722,7 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
           ms.partitioned = false;
         }
         if (!(ms.selected.size() == 1 && ms.selected[0] == host)) {
-          ++metrics_.migrations_pr;
+          ins_.migrations_pr->inc();
         }
         pr_nodes = std::move(ms.selected);
         pr_weights = std::move(ms.weights);
@@ -570,6 +735,13 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
       // nodes under SEND. Finished units are durable (their paragraphs
       // already reached the host disk), so recovery is per-unit.
       const Seconds pr_start = sim_.now();
+      obs::SpanId pr_span = obs::kNoSpan;
+      if (tracer_ != nullptr) {
+        pr_span = tracer_->begin_span(
+            pr_start, "PR", host, q_track, q_span,
+            {{"legs", static_cast<std::int64_t>(pr_nodes.size())},
+             {"units", static_cast<std::int64_t>(plan.pr_units.size())}});
+      }
       {
         simnet::Mailbox<std::size_t> reports(sim_);
         std::vector<std::shared_ptr<PrLegSlot>> slots;
@@ -579,6 +751,7 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
           slot->node = node;
           slot->epoch = crash_epoch_[node];
           slot->units = std::move(units);
+          slot->stage_span = pr_span;
           slots.push_back(slot);
           pr_leg(q, slot, slots.size() - 1, reports);
         };
@@ -623,7 +796,13 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
             if (crash_epoch_[s.node] == s.epoch) continue;  // still alive
             s.declared_dead = true;
             --outstanding;
-            ++metrics_.legs_lost;
+            ins_.legs_lost->inc();
+            if (tracer_ != nullptr && s.leg_span != obs::kNoSpan) {
+              // The leg is a zombie and will never close its own span.
+              tracer_->end_span(s.leg_span, sim_.now(),
+                                {{"crashed", std::int64_t{1}}});
+              s.leg_span = obs::kNoSpan;
+            }
             table_.remove(s.node);
             record_trace(host, "lost contact with N" +
                                    std::to_string(s.node + 1) + " during PR");
@@ -638,8 +817,8 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
               s.units->clear();
             }
             if (lost.empty()) continue;
-            metrics_.items_recovered += lost.size();
-            metrics_.recovery_latency.add(sim_.now() - crash_time_[s.node]);
+            ins_.items_recovered->inc(static_cast<double>(lost.size()));
+            ins_.recovery_latency->observe(sim_.now() - crash_time_[s.node]);
             record_trace(host, "recovered " + std::to_string(lost.size()) +
                                    " collections from N" +
                                    std::to_string(s.node + 1));
@@ -677,7 +856,7 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
             spawn(node, std::make_shared<std::deque<std::size_t>>(
                             std::move(block)));
             ++outstanding;
-            ++metrics_.recovery_legs;
+            ins_.recovery_legs->inc();
           }
           if (requeued > 0) {
             // If no surviving leg is still draining the shared deque, the
@@ -692,22 +871,28 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
             if (!any_live) {
               spawn(pick_live(sched::kPrWeights), shared_units);
               ++outstanding;
-              ++metrics_.recovery_legs;
+              ins_.recovery_legs->inc();
             }
           }
         }
       }
       q.t_pr_stage = sim_.now() - pr_start;
+      if (pr_span != obs::kNoSpan) tracer_->end_span(pr_span, sim_.now());
       failed = host_dead();
     }
 
     // ---- PO (sequential and centralized, on the host).
     if (!failed) {
       const Seconds t0 = sim_.now();
+      obs::SpanId sp = obs::kNoSpan;
+      if (tracer_ != nullptr) {
+        sp = tracer_->begin_span(t0, "PO", host, q_track, q_span, {});
+      }
       co_await nodes_[host]->cpu().consume(plan.po.cpu_seconds *
                                            nodes_[host]->work_multiplier());
       failed = host_dead();
       q.t_po = sim_.now() - t0;
+      if (sp != obs::kNoSpan) tracer_->end_span(sp, sim_.now());
       if (!failed) {
         record_trace(host, "accepted " +
                                std::to_string(plan.accepted_paragraphs) +
@@ -721,7 +906,8 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
       std::vector<double> ap_weights{1.0};
       if (config_.policy == Policy::kDqa) {
         auto ms = sched::meta_schedule(table_, sched::kApWeights,
-                                       config_.ap_underload_threshold);
+                                       config_.ap_underload_threshold,
+                                       &registry_);
         std::vector<NodeId> live_sel;
         std::vector<double> live_w;
         for (std::size_t i = 0; i < ms.selected.size(); ++i) {
@@ -744,7 +930,7 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
           ms.partitioned = false;
         }
         if (!(ms.selected.size() == 1 && ms.selected[0] == host)) {
-          ++metrics_.migrations_ap;
+          ins_.migrations_ap->inc();
         }
         ap_nodes = std::move(ms.selected);
         ap_weights = std::move(ms.weights);
@@ -755,6 +941,13 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
       // shared deque); SEND/ISEND lose the whole partition (answers ship
       // once at the end), which is re-partitioned over the survivors.
       const Seconds ap_start = sim_.now();
+      obs::SpanId ap_span = obs::kNoSpan;
+      if (tracer_ != nullptr) {
+        ap_span = tracer_->begin_span(
+            ap_start, "AP", host, q_track, q_span,
+            {{"legs", static_cast<std::int64_t>(ap_nodes.size())},
+             {"paragraphs", static_cast<std::int64_t>(plan.ap_units.size())}});
+      }
       {
         simnet::Mailbox<std::size_t> reports(sim_);
         std::vector<std::shared_ptr<ApLegSlot>> slots;
@@ -766,6 +959,7 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
               slot->epoch = crash_epoch_[node];
               slot->units = std::move(units);
               slot->chunks = std::move(chunks);
+              slot->stage_span = ap_span;
               slots.push_back(slot);
               ap_leg(q, slot, slots.size() - 1, reports);
             };
@@ -806,7 +1000,12 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
             if (crash_epoch_[s.node] == s.epoch) continue;  // still alive
             s.declared_dead = true;
             --outstanding;
-            ++metrics_.legs_lost;
+            ins_.legs_lost->inc();
+            if (tracer_ != nullptr && s.leg_span != obs::kNoSpan) {
+              tracer_->end_span(s.leg_span, sim_.now(),
+                                {{"crashed", std::int64_t{1}}});
+              s.leg_span = obs::kNoSpan;
+            }
             table_.remove(s.node);
             record_trace(host, "lost contact with N" +
                                    std::to_string(s.node + 1) + " during AP");
@@ -816,8 +1015,9 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
               s.chunks->push_front(s.in_flight);
               s.has_in_flight = false;
               requeued += s.in_flight.size();
-              metrics_.items_recovered += s.in_flight.size();
-              metrics_.recovery_latency.add(sim_.now() - crash_time_[s.node]);
+              ins_.items_recovered->inc(
+                  static_cast<double>(s.in_flight.size()));
+              ins_.recovery_latency->observe(sim_.now() - crash_time_[s.node]);
               record_trace(host, "requeued chunk of " +
                                      std::to_string(s.in_flight.size()) +
                                      " paragraphs from N" +
@@ -826,8 +1026,8 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
               std::vector<std::size_t> lost = std::move(s.units);
               s.units.clear();
               if (lost.empty()) continue;
-              metrics_.items_recovered += lost.size();
-              metrics_.recovery_latency.add(sim_.now() - crash_time_[s.node]);
+              ins_.items_recovered->inc(static_cast<double>(lost.size()));
+              ins_.recovery_latency->observe(sim_.now() - crash_time_[s.node]);
               record_trace(host, "recovered " + std::to_string(lost.size()) +
                                      " paragraphs from N" +
                                      std::to_string(s.node + 1));
@@ -857,7 +1057,7 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
           for (auto& [node, block] : respawn) {
             spawn(node, std::move(block), nullptr);
             ++outstanding;
-            ++metrics_.recovery_legs;
+            ins_.recovery_legs->inc();
           }
           if (requeued > 0) {
             bool any_live = false;
@@ -870,12 +1070,13 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
             if (!any_live) {
               spawn(pick_live(sched::kApWeights), {}, shared_chunks);
               ++outstanding;
-              ++metrics_.recovery_legs;
+              ins_.recovery_legs->inc();
             }
           }
         }
       }
       q.t_ap_stage = sim_.now() - ap_start;
+      if (ap_span != obs::kNoSpan) tracer_->end_span(ap_span, sim_.now());
       failed = host_dead();
     }
 
@@ -897,7 +1098,8 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
     if (detect > sim_.now()) {
       co_await simnet::Delay(sim_, detect - sim_.now());
     }
-    ++metrics_.question_restarts;
+    ++restarts;
+    ins_.question_restarts->inc();
     record_trace(host, "question " + std::to_string(plan.source.id) +
                            " lost its host; resubmitting");
     host = pick_live(sched::kQaWeights);
@@ -911,20 +1113,26 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
 
   // ---- Bookkeeping.
   const Seconds latency = sim_.now() - q.submitted;
-  metrics_.latencies.add(latency);
-  metrics_.makespan = std::max(metrics_.makespan, sim_.now());
-  metrics_.t_qp.add(q.t_qp);
-  metrics_.t_pr.add(std::max(0.0, q.t_pr_stage - q.t_ps_max));
-  metrics_.t_ps.add(q.t_ps_max);
-  metrics_.t_po.add(q.t_po);
-  metrics_.t_ap.add(q.t_ap_stage);
-  metrics_.overhead.keyword_send.add(q.oh_keyword_send);
-  metrics_.overhead.paragraph_receive.add(q.oh_paragraph_receive);
-  metrics_.overhead.paragraph_send.add(q.oh_paragraph_send);
-  metrics_.overhead.answer_receive.add(q.oh_answer_receive);
-  metrics_.overhead.answer_sort.add(q.oh_answer_sort);
-  ++metrics_.completed;
-  if (metrics_.completed == total_submitted_) all_done_ = true;
+  ins_.latency->observe(latency);
+  makespan_ = std::max(makespan_, sim_.now());
+  ins_.t_qp->observe(q.t_qp);
+  ins_.t_pr->observe(std::max(0.0, q.t_pr_stage - q.t_ps_max));
+  ins_.t_ps->observe(q.t_ps_max);
+  ins_.t_po->observe(q.t_po);
+  ins_.t_ap->observe(q.t_ap_stage);
+  ins_.oh_keyword_send->observe(q.oh_keyword_send);
+  ins_.oh_paragraph_receive->observe(q.oh_paragraph_receive);
+  ins_.oh_paragraph_send->observe(q.oh_paragraph_send);
+  ins_.oh_answer_receive->observe(q.oh_answer_receive);
+  ins_.oh_answer_sort->observe(q.oh_answer_sort);
+  if (q_span != obs::kNoSpan) {
+    tracer_->end_span(q_span, sim_.now(),
+                      {{"latency_seconds", latency},
+                       {"restarts", static_cast<std::int64_t>(restarts)}});
+  }
+  ++completed_;
+  ins_.completed->inc();
+  if (completed_ == total_submitted_) all_done_ = true;
 }
 
 }  // namespace qadist::cluster

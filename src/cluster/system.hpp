@@ -9,6 +9,8 @@
 #include "cluster/node.hpp"
 #include "cluster/plan.hpp"
 #include "cluster/trace.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "parallel/partition.hpp"
 #include "sched/dispatcher.hpp"
 #include "sched/load_table.hpp"
@@ -167,8 +169,32 @@ class System {
   /// Direct node access (metrics inspection in tests/benches).
   [[nodiscard]] Node& node(std::size_t index) { return *nodes_.at(index); }
 
-  /// Optional Fig. 7-style execution trace (only wired when set).
-  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+  /// Optional Fig. 7-style execution trace (only wired when set). When a
+  /// tracer is also set, the recorder is attached to it as the text sink,
+  /// so both views render the same event stream.
+  void set_trace(TraceRecorder* trace) {
+    trace_ = trace;
+    if (tracer_ != nullptr) tracer_->set_text_sink(trace);
+  }
+
+  /// Optional span tracer (obs/span.hpp): one span per question with child
+  /// spans per stage (QP/PR/PS/PO/AP) and per PR/AP leg, instant events
+  /// for migrations/crashes/recoveries, and a per-node CPU/disk
+  /// utilization timeline sampled each monitor period. Must outlive run().
+  /// Tracing off (the default) costs one pointer check per event site.
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    if (tracer_ != nullptr && trace_ != nullptr) {
+      tracer_->set_text_sink(trace_);
+    }
+  }
+
+  /// The live metrics store this run measures into (see Metrics for the
+  /// snapshot facade). Counters/gauges/histograms registered by System,
+  /// Node, and the sched dispatchers all land here.
+  [[nodiscard]] const obs::MetricsRegistry& registry() const {
+    return registry_;
+  }
 
   /// Runs the simulation until every submitted question completes and
   /// returns the measurements. Call exactly once.
@@ -208,6 +234,39 @@ class System {
   void apply_restart(sched::NodeId node);
 
   void record_trace(sched::NodeId node, std::string event);
+  /// record_trace with structured attributes on the JSON event (the text
+  /// view renders identically either way).
+  void record_event(sched::NodeId node, std::string event, obs::Attrs attrs);
+
+  /// Hot-path instrument handles, registered once at construction so the
+  /// simulation never pays a name lookup. The Metrics facade is built from
+  /// these (plus the registry's node gauges) when run() finishes.
+  struct Instruments {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* migrations_qa = nullptr;
+    obs::Counter* migrations_pr = nullptr;
+    obs::Counter* migrations_ap = nullptr;
+    obs::Counter* crashes = nullptr;
+    obs::Counter* crashes_skipped = nullptr;
+    obs::Counter* legs_lost = nullptr;
+    obs::Counter* items_recovered = nullptr;
+    obs::Counter* recovery_legs = nullptr;
+    obs::Counter* question_restarts = nullptr;
+    obs::HistogramMetric* latency = nullptr;
+    obs::HistogramMetric* recovery_latency = nullptr;
+    obs::HistogramMetric* t_qp = nullptr;
+    obs::HistogramMetric* t_pr = nullptr;
+    obs::HistogramMetric* t_ps = nullptr;
+    obs::HistogramMetric* t_po = nullptr;
+    obs::HistogramMetric* t_ap = nullptr;
+    obs::HistogramMetric* oh_keyword_send = nullptr;
+    obs::HistogramMetric* oh_paragraph_receive = nullptr;
+    obs::HistogramMetric* oh_paragraph_send = nullptr;
+    obs::HistogramMetric* oh_answer_receive = nullptr;
+    obs::HistogramMetric* oh_answer_sort = nullptr;
+  };
+  void register_instruments();
 
   simnet::Simulation& sim_;
   SystemConfig config_;
@@ -218,11 +277,18 @@ class System {
   std::vector<Seconds> crash_time_;       // last crash time per node
   std::unique_ptr<simnet::Link> network_;
   sched::LoadTable table_;
-  Metrics metrics_;
+  obs::MetricsRegistry registry_;
+  Instruments ins_;
   TraceRecorder* trace_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  std::vector<simnet::UtilizationProbe> cpu_probes_;
+  std::vector<simnet::UtilizationProbe> disk_probes_;
   Rng two_choice_rng_{1};
   sched::NodeId next_dns_node_ = 0;
   std::size_t total_submitted_ = 0;
+  std::size_t completed_ = 0;
+  Seconds first_submit_ = 0.0;
+  Seconds makespan_ = 0.0;
   bool all_done_ = false;
   bool started_ = false;
 };

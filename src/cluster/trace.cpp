@@ -1,5 +1,6 @@
 #include "cluster/trace.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/strings.hpp"
@@ -20,8 +21,13 @@ std::size_t TraceRecorder::count_containing(std::string_view needle) const {
 }
 
 std::string TraceRecorder::render() const {
+  std::vector<Entry> sorted(entries_);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.time < b.time;
+                   });
   std::ostringstream os;
-  for (const auto& e : entries_) {
+  for (const auto& e : sorted) {
     os << "[" << format_double(e.time, 2) << "s] N" << (e.node + 1) << " "
        << e.event << "\n";
   }

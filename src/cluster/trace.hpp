@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "obs/span.hpp"
 #include "sched/load.hpp"
 
 namespace qadist::cluster {
@@ -12,9 +13,19 @@ namespace qadist::cluster {
 /// Records per-node timestamped events during a simulation — the data
 /// behind the paper's Figure 7 execution traces ("N2 finished collection 3
 /// in 0.19 secs", "N4 sorted 220 paragraphs", ...).
-class TraceRecorder {
+///
+/// Implements obs::TextSink so it can attach to an obs::Tracer: with a
+/// tracer wired into the System, every instant event feeds both this text
+/// view and the JSON/Perfetto exporters from one event stream.
+class TraceRecorder : public obs::TextSink {
  public:
   void record(Seconds time, sched::NodeId node, std::string event);
+
+  /// obs::TextSink: instant events from the tracer land here.
+  void on_text(Seconds time, std::uint32_t node,
+               const std::string& text) override {
+    record(time, node, text);
+  }
 
   struct Entry {
     Seconds time = 0.0;
@@ -27,6 +38,9 @@ class TraceRecorder {
   void clear() { entries_.clear(); }
 
   /// Renders the trace in the paper's "N<k> <event>  <t> secs" layout.
+  /// Entries are stable-sorted by timestamp first: recovery events are
+  /// recorded by the coordinator when it *detects* a loss, which can
+  /// interleave out of order with the victims' own final events.
   [[nodiscard]] std::string render() const;
 
   /// Number of entries whose event text contains `needle` — lets tests

@@ -46,8 +46,16 @@ class Samples {
   [[nodiscard]] double stddev() const;
 
   /// Quantile q in [0,1] by linear interpolation between order statistics.
-  /// Sorts lazily on first query after an insertion.
+  /// Sorts lazily on first query after an insertion. Panics on an empty
+  /// sample set — use quantile_or when emptiness is a legal state.
   [[nodiscard]] double quantile(double q) const;
+
+  /// Non-asserting quantile: `fallback` when the sample set is empty.
+  /// Exporters serialize whatever ran, including runs where a metric never
+  /// fired (no crashes, no migrations), so they must not hard-fail here.
+  [[nodiscard]] double quantile_or(double q, double fallback) const {
+    return values_.empty() ? fallback : quantile(q);
+  }
   [[nodiscard]] double median() const { return quantile(0.5); }
   [[nodiscard]] double min() const { return quantile(0.0); }
   [[nodiscard]] double max() const { return quantile(1.0); }

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace qadist::obs {
+
+/// Writes `text` as a JSON string literal (quotes included) with the
+/// mandatory escapes. The corpus and all instrument names are ASCII, so no
+/// UTF-8 validation is attempted — bytes >= 0x20 pass through verbatim.
+inline void json_string(std::ostream& os, std::string_view text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Writes a double as a JSON number. JSON has no inf/nan tokens, so those
+/// serialize as null (exporters must stay loadable by strict parsers —
+/// Perfetto rejects bare NaN).
+inline void json_number(std::ostream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << "null";
+    return;
+  }
+  // Round-trippable without drowning the file in digits.
+  std::ostringstream tmp;
+  tmp.precision(12);
+  tmp << value;
+  os << tmp.str();
+}
+
+}  // namespace qadist::obs

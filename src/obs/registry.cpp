@@ -1,0 +1,163 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "obs/json.hpp"
+
+namespace qadist::obs {
+
+std::string_view to_string(InstrumentKind kind) {
+  switch (kind) {
+    case InstrumentKind::kCounter:
+      return "counter";
+    case InstrumentKind::kGauge:
+      return "gauge";
+    case InstrumentKind::kHistogram:
+      return "histogram";
+  }
+  QADIST_UNREACHABLE("bad InstrumentKind");
+}
+
+void Counter::inc(double delta) {
+  QADIST_CHECK(delta >= 0.0, << "counter " << name_ << " decremented by "
+                             << delta);
+  value_ += delta;
+}
+
+std::string MetricsRegistry::register_key(std::string_view name,
+                                          Labels& labels,
+                                          InstrumentKind kind) {
+  QADIST_CHECK(!name.empty(), << "instrument with empty name");
+  std::sort(labels.begin(), labels.end());
+  for (std::size_t i = 1; i < labels.size(); ++i) {
+    QADIST_CHECK(labels[i - 1].first != labels[i].first,
+                 << "instrument " << name << ": duplicate label key '"
+                 << labels[i].first << "'");
+  }
+  const auto [it, inserted] = kinds_.emplace(std::string(name), kind);
+  QADIST_CHECK(inserted || it->second == kind,
+               << "instrument '" << name << "' already registered as "
+               << to_string(it->second) << ", re-registered as "
+               << to_string(kind));
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Labels labels) {
+  const std::string key =
+      register_key(name, labels, InstrumentKind::kCounter);
+  if (const auto it = by_key_.find(key); it != by_key_.end()) {
+    return *static_cast<Counter*>(it->second);
+  }
+  Counter& c = counters_.emplace_back();
+  c.name_ = std::string(name);
+  c.labels_ = std::move(labels);
+  by_key_.emplace(key, &c);
+  return c;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
+  const std::string key = register_key(name, labels, InstrumentKind::kGauge);
+  if (const auto it = by_key_.find(key); it != by_key_.end()) {
+    return *static_cast<Gauge*>(it->second);
+  }
+  Gauge& g = gauges_.emplace_back();
+  g.name_ = std::string(name);
+  g.labels_ = std::move(labels);
+  by_key_.emplace(key, &g);
+  return g;
+}
+
+HistogramMetric& MetricsRegistry::histogram(std::string_view name,
+                                            Labels labels) {
+  const std::string key =
+      register_key(name, labels, InstrumentKind::kHistogram);
+  if (const auto it = by_key_.find(key); it != by_key_.end()) {
+    return *static_cast<HistogramMetric*>(it->second);
+  }
+  HistogramMetric& h = histograms_.emplace_back();
+  h.name_ = std::string(name);
+  h.labels_ = std::move(labels);
+  by_key_.emplace(key, &h);
+  return h;
+}
+
+namespace {
+
+void write_labels(std::ostream& os, const Labels& labels) {
+  os << "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ",";
+    first = false;
+    json_string(os, k);
+    os << ":";
+    json_string(os, v);
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":[";
+  bool first = true;
+  for (const auto& c : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":";
+    json_string(os, c.name());
+    os << ",\"labels\":";
+    write_labels(os, c.labels());
+    os << ",\"value\":";
+    json_number(os, c.value());
+    os << "}";
+  }
+  os << "],\"gauges\":[";
+  first = true;
+  for (const auto& g : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":";
+    json_string(os, g.name());
+    os << ",\"labels\":";
+    write_labels(os, g.labels());
+    os << ",\"value\":";
+    json_number(os, g.value());
+    os << "}";
+  }
+  os << "],\"histograms\":[";
+  first = true;
+  for (const auto& h : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":";
+    json_string(os, h.name());
+    os << ",\"labels\":";
+    write_labels(os, h.labels());
+    os << ",\"count\":" << h.count() << ",\"mean\":";
+    json_number(os, h.stats().mean());
+    os << ",\"p50\":";
+    json_number(os, h.samples().quantile_or(0.5, 0.0));
+    os << ",\"p95\":";
+    json_number(os, h.samples().quantile_or(0.95, 0.0));
+    os << ",\"min\":";
+    json_number(os, h.stats().min());
+    os << ",\"max\":";
+    json_number(os, h.stats().max());
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace qadist::obs

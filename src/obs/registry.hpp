@@ -1,0 +1,116 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace qadist::obs {
+
+/// Instrument labels: key/value pairs, normalized to key order on
+/// registration so {a=1,b=2} and {b=2,a=1} name the same time series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class InstrumentKind { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] std::string_view to_string(InstrumentKind kind);
+
+/// Monotone accumulator (questions submitted, migrations, crashes, ...).
+class Counter {
+ public:
+  void inc(double delta = 1.0);
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Labels& labels() const { return labels_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::string name_;
+  Labels labels_;
+  double value_ = 0.0;
+};
+
+/// Last-write-wins instantaneous value (node load, makespan, ...).
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Labels& labels() const { return labels_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::string name_;
+  Labels labels_;
+  double value_ = 0.0;
+};
+
+/// Distribution instrument: streaming moments (RunningStats) plus the full
+/// sample reservoir (Samples) so exporters can report exact quantiles.
+class HistogramMetric {
+ public:
+  void observe(double x) {
+    stats_.add(x);
+    samples_.add(x);
+  }
+  [[nodiscard]] const RunningStats& stats() const { return stats_; }
+  [[nodiscard]] const Samples& samples() const { return samples_; }
+  [[nodiscard]] std::size_t count() const { return stats_.count(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Labels& labels() const { return labels_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::string name_;
+  Labels labels_;
+  RunningStats stats_;
+  Samples samples_;
+};
+
+/// Named-instrument registry — the single store every subsystem measures
+/// into (System counters, Node load gauges, scheduler decision counts,
+/// stage-time histograms). Re-registering the same (name, labels) returns
+/// the existing instrument; registering an existing name under a different
+/// kind panics (one name, one type — the Prometheus rule).
+///
+/// Instruments live in deques, so references stay valid for the registry's
+/// lifetime; hot paths hold `Counter*`/`HistogramMetric*` and never pay
+/// the map lookup again.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name, Labels labels = {});
+  Gauge& gauge(std::string_view name, Labels labels = {});
+  HistogramMetric& histogram(std::string_view name, Labels labels = {});
+
+  [[nodiscard]] const std::deque<Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::deque<Gauge>& gauges() const { return gauges_; }
+  [[nodiscard]] const std::deque<HistogramMetric>& histograms() const {
+    return histograms_;
+  }
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// One JSON object: {"counters":[...],"gauges":[...],"histograms":[...]}.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  /// Normalizes labels and returns the instrument key; panics on duplicate
+  /// label keys or a kind clash with a previous registration of `name`.
+  std::string register_key(std::string_view name, Labels& labels,
+                           InstrumentKind kind);
+
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<HistogramMetric> histograms_;
+  std::map<std::string, void*> by_key_;  // key -> instrument (kind via kinds_)
+  std::map<std::string, InstrumentKind, std::less<>> kinds_;  // per name
+};
+
+}  // namespace qadist::obs

@@ -6,18 +6,24 @@ namespace qadist::sched {
 
 MigrationDecision decide_migration(const LoadTable& table, NodeId current,
                                    const LoadWeights& weights,
-                                   double single_question_load) {
+                                   double single_question_load,
+                                   obs::MetricsRegistry* metrics) {
   QADIST_CHECK(table.is_member(current),
                << "dispatching from non-member node " << current);
+  if (metrics != nullptr) metrics->counter("dispatcher_decisions").inc();
   const auto best = table.least_loaded(weights);
   QADIST_CHECK(best.has_value());
   if (*best == current) return {};
 
   const double here = load_function(table.load_of(current), weights);
   const double there = load_function(table.load_of(*best), weights);
+  if (metrics != nullptr) {
+    metrics->histogram("dispatcher_load_gap").observe(here - there);
+  }
   // 2x: the migration moves one question-load across the gap, so the
   // imbalance must still favor the move after the question lands.
   if (here - there > 2.0 * single_question_load) {
+    if (metrics != nullptr) metrics->counter("dispatcher_migrations").inc();
     return MigrationDecision{true, *best};
   }
   return {};

@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "obs/registry.hpp"
 #include "sched/load_table.hpp"
 
 namespace qadist::sched {
@@ -24,8 +25,11 @@ struct MigrationDecision {
 /// @param single_question_load the threshold: the load one question adds
 ///        (by Eq. 1's weighting, one fully busy question contributes
 ///        single_task_load(kQaWeights)).
+/// @param metrics optional registry the dispatcher counts its decisions
+///        into (`dispatcher_decisions`, `dispatcher_migrations`, and the
+///        `dispatcher_load_gap` histogram of current-vs-best load gaps).
 [[nodiscard]] MigrationDecision decide_migration(
     const LoadTable& table, NodeId current, const LoadWeights& weights,
-    double single_question_load);
+    double single_question_load, obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace qadist::sched

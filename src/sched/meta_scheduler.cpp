@@ -6,9 +6,22 @@
 
 namespace qadist::sched {
 
+namespace {
+
+void count_outcome(obs::MetricsRegistry* metrics, const MetaSchedule& out) {
+  if (metrics == nullptr) return;
+  metrics->counter("meta_schedule_calls").inc();
+  if (out.partitioned) metrics->counter("meta_schedule_partitioned").inc();
+  metrics->histogram("meta_schedule_selected_nodes")
+      .observe(static_cast<double>(out.selected.size()));
+}
+
+}  // namespace
+
 MetaSchedule meta_schedule(const LoadTable& table,
                            const LoadWeights& module_weights,
-                           double underload_threshold) {
+                           double underload_threshold,
+                           obs::MetricsRegistry* metrics) {
   MetaSchedule out;
   const auto members = table.members();
   QADIST_CHECK(!members.empty(), << "meta_schedule over an empty pool");
@@ -36,6 +49,7 @@ MetaSchedule meta_schedule(const LoadTable& table,
     }
     out.selected.push_back(members[best]);
     out.weights.assign(1, 1.0);
+    count_outcome(metrics, out);
     return out;
   }
 
@@ -48,6 +62,7 @@ MetaSchedule meta_schedule(const LoadTable& table,
     sum += w;
   }
   for (double& w : out.weights) w /= sum;
+  count_outcome(metrics, out);
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "sched/load_table.hpp"
 
 namespace qadist::sched {
@@ -34,8 +35,12 @@ struct MetaSchedule {
 ///  4. normalize: W_P = w_P / sum(w)
 ///  5. (performed by the caller) assign fraction W_P of the task to P —
 ///     see parallel::apportion / partition_send / partition_isend.
-[[nodiscard]] MetaSchedule meta_schedule(const LoadTable& table,
-                                         const LoadWeights& module_weights,
-                                         double underload_threshold);
+///
+/// With `metrics` set, each call counts into `meta_schedule_calls` /
+/// `meta_schedule_partitioned` and observes the selected-set size in the
+/// `meta_schedule_selected_nodes` histogram.
+[[nodiscard]] MetaSchedule meta_schedule(
+    const LoadTable& table, const LoadWeights& module_weights,
+    double underload_threshold, obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace qadist::sched

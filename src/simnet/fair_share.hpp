@@ -127,4 +127,31 @@ class FairShareServer {
   bool halted_ = false;
 };
 
+/// Differentiates a server's busy_integral into per-period utilization:
+/// each sample(now) returns the busy fraction in [0, 1] over the window
+/// since the previous sample (or since construction). One probe per
+/// server — the observability layer keeps a CPU and a disk probe per node
+/// to build the utilization timeline behind the Fig. 7 traces.
+class UtilizationProbe {
+ public:
+  explicit UtilizationProbe(FairShareServer& server)
+      : server_(&server), last_busy_(server.busy_integral()) {}
+
+  double sample(Seconds now) {
+    const double busy = server_->busy_integral();
+    const double fraction =
+        now > last_time_ ? (busy - last_busy_) / (now - last_time_) : 0.0;
+    last_busy_ = busy;
+    last_time_ = now;
+    return fraction;
+  }
+
+  [[nodiscard]] const FairShareServer& server() const { return *server_; }
+
+ private:
+  FairShareServer* server_;
+  double last_busy_;
+  Seconds last_time_ = 0.0;
+};
+
 }  // namespace qadist::simnet

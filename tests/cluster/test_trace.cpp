@@ -26,6 +26,27 @@ TEST(TraceRecorderTest, RenderUsesOneBasedNodeNames) {
   EXPECT_NE(text.find("[12.34s] N4 done"), std::string::npos);
 }
 
+TEST(TraceRecorderTest, RenderStableSortsByTime) {
+  // Events from concurrent legs are recorded in completion order, not
+  // time order; render() must sort by timestamp but keep the recording
+  // order of simultaneous events (stable).
+  TraceRecorder trace;
+  trace.record(5.0, 1, "late");
+  trace.record(1.0, 0, "early");
+  trace.record(5.0, 2, "late tie");
+  const auto text = trace.render();
+  const auto early = text.find("early");
+  const auto late = text.find("late");
+  const auto tie = text.find("late tie");
+  ASSERT_NE(early, std::string::npos);
+  ASSERT_NE(late, std::string::npos);
+  ASSERT_NE(tie, std::string::npos);
+  EXPECT_LT(early, late);
+  EXPECT_LT(late, tie);  // stable: first-recorded tie renders first
+  // Raw entries stay in recording order.
+  EXPECT_EQ(trace.entries()[0].node, 1u);
+}
+
 TEST(TraceRecorderTest, ClearEmpties) {
   TraceRecorder trace;
   trace.record(0.0, 0, "x");

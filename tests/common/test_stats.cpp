@@ -79,6 +79,16 @@ TEST(SamplesTest, InsertAfterQueryResorts) {
   EXPECT_DOUBLE_EQ(s.max(), 100.0);
 }
 
+TEST(SamplesTest, QuantileOrFallsBackOnlyWhenEmpty) {
+  Samples s;
+  EXPECT_DOUBLE_EQ(s.quantile_or(0.5, -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(s.quantile_or(0.95, 0.0), 0.0);
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.quantile_or(0.5, -1.0), 7.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.quantile_or(0.5, -1.0), 8.0);  // real interpolation
+}
+
 TEST(SamplesTest, SummaryMentionsCount) {
   Samples s;
   s.add(1.0);

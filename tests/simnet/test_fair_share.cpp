@@ -127,6 +127,33 @@ TEST(FairShareTest, ManyFlowsAllComplete) {
   EXPECT_EQ(disk.active(), 0);
 }
 
+TEST(UtilizationProbeTest, SamplesBusyFractionPerWindow) {
+  Simulation sim;
+  FairShareServer cpu(sim, "cpu", 1.0, 1.0);
+  UtilizationProbe probe(cpu);
+  std::vector<double> t(1, -1);
+  // Busy for [0, 2], idle afterwards.
+  consume_at(sim, cpu, 0.0, 2.0, t, 0);
+  sim.run();
+  // Whole busy interval in one window.
+  EXPECT_NEAR(probe.sample(2.0), 1.0, 1e-9);
+  // Next window [2, 4] is pure idle.
+  EXPECT_NEAR(probe.sample(4.0), 0.0, 1e-9);
+  // Zero-length window reports 0 instead of dividing by zero.
+  EXPECT_DOUBLE_EQ(probe.sample(4.0), 0.0);
+}
+
+TEST(UtilizationProbeTest, PartialWindowIsFractional) {
+  Simulation sim;
+  FairShareServer cpu(sim, "cpu", 1.0, 1.0);
+  UtilizationProbe probe(cpu);
+  std::vector<double> t(1, -1);
+  consume_at(sim, cpu, 0.0, 1.0, t, 0);  // busy [0, 1] only
+  sim.run();
+  // Window [0, 4] saw 1 busy second -> 25% utilization.
+  EXPECT_NEAR(probe.sample(4.0), 0.25, 1e-9);
+}
+
 // Property: total work served equals total work submitted, for any mix.
 class FairShareConservation : public ::testing::TestWithParam<int> {};
 

@@ -18,9 +18,11 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "sched/load.hpp"
+#include "support/bench_cli.hpp"
 #include "support/bench_world.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  [[maybe_unused]] const auto cli = qadist::bench::BenchCli::parse(argc, argv);
   using namespace qadist;
   using cluster::Policy;
   using cluster::SystemConfig;
@@ -34,8 +36,8 @@ int main() {
                      "DQA mean latency (s)"});
     for (double tau : {0.0, 10.0, 30.0, 90.0, 300.0}) {
       SystemConfig cfg;
-      cfg.load_smoothing_tau = tau;
-      cfg.ap_chunk = bench::scaled_chunk(world);
+      cfg.net.load_smoothing_tau = tau;
+      cfg.partition.ap_chunk = bench::scaled_chunk(world);
       const auto r = bench::run_policy_averaged(world, Policy::kDqa, kNodes,
                                                 kSeeds, &cfg);
       table.add_row({tau == 0.0 ? "raw (0)" : format_double(tau, 0) + " s",
@@ -80,9 +82,9 @@ int main() {
     };
     for (const auto& v : variants) {
       SystemConfig cfg;
-      cfg.pr_underload_threshold = v.pr;
-      cfg.ap_underload_threshold = v.ap;
-      cfg.ap_chunk = bench::scaled_chunk(world);
+      cfg.dispatch.pr_underload_threshold = v.pr;
+      cfg.dispatch.ap_underload_threshold = v.ap;
+      cfg.partition.ap_chunk = bench::scaled_chunk(world);
       const auto high = bench::run_policy_averaged(world, Policy::kDqa,
                                                    kNodes, kSeeds, &cfg);
       const auto low1 = bench::run_low_load(world, 1, kLowLoadQuestions, &cfg);
@@ -100,8 +102,8 @@ int main() {
     for (auto strategy :
          {parallel::Strategy::kRecv, parallel::Strategy::kSend}) {
       SystemConfig cfg;
-      cfg.pr_strategy = strategy;
-      cfg.ap_chunk = bench::scaled_chunk(world);
+      cfg.partition.pr_strategy = strategy;
+      cfg.partition.ap_chunk = bench::scaled_chunk(world);
       const auto m = bench::run_low_load(world, 4, kLowLoadQuestions, &cfg);
       table.add_row({std::string(parallel::to_string(strategy)),
                      cell(m.t_pr.mean(), 2)});
@@ -117,8 +119,8 @@ int main() {
     const auto base1 = bench::run_low_load(world, 1, kLowLoadQuestions);
     for (double mbps : {1.0, 10.0, 100.0}) {
       SystemConfig cfg;
-      cfg.network = Bandwidth::from_mbps(mbps);
-      cfg.ap_chunk = bench::scaled_chunk(world);
+      cfg.net.bandwidth = Bandwidth::from_mbps(mbps);
+      cfg.partition.ap_chunk = bench::scaled_chunk(world);
       const auto m = bench::run_low_load(world, 8, kLowLoadQuestions, &cfg);
       table.add_row({format_double(mbps, 0) + " Mbps",
                      cell(base1.latencies.mean() / m.latencies.mean(), 2)});
@@ -138,7 +140,7 @@ int main() {
     for (double exponent : {0.0, 1.0, 2.0}) {
       SystemConfig cfg;
       cfg.node.thrash_exponent = exponent;
-      cfg.ap_chunk = bench::scaled_chunk(world);
+      cfg.partition.ap_chunk = bench::scaled_chunk(world);
       const auto dns = bench::run_policy_averaged(world, Policy::kDns, kNodes,
                                                   kSeeds, &cfg);
       const auto dqa = bench::run_policy_averaged(world, Policy::kDqa, kNodes,
@@ -189,7 +191,7 @@ int main() {
     for (const auto& v : variants) {
       SystemConfig cfg;
       cfg.node_cpu_speeds = v.speeds;
-      cfg.ap_chunk = bench::scaled_chunk(world);
+      cfg.partition.ap_chunk = bench::scaled_chunk(world);
       double dns = 0, dqa = 0;
       for (int s = 0; s < kSeeds; ++s) {
         dns += bench::run_high_load(world, Policy::kDns, 4, 1000 + s, &cfg)

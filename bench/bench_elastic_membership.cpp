@@ -12,9 +12,11 @@
 #include "cluster/workload.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "support/bench_cli.hpp"
 #include "support/bench_world.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  [[maybe_unused]] const auto cli = qadist::bench::BenchCli::parse(argc, argv);
   using namespace qadist;
   using cluster::Policy;
   const auto& world = bench::bench_world();
@@ -24,8 +26,8 @@ int main() {
     simnet::Simulation sim;
     cluster::SystemConfig cfg;
     cfg.nodes = kNodes;
-    cfg.policy = Policy::kDqa;
-    cfg.ap_chunk = bench::scaled_chunk(world);
+    cfg.dispatch.policy = Policy::kDqa;
+    cfg.partition.ap_chunk = bench::scaled_chunk(world);
     cluster::System system(sim, cfg);
     if (elastic) {
       for (sched::NodeId node = 8; node < 12; ++node) {

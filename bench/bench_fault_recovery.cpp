@@ -14,10 +14,12 @@
 #include "cluster/workload.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "support/bench_cli.hpp"
 #include "support/bench_report.hpp"
 #include "support/bench_world.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  [[maybe_unused]] const auto cli = qadist::bench::BenchCli::parse(argc, argv);
   using namespace qadist;
   using cluster::Policy;
   using parallel::Strategy;
@@ -31,9 +33,9 @@ int main() {
     simnet::Simulation sim;
     cluster::SystemConfig cfg;
     cfg.nodes = kNodes;
-    cfg.policy = Policy::kDqa;
-    cfg.ap_strategy = strategy;
-    cfg.ap_chunk = bench::scaled_chunk(world);
+    cfg.dispatch.policy = Policy::kDqa;
+    cfg.partition.ap_strategy = strategy;
+    cfg.partition.ap_chunk = bench::scaled_chunk(world);
     if (faulted) {
       cfg.faults.crashes.push_back(cluster::FaultEvent{
           static_cast<sched::NodeId>(kNodes - 2), 0.25 * est_makespan});

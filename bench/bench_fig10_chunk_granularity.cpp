@@ -14,10 +14,12 @@
 
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "support/bench_cli.hpp"
 #include "support/bench_report.hpp"
 #include "support/bench_world.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  [[maybe_unused]] const auto cli = qadist::bench::BenchCli::parse(argc, argv);
   using namespace qadist;
   const auto& world = bench::bench_world();
   constexpr std::size_t kQuestions = 40;
@@ -28,8 +30,8 @@ int main() {
 
   const auto ap_time = [&](std::size_t nodes, std::size_t chunk) {
     cluster::SystemConfig cfg;
-    cfg.ap_strategy = parallel::Strategy::kRecv;
-    cfg.ap_chunk = chunk;
+    cfg.partition.ap_strategy = parallel::Strategy::kRecv;
+    cfg.partition.ap_chunk = chunk;
     return bench::run_low_load(world, nodes, kQuestions, &cfg).t_ap.mean();
   };
 

@@ -15,10 +15,12 @@
 
 #include "obs/export.hpp"
 #include "obs/span.hpp"
+#include "support/bench_cli.hpp"
 #include "support/bench_report.hpp"
 #include "support/bench_world.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  [[maybe_unused]] const auto cli = qadist::bench::BenchCli::parse(argc, argv);
   using namespace qadist;
   using parallel::Strategy;
   const auto& world = bench::bench_world();
@@ -50,8 +52,8 @@ int main() {
     simnet::Simulation sim;
     cluster::SystemConfig cfg;
     cfg.nodes = 4;
-    cfg.ap_strategy = strategies[variant];
-    cfg.ap_chunk = bench::scaled_chunk(world);
+    cfg.partition.ap_strategy = strategies[variant];
+    cfg.partition.ap_chunk = bench::scaled_chunk(world);
     cluster::System system(sim, cfg);
     cluster::TraceRecorder trace;
     obs::Tracer tracer;

@@ -12,6 +12,7 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "model/intra_question.hpp"
+#include "support/bench_cli.hpp"
 
 namespace {
 
@@ -25,7 +26,8 @@ qadist::model::IntraQuestionModel make_model(double disk_mbps,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  [[maybe_unused]] const auto cli = qadist::bench::BenchCli::parse(argc, argv);
   using namespace qadist;
 
   const double n_values[] = {20, 40, 60, 80, 100, 120, 140, 160, 180, 200};

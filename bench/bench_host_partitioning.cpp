@@ -21,6 +21,7 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "parallel/qa_stages.hpp"
+#include "support/bench_cli.hpp"
 #include "support/bench_world.hpp"
 
 namespace {
@@ -64,7 +65,8 @@ double recv_makespan(std::size_t workers, std::size_t chunk_size,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  [[maybe_unused]] const auto cli = qadist::bench::BenchCli::parse(argc, argv);
   using namespace qadist;
   using parallel::ExecutorOptions;
   using parallel::Strategy;

@@ -9,9 +9,11 @@
 #include <cstdio>
 
 #include "common/table.hpp"
+#include "support/bench_cli.hpp"
 #include "support/bench_world.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  [[maybe_unused]] const auto cli = qadist::bench::BenchCli::parse(argc, argv);
   using namespace qadist;
   using parallel::Strategy;
   const auto& world = bench::bench_world();
@@ -20,8 +22,8 @@ int main() {
   const auto ap_time = [&](std::size_t nodes, Strategy strategy,
                            std::size_t chunk) {
     cluster::SystemConfig cfg;
-    cfg.ap_strategy = strategy;
-    cfg.ap_chunk = chunk;
+    cfg.partition.ap_strategy = strategy;
+    cfg.partition.ap_chunk = chunk;
     return bench::run_low_load(world, nodes, kQuestions, &cfg).t_ap.mean();
   };
 

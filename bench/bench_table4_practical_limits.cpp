@@ -10,8 +10,10 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "model/intra_question.hpp"
+#include "support/bench_cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  [[maybe_unused]] const auto cli = qadist::bench::BenchCli::parse(argc, argv);
   using namespace qadist;
   using model::IntraQuestionModel;
   using model::IntraQuestionParams;

@@ -10,10 +10,12 @@
 #include <cstdio>
 
 #include "common/table.hpp"
+#include "support/bench_cli.hpp"
 #include "support/bench_report.hpp"
 #include "support/bench_world.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  [[maybe_unused]] const auto cli = qadist::bench::BenchCli::parse(argc, argv);
   using namespace qadist;
   using cluster::Policy;
   const auto& world = bench::bench_world();

@@ -1,0 +1,147 @@
+#include "support/bench_cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace qadist::bench {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: [--nodes N] [--seed S] [--policy NAME] [--strategy NAME]\n"
+    "       [--out DIR] [--smoke] [--help]\n"
+    "\n"
+    "  --nodes N        override the node count\n"
+    "  --seed S         override the workload seed\n"
+    "  --policy NAME    DNS | INTER | DQA | TWO-CHOICE\n"
+    "  --strategy NAME  SEND | ISEND | RECV\n"
+    "  --out DIR        results directory (default: results)\n"
+    "  --smoke          tiny-config smoke run (CI)\n";
+
+/// Splits "--flag=value" / "--flag value" uniformly: on a match, `value`
+/// holds the attached or following argument and `index` is advanced past
+/// whatever was consumed. A flag that needs a value but has none is an
+/// error (signalled by returning true with `value` unset).
+bool match_value_flag(std::span<const char* const> args, std::size_t& index,
+                      std::string_view flag,
+                      std::optional<std::string_view>& value) {
+  const std::string_view arg = args[index];
+  if (arg == flag) {
+    if (index + 1 < args.size()) {
+      value = args[++index];
+    }
+    return true;
+  }
+  if (arg.size() > flag.size() + 1 && arg.substr(0, flag.size()) == flag &&
+      arg[flag.size()] == '=') {
+    value = arg.substr(flag.size() + 1);
+    return true;
+  }
+  return false;
+}
+
+bool parse_count(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+std::optional<BenchCli> BenchCli::try_parse(std::span<const char* const> args,
+                                            std::string* error) {
+  const auto fail = [&](std::string message) -> std::optional<BenchCli> {
+    if (error != nullptr) *error = std::move(message);
+    return std::nullopt;
+  };
+  BenchCli cli;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string_view arg = args[i];
+    std::optional<std::string_view> value;
+    if (arg == "--help" || arg == "-h") {
+      return fail("help");
+    }
+    if (arg == "--smoke") {
+      cli.smoke = true;
+      continue;
+    }
+    if (match_value_flag(args, i, "--nodes", value)) {
+      std::uint64_t n = 0;
+      if (!value.has_value() || !parse_count(*value, n) || n == 0) {
+        return fail("--nodes expects a positive integer");
+      }
+      cli.nodes = static_cast<std::size_t>(n);
+      continue;
+    }
+    if (match_value_flag(args, i, "--seed", value)) {
+      std::uint64_t s = 0;
+      if (!value.has_value() || !parse_count(*value, s)) {
+        return fail("--seed expects a non-negative integer");
+      }
+      cli.seed = s;
+      continue;
+    }
+    if (match_value_flag(args, i, "--policy", value)) {
+      if (!value.has_value()) return fail("--policy expects a name");
+      const auto policy = cluster::parse_policy(*value);
+      if (!policy.has_value()) {
+        return fail("unknown policy '" + std::string(*value) +
+                    "' (DNS | INTER | DQA | TWO-CHOICE)");
+      }
+      cli.policy = *policy;
+      continue;
+    }
+    if (match_value_flag(args, i, "--strategy", value)) {
+      if (!value.has_value()) return fail("--strategy expects a name");
+      const auto strategy = cluster::parse_strategy(*value);
+      if (!strategy.has_value()) {
+        return fail("unknown strategy '" + std::string(*value) +
+                    "' (SEND | ISEND | RECV)");
+      }
+      cli.strategy = *strategy;
+      continue;
+    }
+    if (match_value_flag(args, i, "--out", value)) {
+      if (!value.has_value() || value->empty()) {
+        return fail("--out expects a directory");
+      }
+      cli.out = std::string(*value);
+      continue;
+    }
+    return fail("unknown argument '" + std::string(arg) + "'");
+  }
+  return cli;
+}
+
+BenchCli BenchCli::parse(int argc, char** argv) {
+  std::string error;
+  const auto cli = try_parse(
+      std::span<const char* const>(
+          const_cast<const char* const*>(argv) + (argc > 0 ? 1 : 0),
+          argc > 0 ? static_cast<std::size_t>(argc - 1) : 0),
+      &error);
+  const char* program = argc > 0 ? argv[0] : "bench";
+  if (!cli.has_value()) {
+    if (error == "help") {
+      std::printf("%s %s", program, kUsage);
+      std::exit(0);
+    }
+    std::fprintf(stderr, "%s: %s\n%s %s", program, error.c_str(), program,
+                 kUsage);
+    std::exit(2);
+  }
+  if (cli->out.has_value()) {
+    // BenchReport resolves its directory from the environment, so one
+    // export covers every report the binary writes.
+    ::setenv("QADIST_RESULTS_DIR", cli->out->c_str(), /*overwrite=*/1);
+  }
+  return *cli;
+}
+
+}  // namespace qadist::bench

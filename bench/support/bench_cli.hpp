@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "cluster/names.hpp"
+#include "parallel/partition.hpp"
+
+namespace qadist::bench {
+
+/// The shared command line of every bench binary. One flag grammar across
+/// the suite (no per-bench argv parsing):
+///
+///   --nodes N        override the node count (benches with one pool size)
+///   --seed S         override the workload seed
+///   --policy NAME    DNS | INTER | DQA | TWO-CHOICE (case-insensitive)
+///   --strategy NAME  SEND | ISEND | RECV (case-insensitive)
+///   --out DIR        results directory (sets QADIST_RESULTS_DIR)
+///   --smoke          tiny-config smoke run (CI): benches that honor it
+///                    shrink the experiment, others ignore it
+///   --help           usage and exit
+///
+/// Values may be attached with '=' ("--nodes=8") or follow as the next
+/// argument ("--nodes 8"). Every flag is optional: a bench passes its own
+/// defaults to the *_or accessors, so running with no arguments reproduces
+/// the published experiment exactly.
+struct BenchCli {
+  std::optional<std::size_t> nodes;
+  std::optional<std::uint64_t> seed;
+  std::optional<cluster::Policy> policy;
+  std::optional<parallel::Strategy> strategy;
+  std::optional<std::string> out;
+  bool smoke = false;
+
+  [[nodiscard]] std::size_t nodes_or(std::size_t fallback) const {
+    return nodes.value_or(fallback);
+  }
+  [[nodiscard]] std::uint64_t seed_or(std::uint64_t fallback) const {
+    return seed.value_or(fallback);
+  }
+  [[nodiscard]] cluster::Policy policy_or(cluster::Policy fallback) const {
+    return policy.value_or(fallback);
+  }
+  [[nodiscard]] parallel::Strategy strategy_or(
+      parallel::Strategy fallback) const {
+    return strategy.value_or(fallback);
+  }
+
+  /// Pure parsing core (no exit, no environment writes): nullopt plus a
+  /// message in `error` on a bad flag, value, or name. `args` excludes the
+  /// program name.
+  [[nodiscard]] static std::optional<BenchCli> try_parse(
+      std::span<const char* const> args, std::string* error);
+
+  /// Bench-main entry point: parses argv, prints usage and exits on
+  /// --help (status 0) or a parse error (status 2), and exports --out to
+  /// QADIST_RESULTS_DIR so BenchReport picks it up.
+  [[nodiscard]] static BenchCli parse(int argc, char** argv);
+};
+
+}  // namespace qadist::bench

@@ -78,14 +78,38 @@ Metrics run_high_load(const BenchWorld& world, Policy policy,
   simnet::Simulation sim;
   SystemConfig cfg = base != nullptr ? *base : SystemConfig{};
   cfg.nodes = nodes;
-  cfg.policy = policy;
-  if (base == nullptr) cfg.ap_chunk = scaled_chunk(world);
+  cfg.dispatch.policy = policy;
+  if (base == nullptr) cfg.partition.ap_chunk = scaled_chunk(world);
   cluster::System system(sim, cfg);
 
   cluster::OverloadWorkload workload;
   workload.seed = seed;
   workload.reference_disk = world.cost->anchors().reference_disk;
   cluster::submit_overload(system, world.plans, workload);
+  return system.run();
+}
+
+Metrics run_zipf_load(const BenchWorld& world, const SystemConfig& base,
+                      const cluster::OverloadWorkload& workload,
+                      bool prewarm) {
+  simnet::Simulation sim;
+  cluster::System system(sim, base);
+  cluster::OverloadWorkload load = workload;
+  load.reference_disk = world.cost->anchors().reference_disk;
+  if (prewarm) {
+    // Warm every plan the stream will submit — the steady state of a
+    // long-running deployment, where the popular questions are resident.
+    const std::size_t count =
+        load.count != 0 ? load.count : 8 * base.nodes;
+    std::vector<char> warmed(world.plans.size(), 0);
+    for (const std::size_t pick :
+         cluster::overload_pick_sequence(load, world.plans.size(), count)) {
+      if (warmed[pick] != 0) continue;
+      warmed[pick] = 1;
+      system.prewarm(world.plans[pick]);
+    }
+  }
+  cluster::submit_overload(system, world.plans, load);
   return system.run();
 }
 
@@ -117,8 +141,8 @@ Metrics run_low_load(const BenchWorld& world, std::size_t nodes,
   simnet::Simulation sim;
   SystemConfig cfg = base != nullptr ? *base : SystemConfig{};
   cfg.nodes = nodes;
-  cfg.policy = Policy::kDqa;
-  if (base == nullptr) cfg.ap_chunk = scaled_chunk(world);
+  cfg.dispatch.policy = Policy::kDqa;
+  if (base == nullptr) cfg.partition.ap_chunk = scaled_chunk(world);
   cluster::System system(sim, cfg);
 
   // Only the unscaled (TREC-9-like, odd-index) plans are used, so the

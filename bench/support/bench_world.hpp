@@ -6,6 +6,7 @@
 #include "cluster/cost_model.hpp"
 #include "cluster/plan.hpp"
 #include "cluster/system.hpp"
+#include "cluster/workload.hpp"
 #include "corpus/generator.hpp"
 #include "qa/engine.hpp"
 
@@ -56,6 +57,15 @@ PolicyResult run_policy_averaged(const BenchWorld& world,
                                  cluster::Policy policy, std::size_t nodes,
                                  int seeds,
                                  const cluster::SystemConfig* base = nullptr);
+
+/// High-load run with an explicit (possibly Zipf-repeating) workload and
+/// full config. With `prewarm` the caches of the rendezvous-preferred
+/// nodes are seeded with every distinct plan the stream will submit, so
+/// the run measures warm-cache steady state.
+cluster::Metrics run_zipf_load(const BenchWorld& world,
+                               const cluster::SystemConfig& base,
+                               const cluster::OverloadWorkload& workload,
+                               bool prewarm);
 
 /// Low-load run (paper Sec. 6.2 protocol): `count` questions one at a
 /// time, fully drained between submissions; returns the metrics.

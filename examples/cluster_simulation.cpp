@@ -55,8 +55,8 @@ int main() {
     simnet::Simulation sim;
     cluster::SystemConfig cfg;
     cfg.nodes = 12;
-    cfg.policy = policy;
-    cfg.ap_chunk = 8;
+    cfg.dispatch.policy = policy;
+    cfg.partition.ap_chunk = 8;
     cluster::System system(sim, cfg);
     Rng arrivals(42);
     Seconds at = 0.0;
@@ -79,7 +79,7 @@ int main() {
   simnet::Simulation sim;
   cluster::SystemConfig cfg;
   cfg.nodes = 4;
-  cfg.ap_chunk = 8;
+  cfg.partition.ap_chunk = 8;
   cluster::System system(sim, cfg);
   cluster::TraceRecorder trace;
   system.set_trace(&trace);

@@ -1,0 +1,34 @@
+#include "cache/affinity.hpp"
+
+namespace qadist::cache {
+
+namespace {
+
+/// splitmix64 finalizer: cheap, well-mixed, and stable across platforms.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::optional<std::uint32_t> rendezvous_pick(
+    std::uint64_t signature, std::span<const std::uint32_t> members) {
+  std::optional<std::uint32_t> best;
+  std::uint64_t best_weight = 0;
+  for (const std::uint32_t m : members) {
+    const std::uint64_t w = mix(signature ^ (0x517cc1b727220a95ULL * (m + 1)));
+    // Ties broken toward the lower node id so duplicate member entries
+    // cannot flip the pick.
+    if (!best.has_value() || w > best_weight ||
+        (w == best_weight && m < *best)) {
+      best = m;
+      best_weight = w;
+    }
+  }
+  return best;
+}
+
+}  // namespace qadist::cache

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace qadist::cache {
+
+/// Rendezvous (highest-random-weight) pick: the member with the largest
+/// mixed hash of (signature, member) wins. Properties the affinity
+/// dispatcher needs:
+///  - deterministic: the same signature and member set always agree, so
+///    every front-end node routes a repeated question to the same cache;
+///  - membership-stable: when a node crashes or leaves, only the questions
+///    it owned move (unlike modulo hashing, which reshuffles everything —
+///    and would cold-start every cache on each membership change);
+///  - order-independent: the pick does not depend on the order members are
+///    listed in (load broadcasts arrive in timing-dependent order).
+/// Returns nullopt for an empty member set.
+[[nodiscard]] std::optional<std::uint32_t> rendezvous_pick(
+    std::uint64_t signature, std::span<const std::uint32_t> members);
+
+}  // namespace qadist::cache

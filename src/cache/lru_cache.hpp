@@ -1,0 +1,184 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cache/config.hpp"
+#include "common/check.hpp"
+
+namespace qadist::cache {
+
+/// Operation counts of one cache over its lifetime (monotone; the cluster
+/// folds these into the obs registry at the end of a run).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t updates = 0;            ///< insert over an existing key
+  std::uint64_t evictions_entries = 0;  ///< dropped for the entry budget
+  std::uint64_t evictions_bytes = 0;    ///< dropped for the byte budget
+  std::uint64_t expirations = 0;        ///< dropped because the TTL passed
+  std::uint64_t rejected_oversize = 0;  ///< never admitted: bytes > budget
+  std::uint64_t invalidations = 0;      ///< entries dropped by clear()
+
+  [[nodiscard]] std::uint64_t evictions() const {
+    return evictions_entries + evictions_bytes;
+  }
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t probes = hits + misses;
+    return probes == 0 ? 0.0 : static_cast<double>(hits) /
+                                   static_cast<double>(probes);
+  }
+};
+
+/// Bounded LRU cache with TTL expiry and a byte budget, keyed by string.
+///
+/// Semantics:
+///  - `find` promotes the entry to most-recently-used; an entry whose TTL
+///    has passed is dropped on the probe (lazy expiry) and counts as a
+///    miss. Simulated time is passed in by the caller, so the cache itself
+///    has no clock and stays deterministic.
+///  - `insert` admits the entry, then evicts from the LRU end until both
+///    the entry and byte budgets hold. An entry bigger than the whole byte
+///    budget is rejected outright (admitting it would flush the cache for
+///    a guaranteed-useless resident).
+///  - All operations are O(1) amortized; iteration order (`keys_by_age`)
+///    is the recency list, which makes eviction order testable.
+///
+/// Not thread-safe by design: per-node caches live beside the
+/// single-threaded simulation, like the Tracer.
+template <typename Value>
+class LruTtlCache {
+ public:
+  explicit LruTtlCache(BoundedCacheConfig config) : config_(config) {}
+
+  /// Probes for `key` at time `now`. Hit: promotes the entry and returns
+  /// it. Expired or absent: returns nullptr (and drops the stale entry).
+  [[nodiscard]] Value* find(const std::string& key, Seconds now) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    if (expired(*it->second, now)) {
+      ++stats_.expirations;
+      ++stats_.misses;
+      drop(it);
+      return nullptr;
+    }
+    entries_.splice(entries_.begin(), entries_, it->second);
+    ++stats_.hits;
+    return &it->second->value;
+  }
+
+  /// Whether `key` is resident and fresh, without promoting or counting a
+  /// probe (introspection for tests and benches).
+  [[nodiscard]] bool contains(const std::string& key, Seconds now) const {
+    const auto it = index_.find(key);
+    return it != index_.end() && !expired(*it->second, now);
+  }
+
+  /// Inserts (or refreshes) `key` with the given byte footprint, then
+  /// enforces both budgets. Disabled caches (max_entries == 0) admit
+  /// nothing.
+  void insert(const std::string& key, Value value, std::size_t bytes,
+              Seconds now) {
+    if (config_.max_entries == 0) return;
+    if (config_.max_bytes > 0 && bytes > config_.max_bytes) {
+      ++stats_.rejected_oversize;
+      return;
+    }
+    if (const auto it = index_.find(key); it != index_.end()) {
+      bytes_ -= it->second->bytes;
+      it->second->value = std::move(value);
+      it->second->bytes = bytes;
+      it->second->inserted = now;
+      bytes_ += bytes;
+      entries_.splice(entries_.begin(), entries_, it->second);
+      ++stats_.updates;
+    } else {
+      entries_.push_front(Entry{key, std::move(value), bytes, now});
+      index_.emplace(key, entries_.begin());
+      bytes_ += bytes;
+      ++stats_.insertions;
+    }
+    while (entries_.size() > config_.max_entries) {
+      ++stats_.evictions_entries;
+      drop_lru();
+    }
+    while (config_.max_bytes > 0 && bytes_ > config_.max_bytes) {
+      ++stats_.evictions_bytes;
+      drop_lru();
+    }
+  }
+
+  /// Removes one key; returns whether it was resident.
+  bool erase(const std::string& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    drop(it);
+    return true;
+  }
+
+  /// Drops every entry (crash invalidation: a node that reboots comes back
+  /// with a cold cache). Counted separately from capacity evictions.
+  void clear() {
+    stats_.invalidations += entries_.size();
+    entries_.clear();
+    index_.clear();
+    bytes_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] const BoundedCacheConfig& config() const { return config_; }
+
+  /// Keys from most- to least-recently used (the eviction order reversed).
+  [[nodiscard]] std::vector<std::string> keys_by_age() const {
+    std::vector<std::string> keys;
+    keys.reserve(entries_.size());
+    for (const auto& e : entries_) keys.push_back(e.key);
+    return keys;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    Value value;
+    std::size_t bytes = 0;
+    Seconds inserted = 0.0;
+  };
+  using EntryList = std::list<Entry>;
+
+  [[nodiscard]] bool expired(const Entry& e, Seconds now) const {
+    return config_.ttl > 0.0 && now - e.inserted >= config_.ttl;
+  }
+
+  void drop(typename std::unordered_map<
+            std::string, typename EntryList::iterator>::iterator it) {
+    bytes_ -= it->second->bytes;
+    entries_.erase(it->second);
+    index_.erase(it);
+  }
+
+  void drop_lru() {
+    QADIST_CHECK(!entries_.empty());
+    const auto& victim = entries_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    entries_.pop_back();
+  }
+
+  BoundedCacheConfig config_;
+  EntryList entries_;  // front = most recently used
+  std::unordered_map<std::string, typename EntryList::iterator> index_;
+  std::size_t bytes_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace qadist::cache

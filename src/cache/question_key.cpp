@@ -1,0 +1,40 @@
+#include "cache/question_key.hpp"
+
+namespace qadist::cache {
+
+std::string normalize_question(std::string_view text) {
+  std::string key;
+  key.reserve(text.size());
+  bool pending_space = false;
+  for (const char c : text) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    char mapped = 0;
+    if (u >= 'A' && u <= 'Z') {
+      mapped = static_cast<char>(u - 'A' + 'a');
+    } else if ((u >= 'a' && u <= 'z') || (u >= '0' && u <= '9')) {
+      mapped = c;
+    } else {
+      // Punctuation and whitespace both act as separators.
+      pending_space = !key.empty();
+      continue;
+    }
+    if (pending_space) {
+      key += ' ';
+      pending_space = false;
+    }
+    key += mapped;
+  }
+  return key;
+}
+
+std::uint64_t question_signature(std::string_view normalized) {
+  // FNV-1a, 64-bit.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : normalized) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace qadist::cache

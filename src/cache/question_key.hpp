@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace qadist::cache {
+
+/// Canonical cache key of a question: ASCII-lowercased, punctuation
+/// stripped, whitespace collapsed to single spaces. "Who invented X?" and
+/// "who invented  x" are the same question to the cache — the skew that
+/// makes answer caching pay off comes from millions of users typing minor
+/// variants of the same popular questions.
+[[nodiscard]] std::string normalize_question(std::string_view text);
+
+/// Stable 64-bit signature of a normalized key (FNV-1a). Drives the
+/// cache-affinity dispatch (rendezvous hashing over the pool) and the
+/// paragraph-cache key, and never changes across runs or platforms.
+[[nodiscard]] std::uint64_t question_signature(std::string_view normalized);
+
+}  // namespace qadist::cache

@@ -1,0 +1,74 @@
+#pragma once
+
+#include "cluster/system.hpp"
+
+namespace qadist::cluster {
+
+/// One-release compatibility alias for the pre-grouping SystemConfig: the
+/// same flat field list, convertible to the nested SystemConfig. Existing
+/// out-of-tree code can swap `SystemConfig` for `FlatSystemConfig` at its
+/// construction sites and keep designated initializers unchanged while it
+/// migrates; everything in-tree addresses the sub-structs directly.
+///
+/// Deprecated: will be removed in the next release. The [[deprecated]]
+/// marker makes every use site visible under -Wdeprecated-declarations.
+struct [[deprecated(
+    "use SystemConfig's nested sub-structs (net/dispatch/partition/cache); "
+    "FlatSystemConfig will be removed in the next release")]]
+FlatSystemConfig {
+  std::size_t nodes = 12;
+  NodeConfig node;
+  std::vector<double> node_cpu_speeds;
+  Bandwidth network = Bandwidth::from_mbps(100);
+  Seconds monitor_period = 1.0;
+  Seconds membership_timeout = 3.0;
+  std::size_t load_packet_bytes = 64;
+  Seconds per_message_overhead = 2e-3;
+  Seconds per_batch_answer_cpu = 0.1;
+  Seconds load_smoothing_tau = 30.0;
+  Policy policy = Policy::kDqa;
+  std::uint64_t seed = 1;
+  bool enable_partitioning = true;
+  double pr_underload_threshold =
+      sched::single_task_load(sched::kPrWeights) + 1.0;
+  double ap_underload_threshold =
+      sched::single_task_load(sched::kApWeights) + 1.0;
+  parallel::Strategy pr_strategy = parallel::Strategy::kRecv;
+  std::size_t pr_chunk = 1;
+  parallel::Strategy ap_strategy = parallel::Strategy::kRecv;
+  std::size_t ap_chunk = 40;
+  FaultPlan faults;
+
+  /// The equivalent nested configuration. Fields the flat layout never
+  /// had (the cache plan, the affinity toggle) take their defaults.
+  [[nodiscard]] SystemConfig to_config() const {
+    SystemConfig config;
+    config.nodes = nodes;
+    config.node = node;
+    config.node_cpu_speeds = node_cpu_speeds;
+    config.seed = seed;
+    config.net.bandwidth = network;
+    config.net.monitor_period = monitor_period;
+    config.net.membership_timeout = membership_timeout;
+    config.net.load_packet_bytes = load_packet_bytes;
+    config.net.per_message_overhead = per_message_overhead;
+    config.net.load_smoothing_tau = load_smoothing_tau;
+    config.dispatch.policy = policy;
+    config.dispatch.pr_underload_threshold = pr_underload_threshold;
+    config.dispatch.ap_underload_threshold = ap_underload_threshold;
+    config.partition.enable = enable_partitioning;
+    config.partition.pr_strategy = pr_strategy;
+    config.partition.pr_chunk = pr_chunk;
+    config.partition.ap_strategy = ap_strategy;
+    config.partition.ap_chunk = ap_chunk;
+    config.partition.per_batch_answer_cpu = per_batch_answer_cpu;
+    config.faults = faults;
+    return config;
+  }
+
+  // NOLINTNEXTLINE(google-explicit-constructor): the implicit conversion
+  // is the whole point — `System system(sim, flat_config)` keeps working.
+  operator SystemConfig() const { return to_config(); }
+};
+
+}  // namespace qadist::cluster

@@ -1,0 +1,117 @@
+#include "cluster/metrics.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace qadist::cluster {
+
+namespace {
+
+std::size_t counter_value(const obs::MetricsRegistry& registry,
+                          std::string_view name, obs::Labels labels = {}) {
+  const obs::Counter* c = registry.find_counter(name, std::move(labels));
+  return c == nullptr ? 0 : static_cast<std::size_t>(c->value());
+}
+
+double gauge_value(const obs::MetricsRegistry& registry,
+                   std::string_view name, obs::Labels labels = {}) {
+  const obs::Gauge* g = registry.find_gauge(name, std::move(labels));
+  return g == nullptr ? 0.0 : g->value();
+}
+
+RunningStats histogram_stats(const obs::MetricsRegistry& registry,
+                             std::string_view name, obs::Labels labels = {}) {
+  const obs::HistogramMetric* h =
+      registry.find_histogram(name, std::move(labels));
+  return h == nullptr ? RunningStats{} : h->stats();
+}
+
+/// Per-node gauges ("node" label holds the id) gathered into a dense
+/// vector indexed by node id.
+std::vector<double> node_series(const obs::MetricsRegistry& registry,
+                                std::string_view name) {
+  std::vector<double> out;
+  for (const auto& g : registry.gauges()) {
+    if (g.name() != name) continue;
+    for (const auto& [k, v] : g.labels()) {
+      if (k != "node") continue;
+      const std::size_t id = std::strtoull(v.c_str(), nullptr, 10);
+      if (out.size() <= id) out.resize(id + 1, 0.0);
+      out[id] = g.value();
+    }
+  }
+  return out;
+}
+
+/// Sums a counter over every label set it was registered under (e.g.
+/// cache_evictions across {cache=answers} and {cache=paragraphs}).
+std::size_t counter_total(const obs::MetricsRegistry& registry,
+                          std::string_view name) {
+  double total = 0.0;
+  for (const auto& c : registry.counters()) {
+    if (c.name() == name) total += c.value();
+  }
+  return static_cast<std::size_t>(total);
+}
+
+}  // namespace
+
+Metrics Metrics::from_registry(const obs::MetricsRegistry& registry) {
+  Metrics out;
+  out.submitted = counter_value(registry, "questions_submitted");
+  out.completed = counter_value(registry, "questions_completed");
+  if (const auto* h = registry.find_histogram("question_latency_seconds")) {
+    out.latencies = h->samples();
+  }
+  out.first_submit = gauge_value(registry, "first_submit_seconds");
+  out.makespan = gauge_value(registry, "makespan_seconds");
+
+  out.migrations_qa = counter_value(registry, "migrations", {{"stage", "qa"}});
+  out.migrations_pr = counter_value(registry, "migrations", {{"stage", "pr"}});
+  out.migrations_ap = counter_value(registry, "migrations", {{"stage", "ap"}});
+
+  out.crashes = counter_value(registry, "crashes");
+  out.crashes_skipped = counter_value(registry, "crashes_skipped");
+  out.legs_lost = counter_value(registry, "legs_lost");
+  out.items_recovered = counter_value(registry, "items_recovered");
+  out.recovery_legs = counter_value(registry, "recovery_legs");
+  out.question_restarts = counter_value(registry, "question_restarts");
+  out.recovery_latency = histogram_stats(registry, "recovery_latency_seconds");
+
+  out.t_qp = histogram_stats(registry, "stage_seconds", {{"stage", "qp"}});
+  out.t_pr = histogram_stats(registry, "stage_seconds", {{"stage", "pr"}});
+  out.t_ps = histogram_stats(registry, "stage_seconds", {{"stage", "ps"}});
+  out.t_po = histogram_stats(registry, "stage_seconds", {{"stage", "po"}});
+  out.t_ap = histogram_stats(registry, "stage_seconds", {{"stage", "ap"}});
+
+  out.cache_hits =
+      counter_value(registry, "cache_hits", {{"cache", "answers"}});
+  out.cache_misses =
+      counter_value(registry, "cache_misses", {{"cache", "answers"}});
+  out.pr_cache_hits =
+      counter_value(registry, "cache_hits", {{"cache", "paragraphs"}});
+  out.pr_cache_misses =
+      counter_value(registry, "cache_misses", {{"cache", "paragraphs"}});
+  out.cache_evictions = counter_total(registry, "cache_evictions");
+  out.cache_expirations = counter_total(registry, "cache_expirations");
+  out.cache_invalidations = counter_total(registry, "cache_invalidations");
+  out.affinity_routes = counter_value(registry, "affinity_routes");
+  out.affinity_fallbacks = counter_value(registry, "affinity_fallbacks");
+
+  out.overhead.keyword_send = histogram_stats(
+      registry, "overhead_seconds", {{"component", "keyword_send"}});
+  out.overhead.paragraph_receive = histogram_stats(
+      registry, "overhead_seconds", {{"component", "paragraph_receive"}});
+  out.overhead.paragraph_send = histogram_stats(
+      registry, "overhead_seconds", {{"component", "paragraph_send"}});
+  out.overhead.answer_receive = histogram_stats(
+      registry, "overhead_seconds", {{"component", "answer_receive"}});
+  out.overhead.answer_sort = histogram_stats(
+      registry, "overhead_seconds", {{"component", "answer_sort"}});
+
+  out.node_cpu_work = node_series(registry, "node_cpu_work_seconds");
+  out.node_disk_bytes = node_series(registry, "node_disk_work_bytes");
+  return out;
+}
+
+}  // namespace qadist::cluster

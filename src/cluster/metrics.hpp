@@ -2,6 +2,7 @@
 
 #include "common/stats.hpp"
 #include "common/units.hpp"
+#include "obs/registry.hpp"
 
 #include <vector>
 
@@ -25,13 +26,12 @@ struct OverheadBreakdown {
 
 /// Everything a simulation run measures.
 ///
-/// Compatibility facade: the live store is the System's
-/// obs::MetricsRegistry (every counter below is a registry counter, every
-/// RunningStats/Samples a registry histogram, updated as the run executes).
-/// System::run() snapshots the registry into this plain struct at the end
-/// so existing benches and tests keep their field-level access; new code
-/// that wants names, labels, or JSON should read System::registry()
-/// instead.
+/// Read-only view: the live store is the System's obs::MetricsRegistry
+/// (every counter below is a registry counter, every RunningStats/Samples
+/// a registry histogram, updated as the run executes). System::run()
+/// builds this struct with from_registry() at the end so benches and tests
+/// keep field-level access; new code that wants names, labels, or JSON
+/// should read System::registry() instead.
 struct Metrics {
   std::size_t submitted = 0;
   std::size_t completed = 0;
@@ -61,6 +61,18 @@ struct Metrics {
   RunningStats t_po;
   RunningStats t_ap;   ///< AP stage wall
 
+  // Answer/paragraph caching and cache-affinity dispatch (extension; all
+  // zero when the run is configured without caches).
+  std::size_t cache_hits = 0;        ///< answer-cache hits
+  std::size_t cache_misses = 0;      ///< answer-cache misses
+  std::size_t pr_cache_hits = 0;     ///< paragraph-cache hits (PR skipped)
+  std::size_t pr_cache_misses = 0;
+  std::size_t cache_evictions = 0;      ///< capacity + byte-budget, all caches
+  std::size_t cache_expirations = 0;    ///< TTL drops, all caches
+  std::size_t cache_invalidations = 0;  ///< crash-invalidated entries
+  std::size_t affinity_routes = 0;      ///< questions routed to the preferred node
+  std::size_t affinity_fallbacks = 0;   ///< preferred node overloaded/down
+
   OverheadBreakdown overhead;  ///< paper Table 9
 
   /// Per-node work served over the whole run (CPU-seconds, disk bytes),
@@ -87,6 +99,19 @@ struct Metrics {
     if (busy <= 0.0) return 0.0;
     return static_cast<double>(completed) / (busy / 60.0);
   }
+
+  /// Answer-cache hit rate over all probes (0 when the cache never ran).
+  [[nodiscard]] double answer_cache_hit_rate() const {
+    const std::size_t probes = cache_hits + cache_misses;
+    return probes == 0 ? 0.0 : static_cast<double>(cache_hits) /
+                                   static_cast<double>(probes);
+  }
+
+  /// Builds the view from a registry populated by a System run. Absent
+  /// instruments read as zero/empty, so snapshots taken from partially
+  /// instrumented registries (or mid-run) degrade gracefully.
+  [[nodiscard]] static Metrics from_registry(
+      const obs::MetricsRegistry& registry);
 };
 
 }  // namespace qadist::cluster

@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "cache/affinity.hpp"
+#include "cache/question_key.hpp"
 #include "common/check.hpp"
 #include "common/strings.hpp"
 
@@ -14,21 +16,33 @@ using sched::NodeId;
 
 namespace {
 constexpr std::size_t kNoUnit = static_cast<std::size_t>(-1);
-}  // namespace
 
-std::string_view to_string(Policy policy) {
-  switch (policy) {
-    case Policy::kDns:
-      return "DNS";
-    case Policy::kInter:
-      return "INTER";
-    case Policy::kDqa:
-      return "DQA";
-    case Policy::kTwoChoice:
-      return "TWO-CHOICE";
-  }
-  QADIST_UNREACHABLE("bad Policy");
+/// Answer-cache resident: what a hit must reproduce is the final answer
+/// payload; everything else about the question is recomputable from it.
+struct CachedAnswer {
+  std::size_t answer_bytes = 0;
+};
+
+/// Paragraph-cache resident: presence is the value — a hit means the
+/// accepted, scored paragraphs are already on this node's disk, so the
+/// PR stage (and its fused scoring) is skipped.
+struct CachedParagraphs {};
+
+/// Byte footprint an answer occupies in the cache (key + payload).
+std::size_t answer_footprint(const std::string& key,
+                             const QuestionPlan& plan) {
+  return key.size() + plan.answer_bytes;
 }
+
+/// Byte footprint of the cached paragraph set: the scored paragraph text
+/// every PR unit would ship to the host.
+std::size_t paragraph_footprint(const std::string& key,
+                                const QuestionPlan& plan) {
+  std::size_t bytes = key.size();
+  for (const auto& unit : plan.pr_units) bytes += unit.bytes_out;
+  return bytes;
+}
+}  // namespace
 
 /// Per-question bookkeeping shared between the main task coroutine and its
 /// PR/AP leg coroutines. Lives in the question_process frame, so legs may
@@ -94,10 +108,21 @@ struct System::ApLegSlot {
   obs::SpanId leg_span = obs::kNoSpan;
 };
 
+/// Per-node cache shards. One pair per node, like the CPUs and disks: a
+/// question probes the caches of the node it landed on, which is what the
+/// affinity dispatch exists to make the right node.
+struct System::NodeCaches {
+  cache::LruTtlCache<CachedAnswer> answers;
+  cache::LruTtlCache<CachedParagraphs> paragraphs;
+
+  explicit NodeCaches(const cache::CacheConfig& config)
+      : answers(config.answers), paragraphs(config.paragraphs) {}
+};
+
 System::System(simnet::Simulation& sim, const SystemConfig& config)
     : sim_(sim), config_(config) {
   QADIST_CHECK(config.nodes >= 1);
-  QADIST_CHECK(config.pr_strategy != Strategy::kIsend,
+  QADIST_CHECK(config.partition.pr_strategy != Strategy::kIsend,
                << "ISEND does not apply to PR: collections are unranked "
                   "(paper Sec. 6.3)");
   QADIST_CHECK(config.node_cpu_speeds.empty() ||
@@ -111,13 +136,19 @@ System::System(simnet::Simulation& sim, const SystemConfig& config)
     }
     nodes_.push_back(std::make_unique<Node>(sim, id, node_config));
   }
+  if (config.cache.enabled()) {
+    caches_.reserve(config.nodes);
+    for (std::size_t i = 0; i < config.nodes; ++i) {
+      caches_.push_back(std::make_unique<NodeCaches>(config.cache));
+    }
+  }
   node_broadcasting_.assign(config.nodes, 1);
   node_crashed_.assign(config.nodes, 0);
   crash_epoch_.assign(config.nodes, 0);
   crash_time_.assign(config.nodes, 0.0);
   two_choice_rng_.reseed(config.seed);
   network_ = std::make_unique<simnet::Link>(
-      sim, "lan", config.network, config.per_message_overhead);
+      sim, "lan", config.net.bandwidth, config.net.per_message_overhead);
   register_instruments();
   cpu_probes_.reserve(config.nodes);
   disk_probes_.reserve(config.nodes);
@@ -157,6 +188,17 @@ void System::register_instruments() {
       "overhead_seconds", {{"component", "answer_receive"}});
   ins_.oh_answer_sort =
       &registry_.histogram("overhead_seconds", {{"component", "answer_sort"}});
+  // Registered even when caching is off, so the registry schema (and the
+  // Metrics view built from it) is stable across configurations.
+  ins_.cache_hits = &registry_.counter("cache_hits", {{"cache", "answers"}});
+  ins_.cache_misses =
+      &registry_.counter("cache_misses", {{"cache", "answers"}});
+  ins_.pr_cache_hits =
+      &registry_.counter("cache_hits", {{"cache", "paragraphs"}});
+  ins_.pr_cache_misses =
+      &registry_.counter("cache_misses", {{"cache", "paragraphs"}});
+  ins_.affinity_routes = &registry_.counter("affinity_routes");
+  ins_.affinity_fallbacks = &registry_.counter("affinity_fallbacks");
 }
 
 System::~System() = default;
@@ -179,12 +221,63 @@ void System::submit(const QuestionPlan& plan, Seconds at) {
   QADIST_CHECK(!started_, << "submit after run()");
   const NodeId dns_node = next_dns_node_;
   next_dns_node_ = static_cast<NodeId>((next_dns_node_ + 1) % nodes_.size());
-  if (total_submitted_ == 0 || at < first_submit_) first_submit_ = at;
-  ++total_submitted_;
+  if (ins_.submitted->value() == 0.0 || at < first_submit_) {
+    first_submit_ = at;
+  }
   ins_.submitted->inc();
   sim_.schedule_at(at, [this, &plan, dns_node] {
     question_process(plan, dns_node);
   });
+}
+
+void System::prewarm(const QuestionPlan& plan) {
+  QADIST_CHECK(!started_, << "prewarm after run()");
+  if (caches_.empty()) return;
+  const std::string key = cache::normalize_question(plan.source.text);
+  const auto preferred = preferred_node(plan);
+  if (!preferred.has_value()) return;
+  NodeCaches& shard = *caches_[*preferred];
+  shard.answers.insert(key, CachedAnswer{plan.answer_bytes},
+                       answer_footprint(key, plan), sim_.now());
+  shard.paragraphs.insert(key, CachedParagraphs{},
+                          paragraph_footprint(key, plan), sim_.now());
+}
+
+std::optional<NodeId> System::preferred_node(const QuestionPlan& plan) const {
+  if (caches_.empty()) return std::nullopt;
+  const std::uint64_t signature =
+      cache::question_signature(cache::normalize_question(plan.source.text));
+  std::vector<std::uint32_t> pool;
+  pool.reserve(nodes_.size());
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    if (node_crashed_[n] == 0) pool.push_back(n);
+  }
+  return cache::rendezvous_pick(signature, pool);
+}
+
+bool System::answer_cached(NodeId node, const QuestionPlan& plan) const {
+  if (caches_.empty()) return false;
+  return caches_.at(node)->answers.contains(
+      cache::normalize_question(plan.source.text), sim_.now());
+}
+
+cache::CacheStats System::answer_cache_stats(NodeId node) const {
+  if (caches_.empty()) return {};
+  return caches_.at(node)->answers.stats();
+}
+
+cache::CacheStats System::paragraph_cache_stats(NodeId node) const {
+  if (caches_.empty()) return {};
+  return caches_.at(node)->paragraphs.stats();
+}
+
+std::optional<NodeId> System::affinity_target(std::uint64_t signature) const {
+  std::vector<std::uint32_t> live;
+  live.reserve(table_.members().size());
+  for (NodeId m : table_.members()) {
+    if (node_crashed_[m] == 0) live.push_back(m);
+  }
+  return cache::rendezvous_pick(signature, live);
 }
 
 void System::schedule_leave(NodeId node, Seconds at) {
@@ -232,6 +325,12 @@ void System::apply_crash(NodeId node) {
   crash_time_[node] = sim_.now();
   node_broadcasting_[node] = 0;  // a dead node broadcasts nothing
   nodes_[node]->crash();
+  if (!caches_.empty()) {
+    // The caches live in the node's memory: a crash loses them, and the
+    // node reboots cold. (Counted as invalidations, not evictions.)
+    caches_[node]->answers.clear();
+    caches_[node]->paragraphs.clear();
+  }
   ins_.crashes->inc();
   record_event(node, "crashed", {{"kind", std::string("crash")}});
   // Deliberately no table_.remove here: membership stays broadcast-driven.
@@ -286,52 +385,76 @@ Metrics System::run() {
     fault_process();
   }
   sim_.run();
-  QADIST_CHECK(completed_ == total_submitted_,
-               << "simulation drained with " << completed_ << "/"
-               << total_submitted_ << " questions completed");
+  QADIST_CHECK(ins_.completed->value() == ins_.submitted->value(),
+               << "simulation drained with " << ins_.completed->value()
+               << "/" << ins_.submitted->value() << " questions completed");
 
-  // Snapshot the registry into the Metrics compatibility facade.
+  // Publish the run-scoped values, then build the read-only view from the
+  // registry — the registry is the single source of truth.
   registry_.gauge("first_submit_seconds").set(first_submit_);
   registry_.gauge("makespan_seconds").set(makespan_);
-  Metrics out;
-  out.submitted = total_submitted_;
-  out.completed = completed_;
-  out.latencies = ins_.latency->samples();
-  out.first_submit = first_submit_;
-  out.makespan = makespan_;
-  const auto count = [](const obs::Counter* c) {
-    return static_cast<std::size_t>(c->value());
-  };
-  out.migrations_qa = count(ins_.migrations_qa);
-  out.migrations_pr = count(ins_.migrations_pr);
-  out.migrations_ap = count(ins_.migrations_ap);
-  out.crashes = count(ins_.crashes);
-  out.crashes_skipped = count(ins_.crashes_skipped);
-  out.legs_lost = count(ins_.legs_lost);
-  out.items_recovered = count(ins_.items_recovered);
-  out.recovery_legs = count(ins_.recovery_legs);
-  out.question_restarts = count(ins_.question_restarts);
-  out.recovery_latency = ins_.recovery_latency->stats();
-  out.t_qp = ins_.t_qp->stats();
-  out.t_pr = ins_.t_pr->stats();
-  out.t_ps = ins_.t_ps->stats();
-  out.t_po = ins_.t_po->stats();
-  out.t_ap = ins_.t_ap->stats();
-  out.overhead.keyword_send = ins_.oh_keyword_send->stats();
-  out.overhead.paragraph_receive = ins_.oh_paragraph_receive->stats();
-  out.overhead.paragraph_send = ins_.oh_paragraph_send->stats();
-  out.overhead.answer_receive = ins_.oh_answer_receive->stats();
-  out.overhead.answer_sort = ins_.oh_answer_sort->stats();
   for (const auto& node : nodes_) {
-    const double cpu_work = node->cpu().work_served();
-    const double disk_bytes = node->disk().work_served();
-    out.node_cpu_work.push_back(cpu_work);
-    out.node_disk_bytes.push_back(disk_bytes);
     const obs::Labels labels{{"node", std::to_string(node->id())}};
-    registry_.gauge("node_cpu_work_seconds", labels).set(cpu_work);
-    registry_.gauge("node_disk_work_bytes", labels).set(disk_bytes);
+    registry_.gauge("node_cpu_work_seconds", labels)
+        .set(node->cpu().work_served());
+    registry_.gauge("node_disk_work_bytes", labels)
+        .set(node->disk().work_served());
   }
-  return out;
+  publish_cache_stats();
+  return Metrics::from_registry(registry_);
+}
+
+void System::publish_cache_stats() {
+  if (caches_.empty()) return;
+  cache::CacheStats answers_total;
+  cache::CacheStats paragraphs_total;
+  const auto fold = [](cache::CacheStats& total,
+                       const cache::CacheStats& s) {
+    total.evictions_entries += s.evictions_entries;
+    total.evictions_bytes += s.evictions_bytes;
+    total.expirations += s.expirations;
+    total.rejected_oversize += s.rejected_oversize;
+    total.invalidations += s.invalidations;
+    total.insertions += s.insertions;
+    total.updates += s.updates;
+  };
+  for (NodeId n = 0; n < caches_.size(); ++n) {
+    const NodeCaches& shard = *caches_[n];
+    fold(answers_total, shard.answers.stats());
+    fold(paragraphs_total, shard.paragraphs.stats());
+    const obs::Labels node_label{{"node", std::to_string(n)}};
+    const auto with_cache = [&](const char* cache_name) {
+      obs::Labels labels = node_label;
+      labels.emplace_back("cache", cache_name);
+      return labels;
+    };
+    registry_.gauge("cache_entries", with_cache("answers"))
+        .set(static_cast<double>(shard.answers.size()));
+    registry_.gauge("cache_bytes", with_cache("answers"))
+        .set(static_cast<double>(shard.answers.bytes()));
+    registry_.gauge("cache_entries", with_cache("paragraphs"))
+        .set(static_cast<double>(shard.paragraphs.size()));
+    registry_.gauge("cache_bytes", with_cache("paragraphs"))
+        .set(static_cast<double>(shard.paragraphs.bytes()));
+  }
+  const auto publish = [&](const char* cache_name,
+                           const cache::CacheStats& s) {
+    const obs::Labels labels{{"cache", cache_name}};
+    registry_.counter("cache_insertions", labels)
+        .inc(static_cast<double>(s.insertions));
+    registry_.counter("cache_updates", labels)
+        .inc(static_cast<double>(s.updates));
+    registry_.counter("cache_evictions", labels)
+        .inc(static_cast<double>(s.evictions()));
+    registry_.counter("cache_expirations", labels)
+        .inc(static_cast<double>(s.expirations));
+    registry_.counter("cache_invalidations", labels)
+        .inc(static_cast<double>(s.invalidations));
+    registry_.counter("cache_rejected_oversize", labels)
+        .inc(static_cast<double>(s.rejected_oversize));
+  };
+  publish("answers", answers_total);
+  publish("paragraphs", paragraphs_total);
 }
 
 simnet::SimProcess System::monitor_process(Node& node) {
@@ -352,21 +475,22 @@ simnet::SimProcess System::monitor_process(Node& node) {
                               disk_probes_[id].sample(sim_.now()));
     }
     const double alpha =
-        config_.load_smoothing_tau > 0.0
-            ? 1.0 - std::exp(-config_.monitor_period / config_.load_smoothing_tau)
+        config_.net.load_smoothing_tau > 0.0
+            ? 1.0 - std::exp(-config_.net.monitor_period /
+                             config_.net.load_smoothing_tau)
             : 1.0;
     ema.cpu += alpha * (sample.cpu - ema.cpu);
     ema.disk += alpha * (sample.disk - ema.disk);
     if (node_broadcasting_[node.id()] != 0) {
       co_await network_->transfer(
-          static_cast<double>(config_.load_packet_bytes));
+          static_cast<double>(config_.net.load_packet_bytes));
       // The damped broadcast absorbs only `alpha` of newly placed load per
       // period, so keep the complementary share of the reservations alive.
       table_.update(node.id(), ema, sim_.now(),
                     /*reservation_keep=*/1.0 - alpha);
     }
-    table_.expire(sim_.now(), config_.membership_timeout);
-    co_await simnet::Delay(sim_, config_.monitor_period);
+    table_.expire(sim_.now(), config_.net.membership_timeout);
+    co_await simnet::Delay(sim_, config_.net.monitor_period);
   }
 }
 
@@ -414,7 +538,7 @@ simnet::SimProcess System::pr_leg(QuestionState& q,
         sim_.now(), "PR leg", node, leg_track, slot->stage_span,
         {{"node", static_cast<std::int64_t>(node)},
          {"strategy",
-          std::string(parallel::to_string(config_.pr_strategy))}});
+          std::string(parallel::to_string(config_.partition.pr_strategy))}});
   }
 
   while (!slot->units->empty()) {
@@ -505,7 +629,7 @@ simnet::SimProcess System::ap_leg(QuestionState& q,
         sim_.now(), "AP leg", node, leg_track, slot->stage_span,
         {{"node", static_cast<std::int64_t>(node)},
          {"strategy",
-          std::string(parallel::to_string(config_.ap_strategy))}});
+          std::string(parallel::to_string(config_.partition.ap_strategy))}});
   }
 
   // Each batch: ship paragraphs in, burn CPU per paragraph, ship answers
@@ -538,7 +662,7 @@ simnet::SimProcess System::ap_leg(QuestionState& q,
         ++processed;
       }
       // Per-batch answer extraction floor (paper Sec. 4.1.2).
-      co_await executor.cpu().consume(config_.per_batch_answer_cpu);
+      co_await executor.cpu().consume(config_.partition.per_batch_answer_cpu);
       if (dead()) co_return;
       if (remote && bytes_out > 0) {
         const Seconds t0 = sim_.now();
@@ -572,7 +696,7 @@ simnet::SimProcess System::ap_leg(QuestionState& q,
     }
     if (processed > 0) {
       // One answer-extraction pass per partition (paper Sec. 4.1.2).
-      co_await executor.cpu().consume(config_.per_batch_answer_cpu);
+      co_await executor.cpu().consume(config_.partition.per_batch_answer_cpu);
       if (dead()) co_return;
     }
     if (remote && bytes_out > 0) {
@@ -606,6 +730,14 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
   NodeId host = dns_node;
   std::size_t restarts = 0;
 
+  // Cache identity of this question: the normalized text is the cache key
+  // on every node, and its signature drives the affinity dispatch. Empty
+  // key <=> caching off, so the uncached path stays byte-identical.
+  const bool cache_on = !caches_.empty();
+  const std::string cache_key =
+      cache_on ? cache::normalize_question(plan.source.text) : std::string();
+  bool served_from_cache = false;  // answered by an answer-cache hit
+
   // One span per question lifetime; stage spans nest under it on the same
   // track, PR/AP legs fork onto their own tracks.
   std::uint64_t q_track = 0;
@@ -615,7 +747,7 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
     q_span = tracer_->begin_span(
         sim_.now(), "question", dns_node, q_track, obs::kNoSpan,
         {{"question", static_cast<std::int64_t>(plan.source.id)},
-         {"policy", std::string(to_string(config_.policy))}});
+         {"policy", std::string(to_string(config_.dispatch.policy))}});
   }
 
   // The DNS front-end may hand a question to a node that has left the
@@ -627,7 +759,7 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
 
   // ---- Scheduling point 1 (first placement only; a retry after a host
   // crash goes straight to the least-loaded live node instead).
-  if (config_.policy == Policy::kTwoChoice) {
+  if (config_.dispatch.policy == Policy::kTwoChoice) {
     // Power-of-two-choices: sample two members, keep the lighter.
     const auto members = table_.members();
     if (members.size() >= 2) {
@@ -645,10 +777,24 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
         ins_.migrations_qa->inc();
       }
     }
-  } else if (config_.policy != Policy::kDns && table_.is_member(host)) {
-    const auto decision = sched::decide_migration(
-        table_, host, sched::kQaWeights,
-        sched::single_task_load(sched::kQaWeights), &registry_);
+  } else if (config_.dispatch.policy != Policy::kDns && table_.is_member(host)) {
+    // With caching on, the question dispatcher routes by cache affinity:
+    // steer the question to the rendezvous-preferred node (the one most
+    // likely to hold its cached answer) unless that node is overloaded or
+    // gone — then the paper's load-based rule decides as usual.
+    std::optional<NodeId> preferred;
+    if (cache_on && config_.dispatch.cache_affinity) {
+      preferred = affinity_target(cache::question_signature(cache_key));
+    }
+    const auto decision =
+        preferred.has_value()
+            ? sched::decide_affinity(table_, host, *preferred,
+                                     sched::kQaWeights,
+                                     sched::single_task_load(sched::kQaWeights),
+                                     &registry_)
+            : sched::decide_migration(
+                  table_, host, sched::kQaWeights,
+                  sched::single_task_load(sched::kQaWeights), &registry_);
     if (decision.migrate && node_crashed_[decision.target] == 0) {
       co_await network_->transfer(static_cast<double>(plan.question_bytes));
       host = decision.target;
@@ -676,8 +822,49 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
                                              sched::kQaWeights.disk});
     record_trace(host, "started question " + std::to_string(plan.source.id));
 
+    // ---- Cache probe (before QP): an answer hit short-circuits the whole
+    // QP->PR->PS->PO->AP pipeline; a paragraph hit on answer miss still
+    // skips the disk-bound PR stage. The probe itself costs lookup_cpu on
+    // the host's CPU, hit or miss.
+    bool cached_paragraphs = false;
+    if (cache_on) {
+      const Seconds t0 = sim_.now();
+      co_await nodes_[host]->cpu().consume(config_.cache.lookup_cpu *
+                                           nodes_[host]->work_multiplier());
+      failed = host_dead();
+      bool cached_answer = false;
+      if (!failed) {
+        NodeCaches& shard = *caches_[host];
+        if (config_.cache.answers.enabled()) {
+          cached_answer = shard.answers.find(cache_key, sim_.now()) != nullptr;
+          (cached_answer ? ins_.cache_hits : ins_.cache_misses)->inc();
+        }
+        if (!cached_answer && config_.cache.paragraphs.enabled()) {
+          cached_paragraphs =
+              shard.paragraphs.find(cache_key, sim_.now()) != nullptr;
+          (cached_paragraphs ? ins_.pr_cache_hits : ins_.pr_cache_misses)
+              ->inc();
+        }
+      }
+      if (tracer_ != nullptr) {
+        // Recorded retroactively so a crash mid-probe leaves no dangling
+        // span; the lookup is pure CPU, so begin+end brackets it exactly.
+        const obs::SpanId sp = tracer_->begin_span(
+            t0, "cache lookup", host, q_track, q_span,
+            {{"answer_hit", std::int64_t{cached_answer ? 1 : 0}},
+             {"paragraph_hit", std::int64_t{cached_paragraphs ? 1 : 0}}});
+        tracer_->end_span(sp, sim_.now());
+      }
+      if (!failed && cached_answer) {
+        record_trace(host, "question " + std::to_string(plan.source.id) +
+                               " answered from cache");
+        served_from_cache = true;
+        break;
+      }
+    }
+
     // ---- QP (sequential, on the host).
-    {
+    if (!failed) {
       const Seconds t0 = sim_.now();
       obs::SpanId sp = obs::kNoSpan;
       if (tracer_ != nullptr) {
@@ -690,13 +877,15 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
       if (sp != obs::kNoSpan) tracer_->end_span(sp, sim_.now());
     }
 
-    // ---- Scheduling point 2: the PR dispatcher (DQA only).
-    if (!failed) {
+    // ---- Scheduling point 2: the PR dispatcher (DQA only). Skipped
+    // entirely on a paragraph-cache hit: the accepted, scored paragraphs
+    // are already on the host's disk from a previous run of this question.
+    if (!failed && !cached_paragraphs) {
       std::vector<NodeId> pr_nodes{host};
       std::vector<double> pr_weights{1.0};
-      if (config_.policy == Policy::kDqa) {
+      if (config_.dispatch.policy == Policy::kDqa) {
         auto ms = sched::meta_schedule(table_, sched::kPrWeights,
-                                       config_.pr_underload_threshold,
+                                       config_.dispatch.pr_underload_threshold,
                                        &registry_);
         // Drop nodes that crashed but have not yet expired from the table.
         std::vector<NodeId> live_sel;
@@ -712,7 +901,7 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
           ms.selected = {host};
           ms.weights = {1.0};
         }
-        if (!config_.enable_partitioning && ms.selected.size() > 1) {
+        if (!config_.partition.enable && ms.selected.size() > 1) {
           // Partitioning disabled: keep only the heaviest-weighted node.
           const std::size_t best = static_cast<std::size_t>(
               std::max_element(ms.weights.begin(), ms.weights.end()) -
@@ -756,7 +945,7 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
           pr_leg(q, slot, slots.size() - 1, reports);
         };
         const bool shared_queue =
-            config_.pr_strategy == Strategy::kRecv || pr_nodes.size() == 1;
+            config_.partition.pr_strategy == Strategy::kRecv || pr_nodes.size() == 1;
         std::shared_ptr<std::deque<std::size_t>> shared_units;
         if (shared_queue) {
           // Receiver-controlled: every leg competes for the sub-collection
@@ -781,7 +970,7 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
         std::size_t outstanding = slots.size();
         while (outstanding > 0) {
           const auto msg =
-              co_await reports.recv_for(config_.membership_timeout);
+              co_await reports.recv_for(config_.net.membership_timeout);
           if (msg.has_value()) {
             --outstanding;
             continue;
@@ -904,9 +1093,9 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
     if (!failed && !plan.ap_units.empty()) {
       std::vector<NodeId> ap_nodes{host};
       std::vector<double> ap_weights{1.0};
-      if (config_.policy == Policy::kDqa) {
+      if (config_.dispatch.policy == Policy::kDqa) {
         auto ms = sched::meta_schedule(table_, sched::kApWeights,
-                                       config_.ap_underload_threshold,
+                                       config_.dispatch.ap_underload_threshold,
                                        &registry_);
         std::vector<NodeId> live_sel;
         std::vector<double> live_w;
@@ -921,7 +1110,7 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
           ms.selected = {host};
           ms.weights = {1.0};
         }
-        if (!config_.enable_partitioning && ms.selected.size() > 1) {
+        if (!config_.partition.enable && ms.selected.size() > 1) {
           const std::size_t best = static_cast<std::size_t>(
               std::max_element(ms.weights.begin(), ms.weights.end()) -
               ms.weights.begin());
@@ -964,18 +1153,18 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
               ap_leg(q, slot, slots.size() - 1, reports);
             };
         const bool shared_queue =
-            config_.ap_strategy == Strategy::kRecv || ap_nodes.size() == 1;
+            config_.partition.ap_strategy == Strategy::kRecv || ap_nodes.size() == 1;
         std::shared_ptr<std::deque<parallel::Chunk>> shared_chunks;
         if (shared_queue) {
           shared_chunks = std::make_shared<std::deque<parallel::Chunk>>();
           for (const auto& c :
-               parallel::make_chunks(plan.ap_units.size(), config_.ap_chunk)) {
+               parallel::make_chunks(plan.ap_units.size(), config_.partition.ap_chunk)) {
             shared_chunks->push_back(c);
           }
           for (NodeId node : ap_nodes) spawn(node, {}, shared_chunks);
         } else {
           const auto partitions =
-              config_.ap_strategy == Strategy::kIsend
+              config_.partition.ap_strategy == Strategy::kIsend
                   ? parallel::partition_isend(plan.ap_units.size(), ap_weights)
                   : parallel::partition_send(plan.ap_units.size(), ap_weights);
           for (const auto& p : partitions) {
@@ -986,7 +1175,7 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
         std::size_t outstanding = slots.size();
         while (outstanding > 0) {
           const auto msg =
-              co_await reports.recv_for(config_.membership_timeout);
+              co_await reports.recv_for(config_.net.membership_timeout);
           if (msg.has_value()) {
             --outstanding;
             continue;
@@ -1043,7 +1232,7 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
                 weights.push_back(1.0);
               }
               const auto parts =
-                  config_.ap_strategy == Strategy::kIsend
+                  config_.partition.ap_strategy == Strategy::kIsend
                       ? parallel::partition_isend(lost.size(), weights)
                       : parallel::partition_send(lost.size(), weights);
               for (const auto& p : parts) {
@@ -1089,12 +1278,28 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
       q.oh_answer_sort = sim_.now() - t0;
     }
 
-    if (!failed) break;  // success: the host survived the whole attempt
+    if (!failed) {
+      // Success: remember the results on the node that computed them, so a
+      // repeat of this question (routed here by affinity) hits.
+      if (cache_on) {
+        NodeCaches& shard = *caches_[host];
+        if (config_.cache.answers.enabled()) {
+          shard.answers.insert(cache_key, CachedAnswer{plan.answer_bytes},
+                               answer_footprint(cache_key, plan), sim_.now());
+        }
+        if (config_.cache.paragraphs.enabled()) {
+          shard.paragraphs.insert(cache_key, CachedParagraphs{},
+                                  paragraph_footprint(cache_key, plan),
+                                  sim_.now());
+        }
+      }
+      break;  // the host survived the whole attempt
+    }
 
     // Host crash: everything this attempt computed died with it (no
     // question_departed — the crash already zeroed the residents). The
     // front-end notices after its reply timeout and resubmits.
-    const Seconds detect = crash_time_[host] + config_.membership_timeout;
+    const Seconds detect = crash_time_[host] + config_.net.membership_timeout;
     if (detect > sim_.now()) {
       co_await simnet::Delay(sim_, detect - sim_.now());
     }
@@ -1111,28 +1316,34 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
 
   nodes_[host]->question_departed();
 
-  // ---- Bookkeeping.
+  // ---- Bookkeeping. Stage and overhead distributions describe the full
+  // pipeline (paper Tables 8/9), so cache-served questions are excluded —
+  // they would drag every column toward the probe cost. Latency keeps all
+  // questions: the latency collapse IS the cache's effect.
   const Seconds latency = sim_.now() - q.submitted;
   ins_.latency->observe(latency);
   makespan_ = std::max(makespan_, sim_.now());
-  ins_.t_qp->observe(q.t_qp);
-  ins_.t_pr->observe(std::max(0.0, q.t_pr_stage - q.t_ps_max));
-  ins_.t_ps->observe(q.t_ps_max);
-  ins_.t_po->observe(q.t_po);
-  ins_.t_ap->observe(q.t_ap_stage);
-  ins_.oh_keyword_send->observe(q.oh_keyword_send);
-  ins_.oh_paragraph_receive->observe(q.oh_paragraph_receive);
-  ins_.oh_paragraph_send->observe(q.oh_paragraph_send);
-  ins_.oh_answer_receive->observe(q.oh_answer_receive);
-  ins_.oh_answer_sort->observe(q.oh_answer_sort);
-  if (q_span != obs::kNoSpan) {
-    tracer_->end_span(q_span, sim_.now(),
-                      {{"latency_seconds", latency},
-                       {"restarts", static_cast<std::int64_t>(restarts)}});
+  if (!served_from_cache) {
+    ins_.t_qp->observe(q.t_qp);
+    ins_.t_pr->observe(std::max(0.0, q.t_pr_stage - q.t_ps_max));
+    ins_.t_ps->observe(q.t_ps_max);
+    ins_.t_po->observe(q.t_po);
+    ins_.t_ap->observe(q.t_ap_stage);
+    ins_.oh_keyword_send->observe(q.oh_keyword_send);
+    ins_.oh_paragraph_receive->observe(q.oh_paragraph_receive);
+    ins_.oh_paragraph_send->observe(q.oh_paragraph_send);
+    ins_.oh_answer_receive->observe(q.oh_answer_receive);
+    ins_.oh_answer_sort->observe(q.oh_answer_sort);
   }
-  ++completed_;
+  if (q_span != obs::kNoSpan) {
+    tracer_->end_span(
+        q_span, sim_.now(),
+        {{"latency_seconds", latency},
+         {"restarts", static_cast<std::int64_t>(restarts)},
+         {"cached", std::int64_t{served_from_cache ? 1 : 0}}});
+  }
   ins_.completed->inc();
-  if (completed_ == total_submitted_) all_done_ = true;
+  if (ins_.completed->value() == ins_.submitted->value()) all_done_ = true;
 }
 
 }  // namespace qadist::cluster

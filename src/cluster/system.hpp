@@ -4,7 +4,10 @@
 #include <memory>
 #include <vector>
 
+#include "cache/config.hpp"
+#include "cache/lru_cache.hpp"
 #include "cluster/metrics.hpp"
+#include "cluster/names.hpp"
 #include "common/rng.hpp"
 #include "cluster/node.hpp"
 #include "cluster/plan.hpp"
@@ -22,23 +25,6 @@
 #include "simnet/simulation.hpp"
 
 namespace qadist::cluster {
-
-/// The three load-balancing policies compared in paper Sec. 6.1:
-///  DNS   — round-robin placement only (the DNS name-to-address baseline);
-///  INTER — DNS plus the question dispatcher (whole-task migration before
-///          the task starts; the model of [3,7]);
-///  DQA   — INTER plus the PR and AP dispatchers embedded in the task (the
-///          paper's contribution). Under low load the embedded dispatchers
-///          partition the bottleneck modules (intra-question parallelism);
-///          under high load they degrade gracefully into extra migration
-///          points.
-/// An extension beyond the paper: kTwoChoice implements the classic
-/// "power of two choices" dispatcher — each question samples two pool
-/// members and takes the lighter one. No threshold, no broadcast scan;
-/// included as a modern baseline against the paper's INTER design.
-enum class Policy { kDns, kInter, kDqa, kTwoChoice };
-
-[[nodiscard]] std::string_view to_string(Policy policy);
 
 /// One scripted node crash. A crash halts the node's CPU and disk
 /// mid-flight (in-progress work is lost, not paused), drops its load
@@ -64,27 +50,16 @@ struct FaultPlan {
   [[nodiscard]] bool enabled() const { return !crashes.empty() || mtbf > 0.0; }
 };
 
-struct SystemConfig {
-  std::size_t nodes = 12;
-  NodeConfig node;
-  /// Per-node CPU speed overrides (extension; empty = homogeneous). When
-  /// set, entry i replaces node.cpu_speed for node i; must have exactly
-  /// `nodes` entries.
-  std::vector<double> node_cpu_speeds;
+/// Shared-segment network and cluster-monitoring knobs.
+struct NetworkConfig {
   /// Shared-segment Ethernet: all transfers fair-share this link.
-  Bandwidth network = Bandwidth::from_mbps(100);
-  Seconds monitor_period = 1.0;
-  Seconds membership_timeout = 3.0;
-  std::size_t load_packet_bytes = 64;
+  Bandwidth bandwidth = Bandwidth::from_mbps(100);
   /// Fixed cost of every remote transfer (TCP connection setup, RPC
   /// framing) on top of the bandwidth-shared byte time.
   Seconds per_message_overhead = 2e-3;
-  /// CPU floor per dispatched AP batch: each batch's AP module extracts and
-  /// ranks its own top-N_a answer set before returning, regardless of batch
-  /// size — "a constant number N_a of answers must be extracted from each
-  /// chunk" (paper Sec. 4.1.2). This is what makes tiny RECV chunks
-  /// expensive and produces the Figure 10 U-curve.
-  Seconds per_batch_answer_cpu = 0.1;
+  std::size_t load_packet_bytes = 64;
+  Seconds monitor_period = 1.0;
+  Seconds membership_timeout = 3.0;
   /// Time constant for exponentially-damped load averages (the kernel
   /// loadavg the paper's monitors read is damped the same way). A Q/A task
   /// alternates disk-bound (PR) and CPU-bound (AP) phases tens of seconds
@@ -92,14 +67,12 @@ struct SystemConfig {
   /// rather than which phase its tasks happen to be in, so the question
   /// dispatcher stops chasing phases (see bench_ablations, ablation A).
   Seconds load_smoothing_tau = 30.0;
+};
 
+/// Question-dispatcher knobs: the policy under test plus the thresholds of
+/// the embedded PR/AP dispatchers and the cache-affinity routing rule.
+struct DispatchConfig {
   Policy policy = Policy::kDqa;
-  /// Seed for the system's own randomized decisions (only kTwoChoice uses
-  /// randomness; everything else is deterministic given the workload).
-  std::uint64_t seed = 1;
-  /// DQA only: allow the embedded dispatchers to partition (low load).
-  /// When false, they only migrate — used to isolate migration effects.
-  bool enable_partitioning = true;
 
   /// Under-load thresholds for the embedded dispatchers (paper Eq. 7-8:
   /// a node is under-loaded while its module load function is below the
@@ -112,6 +85,24 @@ struct SystemConfig {
   double ap_underload_threshold =
       sched::single_task_load(sched::kApWeights) + 1.0;
 
+  /// Cache-affinity routing (effective only when caching is configured and
+  /// the policy has a question dispatcher, i.e. INTER/DQA): a question is
+  /// routed to the rendezvous-preferred node for its signature — the node
+  /// most likely to hold its cached answer — unless that node is down or
+  /// its load exceeds the pool's best by more than the dispatcher's
+  /// anti-ping-pong threshold, in which case the normal load-based
+  /// migration rule takes over. The paper's load functions therefore stay
+  /// authoritative under overload; affinity only biases placement while
+  /// the preferred node can absorb the work.
+  bool cache_affinity = true;
+};
+
+/// Intra-question partitioning knobs for the embedded PR/AP dispatchers.
+struct PartitionConfig {
+  /// DQA only: allow the embedded dispatchers to partition (low load).
+  /// When false, they only migrate — used to isolate migration effects.
+  bool enable = true;
+
   /// PR partitioning strategy: kRecv (the paper's choice — collection
   /// processing cost varies too widely for weight-based partitioning) or
   /// kSend (the ablation). kIsend is rejected: collections are unranked.
@@ -122,6 +113,34 @@ struct SystemConfig {
   parallel::Strategy ap_strategy = parallel::Strategy::kRecv;
   std::size_t ap_chunk = 40;  ///< paragraphs per RECV chunk (paper Fig. 10)
 
+  /// CPU floor per dispatched AP batch: each batch's AP module extracts and
+  /// ranks its own top-N_a answer set before returning, regardless of batch
+  /// size — "a constant number N_a of answers must be extracted from each
+  /// chunk" (paper Sec. 4.1.2). This is what makes tiny RECV chunks
+  /// expensive and produces the Figure 10 U-curve.
+  Seconds per_batch_answer_cpu = 0.1;
+};
+
+/// Cluster configuration, grouped by concern. The former flat field list
+/// lives on as cluster/config_compat.hpp's FlatSystemConfig for one
+/// release; new code addresses the sub-structs directly.
+struct SystemConfig {
+  std::size_t nodes = 12;
+  NodeConfig node;
+  /// Per-node CPU speed overrides (extension; empty = homogeneous). When
+  /// set, entry i replaces node.cpu_speed for node i; must have exactly
+  /// `nodes` entries.
+  std::vector<double> node_cpu_speeds;
+  /// Seed for the system's own randomized decisions (only kTwoChoice uses
+  /// randomness; everything else is deterministic given the workload).
+  std::uint64_t seed = 1;
+
+  NetworkConfig net;
+  DispatchConfig dispatch;
+  PartitionConfig partition;
+  /// Per-node answer/paragraph caches (see cache::CacheConfig). Disabled
+  /// by default: uncached runs are bit-identical to the pre-cache system.
+  cache::CacheConfig cache;
   /// Fault injection (see FaultPlan). Empty by default: no crashes.
   FaultPlan faults;
 };
@@ -166,6 +185,32 @@ class System {
     return node_crashed_.at(node) != 0;
   }
 
+  /// Seeds the caches with this question's results before the run starts:
+  /// the rendezvous-preferred node gets the answer and the accepted
+  /// paragraphs, as if it had answered the question in a previous run.
+  /// Benches use this to measure warm-cache throughput without paying a
+  /// fill pass inside the measured interval. No-op when caching is off.
+  void prewarm(const QuestionPlan& plan);
+
+  /// The node cache-affinity dispatch prefers for this question when every
+  /// node is live (rendezvous hash over the full pool); nullopt when the
+  /// system has no caches configured. Tests use this to script crashes of
+  /// the caching node.
+  [[nodiscard]] std::optional<sched::NodeId> preferred_node(
+      const QuestionPlan& plan) const;
+
+  /// Whether `node` currently holds a fresh cached answer for `plan`
+  /// (introspection only: does not promote or count a probe).
+  [[nodiscard]] bool answer_cached(sched::NodeId node,
+                                   const QuestionPlan& plan) const;
+
+  /// Lifetime operation counts of one node's caches (zero-initialized
+  /// stats when caching is off).
+  [[nodiscard]] cache::CacheStats answer_cache_stats(
+      sched::NodeId node) const;
+  [[nodiscard]] cache::CacheStats paragraph_cache_stats(
+      sched::NodeId node) const;
+
   /// Direct node access (metrics inspection in tests/benches).
   [[nodiscard]] Node& node(std::size_t index) { return *nodes_.at(index); }
 
@@ -207,6 +252,7 @@ class System {
   struct QuestionState;  // per-question bookkeeping (defined in .cpp)
   struct PrLegSlot;      // coordinator/leg shared state (defined in .cpp)
   struct ApLegSlot;
+  struct NodeCaches;     // per-node answer/paragraph caches (defined in .cpp)
 
   simnet::SimProcess monitor_process(Node& node);
   simnet::SimProcess fault_process();
@@ -229,6 +275,11 @@ class System {
   /// node when the table is momentarily empty. A live node always exists
   /// (apply_crash never takes down the last one).
   [[nodiscard]] sched::NodeId pick_live(const sched::LoadWeights& weights) const;
+
+  /// Rendezvous pick over the currently live pool members (the affinity
+  /// dispatch target); nullopt when no live member is known yet.
+  [[nodiscard]] std::optional<sched::NodeId> affinity_target(
+      std::uint64_t signature) const;
 
   void apply_crash(sched::NodeId node);
   void apply_restart(sched::NodeId node);
@@ -265,12 +316,22 @@ class System {
     obs::HistogramMetric* oh_paragraph_send = nullptr;
     obs::HistogramMetric* oh_answer_receive = nullptr;
     obs::HistogramMetric* oh_answer_sort = nullptr;
+    obs::Counter* cache_hits = nullptr;        // answer cache
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* pr_cache_hits = nullptr;     // paragraph cache
+    obs::Counter* pr_cache_misses = nullptr;
+    obs::Counter* affinity_routes = nullptr;
+    obs::Counter* affinity_fallbacks = nullptr;
   };
   void register_instruments();
+  /// Folds per-node CacheStats (evictions, expirations, invalidations,
+  /// occupancy) into the registry — called once at the end of run().
+  void publish_cache_stats();
 
   simnet::Simulation& sim_;
   SystemConfig config_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<NodeCaches>> caches_;  // empty: caching off
   std::vector<char> node_broadcasting_;  // membership: monitor active?
   std::vector<char> node_crashed_;       // fault state: node currently down?
   std::vector<std::size_t> crash_epoch_;  // bumped per crash (zombie detection)
@@ -285,8 +346,6 @@ class System {
   std::vector<simnet::UtilizationProbe> disk_probes_;
   Rng two_choice_rng_{1};
   sched::NodeId next_dns_node_ = 0;
-  std::size_t total_submitted_ = 0;
-  std::size_t completed_ = 0;
   Seconds first_submit_ = 0.0;
   Seconds makespan_ = 0.0;
   bool all_done_ = false;

@@ -1,7 +1,10 @@
 #include "cluster/workload.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/zipf.hpp"
 
 namespace qadist::cluster {
 
@@ -23,6 +26,38 @@ void apply_bimodal_mix(std::span<QuestionPlan> plans, double light_scale) {
   }
 }
 
+std::vector<std::size_t> overload_pick_sequence(
+    const OverloadWorkload& workload, std::size_t plan_count,
+    std::size_t count) {
+  QADIST_CHECK(plan_count > 0);
+  std::vector<std::size_t> picks;
+  picks.reserve(count);
+  if (workload.repeat_exponent <= 0.0) {
+    // Legacy deterministic scan (the paper's "same questions and same
+    // startup sequence for all tests").
+    for (std::size_t i = 0; i < count; ++i) {
+      picks.push_back((i * 7 + workload.seed * 13) % plan_count);
+    }
+    return picks;
+  }
+  const std::size_t distinct =
+      workload.distinct_questions == 0
+          ? plan_count
+          : std::min(workload.distinct_questions, plan_count);
+  const ZipfDistribution zipf(static_cast<std::uint32_t>(distinct),
+                              workload.repeat_exponent);
+  // Decorrelated from the arrival-gap stream so adding repetition does not
+  // silently reshuffle arrival times.
+  Rng ranks(workload.seed ^ 0xd1b54a32d192ed03ULL);
+  for (std::size_t i = 0; i < count; ++i) {
+    // rank -> plan via a seed-dependent rotation: injective over ranks, so
+    // `distinct` stays exact, but which plans are "hot" varies with seed.
+    const std::size_t rank = zipf(ranks);
+    picks.push_back((rank + workload.seed * 13) % plan_count);
+  }
+  return picks;
+}
+
 void submit_overload(System& system, std::span<const QuestionPlan> plans,
                      const OverloadWorkload& workload) {
   QADIST_CHECK(!plans.empty());
@@ -38,9 +73,8 @@ void submit_overload(System& system, std::span<const QuestionPlan> plans,
                           static_cast<double>(nodes));
   Rng arrivals(workload.seed);
   Seconds at = 0.0;
-  for (std::size_t i = 0; i < count; ++i) {
-    const std::size_t pick =
-        (i * 7 + workload.seed * 13) % plans.size();
+  for (const std::size_t pick :
+       overload_pick_sequence(workload, plans.size(), count)) {
     system.submit(plans[pick], at);
     at += arrivals.uniform(0.0, max_gap);
   }

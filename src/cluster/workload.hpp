@@ -1,6 +1,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "cluster/system.hpp"
 
@@ -33,7 +34,26 @@ struct OverloadWorkload {
   double overload_factor = 2.0;
   std::uint64_t seed = 1;
   Bandwidth reference_disk = Bandwidth::from_mbps(250);
+
+  /// Question repetition (extension, off by default): with
+  /// `repeat_exponent > 0` the submitted questions are drawn Zipf-skewed
+  /// over a population of `distinct_questions` plans — rank k is picked
+  /// with probability proportional to 1/(k+1)^s, the skew real question
+  /// streams show (a handful of very popular questions, a long tail). At
+  /// the default 0 the legacy deterministic scan over the plan set is
+  /// used, bit-identical to before the field existed.
+  double repeat_exponent = 0.0;
+  std::size_t distinct_questions = 0;  ///< 0 = all plans are candidates
 };
+
+/// The plan indices submit_overload will submit, in order — the pick
+/// sequence is pure in (workload, plan_count, count), which is what makes
+/// cache-hit sequences reproducible across runs and policies. Exposed for
+/// tests and benches that need to know the question stream (e.g. to
+/// prewarm caches with exactly the plans that will repeat).
+[[nodiscard]] std::vector<std::size_t> overload_pick_sequence(
+    const OverloadWorkload& workload, std::size_t plan_count,
+    std::size_t count);
 
 void submit_overload(System& system, std::span<const QuestionPlan> plans,
                      const OverloadWorkload& workload);

@@ -90,6 +90,40 @@ HistogramMetric& MetricsRegistry::histogram(std::string_view name,
   return h;
 }
 
+const void* MetricsRegistry::find(std::string_view name, Labels labels,
+                                  InstrumentKind kind) const {
+  const auto kit = kinds_.find(name);
+  if (kit == kinds_.end() || kit->second != kind) return nullptr;
+  std::sort(labels.begin(), labels.end());
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  const auto it = by_key_.find(key);
+  return it == by_key_.end() ? nullptr : it->second;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name,
+                                             Labels labels) const {
+  return static_cast<const Counter*>(
+      find(name, std::move(labels), InstrumentKind::kCounter));
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name,
+                                         Labels labels) const {
+  return static_cast<const Gauge*>(
+      find(name, std::move(labels), InstrumentKind::kGauge));
+}
+
+const HistogramMetric* MetricsRegistry::find_histogram(std::string_view name,
+                                                       Labels labels) const {
+  return static_cast<const HistogramMetric*>(
+      find(name, std::move(labels), InstrumentKind::kHistogram));
+}
+
 namespace {
 
 void write_labels(std::ostream& os, const Labels& labels) {

@@ -86,6 +86,17 @@ class MetricsRegistry {
   Gauge& gauge(std::string_view name, Labels labels = {});
   HistogramMetric& histogram(std::string_view name, Labels labels = {});
 
+  /// Read-only lookup without registering: nullptr when the instrument (or
+  /// the exact label set) does not exist, or exists under another kind.
+  /// Snapshot consumers (cluster::Metrics::from_registry, exporters) use
+  /// these so a read can never mutate the schema.
+  [[nodiscard]] const Counter* find_counter(std::string_view name,
+                                            Labels labels = {}) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name,
+                                        Labels labels = {}) const;
+  [[nodiscard]] const HistogramMetric* find_histogram(
+      std::string_view name, Labels labels = {}) const;
+
   [[nodiscard]] const std::deque<Counter>& counters() const {
     return counters_;
   }
@@ -105,6 +116,10 @@ class MetricsRegistry {
   /// label keys or a kind clash with a previous registration of `name`.
   std::string register_key(std::string_view name, Labels& labels,
                            InstrumentKind kind);
+
+  /// Shared lookup behind the find_* methods.
+  [[nodiscard]] const void* find(std::string_view name, Labels labels,
+                                 InstrumentKind kind) const;
 
   std::deque<Counter> counters_;
   std::deque<Gauge> gauges_;

@@ -29,4 +29,31 @@ MigrationDecision decide_migration(const LoadTable& table, NodeId current,
   return {};
 }
 
+MigrationDecision decide_affinity(const LoadTable& table, NodeId current,
+                                  NodeId preferred,
+                                  const LoadWeights& weights,
+                                  double single_question_load,
+                                  obs::MetricsRegistry* metrics) {
+  QADIST_CHECK(table.is_member(current),
+               << "dispatching from non-member node " << current);
+  if (table.is_member(preferred)) {
+    const auto best = table.least_loaded(weights);
+    QADIST_CHECK(best.has_value());
+    const double at_preferred =
+        load_function(table.load_of(preferred), weights);
+    const double at_best = load_function(table.load_of(*best), weights);
+    // Same uselessness bound as decide_migration: placing the question on
+    // the preferred node must not leave it more than 2x one question-load
+    // above the best alternative, or the next decision migrates the work
+    // straight off the cache again.
+    if (at_preferred - at_best <= 2.0 * single_question_load) {
+      if (metrics != nullptr) metrics->counter("affinity_routes").inc();
+      return MigrationDecision{preferred != current, preferred};
+    }
+  }
+  if (metrics != nullptr) metrics->counter("affinity_fallbacks").inc();
+  return decide_migration(table, current, weights, single_question_load,
+                          metrics);
+}
+
 }  // namespace qadist::sched

@@ -32,4 +32,20 @@ struct MigrationDecision {
     const LoadTable& table, NodeId current, const LoadWeights& weights,
     double single_question_load, obs::MetricsRegistry* metrics = nullptr);
 
+/// Cache-affinity variant of the migration rule: prefer `preferred` (the
+/// node most likely to hold the question's cached answer, from rendezvous
+/// hashing) as long as taking it is not a useless migration in the paper's
+/// sense — its load may exceed the pool's best by at most the same
+/// 2x-single-question threshold decide_migration uses. Beyond that gap, or
+/// when `preferred` is not a pool member, the decision falls back to
+/// decide_migration, so under overload the paper's load functions stay
+/// authoritative and affinity only biases placement.
+///
+/// Counts `affinity_routes` / `affinity_fallbacks` into `metrics` when
+/// given (fallbacks additionally count the usual dispatcher instruments).
+[[nodiscard]] MigrationDecision decide_affinity(
+    const LoadTable& table, NodeId current, NodeId preferred,
+    const LoadWeights& weights, double single_question_load,
+    obs::MetricsRegistry* metrics = nullptr);
+
 }  // namespace qadist::sched

@@ -1,0 +1,63 @@
+#include "cache/affinity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "cache/question_key.hpp"
+
+namespace qadist::cache {
+namespace {
+
+TEST(RendezvousTest, EmptyMemberSetHasNoPick) {
+  EXPECT_FALSE(rendezvous_pick(42, {}).has_value());
+}
+
+TEST(RendezvousTest, DeterministicAndOrderIndependent) {
+  const std::vector<std::uint32_t> forward = {0, 1, 2, 3, 4};
+  const std::vector<std::uint32_t> shuffled = {3, 0, 4, 2, 1};
+  for (std::uint64_t sig = 1; sig < 200; ++sig) {
+    const auto a = rendezvous_pick(sig, forward);
+    const auto b = rendezvous_pick(sig, shuffled);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(*a, *b) << "signature " << sig;
+  }
+}
+
+TEST(RendezvousTest, RemovingANodeOnlyMovesItsOwnKeys) {
+  const std::vector<std::uint32_t> full = {0, 1, 2, 3};
+  const std::vector<std::uint32_t> without2 = {0, 1, 3};
+  for (std::uint64_t sig = 1; sig < 500; ++sig) {
+    const auto before = rendezvous_pick(sig, full);
+    const auto after = rendezvous_pick(sig, without2);
+    ASSERT_TRUE(before.has_value() && after.has_value());
+    if (*before != 2) {
+      // Keys owned by a surviving node must not move — the property that
+      // keeps every other node's cache warm through a membership change.
+      EXPECT_EQ(*after, *before) << "signature " << sig;
+    } else {
+      EXPECT_NE(*after, 2u);
+    }
+  }
+}
+
+TEST(RendezvousTest, SpreadsSignaturesAcrossMembers) {
+  const std::vector<std::uint32_t> members = {0, 1, 2, 3};
+  std::map<std::uint32_t, int> counts;
+  constexpr int kKeys = 2000;
+  for (std::uint64_t sig = 0; sig < kKeys; ++sig) {
+    counts[*rendezvous_pick(question_signature(std::to_string(sig)),
+                            members)]++;
+  }
+  // Every member owns a healthy share (exactly uniform would be 500 each).
+  for (const auto& [node, count] : counts) {
+    EXPECT_GT(count, kKeys / 8) << "node " << node;
+    EXPECT_LT(count, kKeys / 2) << "node " << node;
+  }
+  EXPECT_EQ(counts.size(), members.size());
+}
+
+}  // namespace
+}  // namespace qadist::cache

@@ -1,0 +1,143 @@
+#include "cache/lru_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace qadist::cache {
+namespace {
+
+struct Payload {
+  int id = 0;
+};
+
+LruTtlCache<Payload> make_cache(std::size_t max_entries,
+                                std::size_t max_bytes = 0,
+                                Seconds ttl = 0.0) {
+  BoundedCacheConfig config;
+  config.max_entries = max_entries;
+  config.max_bytes = max_bytes;
+  config.ttl = ttl;
+  return LruTtlCache<Payload>(config);
+}
+
+TEST(LruTtlCacheTest, EvictsLeastRecentlyUsedFirst) {
+  auto cache = make_cache(3);
+  cache.insert("a", {1}, 10, 0.0);
+  cache.insert("b", {2}, 10, 1.0);
+  cache.insert("c", {3}, 10, 2.0);
+  EXPECT_EQ(cache.keys_by_age(), (std::vector<std::string>{"c", "b", "a"}));
+
+  // Probing "a" promotes it, so the next eviction victim is "b".
+  ASSERT_NE(cache.find("a", 3.0), nullptr);
+  EXPECT_EQ(cache.keys_by_age(), (std::vector<std::string>{"a", "c", "b"}));
+
+  cache.insert("d", {4}, 10, 4.0);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_FALSE(cache.contains("b", 4.0));
+  EXPECT_TRUE(cache.contains("a", 4.0));
+  EXPECT_EQ(cache.stats().evictions_entries, 1u);
+  EXPECT_EQ(cache.keys_by_age(), (std::vector<std::string>{"d", "a", "c"}));
+}
+
+TEST(LruTtlCacheTest, UpdateRefreshesRecencyAndBytes) {
+  auto cache = make_cache(2);
+  cache.insert("a", {1}, 10, 0.0);
+  cache.insert("b", {2}, 20, 1.0);
+  EXPECT_EQ(cache.bytes(), 30u);
+
+  cache.insert("a", {7}, 50, 2.0);  // refresh: new value, new footprint
+  EXPECT_EQ(cache.bytes(), 70u);
+  EXPECT_EQ(cache.stats().updates, 1u);
+  EXPECT_EQ(cache.keys_by_age(), (std::vector<std::string>{"a", "b"}));
+  const auto* hit = cache.find("a", 2.0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->id, 7);
+}
+
+TEST(LruTtlCacheTest, TtlExpiresLazilyOnProbe) {
+  auto cache = make_cache(4, 0, /*ttl=*/10.0);
+  cache.insert("a", {1}, 5, 0.0);
+  EXPECT_TRUE(cache.contains("a", 9.9));
+  EXPECT_NE(cache.find("a", 9.9), nullptr);
+
+  // At exactly ttl the entry is stale: the probe drops it and misses.
+  EXPECT_FALSE(cache.contains("a", 10.0));
+  EXPECT_EQ(cache.find("a", 10.0), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.stats().expirations, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // A refresh restarts the clock.
+  cache.insert("b", {2}, 5, 0.0);
+  cache.insert("b", {2}, 5, 8.0);
+  EXPECT_TRUE(cache.contains("b", 12.0));
+}
+
+TEST(LruTtlCacheTest, ByteBudgetEvictsFromLruEnd) {
+  auto cache = make_cache(100, /*max_bytes=*/100);
+  cache.insert("a", {1}, 40, 0.0);
+  cache.insert("b", {2}, 40, 1.0);
+  cache.insert("c", {3}, 40, 2.0);  // 120 bytes: "a" must go
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.bytes(), 80u);
+  EXPECT_FALSE(cache.contains("a", 2.0));
+  EXPECT_EQ(cache.stats().evictions_bytes, 1u);
+}
+
+TEST(LruTtlCacheTest, OversizedEntryIsRejectedNotAdmitted) {
+  auto cache = make_cache(100, /*max_bytes=*/100);
+  cache.insert("small", {1}, 60, 0.0);
+  cache.insert("huge", {2}, 101, 1.0);  // bigger than the whole budget
+  EXPECT_FALSE(cache.contains("huge", 1.0));
+  // The resident entry survives — admitting the oversized one would have
+  // flushed the cache for a guaranteed-useless resident.
+  EXPECT_TRUE(cache.contains("small", 1.0));
+  EXPECT_EQ(cache.stats().rejected_oversize, 1u);
+  EXPECT_EQ(cache.stats().evictions(), 0u);
+}
+
+TEST(LruTtlCacheTest, ClearCountsInvalidationsSeparately) {
+  auto cache = make_cache(4);
+  cache.insert("a", {1}, 5, 0.0);
+  cache.insert("b", {2}, 5, 0.0);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+  EXPECT_EQ(cache.stats().evictions(), 0u);
+  EXPECT_FALSE(cache.contains("a", 0.0));
+}
+
+TEST(LruTtlCacheTest, DisabledCacheAdmitsNothing) {
+  auto cache = make_cache(0);
+  cache.insert("a", {1}, 5, 0.0);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find("a", 0.0), nullptr);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(LruTtlCacheTest, EraseRemovesOneKey) {
+  auto cache = make_cache(4);
+  cache.insert("a", {1}, 5, 0.0);
+  cache.insert("b", {2}, 7, 0.0);
+  EXPECT_TRUE(cache.erase("a"));
+  EXPECT_FALSE(cache.erase("a"));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.bytes(), 7u);
+}
+
+TEST(LruTtlCacheTest, HitRateTracksProbes) {
+  auto cache = make_cache(4);
+  cache.insert("a", {1}, 5, 0.0);
+  (void)cache.find("a", 0.0);
+  (void)cache.find("a", 0.0);
+  (void)cache.find("missing", 0.0);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 2.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace qadist::cache

@@ -1,0 +1,47 @@
+#include "cache/question_key.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qadist::cache {
+namespace {
+
+TEST(QuestionKeyTest, NormalizationCanonicalizesVariants) {
+  EXPECT_EQ(normalize_question("Who invented the telephone?"),
+            "who invented the telephone");
+  EXPECT_EQ(normalize_question("  WHO   invented\tthe  TELEPHONE!! "),
+            "who invented the telephone");
+  EXPECT_EQ(normalize_question("who, invented; the: telephone"),
+            "who invented the telephone");
+}
+
+TEST(QuestionKeyTest, NormalizationKeepsDistinctQuestionsDistinct) {
+  EXPECT_NE(normalize_question("who invented the telephone"),
+            normalize_question("who invented the telegraph"));
+}
+
+TEST(QuestionKeyTest, EmptyAndPunctuationOnlyNormalizeToEmpty) {
+  EXPECT_EQ(normalize_question(""), "");
+  EXPECT_EQ(normalize_question("  ?!,. "), "");
+}
+
+TEST(QuestionKeyTest, SignatureIsStableAcrossVariantSpellings) {
+  const auto a = question_signature(
+      normalize_question("Who invented the telephone?"));
+  const auto b = question_signature(
+      normalize_question("who invented  the telephone"));
+  EXPECT_EQ(a, b);
+  const auto c = question_signature(
+      normalize_question("who invented the telegraph"));
+  EXPECT_NE(a, c);
+}
+
+TEST(QuestionKeyTest, SignatureMatchesFnv1aReference) {
+  // FNV-1a 64-bit of the empty string is the offset basis; of "a" it is
+  // one multiply-xor step. Pins the hash so the affinity assignment (and
+  // therefore which node caches which question) never silently changes.
+  EXPECT_EQ(question_signature(""), 14695981039346656037ull);
+  EXPECT_EQ(question_signature("a"), 12638187200555641996ull);
+}
+
+}  // namespace
+}  // namespace qadist::cache

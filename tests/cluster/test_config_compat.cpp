@@ -1,0 +1,95 @@
+#include "cluster/config_compat.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qadist::cluster {
+namespace {
+
+// The alias is deprecated on purpose; these tests are its one sanctioned
+// in-tree user.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(ConfigCompatTest, DefaultFlatConfigMatchesDefaultNestedConfig) {
+  const SystemConfig nested;
+  const SystemConfig converted = FlatSystemConfig{};
+  EXPECT_EQ(converted.nodes, nested.nodes);
+  EXPECT_EQ(converted.seed, nested.seed);
+  EXPECT_DOUBLE_EQ(converted.net.bandwidth.bytes_per_second,
+                   nested.net.bandwidth.bytes_per_second);
+  EXPECT_DOUBLE_EQ(converted.net.monitor_period, nested.net.monitor_period);
+  EXPECT_DOUBLE_EQ(converted.net.membership_timeout,
+                   nested.net.membership_timeout);
+  EXPECT_EQ(converted.net.load_packet_bytes, nested.net.load_packet_bytes);
+  EXPECT_DOUBLE_EQ(converted.net.per_message_overhead,
+                   nested.net.per_message_overhead);
+  EXPECT_DOUBLE_EQ(converted.net.load_smoothing_tau,
+                   nested.net.load_smoothing_tau);
+  EXPECT_EQ(converted.dispatch.policy, nested.dispatch.policy);
+  EXPECT_DOUBLE_EQ(converted.dispatch.pr_underload_threshold,
+                   nested.dispatch.pr_underload_threshold);
+  EXPECT_DOUBLE_EQ(converted.dispatch.ap_underload_threshold,
+                   nested.dispatch.ap_underload_threshold);
+  EXPECT_EQ(converted.partition.enable, nested.partition.enable);
+  EXPECT_EQ(converted.partition.pr_strategy, nested.partition.pr_strategy);
+  EXPECT_EQ(converted.partition.pr_chunk, nested.partition.pr_chunk);
+  EXPECT_EQ(converted.partition.ap_strategy, nested.partition.ap_strategy);
+  EXPECT_EQ(converted.partition.ap_chunk, nested.partition.ap_chunk);
+  EXPECT_DOUBLE_EQ(converted.partition.per_batch_answer_cpu,
+                   nested.partition.per_batch_answer_cpu);
+  // Fields the flat layout never had keep the nested defaults.
+  EXPECT_EQ(converted.cache.answers.max_entries,
+            nested.cache.answers.max_entries);
+  EXPECT_EQ(converted.dispatch.cache_affinity, nested.dispatch.cache_affinity);
+}
+
+TEST(ConfigCompatTest, FlatFieldsLandInTheirNestedHomes) {
+  FlatSystemConfig flat;
+  flat.nodes = 6;
+  flat.seed = 99;
+  flat.policy = Policy::kInter;
+  flat.network = Bandwidth::from_mbps(10);
+  flat.membership_timeout = 7.5;
+  flat.monitor_period = 0.25;
+  flat.load_packet_bytes = 128;
+  flat.per_message_overhead = 5e-3;
+  flat.load_smoothing_tau = 12.0;
+  flat.enable_partitioning = false;
+  flat.pr_underload_threshold = 1.5;
+  flat.ap_underload_threshold = 2.5;
+  flat.pr_strategy = parallel::Strategy::kSend;
+  flat.pr_chunk = 3;
+  flat.ap_strategy = parallel::Strategy::kIsend;
+  flat.ap_chunk = 17;
+  flat.per_batch_answer_cpu = 0.2;
+  flat.node_cpu_speeds = {1.0, 2.0};
+  flat.faults.crashes.push_back(FaultEvent{1, 4.0});
+
+  const SystemConfig cfg = flat;  // the implicit conversion under test
+  EXPECT_EQ(cfg.nodes, 6u);
+  EXPECT_EQ(cfg.seed, 99u);
+  EXPECT_EQ(cfg.dispatch.policy, Policy::kInter);
+  EXPECT_DOUBLE_EQ(cfg.net.bandwidth.bytes_per_second,
+                   Bandwidth::from_mbps(10).bytes_per_second);
+  EXPECT_DOUBLE_EQ(cfg.net.membership_timeout, 7.5);
+  EXPECT_DOUBLE_EQ(cfg.net.monitor_period, 0.25);
+  EXPECT_EQ(cfg.net.load_packet_bytes, 128u);
+  EXPECT_DOUBLE_EQ(cfg.net.per_message_overhead, 5e-3);
+  EXPECT_DOUBLE_EQ(cfg.net.load_smoothing_tau, 12.0);
+  EXPECT_FALSE(cfg.partition.enable);
+  EXPECT_DOUBLE_EQ(cfg.dispatch.pr_underload_threshold, 1.5);
+  EXPECT_DOUBLE_EQ(cfg.dispatch.ap_underload_threshold, 2.5);
+  EXPECT_EQ(cfg.partition.pr_strategy, parallel::Strategy::kSend);
+  EXPECT_EQ(cfg.partition.pr_chunk, 3u);
+  EXPECT_EQ(cfg.partition.ap_strategy, parallel::Strategy::kIsend);
+  EXPECT_EQ(cfg.partition.ap_chunk, 17u);
+  EXPECT_DOUBLE_EQ(cfg.partition.per_batch_answer_cpu, 0.2);
+  EXPECT_EQ(cfg.node_cpu_speeds, (std::vector<double>{1.0, 2.0}));
+  ASSERT_EQ(cfg.faults.crashes.size(), 1u);
+  EXPECT_EQ(cfg.faults.crashes[0].node, 1u);
+}
+
+#pragma GCC diagnostic pop
+
+}  // namespace
+}  // namespace qadist::cluster

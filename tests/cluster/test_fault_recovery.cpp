@@ -34,8 +34,8 @@ const std::vector<QuestionPlan>& plans() {
 SystemConfig config(std::size_t nodes, Policy policy = Policy::kDqa) {
   SystemConfig cfg;
   cfg.nodes = nodes;
-  cfg.policy = policy;
-  cfg.ap_chunk = 8;  // the test corpus accepts ~60 paragraphs per question
+  cfg.dispatch.policy = policy;
+  cfg.partition.ap_chunk = 8;  // the test corpus accepts ~60 paragraphs per question
   return cfg;
 }
 
@@ -59,7 +59,7 @@ class FaultPerStrategy : public ::testing::TestWithParam<Strategy> {};
 
 TEST_P(FaultPerStrategy, NoQuestionLostWhenWorkersCrash) {
   auto cfg = config(4);
-  cfg.ap_strategy = GetParam();
+  cfg.partition.ap_strategy = GetParam();
   const auto metrics = run_with_worker_crashes(cfg);
   EXPECT_EQ(metrics.completed, 12u);
   EXPECT_EQ(metrics.latencies.count(), 12u);
@@ -78,8 +78,8 @@ INSTANTIATE_TEST_SUITE_P(Strategies, FaultPerStrategy,
 
 TEST(FaultRecoveryTest, PrSendStrategySurvivesCrashes) {
   auto cfg = config(4);
-  cfg.pr_strategy = Strategy::kSend;
-  cfg.pr_chunk = 1;
+  cfg.partition.pr_strategy = Strategy::kSend;
+  cfg.partition.pr_chunk = 1;
   const auto metrics = run_with_worker_crashes(cfg);
   EXPECT_EQ(metrics.completed, 12u);
   EXPECT_EQ(metrics.crashes, 2u);
@@ -164,7 +164,7 @@ TEST(FaultRecoveryTest, RandomMtbfCrashesAreDeterministic) {
 TEST(FaultRecoveryTest, RecoveryMetricsAreConsistent) {
   TraceRecorder trace;
   auto cfg = config(4);
-  cfg.ap_strategy = Strategy::kIsend;
+  cfg.partition.ap_strategy = Strategy::kIsend;
   const auto metrics = run_with_worker_crashes(cfg, &trace);
   EXPECT_EQ(metrics.completed, 12u);
   // Recovery bookkeeping lines up: recovered items imply lost legs, and
@@ -176,7 +176,7 @@ TEST(FaultRecoveryTest, RecoveryMetricsAreConsistent) {
     // Detection is one reply-timeout poll at most: the silence clock runs
     // from the last report, so a crash is noticed within membership_timeout
     // of the poll preceding it — never more than one full timeout late.
-    EXPECT_LE(metrics.recovery_latency.mean(), 2.0 * cfg.membership_timeout);
+    EXPECT_LE(metrics.recovery_latency.mean(), 2.0 * cfg.net.membership_timeout);
   }
   EXPECT_EQ(trace.count_containing("crashed"), 2u);
 }

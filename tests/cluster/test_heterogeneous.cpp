@@ -32,8 +32,8 @@ const std::vector<QuestionPlan>& het_plans() {
 SystemConfig het_config(Policy policy) {
   SystemConfig cfg;
   cfg.nodes = 4;
-  cfg.policy = policy;
-  cfg.ap_chunk = 8;
+  cfg.dispatch.policy = policy;
+  cfg.partition.ap_chunk = 8;
   cfg.node_cpu_speeds = {2.0, 2.0, 0.5, 0.5};  // two fast, two slow
   return cfg;
 }
@@ -53,7 +53,7 @@ TEST(HeterogeneousTest, FastNodeFinishesQuestionFaster) {
     simnet::Simulation sim;
     SystemConfig cfg;
     cfg.nodes = 1;
-    cfg.ap_chunk = 8;
+    cfg.partition.ap_chunk = 8;
     cfg.node.cpu_speed = speed;
     System system(sim, cfg);
     system.submit(het_plans()[1], 0.0);

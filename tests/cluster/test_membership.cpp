@@ -28,8 +28,8 @@ const std::vector<QuestionPlan>& plans() {
 SystemConfig config(std::size_t nodes, Policy policy = Policy::kDqa) {
   SystemConfig cfg;
   cfg.nodes = nodes;
-  cfg.policy = policy;
-  cfg.ap_chunk = 8;
+  cfg.dispatch.policy = policy;
+  cfg.partition.ap_chunk = 8;
   return cfg;
 }
 

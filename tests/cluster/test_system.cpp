@@ -44,7 +44,7 @@ const ClusterFixture& fixture() {
 SystemConfig base_config(std::size_t nodes, Policy policy) {
   SystemConfig cfg;
   cfg.nodes = nodes;
-  cfg.policy = policy;
+  cfg.dispatch.policy = policy;
   return cfg;
 }
 
@@ -60,7 +60,7 @@ Metrics run_high_load(Policy policy, std::size_t nodes,
   auto cfg = base_config(nodes, policy);
   // RECV chunk scaled to this corpus' ~60 accepted paragraphs (the paper's
   // optimum of 40 corresponds to ~880 accepted paragraphs).
-  cfg.ap_chunk = 8;
+  cfg.partition.ap_chunk = 8;
   System system(sim, cfg);
   const std::size_t questions = 8 * nodes;
   Rng arrivals(seed);
@@ -94,7 +94,7 @@ TEST(SystemTest, LowLoadPartitioningSpeedsUpQuestions) {
     auto cfg = base_config(nodes, Policy::kDqa);
     // The test corpus accepts ~60 paragraphs per question (the paper's
     // collection accepted ~880); scale the RECV chunk down accordingly.
-    cfg.ap_chunk = 4;
+    cfg.partition.ap_chunk = 4;
     System system(sim, cfg);
     Seconds at = 0.0;
     for (std::size_t i = 0; i < 8; ++i) {
@@ -212,7 +212,7 @@ TEST(SystemTest, RecvChunkSizeAffectsOnlyOverheadNotCompletion) {
   for (std::size_t chunk : {5u, 40u, 100u}) {
     simnet::Simulation sim;
     auto cfg = base_config(4, Policy::kDqa);
-    cfg.ap_chunk = chunk;
+    cfg.partition.ap_chunk = chunk;
     System system(sim, cfg);
     system.submit(f.plans[1], 0.0);
     const auto metrics = system.run();

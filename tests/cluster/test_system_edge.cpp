@@ -30,8 +30,8 @@ const std::vector<QuestionPlan>& edge_plans() {
 SystemConfig cfg(std::size_t nodes, Policy policy = Policy::kDqa) {
   SystemConfig c;
   c.nodes = nodes;
-  c.policy = policy;
-  c.ap_chunk = 8;
+  c.dispatch.policy = policy;
+  c.partition.ap_chunk = 8;
   return c;
 }
 
@@ -52,14 +52,14 @@ TEST(SystemEdgeTest, SingleNodeClusterHasNoNetworkOverhead) {
 TEST(SystemEdgeTest, IsendForPrIsRejected) {
   simnet::Simulation sim;
   auto c = cfg(4);
-  c.pr_strategy = parallel::Strategy::kIsend;
+  c.partition.pr_strategy = parallel::Strategy::kIsend;
   EXPECT_DEATH({ System system(sim, c); }, "ISEND does not apply to PR");
 }
 
 TEST(SystemEdgeTest, PrSendStrategyCompletes) {
   simnet::Simulation sim;
   auto c = cfg(4);
-  c.pr_strategy = parallel::Strategy::kSend;
+  c.partition.pr_strategy = parallel::Strategy::kSend;
   System system(sim, c);
   system.submit(edge_plans()[0], 0.0);
   const auto m = system.run();
@@ -71,7 +71,7 @@ TEST(SystemEdgeTest, ApSendAndIsendComplete) {
        {parallel::Strategy::kSend, parallel::Strategy::kIsend}) {
     simnet::Simulation sim;
     auto c = cfg(4);
-    c.ap_strategy = strategy;
+    c.partition.ap_strategy = strategy;
     System system(sim, c);
     system.submit(edge_plans()[1], 0.0);
     EXPECT_EQ(system.run().completed, 1u);
@@ -94,7 +94,7 @@ TEST(SystemEdgeTest, ZeroPerMessageOverheadLowersOverheads) {
   const auto run = [&](Seconds overhead) {
     simnet::Simulation sim;
     auto c = cfg(4);
-    c.per_message_overhead = overhead;
+    c.net.per_message_overhead = overhead;
     System system(sim, c);
     system.submit(edge_plans()[3], 0.0);
     return system.run();
@@ -109,8 +109,8 @@ TEST(SystemEdgeTest, MorePerBatchCpuSlowsSmallChunks) {
   const auto ap_time = [&](Seconds per_batch) {
     simnet::Simulation sim;
     auto c = cfg(4);
-    c.ap_chunk = 2;  // many batches
-    c.per_batch_answer_cpu = per_batch;
+    c.partition.ap_chunk = 2;  // many batches
+    c.partition.per_batch_answer_cpu = per_batch;
     System system(sim, c);
     system.submit(edge_plans()[0], 0.0);
     return system.run().t_ap.mean();

@@ -31,8 +31,8 @@ Metrics run_policy(Policy policy, std::uint64_t seed = 3) {
   simnet::Simulation sim;
   SystemConfig cfg;
   cfg.nodes = 4;
-  cfg.policy = policy;
-  cfg.ap_chunk = 8;
+  cfg.dispatch.policy = policy;
+  cfg.partition.ap_chunk = 8;
   cfg.seed = seed;
   System system(sim, cfg);
   OverloadWorkload workload;

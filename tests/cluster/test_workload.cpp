@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <set>
+
 #include "support/test_world.hpp"
 
 namespace qadist::cluster {
@@ -50,7 +54,7 @@ TEST(WorkloadTest, OverloadSubmitsEightPerNodeByDefault) {
   simnet::Simulation sim;
   SystemConfig cfg;
   cfg.nodes = 3;
-  cfg.ap_chunk = 8;
+  cfg.partition.ap_chunk = 8;
   System system(sim, cfg);
   submit_overload(system, plans, OverloadWorkload{});
   const auto metrics = system.run();
@@ -63,7 +67,7 @@ TEST(WorkloadTest, OverloadArrivalRateMatchesFactor) {
   simnet::Simulation sim;
   SystemConfig cfg;
   cfg.nodes = 4;
-  cfg.ap_chunk = 8;
+  cfg.partition.ap_chunk = 8;
   System system(sim, cfg);
   OverloadWorkload workload;
   workload.count = 64;
@@ -83,7 +87,7 @@ TEST(WorkloadTest, SerialDrainsBetweenQuestions) {
   simnet::Simulation sim;
   SystemConfig cfg;
   cfg.nodes = 4;
-  cfg.ap_chunk = 8;
+  cfg.partition.ap_chunk = 8;
   System system(sim, cfg);
   SerialWorkload workload;
   workload.count = 5;
@@ -104,7 +108,7 @@ TEST(WorkloadTest, SerialStrideSelectsPlans) {
     simnet::Simulation sim;
     SystemConfig cfg;
     cfg.nodes = 2;
-    cfg.ap_chunk = 8;
+    cfg.partition.ap_chunk = 8;
     System system(sim, cfg);
     SerialWorkload workload;
     workload.count = 4;
@@ -118,14 +122,87 @@ TEST(WorkloadTest, SerialStrideSelectsPlans) {
   EXPECT_DOUBLE_EQ(a.latencies.mean(), b.latencies.mean());
 }
 
+TEST(WorkloadTest, PickSequenceLegacyPathMatchesHistoricFormula) {
+  // repeat_exponent == 0 must reproduce the pre-Zipf deterministic scan
+  // bit-for-bit, so every existing seeded experiment keeps its stream.
+  OverloadWorkload workload;
+  workload.seed = 11;
+  const auto picks = overload_pick_sequence(workload, 10, 25);
+  ASSERT_EQ(picks.size(), 25u);
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    EXPECT_EQ(picks[i], (i * 7 + workload.seed * 13) % 10) << i;
+  }
+}
+
+TEST(WorkloadTest, PickSequenceZipfIsDeterministicAndBounded) {
+  OverloadWorkload workload;
+  workload.seed = 4;
+  workload.repeat_exponent = 1.0;
+  workload.distinct_questions = 6;
+  const auto a = overload_pick_sequence(workload, 50, 100);
+  const auto b = overload_pick_sequence(workload, 50, 100);
+  EXPECT_EQ(a, b);
+  std::set<std::size_t> unique(a.begin(), a.end());
+  EXPECT_LE(unique.size(), 6u);  // the configured distinct population
+  for (const auto pick : a) EXPECT_LT(pick, 50u);
+
+  workload.seed = 5;  // a different seed draws a different stream
+  const auto c = overload_pick_sequence(workload, 50, 100);
+  EXPECT_NE(a, c);
+}
+
+TEST(WorkloadTest, PickSequenceSkewConcentratesRepeats) {
+  const auto top_share = [](double exponent) {
+    OverloadWorkload workload;
+    workload.seed = 21;
+    workload.repeat_exponent = exponent;
+    workload.distinct_questions = 40;
+    const auto picks = overload_pick_sequence(workload, 100, 400);
+    std::map<std::size_t, std::size_t> freq;
+    for (const auto p : picks) ++freq[p];
+    std::size_t top = 0;
+    for (const auto& [pick, count] : freq) top = std::max(top, count);
+    return static_cast<double>(top) / static_cast<double>(picks.size());
+  };
+  // Stronger skew => the most popular question takes a larger share of
+  // the stream (at s=1.5 over 40 ranks, rank 0 alone is ~60%).
+  EXPECT_GT(top_share(1.5), 2.0 * top_share(0.3));
+}
+
+TEST(WorkloadTest, ZipfOverloadSubmitsTheSequenceItAdvertises) {
+  const auto plans = small_plans();
+  simnet::Simulation sim;
+  SystemConfig cfg;
+  cfg.nodes = 2;
+  cfg.partition.ap_chunk = 8;
+  cfg.cache.answers.max_entries = 32;
+  cfg.cache.paragraphs.max_entries = 32;
+  System system(sim, cfg);
+  OverloadWorkload workload;
+  workload.count = 16;
+  workload.seed = 2;
+  workload.repeat_exponent = 1.0;
+  workload.distinct_questions = 3;
+  // Prewarm exactly the advertised picks: if submit_overload used any
+  // other sequence, at least one question would miss.
+  const auto picks =
+      overload_pick_sequence(workload, plans.size(), workload.count);
+  for (const auto pick : picks) system.prewarm(plans[pick]);
+  submit_overload(system, plans, workload);
+  const auto metrics = system.run();
+  EXPECT_EQ(metrics.completed, 16u);
+  EXPECT_EQ(metrics.cache_hits, 16u);
+  EXPECT_EQ(metrics.cache_misses, 0u);
+}
+
 TEST(WorkloadTest, SameSeedSameArrivalsAcrossPolicies) {
   const auto plans = small_plans();
   const auto first_completion = [&](Policy policy) {
     simnet::Simulation sim;
     SystemConfig cfg;
     cfg.nodes = 2;
-    cfg.policy = policy;
-    cfg.ap_chunk = 8;
+    cfg.dispatch.policy = policy;
+    cfg.partition.ap_chunk = 8;
     System system(sim, cfg);
     OverloadWorkload workload;
     workload.count = 6;

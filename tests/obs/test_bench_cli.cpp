@@ -1,0 +1,82 @@
+#include "support/bench_cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace qadist::bench {
+namespace {
+
+std::optional<BenchCli> parse(std::vector<const char*> args,
+                              std::string* error = nullptr) {
+  return BenchCli::try_parse(
+      std::span<const char* const>(args.data(), args.size()), error);
+}
+
+TEST(BenchCliTest, NoArgumentsYieldsAllDefaults) {
+  const auto cli = parse({});
+  ASSERT_TRUE(cli.has_value());
+  EXPECT_FALSE(cli->nodes.has_value());
+  EXPECT_FALSE(cli->seed.has_value());
+  EXPECT_FALSE(cli->policy.has_value());
+  EXPECT_FALSE(cli->strategy.has_value());
+  EXPECT_FALSE(cli->out.has_value());
+  EXPECT_FALSE(cli->smoke);
+  EXPECT_EQ(cli->nodes_or(12), 12u);
+  EXPECT_EQ(cli->seed_or(7), 7u);
+  EXPECT_EQ(cli->policy_or(cluster::Policy::kDqa), cluster::Policy::kDqa);
+}
+
+TEST(BenchCliTest, ParsesSeparateAndAttachedValues) {
+  const auto cli = parse({"--nodes", "8", "--seed=42", "--policy", "inter",
+                          "--strategy=recv", "--out", "tmp/results",
+                          "--smoke"});
+  ASSERT_TRUE(cli.has_value());
+  EXPECT_EQ(cli->nodes_or(0), 8u);
+  EXPECT_EQ(cli->seed_or(0), 42u);
+  EXPECT_EQ(cli->policy_or(cluster::Policy::kDns), cluster::Policy::kInter);
+  EXPECT_EQ(cli->strategy_or(parallel::Strategy::kSend),
+            parallel::Strategy::kRecv);
+  EXPECT_EQ(cli->out.value_or(""), "tmp/results");
+  EXPECT_TRUE(cli->smoke);
+}
+
+TEST(BenchCliTest, PolicyNamesAreCaseAndSeparatorInsensitive) {
+  EXPECT_EQ(parse({"--policy", "two_choice"})->policy,
+            cluster::Policy::kTwoChoice);
+  EXPECT_EQ(parse({"--policy", "TWO-CHOICE"})->policy,
+            cluster::Policy::kTwoChoice);
+  EXPECT_EQ(parse({"--strategy", "IsEnD"})->strategy,
+            parallel::Strategy::kIsend);
+}
+
+TEST(BenchCliTest, RejectsBadValuesWithAMessage) {
+  std::string error;
+  EXPECT_FALSE(parse({"--nodes", "zero"}, &error).has_value());
+  EXPECT_NE(error.find("--nodes"), std::string::npos);
+  EXPECT_FALSE(parse({"--nodes", "0"}, &error).has_value());
+  EXPECT_FALSE(parse({"--seed"}, &error).has_value());
+  EXPECT_FALSE(parse({"--policy", "fastest"}, &error).has_value());
+  EXPECT_NE(error.find("fastest"), std::string::npos);
+  EXPECT_FALSE(parse({"--strategy", "bcast"}, &error).has_value());
+  EXPECT_FALSE(parse({"--out="}, &error).has_value());
+}
+
+TEST(BenchCliTest, RejectsUnknownArguments) {
+  std::string error;
+  EXPECT_FALSE(parse({"--frobnicate"}, &error).has_value());
+  EXPECT_NE(error.find("--frobnicate"), std::string::npos);
+  EXPECT_FALSE(parse({"extra"}, &error).has_value());
+}
+
+TEST(BenchCliTest, HelpIsSignalledThroughTheErrorChannel) {
+  std::string error;
+  EXPECT_FALSE(parse({"--help"}, &error).has_value());
+  EXPECT_EQ(error, "help");
+  EXPECT_FALSE(parse({"-h"}, &error).has_value());
+  EXPECT_EQ(error, "help");
+}
+
+}  // namespace
+}  // namespace qadist::bench

@@ -48,7 +48,7 @@ const TracedRun& traced_run() {
     simnet::Simulation sim;
     cluster::SystemConfig cfg;
     cfg.nodes = 2;
-    cfg.ap_chunk = 8;
+    cfg.partition.ap_chunk = 8;
     cluster::System system(sim, cfg);
     system.set_trace(&r->text_trace);
     system.set_tracer(&r->tracer);
@@ -176,7 +176,7 @@ TEST(TracedSystemRun, TracingDoesNotChangeSimulatedResults) {
   simnet::Simulation sim;
   cluster::SystemConfig cfg;
   cfg.nodes = 2;
-  cfg.ap_chunk = 8;
+  cfg.partition.ap_chunk = 8;
   cluster::System system(sim, cfg);
   Seconds at = 0.0;
   for (const auto& plan : plans) {

@@ -19,12 +19,15 @@
 #include "support/bench_world.hpp"
 
 int main(int argc, char** argv) {
-  [[maybe_unused]] const auto cli = qadist::bench::BenchCli::parse(argc, argv);
+  const auto cli = qadist::bench::BenchCli::parse(argc, argv);
   using namespace qadist;
   using cluster::Policy;
   using parallel::Strategy;
   const auto& world = bench::bench_world();
-  constexpr std::size_t kNodes = 8;
+  const std::size_t nodes = cli.nodes_or(cli.smoke ? 4 : 8);
+  // Message drops compound the crash scenario: the reliability envelope
+  // retries them, so every question still completes, at a latency cost.
+  const double drop_rate = cli.drop_rate_or(0.0);
 
   // Work-bound makespan estimate: 8*N questions over N nodes.
   const double est_makespan = 8.0 * world.mean_service_seconds();
@@ -32,27 +35,29 @@ int main(int argc, char** argv) {
   const auto run = [&](Strategy strategy, bool faulted) {
     simnet::Simulation sim;
     cluster::SystemConfig cfg;
-    cfg.nodes = kNodes;
+    cfg.nodes = nodes;
     cfg.dispatch.policy = Policy::kDqa;
     cfg.partition.ap_strategy = strategy;
     cfg.partition.ap_chunk = bench::scaled_chunk(world);
+    cfg.net.faults.drop_probability = drop_rate;
     if (faulted) {
       cfg.faults.crashes.push_back(cluster::FaultEvent{
-          static_cast<sched::NodeId>(kNodes - 2), 0.25 * est_makespan});
+          static_cast<sched::NodeId>(nodes - 2), 0.25 * est_makespan});
       cfg.faults.crashes.push_back(cluster::FaultEvent{
-          static_cast<sched::NodeId>(kNodes - 1), 0.50 * est_makespan});
+          static_cast<sched::NodeId>(nodes - 1), 0.50 * est_makespan});
     }
     cluster::System system(sim, cfg);
     cluster::OverloadWorkload workload;
-    workload.seed = 7;
+    workload.seed = cli.seed_or(7);
     workload.reference_disk = world.cost->anchors().reference_disk;
     cluster::submit_overload(system, world.plans, workload);
     return system.run();
   };
 
   bench::BenchReport report("fault_recovery");
-  report.config("nodes", std::int64_t{kNodes});
+  report.config("nodes", static_cast<std::int64_t>(nodes));
   report.config("crashes", std::int64_t{2});
+  report.config("drop_rate", drop_rate);
   report.config("protocol", "high-load 2x, 2 crashes, no restart");
 
   TextTable table({"AP strategy", "Run", "Makespan (s)", "Mean lat (s)",

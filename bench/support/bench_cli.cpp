@@ -10,12 +10,13 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: [--nodes N] [--seed S] [--policy NAME] [--strategy NAME]\n"
-    "       [--out DIR] [--smoke] [--help]\n"
+    "       [--drop-rate P] [--out DIR] [--smoke] [--help]\n"
     "\n"
     "  --nodes N        override the node count\n"
     "  --seed S         override the workload seed\n"
     "  --policy NAME    DNS | INTER | DQA | TWO-CHOICE\n"
     "  --strategy NAME  SEND | ISEND | RECV\n"
+    "  --drop-rate P    per-message drop probability in [0,1]\n"
     "  --out DIR        results directory (default: results)\n"
     "  --smoke          tiny-config smoke run (CI)\n";
 
@@ -48,6 +49,17 @@ bool parse_count(std::string_view text, std::uint64_t& out) {
     if (c < '0' || c > '9') return false;
     value = value * 10 + static_cast<std::uint64_t>(c - '0');
   }
+  out = value;
+  return true;
+}
+
+bool parse_probability(std::string_view text, double& out) {
+  if (text.empty()) return false;
+  const std::string copy(text);  // strtod needs a terminator
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) return false;
+  if (!(value >= 0.0 && value <= 1.0)) return false;  // rejects NaN too
   out = value;
   return true;
 }
@@ -105,6 +117,14 @@ std::optional<BenchCli> BenchCli::try_parse(std::span<const char* const> args,
                     "' (SEND | ISEND | RECV)");
       }
       cli.strategy = *strategy;
+      continue;
+    }
+    if (match_value_flag(args, i, "--drop-rate", value)) {
+      double p = 0.0;
+      if (!value.has_value() || !parse_probability(*value, p)) {
+        return fail("--drop-rate expects a probability in [0,1]");
+      }
+      cli.drop_rate = p;
       continue;
     }
     if (match_value_flag(args, i, "--out", value)) {

@@ -17,6 +17,7 @@ namespace qadist::bench {
 ///   --seed S         override the workload seed
 ///   --policy NAME    DNS | INTER | DQA | TWO-CHOICE (case-insensitive)
 ///   --strategy NAME  SEND | ISEND | RECV (case-insensitive)
+///   --drop-rate P    per-message drop probability in [0,1] (fault benches)
 ///   --out DIR        results directory (sets QADIST_RESULTS_DIR)
 ///   --smoke          tiny-config smoke run (CI): benches that honor it
 ///                    shrink the experiment, others ignore it
@@ -31,6 +32,7 @@ struct BenchCli {
   std::optional<std::uint64_t> seed;
   std::optional<cluster::Policy> policy;
   std::optional<parallel::Strategy> strategy;
+  std::optional<double> drop_rate;
   std::optional<std::string> out;
   bool smoke = false;
 
@@ -46,6 +48,9 @@ struct BenchCli {
   [[nodiscard]] parallel::Strategy strategy_or(
       parallel::Strategy fallback) const {
     return strategy.value_or(fallback);
+  }
+  [[nodiscard]] double drop_rate_or(double fallback) const {
+    return drop_rate.value_or(fallback);
   }
 
   /// Pure parsing core (no exit, no environment writes): nullopt plus a

@@ -82,6 +82,15 @@ class LruTtlCache {
     return it != index_.end() && !expired(*it->second, now);
   }
 
+  /// Probes for `key` ignoring the TTL: a resident-but-expired entry is
+  /// returned rather than dropped, and nothing is promoted or counted.
+  /// This is the degraded-answer fallback — when the fresh answer can't be
+  /// computed in time, a stale one beats none at all.
+  [[nodiscard]] const Value* peek_stale(const std::string& key) const {
+    const auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &it->second->value;
+  }
+
   /// Inserts (or refreshes) `key` with the given byte footprint, then
   /// enforces both budgets. Disabled caches (max_entries == 0) admit
   /// nothing.

@@ -78,6 +78,22 @@ Metrics Metrics::from_registry(const obs::MetricsRegistry& registry) {
   out.question_restarts = counter_value(registry, "question_restarts");
   out.recovery_latency = histogram_stats(registry, "recovery_latency_seconds");
 
+  out.net_drops = counter_value(registry, "net_drops");
+  out.net_partition_drops = counter_value(registry, "net_partition_drops");
+  out.net_duplicates = counter_value(registry, "net_duplicates");
+  out.net_dedup_dropped = counter_value(registry, "net_dedup_dropped");
+  out.net_retries = counter_value(registry, "net_retries");
+  out.net_send_failures = counter_value(registry, "net_send_failures");
+  out.legs_unreachable = counter_value(registry, "legs_unreachable");
+  out.detector_suspicions = counter_value(registry, "detector_suspicions");
+  out.detector_false_alarms = counter_value(registry, "detector_false_alarms");
+  out.detector_deaths = counter_value(registry, "detector_deaths");
+  out.detector_rejoins = counter_value(registry, "detector_rejoins");
+  out.questions_degraded = counter_value(registry, "questions_degraded");
+  out.degraded_units_dropped =
+      counter_value(registry, "degraded_units_dropped");
+  out.degraded_stale_served = counter_value(registry, "degraded_stale_served");
+
   out.t_qp = histogram_stats(registry, "stage_seconds", {{"stage", "qp"}});
   out.t_pr = histogram_stats(registry, "stage_seconds", {{"stage", "pr"}});
   out.t_ps = histogram_stats(registry, "stage_seconds", {{"stage", "ps"}});

@@ -54,6 +54,24 @@ struct Metrics {
   std::size_t question_restarts = 0;  ///< whole questions re-hosted
   RunningStats recovery_latency;  ///< crash detection -> recovered dispatch
 
+  // Unreliable-network layer: message-level faults, the reliability
+  // envelope's reaction, and the heartbeat failure detector (all zero when
+  // the run is configured without link faults).
+  std::size_t net_drops = 0;            ///< messages randomly dropped
+  std::size_t net_partition_drops = 0;  ///< messages lost to a partition
+  std::size_t net_duplicates = 0;       ///< messages delivered twice
+  std::size_t net_dedup_dropped = 0;    ///< duplicates discarded at receipt
+  std::size_t net_retries = 0;          ///< send attempts after the first
+  std::size_t net_send_failures = 0;    ///< sends abandoned after retries
+  std::size_t legs_unreachable = 0;     ///< PR/AP legs lost to the network
+  std::size_t detector_suspicions = 0;  ///< alive -> suspect transitions
+  std::size_t detector_false_alarms = 0;  ///< suspects cleared by a beat
+  std::size_t detector_deaths = 0;        ///< suspect -> dead confirmations
+  std::size_t detector_rejoins = 0;       ///< dead peers heard from again
+  std::size_t questions_degraded = 0;   ///< partial answers returned
+  std::size_t degraded_units_dropped = 0;  ///< work units a deadline forfeited
+  std::size_t degraded_stale_served = 0;   ///< stale cache entries handed out
+
   // Per-question simulated module stage times (paper Table 8 columns).
   RunningStats t_qp;
   RunningStats t_pr;   ///< PR stage wall (retrieval legs incl. transfers)
@@ -98,6 +116,14 @@ struct Metrics {
     const Seconds busy = makespan - first_submit;
     if (busy <= 0.0) return 0.0;
     return static_cast<double>(completed) / (busy / 60.0);
+  }
+
+  /// Fraction of completed questions answered in full, i.e. not flagged
+  /// degraded (1.0 when nothing completed — an empty run loses nothing).
+  [[nodiscard]] double non_degraded_fraction() const {
+    if (completed == 0) return 1.0;
+    return 1.0 - static_cast<double>(questions_degraded) /
+                     static_cast<double>(completed);
   }
 
   /// Answer-cache hit rate over all probes (0 when the cache never ran).

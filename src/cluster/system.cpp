@@ -66,6 +66,13 @@ struct System::QuestionState {
   double oh_paragraph_send = 0.0;
   double oh_answer_receive = 0.0;
   double oh_answer_sort = 0.0;
+
+  /// Absolute deadline (submitted + reliability.question_deadline); 0 when
+  /// the budget is disabled.
+  Seconds deadline = 0.0;
+  /// Work lost to an unreachable peer was dropped instead of re-partitioned
+  /// because the deadline budget was spent: the answer is partial.
+  bool degraded = false;
 };
 
 /// Coordinator/leg shared state for one PR leg. Held by shared_ptr from
@@ -82,6 +89,10 @@ struct System::PrLegSlot {
   std::size_t in_flight = kNoUnit;  // popped, results not yet on the host
   bool reported = false;
   bool declared_dead = false;
+  /// The leg gave up on a send (retry budget spent): its node is alive but
+  /// unreachable. Set together with `reported`; pending units stay in the
+  /// slot for the coordinator to re-partition or drop.
+  bool unreachable = false;
   /// Stage span the leg nests under, and the leg's own span. The leg opens
   /// leg_span eagerly and closes it on normal completion; a crashed leg is
   /// a zombie that must not report, so the *coordinator* closes its span
@@ -104,6 +115,7 @@ struct System::ApLegSlot {
   bool has_in_flight = false;
   bool reported = false;
   bool declared_dead = false;
+  bool unreachable = false;  // see PrLegSlot
   obs::SpanId stage_span = obs::kNoSpan;  // see PrLegSlot
   obs::SpanId leg_span = obs::kNoSpan;
 };
@@ -147,8 +159,22 @@ System::System(simnet::Simulation& sim, const SystemConfig& config)
   crash_epoch_.assign(config.nodes, 0);
   crash_time_.assign(config.nodes, 0.0);
   two_choice_rng_.reseed(config.seed);
+  // Own streams for the fault layer, decorrelated from the two-choice
+  // draws by splitmix64-style constants, so enabling faults never perturbs
+  // the workload's random decisions.
+  net_rng_.reseed(config.seed ^ 0xbf58476d1ce4e5b9ULL);
   network_ = std::make_unique<simnet::Link>(
       sim, "lan", config.net.bandwidth, config.net.per_message_overhead);
+  if (config.net.faults.enabled()) {
+    injector_ = std::make_unique<simnet::LinkFaultInjector>(
+        config.net.faults, config.seed ^ 0x94d049bb133111ebULL);
+    network_->set_fault_injector(injector_.get());
+  }
+  detector_ = sched::FailureDetector(sched::FailureDetectorConfig{
+      config.net.monitor_period, config.net.suspect_after_missed,
+      config.net.membership_timeout});
+  detector_placement_ =
+      config.net.detector_placement || config.net.faults.enabled();
   register_instruments();
   cpu_probes_.reserve(config.nodes);
   disk_probes_.reserve(config.nodes);
@@ -199,6 +225,14 @@ void System::register_instruments() {
       &registry_.counter("cache_misses", {{"cache", "paragraphs"}});
   ins_.affinity_routes = &registry_.counter("affinity_routes");
   ins_.affinity_fallbacks = &registry_.counter("affinity_fallbacks");
+  // Unreliable-network layer. Registered unconditionally (like the cache
+  // counters) so the registry schema is stable across configurations.
+  ins_.net_retries = &registry_.counter("net_retries");
+  ins_.net_send_failures = &registry_.counter("net_send_failures");
+  ins_.legs_unreachable = &registry_.counter("legs_unreachable");
+  ins_.questions_degraded = &registry_.counter("questions_degraded");
+  ins_.degraded_units_dropped = &registry_.counter("degraded_units_dropped");
+  ins_.degraded_stale_served = &registry_.counter("degraded_stale_served");
 }
 
 System::~System() = default;
@@ -275,7 +309,7 @@ std::optional<NodeId> System::affinity_target(std::uint64_t signature) const {
   std::vector<std::uint32_t> live;
   live.reserve(table_.members().size());
   for (NodeId m : table_.members()) {
-    if (node_crashed_[m] == 0) live.push_back(m);
+    if (schedulable(m)) live.push_back(m);
   }
   return cache::rendezvous_pick(signature, live);
 }
@@ -347,18 +381,65 @@ void System::apply_restart(NodeId node) {
   record_event(node, "restarted", {{"kind", std::string("restart")}});
 }
 
-NodeId System::pick_live(const sched::LoadWeights& weights) const {
-  std::optional<NodeId> best;
-  double best_load = 0.0;
-  for (NodeId m : table_.members()) {
-    if (node_crashed_[m] != 0) continue;  // dead but not yet expired
-    const double load = sched::load_function(table_.load_of(m), weights);
-    if (!best.has_value() || load < best_load) {
-      best = m;
-      best_load = load;
-    }
+bool System::schedulable(NodeId node) const {
+  if (node_crashed_[node] != 0) return false;
+  if (!detector_placement_) return true;
+  return detector_.state(node) == sched::PeerState::kAlive;
+}
+
+bool System::deadline_exceeded(const QuestionState& q) const {
+  return q.deadline > 0.0 && sim_.now() > q.deadline;
+}
+
+simnet::Task<bool> System::ship(double bytes, NodeId src, NodeId dst,
+                                Seconds deadline) {
+  if (injector_ == nullptr) {
+    // Reliable link: exactly the transfer() event sequence, so fault-free
+    // runs stay bit-identical to builds without this layer.
+    co_await network_->transfer(bytes);
+    co_return true;
   }
-  if (best.has_value()) return *best;
+  const ReliabilityConfig& rel = config_.net.reliability;
+  // One idempotency token per logical message: however many frames the
+  // retries and link-level duplications put on the wire, the receiver
+  // processes the sequence number once and discards the rest (the link
+  // folds the duplicate tally into net_dedup_dropped at the end of the
+  // run). The token also keeps redeliveries observable in sim traces.
+  [[maybe_unused]] const std::uint64_t seq = next_msg_seq_++;
+  Seconds backoff = rel.backoff_base;
+  for (std::size_t attempt = 0;; ++attempt) {
+    const simnet::LinkVerdict verdict = co_await network_->send(bytes, src, dst);
+    if (verdict.delivered) co_return true;
+    if (attempt >= rel.max_retries) break;
+    if (deadline > 0.0 && sim_.now() >= deadline) break;
+    ins_.net_retries->inc();
+    const Seconds wait = std::min(backoff, rel.backoff_max) *
+                         (1.0 + rel.backoff_jitter * net_rng_.uniform01());
+    backoff *= 2.0;
+    co_await simnet::Delay(sim_, wait);
+  }
+  ins_.net_send_failures->inc();
+  co_return false;
+}
+
+NodeId System::pick_live(const sched::LoadWeights& weights) const {
+  // Two passes over the pool: trusted members first, then any non-crashed
+  // member (with the detector driving placement, every member may be a
+  // suspect — a suspect still beats an arbitrary fallback node).
+  for (const bool allow_suspect : {false, true}) {
+    std::optional<NodeId> best;
+    double best_load = 0.0;
+    for (NodeId m : table_.members()) {
+      if (node_crashed_[m] != 0) continue;  // dead but not yet expired
+      if (!allow_suspect && !schedulable(m)) continue;
+      const double load = sched::load_function(table_.load_of(m), weights);
+      if (!best.has_value() || load < best_load) {
+        best = m;
+        best_load = load;
+      }
+    }
+    if (best.has_value()) return *best;
+  }
   for (NodeId n = 0; n < nodes_.size(); ++n) {
     if (node_crashed_[n] == 0) return n;
   }
@@ -368,11 +449,13 @@ NodeId System::pick_live(const sched::LoadWeights& weights) const {
 Metrics System::run() {
   QADIST_CHECK(!started_, << "run() called twice");
   started_ = true;
-  // Seed the load table so dispatch decisions at t=0 see every
-  // broadcasting node, then start the per-node monitors.
+  // Seed the load table (and the failure detector's peer roster) so
+  // dispatch decisions at t=0 see every broadcasting node, then start the
+  // per-node monitors.
   for (const auto& node : nodes_) {
     if (node_broadcasting_[node->id()] != 0) {
       table_.update(node->id(), sched::ResourceLoad{}, sim_.now());
+      detector_.heartbeat(node->id(), sim_.now());
     }
   }
   for (const auto& node : nodes_) {
@@ -383,6 +466,26 @@ Metrics System::run() {
   }
   if (config_.faults.mtbf > 0.0) {
     fault_process();
+  }
+  if (injector_ != nullptr) {
+    // Partition instants: bracket every scripted window in the trace and
+    // count the cuts. (Only scheduled with faults on, so the fault-free
+    // event sequence is untouched.)
+    for (const simnet::PartitionWindow& w : config_.net.faults.partitions) {
+      const NodeId first = w.isolated.front();
+      const auto n = static_cast<std::int64_t>(w.isolated.size());
+      sim_.schedule_at(w.from, [this, first, n] {
+        registry_.counter("net_partitions").inc();
+        record_event(first, "partition started (" + std::to_string(n) +
+                                " nodes isolated)",
+                     {{"kind", std::string("partition_start")},
+                      {"isolated", n}});
+      });
+      sim_.schedule_at(w.until, [this, first] {
+        record_event(first, "partition healed",
+                     {{"kind", std::string("partition_end")}});
+      });
+    }
   }
   sim_.run();
   QADIST_CHECK(ins_.completed->value() == ins_.submitted->value(),
@@ -401,7 +504,33 @@ Metrics System::run() {
         .set(node->disk().work_served());
   }
   publish_cache_stats();
+  publish_net_stats();
   return Metrics::from_registry(registry_);
+}
+
+void System::publish_net_stats() {
+  // Lifetime tallies of the fault layer, folded once so the registry (and
+  // the Metrics view) exposes them alongside the live counters. Created
+  // even when faults are off so the schema is stable.
+  const auto fold = [this](const char* name, std::uint64_t value) {
+    registry_.counter(name).inc(static_cast<double>(value));
+  };
+  fold("net_drops", injector_ != nullptr ? injector_->random_drops() : 0);
+  fold("net_partition_drops",
+       injector_ != nullptr ? injector_->partition_drops() : 0);
+  fold("net_duplicates", injector_ != nullptr ? injector_->duplicates() : 0);
+  // Duplicated frames are exactly the ones the receiver's sequence-number
+  // check discards.
+  fold("net_dedup_dropped", injector_ != nullptr ? injector_->duplicates() : 0);
+  fold("net_partitions", 0);  // incremented live by the window instants
+  fold("detector_suspicions", detector_.suspicions_raised());
+  fold("detector_false_alarms", detector_.suspicions_cleared());
+  fold("detector_deaths", detector_.deaths_confirmed());
+  fold("detector_rejoins", detector_.rejoins());
+  const double completed = ins_.completed->value();
+  registry_.gauge("degraded_answer_fraction")
+      .set(completed > 0.0 ? ins_.questions_degraded->value() / completed
+                           : 0.0);
 }
 
 void System::publish_cache_stats() {
@@ -482,14 +611,42 @@ simnet::SimProcess System::monitor_process(Node& node) {
     ema.cpu += alpha * (sample.cpu - ema.cpu);
     ema.disk += alpha * (sample.disk - ema.disk);
     if (node_broadcasting_[node.id()] != 0) {
-      co_await network_->transfer(
-          static_cast<double>(config_.net.load_packet_bytes));
-      // The damped broadcast absorbs only `alpha` of newly placed load per
-      // period, so keep the complementary share of the reservations alive.
-      table_.update(node.id(), ema, sim_.now(),
-                    /*reservation_keep=*/1.0 - alpha);
+      // The broadcast doubles as this node's heartbeat: only a delivered
+      // packet refreshes the table and the failure detector, so a lossy or
+      // partitioned link starves both — exactly how the rest of the pool
+      // would experience it.
+      const simnet::LinkVerdict verdict = co_await network_->send(
+          static_cast<double>(config_.net.load_packet_bytes), node.id(),
+          simnet::kBroadcastNode);
+      if (verdict.delivered) {
+        const auto before = detector_.heartbeat(node.id(), sim_.now());
+        if (before == sched::PeerState::kDead && detector_placement_) {
+          record_event(node.id(), "peer rejoined after confirmed death",
+                       {{"kind", std::string("detector_rejoin")}});
+        }
+        // The damped broadcast absorbs only `alpha` of newly placed load
+        // per period, so keep the complementary share of the reservations
+        // alive.
+        table_.update(node.id(), ema, sim_.now(),
+                      /*reservation_keep=*/1.0 - alpha);
+      }
     }
     table_.expire(sim_.now(), config_.net.membership_timeout);
+    // Missed-beat sweep. The detector always counts lifecycle transitions
+    // (observability), but only drives placement — stale load entries,
+    // early removal of confirmed-dead peers — when the fault layer (or the
+    // explicit flag) turned detector placement on, so crash-only runs keep
+    // their timeout-only behavior bit-for-bit.
+    for (const sched::DetectorTransition& t : detector_.sweep(sim_.now())) {
+      if (!detector_placement_) continue;
+      table_.mark_stale(t.node, t.to == sched::PeerState::kSuspect);
+      if (t.to == sched::PeerState::kDead) table_.remove(t.node);
+      record_event(t.node,
+                   std::string("peer ") + sched::to_string(t.to) + " (was " +
+                       sched::to_string(t.from) + ")",
+                   {{"kind", std::string("detector_transition")},
+                    {"to", std::string(sched::to_string(t.to))}});
+    }
     co_await simnet::Delay(sim_, config_.net.monitor_period);
   }
 }
@@ -526,10 +683,27 @@ simnet::SimProcess System::pr_leg(QuestionState& q,
   Node& executor = *nodes_[node];
   const QuestionPlan& plan = *q.plan;
   const NodeId host = q.host;
+  const Seconds deadline = q.deadline;  // stable for this attempt
   bool sent_keywords = node == host;  // local leg ships nothing
   double leg_ps = 0.0;
   std::size_t units_done = 0;
   const auto dead = [&] { return crash_epoch_[node] != slot->epoch; };
+  // Unreachable protocol: a ship() that exhausts its retries means the
+  // peer is cut off, not crashed. The leg reports its index with the
+  // pending work still parked in the slot — the coordinator decides
+  // whether to re-partition it over reachable survivors or, past the
+  // deadline budget, drop it and flag the answer degraded.
+  const auto abort_unreachable = [&] {
+    if (tracer_ != nullptr && slot->leg_span != obs::kNoSpan) {
+      tracer_->end_span(slot->leg_span, sim_.now(),
+                        {{"unreachable", std::int64_t{1}}});
+      slot->leg_span = obs::kNoSpan;
+    }
+    q.t_ps_max = std::max(q.t_ps_max, leg_ps);
+    slot->unreachable = true;
+    slot->reported = true;
+    reports.send(index);
+  };
 
   std::uint64_t leg_track = 0;
   if (tracer_ != nullptr) {
@@ -549,8 +723,13 @@ simnet::SimProcess System::pr_leg(QuestionState& q,
 
     if (!sent_keywords) {
       const Seconds t0 = sim_.now();
-      co_await network_->transfer(static_cast<double>(plan.keyword_bytes));
+      const bool delivered = co_await ship(
+          static_cast<double>(plan.keyword_bytes), host, node, deadline);
       if (dead()) co_return;
+      if (!delivered) {
+        abort_unreachable();
+        co_return;
+      }
       q.oh_keyword_send += sim_.now() - t0;
       sent_keywords = true;
     }
@@ -588,8 +767,13 @@ simnet::SimProcess System::pr_leg(QuestionState& q,
       // Ship the scored paragraphs back; the paragraph merging module on
       // the host re-reads them from its disk (paper Eq. 27).
       const Seconds t0 = sim_.now();
-      co_await network_->transfer(static_cast<double>(unit.bytes_out));
+      const bool delivered = co_await ship(
+          static_cast<double>(unit.bytes_out), node, host, deadline);
       if (dead()) co_return;
+      if (!delivered) {
+        abort_unreachable();  // in_flight stays set: the unit is redone
+        co_return;
+      }
       co_await nodes_[host]->disk().consume(
           static_cast<double>(unit.bytes_out));
       if (dead()) co_return;
@@ -618,10 +802,23 @@ simnet::SimProcess System::ap_leg(QuestionState& q,
   Node& executor = *nodes_[node];
   const QuestionPlan& plan = *q.plan;
   const NodeId host = q.host;
+  const Seconds deadline = q.deadline;
   const bool remote = node != host;
   const Seconds leg_start = sim_.now();
   std::size_t processed = 0;
   const auto dead = [&] { return crash_epoch_[node] != slot->epoch; };
+  // Same unreachable protocol as pr_leg: give up, leave the pending work
+  // in the slot, report for the coordinator to recover or degrade.
+  const auto abort_unreachable = [&] {
+    if (tracer_ != nullptr && slot->leg_span != obs::kNoSpan) {
+      tracer_->end_span(slot->leg_span, sim_.now(),
+                        {{"unreachable", std::int64_t{1}}});
+      slot->leg_span = obs::kNoSpan;
+    }
+    slot->unreachable = true;
+    slot->reported = true;
+    reports.send(index);
+  };
 
   if (tracer_ != nullptr) {
     const std::uint64_t leg_track = tracer_->new_track();
@@ -651,8 +848,13 @@ simnet::SimProcess System::ap_leg(QuestionState& q,
       }
       if (remote && bytes_in > 0) {
         const Seconds t0 = sim_.now();
-        co_await network_->transfer(static_cast<double>(bytes_in));
+        const bool delivered = co_await ship(static_cast<double>(bytes_in),
+                                             host, node, deadline);
         if (dead()) co_return;
+        if (!delivered) {
+          abort_unreachable();  // in-flight chunk stays in the slot
+          co_return;
+        }
         q.oh_paragraph_send += sim_.now() - t0;
       }
       for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
@@ -666,8 +868,13 @@ simnet::SimProcess System::ap_leg(QuestionState& q,
       if (dead()) co_return;
       if (remote && bytes_out > 0) {
         const Seconds t0 = sim_.now();
-        co_await network_->transfer(static_cast<double>(bytes_out));
+        const bool delivered = co_await ship(static_cast<double>(bytes_out),
+                                             node, host, deadline);
         if (dead()) co_return;
+        if (!delivered) {
+          abort_unreachable();  // answers never landed: chunk is redone
+          co_return;
+        }
         q.oh_answer_receive += sim_.now() - t0;
       }
       slot->has_in_flight = false;  // answers are back: chunk is durable
@@ -684,8 +891,13 @@ simnet::SimProcess System::ap_leg(QuestionState& q,
     }
     if (remote && bytes_in > 0) {
       const Seconds t0 = sim_.now();
-      co_await network_->transfer(static_cast<double>(bytes_in));
+      const bool delivered = co_await ship(static_cast<double>(bytes_in),
+                                           host, node, deadline);
       if (dead()) co_return;
+      if (!delivered) {
+        abort_unreachable();  // the whole partition stays in the slot
+        co_return;
+      }
       q.oh_paragraph_send += sim_.now() - t0;
     }
     for (std::size_t i : slot->units) {
@@ -701,8 +913,13 @@ simnet::SimProcess System::ap_leg(QuestionState& q,
     }
     if (remote && bytes_out > 0) {
       const Seconds t0 = sim_.now();
-      co_await network_->transfer(static_cast<double>(bytes_out));
+      const bool delivered = co_await ship(static_cast<double>(bytes_out),
+                                           node, host, deadline);
       if (dead()) co_return;
+      if (!delivered) {
+        abort_unreachable();  // answers never landed: partition is redone
+        co_return;
+      }
       q.oh_answer_receive += sim_.now() - t0;
     }
   }
@@ -727,6 +944,9 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
   QuestionState q;
   q.plan = &plan;
   q.submitted = sim_.now();
+  if (config_.net.reliability.question_deadline > 0.0) {
+    q.deadline = q.submitted + config_.net.reliability.question_deadline;
+  }
   NodeId host = dns_node;
   std::size_t restarts = 0;
 
@@ -771,10 +991,13 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
       const double lb =
           sched::load_function(table_.load_of(b), sched::kQaWeights);
       const NodeId choice = la <= lb ? a : b;
-      if (choice != host && node_crashed_[choice] == 0) {
-        co_await network_->transfer(static_cast<double>(plan.question_bytes));
-        host = choice;
-        ins_.migrations_qa->inc();
+      if (choice != host && schedulable(choice)) {
+        const bool moved = co_await ship(
+            static_cast<double>(plan.question_bytes), host, choice, q.deadline);
+        if (moved) {
+          host = choice;
+          ins_.migrations_qa->inc();
+        }  // else: the question stays put — the home node can always host
       }
     }
   } else if (config_.dispatch.policy != Policy::kDns && table_.is_member(host)) {
@@ -795,12 +1018,17 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
             : sched::decide_migration(
                   table_, host, sched::kQaWeights,
                   sched::single_task_load(sched::kQaWeights), &registry_);
-    if (decision.migrate && node_crashed_[decision.target] == 0) {
-      co_await network_->transfer(static_cast<double>(plan.question_bytes));
-      host = decision.target;
-      ins_.migrations_qa->inc();
-      record_trace(host, "question " + std::to_string(plan.source.id) +
-                             " migrated from N" + std::to_string(dns_node + 1));
+    if (decision.migrate && schedulable(decision.target)) {
+      const bool moved =
+          co_await ship(static_cast<double>(plan.question_bytes), host,
+                        decision.target, q.deadline);
+      if (moved) {
+        host = decision.target;
+        ins_.migrations_qa->inc();
+        record_trace(host, "question " + std::to_string(plan.source.id) +
+                               " migrated from N" +
+                               std::to_string(dns_node + 1));
+      }
     }
   }
   if (node_crashed_[host] != 0) host = pick_live(sched::kQaWeights);
@@ -810,6 +1038,7 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
   // it is resubmitted to a surviving node and starts over from QP.
   for (;;) {
     q.host = host;
+    q.degraded = false;  // a restarted attempt recomputes everything
     const std::size_t host_epoch = crash_epoch_[host];
     const auto host_dead = [&] { return crash_epoch_[host] != host_epoch; };
     bool failed = false;
@@ -887,11 +1116,12 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
         auto ms = sched::meta_schedule(table_, sched::kPrWeights,
                                        config_.dispatch.pr_underload_threshold,
                                        &registry_);
-        // Drop nodes that crashed but have not yet expired from the table.
+        // Drop nodes that crashed (but have not yet expired from the
+        // table) or are currently suspected by the failure detector.
         std::vector<NodeId> live_sel;
         std::vector<double> live_w;
         for (std::size_t i = 0; i < ms.selected.size(); ++i) {
-          if (node_crashed_[ms.selected[i]] != 0) continue;
+          if (!schedulable(ms.selected[i])) continue;
           live_sel.push_back(ms.selected[i]);
           live_w.push_back(ms.weights[i]);
         }
@@ -973,6 +1203,82 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
               co_await reports.recv_for(config_.net.membership_timeout);
           if (msg.has_value()) {
             --outstanding;
+            PrLegSlot& s = *slots[*msg];
+            if (!s.unreachable) continue;
+            // The leg burned its retry budget talking to its node: alive
+            // but cut off. Steer placement away from it, then either
+            // re-partition the work still parked in the slot over
+            // reachable survivors or — past the deadline budget — drop it
+            // and flag the answer degraded.
+            ins_.legs_unreachable->inc();
+            detector_.suspect_hint(s.node, sim_.now());
+            if (detector_placement_) table_.mark_stale(s.node);
+            record_trace(host, "N" + std::to_string(s.node + 1) +
+                                   " unreachable during PR");
+            if (host_dead()) continue;  // the whole question restarts
+            std::deque<std::size_t> lost;
+            if (s.in_flight != kNoUnit) {
+              lost.push_back(s.in_flight);
+              s.in_flight = kNoUnit;
+            }
+            if (!shared_queue) {
+              for (std::size_t u : *s.units) lost.push_back(u);
+              s.units->clear();
+            }
+            if (lost.empty()) continue;
+            if (deadline_exceeded(q)) {
+              q.degraded = true;
+              ins_.degraded_units_dropped->inc(
+                  static_cast<double>(lost.size()));
+              record_trace(host, "deadline spent: dropped " +
+                                     std::to_string(lost.size()) +
+                                     " collections (degraded)");
+              continue;
+            }
+            ins_.items_recovered->inc(static_cast<double>(lost.size()));
+            record_trace(host, "recovered " + std::to_string(lost.size()) +
+                                   " collections from unreachable N" +
+                                   std::to_string(s.node + 1));
+            if (shared_queue) {
+              for (auto it = lost.rbegin(); it != lost.rend(); ++it) {
+                shared_units->push_front(*it);
+              }
+              bool any_live = false;
+              for (const auto& sp : slots) {
+                if (!sp->reported && !sp->declared_dead) {
+                  any_live = true;
+                  break;
+                }
+              }
+              if (!any_live) {
+                spawn(pick_live(sched::kPrWeights), shared_units);
+                ++outstanding;
+                ins_.recovery_legs->inc();
+              }
+            } else {
+              std::vector<NodeId> survivors;
+              std::vector<double> weights;
+              for (std::size_t i = 0; i < pr_nodes.size(); ++i) {
+                if (pr_nodes[i] == s.node || !schedulable(pr_nodes[i])) {
+                  continue;
+                }
+                survivors.push_back(pr_nodes[i]);
+                weights.push_back(pr_weights[i]);
+              }
+              if (survivors.empty()) {
+                survivors.push_back(host);  // host is live and local
+                weights.push_back(1.0);
+              }
+              const auto parts =
+                  parallel::partition_send(lost.size(), weights);
+              for (const auto& p : parts) {
+                auto block = std::make_shared<std::deque<std::size_t>>();
+                for (std::size_t j : p.items) block->push_back(lost[j]);
+                spawn(survivors[p.worker], std::move(block));
+                ++outstanding;
+                ins_.recovery_legs->inc();
+              }
+            }
             continue;
           }
           // Reply timeout: sweep the unreported legs for dead nodes.
@@ -1024,7 +1330,7 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
               std::vector<NodeId> survivors;
               std::vector<double> weights;
               for (std::size_t i = 0; i < pr_nodes.size(); ++i) {
-                if (node_crashed_[pr_nodes[i]] != 0) continue;
+                if (!schedulable(pr_nodes[i])) continue;
                 survivors.push_back(pr_nodes[i]);
                 weights.push_back(pr_weights[i]);
               }
@@ -1100,7 +1406,7 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
         std::vector<NodeId> live_sel;
         std::vector<double> live_w;
         for (std::size_t i = 0; i < ms.selected.size(); ++i) {
-          if (node_crashed_[ms.selected[i]] != 0) continue;
+          if (!schedulable(ms.selected[i])) continue;
           live_sel.push_back(ms.selected[i]);
           live_w.push_back(ms.weights[i]);
         }
@@ -1178,6 +1484,83 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
               co_await reports.recv_for(config_.net.membership_timeout);
           if (msg.has_value()) {
             --outstanding;
+            ApLegSlot& s = *slots[*msg];
+            if (!s.unreachable) continue;
+            // Unreachable leg: same decision as in PR — recover the
+            // stranded paragraphs over reachable survivors, or drop them
+            // once the deadline budget is spent.
+            ins_.legs_unreachable->inc();
+            detector_.suspect_hint(s.node, sim_.now());
+            if (detector_placement_) table_.mark_stale(s.node);
+            record_trace(host, "N" + std::to_string(s.node + 1) +
+                                   " unreachable during AP");
+            if (host_dead()) continue;
+            std::vector<std::size_t> lost;
+            std::size_t lost_count = 0;
+            if (s.chunks != nullptr) {
+              if (s.has_in_flight) lost_count = s.in_flight.size();
+            } else {
+              lost = std::move(s.units);
+              s.units.clear();
+              lost_count = lost.size();
+            }
+            if (lost_count == 0) continue;
+            if (deadline_exceeded(q)) {
+              q.degraded = true;
+              s.has_in_flight = false;  // RECV: the chunk dies with the leg
+              ins_.degraded_units_dropped->inc(
+                  static_cast<double>(lost_count));
+              record_trace(host, "deadline spent: dropped " +
+                                     std::to_string(lost_count) +
+                                     " paragraphs (degraded)");
+              continue;
+            }
+            ins_.items_recovered->inc(static_cast<double>(lost_count));
+            record_trace(host, "recovered " + std::to_string(lost_count) +
+                                   " paragraphs from unreachable N" +
+                                   std::to_string(s.node + 1));
+            if (s.chunks != nullptr) {
+              s.chunks->push_front(s.in_flight);
+              s.has_in_flight = false;
+              bool any_live = false;
+              for (const auto& sp : slots) {
+                if (!sp->reported && !sp->declared_dead) {
+                  any_live = true;
+                  break;
+                }
+              }
+              if (!any_live) {
+                spawn(pick_live(sched::kApWeights), {}, shared_chunks);
+                ++outstanding;
+                ins_.recovery_legs->inc();
+              }
+            } else {
+              std::vector<NodeId> survivors;
+              std::vector<double> weights;
+              for (std::size_t i = 0; i < ap_nodes.size(); ++i) {
+                if (ap_nodes[i] == s.node || !schedulable(ap_nodes[i])) {
+                  continue;
+                }
+                survivors.push_back(ap_nodes[i]);
+                weights.push_back(ap_weights[i]);
+              }
+              if (survivors.empty()) {
+                survivors.push_back(host);
+                weights.push_back(1.0);
+              }
+              const auto parts =
+                  config_.partition.ap_strategy == Strategy::kIsend
+                      ? parallel::partition_isend(lost.size(), weights)
+                      : parallel::partition_send(lost.size(), weights);
+              for (const auto& p : parts) {
+                std::vector<std::size_t> block;
+                block.reserve(p.items.size());
+                for (std::size_t j : p.items) block.push_back(lost[j]);
+                spawn(survivors[p.worker], std::move(block), nullptr);
+                ++outstanding;
+                ins_.recovery_legs->inc();
+              }
+            }
             continue;
           }
           const bool host_down = host_dead();
@@ -1223,7 +1606,7 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
               std::vector<NodeId> survivors;
               std::vector<double> weights;
               for (std::size_t i = 0; i < ap_nodes.size(); ++i) {
-                if (node_crashed_[ap_nodes[i]] != 0) continue;
+                if (!schedulable(ap_nodes[i])) continue;
                 survivors.push_back(ap_nodes[i]);
                 weights.push_back(ap_weights[i]);
               }
@@ -1280,8 +1663,9 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
 
     if (!failed) {
       // Success: remember the results on the node that computed them, so a
-      // repeat of this question (routed here by affinity) hits.
-      if (cache_on) {
+      // repeat of this question (routed here by affinity) hits. A degraded
+      // (partial) answer must not poison the cache.
+      if (cache_on && !q.degraded) {
         NodeCaches& shard = *caches_[host];
         if (config_.cache.answers.enabled()) {
           shard.answers.insert(cache_key, CachedAnswer{plan.answer_bytes},
@@ -1310,6 +1694,24 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
     host = pick_live(sched::kQaWeights);
   }
 
+  if (q.degraded) {
+    ins_.questions_degraded->inc();
+    // Best effort before returning a partial answer: a stale (TTL-expired
+    // or superseded) cached answer for the same question, if this node
+    // still holds one, is served alongside the degraded flag.
+    bool stale_served = false;
+    if (cache_on && caches_[host]->answers.peek_stale(cache_key) != nullptr) {
+      stale_served = true;
+      ins_.degraded_stale_served->inc();
+    }
+    record_event(host,
+                 "question " + std::to_string(plan.source.id) +
+                     " answered degraded" +
+                     (stale_served ? " (stale cached answer served)" : ""),
+                 {{"kind", std::string("degraded")},
+                  {"stale_cache", std::int64_t{stale_served ? 1 : 0}}});
+  }
+
   record_trace(host, "answered question " + std::to_string(plan.source.id) +
                          " in " + format_double(sim_.now() - q.submitted, 2) +
                          " secs");
@@ -1336,11 +1738,16 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
     ins_.oh_answer_sort->observe(q.oh_answer_sort);
   }
   if (q_span != obs::kNoSpan) {
-    tracer_->end_span(
-        q_span, sim_.now(),
-        {{"latency_seconds", latency},
-         {"restarts", static_cast<std::int64_t>(restarts)},
-         {"cached", std::int64_t{served_from_cache ? 1 : 0}}});
+    obs::Attrs attrs{
+        {"latency_seconds", latency},
+        {"restarts", static_cast<std::int64_t>(restarts)},
+        {"cached", std::int64_t{served_from_cache ? 1 : 0}}};
+    // Only stamp the degraded flag when the fault layer is active so traces
+    // from fault-free runs stay byte-identical with pre-fault builds.
+    if (injector_ != nullptr) {
+      attrs.emplace_back("degraded", std::int64_t{q.degraded ? 1 : 0});
+    }
+    tracer_->end_span(q_span, sim_.now(), std::move(attrs));
   }
   ins_.completed->inc();
   if (ins_.completed->value() == ins_.submitted->value()) all_done_ = true;

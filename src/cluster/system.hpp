@@ -16,13 +16,16 @@
 #include "obs/span.hpp"
 #include "parallel/partition.hpp"
 #include "sched/dispatcher.hpp"
+#include "sched/failure_detector.hpp"
 #include "sched/load_table.hpp"
 #include "sched/meta_scheduler.hpp"
 #include "simnet/event.hpp"
 #include "simnet/link.hpp"
+#include "simnet/link_fault.hpp"
 #include "simnet/mailbox.hpp"
 #include "simnet/process.hpp"
 #include "simnet/simulation.hpp"
+#include "simnet/task.hpp"
 
 namespace qadist::cluster {
 
@@ -50,6 +53,27 @@ struct FaultPlan {
   [[nodiscard]] bool enabled() const { return !crashes.empty() || mtbf > 0.0; }
 };
 
+/// Reliability envelope for cluster RPCs over an unreliable link: bounded
+/// retries with exponential backoff + jitter, and an optional per-question
+/// deadline budget. Every send carries an idempotent sequence number, so a
+/// duplicated frame or a retry of one whose ack was lost is deduplicated at
+/// the receiver rather than processed twice.
+struct ReliabilityConfig {
+  /// Send attempts beyond the first before a peer is declared unreachable.
+  std::size_t max_retries = 3;
+  /// First retry waits backoff_base, doubling per attempt up to
+  /// backoff_max, each scaled by (1 + backoff_jitter * U[0,1)) to
+  /// de-synchronize competing retriers.
+  Seconds backoff_base = 0.05;
+  Seconds backoff_max = 1.0;
+  double backoff_jitter = 0.5;
+  /// Per-question time budget measured from submission. Once exceeded, the
+  /// coordinator stops re-partitioning lost work and finishes with what it
+  /// has, flagging the answer `degraded`. 0 disables the budget (recovery
+  /// never gives up — matches the crash-only behavior of earlier builds).
+  Seconds question_deadline = 0.0;
+};
+
 /// Shared-segment network and cluster-monitoring knobs.
 struct NetworkConfig {
   /// Shared-segment Ethernet: all transfers fair-share this link.
@@ -67,6 +91,23 @@ struct NetworkConfig {
   /// rather than which phase its tasks happen to be in, so the question
   /// dispatcher stops chasing phases (see bench_ablations, ablation A).
   Seconds load_smoothing_tau = 30.0;
+
+  /// Link-level fault plan (drops, jitter, duplication, partitions).
+  /// Disabled by default: fault-free runs are bit-identical to builds
+  /// without the fault layer.
+  simnet::LinkFaultPlan faults;
+  /// Retry/backoff/deadline envelope, effective once `faults` is enabled.
+  ReliabilityConfig reliability;
+  /// Heartbeat failure detector: load broadcasts double as heartbeats, and
+  /// a peer silent for this many monitor periods becomes kSuspect (it
+  /// hardens into kDead at membership_timeout). Suspects are skipped by
+  /// placement while any trusted node exists.
+  double suspect_after_missed = 2.0;
+  /// Detector-driven placement (skip suspects, mark stale load entries) is
+  /// active whenever `faults` is enabled; set this to force it on for
+  /// crash-only runs too. Default off so existing crash benches keep their
+  /// timeout-only placement behavior bit-for-bit.
+  bool detector_placement = false;
 };
 
 /// Question-dispatcher knobs: the policy under test plus the thresholds of
@@ -271,9 +312,28 @@ class System {
                             std::size_t index,
                             simnet::Mailbox<std::size_t>& reports);
 
+  /// Reliable unicast: moves `bytes` from `src` to `dst` with bounded
+  /// retries (exponential backoff + jitter) and an idempotent sequence
+  /// number per logical message. Resolves true once delivered, false when
+  /// the retry budget (or the question deadline, when set) is exhausted —
+  /// the peer is then unreachable as far as this RPC is concerned. With no
+  /// fault injector installed this is exactly one transfer (bit-identical
+  /// fast path).
+  simnet::Task<bool> ship(double bytes, sched::NodeId src, sched::NodeId dst,
+                          Seconds deadline);
+
+  /// Whether placement may target `node`: it must be up, and — when the
+  /// failure detector drives placement — not currently suspected.
+  [[nodiscard]] bool schedulable(sched::NodeId node) const;
+
+  /// Whether the question's deadline budget (reliability.question_deadline)
+  /// has passed; always false when the budget is disabled.
+  [[nodiscard]] bool deadline_exceeded(const QuestionState& q) const;
+
   /// Least-loaded pool member that is actually up; falls back to any live
   /// node when the table is momentarily empty. A live node always exists
-  /// (apply_crash never takes down the last one).
+  /// (apply_crash never takes down the last one). Prefers unsuspected
+  /// nodes when the detector drives placement.
   [[nodiscard]] sched::NodeId pick_live(const sched::LoadWeights& weights) const;
 
   /// Rendezvous pick over the currently live pool members (the affinity
@@ -322,11 +382,21 @@ class System {
     obs::Counter* pr_cache_misses = nullptr;
     obs::Counter* affinity_routes = nullptr;
     obs::Counter* affinity_fallbacks = nullptr;
+    obs::Counter* net_retries = nullptr;       // unreliable-network layer
+    obs::Counter* net_send_failures = nullptr;
+    obs::Counter* legs_unreachable = nullptr;
+    obs::Counter* questions_degraded = nullptr;
+    obs::Counter* degraded_units_dropped = nullptr;
+    obs::Counter* degraded_stale_served = nullptr;
   };
   void register_instruments();
   /// Folds per-node CacheStats (evictions, expirations, invalidations,
   /// occupancy) into the registry — called once at the end of run().
   void publish_cache_stats();
+  /// Folds the fault injector's and failure detector's lifetime tallies
+  /// (drops, duplicates, suspicions, rejoins) into the registry — called
+  /// once at the end of run().
+  void publish_net_stats();
 
   simnet::Simulation& sim_;
   SystemConfig config_;
@@ -337,6 +407,9 @@ class System {
   std::vector<std::size_t> crash_epoch_;  // bumped per crash (zombie detection)
   std::vector<Seconds> crash_time_;       // last crash time per node
   std::unique_ptr<simnet::Link> network_;
+  std::unique_ptr<simnet::LinkFaultInjector> injector_;  // null: faults off
+  sched::FailureDetector detector_;
+  bool detector_placement_ = false;
   sched::LoadTable table_;
   obs::MetricsRegistry registry_;
   Instruments ins_;
@@ -345,6 +418,9 @@ class System {
   std::vector<simnet::UtilizationProbe> cpu_probes_;
   std::vector<simnet::UtilizationProbe> disk_probes_;
   Rng two_choice_rng_{1};
+  Rng net_rng_{1};  // backoff jitter (own stream: retries never perturb
+                    // the two-choice draw sequence)
+  std::uint64_t next_msg_seq_ = 0;  // idempotency tokens for ship()
   sched::NodeId next_dns_node_ = 0;
   Seconds first_submit_ = 0.0;
   Seconds makespan_ = 0.0;

@@ -19,6 +19,7 @@ void LoadTable::update(NodeId node, const ResourceLoad& load, Seconds now,
   QADIST_CHECK(reservation_keep >= 0.0 && reservation_keep <= 1.0);
   Entry& e = entry(node);
   e.alive = true;
+  e.stale = false;  // a fresh broadcast is trustworthy again
   e.broadcast = load;
   e.reserved.cpu *= reservation_keep;
   e.reserved.disk *= reservation_keep;
@@ -35,6 +36,17 @@ void LoadTable::reserve(NodeId node, const ResourceLoad& delta) {
 
 void LoadTable::remove(NodeId node) {
   if (node < entries_.size()) entries_[node].alive = false;
+}
+
+void LoadTable::mark_stale(NodeId node, bool stale) {
+  if (node < entries_.size() && entries_[node].alive) {
+    entries_[node].stale = stale;
+  }
+}
+
+bool LoadTable::is_stale(NodeId node) const {
+  const Entry* e = find(node);
+  return e != nullptr && e->stale;
 }
 
 void LoadTable::expire(Seconds now, Seconds timeout) {
@@ -61,17 +73,23 @@ ResourceLoad LoadTable::load_of(NodeId node) const {
 }
 
 std::optional<NodeId> LoadTable::least_loaded(const LoadWeights& weights) const {
-  std::optional<NodeId> best;
-  double best_load = 0.0;
-  for (NodeId id = 0; id < entries_.size(); ++id) {
-    if (!entries_[id].alive) continue;
-    const double l = load_function(load_of(id), weights);
-    if (!best || l < best_load) {
-      best = id;
-      best_load = l;
+  // Fresh entries first; fall back to stale ones only when every member is
+  // stale (placing work on a suspect beats placing it nowhere).
+  for (const bool allow_stale : {false, true}) {
+    std::optional<NodeId> best;
+    double best_load = 0.0;
+    for (NodeId id = 0; id < entries_.size(); ++id) {
+      if (!entries_[id].alive) continue;
+      if (entries_[id].stale && !allow_stale) continue;
+      const double l = load_function(load_of(id), weights);
+      if (!best || l < best_load) {
+        best = id;
+        best_load = l;
+      }
     }
+    if (best) return best;
   }
-  return best;
+  return std::nullopt;
 }
 
 std::size_t LoadTable::size() const {

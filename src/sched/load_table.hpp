@@ -44,6 +44,16 @@ class LoadTable {
   /// the node re-enters the pool with its next broadcast.
   void remove(NodeId node);
 
+  /// Flags a member's entry as stale: the node stays in the pool (its
+  /// broadcasts may simply be getting lost), but its load figure is no
+  /// longer trusted, so least_loaded() passes it over while any fresh
+  /// entry exists. Cleared by the node's next broadcast or by
+  /// mark_stale(node, false). No-op on non-members.
+  void mark_stale(NodeId node, bool stale = true);
+
+  /// True if `node` is a member whose entry is flagged stale.
+  [[nodiscard]] bool is_stale(NodeId node) const;
+
   /// Current members, ascending id.
   [[nodiscard]] std::vector<NodeId> members() const;
 
@@ -54,6 +64,8 @@ class LoadTable {
 
   /// The member minimizing load_function(load, weights); nullopt if the
   /// table is empty. Ties break on the lower node id (deterministic).
+  /// Stale entries are only considered when no fresh member exists (a
+  /// suspect node beats no node at all).
   [[nodiscard]] std::optional<NodeId> least_loaded(
       const LoadWeights& weights) const;
 
@@ -62,6 +74,7 @@ class LoadTable {
  private:
   struct Entry {
     bool alive = false;
+    bool stale = false;
     ResourceLoad broadcast;
     ResourceLoad reserved;
     Seconds last_update = 0.0;

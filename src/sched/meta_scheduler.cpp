@@ -23,8 +23,17 @@ MetaSchedule meta_schedule(const LoadTable& table,
                            double underload_threshold,
                            obs::MetricsRegistry* metrics) {
   MetaSchedule out;
-  const auto members = table.members();
+  auto members = table.members();
   QADIST_CHECK(!members.empty(), << "meta_schedule over an empty pool");
+
+  // Suspected peers (stale load entries) are not candidates — their figures
+  // can't be trusted and work placed there may be lost. If the whole pool
+  // is stale, keep everyone: a degraded placement beats none.
+  std::vector<NodeId> fresh;
+  for (NodeId id : members) {
+    if (!table.is_stale(id)) fresh.push_back(id);
+  }
+  if (!fresh.empty()) members = std::move(fresh);
 
   std::vector<double> loads;
   loads.reserve(members.size());

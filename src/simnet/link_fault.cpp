@@ -1,0 +1,89 @@
+#include "simnet/link_fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace qadist::simnet {
+
+LinkFaultInjector::LinkFaultInjector(LinkFaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), rng_(seed) {
+  QADIST_CHECK(plan_.drop_probability >= 0.0 && plan_.drop_probability <= 1.0,
+               << "drop_probability out of [0,1]: " << plan_.drop_probability);
+  QADIST_CHECK(
+      plan_.duplicate_probability >= 0.0 && plan_.duplicate_probability <= 1.0,
+      << "duplicate_probability out of [0,1]: " << plan_.duplicate_probability);
+  QADIST_CHECK(std::isfinite(plan_.jitter_min) &&
+                   std::isfinite(plan_.jitter_max),
+               << "jitter bounds must be finite");
+  QADIST_CHECK(plan_.jitter_min >= 0.0 && plan_.jitter_max >= plan_.jitter_min,
+               << "need 0 <= jitter_min <= jitter_max, got [" << plan_.jitter_min
+               << ", " << plan_.jitter_max << "]");
+  for (const PartitionWindow& w : plan_.partitions) {
+    QADIST_CHECK(std::isfinite(w.from) && std::isfinite(w.until) &&
+                     w.from >= 0.0 && w.until >= w.from,
+                 << "partition window [" << w.from << ", " << w.until
+                 << ") is malformed");
+    QADIST_CHECK(!w.isolated.empty(),
+                 << "partition window isolates no nodes");
+  }
+}
+
+bool LinkFaultInjector::isolated_at(std::uint32_t node, Seconds now) const {
+  for (const PartitionWindow& w : plan_.partitions) {
+    if (now < w.from || now >= w.until) continue;
+    if (std::find(w.isolated.begin(), w.isolated.end(), node) !=
+        w.isolated.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LinkFaultInjector::partitioned(std::uint32_t a, std::uint32_t b,
+                                    Seconds now) const {
+  if (plan_.partitions.empty()) return false;
+  if (b == kBroadcastNode) return isolated_at(a, now);
+  // Each window cuts the cluster in two; a message is lost when exactly one
+  // endpoint sits on the isolated side of some active window.
+  for (const PartitionWindow& w : plan_.partitions) {
+    if (now < w.from || now >= w.until) continue;
+    const bool a_in = std::find(w.isolated.begin(), w.isolated.end(), a) !=
+                      w.isolated.end();
+    const bool b_in = std::find(w.isolated.begin(), w.isolated.end(), b) !=
+                      w.isolated.end();
+    if (a_in != b_in) return true;
+  }
+  return false;
+}
+
+LinkVerdict LinkFaultInjector::decide(std::uint32_t src, std::uint32_t dst,
+                                      Seconds now) {
+  ++messages_;
+  LinkVerdict v;
+  if (partitioned(src, dst, now)) {
+    ++partition_drops_;
+    v.delivered = false;
+    return v;
+  }
+  // Draws happen in a fixed order (drop, jitter, duplicate) so a given seed
+  // replays the same fault schedule; disabled features draw nothing.
+  if (plan_.drop_probability > 0.0 && rng_.bernoulli(plan_.drop_probability)) {
+    ++random_drops_;
+    v.delivered = false;
+    return v;
+  }
+  if (plan_.jitter_max > 0.0) {
+    v.jitter = rng_.uniform(plan_.jitter_min, plan_.jitter_max);
+  }
+  if (plan_.duplicate_probability > 0.0 &&
+      rng_.bernoulli(plan_.duplicate_probability)) {
+    ++duplicates_;
+    v.duplicated = true;
+  }
+  return v;
+}
+
+}  // namespace qadist::simnet

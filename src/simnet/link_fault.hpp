@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace qadist::simnet {
+
+/// Destination id meaning "every node" — used by load-monitor broadcasts.
+/// A broadcast from a partitioned-away node is dropped (the majority side,
+/// whose shared view the load table models, never hears it).
+inline constexpr std::uint32_t kBroadcastNode = 0xffffffffu;
+
+/// A scripted partition: while `[from, until)` is active, nodes listed in
+/// `isolated` cannot exchange messages with the rest of the cluster in
+/// either direction. Messages between two nodes on the same side of the
+/// cut pass normally.
+struct PartitionWindow {
+  Seconds from = 0.0;
+  Seconds until = 0.0;
+  std::vector<std::uint32_t> isolated;
+};
+
+/// Per-link fault plan: message drops, latency jitter, duplication, and
+/// scripted partitions, all applied at send time. The default-constructed
+/// plan is fully benign and `enabled()` is false, which keeps the fault
+/// machinery entirely off the hot path (no RNG draws, no extra events) so
+/// fault-free runs stay bit-identical to builds without this layer.
+struct LinkFaultPlan {
+  /// Probability that a message is silently lost in flight.
+  double drop_probability = 0.0;
+  /// Probability that a delivered message arrives twice (the duplicate is
+  /// deduplicated at the receiver but still consumes link bandwidth).
+  double duplicate_probability = 0.0;
+  /// Extra per-message latency drawn uniformly from [jitter_min, jitter_max]
+  /// when jitter_max > 0.
+  Seconds jitter_min = 0.0;
+  Seconds jitter_max = 0.0;
+  /// Scripted partition windows; may overlap.
+  std::vector<PartitionWindow> partitions;
+
+  [[nodiscard]] bool enabled() const {
+    return drop_probability > 0.0 || duplicate_probability > 0.0 ||
+           jitter_max > 0.0 || !partitions.empty();
+  }
+};
+
+/// Outcome of one send as decided by the injector.
+struct LinkVerdict {
+  bool delivered = true;
+  bool duplicated = false;
+  Seconds jitter = 0.0;
+};
+
+/// Deterministic fault oracle for a Link. One injector owns one RNG stream
+/// (seeded by the caller), and every send consults it in a fixed order
+/// (partition check, drop draw, jitter draw, duplicate draw), so a given
+/// seed replays the exact same fault schedule run-to-run.
+class LinkFaultInjector {
+ public:
+  LinkFaultInjector(LinkFaultPlan plan, std::uint64_t seed);
+
+  /// Decides the fate of a message from `src` to `dst` sent at time `now`.
+  /// `dst == kBroadcastNode` models a broadcast: it is lost if and only if
+  /// the sender is on the isolated side of an active partition (unicast
+  /// faults are drawn per message as usual).
+  LinkVerdict decide(std::uint32_t src, std::uint32_t dst, Seconds now);
+
+  /// True if `a` and `b` are separated by a partition active at `now`.
+  [[nodiscard]] bool partitioned(std::uint32_t a, std::uint32_t b,
+                                 Seconds now) const;
+
+  [[nodiscard]] const LinkFaultPlan& plan() const { return plan_; }
+
+  // Tallies (folded into the metrics registry by the cluster layer).
+  [[nodiscard]] std::uint64_t messages() const { return messages_; }
+  [[nodiscard]] std::uint64_t random_drops() const { return random_drops_; }
+  [[nodiscard]] std::uint64_t partition_drops() const {
+    return partition_drops_;
+  }
+  [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
+
+ private:
+  [[nodiscard]] bool isolated_at(std::uint32_t node, Seconds now) const;
+
+  LinkFaultPlan plan_;
+  Rng rng_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t random_drops_ = 0;
+  std::uint64_t partition_drops_ = 0;
+  std::uint64_t duplicates_ = 0;
+};
+
+}  // namespace qadist::simnet

@@ -93,7 +93,10 @@ class Mailbox {
         box.queue_.pop_front();
         return true;
       }
-      return false;
+      // A zero/negative timeout with nothing queued settles immediately
+      // with nullopt — scheduling a wake-up event for an already-expired
+      // deadline would only churn the event queue.
+      return timeout <= 0.0;
     }
     void await_suspend(std::coroutine_handle<> h) {
       this->handle = h;

@@ -1,5 +1,6 @@
 #include "simnet/simulation.hpp"
 
+#include <cmath>
 #include <utility>
 
 #include "common/check.hpp"
@@ -7,12 +8,16 @@
 namespace qadist::simnet {
 
 void Simulation::schedule(Seconds delay, std::function<void()> fn) {
+  QADIST_CHECK(!std::isnan(delay),
+               << "NaN delay would corrupt the event-queue ordering");
   if (delay < 0.0) delay = 0.0;
   schedule_at(now_ + delay, std::move(fn));
 }
 
 void Simulation::schedule_at(Seconds when, std::function<void()> fn) {
   QADIST_CHECK(fn != nullptr);
+  QADIST_CHECK(!std::isnan(when),
+               << "NaN timestamp would corrupt the event-queue ordering");
   if (when < now_) when = now_;
   queue_.push(Entry{when, next_seq_++, std::move(fn)});
 }

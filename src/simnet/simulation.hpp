@@ -29,7 +29,9 @@ class Simulation {
   [[nodiscard]] Seconds now() const { return now_; }
 
   /// Schedules `fn` to run at `now() + delay`. Negative delays are clamped
-  /// to zero (events never fire in the past).
+  /// to zero (events never fire in the past); a NaN delay panics — NaN
+  /// compares false against everything, so admitting one would silently
+  /// corrupt the priority-queue ordering.
   void schedule(Seconds delay, std::function<void()> fn);
 
   /// Schedules `fn` at an absolute simulated time (>= now()).

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <coroutine>
+#include <optional>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace qadist::simnet {
+
+/// An awaitable coroutine returning a value — the composable sibling of the
+/// fire-and-forget SimProcess. A Task starts eagerly (simulated work begins
+/// at the co_await-free prefix immediately), and when a parent coroutine
+/// co_awaits it, the parent is resumed via symmetric transfer as soon as the
+/// task's final value is ready.
+///
+///   Task<bool> System::ship(...);          // retries inside
+///   bool ok = co_await ship(bytes, a, b);  // from any SimProcess
+///
+/// Lifetime: a Task owns its coroutine frame and destroys it in ~Task.
+/// Always co_await the task in the same full expression that created it
+/// (`co_await ship(...)`) — the temporary then outlives the suspension
+/// because the awaiting coroutine's frame keeps the full expression alive
+/// until resumption. Tasks are move-only and single-awaiter.
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type {
+    std::optional<T> value;
+    std::coroutine_handle<> continuation;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    // Eager start: like SimProcess, the body runs until its first suspension
+    // the moment the task is created.
+    std::suspend_never initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    // Suspend at the end (so the frame survives until ~Task reads the
+    // value) and hand control straight back to the awaiter, if any.
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_value(T v) { value = std::move(v); }
+    void unhandled_exception() { QADIST_UNREACHABLE("Task body threw"); }
+  };
+
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  [[nodiscard]] bool done() const { return handle_ && handle_.done(); }
+
+  bool await_ready() const noexcept { return handle_.done(); }
+  void await_suspend(std::coroutine_handle<> awaiter) noexcept {
+    handle_.promise().continuation = awaiter;
+  }
+  T await_resume() {
+    QADIST_CHECK(handle_.promise().value.has_value(),
+                 << "Task awaited but produced no value");
+    return std::move(*handle_.promise().value);
+  }
+
+ private:
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace qadist::simnet

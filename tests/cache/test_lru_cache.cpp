@@ -77,6 +77,28 @@ TEST(LruTtlCacheTest, TtlExpiresLazilyOnProbe) {
   EXPECT_TRUE(cache.contains("b", 12.0));
 }
 
+TEST(LruTtlCacheTest, PeekStaleIgnoresTtlAndCountsNothing) {
+  auto cache = make_cache(4, 0, /*ttl=*/10.0);
+  cache.insert("a", {1}, 5, 0.0);
+  cache.insert("b", {2}, 5, 0.0);
+
+  // Well past the TTL: a normal probe would drop the entry, but the
+  // degraded-answer fallback still sees it — without promoting it or
+  // touching the hit/miss tallies.
+  const auto* stale = cache.peek_stale("a");
+  ASSERT_NE(stale, nullptr);
+  EXPECT_EQ(stale->id, 1);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.keys_by_age(), (std::vector<std::string>{"b", "a"}));
+
+  EXPECT_EQ(cache.peek_stale("absent"), nullptr);
+
+  // Once the entry is actually dropped (by a probe), nothing to peek.
+  EXPECT_EQ(cache.find("a", 20.0), nullptr);
+  EXPECT_EQ(cache.peek_stale("a"), nullptr);
+}
+
 TEST(LruTtlCacheTest, ByteBudgetEvictsFromLruEnd) {
   auto cache = make_cache(100, /*max_bytes=*/100);
   cache.insert("a", {1}, 40, 0.0);

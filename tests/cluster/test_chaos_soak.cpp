@@ -1,0 +1,112 @@
+// Chaos soak: random message loss, duplication, jitter, a scripted
+// partition, AND random node crashes with restarts, all at once, for ten
+// simulated minutes. The invariant under test is liveness — every
+// submitted question either completes in full or completes flagged
+// degraded; nothing hangs — plus bit-level determinism of the whole run.
+//
+// Runs as its own ctest binary (it soaks longer than a unit test should)
+// and honors QADIST_CHAOS_SEED so CI can pin the schedule while a local
+// run can explore other seeds.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "cluster/system.hpp"
+#include "support/test_world.hpp"
+
+namespace qadist::cluster {
+namespace {
+
+using qadist::testing::test_world;
+
+const std::vector<QuestionPlan>& plans() {
+  static const std::vector<QuestionPlan> p = [] {
+    const auto& world = test_world();
+    const auto cost = CostModel::calibrate(
+        *world.engine,
+        std::span<const corpus::Question>(world.questions).subspan(0, 8));
+    std::vector<QuestionPlan> out;
+    for (std::size_t i = 0; i < 16; ++i) {
+      out.push_back(make_plan(*world.engine, cost, world.questions[i]));
+    }
+    return out;
+  }();
+  return p;
+}
+
+std::uint64_t chaos_seed() {
+  const char* env = std::getenv("QADIST_CHAOS_SEED");
+  if (env == nullptr || *env == '\0') return 1913;
+  return std::strtoull(env, nullptr, 10);
+}
+
+Metrics soak(std::uint64_t seed) {
+  simnet::Simulation sim;
+  SystemConfig cfg;
+  cfg.nodes = 6;
+  cfg.seed = seed;
+  cfg.dispatch.policy = Policy::kDqa;
+  cfg.partition.ap_strategy = parallel::Strategy::kRecv;
+  cfg.partition.ap_chunk = 8;
+  // The network misbehaves constantly...
+  cfg.net.faults.drop_probability = 0.03;
+  cfg.net.faults.duplicate_probability = 0.01;
+  cfg.net.faults.jitter_min = 0.001;
+  cfg.net.faults.jitter_max = 0.02;
+  // ...two nodes fall off the network for a minute mid-soak...
+  cfg.net.faults.partitions.push_back(
+      simnet::PartitionWindow{60.0, 120.0, {4, 5}});
+  // ...and on top of that, nodes crash at random and reboot cold.
+  cfg.faults.mtbf = 120.0;
+  cfg.faults.restart_after = 45.0;
+  // Generous budget: degradation is allowed, hanging is not.
+  cfg.net.reliability.question_deadline = 240.0;
+  cfg.cache.answers.max_entries = 64;
+  cfg.cache.paragraphs.max_entries = 64;
+
+  System system(sim, cfg);
+  Seconds at = 0.0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    system.submit(plans()[i % plans().size()], at);
+    at += 20.0;  // 30 questions over 10 simulated minutes
+  }
+  return system.run();
+}
+
+TEST(ChaosSoakTest, EveryQuestionCompletesOrDegradesNeverHangs) {
+  const auto m = soak(chaos_seed());
+  EXPECT_EQ(m.submitted, 30u);
+  EXPECT_EQ(m.completed, 30u);
+  EXPECT_EQ(m.latencies.count(), 30u);
+  // Degraded answers are completions too; they are counted inside the 30,
+  // never in addition to it.
+  EXPECT_LE(m.questions_degraded, m.completed);
+  // The chaos actually happened.
+  EXPECT_GT(m.net_drops, 0u);
+  EXPECT_GT(m.net_partition_drops, 0u);
+  EXPECT_GT(m.net_retries, 0u);
+  EXPECT_GT(m.crashes, 0u);
+}
+
+TEST(ChaosSoakTest, SameSeedReplaysBitIdentically) {
+  const std::uint64_t seed = chaos_seed();
+  const auto a = soak(seed);
+  const auto b = soak(seed);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.net_drops, b.net_drops);
+  EXPECT_EQ(a.net_duplicates, b.net_duplicates);
+  EXPECT_EQ(a.net_retries, b.net_retries);
+  EXPECT_EQ(a.net_send_failures, b.net_send_failures);
+  EXPECT_EQ(a.legs_unreachable, b.legs_unreachable);
+  EXPECT_EQ(a.detector_suspicions, b.detector_suspicions);
+  EXPECT_EQ(a.detector_deaths, b.detector_deaths);
+  EXPECT_EQ(a.detector_rejoins, b.detector_rejoins);
+  EXPECT_EQ(a.questions_degraded, b.questions_degraded);
+  EXPECT_DOUBLE_EQ(a.latencies.mean(), b.latencies.mean());
+}
+
+}  // namespace
+}  // namespace qadist::cluster

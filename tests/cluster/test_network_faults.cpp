@@ -1,0 +1,172 @@
+// Unreliable-network layer, end to end: message drops are absorbed by the
+// retry envelope, partitions drive the failure detector through its
+// suspect -> dead -> rejoin lifecycle, and a question that cannot beat its
+// deadline finishes degraded instead of hanging.
+
+#include <gtest/gtest.h>
+
+#include "cluster/system.hpp"
+#include "support/test_world.hpp"
+
+namespace qadist::cluster {
+namespace {
+
+using parallel::Strategy;
+using qadist::testing::test_world;
+
+const std::vector<QuestionPlan>& plans() {
+  static const std::vector<QuestionPlan> p = [] {
+    const auto& world = test_world();
+    const auto cost = CostModel::calibrate(
+        *world.engine,
+        std::span<const corpus::Question>(world.questions).subspan(0, 8));
+    std::vector<QuestionPlan> out;
+    for (std::size_t i = 0; i < 16; ++i) {
+      out.push_back(make_plan(*world.engine, cost, world.questions[i]));
+    }
+    return out;
+  }();
+  return p;
+}
+
+SystemConfig config(std::size_t nodes) {
+  SystemConfig cfg;
+  cfg.nodes = nodes;
+  cfg.dispatch.policy = Policy::kDqa;
+  cfg.partition.ap_chunk = 8;
+  return cfg;
+}
+
+Metrics run_loaded(SystemConfig cfg, std::size_t questions = 12,
+                   Seconds gap = 20.0) {
+  simnet::Simulation sim;
+  System system(sim, cfg);
+  Seconds at = 0.0;
+  for (std::size_t i = 0; i < questions; ++i) {
+    system.submit(plans()[i % plans().size()], at);
+    at += gap;
+  }
+  return system.run();
+}
+
+TEST(NetworkFaultTest, FaultFreeRunsReportZeroNetworkActivity) {
+  const auto m = run_loaded(config(4));
+  EXPECT_EQ(m.completed, 12u);
+  EXPECT_EQ(m.net_drops, 0u);
+  EXPECT_EQ(m.net_partition_drops, 0u);
+  EXPECT_EQ(m.net_duplicates, 0u);
+  EXPECT_EQ(m.net_retries, 0u);
+  EXPECT_EQ(m.net_send_failures, 0u);
+  EXPECT_EQ(m.legs_unreachable, 0u);
+  EXPECT_EQ(m.detector_suspicions, 0u);
+  EXPECT_EQ(m.questions_degraded, 0u);
+}
+
+class DropsPerStrategy : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(DropsPerStrategy, RetriesAbsorbModerateLoss) {
+  auto cfg = config(4);
+  cfg.partition.ap_strategy = GetParam();
+  cfg.net.faults.drop_probability = 0.10;
+  cfg.net.faults.duplicate_probability = 0.05;
+  cfg.net.faults.jitter_min = 0.001;
+  cfg.net.faults.jitter_max = 0.01;
+  const auto m = run_loaded(cfg);
+  EXPECT_EQ(m.completed, 12u);
+  EXPECT_EQ(m.latencies.count(), 12u);
+  EXPECT_GT(m.net_drops, 0u);
+  EXPECT_GT(m.net_retries, 0u);
+  // 10% loss with 3 retries: a whole send failing is a ~1e-4 event, so
+  // every question finishes whole.
+  EXPECT_EQ(m.questions_degraded, 0u);
+  // Duplicates were deduplicated, never double-counted as answers.
+  EXPECT_EQ(m.net_dedup_dropped, m.net_duplicates);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, DropsPerStrategy,
+                         ::testing::Values(Strategy::kSend, Strategy::kIsend,
+                                           Strategy::kRecv),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(NetworkFaultTest, FaultedRunsAreDeterministic) {
+  const auto run = [] {
+    auto cfg = config(4);
+    cfg.net.faults.drop_probability = 0.15;
+    cfg.net.faults.duplicate_probability = 0.05;
+    cfg.net.faults.jitter_min = 0.001;
+    cfg.net.faults.jitter_max = 0.02;
+    cfg.net.reliability.question_deadline = 600.0;
+    return run_loaded(cfg);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.completed, 12u);
+  EXPECT_EQ(a.net_drops, b.net_drops);
+  EXPECT_EQ(a.net_duplicates, b.net_duplicates);
+  EXPECT_EQ(a.net_retries, b.net_retries);
+  EXPECT_EQ(a.legs_unreachable, b.legs_unreachable);
+  EXPECT_EQ(a.questions_degraded, b.questions_degraded);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(NetworkFaultTest, PartitionDrivesSuspectDeadRejoinLifecycle) {
+  auto cfg = config(4);
+  // Isolate node 3 for 15 s mid-run: long enough (>> membership_timeout)
+  // for the detector to confirm it dead, then let it rejoin.
+  cfg.net.faults.partitions.push_back(
+      simnet::PartitionWindow{30.0, 45.0, {3}});
+  const auto m = run_loaded(cfg, 8, 30.0);
+  EXPECT_EQ(m.completed, 8u);
+  EXPECT_GT(m.net_partition_drops, 0u);
+  EXPECT_GE(m.detector_suspicions, 1u);
+  EXPECT_GE(m.detector_deaths, 1u);
+  EXPECT_GE(m.detector_rejoins, 1u);
+}
+
+TEST(NetworkFaultTest, HopelessDeadlineDegradesInsteadOfHanging) {
+  auto cfg = config(4);
+  // Heavy loss: sends regularly exhaust their retries, legs go
+  // unreachable, and the 5 s budget (far under a question's service time)
+  // forces the coordinator to give up on the lost work.
+  cfg.net.faults.drop_probability = 0.5;
+  cfg.net.reliability.question_deadline = 5.0;
+  const auto m = run_loaded(cfg, 8, 30.0);
+  EXPECT_EQ(m.completed, 8u);  // degraded, but every question answers
+  EXPECT_EQ(m.latencies.count(), 8u);
+  EXPECT_GT(m.net_send_failures, 0u);
+  EXPECT_GT(m.legs_unreachable, 0u);
+  EXPECT_GE(m.questions_degraded, 1u);
+}
+
+TEST(NetworkFaultTest, DegradedAnswersAreNotCached) {
+  auto cfg = config(4);
+  cfg.net.faults.drop_probability = 0.5;
+  cfg.net.reliability.question_deadline = 5.0;
+  cfg.cache.answers.max_entries = 32;
+  simnet::Simulation sim;
+  System system(sim, cfg);
+  Seconds at = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    system.submit(plans()[0], at);  // the same question over and over
+    at += 30.0;
+  }
+  const auto m = system.run();
+  EXPECT_EQ(m.completed, 8u);
+  // A cached answer must never replay a degraded (partial) result: every
+  // hit served a full answer, so hits can only come from full completions.
+  EXPECT_LE(m.cache_hits + m.questions_degraded, 8u);
+}
+
+TEST(NetworkFaultTest, DropsDelayButCrashRecoveryStillWorks) {
+  auto cfg = config(4);
+  cfg.net.faults.drop_probability = 0.05;
+  cfg.faults.crashes.push_back(FaultEvent{1, 5.0});
+  const auto m = run_loaded(cfg);
+  EXPECT_EQ(m.completed, 12u);
+  EXPECT_EQ(m.crashes, 1u);
+}
+
+}  // namespace
+}  // namespace qadist::cluster

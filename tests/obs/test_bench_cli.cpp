@@ -51,6 +51,27 @@ TEST(BenchCliTest, PolicyNamesAreCaseAndSeparatorInsensitive) {
             parallel::Strategy::kIsend);
 }
 
+TEST(BenchCliTest, ParsesDropRate) {
+  const auto attached = parse({"--drop-rate=0.05"});
+  ASSERT_TRUE(attached.has_value());
+  EXPECT_DOUBLE_EQ(attached->drop_rate_or(0.0), 0.05);
+  const auto separate = parse({"--drop-rate", "0"});
+  ASSERT_TRUE(separate.has_value());
+  ASSERT_TRUE(separate->drop_rate.has_value());  // explicit 0, not a default
+  EXPECT_DOUBLE_EQ(separate->drop_rate_or(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(parse({})->drop_rate_or(0.02), 0.02);
+}
+
+TEST(BenchCliTest, RejectsDropRateOutsideUnitInterval) {
+  std::string error;
+  EXPECT_FALSE(parse({"--drop-rate", "1.5"}, &error).has_value());
+  EXPECT_NE(error.find("--drop-rate"), std::string::npos);
+  EXPECT_FALSE(parse({"--drop-rate", "-0.1"}, &error).has_value());
+  EXPECT_FALSE(parse({"--drop-rate", "lossy"}, &error).has_value());
+  EXPECT_FALSE(parse({"--drop-rate", "nan"}, &error).has_value());
+  EXPECT_FALSE(parse({"--drop-rate"}, &error).has_value());
+}
+
 TEST(BenchCliTest, RejectsBadValuesWithAMessage) {
   std::string error;
   EXPECT_FALSE(parse({"--nodes", "zero"}, &error).has_value());

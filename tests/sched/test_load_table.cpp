@@ -55,6 +55,35 @@ TEST(LoadTableTest, EmptyTableHasNoLeastLoaded) {
   EXPECT_FALSE(t.least_loaded(kQaWeights).has_value());
 }
 
+TEST(LoadTableTest, StaleEntriesLoseToFreshOnes) {
+  LoadTable t;
+  t.update(0, ResourceLoad{5.0, 5.0}, 0.0);  // heavily loaded but trusted
+  t.update(1, ResourceLoad{0.0, 0.0}, 0.0);  // idle but suspected
+  t.mark_stale(1);
+  EXPECT_TRUE(t.is_stale(1));
+  EXPECT_FALSE(t.is_stale(0));
+  // The fresh pass wins even against a better stale figure.
+  EXPECT_EQ(*t.least_loaded(kQaWeights), 0u);
+  // With every entry stale, the fallback pass still picks someone.
+  t.mark_stale(0);
+  EXPECT_EQ(*t.least_loaded(kQaWeights), 1u);
+}
+
+TEST(LoadTableTest, FreshBroadcastClearsStaleness) {
+  LoadTable t;
+  t.update(2, ResourceLoad{}, 0.0);
+  t.mark_stale(2);
+  EXPECT_TRUE(t.is_stale(2));
+  t.update(2, ResourceLoad{1.0, 0.0}, 1.0);
+  EXPECT_FALSE(t.is_stale(2));
+  t.mark_stale(2);
+  t.mark_stale(2, false);  // explicit un-suspect (detector false alarm)
+  EXPECT_FALSE(t.is_stale(2));
+  // Marking a non-member is a harmless no-op.
+  t.mark_stale(9);
+  EXPECT_FALSE(t.is_stale(9));
+}
+
 TEST(LoadTableTest, ReservationsAddAndClearOnUpdate) {
   LoadTable t;
   t.update(0, ResourceLoad{1.0, 0.0}, 0.0);

@@ -182,6 +182,27 @@ TEST(MailboxTest, RecvForBufferedMessageIsImmediate) {
   EXPECT_EQ(*log[0].second, 9);
 }
 
+TEST(MailboxTest, RecvForZeroOrNegativeTimeoutSettlesImmediately) {
+  // A non-positive timeout is a pure poll: an empty mailbox answers
+  // nullopt at the current instant instead of scheduling a wake-up event,
+  // and a buffered message is still taken.
+  Simulation sim;
+  Mailbox<int> box(sim);
+  std::vector<std::pair<double, std::optional<int>>> log;
+  timed_consumer(sim, box, 0.0, log);
+  timed_consumer(sim, box, -1.0, log);
+  ASSERT_EQ(log.size(), 2u);  // both resolved without suspending
+  EXPECT_TRUE(sim.empty());   // and without any timeout event
+  EXPECT_DOUBLE_EQ(log[0].first, 0.0);
+  EXPECT_FALSE(log[0].second.has_value());
+  EXPECT_FALSE(log[1].second.has_value());
+  box.send(5);
+  timed_consumer(sim, box, 0.0, log);
+  ASSERT_EQ(log.size(), 3u);
+  ASSERT_TRUE(log[2].second.has_value());
+  EXPECT_EQ(*log[2].second, 5);
+}
+
 TEST(MailboxTest, RecvForTimeoutLeavesLaterSendsBuffered) {
   Simulation sim;
   Mailbox<int> box(sim);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 namespace qadist::simnet {
@@ -54,6 +55,14 @@ TEST(SimulationTest, NegativeDelayClampsToNow) {
   });
   sim.run();
   EXPECT_EQ(fired_at, 5.0);
+}
+
+TEST(SimulationTest, NanDelayPanics) {
+  // A NaN delay would silently corrupt the event-queue ordering (every
+  // comparison against it is false), so it must die loudly instead.
+  Simulation sim;
+  EXPECT_DEATH(sim.schedule(std::nan(""), [] {}), "NaN delay");
+  EXPECT_DEATH(sim.schedule_at(std::nan(""), [] {}), "NaN");
 }
 
 TEST(SimulationTest, RunUntilStopsEarly) {

@@ -1,0 +1,87 @@
+#include "simnet/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simnet/process.hpp"
+#include "simnet/simulation.hpp"
+
+namespace qadist::simnet {
+namespace {
+
+Task<int> immediate(int v) { co_return v; }
+
+Task<int> delayed_value(Simulation& sim, Seconds d, int v) {
+  co_await Delay(sim, d);
+  co_return v;
+}
+
+TEST(TaskTest, StartsEagerly) {
+  bool started = false;
+  const auto make = [&]() -> Task<int> {
+    started = true;
+    co_return 1;
+  };
+  const Task<int> t = make();
+  EXPECT_TRUE(started);  // body ran before any co_await
+  EXPECT_TRUE(t.done());
+}
+
+TEST(TaskTest, AwaitingACompletedTaskDoesNotSuspend) {
+  Simulation sim;
+  int got = 0;
+  [](int& out) -> SimProcess { out = co_await immediate(7); }(got);
+  EXPECT_EQ(got, 7);
+}
+
+TEST(TaskTest, AwaiterResumesWhenTheTaskFinishes) {
+  Simulation sim;
+  std::vector<double> log;
+  int got = 0;
+  [](Simulation& s, std::vector<double>& l, int& out) -> SimProcess {
+    out = co_await delayed_value(s, 2.5, 42);
+    l.push_back(s.now());
+  }(sim, log, got);
+  EXPECT_EQ(got, 0);  // still suspended
+  sim.run();
+  EXPECT_EQ(got, 42);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(log[0], 2.5);
+}
+
+TEST(TaskTest, NestedTasksComposeAcrossDelays) {
+  Simulation sim;
+  const auto outer = [](Simulation& s) -> Task<int> {
+    const int a = co_await delayed_value(s, 1.0, 10);
+    const int b = co_await delayed_value(s, 2.0, 20);
+    co_return a + b;
+  };
+  int got = 0;
+  double at = -1.0;
+  [](Simulation& s, const auto& mk, int& out, double& t) -> SimProcess {
+    out = co_await mk(s);
+    t = s.now();
+  }(sim, outer, got, at);
+  sim.run();
+  EXPECT_EQ(got, 30);
+  EXPECT_DOUBLE_EQ(at, 3.0);
+}
+
+TEST(TaskTest, ManyConcurrentAwaitersOfSeparateTasks) {
+  Simulation sim;
+  std::vector<int> results(8, 0);
+  for (int i = 0; i < 8; ++i) {
+    [](Simulation& s, std::vector<int>& out, int slot) -> SimProcess {
+      out[static_cast<std::size_t>(slot)] =
+          co_await delayed_value(s, 1.0 + slot, slot * 11);
+    }(sim, results, i);
+  }
+  sim.run();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)], i * 11);
+  }
+}
+
+}  // namespace
+}  // namespace qadist::simnet

@@ -47,4 +47,47 @@ for j in results/BENCH_*.json; do
 done
 echo "$json_count bench JSON reports in results/."
 
+# One index over all structured reports: results/INDEX.json lists every
+# BENCH_*.json with its bench name, schema, and metric names, so tooling
+# can discover the exhibits without globbing.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'PY'
+import datetime
+import glob
+import json
+import os
+
+benches = []
+for path in sorted(glob.glob("results/BENCH_*.json")):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"WARNING: skipping {path}: {err}")
+        continue
+    metrics = sorted({m.get("name", "") for m in doc.get("metrics", [])})
+    mtime = os.path.getmtime(path)
+    benches.append({
+        "file": path,
+        "bench": doc.get("bench", ""),
+        "schema": doc.get("schema", ""),
+        "metrics": metrics,
+        "mtime": datetime.datetime.fromtimestamp(
+            mtime, datetime.timezone.utc).isoformat(),
+    })
+
+index = {
+    "schema": "qadist-bench-index-v1",
+    "generated": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+    "benches": benches,
+}
+with open("results/INDEX.json", "w") as f:
+    json.dump(index, f, indent=2)
+    f.write("\n")
+print(f"results/INDEX.json indexes {len(benches)} reports.")
+PY
+else
+  echo "python3 not found; skipping results/INDEX.json."
+fi
+
 echo "All outputs written to results/."

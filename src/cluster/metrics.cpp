@@ -94,6 +94,15 @@ Metrics Metrics::from_registry(const obs::MetricsRegistry& registry) {
       counter_value(registry, "degraded_units_dropped");
   out.degraded_stale_served = counter_value(registry, "degraded_stale_served");
 
+  out.shard_failovers = counter_value(registry, "shard_failovers");
+  out.shard_rebuilds = counter_value(registry, "shard_rebuilds");
+  out.shard_rebuild_bytes = counter_value(registry, "shard_rebuild_bytes");
+  out.shard_revalidations = counter_value(registry, "shard_revalidations");
+  out.shard_units_unserved = counter_value(registry, "shard_units_unserved");
+  out.rejoin_cache_clears = counter_value(registry, "rejoin_cache_clears");
+  out.shard_rebuild_seconds =
+      histogram_stats(registry, "shard_rebuild_seconds");
+
   out.t_qp = histogram_stats(registry, "stage_seconds", {{"stage", "qp"}});
   out.t_pr = histogram_stats(registry, "stage_seconds", {{"stage", "pr"}});
   out.t_ps = histogram_stats(registry, "stage_seconds", {{"stage", "ps"}});
@@ -127,6 +136,7 @@ Metrics Metrics::from_registry(const obs::MetricsRegistry& registry) {
 
   out.node_cpu_work = node_series(registry, "node_cpu_work_seconds");
   out.node_disk_bytes = node_series(registry, "node_disk_work_bytes");
+  out.node_storage_bytes = node_series(registry, "node_storage_bytes");
   return out;
 }
 

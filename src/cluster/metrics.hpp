@@ -72,6 +72,16 @@ struct Metrics {
   std::size_t degraded_units_dropped = 0;  ///< work units a deadline forfeited
   std::size_t degraded_stale_served = 0;   ///< stale cache entries handed out
 
+  // Sharded corpus / index replication (extension; all zero when the run
+  // is configured without sharding).
+  std::size_t shard_failovers = 0;      ///< rebuild tasks scheduled on crash
+  std::size_t shard_rebuilds = 0;       ///< re-replications completed
+  std::size_t shard_rebuild_bytes = 0;  ///< bytes copied by re-replication
+  std::size_t shard_revalidations = 0;  ///< replicas re-validated on rejoin
+  std::size_t shard_units_unserved = 0; ///< PR units with no live replica
+  std::size_t rejoin_cache_clears = 0;  ///< cache shards cleared on rejoin
+  RunningStats shard_rebuild_seconds;   ///< crash -> replica ready again
+
   // Per-question simulated module stage times (paper Table 8 columns).
   RunningStats t_qp;
   RunningStats t_pr;   ///< PR stage wall (retrieval legs incl. transfers)
@@ -97,6 +107,19 @@ struct Metrics {
   /// indexed by node id — the balance view behind the policy comparisons.
   std::vector<double> node_cpu_work;
   std::vector<double> node_disk_bytes;
+
+  /// Per-node simulated index storage (bytes), indexed by node id; empty
+  /// when sharding is off. The storage-scaling axis of bench_shard_scaling.
+  std::vector<double> node_storage_bytes;
+
+  /// Largest per-node index storage footprint (0 when sharding is off).
+  [[nodiscard]] double max_storage_bytes() const {
+    double max_bytes = 0.0;
+    for (double b : node_storage_bytes) {
+      max_bytes = max_bytes > b ? max_bytes : b;
+    }
+    return max_bytes;
+  }
 
   /// max/mean of per-node CPU work — 1.0 is a perfectly balanced run.
   [[nodiscard]] double cpu_work_imbalance() const {

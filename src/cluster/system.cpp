@@ -175,6 +175,15 @@ System::System(simnet::Simulation& sim, const SystemConfig& config)
       config.net.membership_timeout});
   detector_placement_ =
       config.net.detector_placement || config.net.faults.enabled();
+  if (config.shard.enabled()) {
+    shard_map_ = std::make_unique<shard::ShardMap>(
+        config.shard.num_shards, config.nodes,
+        config.shard.effective_replication(config.nodes));
+    // R = nodes: every node holds every shard, placement is unconstrained,
+    // and the legacy scheduling path runs unchanged (bit-compatible with
+    // full replication) — only the storage accounting is published.
+    shard_partial_ = config.shard.partial(config.nodes);
+  }
   register_instruments();
   cpu_probes_.reserve(config.nodes);
   disk_probes_.reserve(config.nodes);
@@ -233,6 +242,14 @@ void System::register_instruments() {
   ins_.questions_degraded = &registry_.counter("questions_degraded");
   ins_.degraded_units_dropped = &registry_.counter("degraded_units_dropped");
   ins_.degraded_stale_served = &registry_.counter("degraded_stale_served");
+  // Shard subsystem. Registered unconditionally, like the layers above.
+  ins_.shard_failovers = &registry_.counter("shard_failovers");
+  ins_.shard_rebuilds = &registry_.counter("shard_rebuilds");
+  ins_.shard_rebuild_bytes = &registry_.counter("shard_rebuild_bytes");
+  ins_.shard_revalidations = &registry_.counter("shard_revalidations");
+  ins_.shard_units_unserved = &registry_.counter("shard_units_unserved");
+  ins_.rejoin_cache_clears = &registry_.counter("rejoin_cache_clears");
+  ins_.shard_rebuild_seconds = &registry_.histogram("shard_rebuild_seconds");
 }
 
 System::~System() = default;
@@ -367,6 +384,33 @@ void System::apply_crash(NodeId node) {
   }
   ins_.crashes->inc();
   record_event(node, "crashed", {{"kind", std::string("crash")}});
+  if (shard_map_ != nullptr && shard_partial_) {
+    // Failover: drop the dead holder's replicas and start background
+    // re-replication of each affected shard onto a surviving node. The map
+    // reserves the targets synchronously (no double-assignment on a crash
+    // burst); the rebuild processes pay the simulated disk/net cost.
+    std::vector<shard::NodeId> live_pool;
+    for (NodeId n = 0; n < nodes_.size(); ++n) {
+      if (node_crashed_[n] == 0) live_pool.push_back(n);
+    }
+    const auto plan = shard_map_->fail_node(node, live_pool);
+    for (const shard::ShardId s : plan.unavailable) {
+      record_event(node,
+                   "shard " + std::to_string(s) +
+                       " unavailable (no ready replica)",
+                   {{"kind", std::string("shard_unavailable")},
+                    {"shard", static_cast<std::int64_t>(s)}});
+    }
+    for (const auto& task : plan.rebuilds) {
+      ins_.shard_failovers->inc();
+      record_event(task.target,
+                   "re-replicating shard " + std::to_string(task.shard) +
+                       " (lost N" + std::to_string(node + 1) + ")",
+                   {{"kind", std::string("shard_rebuild_start")},
+                    {"shard", static_cast<std::int64_t>(task.shard)}});
+      rebuild_process(task.shard, task.target, crash_epoch_[task.target]);
+    }
+  }
   // Deliberately no table_.remove here: membership stays broadcast-driven.
   // The rest of the pool learns of the death either by expiry (the silent
   // node ages past membership_timeout) or when a coordinator's reply
@@ -379,6 +423,13 @@ void System::apply_restart(NodeId node) {
   node_broadcasting_[node] = 1;  // schedulable again from its next broadcast
   nodes_[node]->restart();
   record_event(node, "restarted", {{"kind", std::string("restart")}});
+  if (shard_map_ != nullptr && shard_partial_) {
+    // The shard copies survived on the rebooted node's disk, but they must
+    // be re-scanned before they serve retrieval again (a crash mid-write
+    // may have torn one — the magic/version checks in ir::persist are what
+    // this validation pass runs).
+    revalidate_process(node, crash_epoch_[node]);
+  }
 }
 
 bool System::schedulable(NodeId node) const {
@@ -420,6 +471,82 @@ simnet::Task<bool> System::ship(double bytes, NodeId src, NodeId dst,
   }
   ins_.net_send_failures->inc();
   co_return false;
+}
+
+System::ShardAssignment System::assign_pr_units(
+    std::span<const std::size_t> units, std::optional<NodeId> exclude) {
+  ShardAssignment out;
+  // Eligible pool: every schedulable ready holder of a shard the question
+  // touches (the meta-scheduler only weighs nodes that can actually serve
+  // some of this question's corpus).
+  std::vector<shard::NodeId> eligible;
+  {
+    std::vector<char> seen(nodes_.size(), 0);
+    for (const std::size_t u : units) {
+      const shard::ShardId s = shard_map_->shard_of_unit(u);
+      for (const NodeId n : shard_map_->ready_holders(s)) {
+        if (seen[n] != 0) continue;
+        seen[n] = 1;
+        if (exclude.has_value() && *exclude == n) continue;
+        if (schedulable(n)) eligible.push_back(n);
+      }
+    }
+    std::sort(eligible.begin(), eligible.end());
+  }
+  // Meta-schedule weights over the eligible pool (DQA). Other policies
+  // weigh every holder equally — they still scatter, because the host may
+  // simply not hold the shards this question touches.
+  std::vector<double> node_weight(nodes_.size(), 1.0);
+  if (config_.dispatch.policy == Policy::kDqa && !eligible.empty()) {
+    const auto ms = sched::meta_schedule_among(
+        table_, eligible, sched::kPrWeights,
+        config_.dispatch.pr_underload_threshold, &registry_);
+    if (!ms.selected.empty()) {
+      // A holder outside the meta-schedule's pick keeps a small floor
+      // weight instead of zero: it may be the only node able to serve its
+      // shard's units.
+      node_weight.assign(nodes_.size(), 1e-3);
+      for (std::size_t i = 0; i < ms.selected.size(); ++i) {
+        node_weight[ms.selected[i]] = std::max(ms.weights[i], 1e-3);
+      }
+    }
+  }
+  // Weighted round-robin per unit: each sub-collection goes to the ready
+  // holder of its shard minimizing (assigned + 1) / weight, preferring
+  // trusted (unsuspected) holders, ties to the lower node id. Units whose
+  // shard has no live holder are unplaced — the caller degrades.
+  std::vector<std::size_t> assigned(nodes_.size(), 0);
+  std::vector<std::size_t> leg_of(nodes_.size(), kNoUnit);
+  for (const std::size_t u : units) {
+    const shard::ShardId s = shard_map_->shard_of_unit(u);
+    std::optional<NodeId> best;
+    double best_cost = 0.0;
+    for (const bool allow_suspect : {false, true}) {
+      for (const NodeId n : shard_map_->ready_holders(s)) {
+        if (exclude.has_value() && *exclude == n) continue;
+        if (node_crashed_[n] != 0) continue;
+        if (!allow_suspect && !schedulable(n)) continue;
+        const double cost =
+            static_cast<double>(assigned[n] + 1) / node_weight[n];
+        if (!best.has_value() || cost < best_cost) {
+          best = n;
+          best_cost = cost;
+        }
+      }
+      if (best.has_value()) break;
+    }
+    if (!best.has_value()) {
+      out.unplaced.push_back(u);
+      continue;
+    }
+    ++assigned[*best];
+    if (leg_of[*best] == kNoUnit) {
+      leg_of[*best] = out.legs.size();
+      out.legs.emplace_back(*best, std::deque<std::size_t>{});
+    }
+    out.legs[leg_of[*best]].second.push_back(u);
+  }
+  return out;
 }
 
 NodeId System::pick_live(const sched::LoadWeights& weights) const {
@@ -505,7 +632,25 @@ Metrics System::run() {
   }
   publish_cache_stats();
   publish_net_stats();
+  publish_shard_stats();
   return Metrics::from_registry(registry_);
+}
+
+void System::publish_shard_stats() {
+  if (shard_map_ == nullptr) return;
+  // Per-node index storage: replicas held (any state — a rebuilding copy
+  // already pins disk) times the simulated shard artifact size. This is
+  // the storage-scaling axis bench_shard_scaling sweeps.
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    const obs::Labels labels{{"node", std::to_string(n)}};
+    registry_.gauge("node_storage_bytes", labels)
+        .set(static_cast<double>(
+            shard_map_->storage_bytes(n, config_.shard.shard_bytes)));
+  }
+  registry_.gauge("shard_replication")
+      .set(static_cast<double>(shard_map_->replication()));
+  registry_.gauge("shard_count")
+      .set(static_cast<double>(shard_map_->num_shards()));
 }
 
 void System::publish_net_stats() {
@@ -621,6 +766,17 @@ simnet::SimProcess System::monitor_process(Node& node) {
       if (verdict.delivered) {
         const auto before = detector_.heartbeat(node.id(), sim_.now());
         if (before == sched::PeerState::kDead && detector_placement_) {
+          // A peer confirmed dead and now heard from again went through an
+          // unobserved outage (a graceful leave + rejoin looks the same
+          // from here). Its cache shards may hold entries the rest of the
+          // pool invalidated or superseded meanwhile — clear them, exactly
+          // as a crash does, so a stale answer can't be served. (A crash
+          // path already cleared them; this covers the leave/rejoin path.)
+          if (!caches_.empty()) {
+            caches_[node.id()]->answers.clear();
+            caches_[node.id()]->paragraphs.clear();
+            ins_.rejoin_cache_clears->inc();
+          }
           record_event(node.id(), "peer rejoined after confirmed death",
                        {{"kind", std::string("detector_rejoin")}});
         }
@@ -667,6 +823,98 @@ simnet::SimProcess System::fault_process() {
                     [this, victim] { apply_restart(victim); });
     }
   }
+}
+
+simnet::SimProcess System::rebuild_process(shard::ShardId shard,
+                                           NodeId target,
+                                           std::size_t target_epoch) {
+  // Crash protocol: like the stage legs, re-check liveness after EVERY
+  // co_await. The target dying voids the reservation (fail_node stripped
+  // the kRebuilding replica and scheduled a replacement; our abort is an
+  // idempotent no-op). The source dying mid-copy restarts the copy from
+  // the next surviving ready replica.
+  const Seconds start = sim_.now();
+  const double bytes = static_cast<double>(config_.shard.shard_bytes);
+  const auto target_dead = [&] {
+    return node_crashed_[target] != 0 || crash_epoch_[target] != target_epoch;
+  };
+  for (;;) {
+    const auto src = shard_map_->ready_source(shard);
+    if (!src.has_value() || target_dead()) {
+      shard_map_->abort_rebuild(shard, target);
+      record_event(target,
+                   "rebuild of shard " + std::to_string(shard) + " aborted",
+                   {{"kind", std::string("shard_rebuild_abort")},
+                    {"shard", static_cast<std::int64_t>(shard)}});
+      co_return;
+    }
+    const NodeId source = *src;
+    const std::size_t src_epoch = crash_epoch_[source];
+    const auto src_dead = [&] { return crash_epoch_[source] != src_epoch; };
+
+    // Read the replica off the source's disk (fair-shared with its PR
+    // work), move it over the lossy link, write it on the target.
+    co_await nodes_[source]->disk().consume(bytes);
+    if (target_dead()) continue;  // loop re-checks and aborts
+    if (src_dead()) continue;     // re-pick a source
+    const bool delivered = co_await ship(bytes, source, target, 0.0);
+    if (target_dead() || src_dead()) continue;
+    if (!delivered) {
+      // Retry budget spent: back off one monitor period, then start over
+      // (possibly from a different source).
+      co_await simnet::Delay(sim_, config_.net.monitor_period);
+      continue;
+    }
+    co_await nodes_[target]->disk().consume(bytes);
+    if (target_dead() || src_dead()) continue;
+
+    // Pacing floor: re-replication is deliberately bandwidth-capped so it
+    // cannot starve foreground retrieval (shard_bytes / rebuild_bandwidth
+    // wall-clock minimum per shard).
+    const Seconds floor = config_.shard.rebuild_bandwidth.transfer_time(bytes);
+    const Seconds elapsed = sim_.now() - start;
+    if (floor > elapsed) {
+      co_await simnet::Delay(sim_, floor - elapsed);
+      if (target_dead()) continue;
+    }
+
+    shard_map_->complete_rebuild(shard, target);
+    ins_.shard_rebuilds->inc();
+    ins_.shard_rebuild_bytes->inc(bytes);
+    ins_.shard_rebuild_seconds->observe(sim_.now() - start);
+    record_event(target,
+                 "shard " + std::to_string(shard) + " re-replicated in " +
+                     format_double(sim_.now() - start, 2) + " secs",
+                 {{"kind", std::string("shard_rebuild_done")},
+                  {"shard", static_cast<std::int64_t>(shard)}});
+    co_return;
+  }
+}
+
+simnet::SimProcess System::revalidate_process(NodeId node, std::size_t epoch) {
+  // The rebooted holder's shard copies survived on disk, but each must be
+  // re-scanned (magic/version/posting checks) before serving again. A
+  // re-crash mid-scan just re-stashes the shards — fail_node already ran.
+  const auto shards = shard_map_->begin_validation(node);
+  if (shards.empty()) co_return;
+  const Seconds start = sim_.now();
+  const double bytes =
+      static_cast<double>(config_.shard.shard_bytes) * shards.size();
+  co_await nodes_[node]->disk().consume(bytes);
+  if (node_crashed_[node] != 0 || crash_epoch_[node] != epoch) co_return;
+  const Seconds floor = config_.shard.rebuild_bandwidth.transfer_time(bytes);
+  const Seconds elapsed = sim_.now() - start;
+  if (floor > elapsed) {
+    co_await simnet::Delay(sim_, floor - elapsed);
+    if (node_crashed_[node] != 0 || crash_epoch_[node] != epoch) co_return;
+  }
+  const std::size_t promoted = shard_map_->complete_validation(node);
+  ins_.shard_revalidations->inc(static_cast<double>(promoted));
+  record_event(node,
+               "re-validated " + std::to_string(promoted) + " shards in " +
+                   format_double(sim_.now() - start, 2) + " secs",
+               {{"kind", std::string("shard_revalidated")},
+                {"shards", static_cast<std::int64_t>(promoted)}});
 }
 
 simnet::SimProcess System::pr_leg(QuestionState& q,
@@ -1110,9 +1358,13 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
     // entirely on a paragraph-cache hit: the accepted, scored paragraphs
     // are already on the host's disk from a previous run of this question.
     if (!failed && !cached_paragraphs) {
+      // Replica-aware mode (R < nodes): placement is constrained to ready
+      // replica holders, so the scatter is computed per unit by
+      // assign_pr_units instead of the unconstrained meta-schedule below.
+      const bool sharded = shard_partial_;
       std::vector<NodeId> pr_nodes{host};
       std::vector<double> pr_weights{1.0};
-      if (config_.dispatch.policy == Policy::kDqa) {
+      if (!sharded && config_.dispatch.policy == Policy::kDqa) {
         auto ms = sched::meta_schedule(table_, sched::kPrWeights,
                                        config_.dispatch.pr_underload_threshold,
                                        &registry_);
@@ -1175,9 +1427,40 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
           pr_leg(q, slot, slots.size() - 1, reports);
         };
         const bool shared_queue =
-            config_.partition.pr_strategy == Strategy::kRecv || pr_nodes.size() == 1;
+            !sharded && (config_.partition.pr_strategy == Strategy::kRecv ||
+                         pr_nodes.size() == 1);
         std::shared_ptr<std::deque<std::size_t>> shared_units;
-        if (shared_queue) {
+        if (sharded) {
+          // Scatter-gather over replica holders. Legs get private queues:
+          // holders of different shards cannot compete for each other's
+          // units, so the RECV shared deque does not apply here.
+          std::vector<std::size_t> all_units(plan.pr_units.size());
+          for (std::size_t i = 0; i < all_units.size(); ++i) all_units[i] = i;
+          auto assignment = assign_pr_units(all_units, std::nullopt);
+          bool off_host = false;
+          for (auto& [node, block] : assignment.legs) {
+            if (node != host) off_host = true;
+            spawn(node, std::make_shared<std::deque<std::size_t>>(
+                            std::move(block)));
+          }
+          if (off_host || assignment.legs.size() > 1) {
+            ins_.migrations_pr->inc();
+          }
+          if (!assignment.unplaced.empty()) {
+            // Shards with no live ready holder: their slice of the corpus
+            // cannot be searched right now. Degrade rather than block on a
+            // rebuild — the paper's interactive deadline beats completeness.
+            q.degraded = true;
+            ins_.degraded_units_dropped->inc(
+                static_cast<double>(assignment.unplaced.size()));
+            ins_.shard_units_unserved->inc(
+                static_cast<double>(assignment.unplaced.size()));
+            record_trace(host,
+                         "no ready replica for " +
+                             std::to_string(assignment.unplaced.size()) +
+                             " collections (degraded)");
+          }
+        } else if (shared_queue) {
           // Receiver-controlled: every leg competes for the sub-collection
           // queue (paper Fig. 7a: "four nodes compete for the 8 sub-
           // collections").
@@ -1204,7 +1487,17 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
           if (msg.has_value()) {
             --outstanding;
             PrLegSlot& s = *slots[*msg];
-            if (!s.unreachable) continue;
+            if (!s.unreachable) {
+              if (sharded && !host_dead()) {
+                // Partial merge: fold this shard leg's scored paragraphs
+                // into the host's merged candidate stream feeding
+                // Paragraph Ordering (the scatter-gather reduce step).
+                co_await nodes_[host]->cpu().consume(
+                    config_.shard.partial_merge_cpu *
+                    nodes_[host]->work_multiplier());
+              }
+              continue;
+            }
             // The leg burned its retry budget talking to its node: alive
             // but cut off. Steer placement away from it, then either
             // re-partition the work still parked in the slot over
@@ -1239,6 +1532,32 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
             record_trace(host, "recovered " + std::to_string(lost.size()) +
                                    " collections from unreachable N" +
                                    std::to_string(s.node + 1));
+            if (sharded) {
+              // Failover to surviving replicas of each lost unit's shard
+              // (excluding the unreachable holder). Units whose shard has
+              // no other live ready holder are dropped: degraded.
+              const std::vector<std::size_t> lost_units(lost.begin(),
+                                                        lost.end());
+              auto assignment = assign_pr_units(lost_units, s.node);
+              for (auto& [node, block] : assignment.legs) {
+                spawn(node, std::make_shared<std::deque<std::size_t>>(
+                                std::move(block)));
+                ++outstanding;
+                ins_.recovery_legs->inc();
+              }
+              if (!assignment.unplaced.empty()) {
+                q.degraded = true;
+                ins_.degraded_units_dropped->inc(
+                    static_cast<double>(assignment.unplaced.size()));
+                ins_.shard_units_unserved->inc(
+                    static_cast<double>(assignment.unplaced.size()));
+                record_trace(host,
+                             "no surviving replica for " +
+                                 std::to_string(assignment.unplaced.size()) +
+                                 " collections (degraded)");
+              }
+              continue;
+            }
             if (shared_queue) {
               for (auto it = lost.rbegin(); it != lost.rend(); ++it) {
                 shared_units->push_front(*it);
@@ -1317,6 +1636,29 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
             record_trace(host, "recovered " + std::to_string(lost.size()) +
                                    " collections from N" +
                                    std::to_string(s.node + 1));
+            if (sharded) {
+              // Failover to surviving replicas (apply_crash already struck
+              // the dead holder from the map and kicked off background
+              // re-replication; retrieval needs only what's ready now).
+              const std::vector<std::size_t> lost_units(lost.begin(),
+                                                        lost.end());
+              auto assignment = assign_pr_units(lost_units, s.node);
+              for (auto& leg : assignment.legs) {
+                respawn.push_back(std::move(leg));
+              }
+              if (!assignment.unplaced.empty()) {
+                q.degraded = true;
+                ins_.degraded_units_dropped->inc(
+                    static_cast<double>(assignment.unplaced.size()));
+                ins_.shard_units_unserved->inc(
+                    static_cast<double>(assignment.unplaced.size()));
+                record_trace(host,
+                             "no surviving replica for " +
+                                 std::to_string(assignment.unplaced.size()) +
+                                 " collections (degraded)");
+              }
+              continue;
+            }
             if (shared_queue) {
               // Requeue at the front: surviving legs pick the units up the
               // next time they hit the deque.

@@ -2,6 +2,9 @@
 
 #include <deque>
 #include <memory>
+#include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "cache/config.hpp"
@@ -19,6 +22,8 @@
 #include "sched/failure_detector.hpp"
 #include "sched/load_table.hpp"
 #include "sched/meta_scheduler.hpp"
+#include "shard/config.hpp"
+#include "shard/shard_map.hpp"
 #include "simnet/event.hpp"
 #include "simnet/link.hpp"
 #include "simnet/link_fault.hpp"
@@ -162,9 +167,9 @@ struct PartitionConfig {
   Seconds per_batch_answer_cpu = 0.1;
 };
 
-/// Cluster configuration, grouped by concern. The former flat field list
-/// lives on as cluster/config_compat.hpp's FlatSystemConfig for one
-/// release; new code addresses the sub-structs directly.
+/// Cluster configuration, grouped by concern. (The transitional
+/// FlatSystemConfig alias shipped for one release and is gone; address the
+/// sub-structs directly.)
 struct SystemConfig {
   std::size_t nodes = 12;
   NodeConfig node;
@@ -184,6 +189,10 @@ struct SystemConfig {
   cache::CacheConfig cache;
   /// Fault injection (see FaultPlan). Empty by default: no crashes.
   FaultPlan faults;
+  /// Corpus sharding / index replication (see shard::ShardConfig).
+  /// Disabled by default: unsharded runs are bit-identical to the
+  /// pre-shard system.
+  shard::ShardConfig shard;
 };
 
 /// The distributed question answering system (paper Fig. 2/3) running on
@@ -252,6 +261,12 @@ class System {
   [[nodiscard]] cache::CacheStats paragraph_cache_stats(
       sched::NodeId node) const;
 
+  /// The shard placement map, when cfg.shard is enabled (tests/benches
+  /// inspect placement and replica states); nullptr otherwise.
+  [[nodiscard]] const shard::ShardMap* shard_map() const {
+    return shard_map_.get();
+  }
+
   /// Direct node access (metrics inspection in tests/benches).
   [[nodiscard]] Node& node(std::size_t index) { return *nodes_.at(index); }
 
@@ -300,6 +315,19 @@ class System {
   simnet::SimProcess question_process(const QuestionPlan& plan,
                                       sched::NodeId dns_node);
 
+  /// Background re-replication after a holder crash: copies `shard` onto
+  /// `target` from the rendezvous-best surviving ready replica, paying the
+  /// source's disk read, the network transfer, the target's disk write,
+  /// and the rebuild-bandwidth pacing floor. Aborts (idempotently) if the
+  /// source pool or the target dies mid-copy.
+  simnet::SimProcess rebuild_process(shard::ShardId shard,
+                                     sched::NodeId target,
+                                     std::size_t target_epoch);
+  /// Rejoin re-validation: a restarted holder re-scans its stashed shard
+  /// copies on disk before they serve retrieval again.
+  simnet::SimProcess revalidate_process(sched::NodeId node,
+                                        std::size_t epoch);
+
   // Stage legs. Each leg shares a slot with its coordinator (pending and
   // in-flight work, completion flag) and reports its slot index on the
   // stage mailbox when done. A leg whose node crashes reports nothing:
@@ -340,6 +368,19 @@ class System {
   /// dispatch target); nullopt when no live member is known yet.
   [[nodiscard]] std::optional<sched::NodeId> affinity_target(
       std::uint64_t signature) const;
+
+  /// Replica-aware PR assignment (sharded mode only): partitions the given
+  /// iterative units over schedulable ready holders of each unit's shard,
+  /// weighted by the meta-schedule, least-assigned-first. Units whose
+  /// shard has no schedulable ready holder land in `unplaced` — the
+  /// question degrades by that much work.
+  struct ShardAssignment {
+    std::vector<std::pair<sched::NodeId, std::deque<std::size_t>>> legs;
+    std::vector<std::size_t> unplaced;
+  };
+  [[nodiscard]] ShardAssignment assign_pr_units(
+      std::span<const std::size_t> units,
+      std::optional<sched::NodeId> exclude);
 
   void apply_crash(sched::NodeId node);
   void apply_restart(sched::NodeId node);
@@ -388,6 +429,13 @@ class System {
     obs::Counter* questions_degraded = nullptr;
     obs::Counter* degraded_units_dropped = nullptr;
     obs::Counter* degraded_stale_served = nullptr;
+    obs::Counter* shard_failovers = nullptr;   // shard subsystem
+    obs::Counter* shard_rebuilds = nullptr;
+    obs::Counter* shard_rebuild_bytes = nullptr;
+    obs::Counter* shard_revalidations = nullptr;
+    obs::Counter* shard_units_unserved = nullptr;
+    obs::Counter* rejoin_cache_clears = nullptr;
+    obs::HistogramMetric* shard_rebuild_seconds = nullptr;
   };
   void register_instruments();
   /// Folds per-node CacheStats (evictions, expirations, invalidations,
@@ -397,6 +445,9 @@ class System {
   /// (drops, duplicates, suspicions, rejoins) into the registry — called
   /// once at the end of run().
   void publish_net_stats();
+  /// Publishes per-node storage gauges from the shard map — called once at
+  /// the end of run() when sharding is enabled.
+  void publish_shard_stats();
 
   simnet::Simulation& sim_;
   SystemConfig config_;
@@ -408,6 +459,8 @@ class System {
   std::vector<Seconds> crash_time_;       // last crash time per node
   std::unique_ptr<simnet::Link> network_;
   std::unique_ptr<simnet::LinkFaultInjector> injector_;  // null: faults off
+  std::unique_ptr<shard::ShardMap> shard_map_;  // null: sharding off
+  bool shard_partial_ = false;  // R < nodes: replica-aware scheduling on
   sched::FailureDetector detector_;
   bool detector_placement_ = false;
   sched::LoadTable table_;

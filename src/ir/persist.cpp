@@ -1,6 +1,7 @@
 #include "ir/persist.hpp"
 
 #include <fstream>
+#include <sstream>
 
 #include "common/check.hpp"
 #include "ir/binary_io.hpp"
@@ -12,6 +13,8 @@ constexpr std::uint32_t kCollectionMagic = 0x5141434c;  // "QACL"
 constexpr std::uint32_t kCollectionVersion = 1;
 constexpr std::uint32_t kWorldMagic = 0x51415744;  // "QAWD"
 constexpr std::uint32_t kWorldVersion = 1;
+constexpr std::uint32_t kShardSetMagic = 0x51415353;  // "QASS"
+constexpr std::uint32_t kShardSetVersion = 1;
 }  // namespace
 
 void save_collection(const corpus::Collection& collection, std::ostream& out) {
@@ -132,6 +135,96 @@ corpus::GeneratedCorpus load_world_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   QADIST_CHECK(in.good(), << "cannot open " << path);
   return load_world(in);
+}
+
+std::vector<InvertedIndex> build_shard_indexes(
+    const corpus::Collection& collection, std::size_t num_shards,
+    const Analyzer& analyzer) {
+  QADIST_CHECK(num_shards > 0, << "cannot build zero index shards");
+  std::vector<InvertedIndex> shards;
+  shards.reserve(num_shards);
+  for (const auto& sub : corpus::split_collection(collection, num_shards)) {
+    shards.push_back(InvertedIndex::build(sub, analyzer));
+  }
+  return shards;
+}
+
+void save_index_shards(std::span<const InvertedIndex> shards,
+                       std::ostream& out) {
+  QADIST_CHECK(!shards.empty(), << "cannot save an empty shard set");
+  // Serialize each shard first: the header records the blob sizes so a
+  // loader can seek straight to any one shard.
+  std::vector<std::string> blobs;
+  blobs.reserve(shards.size());
+  for (const auto& shard : shards) {
+    std::ostringstream buf(std::ios::binary);
+    shard.save(buf);
+    blobs.push_back(std::move(buf).str());
+  }
+  BinaryWriter w(out);
+  w.write_u32(kShardSetMagic);
+  w.write_u32(kShardSetVersion);
+  w.write_u32(static_cast<std::uint32_t>(blobs.size()));
+  for (const auto& blob : blobs) w.write_u64(blob.size());
+  for (const auto& blob : blobs) out.write(blob.data(), blob.size());
+}
+
+ShardSetInfo read_shard_set_info(std::istream& in) {
+  BinaryReader r(in);
+  QADIST_CHECK(r.read_u32() == kShardSetMagic,
+               << "not a qadist shard-set file");
+  const auto version = r.read_u32();
+  QADIST_CHECK(version == kShardSetVersion,
+               << "unsupported shard-set version " << version);
+  ShardSetInfo info;
+  info.num_shards = r.read_u32();
+  QADIST_CHECK(info.num_shards > 0, << "corrupt shard set: zero shards");
+  info.shard_bytes.reserve(info.num_shards);
+  for (std::uint32_t s = 0; s < info.num_shards; ++s) {
+    info.shard_bytes.push_back(r.read_u64());
+  }
+  // Blobs start right where the header ends; offsets are prefix sums.
+  std::uint64_t offset = static_cast<std::uint64_t>(in.tellg());
+  info.shard_offsets.reserve(info.num_shards);
+  for (std::uint32_t s = 0; s < info.num_shards; ++s) {
+    info.shard_offsets.push_back(offset);
+    offset += info.shard_bytes[s];
+  }
+  return info;
+}
+
+InvertedIndex load_index_shard(std::istream& in, const ShardSetInfo& info,
+                               std::size_t shard) {
+  QADIST_CHECK(shard < info.num_shards,
+               << "shard " << shard << " out of range ("
+               << info.num_shards << " shards)");
+  in.seekg(static_cast<std::streamoff>(info.shard_offsets[shard]));
+  QADIST_CHECK(in.good(), << "seek failed loading shard " << shard);
+  return InvertedIndex::load(in);
+}
+
+std::vector<InvertedIndex> load_index_shards(std::istream& in) {
+  const ShardSetInfo info = read_shard_set_info(in);
+  std::vector<InvertedIndex> shards;
+  shards.reserve(info.num_shards);
+  for (std::uint32_t s = 0; s < info.num_shards; ++s) {
+    shards.push_back(load_index_shard(in, info, s));
+  }
+  return shards;
+}
+
+void save_index_shards_file(std::span<const InvertedIndex> shards,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  QADIST_CHECK(out.good(), << "cannot open " << path << " for writing");
+  save_index_shards(shards, out);
+  QADIST_CHECK(out.good(), << "write failed for " << path);
+}
+
+std::vector<InvertedIndex> load_index_shards_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  QADIST_CHECK(in.good(), << "cannot open " << path);
+  return load_index_shards(in);
 }
 
 }  // namespace qadist::ir

@@ -1,10 +1,15 @@
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "corpus/collection.hpp"
 #include "corpus/generator.hpp"
+#include "ir/analyzer.hpp"
+#include "ir/inverted_index.hpp"
 
 namespace qadist::ir {
 
@@ -28,5 +33,45 @@ void save_world(const corpus::GeneratedCorpus& world, std::ostream& out);
 void save_world_file(const corpus::GeneratedCorpus& world,
                      const std::string& path);
 [[nodiscard]] corpus::GeneratedCorpus load_world_file(const std::string& path);
+
+/// Document-partitioned index shards: the collection is split into
+/// `num_shards` contiguous sub-collections (the paper's TREC-9 split into
+/// eight) and each is indexed separately. Shard s indexes sub-collection s,
+/// so the shard striping of PR iterative units (unit % num_shards) lines up
+/// with which index can answer them.
+[[nodiscard]] std::vector<InvertedIndex> build_shard_indexes(
+    const corpus::Collection& collection, std::size_t num_shards,
+    const Analyzer& analyzer);
+
+/// Header of a serialized shard set — enough to seek to and load any single
+/// shard without reading the others, which is the point: a replica holder
+/// only pays I/O for the shards placed on it.
+struct ShardSetInfo {
+  std::uint32_t num_shards = 0;
+  std::vector<std::uint64_t> shard_bytes;    ///< serialized size per shard
+  std::vector<std::uint64_t> shard_offsets;  ///< absolute stream offsets
+};
+
+/// Writes all shards as one artifact: magic/version header, per-shard byte
+/// sizes, then each shard's own (magic-checked) index serialization.
+void save_index_shards(std::span<const InvertedIndex> shards,
+                       std::ostream& out);
+
+/// Reads and validates the shard-set header, leaving the stream positioned
+/// at the first shard blob. Fails via QADIST_CHECK on corrupt input.
+[[nodiscard]] ShardSetInfo read_shard_set_info(std::istream& in);
+
+/// Loads one shard by seeking to its offset (stream must be seekable).
+[[nodiscard]] InvertedIndex load_index_shard(std::istream& in,
+                                             const ShardSetInfo& info,
+                                             std::size_t shard);
+
+/// Loads every shard of the set (full replication / tooling path).
+[[nodiscard]] std::vector<InvertedIndex> load_index_shards(std::istream& in);
+
+void save_index_shards_file(std::span<const InvertedIndex> shards,
+                            const std::string& path);
+[[nodiscard]] std::vector<InvertedIndex> load_index_shards_file(
+    const std::string& path);
 
 }  // namespace qadist::ir

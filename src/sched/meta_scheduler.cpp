@@ -16,15 +16,13 @@ void count_outcome(obs::MetricsRegistry* metrics, const MetaSchedule& out) {
       .observe(static_cast<double>(out.selected.size()));
 }
 
-}  // namespace
-
-MetaSchedule meta_schedule(const LoadTable& table,
+// Fig. 4 over an explicit candidate pool; both entry points funnel here.
+MetaSchedule schedule_pool(const LoadTable& table,
+                           std::vector<NodeId> members,
                            const LoadWeights& module_weights,
                            double underload_threshold,
                            obs::MetricsRegistry* metrics) {
   MetaSchedule out;
-  auto members = table.members();
-  QADIST_CHECK(!members.empty(), << "meta_schedule over an empty pool");
 
   // Suspected peers (stale load entries) are not candidates — their figures
   // can't be trusted and work placed there may be lost. If the whole pool
@@ -73,6 +71,35 @@ MetaSchedule meta_schedule(const LoadTable& table,
   for (double& w : out.weights) w /= sum;
   count_outcome(metrics, out);
   return out;
+}
+
+}  // namespace
+
+MetaSchedule meta_schedule(const LoadTable& table,
+                           const LoadWeights& module_weights,
+                           double underload_threshold,
+                           obs::MetricsRegistry* metrics) {
+  auto members = table.members();
+  QADIST_CHECK(!members.empty(), << "meta_schedule over an empty pool");
+  return schedule_pool(table, std::move(members), module_weights,
+                       underload_threshold, metrics);
+}
+
+MetaSchedule meta_schedule_among(const LoadTable& table,
+                                 std::span<const NodeId> eligible,
+                                 const LoadWeights& module_weights,
+                                 double underload_threshold,
+                                 obs::MetricsRegistry* metrics) {
+  const auto members = table.members();
+  std::vector<NodeId> pool;
+  for (NodeId id : eligible) {
+    if (std::find(members.begin(), members.end(), id) != members.end()) {
+      pool.push_back(id);
+    }
+  }
+  if (pool.empty()) return {};  // no eligible replica holder is a member
+  return schedule_pool(table, std::move(pool), module_weights,
+                       underload_threshold, metrics);
 }
 
 }  // namespace qadist::sched

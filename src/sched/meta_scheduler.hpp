@@ -43,4 +43,16 @@ struct MetaSchedule {
     const LoadTable& table, const LoadWeights& module_weights,
     double underload_threshold, obs::MetricsRegistry* metrics = nullptr);
 
+/// meta_schedule restricted to an eligible subset of the table's members —
+/// the replica-aware variant: with a partially replicated corpus, PR can
+/// only run on nodes holding a ready replica of some shard the question
+/// touches, so the candidate pool is `eligible ∩ members` instead of the
+/// whole membership. The algorithm (fresh-first filter, under-load select,
+/// least-loaded fall-back, headroom weights) is unchanged. An empty
+/// intersection returns an empty schedule — the caller degrades.
+[[nodiscard]] MetaSchedule meta_schedule_among(
+    const LoadTable& table, std::span<const NodeId> eligible,
+    const LoadWeights& module_weights, double underload_threshold,
+    obs::MetricsRegistry* metrics = nullptr);
+
 }  // namespace qadist::sched

@@ -1,0 +1,193 @@
+#include "shard/shard_map.hpp"
+
+#include <algorithm>
+
+#include "cache/affinity.hpp"
+#include "common/check.hpp"
+
+namespace qadist::shard {
+
+namespace {
+/// Per-shard rendezvous signature. The constant is the golden-ratio
+/// splitmix64 increment; rendezvous_pick mixes it against each member, so
+/// consecutive shard ids land on uncorrelated node rankings.
+std::uint64_t shard_signature(ShardId shard) {
+  return (static_cast<std::uint64_t>(shard) + 1) * 0x9e3779b97f4a7c15ULL;
+}
+}  // namespace
+
+ShardMap::ShardMap(std::size_t num_shards, std::size_t nodes,
+                   std::size_t replication) {
+  QADIST_CHECK(num_shards > 0, << "shard map over zero shards");
+  QADIST_CHECK(nodes > 0, << "shard map over zero nodes");
+  replication_ = std::min(replication == 0 ? nodes : replication, nodes);
+  by_shard_.resize(num_shards);
+  lost_.resize(nodes);
+  std::vector<NodeId> all;
+  all.reserve(nodes);
+  for (NodeId n = 0; n < nodes; ++n) all.push_back(n);
+  for (ShardId s = 0; s < num_shards; ++s) {
+    const auto order = rendezvous_order(s, all);
+    for (std::size_t r = 0; r < replication_; ++r) {
+      add_replica(s, order[r], ReplicaState::kReady);
+    }
+  }
+}
+
+std::vector<NodeId> ShardMap::rendezvous_order(ShardId shard,
+                                               std::vector<NodeId> pool) {
+  std::vector<NodeId> order;
+  order.reserve(pool.size());
+  while (!pool.empty()) {
+    const auto pick = cache::rendezvous_pick(shard_signature(shard), pool);
+    order.push_back(*pick);
+    pool.erase(std::find(pool.begin(), pool.end(), *pick));
+  }
+  return order;
+}
+
+std::span<const Replica> ShardMap::replicas(ShardId shard) const {
+  return by_shard_.at(shard);
+}
+
+std::vector<NodeId> ShardMap::ready_holders(ShardId shard) const {
+  std::vector<NodeId> out;
+  for (const Replica& r : by_shard_.at(shard)) {
+    if (r.state == ReplicaState::kReady) out.push_back(r.node);
+  }
+  return out;
+}
+
+std::optional<NodeId> ShardMap::ready_source(ShardId shard) const {
+  const auto holders = ready_holders(shard);
+  if (holders.empty()) return std::nullopt;
+  return cache::rendezvous_pick(shard_signature(shard), holders);
+}
+
+bool ShardMap::holds(NodeId node, ShardId shard) const {
+  for (const Replica& r : by_shard_.at(shard)) {
+    if (r.node == node) return true;
+  }
+  return false;
+}
+
+bool ShardMap::ready(NodeId node, ShardId shard) const {
+  for (const Replica& r : by_shard_.at(shard)) {
+    if (r.node == node) return r.state == ReplicaState::kReady;
+  }
+  return false;
+}
+
+std::vector<ShardId> ShardMap::shards_of(NodeId node) const {
+  std::vector<ShardId> out;
+  for (ShardId s = 0; s < by_shard_.size(); ++s) {
+    if (holds(node, s)) out.push_back(s);
+  }
+  return out;
+}
+
+std::size_t ShardMap::replica_count(NodeId node) const {
+  std::size_t count = 0;
+  for (const auto& replicas : by_shard_) {
+    for (const Replica& r : replicas) {
+      if (r.node == node) ++count;
+    }
+  }
+  return count;
+}
+
+void ShardMap::add_replica(ShardId shard, NodeId node, ReplicaState state) {
+  auto& replicas = by_shard_.at(shard);
+  const auto pos = std::lower_bound(
+      replicas.begin(), replicas.end(), node,
+      [](const Replica& r, NodeId n) { return r.node < n; });
+  QADIST_CHECK(pos == replicas.end() || pos->node != node,
+               << "duplicate replica of shard " << shard << " on node "
+               << node);
+  replicas.insert(pos, Replica{node, state});
+}
+
+bool ShardMap::remove_replica(ShardId shard, NodeId node, ReplicaState* was) {
+  auto& replicas = by_shard_.at(shard);
+  for (auto it = replicas.begin(); it != replicas.end(); ++it) {
+    if (it->node != node) continue;
+    if (was != nullptr) *was = it->state;
+    replicas.erase(it);
+    return true;
+  }
+  return false;
+}
+
+ShardMap::FailoverPlan ShardMap::fail_node(NodeId node,
+                                           std::span<const NodeId> live) {
+  FailoverPlan plan;
+  auto& stash = lost_.at(node);
+  for (ShardId s = 0; s < by_shard_.size(); ++s) {
+    if (!remove_replica(s, node)) continue;
+    stash.push_back(s);
+    if (ready_holders(s).empty()) {
+      // A validating/rebuilding copy elsewhere may still land, but right
+      // now nothing can source a rebuild: the shard is dark until this
+      // node rejoins and re-validates (or an in-flight rebuild finishes).
+      plan.unavailable.push_back(s);
+      continue;
+    }
+    // Reserve the rendezvous-next live node that holds nothing of this
+    // shard yet. Marking it kRebuilding immediately keeps a second crash
+    // in the same sweep from double-assigning the slot.
+    std::vector<NodeId> candidates;
+    for (NodeId n : live) {
+      if (n != node && !holds(n, s)) candidates.push_back(n);
+    }
+    if (candidates.empty()) continue;  // no spare capacity: stay degraded
+    const auto order = rendezvous_order(s, std::move(candidates));
+    add_replica(s, order.front(), ReplicaState::kRebuilding);
+    plan.rebuilds.push_back(RebuildTask{s, order.front()});
+  }
+  return plan;
+}
+
+void ShardMap::complete_rebuild(ShardId shard, NodeId target) {
+  for (Replica& r : by_shard_.at(shard)) {
+    if (r.node == target && r.state == ReplicaState::kRebuilding) {
+      r.state = ReplicaState::kReady;
+      return;
+    }
+  }
+}
+
+void ShardMap::abort_rebuild(ShardId shard, NodeId target) {
+  auto& replicas = by_shard_.at(shard);
+  for (auto it = replicas.begin(); it != replicas.end(); ++it) {
+    if (it->node == target && it->state == ReplicaState::kRebuilding) {
+      replicas.erase(it);
+      return;
+    }
+  }
+}
+
+std::vector<ShardId> ShardMap::begin_validation(NodeId node) {
+  std::vector<ShardId> shards = std::move(lost_.at(node));
+  lost_.at(node).clear();
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  for (ShardId s : shards) {
+    if (!holds(node, s)) add_replica(s, node, ReplicaState::kValidating);
+  }
+  return shards;
+}
+
+std::size_t ShardMap::complete_validation(NodeId node) {
+  std::size_t promoted = 0;
+  for (auto& replicas : by_shard_) {
+    for (Replica& r : replicas) {
+      if (r.node == node && r.state == ReplicaState::kValidating) {
+        r.state = ReplicaState::kReady;
+        ++promoted;
+      }
+    }
+  }
+  return promoted;
+}
+
+}  // namespace qadist::shard

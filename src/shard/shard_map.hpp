@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace qadist::shard {
+
+using NodeId = std::uint32_t;
+using ShardId = std::uint32_t;
+
+/// Lifecycle of one shard replica on one node.
+enum class ReplicaState : std::uint8_t {
+  kReady,       ///< serving retrieval
+  kRebuilding,  ///< being copied from a surviving replica (failover)
+  kValidating,  ///< rejoined holder re-scanning its on-disk copy
+};
+
+struct Replica {
+  NodeId node = 0;
+  ReplicaState state = ReplicaState::kReady;
+};
+
+/// Shard-to-node placement with replication, plus the failure lifecycle.
+///
+/// Placement is rendezvous (HRW) hashing — the top-R nodes by mixed hash
+/// of (shard, node) hold the shard — so it is deterministic, independent
+/// of enumeration order, and membership-stable: a node loss moves only the
+/// replicas it held, never reshuffles the survivors (the same properties
+/// the cache-affinity dispatch relies on, reusing cache::rendezvous_pick).
+///
+/// The map is pure bookkeeping: it picks failover targets and tracks
+/// replica states, while the cluster pays the simulated disk/network cost
+/// of every rebuild and validation before reporting completion back.
+class ShardMap {
+ public:
+  ShardMap() = default;
+  /// Places `num_shards` shards over nodes [0, nodes) with `replication`
+  /// replicas each (clamped to the node count).
+  ShardMap(std::size_t num_shards, std::size_t nodes, std::size_t replication);
+
+  [[nodiscard]] std::size_t num_shards() const { return by_shard_.size(); }
+  [[nodiscard]] std::size_t replication() const { return replication_; }
+  [[nodiscard]] std::size_t nodes() const { return lost_.size(); }
+
+  /// Shard owning PR iterative unit `unit` (sub-collection `unit` of the
+  /// plan): units are striped round-robin over the shards.
+  [[nodiscard]] ShardId shard_of_unit(std::size_t unit) const {
+    return static_cast<ShardId>(unit % by_shard_.size());
+  }
+
+  /// All replicas of a shard (any state), sorted by node id.
+  [[nodiscard]] std::span<const Replica> replicas(ShardId shard) const;
+
+  /// Nodes currently serving the shard (kReady replicas), ascending ids.
+  [[nodiscard]] std::vector<NodeId> ready_holders(ShardId shard) const;
+
+  /// Rendezvous-best kReady holder — the canonical copy source for a
+  /// rebuild; nullopt when no ready replica survives.
+  [[nodiscard]] std::optional<NodeId> ready_source(ShardId shard) const;
+
+  [[nodiscard]] bool holds(NodeId node, ShardId shard) const;
+  [[nodiscard]] bool ready(NodeId node, ShardId shard) const;
+
+  /// Shards a node holds in any state, ascending.
+  [[nodiscard]] std::vector<ShardId> shards_of(NodeId node) const;
+
+  /// Replicas a node holds (any state — a rebuilding copy already pins
+  /// disk), i.e. its storage in units of shards.
+  [[nodiscard]] std::size_t replica_count(NodeId node) const;
+  [[nodiscard]] Bytes storage_bytes(NodeId node, Bytes shard_bytes) const {
+    return replica_count(node) * shard_bytes;
+  }
+
+  /// One failover copy the cluster must run: re-create `shard` on
+  /// `target` (already marked kRebuilding here) from a surviving ready
+  /// replica, then report complete_rebuild / abort_rebuild.
+  struct RebuildTask {
+    ShardId shard = 0;
+    NodeId target = 0;
+  };
+  struct FailoverPlan {
+    std::vector<RebuildTask> rebuilds;
+    /// Shards with no ready replica left anywhere: unavailable until the
+    /// failed holder rejoins and re-validates its on-disk copies.
+    std::vector<ShardId> unavailable;
+  };
+
+  /// Drops every replica `node` held (remembering them for a later
+  /// rejoin) and, for each shard that still has a ready copy, reserves a
+  /// new replica on the rendezvous-next node from `live` that does not
+  /// already hold it. Shards whose spare capacity is exhausted (every
+  /// live node already holds them) are simply left under-replicated.
+  [[nodiscard]] FailoverPlan fail_node(NodeId node,
+                                       std::span<const NodeId> live);
+
+  /// Rebuild outcome callbacks. Both are idempotent no-ops when the
+  /// (shard, target) replica is no longer kRebuilding — the target may
+  /// have crashed and been stripped while the copy was in flight.
+  void complete_rebuild(ShardId shard, NodeId target);
+  void abort_rebuild(ShardId shard, NodeId target);
+
+  /// Rejoin: re-enters the shards `node` held when it failed, as
+  /// kValidating replicas (its on-disk copies must be re-scanned before
+  /// they serve). Returns the shards to validate and clears the stash.
+  [[nodiscard]] std::vector<ShardId> begin_validation(NodeId node);
+
+  /// Promotes every kValidating replica of `node` to kReady; returns how
+  /// many were promoted.
+  std::size_t complete_validation(NodeId node);
+
+ private:
+  /// Rendezvous order of `pool` for `shard` (best first).
+  [[nodiscard]] static std::vector<NodeId> rendezvous_order(
+      ShardId shard, std::vector<NodeId> pool);
+
+  void add_replica(ShardId shard, NodeId node, ReplicaState state);
+  bool remove_replica(ShardId shard, NodeId node, ReplicaState* was = nullptr);
+
+  std::vector<std::vector<Replica>> by_shard_;
+  std::vector<std::vector<ShardId>> lost_;  ///< per-node stash for rejoin
+  std::size_t replication_ = 0;
+};
+
+}  // namespace qadist::shard

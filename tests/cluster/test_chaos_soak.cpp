@@ -41,9 +41,15 @@ std::uint64_t chaos_seed() {
   return std::strtoull(env, nullptr, 10);
 }
 
-Metrics soak(std::uint64_t seed) {
+Metrics soak(std::uint64_t seed, bool sharded = false) {
   simnet::Simulation sim;
   SystemConfig cfg;
+  if (sharded) {
+    // Partially-replicated corpus on top of all the chaos: crashes now also
+    // cost shard failovers, background rebuilds, and rejoin re-validation.
+    cfg.shard.num_shards = 8;
+    cfg.shard.replication = 2;
+  }
   cfg.nodes = 6;
   cfg.seed = seed;
   cfg.dispatch.policy = Policy::kDqa;
@@ -104,6 +110,36 @@ TEST(ChaosSoakTest, SameSeedReplaysBitIdentically) {
   EXPECT_EQ(a.detector_suspicions, b.detector_suspicions);
   EXPECT_EQ(a.detector_deaths, b.detector_deaths);
   EXPECT_EQ(a.detector_rejoins, b.detector_rejoins);
+  EXPECT_EQ(a.questions_degraded, b.questions_degraded);
+  EXPECT_DOUBLE_EQ(a.latencies.mean(), b.latencies.mean());
+}
+
+TEST(ChaosSoakTest, ShardedSoakCompletesOrDegradesNeverHangs) {
+  const auto m = soak(chaos_seed(), /*sharded=*/true);
+  EXPECT_EQ(m.submitted, 30u);
+  EXPECT_EQ(m.completed, 30u);
+  EXPECT_EQ(m.latencies.count(), 30u);
+  EXPECT_LE(m.questions_degraded, m.completed);
+  EXPECT_GT(m.crashes, 0u);
+  // Shard bookkeeping stays self-consistent under chaos: completed
+  // rebuilds never exceed the failovers that scheduled them, and every
+  // completed rebuild copied exactly one shard artifact.
+  EXPECT_LE(m.shard_rebuilds, m.shard_failovers);
+  EXPECT_EQ(m.shard_rebuild_bytes, m.shard_rebuilds * 64_MB);
+  EXPECT_EQ(m.shard_rebuild_seconds.count(), m.shard_rebuilds);
+}
+
+TEST(ChaosSoakTest, ShardedSoakReplaysBitIdentically) {
+  const std::uint64_t seed = chaos_seed();
+  const auto a = soak(seed, /*sharded=*/true);
+  const auto b = soak(seed, /*sharded=*/true);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.shard_failovers, b.shard_failovers);
+  EXPECT_EQ(a.shard_rebuilds, b.shard_rebuilds);
+  EXPECT_EQ(a.shard_revalidations, b.shard_revalidations);
+  EXPECT_EQ(a.shard_units_unserved, b.shard_units_unserved);
   EXPECT_EQ(a.questions_degraded, b.questions_degraded);
   EXPECT_DOUBLE_EQ(a.latencies.mean(), b.latencies.mean());
 }

@@ -1,0 +1,234 @@
+// ShardMap: rendezvous placement with replication, plus the failure
+// lifecycle (fail -> rebuild/abort, rejoin -> validate -> ready). Pure
+// bookkeeping tests; the simulated cost of rebuilds lives in the cluster
+// tests.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "shard/config.hpp"
+#include "shard/shard_map.hpp"
+
+namespace qadist::shard {
+namespace {
+
+std::vector<NodeId> all_nodes(std::size_t n) {
+  std::vector<NodeId> out(n);
+  std::iota(out.begin(), out.end(), NodeId{0});
+  return out;
+}
+
+std::vector<NodeId> live_without(std::size_t n, NodeId failed) {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < n; ++id) {
+    if (id != failed) out.push_back(id);
+  }
+  return out;
+}
+
+TEST(ShardMapTest, FullReplicationPutsEveryShardEverywhere) {
+  const ShardMap map(4, 3, 3);
+  EXPECT_EQ(map.num_shards(), 4u);
+  EXPECT_EQ(map.replication(), 3u);
+  EXPECT_EQ(map.nodes(), 3u);
+  for (ShardId s = 0; s < 4; ++s) {
+    EXPECT_EQ(map.replicas(s).size(), 3u);
+    EXPECT_EQ(map.ready_holders(s), all_nodes(3));
+  }
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(map.replica_count(n), 4u);
+    EXPECT_EQ(map.storage_bytes(n, 64_MB), 4 * 64_MB);
+  }
+}
+
+TEST(ShardMapTest, ReplicationIsClampedToTheNodeCount) {
+  // 0 and anything >= nodes both mean full replication.
+  const ShardMap zero(4, 3, 0);
+  const ShardMap over(4, 3, 8);
+  EXPECT_EQ(zero.replication(), 3u);
+  EXPECT_EQ(over.replication(), 3u);
+  for (ShardId s = 0; s < 4; ++s) {
+    EXPECT_EQ(zero.ready_holders(s), over.ready_holders(s));
+  }
+}
+
+TEST(ShardMapTest, PartialPlacementIsDeterministicAndBalanced) {
+  const ShardMap a(8, 6, 2);
+  const ShardMap b(8, 6, 2);
+  std::size_t total = 0;
+  for (ShardId s = 0; s < 8; ++s) {
+    ASSERT_EQ(a.replicas(s).size(), 2u);
+    EXPECT_EQ(a.ready_holders(s), b.ready_holders(s));
+    // Replicas are sorted by node id and all start ready.
+    EXPECT_LT(a.replicas(s)[0].node, a.replicas(s)[1].node);
+    for (const Replica& r : a.replicas(s)) {
+      EXPECT_EQ(r.state, ReplicaState::kReady);
+      EXPECT_TRUE(a.holds(r.node, s));
+      EXPECT_TRUE(a.ready(r.node, s));
+    }
+    // The canonical copy source is one of the ready holders.
+    const auto src = a.ready_source(s);
+    ASSERT_TRUE(src.has_value());
+    EXPECT_TRUE(a.ready(*src, s));
+  }
+  for (NodeId n = 0; n < 6; ++n) total += a.replica_count(n);
+  EXPECT_EQ(total, 8u * 2u);  // every replica is accounted to one node
+}
+
+TEST(ShardMapTest, PlacementIsMembershipStable) {
+  // Rendezvous property: shrinking the pool only moves replicas held by
+  // the removed node; every other (shard, holder) pair is unchanged.
+  const ShardMap big(16, 6, 2);
+  const ShardMap small(16, 5, 2);  // node 5 never existed
+  for (ShardId s = 0; s < 16; ++s) {
+    for (const Replica& r : big.replicas(s)) {
+      if (r.node == 5) continue;
+      EXPECT_TRUE(small.holds(r.node, s))
+          << "shard " << s << " moved off node " << r.node;
+    }
+  }
+}
+
+TEST(ShardMapTest, UnitsAreStripedRoundRobinOverShards) {
+  const ShardMap map(3, 4, 2);
+  EXPECT_EQ(map.shard_of_unit(0), 0u);
+  EXPECT_EQ(map.shard_of_unit(4), 1u);
+  EXPECT_EQ(map.shard_of_unit(11), 2u);
+}
+
+TEST(ShardMapTest, FailoverReservesARebuildPerLostShard) {
+  ShardMap map(8, 6, 2);
+  const NodeId failed = *map.ready_source(0);  // a node that holds shards
+  const auto lost = map.shards_of(failed);
+  ASSERT_FALSE(lost.empty());
+  const auto plan = map.fail_node(failed, live_without(6, failed));
+  // Every shard the node held still has a surviving replica (R=2), so
+  // nothing is unavailable and each lost shard gets one rebuild task.
+  EXPECT_TRUE(plan.unavailable.empty());
+  ASSERT_EQ(plan.rebuilds.size(), lost.size());
+  EXPECT_EQ(map.replica_count(failed), 0u);
+  for (const auto& task : plan.rebuilds) {
+    EXPECT_NE(task.target, failed);
+    EXPECT_TRUE(map.holds(task.target, task.shard));
+    EXPECT_FALSE(map.ready(task.target, task.shard));  // kRebuilding
+    // A rebuilding copy already pins storage.
+    EXPECT_EQ(map.replicas(task.shard).size(), 2u);
+  }
+  // Shards the failed node never held are untouched.
+  for (ShardId s = 0; s < 8; ++s) {
+    if (std::find(lost.begin(), lost.end(), s) != lost.end()) continue;
+    EXPECT_EQ(map.ready_holders(s).size(), 2u);
+  }
+}
+
+TEST(ShardMapTest, RebuildCompletionRestoresReadyReplication) {
+  ShardMap map(8, 6, 2);
+  const NodeId failed = *map.ready_source(1);
+  const auto plan = map.fail_node(failed, live_without(6, failed));
+  ASSERT_FALSE(plan.rebuilds.empty());
+  for (const auto& task : plan.rebuilds) {
+    map.complete_rebuild(task.shard, task.target);
+    EXPECT_TRUE(map.ready(task.target, task.shard));
+    EXPECT_EQ(map.ready_holders(task.shard).size(), 2u);
+  }
+  // Completing again is an idempotent no-op.
+  if (!plan.rebuilds.empty()) {
+    map.complete_rebuild(plan.rebuilds[0].shard, plan.rebuilds[0].target);
+    EXPECT_EQ(map.ready_holders(plan.rebuilds[0].shard).size(), 2u);
+  }
+}
+
+TEST(ShardMapTest, RebuildAbortDropsTheReservedReplica) {
+  ShardMap map(8, 6, 2);
+  const NodeId failed = *map.ready_source(0);  // a node that holds shards
+  const auto plan = map.fail_node(failed, live_without(6, failed));
+  ASSERT_FALSE(plan.rebuilds.empty());
+  const auto& task = plan.rebuilds[0];
+  map.abort_rebuild(task.shard, task.target);
+  EXPECT_FALSE(map.holds(task.target, task.shard));
+  EXPECT_EQ(map.ready_holders(task.shard).size(), 1u);  // under-replicated
+  map.abort_rebuild(task.shard, task.target);  // idempotent
+  EXPECT_EQ(map.ready_holders(task.shard).size(), 1u);
+}
+
+TEST(ShardMapTest, LastReplicaLossMakesTheShardUnavailable) {
+  // R=1: the only holder failing leaves nothing to rebuild from.
+  ShardMap map(4, 2, 1);
+  const NodeId failed = *map.ready_source(0);
+  const auto lost = map.shards_of(failed);
+  const auto plan = map.fail_node(failed, live_without(2, failed));
+  EXPECT_TRUE(plan.rebuilds.empty());
+  EXPECT_EQ(plan.unavailable, lost);
+  for (ShardId s : plan.unavailable) {
+    EXPECT_TRUE(map.ready_holders(s).empty());
+    EXPECT_FALSE(map.ready_source(s).has_value());
+  }
+}
+
+TEST(ShardMapTest, RejoinValidatesTheStashedShardsBeforeServing) {
+  ShardMap map(4, 2, 1);
+  const NodeId failed = *map.ready_source(0);
+  const auto lost = map.shards_of(failed);
+  (void)map.fail_node(failed, live_without(2, failed));
+
+  auto to_validate = map.begin_validation(failed);
+  EXPECT_EQ(to_validate, lost);
+  for (ShardId s : to_validate) {
+    EXPECT_TRUE(map.holds(failed, s));
+    EXPECT_FALSE(map.ready(failed, s));  // kValidating: not serving yet
+    EXPECT_FALSE(map.ready_source(s).has_value());
+  }
+  EXPECT_EQ(map.complete_validation(failed), lost.size());
+  for (ShardId s : lost) {
+    EXPECT_TRUE(map.ready(failed, s));
+    EXPECT_EQ(map.ready_source(s), failed);
+  }
+  // The stash was consumed: a second rejoin has nothing to validate.
+  EXPECT_TRUE(map.begin_validation(failed).empty());
+  EXPECT_EQ(map.complete_validation(failed), 0u);
+}
+
+TEST(ShardMapTest, ValidationReentersLostShardsEvenAfterRebuildElsewhere) {
+  // A node crashes, its shards are rebuilt onto survivors, and THEN it
+  // rejoins: its on-disk copies still re-enter as validating replicas.
+  ShardMap map(8, 3, 2);
+  const NodeId failed = 0;
+  const auto lost = map.shards_of(failed);
+  ASSERT_FALSE(lost.empty());
+  const auto plan = map.fail_node(failed, live_without(3, failed));
+  // With 3 nodes and R=2 there is exactly one spare per shard, so every
+  // lost shard is rebuilt onto the one node that didn't hold it.
+  ASSERT_EQ(plan.rebuilds.size(), lost.size());
+  for (const auto& task : plan.rebuilds) {
+    map.complete_rebuild(task.shard, task.target);
+  }
+  // Rejoin: the stash still re-enters as validating copies (R rises above
+  // 2 until the cluster trims — acceptable: extra replicas only add reads).
+  const auto to_validate = map.begin_validation(failed);
+  EXPECT_EQ(to_validate, lost);
+  EXPECT_EQ(map.complete_validation(failed), lost.size());
+  for (ShardId s : lost) {
+    EXPECT_GE(map.ready_holders(s).size(), 2u);
+  }
+}
+
+TEST(ShardConfigTest, EffectiveReplicationAndPartialGating) {
+  ShardConfig cfg;
+  EXPECT_FALSE(cfg.enabled());
+  EXPECT_FALSE(cfg.partial(12));
+  cfg.num_shards = 8;
+  EXPECT_TRUE(cfg.enabled());
+  EXPECT_EQ(cfg.effective_replication(12), 12u);  // replication=0: full
+  EXPECT_FALSE(cfg.partial(12));
+  cfg.replication = 2;
+  EXPECT_EQ(cfg.effective_replication(12), 2u);
+  EXPECT_TRUE(cfg.partial(12));
+  EXPECT_EQ(cfg.effective_replication(2), 2u);
+  EXPECT_FALSE(cfg.partial(2));  // R == nodes: unconstrained
+}
+
+}  // namespace
+}  // namespace qadist::shard

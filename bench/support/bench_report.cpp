@@ -46,19 +46,23 @@ void BenchReport::metric(std::string name, obs::Labels labels, double value,
 
 void BenchReport::metric(std::string name, obs::Labels labels,
                          const Samples& samples) {
+  Samples sorted = samples;  // const quantiles would copy per call
+  sorted.sort();
   Metric m{std::move(name),        std::move(labels),
-           samples.count(),        samples.mean(),
-           samples.quantile_or(0.5, 0.0), samples.quantile_or(0.95, 0.0),
-           samples.quantile_or(1.0, 0.0)};
+           sorted.count(),        sorted.mean(),
+           sorted.quantile_or(0.5, 0.0), sorted.quantile_or(0.95, 0.0),
+           sorted.quantile_or(1.0, 0.0)};
   push(std::move(m), nullptr);
 }
 
 void BenchReport::metric(std::string name, obs::Labels labels,
                          const Samples& samples, double paper_expected) {
+  Samples sorted = samples;  // const quantiles would copy per call
+  sorted.sort();
   Metric m{std::move(name),        std::move(labels),
-           samples.count(),        samples.mean(),
-           samples.quantile_or(0.5, 0.0), samples.quantile_or(0.95, 0.0),
-           samples.quantile_or(1.0, 0.0)};
+           sorted.count(),        sorted.mean(),
+           sorted.quantile_or(0.5, 0.0), sorted.quantile_or(0.95, 0.0),
+           sorted.quantile_or(1.0, 0.0)};
   push(std::move(m), &paper_expected);
 }
 

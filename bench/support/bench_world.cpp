@@ -136,6 +136,15 @@ PolicyResult run_policy_averaged(const BenchWorld& world, Policy policy,
   return out;
 }
 
+Metrics run_open_loop(const BenchWorld& world, const SystemConfig& base,
+                      const workload::ArrivalProcessConfig& arrivals) {
+  simnet::Simulation sim;
+  cluster::System system(sim, base);
+  const auto stream = workload::arrival_stream(arrivals, world.plans.size());
+  workload::submit_stream(system, world.plans, stream);
+  return system.run();
+}
+
 Metrics run_low_load(const BenchWorld& world, std::size_t nodes,
                      std::size_t count, const SystemConfig* base) {
   simnet::Simulation sim;

@@ -9,6 +9,7 @@
 #include "cluster/workload.hpp"
 #include "corpus/generator.hpp"
 #include "qa/engine.hpp"
+#include "workload/arrival.hpp"
 
 namespace qadist::bench {
 
@@ -66,6 +67,16 @@ cluster::Metrics run_zipf_load(const BenchWorld& world,
                                const cluster::SystemConfig& base,
                                const cluster::OverloadWorkload& workload,
                                bool prewarm);
+
+/// Open-loop run (extension): submits the deterministic arrival stream
+/// described by `arrivals` against a system built from `base` (node count,
+/// admission policy and all other knobs come from the config). Unlike the
+/// closed-loop protocols above, the arrival rate is set by the process,
+/// not by the system's service rate — the stream keeps coming whether the
+/// cluster keeps up or not.
+cluster::Metrics run_open_loop(const BenchWorld& world,
+                               const cluster::SystemConfig& base,
+                               const workload::ArrivalProcessConfig& arrivals);
 
 /// Low-load run (paper Sec. 6.2 protocol): `count` questions one at a
 /// time, fully drained between submissions; returns the metrics.

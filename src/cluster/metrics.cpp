@@ -109,6 +109,12 @@ Metrics Metrics::from_registry(const obs::MetricsRegistry& registry) {
   out.t_po = histogram_stats(registry, "stage_seconds", {{"stage", "po"}});
   out.t_ap = histogram_stats(registry, "stage_seconds", {{"stage", "ap"}});
 
+  out.questions_rejected = counter_value(registry, "questions_rejected");
+  out.questions_shed = counter_value(registry, "questions_shed");
+  out.admission_degraded = counter_value(registry, "admission_degraded");
+  out.admission_wait = histogram_stats(registry, "admission_wait_seconds");
+  out.admission_queue_peak = gauge_value(registry, "admission_queue_peak");
+
   out.cache_hits =
       counter_value(registry, "cache_hits", {{"cache", "answers"}});
   out.cache_misses =

@@ -89,6 +89,15 @@ struct Metrics {
   RunningStats t_po;
   RunningStats t_ap;   ///< AP stage wall
 
+  // Admission control / load shedding (extension; all zero when the run
+  // is configured without admission control). Degraded-at-admission
+  // questions count as completed; rejected and shed ones do not.
+  std::size_t questions_rejected = 0;  ///< arrivals turned away
+  std::size_t questions_shed = 0;      ///< queued questions dropped
+  std::size_t admission_degraded = 0;  ///< arrivals served cached/partial
+  RunningStats admission_wait;         ///< queue wait of admitted questions
+  double admission_queue_peak = 0.0;   ///< high-water mark of the queue
+
   // Answer/paragraph caching and cache-affinity dispatch (extension; all
   // zero when the run is configured without caches).
   std::size_t cache_hits = 0;        ///< answer-cache hits
@@ -147,6 +156,14 @@ struct Metrics {
     if (completed == 0) return 1.0;
     return 1.0 - static_cast<double>(questions_degraded) /
                      static_cast<double>(completed);
+  }
+
+  /// Fraction of submitted questions the front door turned away (rejected
+  /// or shed; degraded ones were still answered). 0 for an empty run.
+  [[nodiscard]] double shed_fraction() const {
+    if (submitted == 0) return 0.0;
+    return static_cast<double>(questions_rejected + questions_shed) /
+           static_cast<double>(submitted);
   }
 
   /// Answer-cache hit rate over all probes (0 when the cache never ran).

@@ -250,9 +250,26 @@ void System::register_instruments() {
   ins_.shard_units_unserved = &registry_.counter("shard_units_unserved");
   ins_.rejoin_cache_clears = &registry_.counter("rejoin_cache_clears");
   ins_.shard_rebuild_seconds = &registry_.histogram("shard_rebuild_seconds");
+  // Admission control. Registered unconditionally, like the layers above.
+  ins_.questions_rejected = &registry_.counter("questions_rejected");
+  ins_.questions_shed = &registry_.counter("questions_shed");
+  ins_.admission_degraded = &registry_.counter("admission_degraded");
+  ins_.admission_wait = &registry_.histogram("admission_wait_seconds");
 }
 
 System::~System() = default;
+
+std::string_view to_string(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kReject:
+      return "REJECT";
+    case AdmissionPolicy::kShedOldest:
+      return "SHED-OLDEST";
+    case AdmissionPolicy::kDegrade:
+      return "DEGRADE";
+  }
+  QADIST_UNREACHABLE("bad AdmissionPolicy");
+}
 
 void System::record_trace(NodeId node, std::string event) {
   record_event(node, std::move(event), {});
@@ -277,8 +294,131 @@ void System::submit(const QuestionPlan& plan, Seconds at) {
   }
   ins_.submitted->inc();
   sim_.schedule_at(at, [this, &plan, dns_node] {
-    question_process(plan, dns_node);
+    on_arrival(plan, dns_node);
   });
+}
+
+void System::on_arrival(const QuestionPlan& plan, NodeId dns_node) {
+  const AdmissionConfig& admission = config_.admission;
+  if (!admission.enabled()) {
+    // Legacy unbounded path: every arrival starts immediately.
+    question_process(plan, dns_node, sim_.now());
+    return;
+  }
+  // Load-based shedding: a saturated pool sheds even while the waiting
+  // room has space — queueing behind a pool that cannot drain only trades
+  // rejections for timeouts.
+  const bool pool_overloaded =
+      admission.load_threshold > 0.0 &&
+      sched::mean_pool_load(table_, sched::kQaWeights) >
+          admission.load_threshold;
+  if (executing_ < admission.max_concurrent && !pool_overloaded) {
+    start_admitted(plan, dns_node, sim_.now());
+    return;
+  }
+  if (!pool_overloaded && admission_queue_.size() < admission.queue_capacity) {
+    admission_queue_.push_back(QueuedArrival{&plan, dns_node, sim_.now()});
+    admission_queue_peak_ =
+        std::max(admission_queue_peak_, admission_queue_.size());
+    return;
+  }
+  shed_arrival(plan, dns_node);
+}
+
+void System::shed_arrival(const QuestionPlan& plan, NodeId dns_node) {
+  switch (config_.admission.policy) {
+    case AdmissionPolicy::kShedOldest:
+      // Keep the freshest work: the oldest queued question has already
+      // waited longest and is the most likely to be stale to its user.
+      // With no waiting room there is no older arrival to shed.
+      if (!admission_queue_.empty()) {
+        const QueuedArrival oldest = admission_queue_.front();
+        admission_queue_.pop_front();
+        ins_.questions_shed->inc();
+        record_event(oldest.dns_node,
+                     "question " + std::to_string(oldest.plan->source.id) +
+                         " shed from the admission queue",
+                     {{"kind", std::string("admission_shed")}});
+        admission_queue_.push_back(QueuedArrival{&plan, dns_node, sim_.now()});
+        maybe_finish();
+        return;
+      }
+      [[fallthrough]];
+    case AdmissionPolicy::kReject:
+      ins_.questions_rejected->inc();
+      record_event(dns_node,
+                   "question " + std::to_string(plan.source.id) +
+                       " rejected at admission",
+                   {{"kind", std::string("admission_reject")}});
+      maybe_finish();
+      return;
+    case AdmissionPolicy::kDegrade:
+      complete_degraded(plan, dns_node);
+      return;
+  }
+  QADIST_UNREACHABLE("bad AdmissionPolicy");
+}
+
+void System::complete_degraded(const QuestionPlan& plan, NodeId dns_node) {
+  // Serve what we already have, immediately: probe the rendezvous-preferred
+  // node's answer cache (a stale entry still beats nothing), otherwise
+  // return a flagged partial answer. No cluster resources are consumed —
+  // that is the point of shedding.
+  ins_.admission_degraded->inc();
+  bool cache_served = false;
+  bool stale = false;
+  if (!caches_.empty()) {
+    const std::string key = cache::normalize_question(plan.source.text);
+    if (const auto preferred = preferred_node(plan); preferred.has_value()) {
+      NodeCaches& shard = *caches_[*preferred];
+      if (shard.answers.find(key, sim_.now()) != nullptr) {
+        cache_served = true;
+        ins_.cache_hits->inc();
+      } else if (shard.answers.peek_stale(key) != nullptr) {
+        cache_served = true;
+        stale = true;
+        ins_.degraded_stale_served->inc();
+      }
+    }
+  }
+  if (!cache_served || stale) ins_.questions_degraded->inc();
+  record_event(dns_node,
+               "question " + std::to_string(plan.source.id) +
+                   " degraded by admission control" +
+                   (cache_served ? (stale ? " (stale cached answer served)"
+                                          : " (cached answer served)")
+                                 : " (partial answer)"),
+               {{"kind", std::string("admission_degrade")},
+                {"cache_served", std::int64_t{cache_served ? 1 : 0}}});
+  ins_.latency->observe(0.0);  // answered at its arrival instant
+  makespan_ = std::max(makespan_, sim_.now());
+  ins_.completed->inc();
+  maybe_finish();
+}
+
+void System::start_admitted(const QuestionPlan& plan, NodeId dns_node,
+                            Seconds arrived) {
+  ++executing_;
+  ins_.admission_wait->observe(sim_.now() - arrived);
+  question_process(plan, dns_node, arrived);
+}
+
+void System::finish_admitted() {
+  QADIST_CHECK(executing_ > 0);
+  --executing_;
+  if (!admission_queue_.empty() &&
+      executing_ < config_.admission.max_concurrent) {
+    const QueuedArrival next = admission_queue_.front();
+    admission_queue_.pop_front();
+    start_admitted(*next.plan, next.dns_node, next.arrived);
+  }
+}
+
+void System::maybe_finish() {
+  const double accounted = ins_.completed->value() +
+                           ins_.questions_rejected->value() +
+                           ins_.questions_shed->value();
+  if (accounted == ins_.submitted->value()) all_done_ = true;
 }
 
 void System::prewarm(const QuestionPlan& plan) {
@@ -615,14 +755,25 @@ Metrics System::run() {
     }
   }
   sim_.run();
-  QADIST_CHECK(ins_.completed->value() == ins_.submitted->value(),
-               << "simulation drained with " << ins_.completed->value()
-               << "/" << ins_.submitted->value() << " questions completed");
+  // Every submitted question must be accounted for: completed (including
+  // degraded-at-admission ones), rejected, or shed from the queue.
+  const double accounted = ins_.completed->value() +
+                           ins_.questions_rejected->value() +
+                           ins_.questions_shed->value();
+  QADIST_CHECK(accounted == ins_.submitted->value(),
+               << "simulation drained with " << accounted << "/"
+               << ins_.submitted->value() << " questions accounted for ("
+               << ins_.completed->value() << " completed)");
+  QADIST_CHECK(admission_queue_.empty() && executing_ == 0,
+               << "admission state not drained: " << admission_queue_.size()
+               << " queued, " << executing_ << " executing");
 
   // Publish the run-scoped values, then build the read-only view from the
   // registry — the registry is the single source of truth.
   registry_.gauge("first_submit_seconds").set(first_submit_);
   registry_.gauge("makespan_seconds").set(makespan_);
+  registry_.gauge("admission_queue_peak")
+      .set(static_cast<double>(admission_queue_peak_));
   for (const auto& node : nodes_) {
     const obs::Labels labels{{"node", std::to_string(node->id())}};
     registry_.gauge("node_cpu_work_seconds", labels)
@@ -1188,10 +1339,15 @@ simnet::SimProcess System::ap_leg(QuestionState& q,
 }
 
 simnet::SimProcess System::question_process(const QuestionPlan& plan,
-                                            NodeId dns_node) {
+                                            NodeId dns_node,
+                                            Seconds arrived) {
   QuestionState q;
   q.plan = &plan;
-  q.submitted = sim_.now();
+  // Latency is measured from the arrival instant: a question that waited
+  // in the admission queue pays that wait in its response time (and
+  // against its deadline budget). Without admission control arrived is
+  // always now().
+  q.submitted = arrived;
   if (config_.net.reliability.question_deadline > 0.0) {
     q.deadline = q.submitted + config_.net.reliability.question_deadline;
   }
@@ -2092,7 +2248,8 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
     tracer_->end_span(q_span, sim_.now(), std::move(attrs));
   }
   ins_.completed->inc();
-  if (ins_.completed->value() == ins_.submitted->value()) all_done_ = true;
+  if (config_.admission.enabled()) finish_admitted();
+  maybe_finish();
 }
 
 }  // namespace qadist::cluster

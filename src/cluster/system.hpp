@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -167,6 +168,36 @@ struct PartitionConfig {
   Seconds per_batch_answer_cpu = 0.1;
 };
 
+/// What the dispatcher front door does with an arrival that finds the
+/// cluster at its concurrency limit and the admission queue full.
+enum class AdmissionPolicy {
+  kReject,      ///< turn the new arrival away (fail fast)
+  kShedOldest,  ///< drop the oldest queued question, queue the new one
+  kDegrade,     ///< answer the new arrival from cache (or partial) now
+};
+
+[[nodiscard]] std::string_view to_string(AdmissionPolicy policy);
+
+/// Admission control and load shedding at the DNS front door (extension;
+/// disabled by default). With `max_concurrent == 0` every arrival starts
+/// immediately — bit-identical to builds without admission control. With a
+/// bound, at most `max_concurrent` questions execute concurrently; up to
+/// `queue_capacity` more wait in FIFO order, and past that `policy`
+/// decides. An open-loop arrival stream (workload/arrival.hpp) pushed past
+/// saturation then sees bounded latency for admitted questions instead of
+/// a queue growing without bound.
+struct AdmissionConfig {
+  std::size_t max_concurrent = 0;  ///< 0 = unlimited (admission off)
+  std::size_t queue_capacity = 0;  ///< waiting room beyond max_concurrent
+  AdmissionPolicy policy = AdmissionPolicy::kReject;
+  /// Load-based shedding (0 = off): while sched::mean_pool_load over the
+  /// QA weights exceeds this, arrivals skip the waiting room and go
+  /// straight to `policy` — the queue must not mask a saturated pool.
+  double load_threshold = 0.0;
+
+  [[nodiscard]] bool enabled() const { return max_concurrent > 0; }
+};
+
 /// Cluster configuration, grouped by concern. (The transitional
 /// FlatSystemConfig alias shipped for one release and is gone; address the
 /// sub-structs directly.)
@@ -187,6 +218,9 @@ struct SystemConfig {
   /// Per-node answer/paragraph caches (see cache::CacheConfig). Disabled
   /// by default: uncached runs are bit-identical to the pre-cache system.
   cache::CacheConfig cache;
+  /// Admission control / load shedding (see AdmissionConfig). Disabled by
+  /// default: unbounded runs are bit-identical to the pre-admission system.
+  AdmissionConfig admission;
   /// Fault injection (see FaultPlan). Empty by default: no crashes.
   FaultPlan faults;
   /// Corpus sharding / index replication (see shard::ShardConfig).
@@ -313,7 +347,27 @@ class System {
   simnet::SimProcess monitor_process(Node& node);
   simnet::SimProcess fault_process();
   simnet::SimProcess question_process(const QuestionPlan& plan,
-                                      sched::NodeId dns_node);
+                                      sched::NodeId dns_node,
+                                      Seconds arrived);
+
+  /// Admission front door, invoked at each question's arrival instant.
+  /// With admission off this is a tail call into question_process; with it
+  /// on, the arrival starts, waits, or is shed per AdmissionConfig.
+  void on_arrival(const QuestionPlan& plan, sched::NodeId dns_node);
+  /// Starts an admitted question and records its queue wait.
+  void start_admitted(const QuestionPlan& plan, sched::NodeId dns_node,
+                      Seconds arrived);
+  /// Overflow handling for one arrival per the configured policy.
+  void shed_arrival(const QuestionPlan& plan, sched::NodeId dns_node);
+  /// kDegrade service: answers immediately from the preferred node's cache
+  /// when possible (stale entries count), as a flagged partial otherwise.
+  void complete_degraded(const QuestionPlan& plan, sched::NodeId dns_node);
+  /// Completion hook under admission control: frees the execution slot and
+  /// starts the next queued question, if any.
+  void finish_admitted();
+  /// Declares the run drained once every submitted question is accounted
+  /// for (completed, rejected, or shed) — stops the monitor processes.
+  void maybe_finish();
 
   /// Background re-replication after a holder crash: copies `shard` onto
   /// `target` from the rendezvous-best surviving ready replica, paying the
@@ -436,6 +490,10 @@ class System {
     obs::Counter* shard_units_unserved = nullptr;
     obs::Counter* rejoin_cache_clears = nullptr;
     obs::HistogramMetric* shard_rebuild_seconds = nullptr;
+    obs::Counter* questions_rejected = nullptr;  // admission control
+    obs::Counter* questions_shed = nullptr;
+    obs::Counter* admission_degraded = nullptr;
+    obs::HistogramMetric* admission_wait = nullptr;
   };
   void register_instruments();
   /// Folds per-node CacheStats (evictions, expirations, invalidations,
@@ -479,6 +537,16 @@ class System {
   Seconds makespan_ = 0.0;
   bool all_done_ = false;
   bool started_ = false;
+
+  /// Admission state (untouched when config().admission is disabled).
+  struct QueuedArrival {
+    const QuestionPlan* plan = nullptr;
+    sched::NodeId dns_node = 0;
+    Seconds arrived = 0.0;
+  };
+  std::deque<QueuedArrival> admission_queue_;
+  std::size_t executing_ = 0;          ///< questions currently in flight
+  std::size_t admission_queue_peak_ = 0;
 };
 
 }  // namespace qadist::cluster

@@ -67,6 +67,12 @@ void submit_overload(System& system, std::span<const QuestionPlan> plans,
       workload.count != 0 ? workload.count : 8 * nodes;
   const double mean_service =
       mean_service_seconds(plans, workload.reference_disk);
+  // An all-zero-work plan set would make max_gap 0 and silently submit
+  // every question at t=0 — an infinite overload factor, not the protocol
+  // the caller asked for.
+  QADIST_CHECK(mean_service > 0.0,
+               << "submit_overload: plan set has zero mean service time; "
+                  "arrival gaps would all collapse to t=0");
   // Mean gap g = service / (overload · N)  =>  gaps uniform in [0, 2g].
   const double max_gap = 2.0 * mean_service /
                          (workload.overload_factor *

@@ -50,6 +50,12 @@ void Samples::add(double x) {
   sorted_ = false;
 }
 
+void Samples::sort() {
+  if (sorted_) return;
+  std::sort(values_.begin(), values_.end());
+  sorted_ = true;
+}
+
 double Samples::mean() const {
   if (values_.empty()) return 0.0;
   double s = 0.0;
@@ -65,19 +71,41 @@ double Samples::stddev() const {
   return std::sqrt(acc / static_cast<double>(values_.size() - 1));
 }
 
+double Samples::quantile_of(const std::vector<double>& sorted, double q) {
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  if (idx + 1 >= sorted.size()) return sorted.back();
+  return sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac;
+}
+
+double Samples::quantile(double q) {
+  QADIST_CHECK(q >= 0.0 && q <= 1.0, << "quantile " << q << " out of range");
+  QADIST_CHECK(!values_.empty(), << "quantile of empty sample set");
+  sort();
+  return quantile_of(values_, q);
+}
+
 double Samples::quantile(double q) const {
   QADIST_CHECK(q >= 0.0 && q <= 1.0, << "quantile " << q << " out of range");
   QADIST_CHECK(!values_.empty(), << "quantile of empty sample set");
-  if (!sorted_) {
-    std::sort(values_.begin(), values_.end());
-    sorted_ = true;
-  }
-  if (values_.size() == 1) return values_.front();
-  const double pos = q * static_cast<double>(values_.size() - 1);
-  const auto idx = static_cast<std::size_t>(pos);
-  const double frac = pos - static_cast<double>(idx);
-  if (idx + 1 >= values_.size()) return values_.back();
-  return values_[idx] * (1.0 - frac) + values_[idx + 1] * frac;
+  if (sorted_) return quantile_of(values_, q);
+  std::vector<double> copy(values_);
+  std::sort(copy.begin(), copy.end());
+  return quantile_of(copy, q);
+}
+
+double Samples::min() const {
+  QADIST_CHECK(!values_.empty(), << "quantile of empty sample set");
+  if (sorted_) return values_.front();
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::max() const {
+  QADIST_CHECK(!values_.empty(), << "quantile of empty sample set");
+  if (sorted_) return values_.back();
+  return *std::max_element(values_.begin(), values_.end());
 }
 
 std::string Samples::summary() const {
@@ -86,8 +114,13 @@ std::string Samples::summary() const {
     os << "n=0";
     return os.str();
   }
-  os << "n=" << values_.size() << " mean=" << mean() << " p50=" << quantile(0.5)
-     << " p95=" << quantile(0.95) << " max=" << max();
+  // One sorted copy for every order statistic in the line (a const method
+  // must not sort values_ in place).
+  std::vector<double> copy(values_);
+  std::sort(copy.begin(), copy.end());
+  os << "n=" << copy.size() << " mean=" << mean()
+     << " p50=" << quantile_of(copy, 0.5) << " p95=" << quantile_of(copy, 0.95)
+     << " max=" << copy.back();
   return os.str();
 }
 
@@ -99,10 +132,18 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
 }
 
 void Histogram::add(double x) {
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / bucket_width_);
-  idx = std::clamp<std::ptrdiff_t>(idx, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  if (!std::isfinite(x)) {
+    // NaN compares false against every bound and ±inf overflows the index
+    // cast (UB), so non-finite samples get their own tally instead of a
+    // bucket.
+    ++nonfinite_;
+    return;
+  }
+  // Clamp in double space: casting a huge finite value (e.g. 1e300 with
+  // unit-width buckets) to an integer before clamping is equally UB.
+  double pos = (x - lo_) / bucket_width_;
+  pos = std::clamp(pos, 0.0, static_cast<double>(counts_.size() - 1));
+  ++counts_[static_cast<std::size_t>(pos)];
   ++total_;
 }
 

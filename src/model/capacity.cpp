@@ -1,0 +1,86 @@
+#include "model/capacity.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace qadist::model {
+
+CapacityPlanner::CapacityPlanner(CapacityPlanParams params)
+    : p_(params), overhead_model_(params.overhead) {
+  QADIST_CHECK(p_.target_qps > 0.0);
+  QADIST_CHECK(p_.mean_service_seconds > 0.0);
+  QADIST_CHECK(p_.slo_p95_seconds > 0.0);
+  QADIST_CHECK(p_.peak_to_mean >= 1.0);
+  QADIST_CHECK(p_.interarrival_cv2 >= 0.0 && p_.service_cv2 >= 0.0);
+  QADIST_CHECK(p_.max_utilization > 0.0 && p_.max_utilization < 1.0);
+  QADIST_CHECK(p_.max_nodes >= 1);
+  service_p95_ =
+      p_.service_p95_seconds > 0.0
+          ? p_.service_p95_seconds
+          : p_.mean_service_seconds * (1.0 + 1.645 * std::sqrt(p_.service_cv2));
+}
+
+double CapacityPlanner::effective_service_seconds(std::size_t nodes) const {
+  return p_.mean_service_seconds +
+         overhead_model_.distribution_overhead(static_cast<double>(nodes));
+}
+
+double CapacityPlanner::utilization(std::size_t nodes) const {
+  return p_.target_qps * effective_service_seconds(nodes) /
+         static_cast<double>(nodes);
+}
+
+double CapacityPlanner::peak_utilization(std::size_t nodes) const {
+  return utilization(nodes) * p_.peak_to_mean;
+}
+
+double CapacityPlanner::wait_probability(std::size_t nodes) const {
+  const double n = static_cast<double>(nodes);
+  const double a =
+      p_.target_qps * effective_service_seconds(nodes);  // offered Erlangs
+  if (a >= n) return 1.0;  // unstable: every question waits
+  // Erlang B via the standard recurrence (numerically stable at any a),
+  // then the Erlang C conversion C = B / (1 - rho·(1 - B)).
+  double b = 1.0;
+  for (std::size_t k = 1; k <= nodes; ++k) {
+    b = a * b / (static_cast<double>(k) + a * b);
+  }
+  const double rho = a / n;
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+double CapacityPlanner::predicted_wait_p95(std::size_t nodes) const {
+  const double n = static_cast<double>(nodes);
+  const double t_eff = effective_service_seconds(nodes);
+  if (p_.target_qps * t_eff >= n) return p_.slo_p95_seconds * 1e6;  // unstable
+  const double p_wait = wait_probability(nodes);
+  if (p_wait <= 0.05) return 0.0;  // p95 of the wait is already zero
+  // M/M/c: the conditional wait is exponential with rate (N·mu - lambda),
+  // so P(W > t) = P_wait · e^{-(N·mu - lambda)·t}; invert at 5%. The
+  // Allen-Cunneen factor (ca² + cs²)/2 stretches the wait for non-Poisson
+  // arrivals / non-exponential service, as it does the mean — this is
+  // where burstiness enters; planning the queue at the peak rate as well
+  // would double-count every burst.
+  const double drain_rate = n / t_eff - p_.target_qps;
+  const double base = std::log(p_wait / 0.05) / drain_rate;
+  return base * (p_.interarrival_cv2 + p_.service_cv2) / 2.0;
+}
+
+double CapacityPlanner::predicted_p95_seconds(std::size_t nodes) const {
+  return service_p95_ + predicted_wait_p95(nodes);
+}
+
+std::optional<std::size_t> CapacityPlanner::min_nodes() const {
+  for (std::size_t n = 1; n <= p_.max_nodes; ++n) {
+    if (utilization(n) > p_.max_utilization) continue;
+    // Sustained bursts must not exceed raw capacity: a burst the cluster
+    // cannot drain at all grows a queue for its whole duration, which no
+    // mean-rate wait model can see.
+    if (peak_utilization(n) >= 1.0) continue;
+    if (predicted_p95_seconds(n) <= p_.slo_p95_seconds) return n;
+  }
+  return std::nullopt;
+}
+
+}  // namespace qadist::model

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "model/inter_question.hpp"
+#include "model/params.hpp"
+
+namespace qadist::model {
+
+/// Inputs of a capacity plan: the question the paper's model answers is
+/// "what speedup do N nodes give"; the deployment question is its inverse
+/// — "how many nodes does this traffic need to hold this latency SLO".
+/// Service-time figures come from a measured plan set (bench-calibrated),
+/// arrival figures from the workload::ArrivalProcessConfig under plan.
+struct CapacityPlanParams {
+  double target_qps = 0.1;  ///< long-run mean arrival rate to absorb
+
+  double mean_service_seconds = 94.0;  ///< sequential per-question service T
+  double service_cv2 = 1.0;            ///< squared CV of service times (cs²)
+  /// p95 of the unloaded (no-queueing) response time; <= 0 derives a
+  /// normal-tail approximation mean·(1 + 1.645·√cs²) instead.
+  double service_p95_seconds = 0.0;
+
+  double slo_p95_seconds = 300.0;  ///< the SLO: p95 response time bound
+
+  /// Arrival-process shape figures (workload::peak_to_mean /
+  /// workload::interarrival_cv2). Burstiness enters the queueing math
+  /// through ca² (burstier arrivals queue longer at equal utilization);
+  /// the peak ratio only gates raw stability — a sustained burst must not
+  /// exceed what N nodes can drain at all.
+  double peak_to_mean = 1.0;
+  double interarrival_cv2 = 1.0;  ///< ca² of the arrival process
+
+  double max_utilization = 0.95;  ///< stability headroom cap on rho
+  std::size_t max_nodes = 512;    ///< search ceiling for min_nodes()
+
+  /// The paper's inter-question model, for the distribution overhead that
+  /// inflates per-question service as the cluster grows (callers set its
+  /// T to mean_service_seconds so the overhead terms scale consistently).
+  InterQuestionParams overhead;
+};
+
+/// Inverts the analytical model into a sizing rule. The cluster is viewed
+/// as a G/G/c queue at the long-run mean arrival rate: per-question
+/// service is the measured sequential time plus the paper's T_distrib(N),
+/// the waiting probability comes from Erlang C, the conditional wait tail
+/// from the M/M/c exponential-tail result, and non-Poisson burstiness
+/// scales the wait by the Allen-Cunneen factor (ca² + cs²)/2 (sizing the
+/// queue at the peak rate as well would count every burst twice). The
+/// peak rate gates stability instead: bursts the cluster cannot drain at
+/// all are disqualified outright. min_nodes() is the smallest N passing
+/// both gates with the predicted p95 inside the SLO —
+/// bench_capacity_planning validates the prediction against simulation.
+class CapacityPlanner {
+ public:
+  explicit CapacityPlanner(CapacityPlanParams params);
+
+  /// T_eff(N): measured sequential service plus the paper's distribution
+  /// overhead at N nodes (Eq. 21).
+  [[nodiscard]] double effective_service_seconds(std::size_t nodes) const;
+
+  /// rho(N) = lambda · T_eff(N) / N at the long-run mean rate.
+  [[nodiscard]] double utilization(std::size_t nodes) const;
+
+  /// rho at the peak rate: utilization(N) · peak_to_mean. min_nodes()
+  /// rejects any N where this reaches 1.
+  [[nodiscard]] double peak_utilization(std::size_t nodes) const;
+
+  /// Erlang-C waiting probability of the M/M/c view at N nodes; 1 when
+  /// the system is not stable there.
+  [[nodiscard]] double wait_probability(std::size_t nodes) const;
+
+  /// p95 of the queueing delay at N nodes (0 when fewer than 5% of
+  /// questions wait at all), burstiness-corrected.
+  [[nodiscard]] double predicted_wait_p95(std::size_t nodes) const;
+
+  /// p95 of the response time at N nodes: unloaded service p95 plus the
+  /// queueing-delay p95.
+  [[nodiscard]] double predicted_p95_seconds(std::size_t nodes) const;
+
+  /// Smallest N (<= max_nodes) with utilization under the cap and
+  /// predicted p95 within the SLO; nullopt when no such N exists (the SLO
+  /// is tighter than the unloaded service tail, or the ceiling is hit).
+  [[nodiscard]] std::optional<std::size_t> min_nodes() const;
+
+  [[nodiscard]] const CapacityPlanParams& params() const { return p_; }
+
+ private:
+  CapacityPlanParams p_;
+  InterQuestionModel overhead_model_;
+  double service_p95_;  ///< resolved unloaded p95 (explicit or derived)
+};
+
+}  // namespace qadist::model

@@ -178,12 +178,16 @@ std::string MetricsRegistry::to_json() const {
     json_string(os, h.name());
     os << ",\"labels\":";
     write_labels(os, h.labels());
+    // One sorted copy per histogram: the registry view is const, and the
+    // const quantile path would otherwise copy the reservoir per quantile.
+    Samples samples = h.samples();
+    samples.sort();
     os << ",\"count\":" << h.count() << ",\"mean\":";
     json_number(os, h.stats().mean());
     os << ",\"p50\":";
-    json_number(os, h.samples().quantile_or(0.5, 0.0));
+    json_number(os, samples.quantile_or(0.5, 0.0));
     os << ",\"p95\":";
-    json_number(os, h.samples().quantile_or(0.95, 0.0));
+    json_number(os, samples.quantile_or(0.95, 0.0));
     os << ",\"min\":";
     json_number(os, h.stats().min());
     os << ",\"max\":";

@@ -100,4 +100,14 @@ std::size_t LoadTable::size() const {
   return n;
 }
 
+double mean_pool_load(const LoadTable& table, const LoadWeights& weights) {
+  const auto members = table.members();
+  if (members.empty()) return 0.0;
+  double total = 0.0;
+  for (const NodeId node : members) {
+    total += load_function(table.load_of(node), weights);
+  }
+  return total / static_cast<double>(members.size());
+}
+
 }  // namespace qadist::sched

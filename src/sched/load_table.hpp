@@ -86,4 +86,11 @@ class LoadTable {
   [[nodiscard]] const Entry* find(NodeId node) const;
 };
 
+/// Mean of load_function over the current pool members — the cluster-wide
+/// pressure signal admission control sheds on (a single hot node should
+/// not trip cluster-level shedding; a saturated pool should). 0 when the
+/// table is empty.
+[[nodiscard]] double mean_pool_load(const LoadTable& table,
+                                    const LoadWeights& weights);
+
 }  // namespace qadist::sched

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "cluster/plan.hpp"
+#include "cluster/system.hpp"
+#include "common/units.hpp"
+
+namespace qadist::workload {
+
+/// Open-loop arrival processes (extension). The paper's Sec. 6.1 protocol
+/// is closed-loop: a fixed question set paced against the system's own
+/// service rate. Production traffic is open-loop — arrivals do not wait
+/// for the system — so pushing past saturation needs a generator whose
+/// rate is set by the world, not the cluster. Each shape below is a
+/// deterministic seeded process emitting a (plan, arrival_time) stream;
+/// the same config yields the same stream for every policy under test.
+enum class ArrivalShape {
+  kPoisson,     ///< homogeneous Poisson at rate_qps
+  kMmpp,        ///< 2-state Markov-modulated Poisson (bursty)
+  kDiurnal,     ///< sinusoidal rate curve, mean rate_qps
+  kFlashCrowd,  ///< rate_qps baseline with one multiplied window
+};
+
+[[nodiscard]] std::string_view to_string(ArrivalShape shape);
+
+/// Deterministic open-loop arrival stream description. `rate_qps` is the
+/// long-run mean arrival rate for every shape except kFlashCrowd, where it
+/// is the baseline outside the flash window.
+struct ArrivalProcessConfig {
+  ArrivalShape shape = ArrivalShape::kPoisson;
+  double rate_qps = 1.0;
+  std::size_t count = 100;  ///< arrivals to emit
+  std::uint64_t seed = 1;
+
+  /// kMmpp: dwell times are exponential with these means; the burst state
+  /// arrives `burst_rate_multiplier` times faster than the calm state, and
+  /// the calm rate is solved so the long-run mean stays rate_qps.
+  double burst_rate_multiplier = 4.0;
+  Seconds mean_burst_seconds = 10.0;
+  Seconds mean_calm_seconds = 30.0;
+
+  /// kDiurnal: rate(t) = rate_qps · (1 + amplitude · sin(2π t / period)).
+  Seconds diurnal_period = 600.0;
+  double diurnal_amplitude = 0.8;  ///< in [0, 1)
+
+  /// kFlashCrowd: rate is rate_qps · flash_multiplier inside
+  /// [flash_at, flash_at + flash_duration), rate_qps elsewhere.
+  Seconds flash_at = 60.0;
+  Seconds flash_duration = 30.0;
+  double flash_multiplier = 8.0;
+
+  /// Plan selection, decorrelated from the arrival-time stream (same
+  /// semantics as OverloadWorkload: 0 = deterministic scan; > 0 draws
+  /// Zipf-skewed repeats over `distinct_questions` plans).
+  double repeat_exponent = 0.0;
+  std::size_t distinct_questions = 0;
+};
+
+/// One emitted question arrival.
+struct Arrival {
+  std::size_t plan_index = 0;
+  Seconds at = 0.0;
+};
+
+/// The arrival instants alone (ascending, starting after t=0). Pure in the
+/// config: the same seed gives the same times on every call.
+[[nodiscard]] std::vector<Seconds> arrival_times(
+    const ArrivalProcessConfig& config);
+
+/// The full (plan, arrival_time) stream over `plan_count` plans. The plan
+/// picks come from overload_pick_sequence's generator, so closed-loop and
+/// open-loop experiments share one repetition model.
+[[nodiscard]] std::vector<Arrival> arrival_stream(
+    const ArrivalProcessConfig& config, std::size_t plan_count);
+
+/// Submits a stream against a constructed (not yet running) system.
+void submit_stream(cluster::System& system,
+                   std::span<const cluster::QuestionPlan> plans,
+                   std::span<const Arrival> stream);
+
+/// Peak-to-mean arrival-rate ratio of the shape — the burst headroom a
+/// capacity plan must absorb (1.0 for Poisson).
+[[nodiscard]] double peak_to_mean(const ArrivalProcessConfig& config);
+
+/// Squared coefficient of variation of the interarrival times. Exactly 1
+/// for Poisson; for modulated shapes it is measured on a deterministic
+/// sample of the configured process (seeded by config.seed), which is what
+/// the capacity planner feeds its burstiness correction.
+[[nodiscard]] double interarrival_cv2(const ArrivalProcessConfig& config);
+
+}  // namespace qadist::workload

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/system.hpp"
+#include "cluster/workload.hpp"
+#include "support/test_world.hpp"
+#include "workload/arrival.hpp"
+
+namespace qadist::cluster {
+namespace {
+
+using qadist::testing::test_world;
+using qadist::workload::Arrival;
+using qadist::workload::ArrivalProcessConfig;
+using qadist::workload::ArrivalShape;
+
+std::vector<QuestionPlan> small_plans() {
+  const auto& world = test_world();
+  const auto cost = CostModel::calibrate(
+      *world.engine,
+      std::span<const corpus::Question>(world.questions).subspan(0, 8));
+  std::vector<QuestionPlan> out;
+  for (std::size_t i = 0; i < 10; ++i) {
+    out.push_back(make_plan(*world.engine, cost, world.questions[i]));
+  }
+  return out;
+}
+
+/// An open-loop Poisson stream far past what two nodes can drain.
+ArrivalProcessConfig overload_stream(const std::vector<QuestionPlan>& plans,
+                                     std::size_t count, std::size_t nodes) {
+  ArrivalProcessConfig c;
+  c.shape = ArrivalShape::kPoisson;
+  const double service =
+      mean_service_seconds(plans, Bandwidth::from_mbps(250));
+  c.rate_qps = 4.0 * static_cast<double>(nodes) / service;  // 4x capacity
+  c.count = count;
+  c.seed = 7;
+  return c;
+}
+
+Metrics run_with(const std::vector<QuestionPlan>& plans,
+                 const AdmissionConfig& admission, std::size_t count = 48) {
+  simnet::Simulation sim;
+  SystemConfig cfg;
+  cfg.nodes = 2;
+  cfg.partition.ap_chunk = 8;
+  cfg.admission = admission;
+  System system(sim, cfg);
+  const auto stream = qadist::workload::arrival_stream(
+      overload_stream(plans, count, cfg.nodes), plans.size());
+  qadist::workload::submit_stream(system, plans, stream);
+  return system.run();
+}
+
+TEST(AdmissionTest, DisabledAdmissionLeavesCountersAtZero) {
+  const auto plans = small_plans();
+  const auto m = run_with(plans, AdmissionConfig{}, 24);
+  EXPECT_EQ(m.completed, 24u);
+  EXPECT_EQ(m.questions_rejected, 0u);
+  EXPECT_EQ(m.questions_shed, 0u);
+  EXPECT_EQ(m.admission_degraded, 0u);
+  EXPECT_EQ(m.admission_queue_peak, 0.0);
+  EXPECT_EQ(m.admission_wait.count(), 0u);
+}
+
+TEST(AdmissionTest, RejectPolicyAccountsForEveryArrival) {
+  const auto plans = small_plans();
+  AdmissionConfig admission;
+  admission.max_concurrent = 4;
+  admission.queue_capacity = 2;
+  admission.policy = AdmissionPolicy::kReject;
+  const auto m = run_with(plans, admission);
+  EXPECT_EQ(m.submitted, 48u);
+  EXPECT_GT(m.questions_rejected, 0u);
+  EXPECT_EQ(m.completed + m.questions_rejected, 48u);
+  EXPECT_LE(m.admission_queue_peak, 2.0);
+  // Every admitted question recorded its (possibly zero) queue wait.
+  EXPECT_EQ(m.admission_wait.count(), m.completed);
+  EXPECT_GT(m.admission_wait.max(), 0.0);  // someone actually queued
+}
+
+TEST(AdmissionTest, ShedOldestDropsQueuedQuestionsNotArrivals) {
+  const auto plans = small_plans();
+  AdmissionConfig admission;
+  admission.max_concurrent = 4;
+  admission.queue_capacity = 2;
+  admission.policy = AdmissionPolicy::kShedOldest;
+  const auto m = run_with(plans, admission);
+  EXPECT_GT(m.questions_shed, 0u);
+  EXPECT_EQ(m.questions_rejected, 0u);  // the waiting room absorbs arrivals
+  EXPECT_EQ(m.completed + m.questions_shed, 48u);
+}
+
+TEST(AdmissionTest, ShedOldestWithoutQueueDegeneratesToReject) {
+  const auto plans = small_plans();
+  AdmissionConfig admission;
+  admission.max_concurrent = 2;
+  admission.queue_capacity = 0;
+  admission.policy = AdmissionPolicy::kShedOldest;
+  const auto m = run_with(plans, admission, 24);
+  EXPECT_EQ(m.questions_shed, 0u);  // nothing queued, nothing to shed
+  EXPECT_GT(m.questions_rejected, 0u);
+  EXPECT_EQ(m.completed + m.questions_rejected, 24u);
+}
+
+TEST(AdmissionTest, DegradePolicyAnswersEveryArrival) {
+  const auto plans = small_plans();
+  AdmissionConfig admission;
+  admission.max_concurrent = 4;
+  admission.queue_capacity = 2;
+  admission.policy = AdmissionPolicy::kDegrade;
+  const auto m = run_with(plans, admission);
+  EXPECT_EQ(m.completed, 48u);  // degraded answers still answer
+  EXPECT_EQ(m.questions_rejected, 0u);
+  EXPECT_EQ(m.questions_shed, 0u);
+  EXPECT_GT(m.admission_degraded, 0u);
+  EXPECT_GE(m.questions_degraded, m.admission_degraded);  // no cache: partial
+}
+
+TEST(AdmissionTest, QueueWaitCountsIntoResponseTime) {
+  const auto plans = small_plans();
+  AdmissionConfig admission;
+  admission.max_concurrent = 2;
+  admission.queue_capacity = 8;
+  const auto m = run_with(plans, admission, 24);
+  // A queued question's latency includes its wait, so the slowest answer
+  // must be at least as slow as the longest recorded wait.
+  EXPECT_GT(m.admission_wait.max(), 0.0);
+  EXPECT_GE(m.latencies.max(), m.admission_wait.max());
+}
+
+TEST(AdmissionTest, LoadThresholdShedsOnPoolPressure) {
+  const auto plans = small_plans();
+  AdmissionConfig admission;
+  admission.max_concurrent = 1000;  // concurrency never binds
+  admission.queue_capacity = 4;
+  admission.policy = AdmissionPolicy::kReject;
+  admission.load_threshold = 0.05;  // trips as soon as the pool works
+  const auto m = run_with(plans, admission);
+  EXPECT_GT(m.questions_rejected, 0u);
+  EXPECT_EQ(m.completed + m.questions_rejected, 48u);
+}
+
+TEST(AdmissionTest, AdmissionKeepsAdmittedLatencyBounded) {
+  // The acceptance property at test scale: under a sustained overload
+  // stream, an admission-controlled system answers its admitted questions
+  // in bounded time while the unbounded system's latency grows with the
+  // backlog.
+  const auto plans = small_plans();
+  AdmissionConfig bounded;
+  bounded.max_concurrent = 4;
+  bounded.queue_capacity = 4;
+  const auto controlled = run_with(plans, bounded, 64);
+  const auto unbounded = run_with(plans, AdmissionConfig{}, 64);
+  EXPECT_LT(controlled.latencies.quantile(0.95),
+            unbounded.latencies.quantile(0.95));
+}
+
+}  // namespace
+}  // namespace qadist::cluster

@@ -151,6 +151,41 @@ TEST(WorkloadTest, PickSequenceZipfIsDeterministicAndBounded) {
   EXPECT_NE(a, c);
 }
 
+TEST(WorkloadTest, ZipfRotationKeepsDistinctCountExact) {
+  // The rank -> plan rotation (rank + seed*13) % plan_count is injective
+  // over ranks [0, distinct), so a long enough stream must touch exactly
+  // `distinct_questions` distinct plans — no collisions shrinking the
+  // population, no leaks past it.
+  OverloadWorkload workload;
+  workload.seed = 3;
+  workload.repeat_exponent = 0.8;  // modest skew so tail ranks appear
+  workload.distinct_questions = 8;
+  const auto picks = overload_pick_sequence(workload, 40, 2000);
+  const std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 8u);
+  for (const auto pick : picks) EXPECT_LT(pick, 40u);
+
+  // distinct_questions past the plan count clamps to the plan count.
+  workload.distinct_questions = 100;
+  const auto clamped = overload_pick_sequence(workload, 5, 2000);
+  const std::set<std::size_t> clamped_unique(clamped.begin(), clamped.end());
+  EXPECT_EQ(clamped_unique.size(), 5u);
+}
+
+TEST(WorkloadDeathTest, OverloadPanicsOnZeroWorkPlanSet) {
+  // A zero-work plan set used to collapse every arrival gap to zero and
+  // submit the whole stream at t=0 silently; now it trips a check.
+  auto plans = small_plans();
+  for (auto& p : plans) scale_plan(p, 0.0);
+  simnet::Simulation sim;
+  SystemConfig cfg;
+  cfg.nodes = 2;
+  cfg.partition.ap_chunk = 8;
+  System system(sim, cfg);
+  EXPECT_DEATH(submit_overload(system, plans, OverloadWorkload{}),
+               "zero mean service");
+}
+
 TEST(WorkloadTest, PickSequenceSkewConcentratesRepeats) {
   const auto top_share = [](double exponent) {
     OverloadWorkload workload;

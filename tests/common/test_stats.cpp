@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
 #include "common/rng.hpp"
 
 namespace qadist {
@@ -95,6 +100,44 @@ TEST(SamplesTest, SummaryMentionsCount) {
   EXPECT_NE(s.summary().find("n=1"), std::string::npos);
 }
 
+TEST(SamplesTest, ConstQuantileLeavesReservoirUnsorted) {
+  // Regression: quantile() used to sort `values_` inside a const method
+  // (mutable members), so a const view was secretly a writer. The const
+  // path must now be pure.
+  Samples s;
+  s.add(5.0);
+  s.add(1.0);
+  s.add(3.0);
+  const Samples& view = s;
+  EXPECT_DOUBLE_EQ(view.quantile(0.5), 3.0);
+  EXPECT_FALSE(view.is_sorted());  // untouched by the const query
+  EXPECT_DOUBLE_EQ(view.min(), 1.0);
+  EXPECT_DOUBLE_EQ(view.max(), 5.0);
+  s.sort();
+  EXPECT_TRUE(view.is_sorted());
+  EXPECT_DOUBLE_EQ(view.quantile(0.5), 3.0);
+}
+
+TEST(SamplesTest, ConcurrentConstQuantilesAreRaceFree) {
+  // TSan-level regression for the same bug: concurrent const readers of an
+  // unsorted reservoir raced on the lazy sort. Each thread must now see a
+  // consistent answer with no writes to the shared state.
+  Samples s;
+  Rng rng(17);
+  for (int i = 0; i < 2000; ++i) s.add(rng.uniform(0.0, 100.0));
+  const Samples& view = s;
+  const double expected = view.quantile(0.95);
+  std::vector<std::thread> readers;
+  std::vector<double> results(8, 0.0);
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    readers.emplace_back(
+        [&view, &results, t] { results[t] = view.quantile(0.95); });
+  }
+  for (auto& r : readers) r.join();
+  for (const double got : results) EXPECT_DOUBLE_EQ(got, expected);
+  EXPECT_FALSE(view.is_sorted());
+}
+
 TEST(HistogramTest, BucketsAndClamping) {
   Histogram h(0.0, 10.0, 5);
   h.add(-1.0);   // clamps into bucket 0
@@ -106,6 +149,24 @@ TEST(HistogramTest, BucketsAndClamping) {
   EXPECT_EQ(h.count(4), 2u);
   EXPECT_DOUBLE_EQ(h.bucket_low(1), 2.0);
   EXPECT_DOUBLE_EQ(h.bucket_high(1), 4.0);
+}
+
+TEST(HistogramTest, NonFiniteSamplesTalliedNotBucketed) {
+  // Regression: add() cast (x - lo)/width straight to ptrdiff_t, which is
+  // UB for NaN/±inf (and for finite values past the integer range).
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.nonfinite(), 3u);
+  EXPECT_EQ(h.total(), 0u);
+  for (std::size_t b = 0; b < h.bucket_count(); ++b) EXPECT_EQ(h.count(b), 0u);
+  h.add(1e300);   // huge but finite: clamps to the last bucket, no UB
+  h.add(-1e300);  // clamps to the first bucket
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.nonfinite(), 3u);
 }
 
 TEST(HistogramTest, AsciiRendersAllBuckets) {

@@ -15,6 +15,20 @@ TEST(ZipfTest, PmfSumsToOne) {
   EXPECT_NEAR(sum, 1.0, 1e-9);
 }
 
+TEST(ZipfTest, PmfSumsToOneAcrossSupportsAndExponents) {
+  // The normalization constant must hold over the whole (n, s) plane the
+  // workload generators use, including the degenerate corners (single
+  // rank, uniform exponent).
+  for (const std::uint32_t n : {1u, 2u, 7u, 64u, 5000u}) {
+    for (const double s : {0.0, 0.3, 1.0, 1.5, 2.5}) {
+      ZipfDistribution z(n, s);
+      double sum = 0.0;
+      for (std::uint32_t k = 0; k < z.size(); ++k) sum += z.pmf(k);
+      EXPECT_NEAR(sum, 1.0, 1e-9) << "n=" << n << " s=" << s;
+    }
+  }
+}
+
 TEST(ZipfTest, PmfIsDecreasing) {
   ZipfDistribution z(100, 1.0);
   for (std::uint32_t k = 1; k < z.size(); ++k) {

@@ -1,0 +1,120 @@
+#include "model/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qadist::model {
+namespace {
+
+CapacityPlanParams baseline() {
+  CapacityPlanParams p;
+  p.target_qps = 0.05;
+  p.mean_service_seconds = 94.0;
+  p.service_cv2 = 0.25;
+  p.slo_p95_seconds = 400.0;
+  p.overhead.T = p.mean_service_seconds;
+  return p;
+}
+
+TEST(CapacityPlannerTest, EffectiveServiceGrowsWithClusterSize) {
+  const CapacityPlanner planner(baseline());
+  // T_eff(N) = T + T_distrib(N): the distribution overhead only adds.
+  EXPECT_GE(planner.effective_service_seconds(1), 94.0);
+  EXPECT_GT(planner.effective_service_seconds(64),
+            planner.effective_service_seconds(4));
+}
+
+TEST(CapacityPlannerTest, WaitProbabilityIsAProbabilityAndShrinksWithNodes) {
+  const CapacityPlanner planner(baseline());
+  double prev = 1.1;
+  for (std::size_t n = 5; n <= 40; ++n) {
+    const double p = planner.wait_probability(n);
+    EXPECT_GE(p, 0.0) << n;
+    EXPECT_LE(p, 1.0) << n;
+    EXPECT_LE(p, prev) << n;
+    prev = p;
+  }
+}
+
+TEST(CapacityPlannerTest, SingleServerMatchesMm1) {
+  // Erlang C at c = 1 collapses to the M/M/1 result P(wait) = rho.
+  auto p = baseline();
+  p.target_qps = 0.005;  // rho < 1 on one node even with overhead
+  const CapacityPlanner planner(p);
+  EXPECT_NEAR(planner.wait_probability(1), planner.utilization(1), 1e-12);
+}
+
+TEST(CapacityPlannerTest, MinNodesSatisfiesItsOwnConstraints) {
+  const CapacityPlanner planner(baseline());
+  const auto n = planner.min_nodes();
+  ASSERT_TRUE(n.has_value());
+  EXPECT_LE(planner.utilization(*n), planner.params().max_utilization);
+  EXPECT_LE(planner.predicted_p95_seconds(*n),
+            planner.params().slo_p95_seconds);
+  if (*n > 1) {
+    // Minimality: one node fewer violates a constraint.
+    const bool smaller_ok =
+        planner.utilization(*n - 1) <= planner.params().max_utilization &&
+        planner.predicted_p95_seconds(*n - 1) <=
+            planner.params().slo_p95_seconds;
+    EXPECT_FALSE(smaller_ok);
+  }
+}
+
+TEST(CapacityPlannerTest, MinNodesMonotoneInTrafficAndSlo) {
+  auto p = baseline();
+  const CapacityPlanner base(p);
+  p.target_qps *= 3.0;
+  const CapacityPlanner busier(p);
+  ASSERT_TRUE(base.min_nodes().has_value());
+  ASSERT_TRUE(busier.min_nodes().has_value());
+  EXPECT_GE(*busier.min_nodes(), *base.min_nodes());
+
+  auto tight = baseline();
+  tight.slo_p95_seconds = 180.0;  // still above the unloaded p95 (~171 s)
+  const CapacityPlanner tighter(tight);
+  ASSERT_TRUE(tighter.min_nodes().has_value());
+  EXPECT_GE(*tighter.min_nodes(), *base.min_nodes());
+}
+
+TEST(CapacityPlannerTest, BurstierArrivalsNeedAtLeastAsManyNodes) {
+  const CapacityPlanner calm(baseline());
+  auto p = baseline();
+  p.peak_to_mean = 2.5;
+  p.interarrival_cv2 = 4.0;
+  const CapacityPlanner bursty(p);
+  ASSERT_TRUE(calm.min_nodes().has_value());
+  ASSERT_TRUE(bursty.min_nodes().has_value());
+  EXPECT_GT(*bursty.min_nodes(), *calm.min_nodes());
+}
+
+TEST(CapacityPlannerTest, UnreachableSloReturnsNothing) {
+  auto p = baseline();
+  p.slo_p95_seconds = 50.0;  // below the unloaded service p95 (~117 s)
+  const CapacityPlanner planner(p);
+  EXPECT_FALSE(planner.min_nodes().has_value());
+}
+
+TEST(CapacityPlannerTest, ExplicitServiceP95OverridesTheDerivedTail) {
+  auto p = baseline();
+  p.service_p95_seconds = 100.0;
+  const CapacityPlanner planner(p);
+  // At large N nothing queues, so the predicted p95 is the unloaded p95.
+  EXPECT_DOUBLE_EQ(planner.predicted_p95_seconds(200), 100.0);
+
+  const CapacityPlanner derived(baseline());
+  const double tail = 94.0 * (1.0 + 1.645 * std::sqrt(0.25));
+  EXPECT_DOUBLE_EQ(derived.predicted_p95_seconds(200), tail);
+}
+
+TEST(CapacityPlannerTest, UnstableConfigurationsPredictUnboundedWaits) {
+  const CapacityPlanner planner(baseline());
+  // One node cannot absorb 0.05 qps of 94 s questions (rho ~ 4.7).
+  EXPECT_DOUBLE_EQ(planner.wait_probability(1), 1.0);
+  EXPECT_GT(planner.predicted_p95_seconds(1),
+            1e3 * planner.params().slo_p95_seconds);
+}
+
+}  // namespace
+}  // namespace qadist::model

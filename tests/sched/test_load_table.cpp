@@ -97,6 +97,17 @@ TEST(LoadTableTest, ReservationsAddAndClearOnUpdate) {
   EXPECT_NEAR(t.load_of(0).cpu, 2.0, 1e-12);
 }
 
+TEST(LoadTableTest, MeanPoolLoadAveragesTheWeightedLoads) {
+  LoadTable t;
+  EXPECT_DOUBLE_EQ(mean_pool_load(t, kQaWeights), 0.0);  // empty pool
+  t.update(0, ResourceLoad{1.0, 0.0}, 0.0);
+  t.update(1, ResourceLoad{3.0, 0.0}, 0.0);
+  const double expected = (load_function(ResourceLoad{1.0, 0.0}, kQaWeights) +
+                           load_function(ResourceLoad{3.0, 0.0}, kQaWeights)) /
+                          2.0;
+  EXPECT_DOUBLE_EQ(mean_pool_load(t, kQaWeights), expected);
+}
+
 TEST(LoadTableTest, ReservationAffectsLeastLoaded) {
   LoadTable t;
   t.update(0, ResourceLoad{}, 0.0);

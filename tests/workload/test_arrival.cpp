@@ -1,0 +1,146 @@
+#include "workload/arrival.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace qadist::workload {
+namespace {
+
+ArrivalProcessConfig base_config(ArrivalShape shape) {
+  ArrivalProcessConfig c;
+  c.shape = shape;
+  c.rate_qps = 2.0;
+  c.count = 4000;
+  c.seed = 11;
+  return c;
+}
+
+/// Long-run empirical rate of a stream: count / span of the times.
+double empirical_rate(const std::vector<Seconds>& times) {
+  return static_cast<double>(times.size()) / times.back();
+}
+
+TEST(ArrivalTest, StreamsAreDeterministicAndSeedSensitive) {
+  for (const auto shape :
+       {ArrivalShape::kPoisson, ArrivalShape::kMmpp, ArrivalShape::kDiurnal,
+        ArrivalShape::kFlashCrowd}) {
+    auto config = base_config(shape);
+    config.count = 200;
+    const auto a = arrival_times(config);
+    const auto b = arrival_times(config);
+    EXPECT_EQ(a, b) << to_string(shape);
+    config.seed = 12;
+    const auto c = arrival_times(config);
+    EXPECT_NE(a, c) << to_string(shape);
+  }
+}
+
+TEST(ArrivalTest, TimesAreAscendingAndPositive) {
+  for (const auto shape :
+       {ArrivalShape::kPoisson, ArrivalShape::kMmpp, ArrivalShape::kDiurnal,
+        ArrivalShape::kFlashCrowd}) {
+    auto config = base_config(shape);
+    config.count = 500;
+    const auto times = arrival_times(config);
+    ASSERT_EQ(times.size(), 500u) << to_string(shape);
+    EXPECT_GT(times.front(), 0.0);
+    EXPECT_TRUE(std::is_sorted(times.begin(), times.end()))
+        << to_string(shape);
+  }
+}
+
+TEST(ArrivalTest, PoissonHitsTheConfiguredRate) {
+  const auto times = arrival_times(base_config(ArrivalShape::kPoisson));
+  EXPECT_NEAR(empirical_rate(times), 2.0, 0.2);
+}
+
+TEST(ArrivalTest, MmppHoldsTheLongRunMeanDespiteBursts) {
+  auto config = base_config(ArrivalShape::kMmpp);
+  config.count = 20000;  // many burst/calm cycles
+  const auto times = arrival_times(config);
+  EXPECT_NEAR(empirical_rate(times), 2.0, 0.3);
+}
+
+TEST(ArrivalTest, DiurnalConcentratesArrivalsInTheHighHalfPeriod) {
+  auto config = base_config(ArrivalShape::kDiurnal);
+  config.diurnal_period = 100.0;
+  config.diurnal_amplitude = 0.8;
+  config.count = 5000;
+  const auto times = arrival_times(config);
+  // sin > 0 on [0, P/2) mod P: that half should carry most arrivals.
+  std::size_t high = 0;
+  for (const Seconds t : times) {
+    const double phase = std::fmod(t, config.diurnal_period);
+    if (phase < config.diurnal_period / 2.0) ++high;
+  }
+  EXPECT_GT(static_cast<double>(high) / static_cast<double>(times.size()),
+            0.6);
+}
+
+TEST(ArrivalTest, FlashCrowdSpikesInsideItsWindow) {
+  auto config = base_config(ArrivalShape::kFlashCrowd);
+  config.rate_qps = 1.0;
+  config.flash_at = 60.0;
+  config.flash_duration = 30.0;
+  config.flash_multiplier = 8.0;
+  config.count = 2000;
+  const auto times = arrival_times(config);
+  std::size_t in_window = 0;
+  std::size_t in_baseline = 0;  // same-length window before the flash
+  for (const Seconds t : times) {
+    if (t >= 60.0 && t < 90.0) ++in_window;
+    if (t >= 20.0 && t < 50.0) ++in_baseline;
+  }
+  EXPECT_GT(in_window, 4u * std::max<std::size_t>(in_baseline, 1));
+}
+
+TEST(ArrivalTest, PeakToMeanMatchesTheShapes) {
+  EXPECT_DOUBLE_EQ(peak_to_mean(base_config(ArrivalShape::kPoisson)), 1.0);
+  auto diurnal = base_config(ArrivalShape::kDiurnal);
+  diurnal.diurnal_amplitude = 0.5;
+  EXPECT_DOUBLE_EQ(peak_to_mean(diurnal), 1.5);
+  auto flash = base_config(ArrivalShape::kFlashCrowd);
+  flash.flash_multiplier = 6.0;
+  EXPECT_DOUBLE_EQ(peak_to_mean(flash), 6.0);
+  auto mmpp = base_config(ArrivalShape::kMmpp);
+  mmpp.burst_rate_multiplier = 4.0;
+  mmpp.mean_burst_seconds = 10.0;
+  mmpp.mean_calm_seconds = 30.0;
+  const double f = 10.0 / 40.0;
+  EXPECT_DOUBLE_EQ(peak_to_mean(mmpp), 4.0 / (1.0 - f + 4.0 * f));
+}
+
+TEST(ArrivalTest, BurstyShapesHaveOverdispersedInterarrivals) {
+  EXPECT_DOUBLE_EQ(interarrival_cv2(base_config(ArrivalShape::kPoisson)),
+                   1.0);
+  EXPECT_GT(interarrival_cv2(base_config(ArrivalShape::kMmpp)), 1.1);
+  EXPECT_GT(interarrival_cv2(base_config(ArrivalShape::kFlashCrowd)), 1.0);
+}
+
+TEST(ArrivalTest, StreamPicksStayInRangeAndHonorZipf) {
+  auto config = base_config(ArrivalShape::kPoisson);
+  config.count = 400;
+  config.repeat_exponent = 1.0;
+  config.distinct_questions = 5;
+  const auto stream = arrival_stream(config, 30);
+  ASSERT_EQ(stream.size(), 400u);
+  std::set<std::size_t> distinct;
+  for (const Arrival& a : stream) {
+    EXPECT_LT(a.plan_index, 30u);
+    distinct.insert(a.plan_index);
+  }
+  EXPECT_LE(distinct.size(), 5u);
+  // Times are untouched by the pick configuration (decorrelated streams).
+  auto plain = config;
+  plain.repeat_exponent = 0.0;
+  const auto plain_stream = arrival_stream(plain, 30);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_DOUBLE_EQ(stream[i].at, plain_stream[i].at);
+  }
+}
+
+}  // namespace
+}  // namespace qadist::workload

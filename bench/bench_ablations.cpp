@@ -19,6 +19,7 @@
 #include "common/table.hpp"
 #include "sched/load.hpp"
 #include "support/bench_cli.hpp"
+#include "support/bench_report.hpp"
 #include "support/bench_world.hpp"
 
 int main(int argc, char** argv) {
@@ -31,6 +32,10 @@ int main(int argc, char** argv) {
   constexpr std::size_t kNodes = 8;
   constexpr std::size_t kLowLoadQuestions = 30;
 
+  bench::BenchReport report("ablations");
+  report.config("seeds", std::int64_t{kSeeds});
+  report.config("nodes", std::int64_t{kNodes});
+
   {  // A. load smoothing
     TextTable table({"Smoothing tau", "DQA throughput (q/min)",
                      "DQA mean latency (s)"});
@@ -42,6 +47,10 @@ int main(int argc, char** argv) {
                                                 kSeeds, &cfg);
       table.add_row({tau == 0.0 ? "raw (0)" : format_double(tau, 0) + " s",
                      cell(r.throughput_qpm, 2), cell(r.mean_latency, 1)});
+      const obs::Labels labels = {{"ablation", "load_smoothing"},
+                                  {"tau", format_double(tau, 0)}};
+      report.metric("throughput_qpm", labels, r.throughput_qpm);
+      report.metric("mean_latency_seconds", labels, r.mean_latency);
     }
     std::printf("Ablation A — load-signal damping (DQA, %zu nodes)\n%s\n",
                 kNodes, table.render().c_str());
@@ -58,6 +67,10 @@ int main(int argc, char** argv) {
           bench::run_policy_averaged(world, policy, kNodes, kSeeds);
       table.add_row({std::string(to_string(policy)),
                      cell(r.throughput_qpm, 2), cell(r.mean_latency, 1)});
+      const obs::Labels labels = {{"ablation", "migration"},
+                                  {"policy", std::string(to_string(policy))}};
+      report.metric("throughput_qpm", labels, r.throughput_qpm);
+      report.metric("mean_latency_seconds", labels, r.mean_latency);
     }
     std::printf(
         "Ablation B — question migration off (DNS) vs thresholded (INTER)\n%s\n",
@@ -92,6 +105,11 @@ int main(int argc, char** argv) {
       table.add_row({v.name, cell(high.throughput_qpm, 2),
                      cell(high.mean_latency, 1),
                      cell(low1.latencies.mean() / low4.latencies.mean(), 2)});
+      const obs::Labels labels = {{"ablation", "underload_thresholds"},
+                                  {"variant", v.name}};
+      report.metric("throughput_qpm", labels, high.throughput_qpm);
+      report.metric("low_load_speedup_4", labels,
+                    low1.latencies.mean() / low4.latencies.mean());
     }
     std::printf("Ablation C — under-load thresholds\n%s\n",
                 table.render().c_str());
@@ -107,6 +125,10 @@ int main(int argc, char** argv) {
       const auto m = bench::run_low_load(world, 4, kLowLoadQuestions, &cfg);
       table.add_row({std::string(parallel::to_string(strategy)),
                      cell(m.t_pr.mean(), 2)});
+      report.metric("pr_stage_seconds",
+                    {{"ablation", "pr_strategy"},
+                     {"strategy", std::string(parallel::to_string(strategy))}},
+                    m.t_pr.mean());
     }
     std::printf(
         "Ablation D — PR partitioning: RECV vs SEND (RECV must win: "
@@ -124,6 +146,10 @@ int main(int argc, char** argv) {
       const auto m = bench::run_low_load(world, 8, kLowLoadQuestions, &cfg);
       table.add_row({format_double(mbps, 0) + " Mbps",
                      cell(base1.latencies.mean() / m.latencies.mean(), 2)});
+      report.metric("low_load_speedup_8",
+                    {{"ablation", "network_bandwidth"},
+                     {"net_mbps", format_double(mbps, 0)}},
+                    base1.latencies.mean() / m.latencies.mean());
     }
     std::printf(
         "Ablation E — network bandwidth vs intra-question speedup. The "
@@ -148,6 +174,10 @@ int main(int argc, char** argv) {
       table.add_row({format_double(exponent, 1), cell(dns.mean_latency, 1),
                      cell(dqa.mean_latency, 1),
                      cell_percent(1.0 - dqa.mean_latency / dns.mean_latency)});
+      report.metric("dqa_advantage_fraction",
+                    {{"ablation", "thrashing"},
+                     {"exponent", format_double(exponent, 1)}},
+                    1.0 - dqa.mean_latency / dns.mean_latency);
     }
     std::printf(
         "Ablation F — memory-pressure model (paper Sec. 4.2: swapping past "
@@ -169,6 +199,10 @@ int main(int argc, char** argv) {
       }
       table.add_row({std::string(to_string(policy)), cell(tput / kSeeds, 2),
                      cell(lat / kSeeds, 1), cell(imb / kSeeds, 3)});
+      const obs::Labels labels = {{"ablation", "two_choice"},
+                                  {"policy", std::string(to_string(policy))}};
+      report.metric("throughput_qpm", labels, tput / kSeeds);
+      report.metric("mean_latency_seconds", labels, lat / kSeeds);
     }
     std::printf(
         "Ablation G — power-of-two-choices (extension) vs the paper's "
@@ -203,6 +237,9 @@ int main(int argc, char** argv) {
       dqa /= kSeeds;
       table.add_row({v.name, cell(dns, 1), cell(dqa, 1),
                      cell_percent(1.0 - dqa / dns)});
+      report.metric("dqa_advantage_fraction",
+                    {{"ablation", "heterogeneous"}, {"cluster", v.name}},
+                    1.0 - dqa / dns);
     }
     std::printf(
         "Ablation H — heterogeneous node speeds (extension): load feedback "
@@ -210,5 +247,6 @@ int main(int argc, char** argv) {
         table.render().c_str());
   }
 
+  report.write();
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "common/table.hpp"
 #include "model/inter_question.hpp"
 #include "support/bench_cli.hpp"
+#include "support/bench_report.hpp"
 
 int main(int argc, char** argv) {
   [[maybe_unused]] const auto cli = qadist::bench::BenchCli::parse(argc, argv);
@@ -26,6 +27,10 @@ int main(int argc, char** argv) {
     models.emplace_back(p);
   }
 
+  bench::BenchReport report("fig8_inter_speedup");
+  report.config("protocol", "analytical inter-question model (paper Sec. 5.1)");
+  report.config("question_set", "TREC-9 calibration");
+
   TextTable table({"Processors", "10 Mbps", "100 Mbps", "1 Gbps",
                    "eff. @ 1 Gbps"});
   for (double n : {1.0, 10.0, 50.0, 100.0, 200.0, 400.0, 600.0, 800.0,
@@ -34,6 +39,16 @@ int main(int argc, char** argv) {
                    cell(models[1].speedup(n), 1),
                    cell(models[2].speedup(n), 1),
                    cell(models[2].efficiency(n), 3)});
+    const std::string procs = format_double(n, 0);
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      report.metric("speedup",
+                    {{"processors", procs},
+                     {"net_mbps", format_double(networks[i], 0)}},
+                    models[i].speedup(n));
+    }
+    report.metric("efficiency",
+                  {{"processors", procs}, {"net_mbps", "1000"}},
+                  models[2].efficiency(n));
   }
   std::printf(
       "Figure 8(a) — Analytical system speedup vs network bandwidth\n%s",
@@ -58,5 +73,8 @@ int main(int argc, char** argv) {
   std::printf(
       "Expected: efficiency ~0.9 at 1000 processors on 1 Gbps, and ~0.9 at "
       "100 processors on 100 Mbps (paper Sec. 5.1).\n");
+  report.metric("efficiency_at_1000_procs_1gbps", {},
+                models[2].efficiency(1000.0), 0.9);
+  report.write();
   return 0;
 }

@@ -13,6 +13,7 @@
 #include "common/table.hpp"
 #include "model/intra_question.hpp"
 #include "support/bench_cli.hpp"
+#include "support/bench_report.hpp"
 
 namespace {
 
@@ -32,13 +33,22 @@ int main(int argc, char** argv) {
 
   const double n_values[] = {20, 40, 60, 80, 100, 120, 140, 160, 180, 200};
 
+  bench::BenchReport report("fig9_intra_speedup");
+  report.config("protocol", "analytical intra-question model (paper Sec. 5.2)");
+
   {
     const double nets[] = {1, 10, 100, 1000};
     TextTable table({"Processors", "1 Mbps", "10 Mbps", "100 Mbps", "1 Gbps"});
     for (double n : n_values) {
       std::vector<std::string> row{format_double(n, 0)};
       for (double net : nets) {
-        row.push_back(cell(make_model(1000, net).speedup(n), 2));
+        const double speedup = make_model(1000, net).speedup(n);
+        row.push_back(cell(speedup, 2));
+        report.metric("speedup",
+                      {{"processors", format_double(n, 0)},
+                       {"disk_mbps", "1000"},
+                       {"net_mbps", format_double(net, 0)}},
+                      speedup);
       }
       table.add_row(row);
     }
@@ -53,7 +63,13 @@ int main(int argc, char** argv) {
     for (double n : n_values) {
       std::vector<std::string> row{format_double(n, 0)};
       for (double disk : disks) {
-        row.push_back(cell(make_model(disk, 1000).speedup(n), 2));
+        const double speedup = make_model(disk, 1000).speedup(n);
+        row.push_back(cell(speedup, 2));
+        report.metric("speedup",
+                      {{"processors", format_double(n, 0)},
+                       {"disk_mbps", format_double(disk, 0)},
+                       {"net_mbps", "1000"}},
+                      speedup);
       }
       table.add_row(row);
     }
@@ -64,5 +80,6 @@ int main(int argc, char** argv) {
   std::printf(
       "Expected: columns grow left-to-right in (a) and shrink left-to-right "
       "in (b); every column saturates (Eq. 31's sequential floor).\n");
+  report.write();
   return 0;
 }

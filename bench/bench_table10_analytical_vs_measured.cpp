@@ -12,6 +12,7 @@
 #include "common/table.hpp"
 #include "model/intra_question.hpp"
 #include "support/bench_cli.hpp"
+#include "support/bench_report.hpp"
 #include "support/bench_world.hpp"
 
 int main(int argc, char** argv) {
@@ -46,7 +47,13 @@ int main(int argc, char** argv) {
 
   const auto one = bench::run_low_load(world, 1, kQuestions);
 
+  bench::BenchReport report("table10_analytical_vs_measured");
+  report.config("questions", std::int64_t{kQuestions});
+  report.config("protocol", "low-load serial (paper Sec. 6.2)");
+
   const char* paper[] = {"3.84 vs 3.67", "7.34 vs 5.85", "10.60 vs 7.48"};
+  const double paper_analytical[] = {3.84, 7.34, 10.60};
+  const double paper_measured[] = {3.67, 5.85, 7.48};
   TextTable table({"", "Analytical", "Measured", "paper (analytical vs measured)"});
   const std::size_t node_counts[] = {4, 8, 12};
   for (int row = 0; row < 3; ++row) {
@@ -56,6 +63,11 @@ int main(int argc, char** argv) {
     table.add_row({std::to_string(nodes) + " processors",
                    cell(analytical.speedup(static_cast<double>(nodes)), 2),
                    cell(measured, 2), paper[row]});
+    const obs::Labels labels = {{"nodes", std::to_string(nodes)}};
+    report.metric("analytical_speedup", labels,
+                  analytical.speedup(static_cast<double>(nodes)),
+                  paper_analytical[row]);
+    report.metric("measured_speedup", labels, measured, paper_measured[row]);
   }
 
   std::printf(
@@ -64,5 +76,6 @@ int main(int argc, char** argv) {
   std::printf(
       "Expected shape: measured below analytical, gap growing with nodes "
       "(uneven partition granularity; only 8 PR sub-collections).\n");
+  report.write();
   return 0;
 }

@@ -10,6 +10,7 @@
 
 #include "common/table.hpp"
 #include "support/bench_cli.hpp"
+#include "support/bench_report.hpp"
 #include "support/bench_world.hpp"
 
 int main(int argc, char** argv) {
@@ -43,17 +44,33 @@ int main(int argc, char** argv) {
 
   const double base = ap_time(1, Strategy::kRecv, best_chunk);
 
+  bench::BenchReport report("table11_partitioning");
+  report.config("questions", std::int64_t{kQuestions});
+  report.config("recv_chunk", static_cast<std::int64_t>(best_chunk));
+
   const char* paper[] = {"2.71 / 3.61 / 3.73", "4.78 / 6.25 / 6.58",
                          "7.17 / 9.22 / 9.87"};
+  const double paper_cells[3][3] = {{2.71, 3.61, 3.73},
+                                    {4.78, 6.25, 6.58},
+                                    {7.17, 9.22, 9.87}};
   TextTable table({"", "SEND", "ISEND", "RECV", "paper SEND/ISEND/RECV"});
   const std::size_t node_counts[] = {4, 8, 12};
+  const Strategy strategies[] = {Strategy::kSend, Strategy::kIsend,
+                                 Strategy::kRecv};
   for (int row = 0; row < 3; ++row) {
     const std::size_t nodes = node_counts[row];
-    table.add_row({std::to_string(nodes) + " processors",
-                   cell(base / ap_time(nodes, Strategy::kSend, best_chunk), 2),
-                   cell(base / ap_time(nodes, Strategy::kIsend, best_chunk), 2),
-                   cell(base / ap_time(nodes, Strategy::kRecv, best_chunk), 2),
-                   paper[row]});
+    std::vector<std::string> cells{std::to_string(nodes) + " processors"};
+    for (int col = 0; col < 3; ++col) {
+      const double speedup = base / ap_time(nodes, strategies[col], best_chunk);
+      cells.push_back(cell(speedup, 2));
+      report.metric("ap_speedup",
+                    {{"nodes", std::to_string(nodes)},
+                     {"strategy",
+                      std::string(parallel::to_string(strategies[col]))}},
+                    speedup, paper_cells[row][col]);
+    }
+    cells.push_back(paper[row]);
+    table.add_row(cells);
   }
 
   std::printf(
@@ -61,5 +78,6 @@ int main(int argc, char** argv) {
       "questions)\n%s",
       kQuestions, table.render().c_str());
   std::printf("Expected shape: RECV >= ISEND >> SEND at every node count.\n");
+  report.write();
   return 0;
 }

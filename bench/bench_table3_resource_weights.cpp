@@ -10,6 +10,7 @@
 
 #include "common/table.hpp"
 #include "support/bench_cli.hpp"
+#include "support/bench_report.hpp"
 #include "support/bench_world.hpp"
 
 int main(int argc, char** argv) {
@@ -40,6 +41,22 @@ int main(int argc, char** argv) {
   }
 
   const auto fraction = [](double a, double b) { return a / (a + b); };
+
+  bench::BenchReport report("table3_resource_weights");
+  report.config("plans", static_cast<std::int64_t>(world.plans.size()));
+  report.config("reference_disk_mbps",
+                world.cost->anchors().reference_disk.mbps());
+  const auto emit = [&](const char* module, double cpu, double disk,
+                        double paper_cpu) {
+    report.metric("cpu_weight", {{"module", module}}, fraction(cpu, disk),
+                  paper_cpu);
+    report.metric("disk_weight", {{"module", module}}, fraction(disk, cpu),
+                  1.0 - paper_cpu);
+  };
+  emit("QA", qa_cpu, qa_disk, 0.79);
+  emit("PR", pr_cpu, pr_disk, 0.20);
+  emit("AP", ap_cpu, ap_disk, 1.00);
+
   TextTable table({"Module", "CPU", "DISK", "Paper CPU", "Paper DISK"});
   table.add_row({"QA", cell(fraction(qa_cpu, qa_disk)),
                  cell(fraction(qa_disk, qa_cpu)), "0.79", "0.21"});
@@ -54,5 +71,6 @@ int main(int argc, char** argv) {
   std::printf(
       "Expected shape: the whole task leans CPU, PR is disk-dominated, AP is "
       "pure CPU — the asymmetry the specialized dispatchers exploit.\n");
+  report.write();
   return 0;
 }

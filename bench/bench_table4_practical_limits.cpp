@@ -11,6 +11,7 @@
 #include "common/table.hpp"
 #include "model/intra_question.hpp"
 #include "support/bench_cli.hpp"
+#include "support/bench_report.hpp"
 
 int main(int argc, char** argv) {
   [[maybe_unused]] const auto cli = qadist::bench::BenchCli::parse(argc, argv);
@@ -32,6 +33,9 @@ int main(int argc, char** argv) {
   const double disks[] = {100, 250, 500, 1000};
   const double nets[] = {1, 10, 100, 1000};
 
+  bench::BenchReport report("table4_practical_limits");
+  report.config("protocol", "analytical intra-question model (Eq. 34)");
+
   TextTable table({"disk \\ net", "1 Mbps", "10 Mbps", "100 Mbps", "1 Gbps"});
   for (int d = 0; d < 4; ++d) {
     std::vector<std::string> n_row{format_double(disks[d], 0) + " Mbps"};
@@ -45,6 +49,12 @@ int main(int argc, char** argv) {
                       " S=" + format_double(m.speedup_at_n_max(), 2));
       s_row.push_back("N=" + std::to_string(paper[d][n].n) +
                       " S=" + format_double(paper[d][n].s, 2));
+      const obs::Labels labels = {{"disk_mbps", format_double(disks[d], 0)},
+                                  {"net_mbps", format_double(nets[n], 0)}};
+      report.metric("n_max", labels, m.n_max(),
+                    static_cast<double>(paper[d][n].n));
+      report.metric("speedup_at_n_max", labels, m.speedup_at_n_max(),
+                    paper[d][n].s);
     }
     table.add_row(n_row);
     table.add_row(s_row);
@@ -57,5 +67,6 @@ int main(int argc, char** argv) {
   std::printf(
       "N_max = T_par/T_seq (Eq. 34); S at N_max = T_1/(2 T_seq). More network "
       "helps; more disk bandwidth *reduces* the useful processor count.\n");
+  report.write();
   return 0;
 }

@@ -165,6 +165,47 @@ Metrics run_low_load(const BenchWorld& world, std::size_t nodes,
   return system.run();
 }
 
+model::StageWorkload stage_workload(const BenchWorld& world,
+                                    std::size_t offset, std::size_t stride) {
+  model::StageWorkload w;
+  const Bandwidth disk = world.cost->anchors().reference_disk;
+  w.disk = disk;
+  w.net = cluster::NetworkConfig{}.bandwidth;
+  double count = 0.0;
+  for (std::size_t i = offset; i < world.plans.size(); i += stride) {
+    const cluster::QuestionPlan& plan = world.plans[i];
+    count += 1.0;
+    w.qp_seconds +=
+        plan.qp.cpu_seconds + disk.transfer_time(plan.qp.disk_bytes);
+    w.po_seconds +=
+        plan.po.cpu_seconds + disk.transfer_time(plan.po.disk_bytes);
+    for (const auto& u : plan.pr_units) {
+      w.pr_cpu_seconds += u.demand.cpu_seconds;
+      w.pr_disk_bytes += u.demand.disk_bytes;
+      w.ps_cpu_seconds +=
+          u.ps.cpu_seconds + disk.transfer_time(u.ps.disk_bytes);
+      w.pr_ship_bytes += static_cast<double>(u.bytes_out);
+    }
+    for (const auto& u : plan.ap_units) {
+      w.ap_cpu_seconds +=
+          u.demand.cpu_seconds + disk.transfer_time(u.demand.disk_bytes);
+      w.ap_ship_bytes +=
+          static_cast<double>(u.bytes_in + u.answer_bytes_out);
+    }
+  }
+  if (count > 0.0) {
+    w.qp_seconds /= count;
+    w.po_seconds /= count;
+    w.pr_cpu_seconds /= count;
+    w.pr_disk_bytes /= count;
+    w.ps_cpu_seconds /= count;
+    w.ap_cpu_seconds /= count;
+    w.pr_ship_bytes /= count;
+    w.ap_ship_bytes /= count;
+  }
+  return w;
+}
+
 std::size_t scaled_chunk(const BenchWorld& world, double paper_chunk) {
   const double scale = world.mean_accepted_paragraphs() / 880.0;
   const auto chunk =

@@ -8,6 +8,7 @@
 #include "cluster/system.hpp"
 #include "cluster/workload.hpp"
 #include "corpus/generator.hpp"
+#include "model/predictions.hpp"
 #include "qa/engine.hpp"
 #include "workload/arrival.hpp"
 
@@ -87,5 +88,13 @@ cluster::Metrics run_low_load(const BenchWorld& world, std::size_t nodes,
 /// RECV chunk size scaled from the paper's optimum (40 of ~880 accepted
 /// paragraphs) to this world's accepted-paragraph count.
 std::size_t scaled_chunk(const BenchWorld& world, double paper_chunk = 40.0);
+
+/// Per-stage workload averages of the plans (offset/stride select the same
+/// subsets the workload generators use, e.g. 1/2 for the low-load set),
+/// at the anchors' reference disk — the parameterization the model-drift
+/// monitor's StagePredictor needs (bench_table10's, made reusable).
+model::StageWorkload stage_workload(const BenchWorld& world,
+                                    std::size_t offset = 0,
+                                    std::size_t stride = 1);
 
 }  // namespace qadist::bench

@@ -1,0 +1,280 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_*.json reports (schema qadist-bench-v1).
+
+Compares freshly produced reports against committed baselines, metric by
+metric, with direction-aware relative tolerances:
+
+  * lower-is-better metrics (latency, makespan, overheads, ...) fail when
+    the fresh mean exceeds baseline * (1 + tolerance);
+  * higher-is-better metrics (throughput, speedup, fractions, ...) fail
+    when the fresh mean drops below baseline * (1 - tolerance);
+  * everything else is gated two-sided.
+
+The baseline set drives the comparison: every metric present in a baseline
+report must still exist in the fresh report (a vanished metric is a silent
+coverage loss, so it fails the gate); metrics that only exist in the fresh
+report are reported but never fail.
+
+Usage:
+  scripts/check_regression.py --baseline results/baselines_smoke \
+      --fresh /tmp/fresh_results [--tolerance 0.25] [--verbose]
+  scripts/check_regression.py --baseline ... --fresh ... --self-test
+
+--self-test perturbs one gated metric of every compared report by 2x in
+the failing direction and exits non-zero unless the gate catches all of
+them — the "does the alarm actually ring" check CI runs next to the real
+comparison. Exit codes: 0 pass, 1 regressions (or missed self-test), 2
+usage/configuration errors.
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# Substring -> direction. First match wins; order is meaningful (e.g.
+# "non_degraded_fraction" must hit "fraction" as higher-is-better even
+# though "degraded" alone sounds bad).
+LOWER_IS_BETTER = (
+    "latency",
+    "seconds",
+    "makespan",
+    "overhead",
+    "migrations",
+    "drops",
+    "retries",
+    "failures",
+    "unreachable",
+    "degraded_units",
+    "blame_queue",
+    "blame_retry",
+    "blame_network",
+    "drift_ratio",
+)
+HIGHER_IS_BETTER = (
+    "throughput",
+    "speedup",
+    "qpm",
+    "fraction",
+    "hit_rate",
+    "capacity",
+    "n_max",
+)
+# Metrics excluded from gating entirely: run bookkeeping and exact-shape
+# assertions the bench itself already enforces (comparing them with a
+# relative tolerance is meaningless).
+UNGATED = (
+    "spans",
+    "decomposition_questions_checked",
+    "drift_first_flagged_window",
+    "model_error_ratio",
+)
+# Per-metric tolerance overrides (substring -> relative tolerance): these
+# are legitimately noisier than the default band, e.g. share deltas close
+# to zero.
+TOLERANCE_OVERRIDES = {
+    "blame_": 1.0,
+    "drift_ratio": 0.5,
+    "_delta": 5.0,
+    # Wall-clock host measurements (micro benches): only order-of-magnitude
+    # regressions are meaningful across machines.
+    "micro_": 9.0,
+}
+
+
+def direction(name):
+    for needle in UNGATED:
+        if needle in name:
+            return "ungated"
+    for needle in HIGHER_IS_BETTER:
+        if needle in name:
+            return "higher"
+    for needle in LOWER_IS_BETTER:
+        if needle in name:
+            return "lower"
+    return "both"
+
+
+def tolerance_for(name, default):
+    for needle, tol in TOLERANCE_OVERRIDES.items():
+        if needle in name:
+            return max(tol, default)
+    return default
+
+
+def metric_key(metric):
+    labels = metric.get("labels", {})
+    return (metric.get("name", ""), tuple(sorted(labels.items())))
+
+
+def load_report(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "qadist-bench-v1":
+        raise ValueError(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def key_str(key):
+    name, labels = key
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{rendered}}}"
+
+
+def check_metric(key, base_mean, fresh_mean, default_tolerance):
+    """Returns (failed, message-or-None) for one metric comparison."""
+    name = key[0]
+    dirn = direction(name)
+    if dirn == "ungated":
+        return False, None
+    tol = tolerance_for(name, default_tolerance)
+    # Tiny baselines make relative comparison explode; use an absolute
+    # floor so a 0.0001 -> 0.0003 jitter on a near-zero metric passes.
+    floor = 1e-3
+    scale = max(abs(base_mean), floor)
+    delta = fresh_mean - base_mean
+    why = {"lower": "lower is better", "higher": "higher is better",
+           "both": "gated two-sided"}[dirn]
+    if dirn in ("lower", "both") and delta > tol * scale:
+        return True, (
+            f"{key_str(key)}: {base_mean:.6g} -> {fresh_mean:.6g} "
+            f"(+{delta / scale:.1%}, tolerance {tol:.0%}, {why})"
+        )
+    if dirn in ("higher", "both") and -delta > tol * scale:
+        return True, (
+            f"{key_str(key)}: {base_mean:.6g} -> {fresh_mean:.6g} "
+            f"({delta / scale:.1%}, tolerance {tol:.0%}, {why})"
+        )
+    return False, None
+
+
+def compare_report(base_doc, fresh_doc, default_tolerance, verbose):
+    """Returns a list of failure messages for one bench report pair."""
+    failures = []
+    base_metrics = {metric_key(m): m for m in base_doc.get("metrics", [])}
+    fresh_metrics = {metric_key(m): m for m in fresh_doc.get("metrics", [])}
+    for key, base_m in sorted(base_metrics.items()):
+        fresh_m = fresh_metrics.get(key)
+        if fresh_m is None:
+            failures.append(f"{key_str(key)}: metric vanished from report")
+            continue
+        failed, msg = check_metric(
+            key, base_m.get("mean", 0.0), fresh_m.get("mean", 0.0),
+            default_tolerance)
+        if failed:
+            failures.append(msg)
+        elif verbose:
+            print(f"    ok {key_str(key)}: {base_m.get('mean', 0.0):.6g} -> "
+                  f"{fresh_m.get('mean', 0.0):.6g}")
+    extra = sorted(set(fresh_metrics) - set(base_metrics))
+    if extra and verbose:
+        for key in extra:
+            print(f"    new (ungated) {key_str(key)}")
+    return failures
+
+
+def self_test(pairs, default_tolerance):
+    """Perturbs one gated metric per report by 2x the failing way; the gate
+    must catch every seeded regression."""
+    missed = []
+    seeded = 0
+    for name, base_doc, fresh_doc in pairs:
+        perturbed = json.loads(json.dumps(fresh_doc))  # deep copy
+        target = None
+        for m in perturbed.get("metrics", []):
+            dirn = direction(m.get("name", ""))
+            if dirn in ("lower", "both") and abs(m.get("mean", 0.0)) > 1e-3:
+                target = m
+                m["mean"] = m["mean"] * 2.0
+                break
+            if dirn == "higher" and abs(m.get("mean", 0.0)) > 1e-3:
+                target = m
+                m["mean"] = m["mean"] * 0.5
+                break
+        if target is None:
+            continue  # nothing gateable in this report
+        seeded += 1
+        failures = compare_report(base_doc, perturbed, default_tolerance,
+                                  verbose=False)
+        if not failures:
+            missed.append(f"{name}: seeded 2x regression on "
+                          f"'{target['name']}' went undetected")
+    if seeded == 0:
+        print("self-test: no gateable metrics found", file=sys.stderr)
+        return 2
+    for msg in missed:
+        print(f"SELF-TEST MISS: {msg}")
+    print(f"self-test: {seeded} seeded regressions, "
+          f"{seeded - len(missed)} caught")
+    return 1 if missed else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="directory with committed BENCH_*.json baselines")
+    parser.add_argument("--fresh", required=True,
+                        help="directory with freshly produced BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="default relative tolerance (default 0.25)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="seed 2x regressions and require detection")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args()
+
+    baseline_paths = sorted(glob.glob(
+        os.path.join(args.baseline, "BENCH_*.json")))
+    if not baseline_paths:
+        print(f"no BENCH_*.json baselines in {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    pairs = []
+    failures = []
+    for base_path in baseline_paths:
+        name = os.path.basename(base_path)
+        fresh_path = os.path.join(args.fresh, name)
+        if not os.path.exists(fresh_path):
+            failures.append(f"{name}: fresh report missing (bench not run "
+                            "or crashed before writing)")
+            continue
+        try:
+            base_doc = load_report(base_path)
+            fresh_doc = load_report(fresh_path)
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            print(f"error reading reports: {err}", file=sys.stderr)
+            return 2
+        pairs.append((name, base_doc, fresh_doc))
+
+    if args.self_test:
+        return self_test(pairs, args.tolerance)
+
+    for name, base_doc, fresh_doc in pairs:
+        if args.verbose:
+            print(f"-- {name}")
+        report_failures = compare_report(base_doc, fresh_doc, args.tolerance,
+                                         args.verbose)
+        failures.extend(f"{name}: {msg}" for msg in report_failures)
+
+    compared = len(pairs)
+    if failures:
+        print(f"REGRESSION GATE FAILED — {len(failures)} finding(s) over "
+              f"{compared} report(s):")
+        for msg in failures:
+            print(f"  {msg}")
+        return 1
+    print(f"regression gate passed: {compared} report(s) within tolerance "
+          f"{args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # output piped into head etc.
+        sys.exit(0)

@@ -15,20 +15,49 @@ mkdir -p results
 echo "== tests =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure 2>&1 | tee results/tests.txt
 
+# Every harness must exist, be runnable, and exit zero — a bench that
+# silently vanishes or crashes is a coverage loss, so the script fails
+# loudly instead of skipping it (pipefail makes the tee pipelines honor
+# the binary's exit status).
+failures=()
+
 echo "== benches =="
+bench_count=0
 for b in "$BUILD_DIR"/bench/bench_*; do
-  [ -f "$b" ] && [ -x "$b" ] || continue
+  [ -f "$b" ] || continue
   name="$(basename "$b")"
+  if [ ! -x "$b" ]; then
+    echo "ERROR: $name exists but is not executable"
+    failures+=("$name (not executable)")
+    continue
+  fi
+  bench_count=$((bench_count + 1))
   echo "-- $name"
-  "$b" 2>/dev/null | tee "results/$name.txt"
+  if ! "$b" | tee "results/$name.txt"; then
+    echo "ERROR: $name exited non-zero"
+    failures+=("$name")
+  fi
 done
+if [ "$bench_count" -eq 0 ]; then
+  echo "ERROR: no bench binaries found under $BUILD_DIR/bench"
+  failures+=("no bench binaries")
+fi
 
 echo "== examples =="
 for e in "$BUILD_DIR"/examples/*; do
-  [ -f "$e" ] && [ -x "$e" ] || continue
+  [ -f "$e" ] || continue
   name="$(basename "$e")"
+  case "$name" in *.cmake | Makefile | *.ninja*) continue ;; esac
+  if [ ! -x "$e" ]; then
+    echo "ERROR: example $name exists but is not executable"
+    failures+=("example_$name (not executable)")
+    continue
+  fi
   echo "-- $name"
-  "$e" 2>/dev/null | tee "results/example_$name.txt"
+  if ! "$e" | tee "results/example_$name.txt"; then
+    echo "ERROR: example $name exited non-zero"
+    failures+=("example_$name")
+  fi
 done
 
 # Structured twins: benches emit machine-readable BENCH_<name>.json
@@ -88,6 +117,12 @@ print(f"results/INDEX.json indexes {len(benches)} reports.")
 PY
 else
   echo "python3 not found; skipping results/INDEX.json."
+fi
+
+if [ "${#failures[@]}" -gt 0 ]; then
+  echo "REPRODUCE FAILED — ${#failures[@]} harness(es) missing or broken:"
+  printf '  %s\n' "${failures[@]}"
+  exit 1
 fi
 
 echo "All outputs written to results/."

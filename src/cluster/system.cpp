@@ -583,11 +583,13 @@ bool System::deadline_exceeded(const QuestionState& q) const {
 }
 
 simnet::Task<bool> System::ship(double bytes, NodeId src, NodeId dst,
-                                Seconds deadline) {
+                                Seconds deadline, ShipCost* cost) {
   if (injector_ == nullptr) {
     // Reliable link: exactly the transfer() event sequence, so fault-free
     // runs stay bit-identical to builds without this layer.
+    const Seconds t0 = sim_.now();
     co_await network_->transfer(bytes);
+    if (cost != nullptr) cost->transfer += sim_.now() - t0;
     co_return true;
   }
   const ReliabilityConfig& rel = config_.net.reliability;
@@ -599,7 +601,9 @@ simnet::Task<bool> System::ship(double bytes, NodeId src, NodeId dst,
   [[maybe_unused]] const std::uint64_t seq = next_msg_seq_++;
   Seconds backoff = rel.backoff_base;
   for (std::size_t attempt = 0;; ++attempt) {
+    const Seconds t0 = sim_.now();
     const simnet::LinkVerdict verdict = co_await network_->send(bytes, src, dst);
+    if (cost != nullptr) cost->transfer += sim_.now() - t0;
     if (verdict.delivered) co_return true;
     if (attempt >= rel.max_retries) break;
     if (deadline > 0.0 && sim_.now() >= deadline) break;
@@ -607,7 +611,9 @@ simnet::Task<bool> System::ship(double bytes, NodeId src, NodeId dst,
     const Seconds wait = std::min(backoff, rel.backoff_max) *
                          (1.0 + rel.backoff_jitter * net_rng_.uniform01());
     backoff *= 2.0;
+    const Seconds b0 = sim_.now();
     co_await simnet::Delay(sim_, wait);
+    if (cost != nullptr) cost->backoff += sim_.now() - b0;
   }
   ins_.net_send_failures->inc();
   co_return false;
@@ -1086,6 +1092,7 @@ simnet::SimProcess System::pr_leg(QuestionState& q,
   bool sent_keywords = node == host;  // local leg ships nothing
   double leg_ps = 0.0;
   std::size_t units_done = 0;
+  ShipCost ship_cost;  // wire vs backoff time, stamped on the leg span
   const auto dead = [&] { return crash_epoch_[node] != slot->epoch; };
   // Unreachable protocol: a ship() that exhausts its retries means the
   // peer is cut off, not crashed. The leg reports its index with the
@@ -1095,7 +1102,9 @@ simnet::SimProcess System::pr_leg(QuestionState& q,
   const auto abort_unreachable = [&] {
     if (tracer_ != nullptr && slot->leg_span != obs::kNoSpan) {
       tracer_->end_span(slot->leg_span, sim_.now(),
-                        {{"unreachable", std::int64_t{1}}});
+                        {{"unreachable", std::int64_t{1}},
+                         {"net_seconds", ship_cost.transfer},
+                         {"backoff_seconds", ship_cost.backoff}});
       slot->leg_span = obs::kNoSpan;
     }
     q.t_ps_max = std::max(q.t_ps_max, leg_ps);
@@ -1122,8 +1131,9 @@ simnet::SimProcess System::pr_leg(QuestionState& q,
 
     if (!sent_keywords) {
       const Seconds t0 = sim_.now();
-      const bool delivered = co_await ship(
-          static_cast<double>(plan.keyword_bytes), host, node, deadline);
+      const bool delivered =
+          co_await ship(static_cast<double>(plan.keyword_bytes), host, node,
+                        deadline, &ship_cost);
       if (dead()) co_return;
       if (!delivered) {
         abort_unreachable();
@@ -1167,7 +1177,8 @@ simnet::SimProcess System::pr_leg(QuestionState& q,
       // the host re-reads them from its disk (paper Eq. 27).
       const Seconds t0 = sim_.now();
       const bool delivered = co_await ship(
-          static_cast<double>(unit.bytes_out), node, host, deadline);
+          static_cast<double>(unit.bytes_out), node, host, deadline,
+          &ship_cost);
       if (dead()) co_return;
       if (!delivered) {
         abort_unreachable();  // in_flight stays set: the unit is redone
@@ -1185,7 +1196,9 @@ simnet::SimProcess System::pr_leg(QuestionState& q,
   q.t_ps_max = std::max(q.t_ps_max, leg_ps);
   if (tracer_ != nullptr && slot->leg_span != obs::kNoSpan) {
     tracer_->end_span(slot->leg_span, sim_.now(),
-                      {{"units", static_cast<std::int64_t>(units_done)}});
+                      {{"units", static_cast<std::int64_t>(units_done)},
+                       {"net_seconds", ship_cost.transfer},
+                       {"backoff_seconds", ship_cost.backoff}});
     slot->leg_span = obs::kNoSpan;
   }
   slot->reported = true;
@@ -1205,13 +1218,16 @@ simnet::SimProcess System::ap_leg(QuestionState& q,
   const bool remote = node != host;
   const Seconds leg_start = sim_.now();
   std::size_t processed = 0;
+  ShipCost ship_cost;  // see pr_leg
   const auto dead = [&] { return crash_epoch_[node] != slot->epoch; };
   // Same unreachable protocol as pr_leg: give up, leave the pending work
   // in the slot, report for the coordinator to recover or degrade.
   const auto abort_unreachable = [&] {
     if (tracer_ != nullptr && slot->leg_span != obs::kNoSpan) {
       tracer_->end_span(slot->leg_span, sim_.now(),
-                        {{"unreachable", std::int64_t{1}}});
+                        {{"unreachable", std::int64_t{1}},
+                         {"net_seconds", ship_cost.transfer},
+                         {"backoff_seconds", ship_cost.backoff}});
       slot->leg_span = obs::kNoSpan;
     }
     slot->unreachable = true;
@@ -1248,7 +1264,7 @@ simnet::SimProcess System::ap_leg(QuestionState& q,
       if (remote && bytes_in > 0) {
         const Seconds t0 = sim_.now();
         const bool delivered = co_await ship(static_cast<double>(bytes_in),
-                                             host, node, deadline);
+                                             host, node, deadline, &ship_cost);
         if (dead()) co_return;
         if (!delivered) {
           abort_unreachable();  // in-flight chunk stays in the slot
@@ -1268,7 +1284,7 @@ simnet::SimProcess System::ap_leg(QuestionState& q,
       if (remote && bytes_out > 0) {
         const Seconds t0 = sim_.now();
         const bool delivered = co_await ship(static_cast<double>(bytes_out),
-                                             node, host, deadline);
+                                             node, host, deadline, &ship_cost);
         if (dead()) co_return;
         if (!delivered) {
           abort_unreachable();  // answers never landed: chunk is redone
@@ -1291,7 +1307,7 @@ simnet::SimProcess System::ap_leg(QuestionState& q,
     if (remote && bytes_in > 0) {
       const Seconds t0 = sim_.now();
       const bool delivered = co_await ship(static_cast<double>(bytes_in),
-                                           host, node, deadline);
+                                           host, node, deadline, &ship_cost);
       if (dead()) co_return;
       if (!delivered) {
         abort_unreachable();  // the whole partition stays in the slot
@@ -1313,7 +1329,7 @@ simnet::SimProcess System::ap_leg(QuestionState& q,
     if (remote && bytes_out > 0) {
       const Seconds t0 = sim_.now();
       const bool delivered = co_await ship(static_cast<double>(bytes_out),
-                                           node, host, deadline);
+                                           node, host, deadline, &ship_cost);
       if (dead()) co_return;
       if (!delivered) {
         abort_unreachable();  // answers never landed: partition is redone
@@ -1331,7 +1347,9 @@ simnet::SimProcess System::ap_leg(QuestionState& q,
   }
   if (tracer_ != nullptr && slot->leg_span != obs::kNoSpan) {
     tracer_->end_span(slot->leg_span, sim_.now(),
-                      {{"paragraphs", static_cast<std::int64_t>(processed)}});
+                      {{"paragraphs", static_cast<std::int64_t>(processed)},
+                       {"net_seconds", ship_cost.transfer},
+                       {"backoff_seconds", ship_cost.backoff}});
     slot->leg_span = obs::kNoSpan;
   }
   slot->reported = true;

@@ -394,15 +394,24 @@ class System {
                             std::size_t index,
                             simnet::Mailbox<std::size_t>& reports);
 
+  /// Where a ship() call's wall-clock went: time with frames on the wire
+  /// (delivered or dropped) versus time sleeping between retry attempts.
+  /// Pure bookkeeping for the critical-path attribution — accumulating it
+  /// never changes the event sequence.
+  struct ShipCost {
+    Seconds transfer = 0.0;
+    Seconds backoff = 0.0;
+  };
+
   /// Reliable unicast: moves `bytes` from `src` to `dst` with bounded
   /// retries (exponential backoff + jitter) and an idempotent sequence
   /// number per logical message. Resolves true once delivered, false when
   /// the retry budget (or the question deadline, when set) is exhausted —
   /// the peer is then unreachable as far as this RPC is concerned. With no
   /// fault injector installed this is exactly one transfer (bit-identical
-  /// fast path).
+  /// fast path). A non-null `cost` accumulates the transfer/backoff split.
   simnet::Task<bool> ship(double bytes, sched::NodeId src, sched::NodeId dst,
-                          Seconds deadline);
+                          Seconds deadline, ShipCost* cost = nullptr);
 
   /// Whether placement may target `node`: it must be up, and — when the
   /// failure detector drives placement — not currently suspected.

@@ -1,0 +1,43 @@
+#include "model/predictions.hpp"
+
+#include <algorithm>
+
+namespace qadist::model {
+
+std::optional<double> StagePrediction::stage(std::string_view name) const {
+  if (name == "QP") return qp;
+  if (name == "PR") return pr;
+  if (name == "PS") return ps;
+  if (name == "PO") return po;
+  if (name == "AP") return ap;
+  return std::nullopt;
+}
+
+StagePrediction StagePredictor::predict(double nodes) const {
+  const double n = std::max(1.0, nodes);
+  const double remote = (n - 1.0) / n;  // fraction of legs off-host
+  StagePrediction p;
+  p.qp = w_.qp_seconds;
+  p.po = w_.po_seconds;
+  p.ps = w_.ps_cpu_seconds / n;
+  p.pr = (w_.pr_cpu_seconds + w_.disk.transfer_time(w_.pr_disk_bytes)) / n +
+         p.ps + remote * w_.net.transfer_time(w_.pr_ship_bytes);
+  p.ap = w_.ap_cpu_seconds / n +
+         remote * w_.net.transfer_time(w_.ap_ship_bytes);
+  return p;
+}
+
+IntraQuestionParams StagePredictor::intra_params() const {
+  IntraQuestionParams params;
+  params.t_qp = w_.qp_seconds;
+  params.t_po = w_.po_seconds;
+  params.t_cpu_parallel =
+      w_.pr_cpu_seconds + w_.ps_cpu_seconds + w_.ap_cpu_seconds;
+  params.v_io = w_.pr_disk_bytes;
+  params.w_partition_bytes = w_.pr_ship_bytes + w_.ap_ship_bytes;
+  params.net = w_.net;
+  params.disk = w_.disk;
+  return params;
+}
+
+}  // namespace qadist::model

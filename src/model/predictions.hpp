@@ -1,0 +1,67 @@
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "model/params.hpp"
+
+namespace qadist::model {
+
+/// Per-question workload averages of one run's question mix, split by
+/// pipeline stage. Measured from the actual question plans (the
+/// bench_table10 parameterization made reusable), so the analytical
+/// predictions and the simulator describe the same questions.
+struct StageWorkload {
+  double qp_seconds = 0.0;      ///< QP service time (sequential)
+  double po_seconds = 0.0;      ///< PO service time (sequential)
+  double pr_cpu_seconds = 0.0;  ///< PR compute, whole question
+  double pr_disk_bytes = 0.0;   ///< index/collection bytes PR scans
+  double ps_cpu_seconds = 0.0;  ///< paragraph-scoring compute
+  double ap_cpu_seconds = 0.0;  ///< AP compute, whole question
+  double pr_ship_bytes = 0.0;   ///< paragraphs shipped home by remote PR legs
+  double ap_ship_bytes = 0.0;   ///< paragraphs out + answers back for AP
+  Bandwidth net = Bandwidth::from_mbps(100);
+  Bandwidth disk = Bandwidth::from_mbps(250);
+};
+
+/// Predicted wall seconds per pipeline stage at one cluster size. PR is
+/// the fork-join stage wall — it contains the scoring (PS) time, exactly
+/// as the measured PR span contains its PS sub-spans; PS is additionally
+/// broken out on its own for the separately-measured PS series.
+struct StagePrediction {
+  double qp = 0.0;
+  double pr = 0.0;
+  double ps = 0.0;
+  double po = 0.0;
+  double ap = 0.0;
+
+  /// Predicted question time: the stage sum minus the PS part already
+  /// inside PR.
+  [[nodiscard]] double total() const { return qp + pr + po + ap; }
+
+  /// Lookup by the span/rollup stage name ("QP", "PR", "PS", "PO", "AP");
+  /// nullopt for names the model does not predict.
+  [[nodiscard]] std::optional<double> stage(std::string_view name) const;
+};
+
+/// Analytical per-stage runtime twin of the simulator: given the measured
+/// workload averages, predicts what each stage *should* cost on an n-node
+/// cluster. The parallel stages (PR, PS, AP) shrink as 1/n; shipping only
+/// applies to the (n-1)/n of units that land on remote nodes.
+class StagePredictor {
+ public:
+  explicit StagePredictor(StageWorkload workload) : w_(workload) {}
+
+  [[nodiscard]] StagePrediction predict(double nodes) const;
+
+  /// The same workload expressed in the intra-question model's parameters
+  /// (Eq. 24-36), for speedup/N_max questions.
+  [[nodiscard]] IntraQuestionParams intra_params() const;
+
+  [[nodiscard]] const StageWorkload& workload() const { return w_; }
+
+ private:
+  StageWorkload w_;
+};
+
+}  // namespace qadist::model

@@ -1,0 +1,207 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/table.hpp"
+
+namespace qadist::obs {
+namespace {
+
+using ChildIndex =
+    std::unordered_map<SpanId, std::vector<const SpanRecord*>>;
+
+/// Closed spans grouped by parent, each group in (start, id) order —
+/// the order the coordinator emitted them.
+ChildIndex index_children(const Tracer& tracer) {
+  ChildIndex index;
+  for (const SpanRecord& span : tracer.spans()) {
+    if (!span.closed || span.parent == kNoSpan) continue;
+    index[span.parent].push_back(&span);
+  }
+  for (auto& [parent, children] : index) {
+    std::sort(children.begin(), children.end(),
+              [](const SpanRecord* a, const SpanRecord* b) {
+                return a->start != b->start ? a->start < b->start
+                                            : a->id < b->id;
+              });
+  }
+  return index;
+}
+
+double duration(const SpanRecord& span) { return span.end - span.start; }
+
+/// Fork-join stage (PR/AP): the critical leg — the one that finished last
+/// — sets the stage interval. Time before it started is recovery spawn
+/// delay (retry); time after it ended is gather/merge tail (merge); the
+/// leg itself splits into wire time, retry backoff, scoring sub-spans, and
+/// the module's own service remainder.
+void decompose_stage(const SpanRecord& stage, const ChildIndex& index,
+                     double& module_service, QuestionBreakdown& out) {
+  const auto legs_it = index.find(stage.id);
+  if (legs_it == index.end() || legs_it->second.empty()) {
+    // No legs ran (e.g. every unit was unplaced): the whole interval is
+    // coordinator supervision.
+    out.merge += duration(stage);
+    return;
+  }
+  const SpanRecord* crit = legs_it->second.front();
+  for (const SpanRecord* leg : legs_it->second) {
+    if (leg->end > crit->end ||
+        (leg->end == crit->end && leg->start > crit->start)) {
+      crit = leg;
+    }
+  }
+  out.retry += std::max(0.0, crit->start - stage.start);
+  out.merge += std::max(0.0, stage.end - crit->end);
+  const double net = attr_double(crit->attrs, "net_seconds").value_or(0.0);
+  const double backoff = attr_double(crit->attrs, "backoff_seconds").value_or(0.0);
+  double ps = 0.0;
+  if (const auto sub_it = index.find(crit->id); sub_it != index.end()) {
+    for (const SpanRecord* sub : sub_it->second) {
+      if (sub->name == "PS") ps += duration(*sub);
+    }
+  }
+  out.network += net;
+  out.retry += backoff;
+  out.service.ps += ps;
+  module_service += duration(*crit) - net - backoff - ps;
+  out.critical_legs.push_back(
+      CriticalLeg{stage.name, crit->node, duration(*crit)});
+}
+
+QuestionBreakdown analyze_question(const SpanRecord& q,
+                                   const ChildIndex& index) {
+  QuestionBreakdown out;
+  out.question = attr_int(q.attrs, "question").value_or(-1);
+  out.restarts = attr_int(q.attrs, "restarts").value_or(0);
+  out.cached = attr_int(q.attrs, "cached").value_or(0) != 0;
+  out.degraded = attr_int(q.attrs, "degraded").value_or(0) != 0;
+  const double span_duration = duration(q);
+  out.total = attr_double(q.attrs, "latency_seconds").value_or(span_duration);
+  // Latency counts from arrival, the span from execution start: the
+  // difference is the admission-queue wait.
+  out.queue = out.total - span_duration;
+
+  double cursor = q.start;
+  bool first = true;
+  const auto children_it = index.find(q.id);
+  if (children_it != index.end()) {
+    for (const SpanRecord* child : children_it->second) {
+      const double gap = std::max(0.0, child->start - cursor);
+      if (first) {
+        // Before any stage ran, the only thing that takes time is moving
+        // the question to its host (dispatch migration).
+        out.network += gap;
+      } else {
+        // Between stages nothing waits on a healthy run; a gap here is the
+        // crash-detection delay before a restarted attempt (plus the work
+        // the dead attempt burned).
+        out.retry += gap;
+      }
+      first = false;
+      if (child->name == "cache lookup") {
+        out.service.cache_lookup += duration(*child);
+      } else if (child->name == "QP") {
+        out.service.qp += duration(*child);
+      } else if (child->name == "PO") {
+        out.service.po += duration(*child);
+      } else if (child->name == "PR") {
+        decompose_stage(*child, index, out.service.pr, out);
+      } else if (child->name == "AP") {
+        decompose_stage(*child, index, out.service.ap, out);
+      } else {
+        out.service.other += duration(*child);
+      }
+      cursor = std::max(cursor, child->end);
+    }
+  }
+  // After the last stage the host merges and sorts the answers (no span of
+  // its own — it is the question span's tail).
+  out.merge += std::max(0.0, q.end - cursor);
+  return out;
+}
+
+}  // namespace
+
+std::vector<QuestionBreakdown> analyze_questions(const Tracer& tracer) {
+  const ChildIndex index = index_children(tracer);
+  std::vector<QuestionBreakdown> out;
+  for (const SpanRecord& span : tracer.spans()) {
+    if (!span.closed || span.name != "question") continue;
+    out.push_back(analyze_question(span, index));
+  }
+  return out;
+}
+
+RunAttribution attribute_run(
+    const std::vector<QuestionBreakdown>& questions) {
+  RunAttribution run;
+  for (const QuestionBreakdown& q : questions) {
+    ++run.questions;
+    run.total += q.total;
+    run.queue += q.queue;
+    run.network += q.network;
+    run.retry += q.retry;
+    run.merge += q.merge;
+    run.service.cache_lookup += q.service.cache_lookup;
+    run.service.qp += q.service.qp;
+    run.service.pr += q.service.pr;
+    run.service.ps += q.service.ps;
+    run.service.po += q.service.po;
+    run.service.ap += q.service.ap;
+    run.service.other += q.service.other;
+    if (q.cached) ++run.cached;
+    if (q.degraded) ++run.degraded;
+    for (const CriticalLeg& leg : q.critical_legs) {
+      if (leg.node >= run.critical_leg_counts.size()) {
+        run.critical_leg_counts.resize(leg.node + 1, 0);
+      }
+      ++run.critical_leg_counts[leg.node];
+    }
+  }
+  return run;
+}
+
+RunAttribution attribute_run(const Tracer& tracer) {
+  return attribute_run(analyze_questions(tracer));
+}
+
+std::string render_attribution(const RunAttribution& run) {
+  TextTable table({"Component", "Seconds", "Blame share"});
+  const auto row = [&](const char* name, double seconds) {
+    table.add_row({name, cell(seconds, 3), cell_percent(run.share(seconds))});
+  };
+  row("queue wait", run.queue);
+  row("service QP", run.service.qp);
+  row("service PR", run.service.pr);
+  row("service PS", run.service.ps);
+  row("service PO", run.service.po);
+  row("service AP", run.service.ap);
+  if (run.service.cache_lookup > 0.0) {
+    row("service cache lookup", run.service.cache_lookup);
+  }
+  if (run.service.other > 0.0) row("service (other)", run.service.other);
+  row("network transfer", run.network);
+  row("retry + backoff", run.retry);
+  row("merge + gather", run.merge);
+  table.add_separator();
+  row("total", run.total);
+
+  std::ostringstream os;
+  os << table.render();
+  os << run.questions << " questions (" << run.cached << " cached, "
+     << run.degraded << " degraded)\n";
+  if (!run.critical_leg_counts.empty()) {
+    os << "critical fork-join legs per node:";
+    for (std::size_t n = 0; n < run.critical_leg_counts.size(); ++n) {
+      os << " N" << (n + 1) << "=" << run.critical_leg_counts[n];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace qadist::obs

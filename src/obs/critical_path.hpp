@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace qadist::obs {
+
+/// Per-module service seconds of one question (the paper's Table 8 axis,
+/// recovered from the span tree instead of the registry histograms).
+struct ServiceBreakdown {
+  double cache_lookup = 0.0;
+  double qp = 0.0;
+  double pr = 0.0;  ///< retrieval work on the critical PR leg (CPU + disk)
+  double ps = 0.0;  ///< scoring sub-spans of the critical PR leg
+  double po = 0.0;
+  double ap = 0.0;
+  double other = 0.0;  ///< unrecognized stage spans (forward compatibility)
+
+  [[nodiscard]] double total() const {
+    return cache_lookup + qp + pr + ps + po + ap + other;
+  }
+};
+
+/// One leg on a question's critical path: the last-finishing leg of a
+/// fork-join stage — the one that set the stage's (and thus the
+/// question's) latency.
+struct CriticalLeg {
+  std::string stage;       ///< "PR" or "AP"
+  std::uint32_t node = 0;  ///< node the leg ran on
+  double seconds = 0.0;    ///< leg interval (service + network + backoff)
+};
+
+/// Exact decomposition of one traced question's end-to-end latency.
+/// By construction the five components always sum to `total`:
+///
+///   total = queue + service.total() + network + retry + merge
+///
+/// * queue   — admission-queue wait before the question started executing
+///             (latency_seconds minus the question span's duration).
+/// * service — per-module compute/disk time on the critical path. For the
+///             fork-join PR/AP stages this is the *critical leg* (the one
+///             that finished last), not the mean over legs.
+/// * network — time with frames on the wire: dispatch migration (the lead
+///             gap before the first stage) plus the critical legs'
+///             `net_seconds`.
+/// * retry   — time lost to failures: ship() retry backoff on the critical
+///             legs, recovery-leg spawn delay after a liveness sweep, and
+///             crash-detection waits between restart attempts.
+/// * merge   — gather/merge tails: stage time after the critical leg ended
+///             (partial merges, supervision slack) plus the final answer
+///             merging + sorting after AP.
+struct QuestionBreakdown {
+  std::int64_t question = -1;  ///< plan id from the span's begin attrs
+  double total = 0.0;          ///< end-to-end latency (incl. queue wait)
+  double queue = 0.0;
+  double network = 0.0;
+  double retry = 0.0;
+  double merge = 0.0;
+  ServiceBreakdown service;
+  std::vector<CriticalLeg> critical_legs;
+  std::int64_t restarts = 0;
+  bool cached = false;
+  bool degraded = false;
+
+  /// Component sum; equals `total` up to floating-point round-off.
+  [[nodiscard]] double component_sum() const {
+    return queue + service.total() + network + retry + merge;
+  }
+};
+
+/// Run-level aggregate: component sums over every analyzed question, so
+/// `share(x)` is the blame share — the fraction of all question-seconds
+/// the component is responsible for.
+struct RunAttribution {
+  std::size_t questions = 0;
+  double total = 0.0;
+  double queue = 0.0;
+  double network = 0.0;
+  double retry = 0.0;
+  double merge = 0.0;
+  ServiceBreakdown service;
+  std::size_t cached = 0;
+  std::size_t degraded = 0;
+  /// critical_leg_counts[node] = how many fork-join stages this node's leg
+  /// decided — the "which node makes questions slow" histogram.
+  std::vector<std::size_t> critical_leg_counts;
+
+  [[nodiscard]] double share(double component) const {
+    return total > 0.0 ? component / total : 0.0;
+  }
+};
+
+/// Walks every closed "question" span in the tracer and decomposes it.
+/// Questions served at admission time (shed/degraded arrivals) have no
+/// span and therefore no breakdown; open spans are skipped.
+[[nodiscard]] std::vector<QuestionBreakdown> analyze_questions(
+    const Tracer& tracer);
+
+/// Folds per-question breakdowns into run totals and blame shares.
+[[nodiscard]] RunAttribution attribute_run(
+    const std::vector<QuestionBreakdown>& questions);
+
+/// Convenience: analyze_questions + attribute_run.
+[[nodiscard]] RunAttribution attribute_run(const Tracer& tracer);
+
+/// Human-readable blame-share table (component, seconds, share of total).
+[[nodiscard]] std::string render_attribution(const RunAttribution& run);
+
+}  // namespace qadist::obs

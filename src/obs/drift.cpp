@@ -1,0 +1,140 @@
+#include "obs/drift.hpp"
+
+#include <map>
+#include <sstream>
+#include <string_view>
+
+#include "common/table.hpp"
+
+namespace qadist::obs {
+namespace {
+
+/// Judges one stage's measured mean against its prediction.
+StageDrift judge(const std::string& stage, double predicted, double measured,
+                 std::size_t samples, const DriftConfig& config) {
+  StageDrift d;
+  d.stage = stage;
+  d.predicted_seconds = predicted;
+  d.measured_seconds = measured;
+  d.samples = samples;
+  d.judged = samples >= config.min_samples && predicted > 0.0;
+  if (d.judged) {
+    d.ratio = measured / predicted;
+    d.flagged = d.ratio > 1.0 + config.slow_tolerance ||
+                d.ratio < 1.0 / (1.0 + config.fast_tolerance);
+  }
+  return d;
+}
+
+}  // namespace
+
+DriftReport detect_drift(const std::vector<TimeWindow>& windows,
+                         const model::StagePrediction& predicted,
+                         const DriftConfig& config) {
+  DriftReport report;
+  report.config = config;
+
+  struct Accumulated {
+    double predicted = 0.0;
+    double sum = 0.0;  // sample-weighted seconds
+    std::size_t samples = 0;
+  };
+  std::map<std::string, Accumulated> totals;  // keyed to keep stage order stable
+  std::vector<std::string> order;
+
+  for (const TimeWindow& window : windows) {
+    WindowDrift wd;
+    wd.start = window.start;
+    wd.end = window.end;
+    for (const StageWindowStat& stat : window.stages) {
+      const auto expectation = predicted.stage(stat.stage);
+      if (!expectation.has_value()) continue;
+      wd.stages.push_back(judge(stat.stage, *expectation, stat.mean_seconds,
+                                stat.count, config));
+      wd.flagged = wd.flagged || wd.stages.back().flagged;
+      auto [it, inserted] = totals.try_emplace(stat.stage);
+      if (inserted) order.push_back(stat.stage);
+      it->second.predicted = *expectation;
+      it->second.sum +=
+          stat.mean_seconds * static_cast<double>(stat.count);
+      it->second.samples += stat.count;
+    }
+    if (wd.flagged && report.first_flagged_window < 0) {
+      report.first_flagged_window =
+          static_cast<std::ptrdiff_t>(report.windows.size());
+    }
+    report.flagged = report.flagged || wd.flagged;
+    report.windows.push_back(std::move(wd));
+  }
+
+  for (const std::string& stage : order) {
+    const Accumulated& acc = totals.at(stage);
+    const double mean =
+        acc.samples > 0 ? acc.sum / static_cast<double>(acc.samples) : 0.0;
+    report.overall.push_back(
+        judge(stage, acc.predicted, mean, acc.samples, config));
+  }
+  return report;
+}
+
+model::StagePrediction calibrate_prediction(
+    const std::vector<TimeWindow>& reference,
+    const model::StagePrediction& predicted, const DriftConfig& config) {
+  const DriftReport ref = detect_drift(reference, predicted, config);
+  model::StagePrediction out = predicted;
+  const auto apply = [&ref](std::string_view stage, double& field) {
+    for (const StageDrift& d : ref.overall) {
+      if (d.stage == stage && d.judged && d.ratio > 0.0) field *= d.ratio;
+    }
+  };
+  apply("QP", out.qp);
+  apply("PR", out.pr);
+  apply("PS", out.ps);
+  apply("PO", out.po);
+  apply("AP", out.ap);
+  return out;
+}
+
+void publish_drift(const DriftReport& report, MetricsRegistry& registry) {
+  std::size_t flagged_windows = 0;
+  for (const WindowDrift& wd : report.windows) {
+    if (wd.flagged) ++flagged_windows;
+  }
+  for (const StageDrift& d : report.overall) {
+    const Labels labels = {{"stage", d.stage}};
+    registry.gauge("model_drift_ratio", labels).set(d.ratio);
+    registry.gauge("model_drift_predicted_seconds", labels)
+        .set(d.predicted_seconds);
+    registry.gauge("model_drift_measured_seconds", labels)
+        .set(d.measured_seconds);
+  }
+  registry.gauge("model_drift_flagged").set(report.flagged ? 1.0 : 0.0);
+  registry.gauge("model_drift_flagged_windows")
+      .set(static_cast<double>(flagged_windows));
+}
+
+std::string render_drift(const DriftReport& report) {
+  TextTable table({"Stage", "Predicted", "Measured", "Ratio", "Verdict"});
+  for (const StageDrift& d : report.overall) {
+    table.add_row({d.stage, cell(d.predicted_seconds, 4),
+                   cell(d.measured_seconds, 4),
+                   d.judged ? cell(d.ratio, 2) : "-",
+                   !d.judged ? "(too few samples)"
+                             : (d.flagged ? "DRIFT" : "ok")});
+  }
+  std::ostringstream os;
+  os << table.render();
+  if (report.flagged) {
+    const WindowDrift& first =
+        report.windows[static_cast<std::size_t>(report.first_flagged_window)];
+    os << "drift verdict: FLAGGED — first drifting window [" << first.start
+       << ", " << first.end << ")s\n";
+  } else {
+    os << "drift verdict: ok — no stage exceeded its prediction by "
+       << cell_percent(report.config.slow_tolerance) << " in any of "
+       << report.windows.size() << " windows\n";
+  }
+  return os.str();
+}
+
+}  // namespace qadist::obs

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/predictions.hpp"
+#include "obs/registry.hpp"
+#include "obs/timeseries.hpp"
+
+namespace qadist::obs {
+
+/// Model-drift detection knobs. The tolerances are deliberately wide and
+/// asymmetric: the analytical model is a first-order twin (Table 10 shows
+/// it ~30% optimistic at 12 nodes) and small windows inherit the question
+/// mix's size variance, so the monitor hunts for *drift* — a stage
+/// suddenly costing a multiple of its prediction — not for modelling
+/// error. The slow side is the tight bound (that is the regression
+/// direction); the fast side mostly catches broken measurement and is
+/// far wider, since a window of small questions legitimately undershoots
+/// a per-question-mean prediction.
+struct DriftConfig {
+  /// Flag a stage as slow when measured/predicted > 1 + slow_tolerance.
+  double slow_tolerance = 0.9;
+  /// Flag as (suspiciously) fast when ratio < 1 / (1 + fast_tolerance).
+  double fast_tolerance = 3.0;
+  /// Windows with fewer completed stage spans than this abstain (a single
+  /// straggler in a near-empty window is noise, not drift).
+  std::size_t min_samples = 2;
+};
+
+/// One stage's verdict, within one window or over the whole run.
+struct StageDrift {
+  std::string stage;
+  double predicted_seconds = 0.0;
+  double measured_seconds = 0.0;  ///< mean over the windowed samples
+  double ratio = 0.0;             ///< measured / predicted
+  std::size_t samples = 0;
+  bool judged = false;  ///< enough samples to compare at all
+  bool flagged = false;
+};
+
+/// Per-window verdicts; flagged when any stage in the window is.
+struct WindowDrift {
+  double start = 0.0;
+  double end = 0.0;
+  std::vector<StageDrift> stages;
+  bool flagged = false;
+};
+
+struct DriftReport {
+  std::vector<WindowDrift> windows;
+  std::vector<StageDrift> overall;  ///< run-wide aggregate per stage
+  bool flagged = false;
+  /// Index of the first flagged window, -1 when quiet — the "caught it
+  /// within one window" latency of the detection.
+  std::ptrdiff_t first_flagged_window = -1;
+  DriftConfig config;
+};
+
+/// Compares each window's measured per-stage means against the analytical
+/// prediction for the run's cluster size.
+[[nodiscard]] DriftReport detect_drift(
+    const std::vector<TimeWindow>& windows,
+    const model::StagePrediction& predicted, const DriftConfig& config = {});
+
+/// Scales each stage's prediction by the reference run's overall
+/// measured/predicted ratio, folding the analytical model's systematic
+/// error (Table 10's analytical-vs-measured gap) into the baseline. Drift
+/// detection against the calibrated prediction then measures departure
+/// from *known-healthy behavior*, not modelling error. Stages the
+/// reference run cannot judge (too few samples) keep the raw prediction.
+[[nodiscard]] model::StagePrediction calibrate_prediction(
+    const std::vector<TimeWindow>& reference,
+    const model::StagePrediction& predicted, const DriftConfig& config = {});
+
+/// Publishes the run-wide verdict as gauges: model_drift_ratio{stage=...},
+/// model_drift_predicted_seconds{stage=...}, model_drift_measured_seconds
+/// {stage=...}, model_drift_flagged (0/1), model_drift_flagged_windows.
+void publish_drift(const DriftReport& report, MetricsRegistry& registry);
+
+/// Human-readable table of the run-wide verdict plus the flagged-window
+/// summary line.
+[[nodiscard]] std::string render_drift(const DriftReport& report);
+
+}  // namespace qadist::obs

@@ -4,6 +4,37 @@
 
 namespace qadist::obs {
 
+std::optional<double> attr_double(const Attrs& attrs, std::string_view key) {
+  for (const auto& [k, v] : attrs) {
+    if (k != key) continue;
+    if (const auto* d = std::get_if<double>(&v)) return *d;
+    if (const auto* i = std::get_if<std::int64_t>(&v)) {
+      return static_cast<double>(*i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> attr_int(const Attrs& attrs,
+                                     std::string_view key) {
+  for (const auto& [k, v] : attrs) {
+    if (k != key) continue;
+    if (const auto* i = std::get_if<std::int64_t>(&v)) return *i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string_view> attr_string(const Attrs& attrs,
+                                            std::string_view key) {
+  for (const auto& [k, v] : attrs) {
+    if (k != key) continue;
+    if (const auto* s = std::get_if<std::string>(&v)) {
+      return std::string_view(*s);
+    }
+  }
+  return std::nullopt;
+}
+
 SpanId Tracer::begin_span(Seconds start, std::string name,
                           std::uint32_t node, std::uint64_t track,
                           SpanId parent, Attrs attrs) {

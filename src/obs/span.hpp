@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -13,6 +15,16 @@ namespace qadist::obs {
 /// output (question ids, byte counts); doubles are for measured times.
 using AttrValue = std::variant<std::int64_t, double, std::string>;
 using Attrs = std::vector<std::pair<std::string, AttrValue>>;
+
+/// Typed attr lookup (first match). attr_double also accepts an integer
+/// attr — consumers asking for a number should not care which arithmetic
+/// alternative the producer picked.
+[[nodiscard]] std::optional<double> attr_double(const Attrs& attrs,
+                                                std::string_view key);
+[[nodiscard]] std::optional<std::int64_t> attr_int(const Attrs& attrs,
+                                                   std::string_view key);
+[[nodiscard]] std::optional<std::string_view> attr_string(
+    const Attrs& attrs, std::string_view key);
 
 using SpanId = std::uint64_t;
 inline constexpr SpanId kNoSpan = 0;

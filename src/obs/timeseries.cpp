@@ -1,0 +1,203 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <ostream>
+
+#include "common/stats.hpp"
+#include "obs/json.hpp"
+
+namespace qadist::obs {
+namespace {
+
+constexpr const char* kStages[] = {"QP", "PR", "PS", "PO", "AP"};
+
+/// Window index of `time` given `count` windows of `width` seconds. The
+/// run's final instant (time == count * width) folds into the last window
+/// instead of opening a new one.
+std::size_t window_of(Seconds time, double width, std::size_t count) {
+  if (time <= 0.0) return 0;
+  const auto idx = static_cast<std::size_t>(time / width);
+  return std::min(idx, count - 1);
+}
+
+}  // namespace
+
+std::vector<TimeWindow> rollup(const Tracer& tracer,
+                               const TimeseriesConfig& config) {
+  const double width = config.window_seconds > 0.0 ? config.window_seconds
+                                                   : 1.0;
+  Seconds horizon = 0.0;
+  for (const SpanRecord& s : tracer.spans()) {
+    if (s.closed) horizon = std::max(horizon, s.end);
+  }
+  for (const InstantRecord& i : tracer.instants()) {
+    horizon = std::max(horizon, i.time);
+  }
+  for (const CounterSample& c : tracer.counter_samples()) {
+    horizon = std::max(horizon, c.time);
+  }
+  const auto count = static_cast<std::size_t>(horizon / width) + 1;
+
+  std::vector<TimeWindow> windows(count);
+  std::vector<Samples> latencies(count);
+  // (window, node) -> running means; std::map keeps nodes ordered.
+  std::vector<std::map<std::uint32_t, RunningStats>> cpu(count);
+  std::vector<std::map<std::uint32_t, RunningStats>> disk(count);
+  std::vector<std::array<RunningStats, std::size(kStages)>> stages(count);
+
+  for (std::size_t w = 0; w < count; ++w) {
+    windows[w].start = static_cast<double>(w) * width;
+    windows[w].end = windows[w].start + width;
+  }
+
+  for (const SpanRecord& s : tracer.spans()) {
+    if (!s.closed) continue;
+    const std::size_t w = window_of(s.end, width, count);
+    if (s.name == "question") {
+      ++windows[w].completed;
+      latencies[w].add(
+          attr_double(s.attrs, "latency_seconds").value_or(s.end - s.start));
+      if (attr_int(s.attrs, "cached").value_or(0) != 0) ++windows[w].cached;
+      if (attr_int(s.attrs, "degraded").value_or(0) != 0) {
+        ++windows[w].degraded;
+      }
+      continue;
+    }
+    for (std::size_t i = 0; i < std::size(kStages); ++i) {
+      if (s.name == kStages[i]) {
+        stages[w][i].add(s.end - s.start);
+        break;
+      }
+    }
+  }
+
+  for (const InstantRecord& rec : tracer.instants()) {
+    const auto kind = attr_string(rec.attrs, "kind");
+    if (!kind.has_value()) continue;
+    const std::size_t w = window_of(rec.time, width, count);
+    if (*kind == "admission_shed") {
+      ++windows[w].shed;
+    } else if (*kind == "admission_reject") {
+      ++windows[w].rejected;
+    } else if (*kind == "admission_degrade") {
+      ++windows[w].admission_degraded;
+    }
+  }
+
+  for (const CounterSample& c : tracer.counter_samples()) {
+    const std::size_t w = window_of(c.time, width, count);
+    if (c.name == "cpu_util") {
+      cpu[w][c.node].add(c.value);
+    } else if (c.name == "disk_util") {
+      disk[w][c.node].add(c.value);
+    }
+  }
+
+  for (std::size_t w = 0; w < count; ++w) {
+    TimeWindow& win = windows[w];
+    Samples& lat = latencies[w];
+    lat.sort();
+    win.qps = static_cast<double>(win.completed) / width;
+    win.latency_mean = lat.mean();
+    win.latency_p50 = lat.quantile_or(0.50, 0.0);
+    win.latency_p95 = lat.quantile_or(0.95, 0.0);
+    win.latency_p99 = lat.quantile_or(0.99, 0.0);
+    if (win.completed > 0) {
+      win.degraded_fraction =
+          static_cast<double>(win.degraded) / static_cast<double>(win.completed);
+    }
+    const std::size_t refused = win.shed + win.rejected;
+    if (win.completed + refused > 0) {
+      win.shed_fraction = static_cast<double>(refused) /
+                          static_cast<double>(win.completed + refused);
+    }
+    for (const auto& [node, stats] : cpu[w]) {
+      NodeUtilization util;
+      util.node = node;
+      util.cpu_util = stats.mean();
+      util.samples = stats.count();
+      if (const auto it = disk[w].find(node); it != disk[w].end()) {
+        util.disk_util = it->second.mean();
+      }
+      win.nodes.push_back(util);
+    }
+    for (std::size_t i = 0; i < std::size(kStages); ++i) {
+      win.stages.push_back(StageWindowStat{
+          kStages[i], stages[w][i].count(), stages[w][i].mean()});
+    }
+  }
+  return windows;
+}
+
+void write_timeseries_jsonl(const std::vector<TimeWindow>& windows,
+                            std::ostream& os) {
+  for (const TimeWindow& w : windows) {
+    os << "{\"schema\":\"qadist-timeseries-v1\",\"start\":";
+    json_number(os, w.start);
+    os << ",\"end\":";
+    json_number(os, w.end);
+    os << ",\"completed\":" << w.completed << ",\"qps\":";
+    json_number(os, w.qps);
+    os << ",\"latency\":{\"mean\":";
+    json_number(os, w.latency_mean);
+    os << ",\"p50\":";
+    json_number(os, w.latency_p50);
+    os << ",\"p95\":";
+    json_number(os, w.latency_p95);
+    os << ",\"p99\":";
+    json_number(os, w.latency_p99);
+    os << "},\"cached\":" << w.cached << ",\"degraded\":" << w.degraded
+       << ",\"shed\":" << w.shed << ",\"rejected\":" << w.rejected
+       << ",\"admission_degraded\":" << w.admission_degraded
+       << ",\"degraded_fraction\":";
+    json_number(os, w.degraded_fraction);
+    os << ",\"shed_fraction\":";
+    json_number(os, w.shed_fraction);
+    os << ",\"nodes\":[";
+    bool first = true;
+    for (const NodeUtilization& n : w.nodes) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"node\":" << n.node << ",\"cpu_util\":";
+      json_number(os, n.cpu_util);
+      os << ",\"disk_util\":";
+      json_number(os, n.disk_util);
+      os << ",\"samples\":" << n.samples << "}";
+    }
+    os << "],\"stages\":[";
+    first = true;
+    for (const StageWindowStat& s : w.stages) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"stage\":";
+      json_string(os, s.stage);
+      os << ",\"count\":" << s.count << ",\"mean_seconds\":";
+      json_number(os, s.mean_seconds);
+      os << "}";
+    }
+    os << "]}\n";
+  }
+}
+
+bool export_timeseries_jsonl_file(const std::vector<TimeWindow>& windows,
+                                  const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "[obs] cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  write_timeseries_jsonl(windows, out);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "[obs] short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace qadist::obs

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace qadist::obs {
+
+/// Fixed-width windowing of one run's trace into a time series.
+struct TimeseriesConfig {
+  double window_seconds = 1.0;  ///< simulated-time width of each window
+};
+
+/// Per-node utilization within one window: the mean of the monitor's
+/// cpu_util/disk_util counter samples that fell inside it.
+struct NodeUtilization {
+  std::uint32_t node = 0;
+  double cpu_util = 0.0;
+  double disk_util = 0.0;
+  std::size_t samples = 0;  ///< cpu samples (disk sampling is paired)
+};
+
+/// One pipeline stage's durations within a window (spans keyed by end
+/// time). Stable schema: all five stages appear in every window, count 0
+/// when none ended there — drift detection needs aligned series.
+struct StageWindowStat {
+  std::string stage;
+  std::size_t count = 0;
+  double mean_seconds = 0.0;
+};
+
+/// One simulated-time window's rollup.
+struct TimeWindow {
+  double start = 0.0;
+  double end = 0.0;
+
+  // Questions whose lifetime span *ended* in this window.
+  std::size_t completed = 0;
+  double qps = 0.0;
+  double latency_mean = 0.0;
+  double latency_p50 = 0.0;
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
+  std::size_t cached = 0;
+  std::size_t degraded = 0;
+
+  // Admission outcomes (instants with kind admission_shed / _reject /
+  // _degrade) that happened in this window.
+  std::size_t shed = 0;
+  std::size_t rejected = 0;
+  std::size_t admission_degraded = 0;
+
+  /// degraded / completed; 0 when nothing completed.
+  double degraded_fraction = 0.0;
+  /// (shed + rejected) / (completed + shed + rejected).
+  double shed_fraction = 0.0;
+
+  std::vector<NodeUtilization> nodes;    ///< sorted by node id
+  std::vector<StageWindowStat> stages;   ///< QP, PR, PS, PO, AP in order
+};
+
+/// Rolls the tracer's spans, instants, and counter samples into
+/// fixed-width windows covering [0, last event]. Every window in the range
+/// is emitted (idle ones with zero counts), so consumers can difference
+/// adjacent windows without gap handling.
+[[nodiscard]] std::vector<TimeWindow> rollup(
+    const Tracer& tracer, const TimeseriesConfig& config = {});
+
+/// One JSON object per window (schema "qadist-timeseries-v1" stamped on
+/// each line), the machine-readable twin of the Chrome-trace export.
+void write_timeseries_jsonl(const std::vector<TimeWindow>& windows,
+                            std::ostream& os);
+
+/// File convenience; false (with a stderr note) on I/O failure.
+bool export_timeseries_jsonl_file(const std::vector<TimeWindow>& windows,
+                                  const std::string& path);
+
+}  // namespace qadist::obs

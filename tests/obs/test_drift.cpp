@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "model/predictions.hpp"
+#include "obs/drift.hpp"
+#include "obs/registry.hpp"
+#include "obs/timeseries.hpp"
+
+namespace qadist::obs {
+namespace {
+
+model::StagePrediction sample_prediction() {
+  model::StagePrediction p;
+  p.qp = 1.0;
+  p.pr = 10.0;
+  p.ps = 2.0;
+  p.po = 0.5;
+  p.ap = 20.0;
+  return p;
+}
+
+/// One window whose five stage means are `scale` times the prediction.
+TimeWindow scaled_window(const model::StagePrediction& p, double scale,
+                         double start, std::size_t count = 3) {
+  TimeWindow w;
+  w.start = start;
+  w.end = start + 10.0;
+  w.stages = {
+      StageWindowStat{"QP", count, p.qp * scale},
+      StageWindowStat{"PR", count, p.pr * scale},
+      StageWindowStat{"PS", count, p.ps * scale},
+      StageWindowStat{"PO", count, p.po * scale},
+      StageWindowStat{"AP", count, p.ap * scale},
+  };
+  return w;
+}
+
+TEST(DriftTest, MatchingMeasurementsStayQuiet) {
+  const auto p = sample_prediction();
+  const std::vector<TimeWindow> windows = {
+      scaled_window(p, 1.0, 0.0), scaled_window(p, 1.1, 10.0),
+      scaled_window(p, 0.9, 20.0)};
+  const DriftReport report = detect_drift(windows, p);
+  EXPECT_FALSE(report.flagged);
+  EXPECT_EQ(report.first_flagged_window, -1);
+  ASSERT_EQ(report.overall.size(), 5u);
+  for (const StageDrift& d : report.overall) {
+    EXPECT_TRUE(d.judged);
+    EXPECT_FALSE(d.flagged) << d.stage;
+  }
+}
+
+TEST(DriftTest, FlagsSlowdownInItsWindow) {
+  const auto p = sample_prediction();
+  // Window 1 runs 2x slow — past the 1 + 0.9 slow tolerance.
+  const std::vector<TimeWindow> windows = {
+      scaled_window(p, 1.0, 0.0), scaled_window(p, 2.0, 10.0),
+      scaled_window(p, 1.0, 20.0)};
+  const DriftReport report = detect_drift(windows, p);
+  EXPECT_TRUE(report.flagged);
+  EXPECT_EQ(report.first_flagged_window, 1);
+  EXPECT_FALSE(report.windows[0].flagged);
+  EXPECT_TRUE(report.windows[1].flagged);
+  EXPECT_FALSE(report.windows[2].flagged);
+}
+
+TEST(DriftTest, FastSideIsAsymmetricallyWide) {
+  const auto p = sample_prediction();
+  // 0.3x prediction: above 1/(1+3.0) = 0.25, so legitimately-fast windows
+  // (small questions) do not alarm.
+  const DriftReport fast =
+      detect_drift({scaled_window(p, 0.3, 0.0)}, p);
+  EXPECT_FALSE(fast.flagged);
+  // 0.2x is below the floor — a genuinely broken measurement.
+  const DriftReport too_fast =
+      detect_drift({scaled_window(p, 0.2, 0.0)}, p);
+  EXPECT_TRUE(too_fast.flagged);
+}
+
+TEST(DriftTest, ThinWindowsAreNotJudged) {
+  const auto p = sample_prediction();
+  // One sample per stage (min_samples = 2): even a 10x blowup stays
+  // unjudged rather than alarming on a single question.
+  const DriftReport report =
+      detect_drift({scaled_window(p, 10.0, 0.0, /*count=*/1)}, p);
+  EXPECT_FALSE(report.flagged);
+  for (const StageDrift& d : report.overall) {
+    EXPECT_FALSE(d.judged) << d.stage;
+  }
+}
+
+TEST(DriftTest, CalibrationAbsorbsSystematicModelError) {
+  const auto p = sample_prediction();
+  // The "measured" system runs a steady 1.6x over the raw analytical
+  // prediction — Table-10-style systematic model error, which the raw
+  // config would flag.
+  const std::vector<TimeWindow> reference = {
+      scaled_window(p, 1.6, 0.0), scaled_window(p, 1.6, 10.0)};
+  EXPECT_FALSE(detect_drift(reference, p).flagged)
+      << "1.6x alone is within the slow tolerance";
+
+  const model::StagePrediction calibrated = calibrate_prediction(reference, p);
+  EXPECT_NEAR(calibrated.pr, p.pr * 1.6, 1e-9);
+
+  // Against the calibrated baseline the same behavior is ratio 1.0...
+  const DriftReport quiet = detect_drift(reference, calibrated);
+  EXPECT_FALSE(quiet.flagged);
+  for (const StageDrift& d : quiet.overall) {
+    EXPECT_NEAR(d.ratio, 1.0, 1e-9);
+  }
+  // ...and a later 2x service-time perturbation on the *measured* scale is
+  // caught within its window.
+  const std::vector<TimeWindow> perturbed = {
+      scaled_window(p, 1.6, 0.0), scaled_window(p, 3.2, 10.0)};
+  const DriftReport flagged = detect_drift(perturbed, calibrated);
+  EXPECT_TRUE(flagged.flagged);
+  EXPECT_EQ(flagged.first_flagged_window, 1);
+}
+
+TEST(DriftTest, PublishesGaugesAndRenders) {
+  const auto p = sample_prediction();
+  const DriftReport report =
+      detect_drift({scaled_window(p, 2.0, 0.0)}, p);
+  ASSERT_TRUE(report.flagged);
+
+  MetricsRegistry registry;
+  publish_drift(report, registry);
+  EXPECT_DOUBLE_EQ(registry.gauge("model_drift_flagged").value(), 1.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("model_drift_flagged_windows").value(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      registry.gauge("model_drift_ratio", {{"stage", "QP"}}).value(), 2.0);
+
+  const std::string text = render_drift(report);
+  EXPECT_NE(text.find("DRIFT"), std::string::npos);
+  EXPECT_NE(text.find("FLAGGED"), std::string::npos);
+
+  const DriftReport quiet = detect_drift({scaled_window(p, 1.0, 0.0)}, p);
+  EXPECT_NE(render_drift(quiet).find("drift verdict: ok"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qadist::obs

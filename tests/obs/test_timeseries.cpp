@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "obs/span.hpp"
+#include "obs/timeseries.hpp"
+#include "support/mini_json.hpp"
+
+namespace qadist::obs {
+namespace {
+
+// Two 10 s windows:
+//   window 0: two questions end (latencies 4 and 7, one cached), one
+//             admission shed, QP span of 1 s, cpu/disk samples on node 0;
+//   window 1: one degraded question ends, one admission reject, QP span
+//             of 2 s.
+Tracer sample_tracer() {
+  Tracer tracer;
+  const auto track = tracer.new_track();
+
+  const SpanId q1 = tracer.begin_span(1.0, "question", 0, track);
+  tracer.end_span(q1, 5.0);  // latency falls back to the 4 s duration
+  const SpanId q2 = tracer.begin_span(2.0, "question", 1, track);
+  tracer.end_span(q2, 8.0,
+                  {{"latency_seconds", 7.0}, {"cached", std::int64_t{1}}});
+  const SpanId q3 = tracer.begin_span(12.0, "question", 0, track);
+  tracer.end_span(q3, 15.0, {{"degraded", std::int64_t{1}}});
+
+  const SpanId qp1 = tracer.begin_span(1.0, "QP", 0, track);
+  tracer.end_span(qp1, 2.0);
+  const SpanId qp2 = tracer.begin_span(12.0, "QP", 0, track);
+  tracer.end_span(qp2, 14.0);
+
+  tracer.instant(3.0, 0, "question shed",
+                 {{"kind", std::string("admission_shed")}});
+  tracer.instant(13.0, 0, "question rejected",
+                 {{"kind", std::string("admission_reject")}});
+
+  tracer.counter_sample(1.0, 0, "cpu_util", 0.5);
+  tracer.counter_sample(4.0, 0, "cpu_util", 0.7);
+  tracer.counter_sample(2.0, 0, "disk_util", 0.2);
+  return tracer;
+}
+
+TEST(TimeseriesTest, RollupBucketsByWindow) {
+  const Tracer tracer = sample_tracer();
+  const auto windows = rollup(tracer, TimeseriesConfig{10.0});
+  ASSERT_EQ(windows.size(), 2u);
+
+  const TimeWindow& w0 = windows[0];
+  EXPECT_DOUBLE_EQ(w0.start, 0.0);
+  EXPECT_DOUBLE_EQ(w0.end, 10.0);
+  EXPECT_EQ(w0.completed, 2u);
+  EXPECT_DOUBLE_EQ(w0.qps, 0.2);
+  EXPECT_DOUBLE_EQ(w0.latency_mean, 5.5);
+  EXPECT_GE(w0.latency_p50, 4.0);
+  EXPECT_LE(w0.latency_p99, 7.0);
+  EXPECT_EQ(w0.cached, 1u);
+  EXPECT_EQ(w0.degraded, 0u);
+  EXPECT_EQ(w0.shed, 1u);
+  EXPECT_EQ(w0.rejected, 0u);
+  // (shed + rejected) / (completed + shed + rejected) = 1 / 3.
+  EXPECT_DOUBLE_EQ(w0.shed_fraction, 1.0 / 3.0);
+
+  const TimeWindow& w1 = windows[1];
+  EXPECT_EQ(w1.completed, 1u);
+  EXPECT_EQ(w1.degraded, 1u);
+  EXPECT_DOUBLE_EQ(w1.degraded_fraction, 1.0);
+  EXPECT_EQ(w1.rejected, 1u);
+  EXPECT_DOUBLE_EQ(w1.shed_fraction, 0.5);
+}
+
+TEST(TimeseriesTest, StageSeriesAreAlignedAcrossWindows) {
+  const Tracer tracer = sample_tracer();
+  const auto windows = rollup(tracer, TimeseriesConfig{10.0});
+  ASSERT_EQ(windows.size(), 2u);
+  for (const TimeWindow& w : windows) {
+    // All five stages appear in every window, zero-count when idle —
+    // drift detection differences aligned series.
+    ASSERT_EQ(w.stages.size(), 5u);
+    EXPECT_EQ(w.stages[0].stage, "QP");
+  }
+  EXPECT_EQ(windows[0].stages[0].count, 1u);
+  EXPECT_DOUBLE_EQ(windows[0].stages[0].mean_seconds, 1.0);
+  EXPECT_EQ(windows[1].stages[0].count, 1u);
+  EXPECT_DOUBLE_EQ(windows[1].stages[0].mean_seconds, 2.0);
+  // PR saw no spans anywhere.
+  EXPECT_EQ(windows[0].stages[1].stage, "PR");
+  EXPECT_EQ(windows[0].stages[1].count, 0u);
+}
+
+TEST(TimeseriesTest, NodeUtilizationMeansPerWindow) {
+  const Tracer tracer = sample_tracer();
+  const auto windows = rollup(tracer, TimeseriesConfig{10.0});
+  ASSERT_EQ(windows.size(), 2u);
+  ASSERT_EQ(windows[0].nodes.size(), 1u);
+  const NodeUtilization& n0 = windows[0].nodes.front();
+  EXPECT_EQ(n0.node, 0u);
+  EXPECT_DOUBLE_EQ(n0.cpu_util, 0.6);   // mean of 0.5 and 0.7
+  EXPECT_DOUBLE_EQ(n0.disk_util, 0.2);
+  EXPECT_TRUE(windows[1].nodes.empty());
+}
+
+TEST(TimeseriesTest, JsonlLinesParseWithExpectedSchema) {
+  const Tracer tracer = sample_tracer();
+  const auto windows = rollup(tracer, TimeseriesConfig{10.0});
+  std::ostringstream os;
+  write_timeseries_jsonl(windows, os);
+
+  std::istringstream lines(os.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    const auto doc = qadist::testing::parse_json(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    ASSERT_TRUE(doc->is_object());
+    EXPECT_EQ(doc->at("schema").string, "qadist-timeseries-v1");
+    EXPECT_TRUE(doc->at("latency").is_object());
+    EXPECT_TRUE(doc->at("stages").is_array());
+    ++count;
+  }
+  EXPECT_EQ(count, windows.size());
+}
+
+TEST(TimeseriesTest, EmptyTracerYieldsSingleIdleWindow) {
+  Tracer tracer;
+  const auto windows = rollup(tracer, TimeseriesConfig{10.0});
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].completed, 0u);
+  EXPECT_DOUBLE_EQ(windows[0].shed_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace qadist::obs

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cluster/workload.hpp"
+#include "workload/driver.hpp"
 #include "common/table.hpp"
 #include "model/predictions.hpp"
 #include "obs/critical_path.hpp"
@@ -103,20 +104,20 @@ int main(int argc, char** argv) {
     cluster::System system(sim, cfg);
     obs::Tracer tracer;
     system.set_tracer(&tracer);
+    workload::RunSpec spec;
     if (serial) {
-      cluster::SerialWorkload workload;
-      workload.count = low_count;
-      workload.offset = 1;
-      workload.stride = 2;
-      workload.reference_disk = world.cost->anchors().reference_disk;
-      cluster::submit_serial(system, world.plans, workload);
+      spec.shape = workload::WorkloadShape::kSerial;
+      spec.serial.count = low_count;
+      spec.serial.offset = 1;
+      spec.serial.stride = 2;
+      spec.serial.reference_disk = world.cost->anchors().reference_disk;
     } else {
-      cluster::OverloadWorkload workload;
-      workload.seed = seed;
-      workload.count = high_count;
-      workload.reference_disk = world.cost->anchors().reference_disk;
-      cluster::submit_overload(system, world.plans, workload);
+      spec.shape = workload::WorkloadShape::kOverload;
+      spec.overload.seed = seed;
+      spec.overload.count = high_count;
+      spec.overload.reference_disk = world.cost->anchors().reference_disk;
     }
+    workload::Driver(system, world.plans).submit(spec);
     RunOutput out;
     out.metrics = system.run();
     out.questions = obs::analyze_questions(tracer);

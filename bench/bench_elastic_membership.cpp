@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "cluster/workload.hpp"
+#include "workload/driver.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "support/bench_cli.hpp"
@@ -36,10 +37,11 @@ int main(int argc, char** argv) {
         system.schedule_join(node, 900.0);
       }
     }
-    cluster::OverloadWorkload workload;
-    workload.seed = 7;
-    workload.reference_disk = world.cost->anchors().reference_disk;
-    cluster::submit_overload(system, world.plans, workload);
+    workload::RunSpec spec;
+    spec.shape = workload::WorkloadShape::kOverload;
+    spec.overload.seed = 7;
+    spec.overload.reference_disk = world.cost->anchors().reference_disk;
+    workload::Driver(system, world.plans).submit(spec);
     struct Result {
       cluster::Metrics metrics;
       std::vector<double> node_work;

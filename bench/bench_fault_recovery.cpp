@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "cluster/workload.hpp"
+#include "workload/driver.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "support/bench_cli.hpp"
@@ -47,11 +48,11 @@ int main(int argc, char** argv) {
           static_cast<sched::NodeId>(nodes - 1), 0.50 * est_makespan});
     }
     cluster::System system(sim, cfg);
-    cluster::OverloadWorkload workload;
-    workload.seed = cli.seed_or(7);
-    workload.reference_disk = world.cost->anchors().reference_disk;
-    cluster::submit_overload(system, world.plans, workload);
-    return system.run();
+    workload::RunSpec spec;
+    spec.shape = workload::WorkloadShape::kOverload;
+    spec.overload.seed = cli.seed_or(7);
+    spec.overload.reference_disk = world.cost->anchors().reference_disk;
+    return workload::Driver(system, world.plans).run(spec).metrics;
   };
 
   bench::BenchReport report("fault_recovery");

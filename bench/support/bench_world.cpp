@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "cluster/workload.hpp"
+#include "workload/driver.hpp"
 
 namespace qadist::bench {
 
@@ -82,11 +83,11 @@ Metrics run_high_load(const BenchWorld& world, Policy policy,
   if (base == nullptr) cfg.partition.ap_chunk = scaled_chunk(world);
   cluster::System system(sim, cfg);
 
-  cluster::OverloadWorkload workload;
-  workload.seed = seed;
-  workload.reference_disk = world.cost->anchors().reference_disk;
-  cluster::submit_overload(system, world.plans, workload);
-  return system.run();
+  workload::RunSpec spec;
+  spec.shape = workload::WorkloadShape::kOverload;
+  spec.overload.seed = seed;
+  spec.overload.reference_disk = world.cost->anchors().reference_disk;
+  return workload::Driver(system, world.plans).run(spec).metrics;
 }
 
 Metrics run_zipf_load(const BenchWorld& world, const SystemConfig& base,
@@ -109,8 +110,10 @@ Metrics run_zipf_load(const BenchWorld& world, const SystemConfig& base,
       system.prewarm(world.plans[pick]);
     }
   }
-  cluster::submit_overload(system, world.plans, load);
-  return system.run();
+  workload::RunSpec spec;
+  spec.shape = workload::WorkloadShape::kOverload;
+  spec.overload = load;
+  return workload::Driver(system, world.plans).run(spec).metrics;
 }
 
 PolicyResult run_policy_averaged(const BenchWorld& world, Policy policy,
@@ -140,9 +143,10 @@ Metrics run_open_loop(const BenchWorld& world, const SystemConfig& base,
                       const workload::ArrivalProcessConfig& arrivals) {
   simnet::Simulation sim;
   cluster::System system(sim, base);
-  const auto stream = workload::arrival_stream(arrivals, world.plans.size());
-  workload::submit_stream(system, world.plans, stream);
-  return system.run();
+  workload::RunSpec spec;
+  spec.shape = workload::WorkloadShape::kOpenLoop;
+  spec.open_loop = arrivals;
+  return workload::Driver(system, world.plans).run(spec).metrics;
 }
 
 Metrics run_low_load(const BenchWorld& world, std::size_t nodes,
@@ -156,13 +160,13 @@ Metrics run_low_load(const BenchWorld& world, std::size_t nodes,
 
   // Only the unscaled (TREC-9-like, odd-index) plans are used, so the
   // low-load tables stay anchored to the Table 8 calibration.
-  cluster::SerialWorkload workload;
-  workload.count = count;
-  workload.offset = 1;
-  workload.stride = 2;
-  workload.reference_disk = world.cost->anchors().reference_disk;
-  cluster::submit_serial(system, world.plans, workload);
-  return system.run();
+  workload::RunSpec spec;
+  spec.shape = workload::WorkloadShape::kSerial;
+  spec.serial.count = count;
+  spec.serial.offset = 1;
+  spec.serial.stride = 2;
+  spec.serial.reference_disk = world.cost->anchors().reference_disk;
+  return workload::Driver(system, world.plans).run(spec).metrics;
 }
 
 model::StageWorkload stage_workload(const BenchWorld& world,

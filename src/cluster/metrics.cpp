@@ -103,6 +103,17 @@ Metrics Metrics::from_registry(const obs::MetricsRegistry& registry) {
   out.shard_rebuild_seconds =
       histogram_stats(registry, "shard_rebuild_seconds");
 
+  out.gray_onsets = counter_value(registry, "gray_onsets");
+  out.gray_recoveries = counter_value(registry, "gray_recoveries");
+  out.legs_spawned = counter_value(registry, "legs_spawned");
+  out.hedges_issued = counter_value(registry, "hedges_issued");
+  out.hedge_wins = counter_value(registry, "hedge_wins");
+  out.hedge_losses = counter_value(registry, "hedge_losses");
+  out.legs_cancelled = counter_value(registry, "legs_cancelled");
+  out.straggler_avoidances = counter_value(registry, "straggler_avoidances");
+  out.detector_hints_suppressed =
+      counter_value(registry, "detector_hints_suppressed");
+
   out.t_qp = histogram_stats(registry, "stage_seconds", {{"stage", "qp"}});
   out.t_pr = histogram_stats(registry, "stage_seconds", {{"stage", "pr"}});
   out.t_ps = histogram_stats(registry, "stage_seconds", {{"stage", "ps"}});

@@ -82,6 +82,29 @@ struct Metrics {
   std::size_t rejoin_cache_clears = 0;  ///< cache shards cleared on rejoin
   RunningStats shard_rebuild_seconds;   ///< crash -> replica ready again
 
+  // Gray faults and the tail-tolerance toolkit (extension; all zero when
+  // the run is configured without cfg.gray / cfg.tail). A hedge "win"
+  // means the backup finished before the primary; a "loss" means the
+  // primary won and the backup work was wasted (and, in tied mode,
+  // cancelled mid-flight).
+  std::size_t gray_onsets = 0;       ///< gray windows opened
+  std::size_t gray_recoveries = 0;   ///< gray windows closed
+  std::size_t legs_spawned = 0;      ///< primary PR/AP legs issued
+  std::size_t hedges_issued = 0;     ///< backup legs issued
+  std::size_t hedge_wins = 0;        ///< backups that beat their primary
+  std::size_t hedge_losses = 0;      ///< backups beaten by their primary
+  std::size_t legs_cancelled = 0;    ///< tied losers cancelled mid-flight
+  std::size_t straggler_avoidances = 0;  ///< placements steered off stragglers
+  std::size_t detector_hints_suppressed = 0;  ///< hints eaten by hysteresis
+
+  /// Backup legs as a fraction of primary legs — the hedge overhead the
+  /// acceptance bar caps (≤ 15% at the default p95 trigger).
+  [[nodiscard]] double hedge_overhead() const {
+    if (legs_spawned == 0) return 0.0;
+    return static_cast<double>(hedges_issued) /
+           static_cast<double>(legs_spawned);
+  }
+
   // Per-question simulated module stage times (paper Table 8 columns).
   RunningStats t_qp;
   RunningStats t_pr;   ///< PR stage wall (retrieval legs incl. transfers)

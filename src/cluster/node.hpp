@@ -72,6 +72,23 @@ class Node {
   /// disabled or the node is within its memory budget.
   [[nodiscard]] double work_multiplier() const;
 
+  /// Gray degradation (simnet::GrayFaultPlan): service-time stretch factors
+  /// applied on top of work_multiplier() while a gray window is open.
+  /// Defaults to 1.0 on both resources, which multiplies work demands by
+  /// exactly 1.0 — bit-identical to a build without the gray-fault path.
+  /// Unlike crash(), gray degradation is invisible to the failure detector:
+  /// heartbeats keep flowing, only data-path service times stretch.
+  void set_gray(double cpu_factor, double disk_factor) {
+    gray_cpu_factor_ = cpu_factor;
+    gray_disk_factor_ = disk_factor;
+  }
+  void clear_gray() { set_gray(1.0, 1.0); }
+  [[nodiscard]] double gray_cpu_factor() const { return gray_cpu_factor_; }
+  [[nodiscard]] double gray_disk_factor() const { return gray_disk_factor_; }
+  [[nodiscard]] bool gray() const {
+    return gray_cpu_factor_ != 1.0 || gray_disk_factor_ != 1.0;
+  }
+
   /// Time-averaged resource loads since the previous call — the load
   /// monitor's per-period measurement (average active customers per
   /// resource over the period).
@@ -84,6 +101,8 @@ class Node {
   std::unique_ptr<simnet::FairShareServer> cpu_;
   std::unique_ptr<simnet::FairShareServer> disk_;
   int resident_questions_ = 0;
+  double gray_cpu_factor_ = 1.0;
+  double gray_disk_factor_ = 1.0;
   Seconds last_sample_ = 0.0;
   double last_cpu_integral_ = 0.0;
   double last_disk_integral_ = 0.0;

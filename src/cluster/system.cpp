@@ -42,6 +42,36 @@ std::size_t paragraph_footprint(const std::string& key,
   for (const auto& unit : plan.pr_units) bytes += unit.bytes_out;
   return bytes;
 }
+
+/// FairShareServer::consume with a parking spot: while the coroutine is in
+/// service, the (server, handle) pair sits in the leg slot's busy cell so a
+/// tied-hedge coordinator can cancel the reservation mid-flight (see
+/// FairShareServer::cancel). Suspension-wise identical to ConsumeAwaiter —
+/// same await_ready condition, same enqueue — so routing a consume through
+/// this awaiter never changes the event sequence.
+class [[nodiscard]] CancellableConsume {
+ public:
+  CancellableConsume(simnet::FairShareServer& server, double work,
+                     simnet::FairShareServer*& server_cell,
+                     std::coroutine_handle<>& handle_cell)
+      : server_(server),
+        work_(work),
+        server_cell_(server_cell),
+        handle_cell_(handle_cell) {}
+  bool await_ready() const noexcept { return work_ <= 0.0; }
+  void await_suspend(std::coroutine_handle<> h) {
+    server_cell_ = &server_;
+    handle_cell_ = h;
+    server_.enqueue(work_, h);
+  }
+  void await_resume() noexcept { server_cell_ = nullptr; }
+
+ private:
+  simnet::FairShareServer& server_;
+  double work_;
+  simnet::FairShareServer*& server_cell_;
+  std::coroutine_handle<>& handle_cell_;
+};
 }  // namespace
 
 /// Per-question bookkeeping shared between the main task coroutine and its
@@ -99,6 +129,22 @@ struct System::PrLegSlot {
   /// (crashed=1) when the liveness sweep declares the leg dead.
   obs::SpanId stage_span = obs::kNoSpan;
   obs::SpanId leg_span = obs::kNoSpan;
+
+  // --- Tail-tolerance fields (all inert under the default cfg.tail) ---
+  Seconds spawned = 0.0;  ///< spawn instant: hedge-trigger + leg-wall basis
+  std::size_t done = 0;   ///< units completed so far (latency observation)
+  bool hedge_backup = false;  ///< this leg is a hedge backup, work is a copy
+  bool hedged = false;  ///< a backup was already issued (or declined) for it
+  /// Lost the hedge race. Checked next to the crash epoch after every
+  /// co_await: an abandoned leg is a zombie by the same contract — its span
+  /// was already closed by the coordinator, its work is covered by the
+  /// winner, and it must exit without touching q or reports.
+  bool abandoned = false;
+  std::shared_ptr<HedgeGroup> group;  ///< the race this leg belongs to
+  /// Reservation currently held (tied mode routes consumes through
+  /// CancellableConsume), so abandonment can release it mid-service.
+  simnet::FairShareServer* busy_server = nullptr;
+  std::coroutine_handle<> busy_handle{};
 };
 
 /// Coordinator/leg shared state for one AP leg. Exactly one of `chunks`
@@ -118,6 +164,31 @@ struct System::ApLegSlot {
   bool unreachable = false;  // see PrLegSlot
   obs::SpanId stage_span = obs::kNoSpan;  // see PrLegSlot
   obs::SpanId leg_span = obs::kNoSpan;
+
+  // --- Tail-tolerance fields — see PrLegSlot ---
+  Seconds spawned = 0.0;
+  std::size_t done = 0;  ///< paragraphs processed so far
+  bool hedge_backup = false;
+  bool hedged = false;
+  bool abandoned = false;
+  std::shared_ptr<HedgeGroup> group;
+  simnet::FairShareServer* busy_server = nullptr;
+  std::coroutine_handle<> busy_handle{};
+};
+
+/// One hedge race: the primary leg plus the backup leg(s) issued against it
+/// after the hedge delay elapsed. First member to report wins; the
+/// coordinator closes the losers' spans (hedge_loser=1), releases their
+/// reservations in tied mode, and stops waiting on them. `covered` /
+/// `covered_chunk` record the work snapshot the backups re-run: anything a
+/// shared-queue primary picked up *after* the snapshot is not covered and
+/// is requeued when the primary is abandoned.
+struct System::HedgeGroup {
+  std::vector<std::size_t> members;  ///< slot indices (primary first)
+  std::vector<std::size_t> covered;  ///< PR units the backups re-run
+  parallel::Chunk covered_chunk{};   ///< AP RECV chunk the backups re-run
+  bool has_covered_chunk = false;
+  bool resolved = false;             ///< a winner was recorded
 };
 
 /// Per-node cache shards. One pair per node, like the CPUs and disks: a
@@ -170,11 +241,26 @@ System::System(simnet::Simulation& sim, const SystemConfig& config)
         config.net.faults, config.seed ^ 0x94d049bb133111ebULL);
     network_->set_fault_injector(injector_.get());
   }
-  detector_ = sched::FailureDetector(sched::FailureDetectorConfig{
+  sched::FailureDetectorConfig detector_config{
       config.net.monitor_period, config.net.suspect_after_missed,
-      config.net.membership_timeout});
+      config.net.membership_timeout};
+  detector_config.hint_hysteresis = config.net.hint_hysteresis;
+  detector_ = sched::FailureDetector(detector_config);
   detector_placement_ =
       config.net.detector_placement || config.net.faults.enabled();
+  if (config.tail.enabled()) {
+    leg_latency_ =
+        sched::LegLatencyTracker(config.nodes, config.tail.ewma_alpha);
+  }
+  if (config.gray.enabled()) {
+    gray_extra_latency_.assign(config.nodes, 0.0);
+    for (const auto& event : config.gray.events) {
+      QADIST_CHECK(event.node < config.nodes,
+                   << "gray fault targets unknown node " << event.node);
+      QADIST_CHECK(event.cpu_factor > 0.0 && event.disk_factor > 0.0,
+                   << "gray factors must be positive");
+    }
+  }
   if (config.shard.enabled()) {
     shard_map_ = std::make_unique<shard::ShardMap>(
         config.shard.num_shards, config.nodes,
@@ -255,6 +341,16 @@ void System::register_instruments() {
   ins_.questions_shed = &registry_.counter("questions_shed");
   ins_.admission_degraded = &registry_.counter("admission_degraded");
   ins_.admission_wait = &registry_.histogram("admission_wait_seconds");
+  // Tail-tolerance toolkit + gray faults. Registered unconditionally, like
+  // the layers above.
+  ins_.legs_spawned = &registry_.counter("legs_spawned");
+  ins_.hedges_issued = &registry_.counter("hedges_issued");
+  ins_.hedge_wins = &registry_.counter("hedge_wins");
+  ins_.hedge_losses = &registry_.counter("hedge_losses");
+  ins_.legs_cancelled = &registry_.counter("legs_cancelled");
+  ins_.straggler_avoidances = &registry_.counter("straggler_avoidances");
+  ins_.gray_onsets = &registry_.counter("gray_onsets");
+  ins_.gray_recoveries = &registry_.counter("gray_recoveries");
 }
 
 System::~System() = default;
@@ -572,6 +668,74 @@ void System::apply_restart(NodeId node) {
   }
 }
 
+void System::apply_gray(const simnet::GrayFaultEvent& event) {
+  // Gray onset: the node keeps running (and heartbeating!) but its service
+  // rates degrade. The failure detector sees nothing — that is the point.
+  nodes_[event.node]->set_gray(event.cpu_factor, event.disk_factor);
+  gray_extra_latency_[event.node] = event.extra_latency;
+  ins_.gray_onsets->inc();
+  record_event(event.node, "gray fault onset",
+               {{"kind", std::string("gray_onset")},
+                {"cpu_factor", event.cpu_factor},
+                {"disk_factor", event.disk_factor}});
+}
+
+void System::clear_gray(NodeId node) {
+  nodes_[node]->clear_gray();
+  gray_extra_latency_[node] = 0.0;
+  ins_.gray_recoveries->inc();
+  record_event(node, "gray fault recovered",
+               {{"kind", std::string("gray_recovery")}});
+}
+
+Seconds System::gray_extra_latency(NodeId src, NodeId dst) const {
+  if (gray_extra_latency_.empty()) return 0.0;  // no gray plan configured
+  // A degraded NIC/switch port hurts both directions, so a message pays
+  // the endpoint penalties additively.
+  return gray_extra_latency_[src] + gray_extra_latency_[dst];
+}
+
+void System::observe_leg(sched::LegStage stage, NodeId node, Seconds wall,
+                         double units, bool backup) {
+  if (!config_.tail.enabled()) return;
+  // The hedge trigger is a quantile of *primary* per-unit leg walls. A
+  // backup's wall is measured from the hedge instant and is short by
+  // construction; feeding it back would depress the trigger and
+  // over-hedge. Normalizing by units keeps legs of different sizes
+  // comparable — the trigger scales back up by each leg's own unit count.
+  if (!backup && units > 0.0) {
+    leg_walls_[static_cast<std::size_t>(stage)].push_back(wall / units);
+  }
+  leg_latency_.observe(node, stage, wall, units);
+}
+
+std::optional<Seconds> System::hedge_delay(sched::LegStage stage) const {
+  const std::vector<double>& walls =
+      leg_walls_[static_cast<std::size_t>(stage)];
+  if (walls.size() < config_.tail.hedge_min_samples) return std::nullopt;
+  // Quantile over the completed-leg per-unit walls observed so far (the
+  // live analogue of the "issue the backup after the p95" rule).
+  // nth_element on a scratch copy: O(n) per dispatch round, and the
+  // observation order is deterministic so the trigger is too. Callers
+  // scale by the waiting leg's unit count and apply hedge_min_delay.
+  std::vector<double> scratch = walls;
+  const double q = std::clamp(config_.tail.hedge_quantile, 0.0, 1.0);
+  const auto nth = static_cast<std::ptrdiff_t>(
+      q * static_cast<double>(scratch.size() - 1));
+  std::nth_element(scratch.begin(), scratch.begin() + nth, scratch.end());
+  return scratch[static_cast<std::size_t>(nth)];
+}
+
+std::span<const char> System::straggler_mask(sched::LegStage stage) {
+  if (!config_.tail.latency_aware) return {};
+  if (!leg_latency_.straggler_mask(stage, config_.tail.straggler_ratio,
+                                   straggler_scratch_)) {
+    return {};
+  }
+  ins_.straggler_avoidances->inc();
+  return {straggler_scratch_.data(), straggler_scratch_.size()};
+}
+
 bool System::schedulable(NodeId node) const {
   if (node_crashed_[node] != 0) return false;
   if (!detector_placement_) return true;
@@ -584,6 +748,16 @@ bool System::deadline_exceeded(const QuestionState& q) const {
 
 simnet::Task<bool> System::ship(double bytes, NodeId src, NodeId dst,
                                 Seconds deadline, ShipCost* cost) {
+  // Gray link penalty: a degraded NIC adds propagation delay the failure
+  // detector never sees (heartbeats go over Link::send directly and stay
+  // on schedule). Guarded so a run without a gray plan emits no extra
+  // event — bit-identical to builds without this layer.
+  const Seconds gray_extra = gray_extra_latency(src, dst);
+  if (gray_extra > 0.0) {
+    const Seconds g0 = sim_.now();
+    co_await simnet::Delay(sim_, gray_extra);
+    if (cost != nullptr) cost->transfer += sim_.now() - g0;
+  }
   if (injector_ == nullptr) {
     // Reliable link: exactly the transfer() event sequence, so fault-free
     // runs stay bit-identical to builds without this layer.
@@ -646,7 +820,8 @@ System::ShardAssignment System::assign_pr_units(
   if (config_.dispatch.policy == Policy::kDqa && !eligible.empty()) {
     const auto ms = sched::meta_schedule_among(
         table_, eligible, sched::kPrWeights,
-        config_.dispatch.pr_underload_threshold, &registry_);
+        config_.dispatch.pr_underload_threshold, &registry_,
+        straggler_mask(sched::LegStage::kPr));
     if (!ms.selected.empty()) {
       // A holder outside the meta-schedule's pick keeps a small floor
       // weight instead of zero: it may be the only node able to serve its
@@ -760,6 +935,19 @@ Metrics System::run() {
       });
     }
   }
+  if (config_.gray.enabled()) {
+    // Gray-fault instants: degrade service rates / inflate link latency on
+    // schedule, optionally recovering later. (Only scheduled with a gray
+    // plan, so the plan-free event sequence is untouched.)
+    for (const simnet::GrayFaultEvent& event : config_.gray.events) {
+      sim_.schedule_at(event.at, [this, event] { apply_gray(event); });
+      if (event.recover_after >= 0.0) {
+        const NodeId node = event.node;
+        sim_.schedule_at(event.at + event.recover_after,
+                         [this, node] { clear_gray(node); });
+      }
+    }
+  }
   sim_.run();
   // Every submitted question must be accounted for: completed (including
   // degraded-at-admission ones), rejected, or shed from the queue.
@@ -829,6 +1017,7 @@ void System::publish_net_stats() {
   fold("detector_false_alarms", detector_.suspicions_cleared());
   fold("detector_deaths", detector_.deaths_confirmed());
   fold("detector_rejoins", detector_.rejoins());
+  fold("detector_hints_suppressed", detector_.hints_suppressed());
   const double completed = ins_.completed->value();
   registry_.gauge("degraded_answer_fraction")
       .set(completed > 0.0 ? ins_.questions_degraded->value() / completed
@@ -1093,7 +1282,13 @@ simnet::SimProcess System::pr_leg(QuestionState& q,
   double leg_ps = 0.0;
   std::size_t units_done = 0;
   ShipCost ship_cost;  // wire vs backoff time, stamped on the leg span
-  const auto dead = [&] { return crash_epoch_[node] != slot->epoch; };
+  // A leg is gone — and must exit touching nothing but the slot — when its
+  // node crashed under it (zombie) or when it lost a hedge race (the
+  // coordinator already closed its span and abandoned it).
+  const auto dead = [&] {
+    return crash_epoch_[node] != slot->epoch || slot->abandoned;
+  };
+  const bool tied = config_.tail.tied;
   // Unreachable protocol: a ship() that exhausts its retries means the
   // peer is cut off, not crashed. The leg reports its index with the
   // pending work still parked in the slot — the coordinator decides
@@ -1116,11 +1311,17 @@ simnet::SimProcess System::pr_leg(QuestionState& q,
   std::uint64_t leg_track = 0;
   if (tracer_ != nullptr) {
     leg_track = tracer_->new_track();
-    slot->leg_span = tracer_->begin_span(
-        sim_.now(), "PR leg", node, leg_track, slot->stage_span,
-        {{"node", static_cast<std::int64_t>(node)},
-         {"strategy",
-          std::string(parallel::to_string(config_.partition.pr_strategy))}});
+    obs::Attrs attrs{
+        {"node", static_cast<std::int64_t>(node)},
+        {"strategy",
+         std::string(parallel::to_string(config_.partition.pr_strategy))}};
+    // Backup legs carry a distinct mark so critical-path attribution can
+    // tell a hedge win from a wasted backup (only stamped when hedging is
+    // on — default traces stay byte-identical).
+    if (slot->hedge_backup) attrs.emplace_back("hedge", std::int64_t{1});
+    slot->leg_span = tracer_->begin_span(sim_.now(), "PR leg", node,
+                                         leg_track, slot->stage_span,
+                                         std::move(attrs));
   }
 
   while (!slot->units->empty()) {
@@ -1145,9 +1346,27 @@ simnet::SimProcess System::pr_leg(QuestionState& q,
 
     const Seconds unit_start = sim_.now();
     const double thrash = executor.work_multiplier();
-    co_await executor.disk().consume(unit.demand.disk_bytes * thrash);
+    // Gray degradation stretches the demand (a slow disk / throttled CPU
+    // serves the same bytes slower); the factors are 1.0 outside a gray
+    // window, so the multiply is IEEE-exact and the healthy path is
+    // untouched.
+    const double disk_work =
+        unit.demand.disk_bytes * thrash * executor.gray_disk_factor();
+    if (tied) {
+      co_await CancellableConsume(executor.disk(), disk_work,
+                                  slot->busy_server, slot->busy_handle);
+    } else {
+      co_await executor.disk().consume(disk_work);
+    }
     if (dead()) co_return;
-    co_await executor.cpu().consume(unit.demand.cpu_seconds * thrash);
+    const double cpu_work =
+        unit.demand.cpu_seconds * thrash * executor.gray_cpu_factor();
+    if (tied) {
+      co_await CancellableConsume(executor.cpu(), cpu_work,
+                                  slot->busy_server, slot->busy_handle);
+    } else {
+      co_await executor.cpu().consume(cpu_work);
+    }
     if (dead()) co_return;
     record_event(node,
                  "finished collection " + std::to_string(idx) + " in " +
@@ -1159,8 +1378,14 @@ simnet::SimProcess System::pr_leg(QuestionState& q,
 
     // Paragraph scoring runs fused on the retrieval node (paper Fig. 3).
     const Seconds ps0 = sim_.now();
-    co_await executor.cpu().consume(unit.ps.cpu_seconds *
-                                    executor.work_multiplier());
+    const double ps_work = unit.ps.cpu_seconds * executor.work_multiplier() *
+                           executor.gray_cpu_factor();
+    if (tied) {
+      co_await CancellableConsume(executor.cpu(), ps_work, slot->busy_server,
+                                  slot->busy_handle);
+    } else {
+      co_await executor.cpu().consume(ps_work);
+    }
     if (dead()) co_return;
     leg_ps += sim_.now() - ps0;
     if (tracer_ != nullptr) {
@@ -1184,14 +1409,21 @@ simnet::SimProcess System::pr_leg(QuestionState& q,
         abort_unreachable();  // in_flight stays set: the unit is redone
         co_return;
       }
-      co_await nodes_[host]->disk().consume(
-          static_cast<double>(unit.bytes_out));
+      const double receive_work = static_cast<double>(unit.bytes_out) *
+                                  nodes_[host]->gray_disk_factor();
+      if (tied) {
+        co_await CancellableConsume(nodes_[host]->disk(), receive_work,
+                                    slot->busy_server, slot->busy_handle);
+      } else {
+        co_await nodes_[host]->disk().consume(receive_work);
+      }
       if (dead()) co_return;
       q.oh_paragraph_receive += sim_.now() - t0;
     }
     // The unit's results now live on the host: durable across our crash.
     slot->in_flight = kNoUnit;
     ++units_done;
+    slot->done = units_done;
   }
   q.t_ps_max = std::max(q.t_ps_max, leg_ps);
   if (tracer_ != nullptr && slot->leg_span != obs::kNoSpan) {
@@ -1219,7 +1451,11 @@ simnet::SimProcess System::ap_leg(QuestionState& q,
   const Seconds leg_start = sim_.now();
   std::size_t processed = 0;
   ShipCost ship_cost;  // see pr_leg
-  const auto dead = [&] { return crash_epoch_[node] != slot->epoch; };
+  // Crashed-or-abandoned check; see pr_leg.
+  const auto dead = [&] {
+    return crash_epoch_[node] != slot->epoch || slot->abandoned;
+  };
+  const bool tied = config_.tail.tied;
   // Same unreachable protocol as pr_leg: give up, leave the pending work
   // in the slot, report for the coordinator to recover or degrade.
   const auto abort_unreachable = [&] {
@@ -1237,11 +1473,14 @@ simnet::SimProcess System::ap_leg(QuestionState& q,
 
   if (tracer_ != nullptr) {
     const std::uint64_t leg_track = tracer_->new_track();
-    slot->leg_span = tracer_->begin_span(
-        sim_.now(), "AP leg", node, leg_track, slot->stage_span,
-        {{"node", static_cast<std::int64_t>(node)},
-         {"strategy",
-          std::string(parallel::to_string(config_.partition.ap_strategy))}});
+    obs::Attrs attrs{
+        {"node", static_cast<std::int64_t>(node)},
+        {"strategy",
+         std::string(parallel::to_string(config_.partition.ap_strategy))}};
+    if (slot->hedge_backup) attrs.emplace_back("hedge", std::int64_t{1});
+    slot->leg_span =
+        tracer_->begin_span(sim_.now(), "AP leg", node, leg_track,
+                            slot->stage_span, std::move(attrs));
   }
 
   // Each batch: ship paragraphs in, burn CPU per paragraph, ship answers
@@ -1273,13 +1512,28 @@ simnet::SimProcess System::ap_leg(QuestionState& q,
         q.oh_paragraph_send += sim_.now() - t0;
       }
       for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
-        co_await executor.cpu().consume(plan.ap_units[i].demand.cpu_seconds *
-                                        executor.work_multiplier());
+        const double work = plan.ap_units[i].demand.cpu_seconds *
+                            executor.work_multiplier() *
+                            executor.gray_cpu_factor();
+        if (tied) {
+          co_await CancellableConsume(executor.cpu(), work, slot->busy_server,
+                                      slot->busy_handle);
+        } else {
+          co_await executor.cpu().consume(work);
+        }
         if (dead()) co_return;
         ++processed;
+        slot->done = processed;
       }
       // Per-batch answer extraction floor (paper Sec. 4.1.2).
-      co_await executor.cpu().consume(config_.partition.per_batch_answer_cpu);
+      const double floor_work =
+          config_.partition.per_batch_answer_cpu * executor.gray_cpu_factor();
+      if (tied) {
+        co_await CancellableConsume(executor.cpu(), floor_work,
+                                    slot->busy_server, slot->busy_handle);
+      } else {
+        co_await executor.cpu().consume(floor_work);
+      }
       if (dead()) co_return;
       if (remote && bytes_out > 0) {
         const Seconds t0 = sim_.now();
@@ -1316,14 +1570,29 @@ simnet::SimProcess System::ap_leg(QuestionState& q,
       q.oh_paragraph_send += sim_.now() - t0;
     }
     for (std::size_t i : slot->units) {
-      co_await executor.cpu().consume(plan.ap_units[i].demand.cpu_seconds *
-                                      executor.work_multiplier());
+      const double work = plan.ap_units[i].demand.cpu_seconds *
+                          executor.work_multiplier() *
+                          executor.gray_cpu_factor();
+      if (tied) {
+        co_await CancellableConsume(executor.cpu(), work, slot->busy_server,
+                                    slot->busy_handle);
+      } else {
+        co_await executor.cpu().consume(work);
+      }
       if (dead()) co_return;
       ++processed;
+      slot->done = processed;
     }
     if (processed > 0) {
       // One answer-extraction pass per partition (paper Sec. 4.1.2).
-      co_await executor.cpu().consume(config_.partition.per_batch_answer_cpu);
+      const double floor_work =
+          config_.partition.per_batch_answer_cpu * executor.gray_cpu_factor();
+      if (tied) {
+        co_await CancellableConsume(executor.cpu(), floor_work,
+                                    slot->busy_server, slot->busy_handle);
+      } else {
+        co_await executor.cpu().consume(floor_work);
+      }
       if (dead()) co_return;
     }
     if (remote && bytes_out > 0) {
@@ -1455,6 +1724,33 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
   }
   if (node_crashed_[host] != 0) host = pick_live(sched::kQaWeights);
 
+  // Backup target for a hedged leg: the least-loaded live member other
+  // than the (presumed slow) primary, preferring unsuspected non-straggler
+  // members. Returns nullopt when the pool holds no alternative.
+  const auto pick_backup =
+      [&](NodeId exclude, const sched::LoadWeights& weights,
+          sched::LegStage stage) -> std::optional<NodeId> {
+    const auto mask = straggler_mask(stage);
+    for (const bool allow_straggler : {false, true}) {
+      for (const bool allow_suspect : {false, true}) {
+        std::optional<NodeId> best;
+        double best_load = 0.0;
+        for (const NodeId m : table_.members()) {
+          if (m == exclude || node_crashed_[m] != 0) continue;
+          if (!allow_suspect && !schedulable(m)) continue;
+          if (!allow_straggler && m < mask.size() && mask[m] != 0) continue;
+          const double load = sched::load_function(table_.load_of(m), weights);
+          if (!best.has_value() || load < best_load) {
+            best = m;
+            best_load = load;
+          }
+        }
+        if (best.has_value()) return best;
+      }
+    }
+    return std::nullopt;
+  };
+
   // ---- Attempt loop: one pass per host. A host crash loses the question
   // (its state dies with the process); after the front-end's reply timeout
   // it is resubmitted to a surviving node and starts over from QP.
@@ -1481,7 +1777,8 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
     if (cache_on) {
       const Seconds t0 = sim_.now();
       co_await nodes_[host]->cpu().consume(config_.cache.lookup_cpu *
-                                           nodes_[host]->work_multiplier());
+                                           nodes_[host]->work_multiplier() *
+                                           nodes_[host]->gray_cpu_factor());
       failed = host_dead();
       bool cached_answer = false;
       if (!failed) {
@@ -1522,7 +1819,8 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
         sp = tracer_->begin_span(t0, "QP", host, q_track, q_span, {});
       }
       co_await nodes_[host]->cpu().consume(plan.qp.cpu_seconds *
-                                           nodes_[host]->work_multiplier());
+                                           nodes_[host]->work_multiplier() *
+                                           nodes_[host]->gray_cpu_factor());
       failed = host_dead();
       q.t_qp = sim_.now() - t0;
       if (sp != obs::kNoSpan) tracer_->end_span(sp, sim_.now());
@@ -1541,7 +1839,8 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
       if (!sharded && config_.dispatch.policy == Policy::kDqa) {
         auto ms = sched::meta_schedule(table_, sched::kPrWeights,
                                        config_.dispatch.pr_underload_threshold,
-                                       &registry_);
+                                       &registry_,
+                                       straggler_mask(sched::LegStage::kPr));
         // Drop nodes that crashed (but have not yet expired from the
         // table) or are currently suspected by the failure detector.
         std::vector<NodeId> live_sel;
@@ -1591,12 +1890,18 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
         simnet::Mailbox<std::size_t> reports(sim_);
         std::vector<std::shared_ptr<PrLegSlot>> slots;
         const auto spawn = [&](NodeId node,
-                               std::shared_ptr<std::deque<std::size_t>> units) {
+                               std::shared_ptr<std::deque<std::size_t>> units,
+                               std::shared_ptr<HedgeGroup> group = nullptr,
+                               bool backup = false) {
           auto slot = std::make_shared<PrLegSlot>();
           slot->node = node;
           slot->epoch = crash_epoch_[node];
           slot->units = std::move(units);
           slot->stage_span = pr_span;
+          slot->spawned = sim_.now();
+          slot->group = std::move(group);
+          slot->hedge_backup = backup;
+          (backup ? ins_.hedges_issued : ins_.legs_spawned)->inc();
           slots.push_back(slot);
           pr_leg(q, slot, slots.size() - 1, reports);
         };
@@ -1655,20 +1960,124 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
         }
 
         std::size_t outstanding = slots.size();
+        const bool hedge_on = config_.tail.hedge;
+        // Settles a hedge race in favor of `winner`: counts the win/loss,
+        // abandons every unresolved member (closing its span and, in tied
+        // mode, cancelling its in-service reservation), and requeues any
+        // in-flight unit a shared-queue primary picked up *after* the
+        // hedge snapshot (nobody else covers that one).
+        const auto resolve_hedge = [&](std::size_t winner) {
+          PrLegSlot& w = *slots[winner];
+          if (w.group == nullptr || w.group->resolved) return;
+          const auto group = w.group;
+          group->resolved = true;
+          (w.hedge_backup ? ins_.hedge_wins : ins_.hedge_losses)->inc();
+          bool requeued = false;
+          for (const std::size_t m : group->members) {
+            if (m == winner) continue;
+            PrLegSlot& s = *slots[m];
+            if (s.reported || s.declared_dead || s.abandoned) continue;
+            s.abandoned = true;
+            --outstanding;
+            if (tracer_ != nullptr && s.leg_span != obs::kNoSpan) {
+              // The loser never closes its own span (it exits at its next
+              // co_await); close it here so critical-path attribution can
+              // both skip it and bill its duration as hedge waste.
+              tracer_->end_span(
+                  s.leg_span, sim_.now(),
+                  {{"hedge_loser", std::int64_t{1}},
+                   {"cancelled", std::int64_t{config_.tail.tied ? 1 : 0}}});
+              s.leg_span = obs::kNoSpan;
+            }
+            if (config_.tail.tied && s.busy_server != nullptr) {
+              if (s.busy_server->cancel(s.busy_handle)) {
+                ins_.legs_cancelled->inc();
+              }
+              s.busy_server = nullptr;
+            }
+            if (!s.hedge_backup && s.in_flight != kNoUnit &&
+                std::find(group->covered.begin(), group->covered.end(),
+                          s.in_flight) == group->covered.end()) {
+              if (shared_units != nullptr) {
+                shared_units->push_front(s.in_flight);
+                requeued = true;
+              }
+            }
+            s.in_flight = kNoUnit;
+          }
+          if (requeued) {
+            bool any_live = false;
+            for (const auto& sp : slots) {
+              if (!sp->reported && !sp->declared_dead && !sp->abandoned &&
+                  !sp->hedge_backup) {
+                any_live = true;
+                break;
+              }
+            }
+            if (!any_live) {
+              spawn(pick_live(sched::kPrWeights), shared_units);
+              ++outstanding;
+              ins_.recovery_legs->inc();
+            }
+          }
+        };
+        // Due time for a waiting leg: the per-unit wall quantile scaled by
+        // the units the leg carries (done + in-flight + still queued),
+        // floored by hedge_min_delay. Scaling by the leg's own size is
+        // what keeps big-but-healthy legs from tripping the trigger.
+        const auto hedge_due = [&](const PrLegSlot& s, Seconds per_unit) {
+          const double expected = static_cast<double>(
+              s.done + (s.in_flight != kNoUnit ? 1 : 0) +
+              (s.units != nullptr ? s.units->size() : 0));
+          return s.spawned + std::max(per_unit * std::max(expected, 1.0),
+                                      config_.tail.hedge_min_delay);
+        };
         while (outstanding > 0) {
-          const auto msg =
-              co_await reports.recv_for(config_.net.membership_timeout);
+          // Hedge trigger: wake before the reply timeout when the oldest
+          // hedgeable leg crosses the observed leg-wall quantile. A leg is
+          // hedgeable once its remaining work is private (a shared-queue
+          // leg only after the shared deque drained — its in-flight unit
+          // is then all that is left of the stage on that node).
+          Seconds wait = config_.net.membership_timeout;
+          bool hedge_wake = false;
+          if (hedge_on) {
+            if (const auto delay = hedge_delay(sched::LegStage::kPr)) {
+              std::optional<Seconds> due;
+              for (const auto& sp : slots) {
+                const PrLegSlot& s = *sp;
+                if (s.reported || s.declared_dead || s.abandoned ||
+                    s.hedged || s.hedge_backup) {
+                  continue;
+                }
+                if (shared_queue &&
+                    (!shared_units->empty() || s.in_flight == kNoUnit)) {
+                  continue;
+                }
+                const Seconds at = hedge_due(s, *delay);
+                if (!due.has_value() || at < *due) due = at;
+              }
+              if (due.has_value() && *due - sim_.now() < wait) {
+                wait = std::max(*due - sim_.now(), 0.0);
+                hedge_wake = true;
+              }
+            }
+          }
+          const auto msg = co_await reports.recv_for(wait);
           if (msg.has_value()) {
             --outstanding;
             PrLegSlot& s = *slots[*msg];
             if (!s.unreachable) {
+              observe_leg(sched::LegStage::kPr, s.node, sim_.now() - s.spawned,
+                          static_cast<double>(s.done), s.hedge_backup);
+              resolve_hedge(*msg);
               if (sharded && !host_dead()) {
                 // Partial merge: fold this shard leg's scored paragraphs
                 // into the host's merged candidate stream feeding
                 // Paragraph Ordering (the scatter-gather reduce step).
                 co_await nodes_[host]->cpu().consume(
                     config_.shard.partial_merge_cpu *
-                    nodes_[host]->work_multiplier());
+                    nodes_[host]->work_multiplier() *
+                    nodes_[host]->gray_cpu_factor());
               }
               continue;
             }
@@ -1682,6 +2091,9 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
             if (detector_placement_) table_.mark_stale(s.node);
             record_trace(host, "N" + std::to_string(s.node + 1) +
                                    " unreachable during PR");
+            // An unreachable backup drops out of its race without recovery:
+            // its units are copies, the primary still owns the work.
+            if (s.hedge_backup) continue;
             if (host_dead()) continue;  // the whole question restarts
             std::deque<std::size_t> lost;
             if (s.in_flight != kNoUnit) {
@@ -1738,7 +2150,10 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
               }
               bool any_live = false;
               for (const auto& sp : slots) {
-                if (!sp->reported && !sp->declared_dead) {
+                // A backup leg drains a private copy, not the shared
+                // deque, so it cannot rescue requeued units.
+                if (!sp->reported && !sp->declared_dead && !sp->abandoned &&
+                    !sp->hedge_backup) {
                   any_live = true;
                   break;
                 }
@@ -1774,13 +2189,82 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
             }
             continue;
           }
+          if (hedge_wake) {
+            // The shortened wait elapsed because a leg crossed the hedge
+            // trigger, not because replies went silent: issue backups for
+            // every due leg, then go back to waiting. Each leg is hedged
+            // (or declined — no placement available) at most once.
+            const auto delay = hedge_delay(sched::LegStage::kPr);
+            if (delay.has_value()) {
+              const std::size_t count = slots.size();
+              for (std::size_t i = 0; i < count; ++i) {
+                PrLegSlot& s = *slots[i];
+                if (s.reported || s.declared_dead || s.abandoned ||
+                    s.hedged || s.hedge_backup) {
+                  continue;
+                }
+                if (shared_queue &&
+                    (!shared_units->empty() || s.in_flight == kNoUnit)) {
+                  continue;
+                }
+                if (sim_.now() < hedge_due(s, *delay)) continue;
+                s.hedged = true;
+                // Snapshot of the primary's remaining work — what the
+                // backup re-runs. Private-queue legs only ever drain this
+                // set, so the backups cover the primary completely.
+                std::vector<std::size_t> snapshot;
+                if (s.in_flight != kNoUnit) snapshot.push_back(s.in_flight);
+                if (!shared_queue) {
+                  for (const std::size_t u : *s.units) snapshot.push_back(u);
+                }
+                if (snapshot.empty()) continue;
+                auto group = std::make_shared<HedgeGroup>();
+                group->members.push_back(i);
+                group->covered = snapshot;
+                if (sharded) {
+                  // Backups must be replica holders. Only hedge when the
+                  // whole snapshot is placeable off the primary — a partial
+                  // backup could not take over on a win.
+                  auto assignment = assign_pr_units(snapshot, s.node);
+                  if (!assignment.unplaced.empty() ||
+                      assignment.legs.empty()) {
+                    continue;
+                  }
+                  s.group = group;
+                  for (auto& [node, block] : assignment.legs) {
+                    spawn(node,
+                          std::make_shared<std::deque<std::size_t>>(
+                              std::move(block)),
+                          group, /*backup=*/true);
+                    group->members.push_back(slots.size() - 1);
+                    ++outstanding;
+                  }
+                } else {
+                  const auto backup_node =
+                      pick_backup(s.node, sched::kPrWeights,
+                                  sched::LegStage::kPr);
+                  if (!backup_node.has_value()) continue;
+                  s.group = group;
+                  spawn(*backup_node,
+                        std::make_shared<std::deque<std::size_t>>(
+                            snapshot.begin(), snapshot.end()),
+                        group, /*backup=*/true);
+                  group->members.push_back(slots.size() - 1);
+                  ++outstanding;
+                }
+                record_trace(host, "hedged PR leg on N" +
+                                       std::to_string(s.node + 1));
+              }
+            }
+            continue;
+          }
           // Reply timeout: sweep the unreported legs for dead nodes.
           const bool host_down = host_dead();
           std::size_t requeued = 0;
           std::vector<std::pair<NodeId, std::deque<std::size_t>>> respawn;
           for (const auto& sp : slots) {
             PrLegSlot& s = *sp;
-            if (s.reported || s.declared_dead) continue;
+            if (s.reported || s.declared_dead || s.abandoned) continue;
             if (crash_epoch_[s.node] == s.epoch) continue;  // still alive
             s.declared_dead = true;
             --outstanding;
@@ -1795,6 +2279,9 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
             record_trace(host, "lost contact with N" +
                                    std::to_string(s.node + 1) + " during PR");
             if (host_down) continue;  // the whole question restarts anyway
+            // A dead backup's units are copies; whoever it was backing up
+            // still owns the work — nothing to recover.
+            if (s.hedge_backup) continue;
             std::deque<std::size_t> lost;
             if (s.in_flight != kNoUnit) {
               lost.push_back(s.in_flight);
@@ -1874,7 +2361,8 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
             // requeued units would be stranded: spawn a recovery leg.
             bool any_live = false;
             for (const auto& sp : slots) {
-              if (!sp->reported && !sp->declared_dead) {
+              if (!sp->reported && !sp->declared_dead && !sp->abandoned &&
+                  !sp->hedge_backup) {
                 any_live = true;
                 break;
               }
@@ -1900,7 +2388,8 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
         sp = tracer_->begin_span(t0, "PO", host, q_track, q_span, {});
       }
       co_await nodes_[host]->cpu().consume(plan.po.cpu_seconds *
-                                           nodes_[host]->work_multiplier());
+                                           nodes_[host]->work_multiplier() *
+                                           nodes_[host]->gray_cpu_factor());
       failed = host_dead();
       q.t_po = sim_.now() - t0;
       if (sp != obs::kNoSpan) tracer_->end_span(sp, sim_.now());
@@ -1918,7 +2407,8 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
       if (config_.dispatch.policy == Policy::kDqa) {
         auto ms = sched::meta_schedule(table_, sched::kApWeights,
                                        config_.dispatch.ap_underload_threshold,
-                                       &registry_);
+                                       &registry_,
+                                       straggler_mask(sched::LegStage::kAp));
         std::vector<NodeId> live_sel;
         std::vector<double> live_w;
         for (std::size_t i = 0; i < ms.selected.size(); ++i) {
@@ -1964,13 +2454,19 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
         std::vector<std::shared_ptr<ApLegSlot>> slots;
         const auto spawn =
             [&](NodeId node, std::vector<std::size_t> units,
-                std::shared_ptr<std::deque<parallel::Chunk>> chunks) {
+                std::shared_ptr<std::deque<parallel::Chunk>> chunks,
+                std::shared_ptr<HedgeGroup> group = nullptr,
+                bool backup = false) {
               auto slot = std::make_shared<ApLegSlot>();
               slot->node = node;
               slot->epoch = crash_epoch_[node];
               slot->units = std::move(units);
               slot->chunks = std::move(chunks);
               slot->stage_span = ap_span;
+              slot->spawned = sim_.now();
+              slot->group = std::move(group);
+              slot->hedge_backup = backup;
+              (backup ? ins_.hedges_issued : ins_.legs_spawned)->inc();
               slots.push_back(slot);
               ap_leg(q, slot, slots.size() - 1, reports);
             };
@@ -1995,13 +2491,114 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
         }
 
         std::size_t outstanding = slots.size();
+        const bool hedge_on = config_.tail.hedge;
+        // Hedge-race settlement — the AP twin of the PR resolve_hedge; the
+        // only structural difference is the covered work unit (an in-flight
+        // RECV chunk instead of PR sub-collections).
+        const auto resolve_hedge = [&](std::size_t winner) {
+          ApLegSlot& w = *slots[winner];
+          if (w.group == nullptr || w.group->resolved) return;
+          const auto group = w.group;
+          group->resolved = true;
+          (w.hedge_backup ? ins_.hedge_wins : ins_.hedge_losses)->inc();
+          bool requeued = false;
+          for (const std::size_t m : group->members) {
+            if (m == winner) continue;
+            ApLegSlot& s = *slots[m];
+            if (s.reported || s.declared_dead || s.abandoned) continue;
+            s.abandoned = true;
+            --outstanding;
+            if (tracer_ != nullptr && s.leg_span != obs::kNoSpan) {
+              tracer_->end_span(
+                  s.leg_span, sim_.now(),
+                  {{"hedge_loser", std::int64_t{1}},
+                   {"cancelled", std::int64_t{config_.tail.tied ? 1 : 0}}});
+              s.leg_span = obs::kNoSpan;
+            }
+            if (config_.tail.tied && s.busy_server != nullptr) {
+              if (s.busy_server->cancel(s.busy_handle)) {
+                ins_.legs_cancelled->inc();
+              }
+              s.busy_server = nullptr;
+            }
+            if (!s.hedge_backup && s.has_in_flight &&
+                !(group->has_covered_chunk &&
+                  s.in_flight.begin == group->covered_chunk.begin &&
+                  s.in_flight.end == group->covered_chunk.end)) {
+              // The primary moved on to a chunk nobody covers: requeue it.
+              if (shared_chunks != nullptr) {
+                shared_chunks->push_front(s.in_flight);
+                requeued = true;
+              }
+            }
+            s.has_in_flight = false;
+          }
+          if (requeued) {
+            bool any_live = false;
+            for (const auto& sp : slots) {
+              if (!sp->reported && !sp->declared_dead && !sp->abandoned &&
+                  !sp->hedge_backup) {
+                any_live = true;
+                break;
+              }
+            }
+            if (!any_live) {
+              spawn(pick_live(sched::kApWeights), {}, shared_chunks);
+              ++outstanding;
+              ins_.recovery_legs->inc();
+            }
+          }
+        };
+        // Per-unit due time — the AP analogue of the PR loop's hedge_due.
+        // RECV legs carry done paragraphs plus the in-flight chunk; a
+        // SEND/ISEND partition is fixed, so its size alone is the load
+        // (done already counts within it).
+        const auto hedge_due = [&](const ApLegSlot& s, Seconds per_unit) {
+          const double expected =
+              shared_queue
+                  ? static_cast<double>(
+                        s.done + (s.has_in_flight ? s.in_flight.size() : 0))
+                  : static_cast<double>(s.units.size());
+          return s.spawned + std::max(per_unit * std::max(expected, 1.0),
+                                      config_.tail.hedge_min_delay);
+        };
         while (outstanding > 0) {
-          const auto msg =
-              co_await reports.recv_for(config_.net.membership_timeout);
+          // Hedge trigger — see the PR loop for the protocol.
+          Seconds wait = config_.net.membership_timeout;
+          bool hedge_wake = false;
+          if (hedge_on) {
+            if (const auto delay = hedge_delay(sched::LegStage::kAp)) {
+              std::optional<Seconds> due;
+              for (const auto& sp : slots) {
+                const ApLegSlot& s = *sp;
+                if (s.reported || s.declared_dead || s.abandoned ||
+                    s.hedged || s.hedge_backup) {
+                  continue;
+                }
+                if (shared_queue) {
+                  if (!shared_chunks->empty() || !s.has_in_flight) continue;
+                } else if (s.units.empty()) {
+                  continue;
+                }
+                const Seconds at = hedge_due(s, *delay);
+                if (!due.has_value() || at < *due) due = at;
+              }
+              if (due.has_value() && *due - sim_.now() < wait) {
+                wait = std::max(*due - sim_.now(), 0.0);
+                hedge_wake = true;
+              }
+            }
+          }
+          const auto msg = co_await reports.recv_for(wait);
           if (msg.has_value()) {
             --outstanding;
             ApLegSlot& s = *slots[*msg];
-            if (!s.unreachable) continue;
+            if (!s.unreachable) {
+              observe_leg(sched::LegStage::kAp, s.node, sim_.now() - s.spawned,
+                          static_cast<double>(s.done), s.hedge_backup);
+              resolve_hedge(*msg);
+              continue;
+            }
             // Unreachable leg: same decision as in PR — recover the
             // stranded paragraphs over reachable survivors, or drop them
             // once the deadline budget is spent.
@@ -2010,6 +2607,9 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
             if (detector_placement_) table_.mark_stale(s.node);
             record_trace(host, "N" + std::to_string(s.node + 1) +
                                    " unreachable during AP");
+            // An unreachable backup drops out of its race without
+            // recovery: its paragraphs are copies the primary still owns.
+            if (s.hedge_backup) continue;
             if (host_dead()) continue;
             std::vector<std::size_t> lost;
             std::size_t lost_count = 0;
@@ -2040,7 +2640,8 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
               s.has_in_flight = false;
               bool any_live = false;
               for (const auto& sp : slots) {
-                if (!sp->reported && !sp->declared_dead) {
+                if (!sp->reported && !sp->declared_dead && !sp->abandoned &&
+                    !sp->hedge_backup) {
                   any_live = true;
                   break;
                 }
@@ -2079,12 +2680,60 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
             }
             continue;
           }
+          if (hedge_wake) {
+            // Timed out at a hedge trigger: issue backups for the due legs.
+            // Not a failure signal, so skip the crash sweep below.
+            for (std::size_t i = 0; i < slots.size(); ++i) {
+              ApLegSlot& s = *slots[i];
+              if (s.reported || s.declared_dead || s.abandoned || s.hedged ||
+                  s.hedge_backup) {
+                continue;
+              }
+              if (shared_queue) {
+                if (!shared_chunks->empty() || !s.has_in_flight) continue;
+              } else if (s.units.empty()) {
+                continue;
+              }
+              const auto delay = hedge_delay(sched::LegStage::kAp);
+              if (!delay.has_value() || sim_.now() < hedge_due(s, *delay)) {
+                continue;
+              }
+              s.hedged = true;  // one hedge per leg, even if declined
+              std::vector<std::size_t> snapshot;
+              auto group = std::make_shared<HedgeGroup>();
+              if (shared_queue) {
+                // The backup re-ships the in-flight chunk as a fixed
+                // partition of its own; the chunk ids identify coverage.
+                snapshot.reserve(s.in_flight.size());
+                for (std::size_t u = s.in_flight.begin; u < s.in_flight.end;
+                     ++u) {
+                  snapshot.push_back(u);
+                }
+                group->covered_chunk = s.in_flight;
+                group->has_covered_chunk = true;
+              } else {
+                snapshot = s.units;
+              }
+              if (snapshot.empty()) continue;
+              const auto backup_node =
+                  pick_backup(s.node, sched::kApWeights, sched::LegStage::kAp);
+              if (!backup_node.has_value()) continue;
+              group->members.push_back(i);
+              s.group = group;
+              spawn(*backup_node, std::move(snapshot), nullptr, group, true);
+              group->members.push_back(slots.size() - 1);
+              ++outstanding;
+              record_trace(host,
+                           "hedged AP leg on N" + std::to_string(s.node + 1));
+            }
+            continue;
+          }
           const bool host_down = host_dead();
           std::size_t requeued = 0;
           std::vector<std::pair<NodeId, std::vector<std::size_t>>> respawn;
           for (const auto& sp : slots) {
             ApLegSlot& s = *sp;
-            if (s.reported || s.declared_dead) continue;
+            if (s.reported || s.declared_dead || s.abandoned) continue;
             if (crash_epoch_[s.node] == s.epoch) continue;  // still alive
             s.declared_dead = true;
             --outstanding;
@@ -2098,6 +2747,9 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
             record_trace(host, "lost contact with N" +
                                    std::to_string(s.node + 1) + " during AP");
             if (host_down) continue;
+            // A crashed backup needs no recovery: it held copies of
+            // paragraphs the primary is still processing.
+            if (s.hedge_backup) continue;
             if (s.chunks != nullptr) {
               if (!s.has_in_flight) continue;
               s.chunks->push_front(s.in_flight);
@@ -2150,7 +2802,8 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
           if (requeued > 0) {
             bool any_live = false;
             for (const auto& sp : slots) {
-              if (!sp->reported && !sp->declared_dead) {
+              if (!sp->reported && !sp->declared_dead && !sp->abandoned &&
+                  !sp->hedge_backup) {
                 any_live = true;
                 break;
               }
@@ -2172,7 +2825,8 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
     if (!failed) {
       const Seconds t0 = sim_.now();
       co_await nodes_[host]->cpu().consume(plan.answer_sort.cpu_seconds *
-                                           nodes_[host]->work_multiplier());
+                                           nodes_[host]->work_multiplier() *
+                                           nodes_[host]->gray_cpu_factor());
       failed = host_dead();
       q.oh_answer_sort = sim_.now() - t0;
     }

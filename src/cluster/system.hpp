@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <deque>
 #include <memory>
 #include <optional>
@@ -21,11 +22,13 @@
 #include "parallel/partition.hpp"
 #include "sched/dispatcher.hpp"
 #include "sched/failure_detector.hpp"
+#include "sched/leg_latency.hpp"
 #include "sched/load_table.hpp"
 #include "sched/meta_scheduler.hpp"
 #include "shard/config.hpp"
 #include "shard/shard_map.hpp"
 #include "simnet/event.hpp"
+#include "simnet/gray_fault.hpp"
 #include "simnet/link.hpp"
 #include "simnet/link_fault.hpp"
 #include "simnet/mailbox.hpp"
@@ -114,6 +117,13 @@ struct NetworkConfig {
   /// crash-only runs too. Default off so existing crash benches keep their
   /// timeout-only placement behavior bit-for-bit.
   bool detector_placement = false;
+  /// Suspect-hint hysteresis (sched::FailureDetectorConfig::hint_hysteresis):
+  /// after a heartbeat clears a hint-raised suspicion, further hints against
+  /// that peer are suppressed for this long while its heartbeats stay
+  /// current. Keeps a gray-slow (but lossless) node from flapping between
+  /// alive and suspect on sporadic send failures. 0 disables the window —
+  /// bit-identical to the pre-hysteresis detector.
+  Seconds hint_hysteresis = 0.0;
 };
 
 /// Question-dispatcher knobs: the policy under test plus the thresholds of
@@ -198,6 +208,51 @@ struct AdmissionConfig {
   [[nodiscard]] bool enabled() const { return max_concurrent > 0; }
 };
 
+/// Tail-tolerance toolkit (extension; disabled by default). Gray nodes —
+/// slow disk, throttled CPU — heartbeat happily while stretching every
+/// fork-join question to their pace, so the failure detector never helps.
+/// These are the mitigations that do:
+///
+///   * hedging: a stage leg still outstanding past a p95-based delay
+///     (measured live from this run's own leg-completion times) gets a
+///     backup issued to a second ready replica; first reply wins.
+///   * tied requests: when one side of a hedge pair wins, the loser is
+///     cancelled — its remaining CPU/disk reservation is released
+///     immediately (simnet::FairShareServer::cancel) instead of grinding
+///     to completion, and its span closes as a cancelled hedge loser so
+///     attribution never double-counts the work.
+///   * latency-aware selection: a per-node leg-latency EWMA feeds the
+///     meta-scheduler; nodes whose EWMA exceeds `straggler_ratio` × the
+///     pool's best are down-ranked like stale entries, steering new legs
+///     away from slow-but-alive holders.
+///
+/// With `hedge` and `latency_aware` both false the entire toolkit is inert:
+/// no bookkeeping, no extra wakeups — runs are bit-identical to the
+/// pre-tail-tolerance system (pinned by test).
+struct TailConfig {
+  bool hedge = false;          ///< issue backup legs past the hedge delay
+  bool tied = false;           ///< cancel the hedge loser's in-flight work
+  bool latency_aware = false;  ///< EWMA-based straggler down-ranking
+
+  /// Hedge trigger: a leg is hedged once outstanding longer than this
+  /// quantile of the observed *per-unit* leg walls for its stage, scaled
+  /// by the work the leg carries (legs differ wildly in size; an
+  /// unnormalized wall quantile hedges big legs merely for being big)...
+  double hedge_quantile = 0.95;
+  /// ...but never sooner than this floor, and only after the stage has
+  /// this many completed-leg observations to estimate the quantile from.
+  Seconds hedge_min_delay = 0.5;
+  std::size_t hedge_min_samples = 8;
+
+  /// Leg-latency EWMA smoothing (weight of the newest observation).
+  double ewma_alpha = 0.2;
+  /// A node is a straggler while its per-unit leg-latency EWMA exceeds
+  /// this multiple of the fastest node's EWMA.
+  double straggler_ratio = 3.0;
+
+  [[nodiscard]] bool enabled() const { return hedge || latency_aware; }
+};
+
 /// Cluster configuration, grouped by concern. (The transitional
 /// FlatSystemConfig alias shipped for one release and is gone; address the
 /// sub-structs directly.)
@@ -223,10 +278,18 @@ struct SystemConfig {
   AdmissionConfig admission;
   /// Fault injection (see FaultPlan). Empty by default: no crashes.
   FaultPlan faults;
+  /// Scripted gray degradation (see simnet::GrayFaultPlan): per-node
+  /// CPU/disk slowdown windows with optional per-transfer latency
+  /// inflation, invisible to the failure detector. Empty by default: no
+  /// gray windows, bit-identical to the pre-gray system.
+  simnet::GrayFaultPlan gray;
   /// Corpus sharding / index replication (see shard::ShardConfig).
   /// Disabled by default: unsharded runs are bit-identical to the
   /// pre-shard system.
   shard::ShardConfig shard;
+  /// Tail-tolerance toolkit (see TailConfig). Disabled by default:
+  /// unhedged runs are bit-identical to the pre-tail-tolerance system.
+  TailConfig tail;
 };
 
 /// The distributed question answering system (paper Fig. 2/3) running on
@@ -342,6 +405,7 @@ class System {
   struct QuestionState;  // per-question bookkeeping (defined in .cpp)
   struct PrLegSlot;      // coordinator/leg shared state (defined in .cpp)
   struct ApLegSlot;
+  struct HedgeGroup;     // one hedge race: primary + backups (defined in .cpp)
   struct NodeCaches;     // per-node answer/paragraph caches (defined in .cpp)
 
   simnet::SimProcess monitor_process(Node& node);
@@ -448,6 +512,33 @@ class System {
   void apply_crash(sched::NodeId node);
   void apply_restart(sched::NodeId node);
 
+  /// Gray-fault schedule hooks (only wired when config().gray is enabled).
+  void apply_gray(const simnet::GrayFaultEvent& event);
+  void clear_gray(sched::NodeId node);
+  /// Extra one-way transfer delay from open gray windows on either
+  /// endpoint; 0 whenever the plan is disabled (ship() fast path intact).
+  [[nodiscard]] Seconds gray_extra_latency(sched::NodeId src,
+                                           sched::NodeId dst) const;
+
+  /// Tail-tolerance bookkeeping (all no-ops while config().tail is
+  /// disabled). A completed leg's wall time feeds the per-stage hedge-delay
+  /// estimate and the per-node per-unit EWMA behind straggler avoidance.
+  /// Backup legs (`backup` true) feed only the EWMA: their walls start at
+  /// the hedge, not the dispatch, and letting those short walls into the
+  /// quantile pool drags the trigger down and over-hedges the next round.
+  void observe_leg(sched::LegStage stage, sched::NodeId node, Seconds wall,
+                   double units, bool backup = false);
+  /// Current per-unit hedge trigger for a stage: the configured quantile
+  /// of this run's observed per-unit leg walls. The supervision loops
+  /// scale it by each leg's unit count (and floor the product with
+  /// hedge_min_delay) to get that leg's due time; nullopt until
+  /// hedge_min_samples legs have completed.
+  [[nodiscard]] std::optional<Seconds> hedge_delay(
+      sched::LegStage stage) const;
+  /// Straggler mask for meta_schedule(_among) when latency-aware selection
+  /// is on; empty span otherwise (scheduling unchanged).
+  [[nodiscard]] std::span<const char> straggler_mask(sched::LegStage stage);
+
   void record_trace(sched::NodeId node, std::string event);
   /// record_trace with structured attributes on the JSON event (the text
   /// view renders identically either way).
@@ -503,6 +594,14 @@ class System {
     obs::Counter* questions_shed = nullptr;
     obs::Counter* admission_degraded = nullptr;
     obs::HistogramMetric* admission_wait = nullptr;
+    obs::Counter* legs_spawned = nullptr;        // tail-tolerance toolkit
+    obs::Counter* hedges_issued = nullptr;
+    obs::Counter* hedge_wins = nullptr;
+    obs::Counter* hedge_losses = nullptr;
+    obs::Counter* legs_cancelled = nullptr;
+    obs::Counter* straggler_avoidances = nullptr;
+    obs::Counter* gray_onsets = nullptr;         // gray-fault schedule
+    obs::Counter* gray_recoveries = nullptr;
   };
   void register_instruments();
   /// Folds per-node CacheStats (evictions, expirations, invalidations,
@@ -531,6 +630,12 @@ class System {
   sched::FailureDetector detector_;
   bool detector_placement_ = false;
   sched::LoadTable table_;
+  /// Tail-tolerance state (untouched while config().tail is disabled).
+  sched::LegLatencyTracker leg_latency_;
+  std::array<std::vector<double>, sched::kLegStages> leg_walls_;
+  std::vector<char> straggler_scratch_;
+  /// Gray-fault state: per-node open-window flags (empty when disabled).
+  std::vector<Seconds> gray_extra_latency_;
   obs::MetricsRegistry registry_;
   Instruments ins_;
   TraceRecorder* trace_ = nullptr;

@@ -58,47 +58,8 @@ std::vector<std::size_t> overload_pick_sequence(
   return picks;
 }
 
-void submit_overload(System& system, std::span<const QuestionPlan> plans,
-                     const OverloadWorkload& workload) {
-  QADIST_CHECK(!plans.empty());
-  QADIST_CHECK(workload.overload_factor > 0.0);
-  const std::size_t nodes = system.config().nodes;
-  const std::size_t count =
-      workload.count != 0 ? workload.count : 8 * nodes;
-  const double mean_service =
-      mean_service_seconds(plans, workload.reference_disk);
-  // An all-zero-work plan set would make max_gap 0 and silently submit
-  // every question at t=0 — an infinite overload factor, not the protocol
-  // the caller asked for.
-  QADIST_CHECK(mean_service > 0.0,
-               << "submit_overload: plan set has zero mean service time; "
-                  "arrival gaps would all collapse to t=0");
-  // Mean gap g = service / (overload · N)  =>  gaps uniform in [0, 2g].
-  const double max_gap = 2.0 * mean_service /
-                         (workload.overload_factor *
-                          static_cast<double>(nodes));
-  Rng arrivals(workload.seed);
-  Seconds at = 0.0;
-  for (const std::size_t pick :
-       overload_pick_sequence(workload, plans.size(), count)) {
-    system.submit(plans[pick], at);
-    at += arrivals.uniform(0.0, max_gap);
-  }
-}
-
-void submit_serial(System& system, std::span<const QuestionPlan> plans,
-                   const SerialWorkload& workload) {
-  QADIST_CHECK(!plans.empty());
-  QADIST_CHECK(workload.stride >= 1);
-  const double gap =
-      10.0 * mean_service_seconds(plans, workload.reference_disk);
-  Seconds at = 0.0;
-  for (std::size_t i = 0; i < workload.count; ++i) {
-    const std::size_t pick =
-        (workload.offset + i * workload.stride) % plans.size();
-    system.submit(plans[pick], at);
-    at += gap;
-  }
-}
+// submit_overload / submit_serial are defined in the workload library
+// (src/workload/compat.cpp) as thin wrappers over workload::Driver —
+// cluster cannot link against workload, so the shims live there.
 
 }  // namespace qadist::cluster

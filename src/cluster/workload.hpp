@@ -55,6 +55,10 @@ struct OverloadWorkload {
     const OverloadWorkload& workload, std::size_t plan_count,
     std::size_t count);
 
+/// Compatibility shim over workload::Driver (RunSpec shape kOverload):
+/// same pick sequence and arrival instants, bit for bit. New code should
+/// use the Driver directly — it also covers the serial and open-loop
+/// protocols and can run the whole experiment in one call.
 void submit_overload(System& system, std::span<const QuestionPlan> plans,
                      const OverloadWorkload& workload);
 
@@ -70,6 +74,7 @@ struct SerialWorkload {
   Bandwidth reference_disk = Bandwidth::from_mbps(250);
 };
 
+/// Compatibility shim over workload::Driver (RunSpec shape kSerial).
 void submit_serial(System& system, std::span<const QuestionPlan> plans,
                    const SerialWorkload& workload);
 

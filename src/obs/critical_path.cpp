@@ -47,13 +47,28 @@ void decompose_stage(const SpanRecord& stage, const ChildIndex& index,
     out.merge += duration(stage);
     return;
   }
-  const SpanRecord* crit = legs_it->second.front();
+  // Hedge losers are abandoned when their twin reports first; their spans
+  // close at resolution time (after the winner's report landed), so taking
+  // one as the critical leg would blame a leg that never gated the stage.
+  // Their burned time is tallied as waste instead.
+  const SpanRecord* crit = nullptr;
   for (const SpanRecord* leg : legs_it->second) {
-    if (leg->end > crit->end ||
+    if (attr_int(leg->attrs, "hedge_loser").value_or(0) != 0) {
+      out.hedge_wasted += duration(*leg);
+      continue;
+    }
+    if (crit == nullptr || leg->end > crit->end ||
         (leg->end == crit->end && leg->start > crit->start)) {
       crit = leg;
     }
   }
+  if (crit == nullptr) {
+    // Every leg lost its race — cannot happen (winners are never
+    // abandoned), but degrade to supervision time rather than crash.
+    out.merge += duration(stage);
+    return;
+  }
+  if (attr_int(crit->attrs, "hedge").value_or(0) != 0) ++out.hedge_wins;
   out.retry += std::max(0.0, crit->start - stage.start);
   out.merge += std::max(0.0, stage.end - crit->end);
   const double net = attr_double(crit->attrs, "net_seconds").value_or(0.0);
@@ -155,6 +170,8 @@ RunAttribution attribute_run(
     run.service.other += q.service.other;
     if (q.cached) ++run.cached;
     if (q.degraded) ++run.degraded;
+    run.hedge_wins += static_cast<std::size_t>(q.hedge_wins);
+    run.hedge_wasted += q.hedge_wasted;
     for (const CriticalLeg& leg : q.critical_legs) {
       if (leg.node >= run.critical_leg_counts.size()) {
         run.critical_leg_counts.resize(leg.node + 1, 0);
@@ -194,6 +211,11 @@ std::string render_attribution(const RunAttribution& run) {
   os << table.render();
   os << run.questions << " questions (" << run.cached << " cached, "
      << run.degraded << " degraded)\n";
+  if (run.hedge_wins > 0 || run.hedge_wasted > 0.0) {
+    os << "hedging: " << run.hedge_wins
+       << " stages decided by a backup leg, "
+       << cell(run.hedge_wasted, 3) << " s of loser work abandoned\n";
+  }
   if (!run.critical_leg_counts.empty()) {
     os << "critical fork-join legs per node:";
     for (std::size_t n = 0; n < run.critical_leg_counts.size(); ++n) {

@@ -64,6 +64,14 @@ struct QuestionBreakdown {
   std::int64_t restarts = 0;
   bool cached = false;
   bool degraded = false;
+  /// Fork-join stages whose critical leg was a hedged backup — the backup
+  /// beat the primary AND decided the stage latency (a hedge that paid).
+  std::int64_t hedge_wins = 0;
+  /// Seconds burned by hedge losers (primary or backup legs abandoned when
+  /// their twin reported first). Wasted work, not a latency component:
+  /// losers overlap the winner, so they never extend the stage interval
+  /// and stay out of component_sum().
+  double hedge_wasted = 0.0;
 
   /// Component sum; equals `total` up to floating-point round-off.
   [[nodiscard]] double component_sum() const {
@@ -84,6 +92,8 @@ struct RunAttribution {
   ServiceBreakdown service;
   std::size_t cached = 0;
   std::size_t degraded = 0;
+  std::size_t hedge_wins = 0;   ///< stages decided by a hedged backup
+  double hedge_wasted = 0.0;    ///< seconds burned by abandoned hedge losers
   /// critical_leg_counts[node] = how many fork-join stages this node's leg
   /// decided — the "which node makes questions slow" histogram.
   std::vector<std::size_t> critical_leg_counts;

@@ -1,0 +1,71 @@
+#include "sched/leg_latency.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace qadist::sched {
+
+LegLatencyTracker::LegLatencyTracker(std::size_t nodes, double alpha)
+    : alpha_(alpha) {
+  QADIST_CHECK(alpha > 0.0 && alpha <= 1.0,
+               << "leg-latency EWMA alpha must be in (0, 1], got " << alpha);
+  for (auto& stage : cells_) stage.assign(nodes, Cell{});
+}
+
+void LegLatencyTracker::observe(NodeId node, LegStage stage, Seconds seconds,
+                                double units) {
+  if (units <= 0.0) return;
+  auto& cells = cells_[static_cast<std::size_t>(stage)];
+  if (node >= cells.size()) return;
+  Cell& cell = cells[node];
+  const double per_unit = seconds / units;
+  cell.ewma = cell.count == 0
+                  ? per_unit
+                  : alpha_ * per_unit + (1.0 - alpha_) * cell.ewma;
+  ++cell.count;
+}
+
+bool LegLatencyTracker::has(NodeId node, LegStage stage) const {
+  const auto& cells = cells_[static_cast<std::size_t>(stage)];
+  return node < cells.size() && cells[node].count > 0;
+}
+
+double LegLatencyTracker::ewma(NodeId node, LegStage stage) const {
+  const auto& cells = cells_[static_cast<std::size_t>(stage)];
+  return node < cells.size() ? cells[node].ewma : 0.0;
+}
+
+double LegLatencyTracker::best(LegStage stage) const {
+  const auto& cells = cells_[static_cast<std::size_t>(stage)];
+  double best = std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const Cell& cell : cells) {
+    if (cell.count == 0) continue;
+    best = std::min(best, cell.ewma);
+    any = true;
+  }
+  return any ? best : 0.0;
+}
+
+bool LegLatencyTracker::straggler_mask(LegStage stage, double ratio,
+                                       std::vector<char>& mask) const {
+  const auto& cells = cells_[static_cast<std::size_t>(stage)];
+  mask.assign(cells.size(), 0);
+  const double reference = best(stage);
+  if (reference <= 0.0) return false;
+  std::size_t flagged = 0;
+  std::size_t observed = 0;
+  for (std::size_t node = 0; node < cells.size(); ++node) {
+    if (cells[node].count == 0) continue;
+    ++observed;
+    if (cells[node].ewma > ratio * reference) {
+      mask[node] = 1;
+      ++flagged;
+    }
+  }
+  return flagged > 0 && flagged < observed;
+}
+
+}  // namespace qadist::sched

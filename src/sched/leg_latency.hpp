@@ -1,0 +1,66 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sched/load.hpp"
+
+namespace qadist::sched {
+
+/// Which fork-join stage a leg observation belongs to. Hedge delays and
+/// straggler judgements are kept per stage because PR legs (disk-bound
+/// retrieval) and AP legs (CPU-bound answer processing) live on completely
+/// different time scales.
+enum class LegStage : std::size_t { kPr = 0, kAp = 1 };
+inline constexpr std::size_t kLegStages = 2;
+
+/// Per-node, per-stage EWMA of observed leg service latency — the
+/// latency-aware replica-selection signal of the tail-tolerance toolkit.
+///
+/// Load-based scheduling cannot see a gray node: a 10x-slow disk holds few
+/// customers at a time precisely *because* it is slow, so its broadcast
+/// load looks idle and the meta-scheduler keeps feeding it. What does give
+/// it away is the latency of the legs it already served. The coordinator
+/// feeds every completed leg's per-unit wall time in here; nodes whose
+/// EWMA exceeds `ratio` × the fastest node's EWMA are flagged stragglers
+/// and down-ranked by meta_schedule(_among) like stale entries.
+///
+/// Observations are normalized per work unit (sub-collections for PR,
+/// paragraphs for AP) so a node that legitimately received a large
+/// partition is not mistaken for a slow one.
+class LegLatencyTracker {
+ public:
+  LegLatencyTracker() = default;
+  LegLatencyTracker(std::size_t nodes, double alpha);
+
+  /// Folds one completed leg: `seconds` of wall time over `units` work
+  /// units on `node`. Ignored when `units <= 0`.
+  void observe(NodeId node, LegStage stage, Seconds seconds, double units);
+
+  [[nodiscard]] bool has(NodeId node, LegStage stage) const;
+  /// Per-unit EWMA for a node; 0 before the first observation.
+  [[nodiscard]] double ewma(NodeId node, LegStage stage) const;
+  /// Fastest per-unit EWMA across observed nodes; 0 with no data.
+  [[nodiscard]] double best(LegStage stage) const;
+
+  /// Fills `mask` (resized to the node count) with 1 for every node whose
+  /// EWMA exceeds `ratio` × best(stage). Returns true when at least one
+  /// node is flagged AND at least one observed node is not — the only
+  /// situation where filtering can help; callers pass an empty span to the
+  /// scheduler otherwise.
+  bool straggler_mask(LegStage stage, double ratio,
+                      std::vector<char>& mask) const;
+
+ private:
+  struct Cell {
+    double ewma = 0.0;
+    std::size_t count = 0;
+  };
+
+  double alpha_ = 0.2;
+  std::array<std::vector<Cell>, kLegStages> cells_;
+};
+
+}  // namespace qadist::sched

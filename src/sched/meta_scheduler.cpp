@@ -21,7 +21,8 @@ MetaSchedule schedule_pool(const LoadTable& table,
                            std::vector<NodeId> members,
                            const LoadWeights& module_weights,
                            double underload_threshold,
-                           obs::MetricsRegistry* metrics) {
+                           obs::MetricsRegistry* metrics,
+                           std::span<const char> straggler) {
   MetaSchedule out;
 
   // Suspected peers (stale load entries) are not candidates — their figures
@@ -32,6 +33,22 @@ MetaSchedule schedule_pool(const LoadTable& table,
     if (!table.is_stale(id)) fresh.push_back(id);
   }
   if (!fresh.empty()) members = std::move(fresh);
+
+  // Latency-aware down-ranking (tail-tolerance): observed stragglers are
+  // filtered the same way — their load figures are honest, but their
+  // service times are not worth scheduling onto while faster peers exist.
+  if (!straggler.empty()) {
+    std::vector<NodeId> fast;
+    for (NodeId id : members) {
+      if (id >= straggler.size() || straggler[id] == 0) fast.push_back(id);
+    }
+    if (!fast.empty() && fast.size() < members.size()) {
+      members = std::move(fast);
+      if (metrics != nullptr) {
+        metrics->counter("meta_schedule_straggler_filtered").inc();
+      }
+    }
+  }
 
   std::vector<double> loads;
   loads.reserve(members.size());
@@ -78,18 +95,20 @@ MetaSchedule schedule_pool(const LoadTable& table,
 MetaSchedule meta_schedule(const LoadTable& table,
                            const LoadWeights& module_weights,
                            double underload_threshold,
-                           obs::MetricsRegistry* metrics) {
+                           obs::MetricsRegistry* metrics,
+                           std::span<const char> straggler) {
   auto members = table.members();
   QADIST_CHECK(!members.empty(), << "meta_schedule over an empty pool");
   return schedule_pool(table, std::move(members), module_weights,
-                       underload_threshold, metrics);
+                       underload_threshold, metrics, straggler);
 }
 
 MetaSchedule meta_schedule_among(const LoadTable& table,
                                  std::span<const NodeId> eligible,
                                  const LoadWeights& module_weights,
                                  double underload_threshold,
-                                 obs::MetricsRegistry* metrics) {
+                                 obs::MetricsRegistry* metrics,
+                                 std::span<const char> straggler) {
   const auto members = table.members();
   std::vector<NodeId> pool;
   for (NodeId id : eligible) {
@@ -99,7 +118,7 @@ MetaSchedule meta_schedule_among(const LoadTable& table,
   }
   if (pool.empty()) return {};  // no eligible replica holder is a member
   return schedule_pool(table, std::move(pool), module_weights,
-                       underload_threshold, metrics);
+                       underload_threshold, metrics, straggler);
 }
 
 }  // namespace qadist::sched

@@ -39,9 +39,17 @@ struct MetaSchedule {
 /// With `metrics` set, each call counts into `meta_schedule_calls` /
 /// `meta_schedule_partitioned` and observes the selected-set size in the
 /// `meta_schedule_selected_nodes` histogram.
+///
+/// `straggler` is the optional latency-awareness input (tail-tolerance
+/// toolkit): a per-NodeId mask where a non-zero entry marks a node whose
+/// observed leg latency makes it a straggler. Stragglers are filtered from
+/// the candidate pool exactly like stale entries — unless every candidate
+/// is one, in which case the full pool is kept (a slow placement beats
+/// none). An empty span (the default) leaves the algorithm untouched.
 [[nodiscard]] MetaSchedule meta_schedule(
     const LoadTable& table, const LoadWeights& module_weights,
-    double underload_threshold, obs::MetricsRegistry* metrics = nullptr);
+    double underload_threshold, obs::MetricsRegistry* metrics = nullptr,
+    std::span<const char> straggler = {});
 
 /// meta_schedule restricted to an eligible subset of the table's members —
 /// the replica-aware variant: with a partially replicated corpus, PR can
@@ -53,6 +61,7 @@ struct MetaSchedule {
 [[nodiscard]] MetaSchedule meta_schedule_among(
     const LoadTable& table, std::span<const NodeId> eligible,
     const LoadWeights& module_weights, double underload_threshold,
-    obs::MetricsRegistry* metrics = nullptr);
+    obs::MetricsRegistry* metrics = nullptr,
+    std::span<const char> straggler = {});
 
 }  // namespace qadist::sched

@@ -115,6 +115,17 @@ void FairShareServer::restart() {
   halted_ = false;
 }
 
+bool FairShareServer::cancel(std::coroutine_handle<> h) {
+  advance();
+  const auto it = std::find_if(flows_.begin(), flows_.end(),
+                               [h](const Flow& f) { return f.handle == h; });
+  if (it == flows_.end()) return false;
+  flows_.erase(it);  // no work_served_ credit: the work was abandoned
+  reschedule();
+  sim_.schedule(0.0, [h] { h.resume(); });
+  return true;
+}
+
 void FairShareServer::ConsumeAwaiter::await_suspend(std::coroutine_handle<> h) {
   server_.enqueue(work_, h);
 }

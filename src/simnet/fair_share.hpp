@@ -73,6 +73,16 @@ class FairShareServer {
   /// Returns a halted server to service (node reboot). Idempotent.
   void restart();
 
+  /// Withdraws an in-service customer before completion (tied-request
+  /// cancellation): the flow's remaining work is released immediately —
+  /// returning its share of the rate to the other customers — and `h` is
+  /// resumed on the next event tick without its work being credited to
+  /// work_served(). The contract mirrors halt(): the resumed customer must
+  /// check its abandonment flag right after the co_await and discard the
+  /// partial result. Returns false when `h` is not currently in service
+  /// (already completed, or waiting on a different resource).
+  bool cancel(std::coroutine_handle<> h);
+
   [[nodiscard]] bool halted() const { return halted_; }
 
   /// Low-level entry used by composite awaitables (e.g. simnet::Link):

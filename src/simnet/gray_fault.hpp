@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace qadist::simnet {
+
+/// One scripted gray-degradation window on a node: from `at` (until
+/// `at + recover_after`, or forever when `recover_after < 0`) the node's
+/// data-path service times stretch — CPU work by `cpu_factor`, disk work by
+/// `disk_factor` — and every data transfer touching the node pays
+/// `extra_latency` on top of the link propagation delay.
+///
+/// Gray faults are deliberately invisible to the failure detector: the
+/// node's load broadcasts (heartbeats) keep flowing on schedule and its
+/// link stays lossless, so the alive/suspect/dead state machine sees a
+/// perfectly healthy peer. Only the tail-tolerance toolkit (hedging, tied
+/// requests, latency-aware selection) can mitigate them — exactly the
+/// real-world gray-failure regime this models.
+struct GrayFaultEvent {
+  std::uint32_t node = 0;
+  Seconds at = 0.0;
+  /// Window length; negative means the node never recovers on its own.
+  Seconds recover_after = -1.0;
+  /// Service-time multipliers while gray (1.0 = unaffected resource).
+  double cpu_factor = 1.0;
+  double disk_factor = 1.0;
+  /// Added one-way delay per data transfer touching the node while gray.
+  Seconds extra_latency = 0.0;
+};
+
+/// Scripted gray-fault schedule. An empty plan is the disabled state: no
+/// onset events are scheduled and the run stays bit-identical to a build
+/// without the gray-fault subsystem.
+struct GrayFaultPlan {
+  std::vector<GrayFaultEvent> events;
+
+  [[nodiscard]] bool enabled() const { return !events.empty(); }
+};
+
+}  // namespace qadist::simnet

@@ -78,6 +78,9 @@ struct Arrival {
     const ArrivalProcessConfig& config, std::size_t plan_count);
 
 /// Submits a stream against a constructed (not yet running) system.
+/// This is the open-loop primitive workload::Driver builds on; prefer the
+/// Driver (RunSpec shape kOpenLoop) unless you need to submit a stream
+/// you generated or edited yourself.
 void submit_stream(cluster::System& system,
                    std::span<const cluster::QuestionPlan> plans,
                    std::span<const Arrival> stream);

@@ -1,0 +1,28 @@
+// Compatibility shims: the legacy per-protocol submit functions, kept so
+// existing call sites (and their bit-exact pick sequences) survive the
+// consolidation behind workload::Driver. Each wrapper builds the RunSpec
+// the protocol corresponds to and delegates; the definitions live in the
+// workload library because cluster cannot link against it (the dependency
+// points the other way).
+#include "cluster/workload.hpp"
+#include "workload/driver.hpp"
+
+namespace qadist::cluster {
+
+void submit_overload(System& system, std::span<const QuestionPlan> plans,
+                     const OverloadWorkload& workload) {
+  workload::RunSpec spec;
+  spec.shape = workload::WorkloadShape::kOverload;
+  spec.overload = workload;
+  workload::Driver(system, plans).submit(spec);
+}
+
+void submit_serial(System& system, std::span<const QuestionPlan> plans,
+                   const SerialWorkload& workload) {
+  workload::RunSpec spec;
+  spec.shape = workload::WorkloadShape::kSerial;
+  spec.serial = workload;
+  workload::Driver(system, plans).submit(spec);
+}
+
+}  // namespace qadist::cluster

@@ -1,0 +1,97 @@
+#include "workload/driver.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace qadist::workload {
+
+std::string_view to_string(WorkloadShape shape) {
+  switch (shape) {
+    case WorkloadShape::kOverload:
+      return "overload";
+    case WorkloadShape::kSerial:
+      return "serial";
+    case WorkloadShape::kOpenLoop:
+      return "open-loop";
+  }
+  QADIST_UNREACHABLE("bad WorkloadShape");
+}
+
+namespace {
+
+/// High-load protocol (paper Sec. 6.1). The arrival-gap RNG and the pick
+/// sequence are exactly the legacy submit_overload streams: gaps uniform
+/// in [0, 2g] from Rng(seed), picks from overload_pick_sequence.
+std::size_t submit_overload_spec(cluster::System& system,
+                                 std::span<const cluster::QuestionPlan> plans,
+                                 const cluster::OverloadWorkload& workload) {
+  QADIST_CHECK(!plans.empty());
+  QADIST_CHECK(workload.overload_factor > 0.0);
+  const std::size_t nodes = system.config().nodes;
+  const std::size_t count =
+      workload.count != 0 ? workload.count : 8 * nodes;
+  const double mean_service =
+      cluster::mean_service_seconds(plans, workload.reference_disk);
+  // An all-zero-work plan set would make max_gap 0 and silently submit
+  // every question at t=0 — an infinite overload factor, not the protocol
+  // the caller asked for.
+  QADIST_CHECK(mean_service > 0.0,
+               << "overload workload: plan set has zero mean service time; "
+                  "arrival gaps would all collapse to t=0");
+  // Mean gap g = service / (overload · N)  =>  gaps uniform in [0, 2g].
+  const double max_gap = 2.0 * mean_service /
+                         (workload.overload_factor *
+                          static_cast<double>(nodes));
+  Rng arrivals(workload.seed);
+  Seconds at = 0.0;
+  for (const std::size_t pick :
+       cluster::overload_pick_sequence(workload, plans.size(), count)) {
+    system.submit(plans[pick], at);
+    at += arrivals.uniform(0.0, max_gap);
+  }
+  return count;
+}
+
+/// Low-load protocol (paper Sec. 6.2): long fixed gaps, strided picks.
+std::size_t submit_serial_spec(cluster::System& system,
+                               std::span<const cluster::QuestionPlan> plans,
+                               const cluster::SerialWorkload& workload) {
+  QADIST_CHECK(!plans.empty());
+  QADIST_CHECK(workload.stride >= 1);
+  const double gap =
+      10.0 * cluster::mean_service_seconds(plans, workload.reference_disk);
+  Seconds at = 0.0;
+  for (std::size_t i = 0; i < workload.count; ++i) {
+    const std::size_t pick =
+        (workload.offset + i * workload.stride) % plans.size();
+    system.submit(plans[pick], at);
+    at += gap;
+  }
+  return workload.count;
+}
+
+}  // namespace
+
+std::size_t Driver::submit(const RunSpec& spec) {
+  switch (spec.shape) {
+    case WorkloadShape::kOverload:
+      return submit_overload_spec(system_, plans_, spec.overload);
+    case WorkloadShape::kSerial:
+      return submit_serial_spec(system_, plans_, spec.serial);
+    case WorkloadShape::kOpenLoop: {
+      const auto stream = arrival_stream(spec.open_loop, plans_.size());
+      submit_stream(system_, plans_, stream);
+      return stream.size();
+    }
+  }
+  QADIST_UNREACHABLE("bad WorkloadShape");
+}
+
+RunResult Driver::run(const RunSpec& spec) {
+  RunResult out;
+  out.submitted = submit(spec);
+  out.metrics = system_.run();
+  return out;
+}
+
+}  // namespace qadist::workload

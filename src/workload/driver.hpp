@@ -1,0 +1,70 @@
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "cluster/metrics.hpp"
+#include "cluster/plan.hpp"
+#include "cluster/system.hpp"
+#include "cluster/workload.hpp"
+#include "workload/arrival.hpp"
+
+namespace qadist::workload {
+
+/// Which submit protocol a RunSpec drives.
+enum class WorkloadShape {
+  kOverload,  ///< closed-loop high-load protocol (paper Sec. 6.1)
+  kSerial,    ///< one-at-a-time low-load protocol (paper Sec. 6.2)
+  kOpenLoop,  ///< seeded open-loop arrival process (extension)
+};
+
+[[nodiscard]] std::string_view to_string(WorkloadShape shape);
+
+/// One experiment, fully described: the workload shape plus the
+/// shape-specific parameters (question counts, seeds, arrival process).
+/// Exactly one of the three sub-configs is read, selected by `shape`; the
+/// others keep their defaults and are ignored. Everything about the
+/// cluster itself (nodes, policy, admission, faults, cfg.tail) stays in
+/// cluster::SystemConfig — a RunSpec describes the *traffic*, not the
+/// system under test.
+struct RunSpec {
+  WorkloadShape shape = WorkloadShape::kOverload;
+  cluster::OverloadWorkload overload;   ///< read when shape == kOverload
+  cluster::SerialWorkload serial;       ///< read when shape == kSerial
+  ArrivalProcessConfig open_loop;       ///< read when shape == kOpenLoop
+};
+
+/// What one driven run produced.
+struct RunResult {
+  std::size_t submitted = 0;  ///< questions handed to System::submit
+  cluster::Metrics metrics;   ///< end-of-run registry snapshot
+};
+
+/// The front door for driving a System through a workload. The three
+/// legacy protocols (cluster::submit_overload, cluster::submit_serial,
+/// submit_stream over arrival_stream) are one API here: build a Driver
+/// over the system and its plan set, describe the traffic in a RunSpec,
+/// and run(). The pick sequences and arrival instants are bit-identical
+/// to the legacy free functions at the same parameters — those functions
+/// are now thin wrappers over this class, kept for compatibility.
+class Driver {
+ public:
+  Driver(cluster::System& system,
+         std::span<const cluster::QuestionPlan> plans)
+      : system_(system), plans_(plans) {}
+
+  /// Submits the spec's question stream against the (not yet running)
+  /// system and returns how many questions were submitted. Split from
+  /// run() so callers can attach more simulation processes, prewarm
+  /// caches, or drive several specs into one run.
+  std::size_t submit(const RunSpec& spec);
+
+  /// submit() + System::run(): one whole experiment.
+  RunResult run(const RunSpec& spec);
+
+ private:
+  cluster::System& system_;
+  std::span<const cluster::QuestionPlan> plans_;
+};
+
+}  // namespace qadist::workload

@@ -13,6 +13,7 @@
 #include <cstdlib>
 
 #include "cluster/system.hpp"
+#include "common/rng.hpp"
 #include "support/test_world.hpp"
 
 namespace qadist::cluster {
@@ -41,9 +42,29 @@ std::uint64_t chaos_seed() {
   return std::strtoull(env, nullptr, 10);
 }
 
-Metrics soak(std::uint64_t seed, bool sharded = false) {
+Metrics soak(std::uint64_t seed, bool sharded = false, bool gray = false) {
   simnet::Simulation sim;
   SystemConfig cfg;
+  if (gray) {
+    // Random gray-fault schedule derived from the soak seed: three
+    // degradation windows at random nodes/times/severities, plus the full
+    // tail toolkit and hint hysteresis to react to them. Same seed, same
+    // schedule — the replay test still holds bit for bit.
+    Rng gray_rng(seed ^ 0xa0761d6478bd642fULL);
+    for (int i = 0; i < 3; ++i) {
+      simnet::GrayFaultEvent ev;
+      ev.node = static_cast<sched::NodeId>(gray_rng.uniform_u64(0, 5));
+      ev.at = gray_rng.uniform(0.0, 400.0);
+      ev.recover_after = gray_rng.uniform(30.0, 150.0);
+      ev.cpu_factor = gray_rng.uniform(2.0, 10.0);
+      ev.disk_factor = gray_rng.uniform(2.0, 10.0);
+      cfg.gray.events.push_back(ev);
+    }
+    cfg.tail.hedge = true;
+    cfg.tail.tied = true;
+    cfg.tail.latency_aware = true;
+    cfg.net.hint_hysteresis = 30.0;
+  }
   if (sharded) {
     // Partially-replicated corpus on top of all the chaos: crashes now also
     // cost shard failovers, background rebuilds, and rejoin re-validation.
@@ -127,6 +148,40 @@ TEST(ChaosSoakTest, ShardedSoakCompletesOrDegradesNeverHangs) {
   EXPECT_LE(m.shard_rebuilds, m.shard_failovers);
   EXPECT_EQ(m.shard_rebuild_bytes, m.shard_rebuilds * 64_MB);
   EXPECT_EQ(m.shard_rebuild_seconds.count(), m.shard_rebuilds);
+}
+
+TEST(ChaosSoakTest, GraySoakCompletesOrDegradesNeverHangs) {
+  // All of the above chaos plus three random gray-degradation windows and
+  // the tail toolkit (hedging + tied cancellation + latency-aware
+  // selection) reacting to them under fire.
+  const auto m = soak(chaos_seed(), /*sharded=*/false, /*gray=*/true);
+  EXPECT_EQ(m.submitted, 30u);
+  EXPECT_EQ(m.completed, 30u);
+  EXPECT_EQ(m.latencies.count(), 30u);
+  EXPECT_LE(m.questions_degraded, m.completed);
+  EXPECT_EQ(m.gray_onsets, 3u);
+  // Hedge accounting stays consistent even with crashes and partitions
+  // racing the hedges: settled races never exceed issued backups.
+  EXPECT_LE(m.hedge_wins + m.hedge_losses, m.hedges_issued);
+}
+
+TEST(ChaosSoakTest, GraySoakReplaysBitIdentically) {
+  const std::uint64_t seed = chaos_seed();
+  const auto a = soak(seed, /*sharded=*/false, /*gray=*/true);
+  const auto b = soak(seed, /*sharded=*/false, /*gray=*/true);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.gray_onsets, b.gray_onsets);
+  EXPECT_EQ(a.gray_recoveries, b.gray_recoveries);
+  EXPECT_EQ(a.hedges_issued, b.hedges_issued);
+  EXPECT_EQ(a.hedge_wins, b.hedge_wins);
+  EXPECT_EQ(a.hedge_losses, b.hedge_losses);
+  EXPECT_EQ(a.legs_cancelled, b.legs_cancelled);
+  EXPECT_EQ(a.straggler_avoidances, b.straggler_avoidances);
+  EXPECT_EQ(a.detector_hints_suppressed, b.detector_hints_suppressed);
+  EXPECT_EQ(a.questions_degraded, b.questions_degraded);
+  EXPECT_DOUBLE_EQ(a.latencies.mean(), b.latencies.mean());
 }
 
 TEST(ChaosSoakTest, ShardedSoakReplaysBitIdentically) {

@@ -1,0 +1,140 @@
+// workload::Driver — the unified run/driver API. The legacy free
+// functions (cluster::submit_overload, cluster::submit_serial,
+// submit_stream over arrival_stream) are wrappers over the Driver, so
+// driving the same spec through either path must produce bit-identical
+// runs: same pick sequence, same arrival instants, same metrics.
+
+#include "workload/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/workload.hpp"
+#include "support/test_world.hpp"
+
+namespace qadist::workload {
+namespace {
+
+using qadist::testing::test_world;
+
+const std::vector<cluster::QuestionPlan>& plans() {
+  static const std::vector<cluster::QuestionPlan> p = [] {
+    const auto& world = test_world();
+    const auto cost = cluster::CostModel::calibrate(
+        *world.engine,
+        std::span<const corpus::Question>(world.questions).subspan(0, 8));
+    std::vector<cluster::QuestionPlan> out;
+    for (std::size_t i = 0; i < 10; ++i) {
+      out.push_back(
+          cluster::make_plan(*world.engine, cost, world.questions[i]));
+    }
+    return out;
+  }();
+  return p;
+}
+
+cluster::SystemConfig config() {
+  cluster::SystemConfig cfg;
+  cfg.nodes = 4;
+  cfg.seed = 11;
+  cfg.partition.ap_chunk = 8;
+  return cfg;
+}
+
+void expect_identical(const cluster::Metrics& a, const cluster::Metrics& b) {
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.latencies.mean(), b.latencies.mean());
+  EXPECT_DOUBLE_EQ(a.latencies.quantile(0.95), b.latencies.quantile(0.95));
+  EXPECT_EQ(a.migrations_qa, b.migrations_qa);
+  EXPECT_EQ(a.migrations_pr, b.migrations_pr);
+  EXPECT_EQ(a.migrations_ap, b.migrations_ap);
+}
+
+TEST(DriverTest, OverloadShapeMatchesLegacyFreeFunction) {
+  cluster::OverloadWorkload workload;
+  workload.count = 16;
+  workload.seed = 9;
+
+  simnet::Simulation sim_legacy;
+  cluster::System legacy(sim_legacy, config());
+  cluster::submit_overload(legacy, plans(), workload);
+  const cluster::Metrics via_legacy = legacy.run();
+
+  simnet::Simulation sim_driver;
+  cluster::System driven(sim_driver, config());
+  RunSpec spec;
+  spec.shape = WorkloadShape::kOverload;
+  spec.overload = workload;
+  const RunResult result = Driver(driven, plans()).run(spec);
+
+  EXPECT_EQ(result.submitted, 16u);
+  expect_identical(result.metrics, via_legacy);
+}
+
+TEST(DriverTest, SerialShapeMatchesLegacyFreeFunction) {
+  cluster::SerialWorkload workload;
+  workload.count = 6;
+  workload.offset = 1;
+  workload.stride = 2;
+
+  simnet::Simulation sim_legacy;
+  cluster::System legacy(sim_legacy, config());
+  cluster::submit_serial(legacy, plans(), workload);
+  const cluster::Metrics via_legacy = legacy.run();
+
+  simnet::Simulation sim_driver;
+  cluster::System driven(sim_driver, config());
+  RunSpec spec;
+  spec.shape = WorkloadShape::kSerial;
+  spec.serial = workload;
+  const RunResult result = Driver(driven, plans()).run(spec);
+
+  EXPECT_EQ(result.submitted, 6u);
+  expect_identical(result.metrics, via_legacy);
+}
+
+TEST(DriverTest, OpenLoopShapeMatchesArrivalStreamSubmit) {
+  ArrivalProcessConfig arrivals;
+  arrivals.shape = ArrivalShape::kPoisson;
+  arrivals.rate_qps = 0.05;
+  arrivals.count = 12;
+  arrivals.seed = 21;
+
+  simnet::Simulation sim_legacy;
+  cluster::System legacy(sim_legacy, config());
+  const auto stream = arrival_stream(arrivals, plans().size());
+  submit_stream(legacy, plans(), stream);
+  const cluster::Metrics via_legacy = legacy.run();
+
+  simnet::Simulation sim_driver;
+  cluster::System driven(sim_driver, config());
+  RunSpec spec;
+  spec.shape = WorkloadShape::kOpenLoop;
+  spec.open_loop = arrivals;
+  const RunResult result = Driver(driven, plans()).run(spec);
+
+  EXPECT_EQ(result.submitted, stream.size());
+  expect_identical(result.metrics, via_legacy);
+}
+
+TEST(DriverTest, SubmitAloneLeavesRunToTheCaller) {
+  simnet::Simulation sim;
+  cluster::System system(sim, config());
+  RunSpec spec;
+  spec.shape = WorkloadShape::kOverload;
+  spec.overload.count = 8;
+  const std::size_t submitted = Driver(system, plans()).submit(spec);
+  EXPECT_EQ(submitted, 8u);
+  const cluster::Metrics m = system.run();
+  EXPECT_EQ(m.completed, 8u);
+}
+
+TEST(DriverTest, ShapeNamesRoundTrip) {
+  EXPECT_EQ(to_string(WorkloadShape::kOverload), "overload");
+  EXPECT_EQ(to_string(WorkloadShape::kSerial), "serial");
+  EXPECT_EQ(to_string(WorkloadShape::kOpenLoop), "open-loop");
+}
+
+}  // namespace
+}  // namespace qadist::workload

@@ -254,11 +254,24 @@ System::System(simnet::Simulation& sim, const SystemConfig& config)
   }
   if (config.gray.enabled()) {
     gray_extra_latency_.assign(config.nodes, 0.0);
+    gray_open_.assign(config.nodes, {});
     for (const auto& event : config.gray.events) {
       QADIST_CHECK(event.node < config.nodes,
                    << "gray fault targets unknown node " << event.node);
-      QADIST_CHECK(event.cpu_factor > 0.0 && event.disk_factor > 0.0,
-                   << "gray factors must be positive");
+      QADIST_CHECK(std::isfinite(event.at) && event.at >= 0.0,
+                   << "gray fault onset time must be finite and >= 0, got "
+                   << event.at);
+      QADIST_CHECK(!std::isnan(event.recover_after),
+                   << "gray fault recover_after must not be NaN");
+      QADIST_CHECK(std::isfinite(event.cpu_factor) &&
+                       std::isfinite(event.disk_factor) &&
+                       event.cpu_factor > 0.0 && event.disk_factor > 0.0,
+                   << "gray factors must be positive and finite, got cpu="
+                   << event.cpu_factor << " disk=" << event.disk_factor);
+      QADIST_CHECK(std::isfinite(event.extra_latency) &&
+                       event.extra_latency >= 0.0,
+                   << "gray extra_latency must be finite and >= 0, got "
+                   << event.extra_latency);
     }
   }
   if (config.shard.enabled()) {
@@ -668,11 +681,12 @@ void System::apply_restart(NodeId node) {
   }
 }
 
-void System::apply_gray(const simnet::GrayFaultEvent& event) {
+void System::apply_gray(std::size_t event_index) {
   // Gray onset: the node keeps running (and heartbeating!) but its service
   // rates degrade. The failure detector sees nothing — that is the point.
-  nodes_[event.node]->set_gray(event.cpu_factor, event.disk_factor);
-  gray_extra_latency_[event.node] = event.extra_latency;
+  const simnet::GrayFaultEvent& event = config_.gray.events[event_index];
+  gray_open_[event.node].push_back(event_index);
+  recompute_gray(event.node);
   ins_.gray_onsets->inc();
   record_event(event.node, "gray fault onset",
                {{"kind", std::string("gray_onset")},
@@ -680,12 +694,36 @@ void System::apply_gray(const simnet::GrayFaultEvent& event) {
                 {"disk_factor", event.disk_factor}});
 }
 
-void System::clear_gray(NodeId node) {
-  nodes_[node]->clear_gray();
-  gray_extra_latency_[node] = 0.0;
+void System::clear_gray(NodeId node, std::size_t event_index) {
+  // Only this window closes; overlapping windows on the same node stay
+  // open, so the node recovers exactly when its *last* window ends.
+  std::erase(gray_open_[node], event_index);
+  recompute_gray(node);
   ins_.gray_recoveries->inc();
   record_event(node, "gray fault recovered",
                {{"kind", std::string("gray_recovery")}});
+}
+
+void System::recompute_gray(NodeId node) {
+  // Effective degradation = the worst of the node's open windows, per
+  // resource: concurrent gray causes (a thermal throttle and a sick disk,
+  // say) don't multiply each other's service times, the slowest one
+  // dominates. With no open window the node is healthy again.
+  double cpu = 1.0;
+  double disk = 1.0;
+  Seconds extra = 0.0;
+  for (const std::size_t index : gray_open_[node]) {
+    const simnet::GrayFaultEvent& event = config_.gray.events[index];
+    cpu = std::max(cpu, event.cpu_factor);
+    disk = std::max(disk, event.disk_factor);
+    extra = std::max(extra, event.extra_latency);
+  }
+  if (!gray_open_[node].empty()) {
+    nodes_[node]->set_gray(cpu, disk);
+  } else {
+    nodes_[node]->clear_gray();
+  }
+  gray_extra_latency_[node] = extra;
 }
 
 Seconds System::gray_extra_latency(NodeId src, NodeId dst) const {
@@ -939,12 +977,13 @@ Metrics System::run() {
     // Gray-fault instants: degrade service rates / inflate link latency on
     // schedule, optionally recovering later. (Only scheduled with a gray
     // plan, so the plan-free event sequence is untouched.)
-    for (const simnet::GrayFaultEvent& event : config_.gray.events) {
-      sim_.schedule_at(event.at, [this, event] { apply_gray(event); });
+    for (std::size_t i = 0; i < config_.gray.events.size(); ++i) {
+      const simnet::GrayFaultEvent& event = config_.gray.events[i];
+      sim_.schedule_at(event.at, [this, i] { apply_gray(i); });
       if (event.recover_after >= 0.0) {
         const NodeId node = event.node;
         sim_.schedule_at(event.at + event.recover_after,
-                         [this, node] { clear_gray(node); });
+                         [this, node, i] { clear_gray(node, i); });
       }
     }
   }
@@ -1764,9 +1803,15 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
     nodes_[host]->question_arrived();
     // Reserve the question's expected load so simultaneous arrivals don't
     // all herd onto the same momentarily-idle node before the next
-    // broadcast.
-    table_.reserve(host, sched::ResourceLoad{sched::kQaWeights.cpu,
-                                             sched::kQaWeights.disk});
+    // broadcast. Under heavy churn the host may not be a table member at
+    // this point (every member was dead or suspect and pick_live fell back
+    // to a non-crashed node, or membership expired during a migration
+    // ship) — then there is no entry to reserve against; the node's next
+    // broadcast will carry its true load.
+    if (table_.is_member(host)) {
+      table_.reserve(host, sched::ResourceLoad{sched::kQaWeights.cpu,
+                                               sched::kQaWeights.disk});
+    }
     record_trace(host, "started question " + std::to_string(plan.source.id));
 
     // ---- Cache probe (before QP): an answer hit short-circuits the whole
@@ -1836,7 +1881,11 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
       const bool sharded = shard_partial_;
       std::vector<NodeId> pr_nodes{host};
       std::vector<double> pr_weights{1.0};
-      if (!sharded && config_.dispatch.policy == Policy::kDqa) {
+      // table_.size() can hit zero under mass churn (every member crashed,
+      // partitioned away, or expired) — then the host carries the stage
+      // alone, same as when every selected node turns out dead below.
+      if (!sharded && config_.dispatch.policy == Policy::kDqa &&
+          table_.size() > 0) {
         auto ms = sched::meta_schedule(table_, sched::kPrWeights,
                                        config_.dispatch.pr_underload_threshold,
                                        &registry_,
@@ -2404,7 +2453,8 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
     if (!failed && !plan.ap_units.empty()) {
       std::vector<NodeId> ap_nodes{host};
       std::vector<double> ap_weights{1.0};
-      if (config_.dispatch.policy == Policy::kDqa) {
+      // Same empty-pool guard as the PR dispatcher above.
+      if (config_.dispatch.policy == Policy::kDqa && table_.size() > 0) {
         auto ms = sched::meta_schedule(table_, sched::kApWeights,
                                        config_.dispatch.ap_underload_threshold,
                                        &registry_,

@@ -513,8 +513,12 @@ class System {
   void apply_restart(sched::NodeId node);
 
   /// Gray-fault schedule hooks (only wired when config().gray is enabled).
-  void apply_gray(const simnet::GrayFaultEvent& event);
-  void clear_gray(sched::NodeId node);
+  /// Windows on one node may overlap; the effective degradation is the
+  /// per-resource max over the node's open windows (recompute_gray), so a
+  /// node recovers exactly when its last window closes.
+  void apply_gray(std::size_t event_index);
+  void clear_gray(sched::NodeId node, std::size_t event_index);
+  void recompute_gray(sched::NodeId node);
   /// Extra one-way transfer delay from open gray windows on either
   /// endpoint; 0 whenever the plan is disabled (ship() fast path intact).
   [[nodiscard]] Seconds gray_extra_latency(sched::NodeId src,
@@ -634,8 +638,10 @@ class System {
   sched::LegLatencyTracker leg_latency_;
   std::array<std::vector<double>, sched::kLegStages> leg_walls_;
   std::vector<char> straggler_scratch_;
-  /// Gray-fault state: per-node open-window flags (empty when disabled).
+  /// Gray-fault state (empty when disabled): per-node effective extra
+  /// link latency, and which plan events are currently open per node.
   std::vector<Seconds> gray_extra_latency_;
+  std::vector<std::vector<std::size_t>> gray_open_;
   obs::MetricsRegistry registry_;
   Instruments ins_;
   TraceRecorder* trace_ = nullptr;

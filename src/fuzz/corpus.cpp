@@ -1,0 +1,78 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace qadist::fuzz {
+
+bool Corpus::offer(CorpusEntry entry) {
+  for (CorpusEntry& incumbent : entries_) {
+    if (incumbent.coverage == entry.coverage) {
+      if (entry.fitness > incumbent.fitness) {
+        incumbent = std::move(entry);
+        return true;
+      }
+      return false;
+    }
+  }
+  entries_.push_back(std::move(entry));
+  return true;
+}
+
+std::optional<std::size_t> Corpus::pick_parent(Rng& rng) const {
+  if (entries_.empty()) return std::nullopt;
+  double total = 0.0;
+  for (const CorpusEntry& entry : entries_) {
+    total += std::max(entry.fitness, 0.1);  // floor keeps every entry drawable
+  }
+  double ticket = rng.uniform(0.0, total);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    ticket -= std::max(entries_[i].fitness, 0.1);
+    if (ticket <= 0.0) return i;
+  }
+  return entries_.size() - 1;
+}
+
+std::vector<std::string> Corpus::save(const std::string& dir) const {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+  std::vector<std::string> written;
+  for (const CorpusEntry& entry : entries_) {
+    const fs::path path = fs::path(dir) / (entry.scenario.name + ".json");
+    std::ofstream out(path);
+    QADIST_CHECK(out.good(), << "corpus: cannot open " << path.string()
+                             << " for writing");
+    out << to_json(entry.scenario) << '\n';
+    out.close();
+    QADIST_CHECK(out.good(), << "corpus: write failed for " << path.string());
+    written.push_back(path.string());
+  }
+  return written;
+}
+
+std::vector<LoadedScenario> load_scenario_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<LoadedScenario> loaded;
+  if (!fs::exists(dir)) return loaded;
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& path : files) {
+    std::ifstream in(path);
+    QADIST_CHECK(in.good(), << "corpus: cannot read " << path.string());
+    std::ostringstream text;
+    text << in.rdbuf();
+    loaded.push_back({path.string(), scenario_from_json(text.str())});
+  }
+  return loaded;
+}
+
+}  // namespace qadist::fuzz

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace qadist::fuzz {
+
+/// One surviving scenario in the corpus, with the measurements that earned
+/// its slot.
+struct CorpusEntry {
+  Scenario scenario;
+  double fitness = 0.0;
+  std::uint64_t coverage = 0;  ///< coverage_signature of its run
+  double p99 = 0.0;
+  double degraded_fraction = 0.0;
+  std::size_t discovered_at = 0;  ///< fuzz iteration that found it
+};
+
+/// The survivor pool, bucketed by coverage signature: for each distinct set
+/// of subsystem counters a scenario lights up, the corpus keeps only the
+/// fittest scenario seen so far. That is the feedback signal — a mediocre
+/// scenario that fires counters nothing else fires is worth more than a
+/// slightly-worse clone of the current champion.
+class Corpus {
+ public:
+  /// Offers an entry. Returns true if it was admitted (novel signature, or
+  /// fitter than the incumbent with the same signature).
+  bool offer(CorpusEntry entry);
+
+  /// Fitness-weighted parent selection for the next mutation round.
+  /// Deterministic given the rng stream. Nullopt while the corpus is empty.
+  [[nodiscard]] std::optional<std::size_t> pick_parent(Rng& rng) const;
+
+  [[nodiscard]] const std::vector<CorpusEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Writes each entry as `<dir>/<name>.json` (canonical scenario JSON).
+  /// Creates the directory if needed. Returns the files written.
+  std::vector<std::string> save(const std::string& dir) const;
+
+ private:
+  std::vector<CorpusEntry> entries_;  ///< one per coverage signature
+};
+
+/// Loads every `*.json` under `dir` as a scenario, sorted by filename so
+/// the order is stable across filesystems. Panics on a file that does not
+/// parse — a corrupt committed scenario is a build-stopping event, not a
+/// skip. Returns scenario + source path pairs.
+struct LoadedScenario {
+  std::string path;
+  Scenario scenario;
+};
+[[nodiscard]] std::vector<LoadedScenario> load_scenario_dir(
+    const std::string& dir);
+
+}  // namespace qadist::fuzz

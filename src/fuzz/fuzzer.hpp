@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/plan.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/mutate.hpp"
+#include "fuzz/runner.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace qadist::fuzz {
+
+struct FuzzConfig {
+  /// Stop conditions: whichever of runs / seconds hits first. `seconds` is
+  /// simulated-wall-clock-free — it is real host time, the only
+  /// non-deterministic input, and it only affects *when* the loop stops,
+  /// never what any individual run computes. seconds = 0 disables the
+  /// time budget (pure run-count mode, fully deterministic — what CI
+  /// uses).
+  std::size_t runs = 200;
+  double seconds = 0.0;
+  std::uint64_t seed = 1;
+  /// Shrink pathological survivors to minimal reproducers before pinning.
+  bool shrink = true;
+  std::size_t shrink_attempts = 150;
+  /// Verify serialize → parse → re-run bit-identity on every corpus
+  /// admission (always on for pinned survivors regardless).
+  bool check_replay = true;
+  /// Pathology bar relative to the healthy baseline (p99 or degraded
+  /// share at least this multiple).
+  double pathological_ratio = 3.0;
+  /// Cap on pinned survivors (different corpus entries often shrink to the
+  /// same minimal reproducer; duplicates are dropped, and the corpus only
+  /// needs the distinct worst offenders).
+  std::size_t max_survivors = 8;
+  MutationConfig mutation;
+};
+
+struct FuzzStats {
+  std::size_t runs = 0;
+  std::size_t admitted = 0;           ///< corpus admissions
+  std::size_t pathological = 0;       ///< runs past the pathology bar
+  std::size_t shrink_attempts = 0;    ///< total shrink candidate runs
+  std::vector<std::string> violations;  ///< every invariant violation seen
+};
+
+/// A fully shrunk, pinned survivor ready to commit under
+/// results/scenarios/.
+struct Survivor {
+  Scenario scenario;  ///< pin filled in
+  Observation observation;
+  double fitness = 0.0;
+};
+
+/// The adversarial scenario hunter. Feedback loop:
+///
+///   baseline ← run(reference)
+///   corpus ← { reference }
+///   repeat: parent ← fitness-weighted pick; child ← mutate(parent);
+///           o ← run(child); offer(child, fitness(o, baseline))
+///   survivors ← shrink + pin every corpus entry past the pathology bar
+///
+/// Deterministic for a fixed seed and runs budget (seconds = 0): the same
+/// campaign finds the same survivors, byte for byte.
+class Fuzzer {
+ public:
+  Fuzzer(std::span<const cluster::QuestionPlan> plans, Scenario reference,
+         FuzzConfig config = {});
+
+  /// Runs the campaign. Safe to call once.
+  void run();
+
+  [[nodiscard]] const Baseline& baseline() const { return baseline_; }
+  [[nodiscard]] const Corpus& corpus() const { return corpus_; }
+  [[nodiscard]] const FuzzStats& stats() const { return stats_; }
+  /// Pathological survivors, shrunk (if configured) and pinned, ordered by
+  /// descending fitness, named `<reference.name>-NNN`.
+  [[nodiscard]] const std::vector<Survivor>& survivors() const {
+    return survivors_;
+  }
+
+ private:
+  [[nodiscard]] Observation observe(const Scenario& scenario,
+                                    bool check_replay) const;
+  void harvest_survivors();
+
+  std::span<const cluster::QuestionPlan> plans_;
+  Scenario reference_;
+  FuzzConfig config_;
+  Mutator mutator_;
+  Rng pick_rng_;
+  Baseline baseline_;
+  Corpus corpus_;
+  FuzzStats stats_;
+  std::vector<Survivor> survivors_;
+};
+
+}  // namespace qadist::fuzz

@@ -1,0 +1,342 @@
+#include "fuzz/mutate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+
+#include "common/check.hpp"
+
+namespace qadist::fuzz {
+
+namespace {
+
+double clamp(double v, double lo, double hi) {
+  if (!std::isfinite(v)) return lo;
+  return std::min(std::max(v, lo), hi);
+}
+
+}  // namespace
+
+Mutator::Mutator(std::uint64_t seed, MutationConfig config)
+    : rng_(seed ^ 0xbf58476d1ce4e5b9ULL), config_(config) {}
+
+Scenario Mutator::mutate(const Scenario& parent, std::size_t plan_count) {
+  QADIST_CHECK(plan_count > 0);
+  Scenario child = parent;
+  child.pin = Pin{};  // a mutant is a new hypothesis, not a pinned survivor
+  last_ops_.clear();
+  const std::size_t ops = 1 + rng_.below(config_.max_ops);
+  for (std::size_t i = 0; i < ops; ++i) {
+    apply_random_op(child, plan_count);
+  }
+  repair(child, plan_count);
+  const auto issue = child.problem(plan_count);
+  QADIST_CHECK(!issue.has_value(),
+               << "mutator produced an invalid scenario (" << last_ops_
+               << "): " << *issue);
+  return child;
+}
+
+void Mutator::apply_random_op(Scenario& s, std::size_t plan_count) {
+  const auto note = [this](const char* op) {
+    if (!last_ops_.empty()) last_ops_ += "+";
+    last_ops_ += op;
+  };
+  // The arrival horizon the schedules should aim inside. Uses the rough
+  // open-loop estimate count/rate (not the exact stream — the traffic may
+  // be mutated again this round); repair() re-clamps against the exact
+  // horizon at the end.
+  const double rough_horizon =
+      static_cast<double>(s.traffic.count) / s.traffic.rate_qps;
+
+  switch (rng_.below(19)) {
+    case 0: {  // scale the arrival rate (the saturation axis)
+      note("rate");
+      static constexpr double kScales[] = {0.25, 0.5, 0.8, 1.25, 2.0, 4.0};
+      s.traffic.rate_qps *= kScales[rng_.below(std::size(kScales))];
+      break;
+    }
+    case 1: {  // switch the arrival process shape and re-draw its params
+      note("shape");
+      using workload::ArrivalShape;
+      static constexpr ArrivalShape kShapes[] = {
+          ArrivalShape::kPoisson, ArrivalShape::kMmpp, ArrivalShape::kDiurnal,
+          ArrivalShape::kFlashCrowd};
+      s.traffic.shape = kShapes[rng_.below(std::size(kShapes))];
+      s.traffic.burst_rate_multiplier = rng_.uniform(2.0, 12.0);
+      s.traffic.mean_burst_seconds = rng_.uniform(5.0, 40.0);
+      s.traffic.mean_calm_seconds = rng_.uniform(10.0, 80.0);
+      s.traffic.diurnal_period = rng_.uniform(120.0, 900.0);
+      s.traffic.diurnal_amplitude = rng_.uniform(0.2, 0.95);
+      s.traffic.flash_at = rng_.uniform(0.0, 0.6 * rough_horizon);
+      s.traffic.flash_duration = rng_.uniform(5.0, 60.0);
+      s.traffic.flash_multiplier = rng_.uniform(2.0, 16.0);
+      break;
+    }
+    case 2: {  // scale the stream length
+      note("count");
+      s.traffic.count = rng_.bernoulli(0.5) ? s.traffic.count / 2
+                                            : s.traffic.count * 2;
+      break;
+    }
+    case 3: {  // Zipf question repetition
+      note("zipf");
+      if (rng_.bernoulli(0.25)) {
+        s.traffic.repeat_exponent = 0.0;
+        s.traffic.distinct_questions = 0;
+      } else {
+        s.traffic.repeat_exponent = rng_.uniform(0.3, 2.5);
+        s.traffic.distinct_questions = 1 + rng_.below(plan_count);
+      }
+      break;
+    }
+    case 4: {  // corpus/plan skew
+      note("plan_skew");
+      s.plan_offset = rng_.below(plan_count);
+      s.plan_stride = std::uint64_t{1} << rng_.below(3);
+      break;
+    }
+    case 5: {  // sharding preset
+      note("shard");
+      switch (rng_.below(4)) {
+        case 0:
+          s.num_shards = 0;
+          s.replication = 0;
+          break;
+        case 1:
+          s.num_shards = 8;
+          s.replication = 2;
+          break;
+        case 2:
+          s.num_shards = 16;
+          s.replication = 2;
+          break;
+        default:
+          s.num_shards = 8;
+          s.replication = 1;  // no redundancy: crashes cost real coverage
+          break;
+      }
+      break;
+    }
+    case 6: {  // add a crash
+      note("crash_add");
+      cluster::FaultEvent crash;
+      crash.node = static_cast<sched::NodeId>(rng_.below(s.nodes));
+      crash.at = rng_.uniform(0.0, rough_horizon);
+      crash.restart_after =
+          rng_.bernoulli(0.6) ? rng_.uniform(10.0, 180.0) : -1.0;
+      s.crashes.push_back(crash);
+      break;
+    }
+    case 7: {  // drop or move a crash
+      note("crash_edit");
+      if (s.crashes.empty()) break;
+      const std::size_t i = rng_.below(s.crashes.size());
+      if (rng_.bernoulli(0.5)) {
+        s.crashes.erase(s.crashes.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+      } else {
+        s.crashes[i].at = rng_.uniform(0.0, rough_horizon);
+      }
+      break;
+    }
+    case 8: {  // link-fault knobs
+      note("link");
+      s.drop_probability = rng_.bernoulli(0.3) ? 0.0 : rng_.uniform(0.0, 0.12);
+      s.duplicate_probability =
+          rng_.bernoulli(0.5) ? 0.0 : rng_.uniform(0.0, 0.05);
+      if (rng_.bernoulli(0.5)) {
+        s.jitter_min = rng_.uniform(0.0, 0.01);
+        s.jitter_max = s.jitter_min + rng_.uniform(0.0, 0.05);
+      } else {
+        s.jitter_min = 0.0;
+        s.jitter_max = 0.0;
+      }
+      break;
+    }
+    case 9: {  // add a partition window
+      note("partition_add");
+      simnet::PartitionWindow window;
+      window.from = rng_.uniform(0.0, 0.8 * rough_horizon);
+      window.until = window.from + rng_.uniform(10.0, 120.0);
+      const std::size_t cut = 1 + rng_.below(std::min<std::size_t>(
+                                      3, s.nodes > 1 ? s.nodes - 1 : 1));
+      for (std::size_t i = 0; i < cut; ++i) {
+        window.isolated.push_back(
+            static_cast<std::uint32_t>(rng_.below(s.nodes)));
+      }
+      s.partitions.push_back(std::move(window));
+      break;
+    }
+    case 10: {  // drop a partition window
+      note("partition_drop");
+      if (s.partitions.empty()) break;
+      s.partitions.erase(s.partitions.begin() +
+                         static_cast<std::ptrdiff_t>(
+                             rng_.below(s.partitions.size())));
+      break;
+    }
+    case 11: {  // add a gray window
+      note("gray_add");
+      simnet::GrayFaultEvent event;
+      event.node = static_cast<std::uint32_t>(rng_.below(s.nodes));
+      event.at = rng_.uniform(0.0, rough_horizon);
+      event.recover_after =
+          rng_.bernoulli(0.8) ? rng_.uniform(20.0, 200.0) : -1.0;
+      event.cpu_factor = rng_.uniform(1.5, 12.0);
+      event.disk_factor = rng_.uniform(1.5, 12.0);
+      event.extra_latency =
+          rng_.bernoulli(0.5) ? rng_.uniform(0.0, 0.05) : 0.0;
+      s.gray.push_back(event);
+      break;
+    }
+    case 12: {  // drop or re-aim a gray window
+      note("gray_edit");
+      if (s.gray.empty()) break;
+      const std::size_t i = rng_.below(s.gray.size());
+      if (rng_.bernoulli(0.4)) {
+        s.gray.erase(s.gray.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        s.gray[i].cpu_factor = rng_.uniform(1.5, 12.0);
+        s.gray[i].disk_factor = rng_.uniform(1.5, 12.0);
+        s.gray[i].at = rng_.uniform(0.0, rough_horizon);
+      }
+      break;
+    }
+    case 13: {  // admission-control preset
+      note("admission");
+      if (rng_.bernoulli(0.3)) {
+        s.max_concurrent = 0;
+        s.queue_capacity = 0;
+        s.load_threshold = 0.0;
+      } else {
+        static constexpr std::size_t kPerNode[] = {1, 2, 4};
+        s.max_concurrent = s.nodes * kPerNode[rng_.below(std::size(kPerNode))];
+        s.queue_capacity = rng_.below(33);
+        static constexpr cluster::AdmissionPolicy kPolicies[] = {
+            cluster::AdmissionPolicy::kReject,
+            cluster::AdmissionPolicy::kShedOldest,
+            cluster::AdmissionPolicy::kDegrade};
+        s.admission_policy = kPolicies[rng_.below(std::size(kPolicies))];
+        s.load_threshold =
+            rng_.bernoulli(0.5) ? 0.0 : rng_.uniform(1.0, 6.0);
+      }
+      break;
+    }
+    case 14: {  // tail-tolerance toggles
+      note("tail");
+      s.hedge = rng_.bernoulli(0.5);
+      s.tied = s.hedge && rng_.bernoulli(0.5);
+      s.latency_aware = rng_.bernoulli(0.5);
+      static constexpr double kQuantiles[] = {0.75, 0.9, 0.95, 0.99};
+      s.hedge_quantile = kQuantiles[rng_.below(std::size(kQuantiles))];
+      break;
+    }
+    case 15: {  // cache preset
+      note("cache");
+      static constexpr std::size_t kEntries[] = {0, 32, 128, 512};
+      s.answer_cache_entries = kEntries[rng_.below(std::size(kEntries))];
+      s.paragraph_cache_entries = kEntries[rng_.below(std::size(kEntries))];
+      s.cache_ttl = rng_.bernoulli(0.5) ? 0.0 : rng_.uniform(30.0, 300.0);
+      break;
+    }
+    case 16: {  // question deadline budget
+      note("deadline");
+      static constexpr double kDeadlines[] = {60.0, 120.0, 240.0, 480.0};
+      s.question_deadline = kDeadlines[rng_.below(std::size(kDeadlines))];
+      break;
+    }
+    case 17: {  // reseed system + traffic randomness
+      note("seed");
+      s.seed = rng_();
+      s.traffic.seed = rng_();
+      break;
+    }
+    default: {  // resize the cluster
+      note("nodes");
+      s.nodes = config_.min_nodes +
+                rng_.below(config_.max_nodes - config_.min_nodes + 1);
+      break;
+    }
+  }
+}
+
+void Mutator::repair(Scenario& s, std::size_t plan_count) {
+  s.nodes = std::clamp(s.nodes, config_.min_nodes, config_.max_nodes);
+  s.traffic.count =
+      std::clamp(s.traffic.count, config_.min_count, config_.max_count);
+  s.traffic.rate_qps =
+      clamp(s.traffic.rate_qps, config_.min_rate, config_.max_rate);
+  s.traffic.burst_rate_multiplier =
+      clamp(s.traffic.burst_rate_multiplier, 1.0, 64.0);
+  s.traffic.mean_burst_seconds =
+      clamp(s.traffic.mean_burst_seconds, 1.0, 600.0);
+  s.traffic.mean_calm_seconds =
+      clamp(s.traffic.mean_calm_seconds, 1.0, 600.0);
+  s.traffic.diurnal_period = clamp(s.traffic.diurnal_period, 30.0, 3600.0);
+  s.traffic.diurnal_amplitude = clamp(s.traffic.diurnal_amplitude, 0.0, 0.95);
+  s.traffic.flash_duration = clamp(s.traffic.flash_duration, 0.0, 600.0);
+  s.traffic.flash_multiplier = clamp(s.traffic.flash_multiplier, 1.0, 64.0);
+  s.traffic.repeat_exponent = clamp(s.traffic.repeat_exponent, 0.0, 4.0);
+  if (s.plan_stride < 1) s.plan_stride = 1;
+  s.plan_offset %= plan_count;
+  if (s.num_shards > 0) {
+    s.replication = std::clamp<std::size_t>(s.replication, 1, s.nodes);
+  } else {
+    s.replication = 0;
+  }
+  s.drop_probability = clamp(s.drop_probability, 0.0, 0.5);
+  s.duplicate_probability = clamp(s.duplicate_probability, 0.0, 0.5);
+  s.jitter_min = clamp(s.jitter_min, 0.0, 1.0);
+  s.jitter_max = clamp(s.jitter_max, s.jitter_min, 1.0);
+  s.hedge_quantile = clamp(s.hedge_quantile, 0.0, 1.0);
+  s.load_threshold = clamp(s.load_threshold, 0.0, 64.0);
+  s.cache_ttl = clamp(s.cache_ttl, 0.0, 3600.0);
+  s.question_deadline = clamp(s.question_deadline, 10.0, 3600.0);
+  if (s.max_concurrent == 0) s.queue_capacity = 0;
+
+  // Schedules: re-target node ids after a resize, clamp every instant to
+  // the *exact* mutated traffic horizon, cap schedule sizes. flash_at must
+  // also land inside the stream, or the flash never happens.
+  const double horizon = s.last_arrival();
+  s.traffic.flash_at = clamp(s.traffic.flash_at, 0.0, 0.9 * horizon);
+  if (s.crashes.size() > config_.max_events) {
+    s.crashes.resize(config_.max_events);
+  }
+  for (cluster::FaultEvent& crash : s.crashes) {
+    crash.node = static_cast<sched::NodeId>(crash.node % s.nodes);
+    crash.at = clamp(crash.at, 0.0, horizon);
+    if (std::isnan(crash.restart_after)) crash.restart_after = -1.0;
+  }
+  if (s.gray.size() > config_.max_events) s.gray.resize(config_.max_events);
+  for (simnet::GrayFaultEvent& event : s.gray) {
+    event.node = static_cast<std::uint32_t>(event.node % s.nodes);
+    event.at = clamp(event.at, 0.0, horizon);
+    if (std::isnan(event.recover_after)) event.recover_after = -1.0;
+    event.cpu_factor = clamp(event.cpu_factor, 1.0, 64.0);
+    event.disk_factor = clamp(event.disk_factor, 1.0, 64.0);
+    event.extra_latency = clamp(event.extra_latency, 0.0, 10.0);
+  }
+  if (s.partitions.size() > config_.max_events) {
+    s.partitions.resize(config_.max_events);
+  }
+  for (simnet::PartitionWindow& window : s.partitions) {
+    window.from = clamp(window.from, 0.0, horizon);
+    if (!(window.until > window.from)) window.until = window.from + 30.0;
+    std::vector<std::uint32_t> isolated;
+    for (std::uint32_t node : window.isolated) {
+      node %= static_cast<std::uint32_t>(s.nodes);
+      if (std::find(isolated.begin(), isolated.end(), node) ==
+          isolated.end()) {
+        isolated.push_back(node);
+      }
+    }
+    if (isolated.size() >= s.nodes) isolated.resize(s.nodes - 1);
+    window.isolated = std::move(isolated);
+  }
+  std::erase_if(s.partitions, [](const simnet::PartitionWindow& window) {
+    return window.isolated.empty();
+  });
+}
+
+}  // namespace qadist::fuzz

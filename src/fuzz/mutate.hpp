@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace qadist::fuzz {
+
+/// Bounds the mutator keeps every child inside. The defaults trade search
+/// breadth for run time: fuzz runs must stay sub-second-ish each, or the
+/// feedback loop starves.
+struct MutationConfig {
+  std::size_t min_nodes = 4;
+  std::size_t max_nodes = 16;
+  std::size_t min_count = 8;
+  std::size_t max_count = 160;
+  double min_rate = 0.01;
+  double max_rate = 16.0;
+  /// Per-kind schedule caps (crashes / gray windows / partitions).
+  std::size_t max_events = 5;
+  /// Mutation ops applied per child (drawn uniformly in [1, max_ops]).
+  std::size_t max_ops = 3;
+};
+
+/// Feedback-guided scenario mutator. Deterministic: the same seed and the
+/// same parent sequence produce the same children, which is what makes a
+/// whole fuzz campaign replayable from its seed. Every child is valid by
+/// construction (mutate repairs out-of-range values and re-clamps fault
+/// schedules to the mutated traffic's horizon) — Scenario::problem() is
+/// checked before returning.
+class Mutator {
+ public:
+  explicit Mutator(std::uint64_t seed, MutationConfig config = {});
+
+  /// One child: the parent with 1..max_ops random mutations applied.
+  [[nodiscard]] Scenario mutate(const Scenario& parent,
+                                std::size_t plan_count);
+
+  /// Names of the ops applied by the last mutate() call (diagnostics).
+  [[nodiscard]] const std::string& last_ops() const { return last_ops_; }
+
+ private:
+  void apply_random_op(Scenario& s, std::size_t plan_count);
+  void repair(Scenario& s, std::size_t plan_count);
+
+  Rng rng_;
+  MutationConfig config_;
+  std::string last_ops_;
+};
+
+}  // namespace qadist::fuzz

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/metrics.hpp"
+#include "cluster/plan.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace qadist::fuzz {
+
+/// Exact fingerprint of one run, compared bit-for-bit between the original
+/// scenario and its serialize → parse → re-run replay. Doubles are
+/// compared exactly (operator== default): the simulation is deterministic,
+/// so any difference at all means the scenario did not round-trip.
+struct RunDigest {
+  double makespan = 0.0;
+  double latency_mean = 0.0;
+  double latency_p99 = 0.0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t net_drops = 0;
+  std::uint64_t net_retries = 0;
+  std::uint64_t hedges_issued = 0;
+  std::uint64_t legs_cancelled = 0;
+  std::uint64_t gray_onsets = 0;
+
+  bool operator==(const RunDigest&) const = default;
+};
+
+[[nodiscard]] std::string to_string(const RunDigest& digest);
+[[nodiscard]] RunDigest digest_of(const cluster::Metrics& metrics);
+
+/// Everything the fuzzer scores and gates on from one scenario run.
+struct Observation {
+  cluster::Metrics metrics;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max_latency = 0.0;
+  double degraded_fraction = 0.0;  ///< questions_degraded / completed
+  double shed_fraction = 0.0;      ///< (rejected + shed) / submitted
+  double hedge_overhead = 0.0;
+  /// Coverage signature: which counter families fired (see
+  /// coverage_signature). The corpus's novelty signal.
+  std::uint64_t coverage = 0;
+  RunDigest digest;
+  /// Invariant violations found after the run; empty means clean. Filled
+  /// regardless of fitness — a violation on a boring scenario is still a
+  /// bug.
+  std::vector<std::string> violations;
+};
+
+struct RunOptions {
+  /// Post-run invariant suite: drain accounting, zombie spans,
+  /// critical-path telescoping, counter consistency.
+  bool check_invariants = true;
+  /// Serialize → parse → re-run and require an identical RunDigest. Doubles
+  /// the cost of a run; the fuzzer keeps it on (replayability is the whole
+  /// point of the corpus), shrinking turns it off for intermediate
+  /// candidates.
+  bool check_replay = true;
+};
+
+/// Runs one scenario against the given plan set (skewed per the scenario)
+/// and returns the observation. Panics if the scenario fails validation —
+/// callers own pre-checking with Scenario::problem().
+[[nodiscard]] Observation run_scenario(
+    std::span<const cluster::QuestionPlan> plans, const Scenario& scenario,
+    const RunOptions& options = {});
+
+/// Pure counter-consistency checks over a finished run's metrics (split
+/// out of run_scenario for unit testing): returns the violated invariants
+/// in plain words, empty when consistent.
+[[nodiscard]] std::vector<std::string> counter_violations(
+    const cluster::Metrics& metrics, const Scenario& scenario);
+
+/// Bitmask of which subsystem counter families fired in this run. Two runs
+/// with the same signature stressed the same subsystems, however different
+/// their knobs look — the corpus keeps only the fittest scenario per
+/// signature.
+[[nodiscard]] std::uint64_t coverage_signature(const cluster::Metrics& m);
+
+/// Human-readable names of the bits set in a signature, for reports.
+[[nodiscard]] std::vector<std::string> coverage_names(std::uint64_t signature);
+
+/// Healthy-reference measurements the fitness function normalizes against.
+struct Baseline {
+  double p99 = 1.0;
+  double max_latency = 1.0;
+  double degraded_fraction = 0.0;
+};
+
+/// Scalar fitness: how pathological this observation is relative to the
+/// healthy baseline. Monotone in tail latency, degraded share, shed share,
+/// and hedge overhead; dimensionless so survivors are comparable.
+[[nodiscard]] double fitness(const Observation& o, const Baseline& b);
+
+/// The acceptance bar for the pinned corpus: p99 at least `ratio` times
+/// the healthy baseline, or a degraded-answer share that is both `ratio`
+/// times the baseline's and at least 15% in absolute terms.
+[[nodiscard]] bool pathological(const Observation& o, const Baseline& b,
+                                double ratio = 3.0);
+
+}  // namespace qadist::fuzz

@@ -1,0 +1,145 @@
+#include "fuzz/shrink.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace qadist::fuzz {
+
+namespace {
+
+/// Shared shrink state: the best reproducer so far plus the attempt budget.
+struct Session {
+  Scenario best;
+  std::size_t plan_count;
+  const Predicate& predicate;
+  std::size_t max_attempts;
+  std::size_t attempts = 0;
+  std::size_t accepted = 0;
+
+  [[nodiscard]] bool exhausted() const { return attempts >= max_attempts; }
+
+  /// Tests one candidate; adopts it as the new best when the predicate
+  /// still holds. Invalid candidates are skipped for free — they were
+  /// never going to run.
+  bool try_candidate(const Scenario& candidate) {
+    if (exhausted()) return false;
+    if (candidate.problem(plan_count).has_value()) return false;
+    ++attempts;
+    if (!predicate(candidate)) return false;
+    best = candidate;
+    ++accepted;
+    return true;
+  }
+};
+
+/// Classic ddmin over one event list: try dropping chunks of half the
+/// list, then quarters, ... down to single events, re-scanning after every
+/// successful removal.
+template <typename GetList>
+void ddmin_list(Session& session, GetList get_list) {
+  for (std::size_t chunk = get_list(session.best).size(); chunk >= 1;
+       chunk /= 2) {
+    std::size_t start = 0;
+    while (!session.exhausted() &&
+           start + chunk <= get_list(session.best).size()) {
+      Scenario candidate = session.best;
+      auto& list = get_list(candidate);
+      list.erase(list.begin() + static_cast<std::ptrdiff_t>(start),
+                 list.begin() + static_cast<std::ptrdiff_t>(start + chunk));
+      if (!session.try_candidate(candidate)) start += chunk;
+      // On success the list shrank in place; re-test the same start.
+    }
+    if (chunk == 1) break;
+  }
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Scenario& scenario, std::size_t plan_count,
+                    const Predicate& predicate, std::size_t max_attempts) {
+  QADIST_CHECK(!scenario.problem(plan_count).has_value(),
+               << "shrink: input scenario is invalid");
+  Session session{scenario, plan_count, predicate, max_attempts};
+
+  // 1. Fault schedules: fewer events beats smaller knobs, so go first.
+  ddmin_list(session, [](Scenario& s) -> auto& { return s.crashes; });
+  ddmin_list(session, [](Scenario& s) -> auto& { return s.gray; });
+  ddmin_list(session, [](Scenario& s) -> auto& { return s.partitions; });
+
+  // 2. Knob resets toward the reference defaults — each one tried
+  // independently against the current best, so unrelated complexity falls
+  // away even when the core pathology needs several knobs.
+  const Scenario defaults;
+  using Reset = void (*)(Scenario&, const Scenario&);
+  static constexpr Reset kResets[] = {
+      [](Scenario& s, const Scenario& d) {
+        s.traffic.shape = d.traffic.shape;
+        s.traffic.burst_rate_multiplier = d.traffic.burst_rate_multiplier;
+        s.traffic.mean_burst_seconds = d.traffic.mean_burst_seconds;
+        s.traffic.mean_calm_seconds = d.traffic.mean_calm_seconds;
+        s.traffic.diurnal_period = d.traffic.diurnal_period;
+        s.traffic.diurnal_amplitude = d.traffic.diurnal_amplitude;
+        s.traffic.flash_at = d.traffic.flash_at;
+        s.traffic.flash_duration = d.traffic.flash_duration;
+        s.traffic.flash_multiplier = d.traffic.flash_multiplier;
+      },
+      [](Scenario& s, const Scenario& d) {
+        s.traffic.repeat_exponent = d.traffic.repeat_exponent;
+        s.traffic.distinct_questions = d.traffic.distinct_questions;
+      },
+      [](Scenario& s, const Scenario& d) {
+        s.plan_offset = d.plan_offset;
+        s.plan_stride = d.plan_stride;
+      },
+      [](Scenario& s, const Scenario& d) {
+        s.num_shards = d.num_shards;
+        s.replication = d.replication;
+      },
+      [](Scenario& s, const Scenario& d) {
+        s.drop_probability = d.drop_probability;
+        s.duplicate_probability = d.duplicate_probability;
+        s.jitter_min = d.jitter_min;
+        s.jitter_max = d.jitter_max;
+      },
+      [](Scenario& s, const Scenario& d) {
+        s.max_concurrent = d.max_concurrent;
+        s.queue_capacity = d.queue_capacity;
+        s.admission_policy = d.admission_policy;
+        s.load_threshold = d.load_threshold;
+      },
+      [](Scenario& s, const Scenario& d) {
+        s.hedge = d.hedge;
+        s.tied = d.tied;
+        s.latency_aware = d.latency_aware;
+        s.hedge_quantile = d.hedge_quantile;
+      },
+      [](Scenario& s, const Scenario& d) {
+        s.answer_cache_entries = d.answer_cache_entries;
+        s.paragraph_cache_entries = d.paragraph_cache_entries;
+        s.cache_ttl = d.cache_ttl;
+      },
+      [](Scenario& s, const Scenario& d) {
+        s.question_deadline = d.question_deadline;
+      },
+  };
+  for (const Reset reset : kResets) {
+    if (session.exhausted()) break;
+    Scenario candidate = session.best;
+    reset(candidate, defaults);
+    session.try_candidate(candidate);
+  }
+
+  // 3. Halve the stream length while the pathology survives — short
+  // reproducers replay fast in CI.
+  while (!session.exhausted() && session.best.traffic.count >= 16) {
+    Scenario candidate = session.best;
+    candidate.traffic.count /= 2;
+    if (!session.try_candidate(candidate)) break;
+  }
+
+  return {std::move(session.best), session.attempts, session.accepted};
+}
+
+}  // namespace qadist::fuzz

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "fuzz/scenario.hpp"
+
+namespace qadist::fuzz {
+
+/// Returns true when the candidate still exhibits the behaviour being
+/// shrunk (still pathological AND still invariant-clean). The shrinker
+/// only keeps simplifications the predicate accepts.
+using Predicate = std::function<bool(const Scenario&)>;
+
+struct ShrinkResult {
+  Scenario scenario;        ///< the minimal reproducer found
+  std::size_t attempts = 0; ///< candidate runs spent
+  std::size_t accepted = 0; ///< simplifications that stuck
+};
+
+/// Delta-debugging shrink: greedily removes fault-schedule events
+/// (halves first, then singles — classic ddmin), resets knobs toward the
+/// reference defaults, and halves the stream length, re-testing the
+/// predicate after every candidate. Candidates that fail
+/// Scenario::problem(plan_count) are skipped without consuming an attempt.
+/// Deterministic; bounded by `max_attempts` predicate calls so a slow
+/// reproducer cannot stall the hunt. The input scenario must satisfy the
+/// predicate.
+[[nodiscard]] ShrinkResult shrink(const Scenario& scenario,
+                                  std::size_t plan_count,
+                                  const Predicate& predicate,
+                                  std::size_t max_attempts = 200);
+
+}  // namespace qadist::fuzz

@@ -1,0 +1,204 @@
+#pragma once
+
+// Minimal recursive-descent JSON parser. Grew up as the test suite's
+// mini_json helper; promoted into src/ when the fuzz subsystem needed to
+// load serialized scenarios back (tests/support/mini_json.hpp now forwards
+// here). Strict where it matters for validity (balanced structure, string
+// escapes, numbers via strtod); not a streaming production parser — inputs
+// are scenario files and bench reports, a few KB each.
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qadist::obs {
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::shared_ptr<JsonArray> array;
+  std::shared_ptr<JsonObject> object;
+
+  [[nodiscard]] bool is_null() const { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind == Kind::kBool; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member or null-kind value when absent / not an object.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const {
+    static const JsonValue kNullValue;
+    if (!is_object()) return kNullValue;
+    const auto it = object->find(key);
+    return it != object->end() ? it->second : kNullValue;
+  }
+  [[nodiscard]] const JsonArray& items() const {
+    static const JsonArray kEmpty;
+    return is_array() ? *array : kEmpty;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  /// Parses one complete JSON value; nullopt on any syntax error or
+  /// trailing garbage.
+  std::optional<JsonValue> parse() {
+    auto v = value();
+    skip_ws();
+    if (!v.has_value() || pos_ != text_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> string_token() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            const std::string hex(text_.substr(pos_, 4));
+            char* end = nullptr;
+            const long code = std::strtol(hex.c_str(), &end, 16);
+            if (end != hex.c_str() + 4) return std::nullopt;
+            pos_ += 4;
+            // Only ASCII escapes are produced in-tree; keep it byte-sized.
+            out.push_back(static_cast<char>(code & 0x7f));
+            break;
+          }
+          default:
+            return std::nullopt;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    JsonValue v;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      v.kind = JsonValue::Kind::kObject;
+      v.object = std::make_shared<JsonObject>();
+      skip_ws();
+      if (consume('}')) return v;
+      for (;;) {
+        auto key = string_token();
+        if (!key.has_value() || !consume(':')) return std::nullopt;
+        auto member = value();
+        if (!member.has_value()) return std::nullopt;
+        (*v.object)[*key] = std::move(*member);
+        if (consume(',')) continue;
+        if (consume('}')) return v;
+        return std::nullopt;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      v.kind = JsonValue::Kind::kArray;
+      v.array = std::make_shared<JsonArray>();
+      skip_ws();
+      if (consume(']')) return v;
+      for (;;) {
+        auto item = value();
+        if (!item.has_value()) return std::nullopt;
+        v.array->push_back(std::move(*item));
+        if (consume(',')) continue;
+        if (consume(']')) return v;
+        return std::nullopt;
+      }
+    }
+    if (c == '"') {
+      auto s = string_token();
+      if (!s.has_value()) return std::nullopt;
+      v.kind = JsonValue::Kind::kString;
+      v.string = std::move(*s);
+      return v;
+    }
+    if (literal("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (literal("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    if (literal("null")) return v;
+    // Number.
+    const char* start = text_.data() + pos_;
+    char* end = nullptr;
+    const double num = std::strtod(start, &end);
+    if (end == start) return std::nullopt;
+    pos_ += static_cast<std::size_t>(end - start);
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = num;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+inline std::optional<JsonValue> parse_json(std::string_view text) {
+  return JsonParser(text).parse();
+}
+
+}  // namespace qadist::obs

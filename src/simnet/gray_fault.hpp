@@ -34,6 +34,17 @@ struct GrayFaultEvent {
 /// Scripted gray-fault schedule. An empty plan is the disabled state: no
 /// onset events are scheduled and the run stays bit-identical to a build
 /// without the gray-fault subsystem.
+///
+/// Edge cases (validated by cluster::System at construction):
+///   * factors must be positive and finite; extra_latency finite and >= 0;
+///     `at` finite and >= 0; `recover_after` anything but NaN (negative
+///     means forever). Violations panic with a clear message.
+///   * windows on one node may overlap: the effective degradation is the
+///     per-resource max over the node's open windows, and the node
+///     recovers only when its last window closes.
+///   * a zero-length window (recover_after == 0) opens and closes at the
+///     same instant — it counts one onset and one recovery but never
+///     degrades service.
 struct GrayFaultPlan {
   std::vector<GrayFaultEvent> events;
 

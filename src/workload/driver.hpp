@@ -57,7 +57,27 @@ class Driver {
   /// system and returns how many questions were submitted. Split from
   /// run() so callers can attach more simulation processes, prewarm
   /// caches, or drive several specs into one run.
+  ///
+  /// Validation (QADIST_CHECK, i.e. a panic with a clear message — mutated
+  /// or hand-edited specs must fail loudly, not no-op):
+  ///   * rates and factors must be finite and positive (NaN and infinity
+  ///     are rejected, not just non-positive values);
+  ///   * zero-length runs are rejected: a serial or open-loop spec must
+  ///     submit at least one question;
+  ///   * every scripted fault in the system's config — crash, gray window,
+  ///     partition — must start within the submitted stream's horizon plus
+  ///     a drain allowance (see drain_allowance); an event scheduled past
+  ///     that can never influence the run it was scripted for.
   std::size_t submit(const RunSpec& spec);
+
+  /// How long after the last arrival a scripted fault may still start and
+  /// plausibly matter: generous (the larger of 60 s and the stream length
+  /// itself, covering overloaded queues that drain long past the last
+  /// arrival) but finite, so a fault at t=1e9 against a 600 s stream is an
+  /// error instead of a silent no-op.
+  [[nodiscard]] static Seconds drain_allowance(Seconds last_arrival) {
+    return last_arrival > 60.0 ? last_arrival : 60.0;
+  }
 
   /// submit() + System::run(): one whole experiment.
   RunResult run(const RunSpec& spec);

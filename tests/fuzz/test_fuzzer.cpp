@@ -1,0 +1,151 @@
+// Corpus bookkeeping (coverage-keyed survivor pool, save/load round-trip)
+// and the campaign loop itself: a tiny fixed-seed hunt on the test world
+// is deterministic end to end and never trips an invariant.
+
+#include "fuzz/fuzzer.hpp"
+
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/workload.hpp"
+#include "common/rng.hpp"
+#include "support/test_world.hpp"
+
+namespace qadist::fuzz {
+namespace {
+
+using qadist::testing::test_world;
+
+CorpusEntry entry(std::string name, double fitness, std::uint64_t coverage) {
+  CorpusEntry e;
+  e.scenario = reference_scenario(8, 100.0);
+  e.scenario.name = std::move(name);
+  e.fitness = fitness;
+  e.coverage = coverage;
+  return e;
+}
+
+TEST(CorpusTest, KeepsOnlyTheFittestPerCoverageSignature) {
+  Corpus corpus;
+  EXPECT_TRUE(corpus.offer(entry("a", 1.0, 5)));
+  EXPECT_TRUE(corpus.offer(entry("b", 2.0, 5)));  // fitter, replaces a
+  EXPECT_FALSE(corpus.offer(entry("c", 0.5, 5)));  // weaker, dropped
+  ASSERT_EQ(corpus.size(), 1u);
+  EXPECT_EQ(corpus.entries()[0].scenario.name, "b");
+  EXPECT_TRUE(corpus.offer(entry("d", 0.1, 9)));  // novel signature
+  EXPECT_EQ(corpus.size(), 2u);
+}
+
+TEST(CorpusTest, ParentPickingIsDeterministicAndInRange) {
+  Corpus corpus;
+  Rng empty_rng(1);
+  EXPECT_EQ(corpus.pick_parent(empty_rng), std::nullopt);
+  corpus.offer(entry("a", 1.0, 1));
+  corpus.offer(entry("b", 10.0, 2));
+  corpus.offer(entry("c", 0.0, 4));  // fitness floor keeps it drawable
+  Rng rng_a(7);
+  Rng rng_b(7);
+  for (int draw = 0; draw < 50; ++draw) {
+    const auto pick_a = corpus.pick_parent(rng_a);
+    const auto pick_b = corpus.pick_parent(rng_b);
+    ASSERT_TRUE(pick_a.has_value());
+    EXPECT_LT(*pick_a, corpus.size());
+    EXPECT_EQ(pick_a, pick_b);
+  }
+}
+
+TEST(CorpusTest, SaveLoadRoundTripsScenarios) {
+  Corpus corpus;
+  corpus.offer(entry("alpha", 1.0, 1));
+  corpus.offer(entry("beta", 2.0, 2));
+  const std::string dir = ::testing::TempDir() + "qadist_corpus_roundtrip";
+  std::filesystem::remove_all(dir);
+
+  const std::vector<std::string> written = corpus.save(dir);
+  EXPECT_EQ(written.size(), 2u);
+  const std::vector<LoadedScenario> loaded = load_scenario_dir(dir);
+  ASSERT_EQ(loaded.size(), 2u);
+  // Sorted by filename, so alpha before beta.
+  EXPECT_EQ(loaded[0].scenario.name, "alpha");
+  EXPECT_EQ(loaded[1].scenario.name, "beta");
+  EXPECT_EQ(to_json(loaded[0].scenario),
+            to_json(corpus.entries()[0].scenario));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CorpusTest, LoadingAMissingDirectoryIsEmptyNotFatal) {
+  EXPECT_TRUE(load_scenario_dir("does/not/exist").empty());
+}
+
+// ---- campaign: real runs on the (cheap) test world.
+
+const std::vector<cluster::QuestionPlan>& plans() {
+  static const std::vector<cluster::QuestionPlan> p = [] {
+    const auto& world = test_world();
+    const auto cost = cluster::CostModel::calibrate(
+        *world.engine,
+        std::span<const corpus::Question>(world.questions).subspan(0, 8));
+    std::vector<cluster::QuestionPlan> out;
+    for (std::size_t i = 0; i < 10; ++i) {
+      out.push_back(
+          cluster::make_plan(*world.engine, cost, world.questions[i]));
+    }
+    return out;
+  }();
+  return p;
+}
+
+FuzzConfig tiny_config() {
+  FuzzConfig config;
+  config.runs = 4;
+  config.seconds = 0.0;  // pure run-count mode: fully deterministic
+  config.seed = 3;
+  config.shrink = false;
+  config.check_replay = false;
+  config.mutation.min_nodes = 4;
+  config.mutation.max_nodes = 6;
+  config.mutation.max_count = 24;
+  return config;
+}
+
+Scenario tiny_reference() {
+  Scenario s = reference_scenario(4, 40.0);
+  s.traffic.count = 12;
+  return s;
+}
+
+TEST(FuzzerTest, TinyCampaignIsCleanAndDeterministic) {
+  Fuzzer first(plans(), tiny_reference(), tiny_config());
+  first.run();
+
+  // The whole campaign ran its budget and tripped no invariant anywhere —
+  // on any scenario, pathological or boring.
+  EXPECT_EQ(first.stats().runs, 4u);
+  EXPECT_TRUE(first.stats().violations.empty())
+      << first.stats().violations.front();
+  EXPECT_GT(first.baseline().p99, 0.0);
+  EXPECT_FALSE(first.corpus().empty());
+
+  // Same seed, same budget: the same campaign, byte for byte.
+  Fuzzer second(plans(), tiny_reference(), tiny_config());
+  second.run();
+  ASSERT_EQ(second.corpus().size(), first.corpus().size());
+  for (std::size_t i = 0; i < first.corpus().size(); ++i) {
+    EXPECT_EQ(to_json(second.corpus().entries()[i].scenario),
+              to_json(first.corpus().entries()[i].scenario));
+    EXPECT_EQ(second.corpus().entries()[i].fitness,
+              first.corpus().entries()[i].fitness);
+  }
+  ASSERT_EQ(second.survivors().size(), first.survivors().size());
+  for (std::size_t i = 0; i < first.survivors().size(); ++i) {
+    EXPECT_EQ(to_json(second.survivors()[i].scenario),
+              to_json(first.survivors()[i].scenario));
+  }
+}
+
+}  // namespace
+}  // namespace qadist::fuzz

@@ -1,0 +1,88 @@
+// Mutator: deterministic for a fixed seed (the property that makes a
+// whole fuzz campaign replayable), and every child is valid by
+// construction — whatever sequence of ops and repairs it went through.
+
+#include "fuzz/mutate.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace qadist::fuzz {
+namespace {
+
+constexpr std::size_t kPlanCount = 50;
+
+TEST(MutatorTest, SameSeedSameParentsSameChildren) {
+  Mutator a(42);
+  Mutator b(42);
+  Scenario parent_a = reference_scenario(8, 100.0);
+  Scenario parent_b = parent_a;
+  for (int round = 0; round < 25; ++round) {
+    const Scenario child_a = a.mutate(parent_a, kPlanCount);
+    const Scenario child_b = b.mutate(parent_b, kPlanCount);
+    ASSERT_EQ(to_json(child_a), to_json(child_b)) << "diverged at round "
+                                                  << round;
+    parent_a = child_a;
+    parent_b = child_b;
+  }
+}
+
+TEST(MutatorTest, DifferentSeedsExploreDifferently) {
+  Mutator a(1);
+  Mutator b(2);
+  const Scenario parent = reference_scenario(8, 100.0);
+  bool diverged = false;
+  for (int round = 0; round < 10 && !diverged; ++round) {
+    diverged = to_json(a.mutate(parent, kPlanCount)) !=
+               to_json(b.mutate(parent, kPlanCount));
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(MutatorTest, EveryChildIsValid) {
+  // Deep random walk: each child becomes the next parent, so repairs have
+  // to hold up under accumulated mutations, not just one step from the
+  // healthy reference.
+  Mutator m(7);
+  Scenario parent = reference_scenario(12, 118.0);
+  for (int round = 0; round < 300; ++round) {
+    const Scenario child = m.mutate(parent, kPlanCount);
+    const auto issue = child.problem(kPlanCount);
+    ASSERT_EQ(issue, std::nullopt)
+        << "round " << round << " (ops: " << m.last_ops()
+        << "): " << issue.value_or("");
+    parent = child;
+  }
+}
+
+TEST(MutatorTest, ReportsTheOpsItApplied) {
+  Mutator m(5);
+  const Scenario parent = reference_scenario(8, 100.0);
+  (void)m.mutate(parent, kPlanCount);
+  EXPECT_FALSE(m.last_ops().empty());
+}
+
+TEST(MutatorTest, ChildrenStayInsideTheConfiguredBounds) {
+  MutationConfig bounds;
+  bounds.min_nodes = 4;
+  bounds.max_nodes = 8;
+  bounds.max_count = 64;
+  bounds.max_events = 3;
+  Mutator m(11, bounds);
+  Scenario parent = reference_scenario(6, 100.0);
+  for (int round = 0; round < 200; ++round) {
+    const Scenario child = m.mutate(parent, kPlanCount);
+    EXPECT_GE(child.nodes, bounds.min_nodes);
+    EXPECT_LE(child.nodes, bounds.max_nodes);
+    EXPECT_GE(child.traffic.count, bounds.min_count);
+    EXPECT_LE(child.traffic.count, bounds.max_count);
+    EXPECT_LE(child.crashes.size(), bounds.max_events);
+    EXPECT_LE(child.gray.size(), bounds.max_events);
+    EXPECT_LE(child.partitions.size(), bounds.max_events);
+    parent = child;
+  }
+}
+
+}  // namespace
+}  // namespace qadist::fuzz

@@ -1,0 +1,108 @@
+// Delta-debugging shrinker, tested with pure predicates (no simulation):
+// irrelevant fault events and knobs fall away, the predicate keeps
+// holding on the result, and the attempt budget bounds the work.
+
+#include "fuzz/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qadist::fuzz {
+namespace {
+
+constexpr std::size_t kPlanCount = 100;
+
+// A valid scenario carrying one essential crash (node 2) buried under
+// irrelevant faults and non-default knobs.
+Scenario noisy_scenario() {
+  Scenario s = reference_scenario(8, 100.0);
+  s.crashes.push_back({0, 60.0, -1.0});
+  s.crashes.push_back({2, 50.0, -1.0});  // the one the predicate needs
+  s.crashes.push_back({1, 70.0, 30.0});
+  simnet::GrayFaultEvent gray;
+  gray.node = 3;
+  gray.at = 80.0;
+  gray.recover_after = 40.0;
+  gray.cpu_factor = 4.0;
+  gray.disk_factor = 4.0;
+  s.gray.push_back(gray);
+  simnet::PartitionWindow window;
+  window.from = 90.0;
+  window.until = 120.0;
+  window.isolated = {1};
+  s.partitions.push_back(window);
+  s.hedge = true;
+  s.answer_cache_entries = 128;
+  s.traffic.repeat_exponent = 1.2;
+  s.traffic.distinct_questions = 5;
+  s.question_deadline = 120.0;
+  return s;
+}
+
+bool has_crash_on_node_2(const Scenario& s) {
+  for (const cluster::FaultEvent& crash : s.crashes) {
+    if (crash.node == 2) return true;
+  }
+  return false;
+}
+
+TEST(ShrinkTest, RemovesEverythingThePredicateDoesNotNeed) {
+  const Scenario input = noisy_scenario();
+  ASSERT_EQ(input.problem(kPlanCount), std::nullopt);
+  ASSERT_TRUE(has_crash_on_node_2(input));
+
+  const ShrinkResult result =
+      shrink(input, kPlanCount, has_crash_on_node_2, 500);
+
+  // The essential crash survives; the irrelevant faults do not.
+  EXPECT_TRUE(has_crash_on_node_2(result.scenario));
+  EXPECT_EQ(result.scenario.crashes.size(), 1u);
+  EXPECT_TRUE(result.scenario.gray.empty());
+  EXPECT_TRUE(result.scenario.partitions.empty());
+  // Knobs reset to the reference defaults.
+  EXPECT_FALSE(result.scenario.hedge);
+  EXPECT_EQ(result.scenario.answer_cache_entries, 0u);
+  EXPECT_EQ(result.scenario.traffic.repeat_exponent, 0.0);
+  EXPECT_EQ(result.scenario.question_deadline, Scenario{}.question_deadline);
+  // The stream halves while the predicate holds (it always does here).
+  EXPECT_LT(result.scenario.traffic.count, input.traffic.count);
+  // The result is still a valid, runnable scenario.
+  EXPECT_EQ(result.scenario.problem(kPlanCount), std::nullopt);
+  EXPECT_GE(result.accepted, 4u);
+  EXPECT_LE(result.attempts, 500u);
+}
+
+TEST(ShrinkTest, KeepsEventsThePredicateDependsOn) {
+  Scenario input = reference_scenario(8, 100.0);
+  input.crashes.push_back({0, 10.0, -1.0});
+  input.crashes.push_back({1, 20.0, -1.0});
+  input.crashes.push_back({2, 30.0, -1.0});
+  const Predicate needs_all_three = [](const Scenario& s) {
+    return s.crashes.size() >= 3;
+  };
+  const ShrinkResult result =
+      shrink(input, kPlanCount, needs_all_three, 200);
+  EXPECT_EQ(result.scenario.crashes.size(), 3u);
+}
+
+TEST(ShrinkTest, AttemptBudgetBoundsPredicateCalls) {
+  std::size_t calls = 0;
+  const Predicate counting = [&calls](const Scenario&) {
+    ++calls;
+    return true;
+  };
+  const ShrinkResult result =
+      shrink(noisy_scenario(), kPlanCount, counting, 3);
+  EXPECT_LE(result.attempts, 3u);
+  EXPECT_EQ(calls, result.attempts);
+}
+
+TEST(ShrinkDeathTest, RejectsAnInvalidInputScenario) {
+  Scenario bad = reference_scenario(8, 100.0);
+  bad.nodes = 1;
+  EXPECT_DEATH(
+      (void)shrink(bad, kPlanCount, [](const Scenario&) { return true; }),
+      "input scenario is invalid");
+}
+
+}  // namespace
+}  // namespace qadist::fuzz

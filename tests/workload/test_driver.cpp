@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "cluster/workload.hpp"
 #include "support/test_world.hpp"
 
@@ -134,6 +136,143 @@ TEST(DriverTest, ShapeNamesRoundTrip) {
   EXPECT_EQ(to_string(WorkloadShape::kOverload), "overload");
   EXPECT_EQ(to_string(WorkloadShape::kSerial), "serial");
   EXPECT_EQ(to_string(WorkloadShape::kOpenLoop), "open-loop");
+}
+
+// ---- RunSpec validation: malformed workloads must fail loudly at submit
+// time, not produce an empty or meaningless run.
+
+TEST(DriverDeathTest, RejectsZeroLengthSerialRun) {
+  simnet::Simulation sim;
+  cluster::System system(sim, config());
+  RunSpec spec;
+  spec.shape = WorkloadShape::kSerial;
+  spec.serial.count = 0;
+  EXPECT_DEATH(Driver(system, plans()).submit(spec), "count must be >= 1");
+}
+
+TEST(DriverDeathTest, RejectsZeroLengthOpenLoopRun) {
+  simnet::Simulation sim;
+  cluster::System system(sim, config());
+  RunSpec spec;
+  spec.shape = WorkloadShape::kOpenLoop;
+  spec.open_loop.rate_qps = 1.0;
+  spec.open_loop.count = 0;
+  EXPECT_DEATH(Driver(system, plans()).submit(spec), "count must be >= 1");
+}
+
+TEST(DriverDeathTest, RejectsNonFiniteOpenLoopRate) {
+  simnet::Simulation sim;
+  cluster::System system(sim, config());
+  RunSpec spec;
+  spec.shape = WorkloadShape::kOpenLoop;
+  spec.open_loop.count = 4;
+  spec.open_loop.rate_qps = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH(Driver(system, plans()).submit(spec),
+               "rate_qps must be finite and positive");
+}
+
+TEST(DriverDeathTest, RejectsNegativeOpenLoopRate) {
+  simnet::Simulation sim;
+  cluster::System system(sim, config());
+  RunSpec spec;
+  spec.shape = WorkloadShape::kOpenLoop;
+  spec.open_loop.count = 4;
+  spec.open_loop.rate_qps = -0.5;
+  EXPECT_DEATH(Driver(system, plans()).submit(spec),
+               "rate_qps must be finite and positive");
+}
+
+TEST(DriverDeathTest, RejectsNonFiniteOverloadFactor) {
+  simnet::Simulation sim;
+  cluster::System system(sim, config());
+  RunSpec spec;
+  spec.shape = WorkloadShape::kOverload;
+  spec.overload.count = 4;
+  spec.overload.overload_factor = std::numeric_limits<double>::infinity();
+  EXPECT_DEATH(Driver(system, plans()).submit(spec),
+               "overload_factor must be finite and positive");
+}
+
+TEST(DriverDeathTest, RejectsNegativeRepeatExponent) {
+  simnet::Simulation sim;
+  cluster::System system(sim, config());
+  RunSpec spec;
+  spec.shape = WorkloadShape::kOpenLoop;
+  spec.open_loop.count = 4;
+  spec.open_loop.rate_qps = 1.0;
+  spec.open_loop.repeat_exponent = -1.0;
+  EXPECT_DEATH(Driver(system, plans()).submit(spec),
+               "repeat_exponent must be finite");
+}
+
+// ---- Fault-horizon validation: a scripted fault that can only fire after
+// the stream (plus drain allowance) has ended silently never happens —
+// the Driver treats it as a configuration error.
+
+TEST(DriverDeathTest, RejectsCrashScheduledPastTheRunHorizon) {
+  cluster::SystemConfig cfg = config();
+  cfg.faults.crashes.push_back({1, 1.0e7, -1.0});
+  simnet::Simulation sim;
+  cluster::System system(sim, cfg);
+  RunSpec spec;
+  spec.shape = WorkloadShape::kOpenLoop;
+  spec.open_loop.count = 4;
+  spec.open_loop.rate_qps = 1.0;
+  EXPECT_DEATH(Driver(system, plans()).submit(spec),
+               "starts after the stream horizon");
+}
+
+TEST(DriverDeathTest, RejectsGrayWindowScheduledPastTheRunHorizon) {
+  cluster::SystemConfig cfg = config();
+  simnet::GrayFaultEvent event;
+  event.node = 0;
+  event.at = 1.0e7;
+  event.cpu_factor = 4.0;
+  cfg.gray.events.push_back(event);
+  simnet::Simulation sim;
+  cluster::System system(sim, cfg);
+  RunSpec spec;
+  spec.shape = WorkloadShape::kOpenLoop;
+  spec.open_loop.count = 4;
+  spec.open_loop.rate_qps = 1.0;
+  EXPECT_DEATH(Driver(system, plans()).submit(spec),
+               "starts after the stream horizon");
+}
+
+TEST(DriverDeathTest, RejectsPartitionScheduledPastTheRunHorizon) {
+  cluster::SystemConfig cfg = config();
+  simnet::PartitionWindow window;
+  window.from = 1.0e7;
+  window.until = 1.0e7 + 60.0;
+  window.isolated = {0};
+  cfg.net.faults.partitions.push_back(window);
+  simnet::Simulation sim;
+  cluster::System system(sim, cfg);
+  RunSpec spec;
+  spec.shape = WorkloadShape::kOpenLoop;
+  spec.open_loop.count = 4;
+  spec.open_loop.rate_qps = 1.0;
+  EXPECT_DEATH(Driver(system, plans()).submit(spec),
+               "starts after the stream horizon");
+}
+
+TEST(DriverTest, AcceptsFaultsInsideTheDrainAllowance) {
+  // A crash shortly after the last arrival is still meaningful: questions
+  // drain for a while. drain_allowance() sets the grace window.
+  cluster::SystemConfig cfg = config();
+  cfg.faults.crashes.push_back({1, 30.0, -1.0});
+  simnet::Simulation sim;
+  cluster::System system(sim, cfg);
+  RunSpec spec;
+  spec.shape = WorkloadShape::kOpenLoop;
+  spec.open_loop.count = 4;
+  spec.open_loop.rate_qps = 1.0;
+  EXPECT_GT(Driver(system, plans()).submit(spec), 0u);
+}
+
+TEST(DriverTest, DrainAllowanceScalesWithTheStream) {
+  EXPECT_DOUBLE_EQ(Driver::drain_allowance(10.0), 60.0);
+  EXPECT_DOUBLE_EQ(Driver::drain_allowance(600.0), 600.0);
 }
 
 }  // namespace

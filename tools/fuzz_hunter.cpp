@@ -1,0 +1,187 @@
+// Adversarial scenario hunter CLI: feedback-guided fuzzing of workload /
+// fault-schedule / knob combinations against the simulated cluster,
+// scoring each run by how pathological its tail and degradation are
+// relative to a healthy 12-node reference, checking global invariants
+// after every run, and shrinking + pinning the worst survivors as
+// replayable scenario JSONs.
+//
+//   fuzz_hunter [--runs N] [--seconds S] [--seed S] [--corpus-dir DIR]
+//               [--shrink 0|1] [--ratio R] [--nodes N]
+//
+// With --corpus-dir the pinned survivors are written there as
+// <name>.json (canonical qadist-scenario-v1). Exit status: 1 on any
+// invariant violation, 0 otherwise — survivor count is a report, not a
+// failure.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "fuzz/fuzzer.hpp"
+#include "support/bench_world.hpp"
+
+namespace {
+
+struct Options {
+  std::size_t runs = 200;
+  double seconds = 0.0;
+  std::uint64_t seed = 1;
+  std::string corpus_dir;
+  bool shrink = true;
+  double ratio = 3.0;
+  std::size_t nodes = 12;
+};
+
+void usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--runs N] [--seconds S] [--seed S] [--corpus-dir DIR]\n"
+      "          [--shrink 0|1] [--ratio R] [--nodes N]\n"
+      "  --runs N        fuzz iteration budget (default 200)\n"
+      "  --seconds S     wall-clock budget; 0 = unlimited (default 0)\n"
+      "  --seed S        campaign seed (default 1)\n"
+      "  --corpus-dir D  write pinned survivors as D/<name>.json\n"
+      "  --shrink 0|1    shrink survivors to minimal reproducers (default 1)\n"
+      "  --ratio R       pathology bar vs healthy baseline (default 3)\n"
+      "  --nodes N       reference cluster size (default 12)\n",
+      prog);
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0],
+                     flag.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (flag == "--help" || flag == "-h") {
+      usage(argv[0]);
+      std::exit(0);
+    } else if (flag == "--runs") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.runs = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--seconds") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.seconds = std::strtod(v, nullptr);
+    } else if (flag == "--seed") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--corpus-dir") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.corpus_dir = v;
+    } else if (flag == "--shrink") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.shrink = std::strtol(v, nullptr, 10) != 0;
+    } else if (flag == "--ratio") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.ratio = std::strtod(v, nullptr);
+    } else if (flag == "--nodes") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      opt.nodes = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], flag.c_str());
+      usage(argv[0]);
+      return std::nullopt;
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qadist;
+
+  const auto opt = parse(argc, argv);
+  if (!opt) return 2;
+
+  const bench::BenchWorld& world = bench::bench_world();
+  const fuzz::Scenario reference = fuzz::reference_scenario(
+      opt->nodes, world.mean_service_seconds(), opt->seed);
+
+  fuzz::FuzzConfig config;
+  config.runs = opt->runs;
+  config.seconds = opt->seconds;
+  config.seed = opt->seed;
+  config.shrink = opt->shrink;
+  config.pathological_ratio = opt->ratio;
+
+  std::printf("fuzz_hunter: %zu-node reference, rate %.4f qps, %zu questions, "
+              "seed %llu, budget %zu runs%s\n",
+              reference.nodes, reference.traffic.rate_qps,
+              reference.traffic.count,
+              static_cast<unsigned long long>(opt->seed), opt->runs,
+              opt->seconds > 0.0 ? " (time-capped)" : "");
+
+  fuzz::Fuzzer fuzzer(world.plans, reference, config);
+  fuzzer.run();
+
+  const fuzz::FuzzStats& stats = fuzzer.stats();
+  std::printf("\ncampaign: %zu runs, %zu corpus entries (%zu admissions), "
+              "%zu pathological runs, %zu shrink attempts\n",
+              stats.runs, fuzzer.corpus().size(), stats.admitted,
+              stats.pathological, stats.shrink_attempts);
+  std::printf("baseline: p99 %.3fs, max %.3fs, degraded %.4f\n",
+              fuzzer.baseline().p99, fuzzer.baseline().max_latency,
+              fuzzer.baseline().degraded_fraction);
+
+  std::printf("\nsurvivors: %zu\n", fuzzer.survivors().size());
+  for (const fuzz::Survivor& survivor : fuzzer.survivors()) {
+    const fuzz::Observation& o = survivor.observation;
+    const double p99_ratio =
+        fuzzer.baseline().p99 > 0.0 ? o.p99 / fuzzer.baseline().p99 : 0.0;
+    std::printf("  %-14s fitness %7.2f  p99 %8.3fs (%5.1fx)  degraded %.3f  "
+                "shed %.3f\n",
+                survivor.scenario.name.c_str(), survivor.fitness, o.p99,
+                p99_ratio, o.degraded_fraction, o.shed_fraction);
+    std::printf("    coverage:");
+    for (const std::string& name : fuzz::coverage_names(o.coverage)) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\n");
+  }
+
+  if (!opt->corpus_dir.empty()) {
+    namespace fs = std::filesystem;
+    fs::create_directories(opt->corpus_dir);
+    for (const fuzz::Survivor& survivor : fuzzer.survivors()) {
+      const fs::path path =
+          fs::path(opt->corpus_dir) / (survivor.scenario.name + ".json");
+      std::ofstream out(path);
+      out << fuzz::to_json(survivor.scenario) << '\n';
+      if (!out.good()) {
+        std::fprintf(stderr, "fuzz_hunter: failed to write %s\n",
+                     path.string().c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", path.string().c_str());
+    }
+  }
+
+  if (!stats.violations.empty()) {
+    std::fprintf(stderr, "\nINVARIANT VIOLATIONS (%zu):\n",
+                 stats.violations.size());
+    for (const std::string& violation : stats.violations) {
+      std::fprintf(stderr, "  %s\n", violation.c_str());
+    }
+    return 1;
+  }
+  std::printf("\nno invariant violations.\n");
+  return 0;
+}

@@ -10,13 +10,16 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: [--nodes N] [--seed S] [--policy NAME] [--strategy NAME]\n"
-    "       [--drop-rate P] [--out DIR] [--smoke] [--help]\n"
+    "       [--drop-rate P] [--brokers B] [--selectivity F]\n"
+    "       [--out DIR] [--smoke] [--help]\n"
     "\n"
     "  --nodes N        override the node count\n"
     "  --seed S         override the workload seed\n"
     "  --policy NAME    DNS | INTER | DQA | TWO-CHOICE\n"
     "  --strategy NAME  SEND | ISEND | RECV\n"
     "  --drop-rate P    per-message drop probability in [0,1]\n"
+    "  --brokers B      broker/mediator tier size (0 = flat star)\n"
+    "  --selectivity F  fraction of shards searched per question, (0,1]\n"
     "  --out DIR        results directory (default: results)\n"
     "  --smoke          tiny-config smoke run (CI)\n";
 
@@ -125,6 +128,22 @@ std::optional<BenchCli> BenchCli::try_parse(std::span<const char* const> args,
         return fail("--drop-rate expects a probability in [0,1]");
       }
       cli.drop_rate = p;
+      continue;
+    }
+    if (match_value_flag(args, i, "--brokers", value)) {
+      std::uint64_t b = 0;
+      if (!value.has_value() || !parse_count(*value, b)) {
+        return fail("--brokers expects a non-negative integer");
+      }
+      cli.brokers = static_cast<std::size_t>(b);
+      continue;
+    }
+    if (match_value_flag(args, i, "--selectivity", value)) {
+      double f = 0.0;
+      if (!value.has_value() || !parse_probability(*value, f) || f == 0.0) {
+        return fail("--selectivity expects a fraction in (0,1]");
+      }
+      cli.selectivity = f;
       continue;
     }
     if (match_value_flag(args, i, "--out", value)) {

@@ -18,6 +18,8 @@ namespace qadist::bench {
 ///   --policy NAME    DNS | INTER | DQA | TWO-CHOICE (case-insensitive)
 ///   --strategy NAME  SEND | ISEND | RECV (case-insensitive)
 ///   --drop-rate P    per-message drop probability in [0,1] (fault benches)
+///   --brokers B      broker/mediator tier size (0 = flat star)
+///   --selectivity F  fraction of shards searched per question, (0,1]
 ///   --out DIR        results directory (sets QADIST_RESULTS_DIR)
 ///   --smoke          tiny-config smoke run (CI): benches that honor it
 ///                    shrink the experiment, others ignore it
@@ -33,6 +35,8 @@ struct BenchCli {
   std::optional<cluster::Policy> policy;
   std::optional<parallel::Strategy> strategy;
   std::optional<double> drop_rate;
+  std::optional<std::size_t> brokers;
+  std::optional<double> selectivity;
   std::optional<std::string> out;
   bool smoke = false;
 
@@ -51,6 +55,12 @@ struct BenchCli {
   }
   [[nodiscard]] double drop_rate_or(double fallback) const {
     return drop_rate.value_or(fallback);
+  }
+  [[nodiscard]] std::size_t brokers_or(std::size_t fallback) const {
+    return brokers.value_or(fallback);
+  }
+  [[nodiscard]] double selectivity_or(double fallback) const {
+    return selectivity.value_or(fallback);
   }
 
   /// Pure parsing core (no exit, no environment writes): nullopt plus a

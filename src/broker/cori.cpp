@@ -1,0 +1,81 @@
+#include "broker/cori.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace qadist::broker {
+
+std::vector<double> score_shards(const CollectionStats& stats,
+                                 std::span<const std::string> keywords) {
+  const std::size_t num_shards = stats.num_shards();
+  std::vector<double> scores(num_shards, kCoriDefaultBelief);
+  if (num_shards == 0 || keywords.empty()) return scores;
+
+  const double c = static_cast<double>(num_shards);
+  const double avg_cw = std::max(stats.average_words(), 1.0);
+  const double log_c = std::log(c + 1.0);
+
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const ir::ShardTermStats& shard = stats.shard(s);
+    const double cw_ratio = static_cast<double>(shard.words) / avg_cw;
+    double belief_sum = 0.0;
+    std::size_t scored_terms = 0;
+    for (const std::string& keyword : keywords) {
+      const std::size_t cf = stats.shards_containing(keyword);
+      // A term no shard contains cannot discriminate between shards (and
+      // cf = 0 would make I blow up); it contributes no evidence at all.
+      if (cf == 0) continue;
+      ++scored_terms;
+      const auto it = shard.df.find(keyword);
+      const double df = it == shard.df.end()
+                            ? 0.0
+                            : static_cast<double>(it->second);
+      const double t_belief = df / (df + 50.0 + 150.0 * cw_ratio);
+      const double i_belief =
+          std::log((c + 0.5) / static_cast<double>(cf)) / log_c;
+      belief_sum += kCoriDefaultBelief +
+                    (1.0 - kCoriDefaultBelief) * t_belief * i_belief;
+    }
+    if (scored_terms > 0) {
+      scores[s] = belief_sum / static_cast<double>(scored_terms);
+    }
+  }
+  return scores;
+}
+
+namespace {
+
+/// Top-k indices of `scores` (higher = better, ties by ascending index),
+/// returned sorted ascending.
+std::vector<std::size_t> top_k_indices(std::span<const double> scores,
+                                       std::size_t top_k) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const std::size_t k = std::min(std::max<std::size_t>(top_k, 1), order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace
+
+std::vector<std::size_t> select_shards(const CollectionStats& stats,
+                                       std::span<const std::string> keywords,
+                                       std::size_t top_k) {
+  if (stats.num_shards() == 0) return {};
+  return top_k_indices(score_shards(stats, keywords), top_k);
+}
+
+std::vector<std::size_t> select_shards_by_work(std::span<const double> work,
+                                               std::size_t top_k) {
+  if (work.empty()) return {};
+  return top_k_indices(work, top_k);
+}
+
+}  // namespace qadist::broker

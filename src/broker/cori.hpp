@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "broker/stats.hpp"
+
+namespace qadist::broker {
+
+/// CORI collection selection (Callan's inference-network ranking, the
+/// algorithm query mediators use to pick which federated collections a
+/// query should visit). Per shard s and query term t:
+///
+///   T = df / (df + 50 + 150 * cw_s / avg_cw)        (term-frequency belief)
+///   I = log((C + 0.5) / cf_t) / log(C + 1.0)        (scaled inverse cf)
+///   p(t|s) = b + (1 - b) * T * I                    (belief, b = 0.4)
+///
+/// where df = paragraphs of s containing t, cw_s = size of s in term
+/// occurrences, avg_cw = mean shard size, C = number of shards, and
+/// cf_t = number of shards containing t. The shard's score is the mean
+/// belief over the query's keywords.
+inline constexpr double kCoriDefaultBelief = 0.4;
+
+/// CORI score of every shard for an analyzer-normalized keyword set.
+/// Deterministic in (stats, keywords). Edge cases, all well-defined:
+/// keywords empty or every keyword absent from every shard -> all scores
+/// equal kCoriDefaultBelief (no evidence either way); a term absent from
+/// every shard contributes nothing (cf = 0 would blow up I, and a term no
+/// shard contains cannot discriminate between them).
+[[nodiscard]] std::vector<double> score_shards(
+    const CollectionStats& stats, std::span<const std::string> keywords);
+
+/// The top-k shard ids by CORI score, ties broken by ascending shard id
+/// (deterministic), returned in ascending shard-id order. k >= num_shards
+/// returns every shard — identical to exhaustive search. k is clamped up
+/// to 1: selection never returns an empty routing set.
+[[nodiscard]] std::vector<std::size_t> select_shards(
+    const CollectionStats& stats, std::span<const std::string> keywords,
+    std::size_t top_k);
+
+/// Stats-free fallback ranking used when no CollectionStats is wired in
+/// (e.g. fuzz worlds): rank shards by a per-question work proxy (higher =
+/// more likely to matter), ties by ascending shard id, and keep the top-k
+/// in ascending shard-id order. `work` holds one weight per shard.
+[[nodiscard]] std::vector<std::size_t> select_shards_by_work(
+    std::span<const double> work, std::size_t top_k);
+
+}  // namespace qadist::broker

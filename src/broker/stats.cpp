@@ -1,0 +1,38 @@
+#include "broker/stats.hpp"
+
+namespace qadist::broker {
+
+CollectionStats CollectionStats::from_shard_stats(
+    std::vector<ir::ShardTermStats> shards) {
+  CollectionStats stats;
+  stats.shards_ = std::move(shards);
+  double total_words = 0.0;
+  for (const auto& shard : stats.shards_) {
+    total_words += static_cast<double>(shard.words);
+    for (const auto& [term, df] : shard.df) {
+      (void)df;
+      ++stats.shard_df_[term];
+    }
+  }
+  if (!stats.shards_.empty()) {
+    stats.average_words_ = total_words / static_cast<double>(stats.shards_.size());
+  }
+  return stats;
+}
+
+CollectionStats CollectionStats::from_indexes(
+    std::span<const ir::InvertedIndex> shards) {
+  std::vector<ir::ShardTermStats> extracted;
+  extracted.reserve(shards.size());
+  for (const auto& index : shards) {
+    extracted.push_back(ir::extract_term_stats(index));
+  }
+  return from_shard_stats(std::move(extracted));
+}
+
+std::size_t CollectionStats::shards_containing(const std::string& term) const {
+  const auto it = shard_df_.find(term);
+  return it == shard_df_.end() ? 0 : it->second;
+}
+
+}  // namespace qadist::broker

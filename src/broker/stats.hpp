@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/inverted_index.hpp"
+#include "ir/shard_stats.hpp"
+
+namespace qadist::broker {
+
+/// Collection-wide view of the per-shard term statistics: what a broker
+/// (or the coordinator, with the tier off) needs to score shards for a
+/// question without touching any shard's postings. Mirrors the resource
+/// descriptions a query mediator keeps about each federated collection.
+///
+/// Derived fields are precomputed once at build time so per-question
+/// scoring is a handful of hash lookups per keyword.
+class CollectionStats {
+ public:
+  CollectionStats() = default;
+
+  /// Wraps already-extracted shard statistics (e.g. loaded from a QASS v2
+  /// artifact's stats section).
+  [[nodiscard]] static CollectionStats from_shard_stats(
+      std::vector<ir::ShardTermStats> shards);
+
+  /// Extracts statistics from in-memory shard indexes (shard s = index s).
+  [[nodiscard]] static CollectionStats from_indexes(
+      std::span<const ir::InvertedIndex> shards);
+
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] const ir::ShardTermStats& shard(std::size_t s) const {
+    return shards_[s];
+  }
+
+  /// Number of shards whose index contains the term (CORI's cf); 0 for a
+  /// term absent from every shard.
+  [[nodiscard]] std::size_t shards_containing(const std::string& term) const;
+
+  /// Mean shard size in term occurrences (CORI's avg_cw); 0 when empty.
+  [[nodiscard]] double average_words() const { return average_words_; }
+
+ private:
+  std::vector<ir::ShardTermStats> shards_;
+  std::unordered_map<std::string, std::uint32_t> shard_df_;  // term -> #shards
+  double average_words_ = 0.0;
+};
+
+}  // namespace qadist::broker

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace qadist::broker {
+
+/// Node id type mirrored from cluster (broker must stay below cluster in
+/// the dependency graph, so the alias is restated here).
+using NodeId = std::size_t;
+
+/// The two-level hierarchy: `nodes` cluster nodes split into `brokers`
+/// contiguous, near-equal groups. The first node of each group doubles as
+/// that group's broker (it still hosts questions and serves shards like
+/// any other member — brokering is a role, not a dedicated machine).
+/// Shard s belongs to group s % brokers, so every group owns a near-equal
+/// slice of the shard space and a broker can answer "who has shard s"
+/// entirely within its subtree.
+struct Topology {
+  std::size_t nodes = 0;
+  std::size_t brokers = 0;
+
+  Topology(std::size_t node_count, std::size_t broker_count)
+      : nodes(node_count), brokers(broker_count) {
+    QADIST_CHECK(brokers > 0 && brokers <= nodes,
+                 << "broker tier needs 1..nodes brokers, got " << brokers
+                 << " for " << nodes << " nodes");
+  }
+
+  /// First node and one-past-last node of group g's contiguous block.
+  [[nodiscard]] std::pair<NodeId, NodeId> group_range(std::size_t g) const {
+    QADIST_CHECK(g < brokers, << "group " << g << " out of range");
+    const std::size_t base = nodes / brokers;
+    const std::size_t rem = nodes % brokers;
+    const NodeId first = g * base + std::min(g, rem);
+    return {first, first + base + (g < rem ? 1 : 0)};
+  }
+
+  [[nodiscard]] std::size_t group_of_node(NodeId node) const {
+    QADIST_CHECK(node < nodes, << "node " << node << " out of range");
+    const std::size_t base = nodes / brokers;
+    const std::size_t rem = nodes % brokers;
+    // The first `rem` groups have base+1 nodes.
+    const NodeId boundary = rem * (base + 1);
+    if (node < boundary) return node / (base + 1);
+    return rem + (node - boundary) / base;
+  }
+
+  /// The broker of group g: the first node of its block.
+  [[nodiscard]] NodeId broker_node(std::size_t g) const {
+    return group_range(g).first;
+  }
+
+  [[nodiscard]] std::size_t group_of_shard(std::size_t shard) const {
+    return shard % brokers;
+  }
+};
+
+}  // namespace qadist::broker

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "broker/cori.hpp"
 #include "cache/affinity.hpp"
 #include "cache/question_key.hpp"
 #include "common/check.hpp"
@@ -145,6 +146,13 @@ struct System::PrLegSlot {
   /// CancellableConsume), so abandonment can release it mid-service.
   simnet::FairShareServer* busy_server = nullptr;
   std::coroutine_handle<> busy_handle{};
+
+  /// Keeps the report mailbox alive for broker-spawned legs: the inner
+  /// mailbox lives in the BrokerSlot, whose coordinator can vanish (broker
+  /// crash) while an abandoned worker still runs — the worker's own slot
+  /// then holds the last reference, so its final reports.send never
+  /// dangles. Null for host-spawned legs (the host drains before exit).
+  std::shared_ptr<void> keepalive;
 };
 
 /// Coordinator/leg shared state for one AP leg. Exactly one of `chunks`
@@ -189,6 +197,37 @@ struct System::HedgeGroup {
   parallel::Chunk covered_chunk{};   ///< AP RECV chunk the backups re-run
   bool has_covered_chunk = false;
   bool resolved = false;             ///< a winner was recorded
+};
+
+/// Coordinator/broker shared state for one broker-tier PR leg. The host
+/// fans the question's selected units out per broker group; the group's
+/// broker routes them to in-group shard holders, supervises those inner
+/// legs on its own mailbox, merges their partials, and ships one aggregate
+/// back. Shared ownership mirrors PrLegSlot: a zombie broker coroutine may
+/// only touch this slot and System members.
+struct System::BrokerSlot {
+  NodeId node = 0;        ///< node carrying the group's brokering duty
+  std::size_t epoch = 0;  ///< crash_epoch_[node] at spawn
+  std::size_t group = 0;  ///< topology group this leg covers
+  /// The group's selected PR units. Kept whole (not drained): a broker
+  /// loss loses the partials merged on it, so the host re-routes the full
+  /// slice through an acting broker.
+  std::vector<std::size_t> units;
+  double bytes_out = 0.0;    ///< merged candidate bytes to ship to the host
+  std::size_t unserved = 0;  ///< units dropped in-subtree (degraded)
+  std::size_t done = 0;      ///< units completed in the subtree
+  bool reported = false;
+  bool declared_dead = false;
+  bool unreachable = false;  // see PrLegSlot
+  bool abandoned = false;
+  obs::SpanId stage_span = obs::kNoSpan;
+  obs::SpanId leg_span = obs::kNoSpan;  // closed by the host on broker loss
+  Seconds spawned = 0.0;
+  /// Inner report mailbox + the worker slots it serves. Owned here (not in
+  /// the coroutine frame) so workers can outlive a crashed broker — each
+  /// worker slot holds a keepalive reference to the mailbox.
+  std::shared_ptr<simnet::Mailbox<std::size_t>> inner;
+  std::vector<std::shared_ptr<PrLegSlot>> workers;
 };
 
 /// Per-node cache shards. One pair per node, like the CPUs and disks: a
@@ -274,14 +313,81 @@ System::System(simnet::Simulation& sim, const SystemConfig& config)
                    << event.extra_latency);
     }
   }
+  // Selective search + broker/mediator tier (cfg.broker). Both axes
+  // require a sharded corpus — selection scores shards, the tier routes by
+  // shard group — and both are off by default: flat runs build no extra
+  // links and take no new branches (bit-identical, pinned by test).
+  const bool tier_on = config.broker.tier_enabled();
+  const bool selection_on =
+      config.broker.selection_enabled(config.shard.num_shards);
+  if (tier_on || selection_on) {
+    QADIST_CHECK(config.shard.enabled(),
+                 << "cfg.broker requires a sharded corpus "
+                    "(cfg.shard.num_shards > 0)");
+    QADIST_CHECK(config.broker.selectivity > 0.0 &&
+                     config.broker.selectivity <= 1.0,
+                 << "cfg.broker.selectivity must be in (0, 1], got "
+                 << config.broker.selectivity);
+  }
+  if (selection_on && config.broker.stats != nullptr) {
+    QADIST_CHECK(config.broker.stats->num_shards() == config.shard.num_shards,
+                 << "cfg.broker.stats covers "
+                 << config.broker.stats->num_shards() << " shards but "
+                 << "cfg.shard.num_shards is " << config.shard.num_shards);
+  }
+  if (tier_on) {
+    QADIST_CHECK(config.broker.brokers <= config.nodes,
+                 << "cfg.broker.brokers (" << config.broker.brokers
+                 << ") exceeds the node count (" << config.nodes << ")");
+    topology_.emplace(config.nodes, config.broker.brokers);
+    // Two-level fabric: one subtree LAN per group (same spec as the flat
+    // LAN) plus a core backbone between groups. The flat network_ keeps
+    // serving runs without the tier; link_for() picks per transfer.
+    core_link_ = std::make_unique<simnet::Link>(
+        sim, "core", config.broker.core_bandwidth,
+        config.net.per_message_overhead);
+    subtree_links_.reserve(config.broker.brokers);
+    for (std::size_t g = 0; g < config.broker.brokers; ++g) {
+      subtree_links_.push_back(std::make_unique<simnet::Link>(
+          sim, "subtree" + std::to_string(g), config.net.bandwidth,
+          config.net.per_message_overhead));
+    }
+    if (injector_ != nullptr) {
+      core_link_->set_fault_injector(injector_.get());
+      for (const auto& link : subtree_links_) {
+        link->set_fault_injector(injector_.get());
+      }
+    }
+  }
   if (config.shard.enabled()) {
-    shard_map_ = std::make_unique<shard::ShardMap>(
-        config.shard.num_shards, config.nodes,
-        config.shard.effective_replication(config.nodes));
+    if (topology_.has_value()) {
+      // Group-constrained placement: each shard lives (and fails over)
+      // inside its broker group's subtree, so a broker resolves every
+      // shard of its group without crossing the core.
+      std::vector<std::pair<shard::NodeId, shard::NodeId>> pools;
+      pools.reserve(config.shard.num_shards);
+      for (std::size_t s = 0; s < config.shard.num_shards; ++s) {
+        const auto [first, last] =
+            topology_->group_range(topology_->group_of_shard(s));
+        pools.emplace_back(static_cast<shard::NodeId>(first),
+                           static_cast<shard::NodeId>(last));
+      }
+      shard_map_ = std::make_unique<shard::ShardMap>(
+          config.shard.num_shards, config.nodes,
+          config.shard.effective_replication(config.nodes), pools);
+    } else {
+      shard_map_ = std::make_unique<shard::ShardMap>(
+          config.shard.num_shards, config.nodes,
+          config.shard.effective_replication(config.nodes));
+    }
     // R = nodes: every node holds every shard, placement is unconstrained,
     // and the legacy scheduling path runs unchanged (bit-compatible with
-    // full replication) — only the storage accounting is published.
-    shard_partial_ = config.shard.partial(config.nodes);
+    // full replication) — only the storage accounting is published. The
+    // broker tier and collection selection both force the replica-aware
+    // scatter: group placement and pruned unit sets need assign_pr_units
+    // even under full replication.
+    shard_partial_ =
+        config.shard.partial(config.nodes) || tier_on || selection_on;
   }
   register_instruments();
   cpu_probes_.reserve(config.nodes);
@@ -364,6 +470,20 @@ void System::register_instruments() {
   ins_.straggler_avoidances = &registry_.counter("straggler_avoidances");
   ins_.gray_onsets = &registry_.counter("gray_onsets");
   ins_.gray_recoveries = &registry_.counter("gray_recoveries");
+  // Selective search + broker tier. Registered unconditionally, like the
+  // layers above.
+  ins_.selection_questions_pruned =
+      &registry_.counter("selection_questions_pruned");
+  ins_.selection_units_pruned = &registry_.counter("selection_units_pruned");
+  ins_.selection_ap_units_pruned =
+      &registry_.counter("selection_ap_units_pruned");
+  ins_.selection_fallback_all = &registry_.counter("selection_fallback_all");
+  ins_.selection_shards_selected =
+      &registry_.histogram("selection_shards_selected");
+  ins_.broker_legs = &registry_.counter("broker_legs");
+  ins_.broker_reroutes = &registry_.counter("broker_reroutes");
+  ins_.broker_unreachable = &registry_.counter("broker_unreachable");
+  ins_.broker_load_relays = &registry_.counter("broker_load_relays");
 }
 
 System::~System() = default;
@@ -784,6 +904,19 @@ bool System::deadline_exceeded(const QuestionState& q) const {
   return q.deadline > 0.0 && sim_.now() > q.deadline;
 }
 
+simnet::Link& System::link_for(NodeId src, NodeId dst) const {
+  // Flat star: the single shared LAN. Broker tier: endpoints inside one
+  // group share that group's subtree segment; anything crossing groups
+  // rides the core backbone. Never called with kBroadcastNode — the
+  // monitor broadcast picks its segment explicitly (see monitor_process).
+  if (!topology_.has_value()) return *network_;
+  const std::size_t src_group = topology_->group_of_node(src);
+  if (src_group == topology_->group_of_node(dst)) {
+    return *subtree_links_[src_group];
+  }
+  return *core_link_;
+}
+
 simnet::Task<bool> System::ship(double bytes, NodeId src, NodeId dst,
                                 Seconds deadline, ShipCost* cost) {
   // Gray link penalty: a degraded NIC adds propagation delay the failure
@@ -798,9 +931,10 @@ simnet::Task<bool> System::ship(double bytes, NodeId src, NodeId dst,
   }
   if (injector_ == nullptr) {
     // Reliable link: exactly the transfer() event sequence, so fault-free
-    // runs stay bit-identical to builds without this layer.
+    // runs stay bit-identical to builds without this layer (link_for is
+    // the flat LAN whenever the broker tier is off).
     const Seconds t0 = sim_.now();
-    co_await network_->transfer(bytes);
+    co_await link_for(src, dst).transfer(bytes);
     if (cost != nullptr) cost->transfer += sim_.now() - t0;
     co_return true;
   }
@@ -814,7 +948,8 @@ simnet::Task<bool> System::ship(double bytes, NodeId src, NodeId dst,
   Seconds backoff = rel.backoff_base;
   for (std::size_t attempt = 0;; ++attempt) {
     const Seconds t0 = sim_.now();
-    const simnet::LinkVerdict verdict = co_await network_->send(bytes, src, dst);
+    const simnet::LinkVerdict verdict =
+        co_await link_for(src, dst).send(bytes, src, dst);
     if (cost != nullptr) cost->transfer += sim_.now() - t0;
     if (verdict.delivered) co_return true;
     if (attempt >= rel.max_retries) break;
@@ -905,6 +1040,62 @@ System::ShardAssignment System::assign_pr_units(
     }
     out.legs[leg_of[*best]].second.push_back(u);
   }
+  return out;
+}
+
+System::SelectionResult System::select_pr_units(const QuestionPlan& plan) {
+  SelectionResult out;
+  out.units.resize(plan.pr_units.size());
+  for (std::size_t i = 0; i < out.units.size(); ++i) out.units[i] = i;
+  const std::size_t num_shards = config_.shard.num_shards;
+  if (shard_map_ == nullptr || plan.pr_units.empty() ||
+      !config_.broker.selection_enabled(num_shards)) {
+    return out;
+  }
+  const std::size_t top_k = config_.broker.effective_top_k(num_shards);
+  std::vector<std::size_t> selected;
+  if (config_.broker.stats != nullptr) {
+    // CORI shard scoring over the persisted per-shard term statistics.
+    selected = broker::select_shards(*config_.broker.stats,
+                                     plan.processed.keywords, top_k);
+  } else {
+    // No term statistics supplied: rank shards by the retrieval work they
+    // would serve for this question — a size-based proxy for CORI.
+    std::vector<double> work(num_shards, 0.0);
+    for (std::size_t u = 0; u < plan.pr_units.size(); ++u) {
+      work[shard_map_->shard_of_unit(u)] +=
+          static_cast<double>(plan.pr_units[u].paragraphs);
+    }
+    selected = broker::select_shards_by_work(work, top_k);
+  }
+  std::vector<char> keep(num_shards, 0);
+  for (const std::size_t s : selected) keep[s] = 1;
+  std::vector<std::size_t> units;
+  double kept_paragraphs = 0.0;
+  double total_paragraphs = 0.0;
+  for (std::size_t u = 0; u < plan.pr_units.size(); ++u) {
+    const double p = static_cast<double>(plan.pr_units[u].paragraphs);
+    total_paragraphs += p;
+    if (keep[shard_map_->shard_of_unit(u)] != 0) {
+      units.push_back(u);
+      kept_paragraphs += p;
+    }
+  }
+  if (units.empty()) {
+    // Every selected shard serves no unit of this plan (fewer units than
+    // shards): searching nothing would answer nothing — run exhaustively.
+    ins_.selection_fallback_all->inc();
+    return out;
+  }
+  if (units.size() == out.units.size()) return out;  // nothing pruned
+  ins_.selection_questions_pruned->inc();
+  ins_.selection_units_pruned->inc(
+      static_cast<double>(out.units.size() - units.size()));
+  ins_.selection_shards_selected->observe(static_cast<double>(selected.size()));
+  out.pruned = true;
+  out.kept_fraction =
+      total_paragraphs > 0.0 ? kept_paragraphs / total_paragraphs : 1.0;
+  out.units = std::move(units);
   return out;
 }
 
@@ -1145,9 +1336,25 @@ simnet::SimProcess System::monitor_process(Node& node) {
       // packet refreshes the table and the failure detector, so a lossy or
       // partitioned link starves both — exactly how the rest of the pool
       // would experience it.
-      const simnet::LinkVerdict verdict = co_await network_->send(
-          static_cast<double>(config_.net.load_packet_bytes), node.id(),
-          simnet::kBroadcastNode);
+      // Under the broker tier the broadcast rides the node's subtree
+      // segment (link_for with src == dst); flat runs use the shared LAN,
+      // event-for-event as before.
+      const simnet::LinkVerdict verdict =
+          co_await link_for(node.id(), node.id())
+              .send(static_cast<double>(config_.net.load_packet_bytes),
+                    node.id(), simnet::kBroadcastNode);
+      if (verdict.delivered && topology_.has_value() &&
+          topology_->broker_node(topology_->group_of_node(node.id())) ==
+              node.id()) {
+        // Two-level dissemination: the broker re-publishes its subtree's
+        // digest on the core so other groups' load tables stay global.
+        // One relay frame per period per broker; a lost relay only delays
+        // freshness until the next period, so it is not retried.
+        const simnet::LinkVerdict relay = co_await core_link_->send(
+            static_cast<double>(config_.net.load_packet_bytes), node.id(),
+            simnet::kBroadcastNode);
+        if (relay.delivered) ins_.broker_load_relays->inc();
+      }
       if (verdict.delivered) {
         const auto before = detector_.heartbeat(node.id(), sim_.now());
         if (before == sched::PeerState::kDead && detector_placement_) {
@@ -1305,17 +1512,24 @@ simnet::SimProcess System::revalidate_process(NodeId node, std::size_t epoch) {
 simnet::SimProcess System::pr_leg(QuestionState& q,
                                   std::shared_ptr<PrLegSlot> slot,
                                   std::size_t index,
-                                  simnet::Mailbox<std::size_t>& reports) {
+                                  simnet::Mailbox<std::size_t>& reports,
+                                  NodeId relay) {
   // Crash protocol: after EVERY co_await the leg re-checks its node's
   // crash epoch. Once it moved, this coroutine is a zombie — the
   // coordinator may have recovered the work, finished the question, and
   // destroyed `q` and `reports` — so it exits touching only the slot
   // (shared ownership) and System members. A dead leg never reports;
   // the coordinator's reply timeout is the detection path.
+  //
+  // `relay` is the coordinator endpoint: the question host in the flat
+  // star, the group's broker under the broker tier. Keywords arrive from
+  // it, result bytes ship back to it, and it pays the receive disk work —
+  // the internal name stays `host` because the leg cannot tell the two
+  // apart.
   const NodeId node = slot->node;
   Node& executor = *nodes_[node];
   const QuestionPlan& plan = *q.plan;
-  const NodeId host = q.host;
+  const NodeId host = relay;
   const Seconds deadline = q.deadline;  // stable for this attempt
   bool sent_keywords = node == host;  // local leg ships nothing
   double leg_ps = 0.0;
@@ -1468,6 +1682,232 @@ simnet::SimProcess System::pr_leg(QuestionState& q,
   if (tracer_ != nullptr && slot->leg_span != obs::kNoSpan) {
     tracer_->end_span(slot->leg_span, sim_.now(),
                       {{"units", static_cast<std::int64_t>(units_done)},
+                       {"net_seconds", ship_cost.transfer},
+                       {"backoff_seconds", ship_cost.backoff}});
+    slot->leg_span = obs::kNoSpan;
+  }
+  slot->reported = true;
+  reports.send(index);
+}
+
+simnet::SimProcess System::broker_leg(QuestionState& q,
+                                      std::shared_ptr<BrokerSlot> slot,
+                                      std::size_t index,
+                                      simnet::Mailbox<std::size_t>& reports) {
+  // Same zombie contract as pr_leg: after EVERY co_await, re-check the
+  // broker's crash epoch and exit touching only the slot and System
+  // members. The inner mailbox lives in the slot (workers hold keepalive
+  // references), so worker reports never dangle even after this frame and
+  // the slot's coordinator copy are gone.
+  const NodeId broker = slot->node;
+  Node& executor = *nodes_[broker];
+  const QuestionPlan& plan = *q.plan;
+  const NodeId host = q.host;
+  const Seconds deadline = q.deadline;
+  ShipCost ship_cost;
+  const auto dead = [&] {
+    return crash_epoch_[broker] != slot->epoch || slot->abandoned;
+  };
+  std::uint64_t leg_track = 0;
+  if (tracer_ != nullptr) {
+    leg_track = tracer_->new_track();
+    slot->leg_span = tracer_->begin_span(
+        sim_.now(), "PR broker", broker, leg_track, slot->stage_span,
+        {{"node", static_cast<std::int64_t>(broker)},
+         {"group", static_cast<std::int64_t>(slot->group)},
+         {"units", static_cast<std::int64_t>(slot->units.size())}});
+  }
+  // Same unreachable protocol as pr_leg: report with the group slice still
+  // parked in the slot; the host re-routes it through an acting broker or
+  // degrades.
+  const auto abort_unreachable = [&] {
+    if (tracer_ != nullptr && slot->leg_span != obs::kNoSpan) {
+      tracer_->end_span(slot->leg_span, sim_.now(),
+                        {{"unreachable", std::int64_t{1}},
+                         {"net_seconds", ship_cost.transfer},
+                         {"backoff_seconds", ship_cost.backoff}});
+      slot->leg_span = obs::kNoSpan;
+    }
+    slot->unreachable = true;
+    slot->reported = true;
+    reports.send(index);
+  };
+  // In-subtree degradation: drop units whose shard has no live in-group
+  // holder (or whose recovery the deadline no longer affords). Tallied on
+  // the slot; the host folds them into the question's degraded accounting
+  // when this leg reports.
+  const auto drop_units = [&](std::span<const std::size_t> lost) {
+    for (const std::size_t u : lost) {
+      slot->bytes_out -= static_cast<double>(plan.pr_units[u].bytes_out);
+    }
+    slot->unserved += lost.size();
+    ins_.shard_units_unserved->inc(static_cast<double>(lost.size()));
+  };
+
+  // Keywords travel host -> broker once (core backbone across groups).
+  if (broker != host) {
+    const Seconds t0 = sim_.now();
+    const bool delivered =
+        co_await ship(static_cast<double>(plan.keyword_bytes), host, broker,
+                      deadline, &ship_cost);
+    if (dead()) co_return;
+    if (!delivered) {
+      abort_unreachable();
+      co_return;
+    }
+    q.oh_keyword_send += sim_.now() - t0;
+  }
+
+  // Routing: resolve each unit's shard to an in-group ready holder (the
+  // grouped shard pools make assign_pr_units in-group by construction).
+  co_await executor.cpu().consume(config_.broker.route_cpu *
+                                  executor.work_multiplier() *
+                                  executor.gray_cpu_factor());
+  if (dead()) co_return;
+
+  simnet::Mailbox<std::size_t>& inner = *slot->inner;
+  const auto spawn = [&](NodeId node, std::deque<std::size_t> block) {
+    auto ws = std::make_shared<PrLegSlot>();
+    ws->node = node;
+    ws->epoch = crash_epoch_[node];
+    ws->units = std::make_shared<std::deque<std::size_t>>(std::move(block));
+    ws->stage_span = slot->leg_span;
+    ws->spawned = sim_.now();
+    ws->keepalive = slot->inner;
+    ins_.legs_spawned->inc();
+    slot->workers.push_back(ws);
+    pr_leg(q, ws, slot->workers.size() - 1, inner, broker);
+  };
+  {
+    auto assignment = assign_pr_units(slot->units, std::nullopt);
+    for (auto& [node, block] : assignment.legs) spawn(node, std::move(block));
+    if (!assignment.unplaced.empty()) {
+      drop_units(assignment.unplaced);
+      record_trace(broker, "no ready replica in group " +
+                               std::to_string(slot->group) + " for " +
+                               std::to_string(assignment.unplaced.size()) +
+                               " collections (degraded)");
+    }
+  }
+
+  std::size_t outstanding = slot->workers.size();
+  while (outstanding > 0) {
+    const auto msg = co_await inner.recv_for(config_.net.membership_timeout);
+    if (dead()) co_return;
+    if (msg.has_value()) {
+      --outstanding;
+      PrLegSlot& s = *slot->workers[*msg];
+      if (!s.unreachable) {
+        observe_leg(sched::LegStage::kPr, s.node, sim_.now() - s.spawned,
+                    static_cast<double>(s.done), false);
+        slot->done += s.done;
+        // Partial merge runs on the broker — the serial reduce the tier
+        // takes off the question host.
+        co_await executor.cpu().consume(config_.shard.partial_merge_cpu *
+                                        executor.work_multiplier() *
+                                        executor.gray_cpu_factor());
+        if (dead()) co_return;
+        continue;
+      }
+      // Worker alive but cut off from the broker: recover the work still
+      // parked in the slot over other in-group holders, or degrade once
+      // the deadline budget is spent.
+      ins_.legs_unreachable->inc();
+      detector_.suspect_hint(s.node, sim_.now());
+      if (detector_placement_) table_.mark_stale(s.node);
+      record_trace(broker, "N" + std::to_string(s.node + 1) +
+                               " unreachable during brokered PR");
+      std::vector<std::size_t> lost;
+      if (s.in_flight != kNoUnit) {
+        lost.push_back(s.in_flight);
+        s.in_flight = kNoUnit;
+      }
+      for (const std::size_t u : *s.units) lost.push_back(u);
+      s.units->clear();
+      if (lost.empty()) continue;
+      if (deadline_exceeded(q)) {
+        drop_units(lost);
+        record_trace(broker, "deadline spent: dropped " +
+                                 std::to_string(lost.size()) +
+                                 " collections (degraded)");
+        continue;
+      }
+      ins_.items_recovered->inc(static_cast<double>(lost.size()));
+      auto redo = assign_pr_units(lost, s.node);
+      for (auto& [node, block] : redo.legs) {
+        spawn(node, std::move(block));
+        ++outstanding;
+        ins_.recovery_legs->inc();
+      }
+      if (!redo.unplaced.empty()) drop_units(redo.unplaced);
+      continue;
+    }
+    // Reply timeout: sweep the subtree for crashed workers and fail their
+    // units over to surviving in-group replicas.
+    std::vector<std::pair<NodeId, std::deque<std::size_t>>> respawn;
+    for (const auto& wsp : slot->workers) {
+      PrLegSlot& s = *wsp;
+      if (s.reported || s.declared_dead || s.abandoned) continue;
+      if (crash_epoch_[s.node] == s.epoch) continue;  // still alive
+      s.declared_dead = true;
+      --outstanding;
+      ins_.legs_lost->inc();
+      if (tracer_ != nullptr && s.leg_span != obs::kNoSpan) {
+        tracer_->end_span(s.leg_span, sim_.now(),
+                          {{"crashed", std::int64_t{1}}});
+        s.leg_span = obs::kNoSpan;
+      }
+      table_.remove(s.node);
+      record_trace(broker, "lost contact with N" + std::to_string(s.node + 1) +
+                               " during brokered PR");
+      std::vector<std::size_t> lost;
+      if (s.in_flight != kNoUnit) {
+        lost.push_back(s.in_flight);
+        s.in_flight = kNoUnit;
+      }
+      for (const std::size_t u : *s.units) lost.push_back(u);
+      s.units->clear();
+      if (lost.empty()) continue;
+      ins_.items_recovered->inc(static_cast<double>(lost.size()));
+      ins_.recovery_latency->observe(sim_.now() - crash_time_[s.node]);
+      auto redo = assign_pr_units(lost, s.node);
+      for (auto& leg : redo.legs) respawn.push_back(std::move(leg));
+      if (!redo.unplaced.empty()) {
+        drop_units(redo.unplaced);
+        record_trace(broker, "no surviving replica in group " +
+                                 std::to_string(slot->group) + " for " +
+                                 std::to_string(redo.unplaced.size()) +
+                                 " collections (degraded)");
+      }
+    }
+    for (auto& [node, block] : respawn) {
+      spawn(node, std::move(block));
+      ++outstanding;
+      ins_.recovery_legs->inc();
+    }
+  }
+
+  // Fan-in: one merged aggregate per group back to the host (instead of
+  // one stream per worker leg), plus the host's receive disk work.
+  const double aggregate = std::max(slot->bytes_out, 0.0);
+  if (broker != host && aggregate > 0.0) {
+    const Seconds t0 = sim_.now();
+    const bool delivered =
+        co_await ship(aggregate, broker, host, deadline, &ship_cost);
+    if (dead()) co_return;
+    if (!delivered) {
+      abort_unreachable();
+      co_return;
+    }
+    co_await nodes_[host]->disk().consume(aggregate *
+                                          nodes_[host]->gray_disk_factor());
+    if (dead()) co_return;
+    q.oh_paragraph_receive += sim_.now() - t0;
+  }
+  if (tracer_ != nullptr && slot->leg_span != obs::kNoSpan) {
+    tracer_->end_span(slot->leg_span, sim_.now(),
+                      {{"units", static_cast<std::int64_t>(slot->done)},
+                       {"unserved", static_cast<std::int64_t>(slot->unserved)},
                        {"net_seconds", ship_cost.transfer},
                        {"backoff_seconds", ship_cost.backoff}});
     slot->leg_span = obs::kNoSpan;
@@ -1688,6 +2128,29 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
       cache_on ? cache::normalize_question(plan.source.text) : std::string();
   bool served_from_cache = false;  // answered by an answer-cache hit
 
+  // Selective search: which PR units (and, scaled, AP candidates) this
+  // question touches. Computed lazily at most once per question — the
+  // selection counters must not double-count across host-crash restarts,
+  // and answer-cache hits must not count at all. With selection off this
+  // is the identity and the question is byte-identical to the flat path.
+  std::optional<SelectionResult> sel_opt;
+  std::size_t ap_count = plan.ap_units.size();
+  const auto ensure_selection = [&] {
+    if (sel_opt.has_value()) return;
+    sel_opt = select_pr_units(plan);
+    if (sel_opt->pruned && !plan.ap_units.empty()) {
+      // Fewer sub-collections searched => proportionally fewer candidate
+      // paragraphs reach Answer Processing. At least one survives: the
+      // selected shards always contribute something.
+      ap_count = std::clamp(
+          static_cast<std::size_t>(std::ceil(
+              static_cast<double>(plan.ap_units.size()) * sel_opt->kept_fraction)),
+          std::size_t{1}, plan.ap_units.size());
+      ins_.selection_ap_units_pruned->inc(
+          static_cast<double>(plan.ap_units.size() - ap_count));
+    }
+  };
+
   // One span per question lifetime; stage spans nest under it on the same
   // track, PR/AP legs fork onto their own tracks.
   std::uint64_t q_track = 0;
@@ -1879,6 +2342,11 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
       // replica holders, so the scatter is computed per unit by
       // assign_pr_units instead of the unconstrained meta-schedule below.
       const bool sharded = shard_partial_;
+      ensure_selection();
+      const SelectionResult& sel = *sel_opt;
+      // Broker tier: the host routes per-group slices through mediator
+      // nodes instead of fanning out to every holder itself.
+      const bool brokered = topology_.has_value();
       std::vector<NodeId> pr_nodes{host};
       std::vector<double> pr_weights{1.0};
       // table_.size() can hit zero under mass churn (every member crashed,
@@ -1933,9 +2401,190 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
         pr_span = tracer_->begin_span(
             pr_start, "PR", host, q_track, q_span,
             {{"legs", static_cast<std::int64_t>(pr_nodes.size())},
-             {"units", static_cast<std::int64_t>(plan.pr_units.size())}});
+             {"units", static_cast<std::int64_t>(sel.units.size())}});
       }
-      {
+      if (brokered) {
+        // ---- Brokered PR: slice the selected units by shard group, hand
+        // each slice to that group's broker, and supervise the brokers the
+        // way the flat path supervises worker legs. A broker that crashes
+        // or goes unreachable has its whole slice re-routed through an
+        // acting broker in the same group (finished units are redone — the
+        // aggregate never shipped), or dropped as degraded when the group
+        // has no usable delegate left. No hedging at this level: the
+        // brokers already re-run straggling workers' units in-subtree.
+        simnet::Mailbox<std::size_t> reports(sim_);
+        std::vector<std::shared_ptr<BrokerSlot>> slots;
+        const auto spawn_broker = [&](NodeId node, std::size_t group,
+                                      std::vector<std::size_t> units) {
+          auto slot = std::make_shared<BrokerSlot>();
+          slot->node = node;
+          slot->epoch = crash_epoch_[node];
+          slot->group = group;
+          slot->units = std::move(units);
+          for (const std::size_t u : slot->units) {
+            slot->bytes_out += static_cast<double>(plan.pr_units[u].bytes_out);
+          }
+          slot->stage_span = pr_span;
+          slot->spawned = sim_.now();
+          slot->inner = std::make_shared<simnet::Mailbox<std::size_t>>(sim_);
+          ins_.broker_legs->inc();
+          ins_.legs_spawned->inc();
+          slots.push_back(slot);
+          broker_leg(q, slot, slots.size() - 1, reports);
+        };
+        // A group's acting broker: the designated one (first node of the
+        // group) when it is schedulable, otherwise the least-loaded live
+        // member of the group range.
+        const auto acting_broker =
+            [&](std::size_t group,
+                std::optional<NodeId> exclude) -> std::optional<NodeId> {
+          const NodeId designated = topology_->broker_node(group);
+          if (designated != exclude && schedulable(designated)) {
+            return designated;
+          }
+          const auto [first, last] = topology_->group_range(group);
+          const auto pick =
+              sched::pick_delegate(table_, first, last, sched::kPrWeights);
+          if (!pick.has_value() || pick == exclude ||
+              node_crashed_[*pick] != 0) {
+            return std::nullopt;
+          }
+          return pick;
+        };
+        const auto degrade_units = [&](std::size_t count) {
+          q.degraded = true;
+          ins_.degraded_units_dropped->inc(static_cast<double>(count));
+          ins_.shard_units_unserved->inc(static_cast<double>(count));
+        };
+        std::vector<std::vector<std::size_t>> by_group(
+            config_.broker.brokers);
+        for (const std::size_t u : sel.units) {
+          by_group[topology_->group_of_shard(shard_map_->shard_of_unit(u))]
+              .push_back(u);
+        }
+        bool off_host = false;
+        std::size_t groups_used = 0;
+        for (std::size_t g = 0; g < by_group.size(); ++g) {
+          if (by_group[g].empty()) continue;
+          ++groups_used;
+          const auto broker = acting_broker(g, std::nullopt);
+          if (!broker.has_value()) {
+            degrade_units(by_group[g].size());
+            record_trace(host, "group " + std::to_string(g) +
+                                   " has no usable broker: dropped " +
+                                   std::to_string(by_group[g].size()) +
+                                   " collections (degraded)");
+            continue;
+          }
+          if (*broker != topology_->broker_node(g)) {
+            ins_.broker_reroutes->inc();
+          }
+          if (*broker != host) off_host = true;
+          spawn_broker(*broker, g, std::move(by_group[g]));
+        }
+        if (off_host || groups_used > 1) ins_.migrations_pr->inc();
+
+        std::size_t outstanding = slots.size();
+        // Re-route a failed broker's whole slice (or degrade it once no
+        // delegate or deadline budget remains).
+        const auto reroute = [&](BrokerSlot& s) {
+          if (s.units.empty()) return;
+          if (deadline_exceeded(q)) {
+            degrade_units(s.units.size());
+            record_trace(host, "deadline spent: dropped " +
+                                   std::to_string(s.units.size()) +
+                                   " collections (degraded)");
+            return;
+          }
+          const auto next = acting_broker(s.group, s.node);
+          if (!next.has_value()) {
+            degrade_units(s.units.size());
+            record_trace(host, "group " + std::to_string(s.group) +
+                                   " has no surviving broker: dropped " +
+                                   std::to_string(s.units.size()) +
+                                   " collections (degraded)");
+            return;
+          }
+          ins_.broker_reroutes->inc();
+          ins_.recovery_legs->inc();
+          record_trace(host, "re-routing group " + std::to_string(s.group) +
+                                 " through N" + std::to_string(*next + 1));
+          spawn_broker(*next, s.group, s.units);
+          ++outstanding;
+        };
+        while (outstanding > 0) {
+          const auto msg =
+              co_await reports.recv_for(config_.net.membership_timeout);
+          if (msg.has_value()) {
+            --outstanding;
+            BrokerSlot& s = *slots[*msg];
+            if (!s.unreachable) {
+              observe_leg(sched::LegStage::kPr, s.node, sim_.now() - s.spawned,
+                          static_cast<double>(s.done), false);
+              if (s.unserved > 0) {
+                // The broker already counted the unserved units against
+                // shard_units_unserved at the site where they were lost.
+                q.degraded = true;
+                ins_.degraded_units_dropped->inc(
+                    static_cast<double>(s.unserved));
+              }
+              if (!host_dead()) {
+                // One merge per broker aggregate — not one per worker leg.
+                // This is the serial-cost redistribution the tier buys.
+                co_await nodes_[host]->cpu().consume(
+                    config_.shard.partial_merge_cpu *
+                    nodes_[host]->work_multiplier() *
+                    nodes_[host]->gray_cpu_factor());
+              }
+              continue;
+            }
+            ins_.broker_unreachable->inc();
+            ins_.legs_unreachable->inc();
+            detector_.suspect_hint(s.node, sim_.now());
+            if (detector_placement_) table_.mark_stale(s.node);
+            record_trace(host, "broker N" + std::to_string(s.node + 1) +
+                                   " unreachable during PR");
+            if (host_dead()) continue;  // the whole question restarts
+            reroute(s);
+            continue;
+          }
+          // Reply timeout: sweep for crashed brokers. Their worker legs
+          // are orphaned — abandon them (zombie contract) and close their
+          // spans here, since neither the dead broker nor anyone else will.
+          const bool host_down = host_dead();
+          const std::size_t count = slots.size();
+          for (std::size_t i = 0; i < count; ++i) {
+            BrokerSlot& s = *slots[i];
+            if (s.reported || s.declared_dead || s.abandoned) continue;
+            if (crash_epoch_[s.node] == s.epoch) continue;  // still alive
+            s.declared_dead = true;
+            --outstanding;
+            ins_.legs_lost->inc();
+            if (tracer_ != nullptr && s.leg_span != obs::kNoSpan) {
+              tracer_->end_span(s.leg_span, sim_.now(),
+                                {{"crashed", std::int64_t{1}}});
+              s.leg_span = obs::kNoSpan;
+            }
+            for (const auto& wsp : s.workers) {
+              PrLegSlot& w = *wsp;
+              if (w.reported || w.declared_dead || w.abandoned) continue;
+              w.abandoned = true;
+              if (tracer_ != nullptr && w.leg_span != obs::kNoSpan) {
+                tracer_->end_span(w.leg_span, sim_.now(),
+                                  {{"orphaned", std::int64_t{1}}});
+                w.leg_span = obs::kNoSpan;
+              }
+            }
+            table_.remove(s.node);
+            record_trace(host, "lost contact with broker N" +
+                                   std::to_string(s.node + 1) + " during PR");
+            if (host_down) continue;  // the whole question restarts anyway
+            ins_.items_recovered->inc(static_cast<double>(s.units.size()));
+            ins_.recovery_latency->observe(sim_.now() - crash_time_[s.node]);
+            reroute(s);
+          }
+        }
+      } else {
         simnet::Mailbox<std::size_t> reports(sim_);
         std::vector<std::shared_ptr<PrLegSlot>> slots;
         const auto spawn = [&](NodeId node,
@@ -1952,7 +2601,7 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
           slot->hedge_backup = backup;
           (backup ? ins_.hedges_issued : ins_.legs_spawned)->inc();
           slots.push_back(slot);
-          pr_leg(q, slot, slots.size() - 1, reports);
+          pr_leg(q, slot, slots.size() - 1, reports, host);
         };
         const bool shared_queue =
             !sharded && (config_.partition.pr_strategy == Strategy::kRecv ||
@@ -1961,10 +2610,9 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
         if (sharded) {
           // Scatter-gather over replica holders. Legs get private queues:
           // holders of different shards cannot compete for each other's
-          // units, so the RECV shared deque does not apply here.
-          std::vector<std::size_t> all_units(plan.pr_units.size());
-          for (std::size_t i = 0; i < all_units.size(); ++i) all_units[i] = i;
-          auto assignment = assign_pr_units(all_units, std::nullopt);
+          // units, so the RECV shared deque does not apply here. With
+          // selection off, sel.units is every unit — the pre-broker path.
+          auto assignment = assign_pr_units(sel.units, std::nullopt);
           bool off_host = false;
           for (auto& [node, block] : assignment.legs) {
             if (node != host) off_host = true;
@@ -2451,6 +3099,10 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
 
     // ---- Scheduling point 3: the AP dispatcher (DQA only).
     if (!failed && !plan.ap_units.empty()) {
+      // Covers the paragraph-cache-hit path, where the PR stage (and its
+      // ensure_selection call) was skipped: AP still processes only the
+      // candidates the selected sub-collections would have produced.
+      ensure_selection();
       std::vector<NodeId> ap_nodes{host};
       std::vector<double> ap_weights{1.0};
       // Same empty-pool guard as the PR dispatcher above.
@@ -2497,7 +3149,7 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
         ap_span = tracer_->begin_span(
             ap_start, "AP", host, q_track, q_span,
             {{"legs", static_cast<std::int64_t>(ap_nodes.size())},
-             {"paragraphs", static_cast<std::int64_t>(plan.ap_units.size())}});
+             {"paragraphs", static_cast<std::int64_t>(ap_count)}});
       }
       {
         simnet::Mailbox<std::size_t> reports(sim_);
@@ -2526,15 +3178,15 @@ simnet::SimProcess System::question_process(const QuestionPlan& plan,
         if (shared_queue) {
           shared_chunks = std::make_shared<std::deque<parallel::Chunk>>();
           for (const auto& c :
-               parallel::make_chunks(plan.ap_units.size(), config_.partition.ap_chunk)) {
+               parallel::make_chunks(ap_count, config_.partition.ap_chunk)) {
             shared_chunks->push_back(c);
           }
           for (NodeId node : ap_nodes) spawn(node, {}, shared_chunks);
         } else {
           const auto partitions =
               config_.partition.ap_strategy == Strategy::kIsend
-                  ? parallel::partition_isend(plan.ap_units.size(), ap_weights)
-                  : parallel::partition_send(plan.ap_units.size(), ap_weights);
+                  ? parallel::partition_isend(ap_count, ap_weights)
+                  : parallel::partition_send(ap_count, ap_weights);
           for (const auto& p : partitions) {
             spawn(ap_nodes[p.worker], p.items, nullptr);
           }

@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "broker/config.hpp"
+#include "broker/topology.hpp"
 #include "cache/config.hpp"
 #include "cache/lru_cache.hpp"
 #include "cluster/metrics.hpp"
@@ -290,6 +292,11 @@ struct SystemConfig {
   /// Tail-tolerance toolkit (see TailConfig). Disabled by default:
   /// unhedged runs are bit-identical to the pre-tail-tolerance system.
   TailConfig tail;
+  /// Selective search + broker/mediator tier (see broker::BrokerConfig).
+  /// Both axes require sharding; disabled by default (brokers = 0,
+  /// selectivity = 1.0): flat exhaustive runs are bit-identical to the
+  /// pre-broker system (pinned by test).
+  broker::BrokerConfig broker;
 };
 
 /// The distributed question answering system (paper Fig. 2/3) running on
@@ -405,6 +412,7 @@ class System {
   struct QuestionState;  // per-question bookkeeping (defined in .cpp)
   struct PrLegSlot;      // coordinator/leg shared state (defined in .cpp)
   struct ApLegSlot;
+  struct BrokerSlot;     // broker-tier leg shared state (defined in .cpp)
   struct HedgeGroup;     // one hedge race: primary + backups (defined in .cpp)
   struct NodeCaches;     // per-node answer/paragraph caches (defined in .cpp)
 
@@ -451,12 +459,24 @@ class System {
   // stage mailbox when done. A leg whose node crashes reports nothing:
   // the coordinator's reply timeout (recv_for membership_timeout) is what
   // detects the loss, mirroring a real scatter-gather over TCP.
+  // `relay` is the node the leg talks to — the question host in the flat
+  // star, the group's broker under the broker tier (keywords arrive from
+  // it, result bytes ship back to it, and it pays the receive disk).
   simnet::SimProcess pr_leg(QuestionState& q, std::shared_ptr<PrLegSlot> slot,
                             std::size_t index,
-                            simnet::Mailbox<std::size_t>& reports);
+                            simnet::Mailbox<std::size_t>& reports,
+                            sched::NodeId relay);
   simnet::SimProcess ap_leg(QuestionState& q, std::shared_ptr<ApLegSlot> slot,
                             std::size_t index,
                             simnet::Mailbox<std::size_t>& reports);
+  /// Broker-tier PR leg: ships the keywords to the group's broker, which
+  /// scores/routes, fans the group's units out to in-group shard holders
+  /// over the subtree link, supervises them (reply timeouts, in-group
+  /// failover), merges their partials, and ships one aggregate back.
+  simnet::SimProcess broker_leg(QuestionState& q,
+                                std::shared_ptr<BrokerSlot> slot,
+                                std::size_t index,
+                                simnet::Mailbox<std::size_t>& reports);
 
   /// Where a ship() call's wall-clock went: time with frames on the wire
   /// (delivered or dropped) versus time sleeping between retry attempts.
@@ -508,6 +528,24 @@ class System {
   [[nodiscard]] ShardAssignment assign_pr_units(
       std::span<const std::size_t> units,
       std::optional<sched::NodeId> exclude);
+
+  /// The link a (src, dst) transfer rides. Flat star: the single shared
+  /// LAN. Broker tier: endpoints in the same group share that group's
+  /// subtree LAN; anything crossing groups rides the core backbone.
+  [[nodiscard]] simnet::Link& link_for(sched::NodeId src,
+                                       sched::NodeId dst) const;
+
+  /// Collection selection (cfg.broker.selectivity / top_k): which PR
+  /// iterative units this question will actually touch, plus the fraction
+  /// of retrieval work kept (paragraph-weighted) — the AP stage is trimmed
+  /// proportionally, since fewer retrieved paragraphs survive to scoring.
+  /// With selection off (or not applicable) this is all units, fraction 1.
+  struct SelectionResult {
+    std::vector<std::size_t> units;  ///< ascending unit indices to run
+    double kept_fraction = 1.0;      ///< selected / total paragraph work
+    bool pruned = false;
+  };
+  [[nodiscard]] SelectionResult select_pr_units(const QuestionPlan& plan);
 
   void apply_crash(sched::NodeId node);
   void apply_restart(sched::NodeId node);
@@ -606,6 +644,15 @@ class System {
     obs::Counter* straggler_avoidances = nullptr;
     obs::Counter* gray_onsets = nullptr;         // gray-fault schedule
     obs::Counter* gray_recoveries = nullptr;
+    obs::Counter* selection_questions_pruned = nullptr;  // selective search
+    obs::Counter* selection_units_pruned = nullptr;
+    obs::Counter* selection_ap_units_pruned = nullptr;
+    obs::Counter* selection_fallback_all = nullptr;
+    obs::HistogramMetric* selection_shards_selected = nullptr;
+    obs::Counter* broker_legs = nullptr;         // broker/mediator tier
+    obs::Counter* broker_reroutes = nullptr;
+    obs::Counter* broker_unreachable = nullptr;
+    obs::Counter* broker_load_relays = nullptr;
   };
   void register_instruments();
   /// Folds per-node CacheStats (evictions, expirations, invalidations,
@@ -628,6 +675,13 @@ class System {
   std::vector<std::size_t> crash_epoch_;  // bumped per crash (zombie detection)
   std::vector<Seconds> crash_time_;       // last crash time per node
   std::unique_ptr<simnet::Link> network_;
+  /// Broker-tier wiring (both empty in the flat star): the hierarchy's
+  /// node grouping, the host<->broker core backbone, and one subtree LAN
+  /// per group. The flat `network_` stays allocated but unused when the
+  /// tier is on.
+  std::optional<broker::Topology> topology_;
+  std::unique_ptr<simnet::Link> core_link_;
+  std::vector<std::unique_ptr<simnet::Link>> subtree_links_;
   std::unique_ptr<simnet::LinkFaultInjector> injector_;  // null: faults off
   std::unique_ptr<shard::ShardMap> shard_map_;  // null: sharding off
   bool shard_partial_ = false;  // R < nodes: replica-aware scheduling on

@@ -49,7 +49,7 @@ void Mutator::apply_random_op(Scenario& s, std::size_t plan_count) {
   const double rough_horizon =
       static_cast<double>(s.traffic.count) / s.traffic.rate_qps;
 
-  switch (rng_.below(19)) {
+  switch (rng_.below(20)) {
     case 0: {  // scale the arrival rate (the saturation axis)
       note("rate");
       static constexpr double kScales[] = {0.25, 0.5, 0.8, 1.25, 2.0, 4.0};
@@ -252,6 +252,32 @@ void Mutator::apply_random_op(Scenario& s, std::size_t plan_count) {
       s.traffic.seed = rng_();
       break;
     }
+    case 18: {  // broker tier + selective search preset
+      note("broker");
+      if (rng_.bernoulli(0.3)) {
+        s.brokers = 0;
+        s.selectivity = 1.0;
+        s.top_k = 0;
+      } else {
+        // Broker knobs need a sharded corpus; force one on rather than
+        // wasting the mutation (repair would zero the knobs again).
+        if (s.num_shards == 0) {
+          s.num_shards = 8;
+          s.replication = 2;
+        }
+        static constexpr std::size_t kBrokers[] = {0, 2, 3, 4};
+        s.brokers = kBrokers[rng_.below(std::size(kBrokers))];
+        if (rng_.bernoulli(0.5)) {
+          static constexpr double kSelectivity[] = {0.25, 0.5, 0.75, 1.0};
+          s.selectivity = kSelectivity[rng_.below(std::size(kSelectivity))];
+          s.top_k = 0;
+        } else {
+          s.selectivity = 1.0;
+          s.top_k = 1 + rng_.below(s.num_shards);
+        }
+      }
+      break;
+    }
     default: {  // resize the cluster
       note("nodes");
       s.nodes = config_.min_nodes +
@@ -284,6 +310,17 @@ void Mutator::repair(Scenario& s, std::size_t plan_count) {
     s.replication = std::clamp<std::size_t>(s.replication, 1, s.nodes);
   } else {
     s.replication = 0;
+  }
+  // Broker/selection knobs ride on sharding: an unsharded mutant (e.g. a
+  // later shard-preset op turned sharding off) loses them, and the tier
+  // can never outnumber the nodes.
+  if (s.num_shards == 0) {
+    s.brokers = 0;
+    s.selectivity = 1.0;
+    s.top_k = 0;
+  } else {
+    s.brokers = std::min(s.brokers, s.nodes);
+    s.selectivity = clamp(s.selectivity, 0.05, 1.0);
   }
   s.drop_probability = clamp(s.drop_probability, 0.0, 0.5);
   s.duplicate_probability = clamp(s.duplicate_probability, 0.0, 0.5);

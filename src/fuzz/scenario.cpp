@@ -218,6 +218,9 @@ std::string to_json(const Scenario& s) {
   w.field("ap_chunk", s.ap_chunk);
   w.field("num_shards", s.num_shards);
   w.field("replication", s.replication);
+  w.field("brokers", s.brokers);
+  w.field("selectivity", s.selectivity);
+  w.field("top_k", s.top_k);
 
   w.begin_array("crashes");
   for (const cluster::FaultEvent& crash : s.crashes) {
@@ -338,6 +341,17 @@ Scenario scenario_from_json(std::string_view text) {
   s.ap_chunk = count_field(root, "ap_chunk");
   s.num_shards = count_field(root, "num_shards");
   s.replication = count_field(root, "replication");
+  // Broker knobs postdate the original corpus: absent fields keep their
+  // defaults (off) so older pinned scenarios still parse.
+  if (!root.at("brokers").is_null()) {
+    s.brokers = count_field(root, "brokers");
+  }
+  if (!root.at("selectivity").is_null()) {
+    s.selectivity = num(root, "selectivity");
+  }
+  if (!root.at("top_k").is_null()) {
+    s.top_k = count_field(root, "top_k");
+  }
 
   for (const obs::JsonValue& crash : member(root, "crashes").items()) {
     cluster::FaultEvent event;
@@ -436,6 +450,14 @@ std::optional<std::string> Scenario::problem(std::size_t plan_count) const {
   if (num_shards > 0 &&
       (replication < 1 || replication > nodes)) {
     return fail("replication must be in [1, nodes] when sharded");
+  }
+  if (!finite_in(selectivity, 0.0, 1.0) || selectivity <= 0.0) {
+    return fail("selectivity must be in (0, 1]");
+  }
+  if (brokers > nodes) return fail("brokers must be <= nodes");
+  if (num_shards == 0 &&
+      (brokers > 0 || selectivity < 1.0 || top_k > 0)) {
+    return fail("broker/selection knobs require a sharded corpus");
   }
 
   // Traffic. Bounds chosen so every valid scenario runs in bounded time:
@@ -574,6 +596,9 @@ cluster::SystemConfig Scenario::system_config() const {
   cfg.cache.paragraphs.ttl = cache_ttl;
   cfg.shard.num_shards = num_shards;
   cfg.shard.replication = replication;
+  cfg.broker.brokers = brokers;
+  cfg.broker.selectivity = selectivity;
+  cfg.broker.top_k = top_k;
   return cfg;
 }
 

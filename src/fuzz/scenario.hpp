@@ -62,6 +62,14 @@ struct Scenario {
   std::size_t num_shards = 0;
   std::size_t replication = 0;
 
+  /// Selective search + broker/mediator tier (both require sharding when
+  /// non-default). 0 brokers = flat star; selectivity 1 with top_k 0 =
+  /// exhaustive search. Selection in the fuzzer always uses the per-
+  /// question work proxy (scenarios carry no term statistics).
+  std::size_t brokers = 0;
+  double selectivity = 1.0;
+  std::size_t top_k = 0;
+
   /// Fault schedules: scripted node crashes, link-level faults, scripted
   /// partitions, gray-degradation windows. All deterministic given the
   /// scenario (no MTBF process — the genome must *be* the schedule).

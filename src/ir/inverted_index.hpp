@@ -56,6 +56,17 @@ class InvertedIndex {
   /// Approximate in-memory footprint; also the serialized size driver.
   [[nodiscard]] std::size_t byte_size() const;
 
+  /// Visits every indexed term with its postings list. Iteration order is
+  /// the hash map's (unspecified); callers that need a canonical order
+  /// (e.g. stats serialization) must collect and sort. Used by the broker
+  /// tier's collection-selection statistics extraction.
+  template <typename Fn>
+  void for_each_term(Fn&& fn) const {
+    for (const auto& [term, slot] : terms_) {
+      fn(std::string_view(term), std::span<const Posting>(postings_[slot]));
+    }
+  }
+
   /// Binary serialization (little-endian, versioned, magic-checked). The
   /// paper's PR module reads indexes from per-node disks; persistence makes
   /// that a real I/O path in host-mode experiments.

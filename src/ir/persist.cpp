@@ -14,7 +14,12 @@ constexpr std::uint32_t kCollectionVersion = 1;
 constexpr std::uint32_t kWorldMagic = 0x51415744;  // "QAWD"
 constexpr std::uint32_t kWorldVersion = 1;
 constexpr std::uint32_t kShardSetMagic = 0x51415353;  // "QASS"
-constexpr std::uint32_t kShardSetVersion = 1;
+// v1: header + index blobs. v2 adds a collection-selection statistics
+// section (per-shard term df + size summaries) between header and blobs,
+// so brokers can score shards without touching any postings. v1 files
+// still load (stats stay empty).
+constexpr std::uint32_t kShardSetVersionV1 = 1;
+constexpr std::uint32_t kShardSetVersion = 2;
 }  // namespace
 
 void save_collection(const corpus::Collection& collection, std::ostream& out) {
@@ -161,12 +166,24 @@ void save_index_shards(std::span<const InvertedIndex> shards,
     shard.save(buf);
     blobs.push_back(std::move(buf).str());
   }
+  // The stats section, serialized separately so the header can carry its
+  // byte size — a loader that only wants the indexes can skip it in one
+  // seek, and a stats-only loader (the broker) never reads a posting.
+  std::ostringstream stats_buf(std::ios::binary);
+  for (const auto& shard : shards) {
+    save_term_stats(extract_term_stats(shard), stats_buf);
+  }
+  const std::string stats_blob = std::move(stats_buf).str();
   BinaryWriter w(out);
   w.write_u32(kShardSetMagic);
   w.write_u32(kShardSetVersion);
   w.write_u32(static_cast<std::uint32_t>(blobs.size()));
   for (const auto& blob : blobs) w.write_u64(blob.size());
-  for (const auto& blob : blobs) out.write(blob.data(), blob.size());
+  w.write_u64(stats_blob.size());
+  out.write(stats_blob.data(), static_cast<std::streamsize>(stats_blob.size()));
+  for (const auto& blob : blobs) {
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  }
 }
 
 ShardSetInfo read_shard_set_info(std::istream& in) {
@@ -174,16 +191,30 @@ ShardSetInfo read_shard_set_info(std::istream& in) {
   QADIST_CHECK(r.read_u32() == kShardSetMagic,
                << "not a qadist shard-set file");
   const auto version = r.read_u32();
-  QADIST_CHECK(version == kShardSetVersion,
+  QADIST_CHECK(version == kShardSetVersionV1 || version == kShardSetVersion,
                << "unsupported shard-set version " << version);
   ShardSetInfo info;
+  info.version = version;
   info.num_shards = r.read_u32();
   QADIST_CHECK(info.num_shards > 0, << "corrupt shard set: zero shards");
   info.shard_bytes.reserve(info.num_shards);
   for (std::uint32_t s = 0; s < info.num_shards; ++s) {
     info.shard_bytes.push_back(r.read_u64());
   }
-  // Blobs start right where the header ends; offsets are prefix sums.
+  if (version >= 2) {
+    const std::uint64_t stats_bytes = r.read_u64();
+    const auto stats_start = static_cast<std::uint64_t>(in.tellg());
+    info.stats.reserve(info.num_shards);
+    for (std::uint32_t s = 0; s < info.num_shards; ++s) {
+      info.stats.push_back(load_term_stats(in));
+    }
+    const auto consumed = static_cast<std::uint64_t>(in.tellg()) - stats_start;
+    QADIST_CHECK(consumed == stats_bytes,
+                 << "corrupt shard set: stats section is " << consumed
+                 << " bytes, header says " << stats_bytes);
+  }
+  // Blobs start right where the header (and stats section) ends; offsets
+  // are prefix sums.
   std::uint64_t offset = static_cast<std::uint64_t>(in.tellg());
   info.shard_offsets.reserve(info.num_shards);
   for (std::uint32_t s = 0; s < info.num_shards; ++s) {

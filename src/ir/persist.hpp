@@ -10,6 +10,7 @@
 #include "corpus/generator.hpp"
 #include "ir/analyzer.hpp"
 #include "ir/inverted_index.hpp"
+#include "ir/shard_stats.hpp"
 
 namespace qadist::ir {
 
@@ -47,13 +48,20 @@ void save_world_file(const corpus::GeneratedCorpus& world,
 /// shard without reading the others, which is the point: a replica holder
 /// only pays I/O for the shards placed on it.
 struct ShardSetInfo {
+  std::uint32_t version = 0;
   std::uint32_t num_shards = 0;
   std::vector<std::uint64_t> shard_bytes;    ///< serialized size per shard
   std::vector<std::uint64_t> shard_offsets;  ///< absolute stream offsets
+  /// Per-shard term statistics for collection selection (QASS v2 files;
+  /// empty when loading a v1 artifact, which predates selective search).
+  std::vector<ShardTermStats> stats;
 };
 
-/// Writes all shards as one artifact: magic/version header, per-shard byte
-/// sizes, then each shard's own (magic-checked) index serialization.
+/// Writes all shards as one artifact (QASS format v2): magic/version
+/// header, per-shard byte sizes, a collection-selection statistics section
+/// (per-shard term df + size summaries, extracted here at save time), then
+/// each shard's own (magic-checked) index serialization. v1 files (no
+/// stats section) still load.
 void save_index_shards(std::span<const InvertedIndex> shards,
                        std::ostream& out);
 

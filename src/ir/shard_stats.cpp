@@ -1,0 +1,68 @@
+#include "ir/shard_stats.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "ir/binary_io.hpp"
+
+namespace qadist::ir {
+
+ShardTermStats extract_term_stats(const InvertedIndex& index) {
+  ShardTermStats stats;
+  stats.paragraphs = static_cast<std::uint32_t>(index.paragraph_count());
+  stats.df.reserve(index.term_count());
+  index.for_each_term([&](std::string_view term,
+                          std::span<const Posting> postings) {
+    stats.df.emplace(std::string(term),
+                     static_cast<std::uint32_t>(postings.size()));
+    for (const Posting& p : postings) stats.words += p.tf;
+  });
+  return stats;
+}
+
+void save_term_stats(const ShardTermStats& stats, std::ostream& out) {
+  BinaryWriter w(out);
+  w.write_u32(stats.paragraphs);
+  w.write_u64(stats.words);
+  w.write_u32(static_cast<std::uint32_t>(stats.df.size()));
+  // Canonical byte stream: terms in lexicographic order.
+  std::vector<const std::pair<const std::string, std::uint32_t>*> entries;
+  entries.reserve(stats.df.size());
+  for (const auto& entry : stats.df) entries.push_back(&entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* entry : entries) {
+    w.write_string(entry->first);
+    w.write_varint(entry->second);
+  }
+}
+
+ShardTermStats load_term_stats(std::istream& in) {
+  BinaryReader r(in);
+  ShardTermStats stats;
+  stats.paragraphs = r.read_u32();
+  stats.words = r.read_u64();
+  const std::uint32_t terms = r.read_u32();
+  stats.df.reserve(terms);
+  std::uint64_t df_sum = 0;
+  for (std::uint32_t i = 0; i < terms; ++i) {
+    std::string term = r.read_string();
+    QADIST_CHECK(!term.empty(), << "corrupt term stats: empty term");
+    const std::uint64_t df = r.read_varint();
+    QADIST_CHECK(df > 0 && df <= stats.paragraphs,
+                 << "corrupt term stats: df " << df << " of "
+                 << stats.paragraphs << " paragraphs");
+    const bool inserted =
+        stats.df.emplace(std::move(term), static_cast<std::uint32_t>(df))
+            .second;
+    QADIST_CHECK(inserted, << "corrupt term stats: duplicate term");
+    df_sum += df;
+  }
+  QADIST_CHECK(stats.words >= df_sum,
+               << "corrupt term stats: word count " << stats.words
+               << " below df sum " << df_sum);
+  return stats;
+}
+
+}  // namespace qadist::ir

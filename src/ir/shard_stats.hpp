@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+
+#include "ir/inverted_index.hpp"
+
+namespace qadist::ir {
+
+/// Per-shard term statistics for collection selection: for each analyzer-
+/// normalized term, the number of paragraphs containing it (df), plus the
+/// shard-size summaries CORI-style scoring needs (total term occurrences
+/// and paragraph count). Extracted from the shard's InvertedIndex at
+/// build time and persisted alongside the index blobs in the QASS
+/// shard-set format, so a broker can score shards without loading any
+/// postings.
+struct ShardTermStats {
+  std::unordered_map<std::string, std::uint32_t> df;  ///< term -> paragraph df
+  std::uint64_t words = 0;      ///< total term occurrences (sum of tf)
+  std::uint32_t paragraphs = 0; ///< paragraphs indexed by the shard
+
+  friend bool operator==(const ShardTermStats&,
+                         const ShardTermStats&) = default;
+};
+
+/// Derives the term statistics of one index shard.
+[[nodiscard]] ShardTermStats extract_term_stats(const InvertedIndex& index);
+
+/// Binary (de)serialization used by the QASS v2 shard-set section. Terms
+/// are written in lexicographic order so the byte stream is canonical.
+/// Loading fails via QADIST_CHECK on truncation or corruption.
+void save_term_stats(const ShardTermStats& stats, std::ostream& out);
+[[nodiscard]] ShardTermStats load_term_stats(std::istream& in);
+
+}  // namespace qadist::ir

@@ -33,6 +33,48 @@ ChildIndex index_children(const Tracer& tracer) {
 
 double duration(const SpanRecord& span) { return span.end - span.start; }
 
+/// The child that gated a fork-join interval: the one that finished last.
+/// Hedge losers are abandoned when their twin reports first; their spans
+/// close at resolution time (after the winner's report landed), so taking
+/// one as the critical leg would blame a leg that never gated the stage.
+/// Their burned time is tallied as waste instead.
+const SpanRecord* critical_child(const std::vector<const SpanRecord*>& legs,
+                                 QuestionBreakdown& out) {
+  const SpanRecord* crit = nullptr;
+  for (const SpanRecord* leg : legs) {
+    if (attr_int(leg->attrs, "hedge_loser").value_or(0) != 0) {
+      out.hedge_wasted += duration(*leg);
+      continue;
+    }
+    if (crit == nullptr || leg->end > crit->end ||
+        (leg->end == crit->end && leg->start > crit->start)) {
+      crit = leg;
+    }
+  }
+  return crit;
+}
+
+/// Splits one worker leg's interval into wire time, retry backoff, scoring
+/// sub-spans, and the module's own service remainder.
+void attribute_leg(const std::string& stage_name, const SpanRecord& leg,
+                   const ChildIndex& index, double& module_service,
+                   QuestionBreakdown& out) {
+  const double net = attr_double(leg.attrs, "net_seconds").value_or(0.0);
+  const double backoff =
+      attr_double(leg.attrs, "backoff_seconds").value_or(0.0);
+  double ps = 0.0;
+  if (const auto sub_it = index.find(leg.id); sub_it != index.end()) {
+    for (const SpanRecord* sub : sub_it->second) {
+      if (sub->name == "PS") ps += duration(*sub);
+    }
+  }
+  out.network += net;
+  out.retry += backoff;
+  out.service.ps += ps;
+  module_service += duration(leg) - net - backoff - ps;
+  out.critical_legs.push_back(CriticalLeg{stage_name, leg.node, duration(leg)});
+}
+
 /// Fork-join stage (PR/AP): the critical leg — the one that finished last
 /// — sets the stage interval. Time before it started is recovery spawn
 /// delay (retry); time after it ended is gather/merge tail (merge); the
@@ -47,21 +89,7 @@ void decompose_stage(const SpanRecord& stage, const ChildIndex& index,
     out.merge += duration(stage);
     return;
   }
-  // Hedge losers are abandoned when their twin reports first; their spans
-  // close at resolution time (after the winner's report landed), so taking
-  // one as the critical leg would blame a leg that never gated the stage.
-  // Their burned time is tallied as waste instead.
-  const SpanRecord* crit = nullptr;
-  for (const SpanRecord* leg : legs_it->second) {
-    if (attr_int(leg->attrs, "hedge_loser").value_or(0) != 0) {
-      out.hedge_wasted += duration(*leg);
-      continue;
-    }
-    if (crit == nullptr || leg->end > crit->end ||
-        (leg->end == crit->end && leg->start > crit->start)) {
-      crit = leg;
-    }
-  }
+  const SpanRecord* crit = critical_child(legs_it->second, out);
   if (crit == nullptr) {
     // Every leg lost its race — cannot happen (winners are never
     // abandoned), but degrade to supervision time rather than crash.
@@ -71,20 +99,33 @@ void decompose_stage(const SpanRecord& stage, const ChildIndex& index,
   if (attr_int(crit->attrs, "hedge").value_or(0) != 0) ++out.hedge_wins;
   out.retry += std::max(0.0, crit->start - stage.start);
   out.merge += std::max(0.0, stage.end - crit->end);
-  const double net = attr_double(crit->attrs, "net_seconds").value_or(0.0);
-  const double backoff = attr_double(crit->attrs, "backoff_seconds").value_or(0.0);
-  double ps = 0.0;
-  if (const auto sub_it = index.find(crit->id); sub_it != index.end()) {
-    for (const SpanRecord* sub : sub_it->second) {
-      if (sub->name == "PS") ps += duration(*sub);
+  if (crit->name == "PR broker") {
+    // Broker tier: the stage's legs are broker spans, whose own children
+    // are the real worker legs. Recurse one level so the telescoping stays
+    // exact: the broker's interval before its critical inner leg is
+    // fan-out (keyword ship + routing — network), the interval after it is
+    // fan-in (partial merges + the aggregate ship back — merge), and the
+    // inner leg splits as usual. The broker span's own net/backoff attrs
+    // stay informational: billing them here would double-count wall time
+    // the two gaps already cover.
+    const auto inner_it = index.find(crit->id);
+    const SpanRecord* inner =
+        inner_it != index.end() ? critical_child(inner_it->second, out)
+                                : nullptr;
+    if (inner == nullptr) {
+      // The broker served nothing (all units unplaced or dropped): its
+      // whole interval is supervision.
+      out.merge += duration(*crit);
+      out.critical_legs.push_back(
+          CriticalLeg{stage.name, crit->node, duration(*crit)});
+      return;
     }
+    out.network += std::max(0.0, inner->start - crit->start);
+    out.merge += std::max(0.0, crit->end - inner->end);
+    attribute_leg(stage.name, *inner, index, module_service, out);
+    return;
   }
-  out.network += net;
-  out.retry += backoff;
-  out.service.ps += ps;
-  module_service += duration(*crit) - net - backoff - ps;
-  out.critical_legs.push_back(
-      CriticalLeg{stage.name, crit->node, duration(*crit)});
+  attribute_leg(stage.name, *crit, index, module_service, out);
 }
 
 QuestionBreakdown analyze_question(const SpanRecord& q,

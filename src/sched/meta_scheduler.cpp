@@ -121,4 +121,25 @@ MetaSchedule meta_schedule_among(const LoadTable& table,
                        underload_threshold, metrics, straggler);
 }
 
+std::optional<NodeId> pick_delegate(const LoadTable& table, NodeId first,
+                                    NodeId last,
+                                    const LoadWeights& module_weights) {
+  std::optional<NodeId> best;
+  double best_load = 0.0;
+  // Fresh members first; stale entries only when the whole range is stale.
+  for (const bool allow_stale : {false, true}) {
+    for (NodeId id = first; id < last; ++id) {
+      if (!table.is_member(id)) continue;
+      if (!allow_stale && table.is_stale(id)) continue;
+      const double load = load_function(table.load_of(id), module_weights);
+      if (!best.has_value() || load < best_load) {
+        best = id;
+        best_load = load;
+      }
+    }
+    if (best.has_value()) return best;
+  }
+  return std::nullopt;
+}
+
 }  // namespace qadist::sched

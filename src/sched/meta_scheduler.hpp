@@ -64,4 +64,14 @@ struct MetaSchedule {
     obs::MetricsRegistry* metrics = nullptr,
     std::span<const char> straggler = {});
 
+/// Two-level meta-scheduling support for the broker tier: picks the node
+/// that should carry a group's brokering duty — the least-loaded fresh
+/// member of the contiguous node range [first, last), falling back to
+/// stale members only when no fresh one exists (a suspect delegate beats
+/// none), ties broken on the lower id. nullopt when no member of the
+/// range remains — the caller falls back to flat routing or degrades.
+[[nodiscard]] std::optional<NodeId> pick_delegate(
+    const LoadTable& table, NodeId first, NodeId last,
+    const LoadWeights& module_weights);
+
 }  // namespace qadist::sched

@@ -17,21 +17,50 @@ std::uint64_t shard_signature(ShardId shard) {
 }  // namespace
 
 ShardMap::ShardMap(std::size_t num_shards, std::size_t nodes,
-                   std::size_t replication) {
+                   std::size_t replication)
+    : ShardMap(num_shards, nodes, replication, {}) {}
+
+ShardMap::ShardMap(std::size_t num_shards, std::size_t nodes,
+                   std::size_t replication,
+                   std::span<const std::pair<NodeId, NodeId>> pools) {
   QADIST_CHECK(num_shards > 0, << "shard map over zero shards");
   QADIST_CHECK(nodes > 0, << "shard map over zero nodes");
+  QADIST_CHECK(pools.empty() || pools.size() == num_shards,
+               << "shard pools must cover every shard: got " << pools.size()
+               << " pools for " << num_shards << " shards");
   replication_ = std::min(replication == 0 ? nodes : replication, nodes);
   by_shard_.resize(num_shards);
   lost_.resize(nodes);
-  std::vector<NodeId> all;
-  all.reserve(nodes);
-  for (NodeId n = 0; n < nodes; ++n) all.push_back(n);
+  pools_.assign(pools.begin(), pools.end());
+  for (const auto& [first, last] : pools_) {
+    QADIST_CHECK(first < last && last <= nodes,
+                 << "bad shard pool [" << first << ", " << last << ") over "
+                 << nodes << " nodes");
+  }
   for (ShardId s = 0; s < num_shards; ++s) {
-    const auto order = rendezvous_order(s, all);
-    for (std::size_t r = 0; r < replication_; ++r) {
+    const auto [first, last] = pool_of(s);
+    std::vector<NodeId> pool;
+    pool.reserve(last - first);
+    for (NodeId n = first; n < last; ++n) pool.push_back(n);
+    const auto order = rendezvous_order(s, std::move(pool));
+    const std::size_t replicas = std::min(replication_, order.size());
+    for (std::size_t r = 0; r < replicas; ++r) {
       add_replica(s, order[r], ReplicaState::kReady);
     }
   }
+}
+
+std::pair<NodeId, NodeId> ShardMap::pool_of(ShardId shard) const {
+  QADIST_CHECK(shard < by_shard_.size(), << "shard " << shard
+                                         << " out of range");
+  if (pools_.empty()) return {0, static_cast<NodeId>(lost_.size())};
+  return pools_[shard];
+}
+
+bool ShardMap::in_pool(ShardId shard, NodeId node) const {
+  if (pools_.empty()) return true;
+  const auto& [first, last] = pools_[shard];
+  return node >= first && node < last;
 }
 
 std::vector<NodeId> ShardMap::rendezvous_order(ShardId shard,
@@ -137,7 +166,7 @@ ShardMap::FailoverPlan ShardMap::fail_node(NodeId node,
     // in the same sweep from double-assigning the slot.
     std::vector<NodeId> candidates;
     for (NodeId n : live) {
-      if (n != node && !holds(n, s)) candidates.push_back(n);
+      if (n != node && in_pool(s, n) && !holds(n, s)) candidates.push_back(n);
     }
     if (candidates.empty()) continue;  // no spare capacity: stay degraded
     const auto order = rendezvous_order(s, std::move(candidates));

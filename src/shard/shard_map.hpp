@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
@@ -42,6 +43,19 @@ class ShardMap {
   /// Places `num_shards` shards over nodes [0, nodes) with `replication`
   /// replicas each (clamped to the node count).
   ShardMap(std::size_t num_shards, std::size_t nodes, std::size_t replication);
+
+  /// Group-constrained placement for the broker tier: shard s may only
+  /// place (and fail over) within the contiguous node range
+  /// `pools[s] = [first, last)` — its broker group — so a broker can
+  /// resolve every shard of its group inside its own subtree. Replication
+  /// is clamped per shard to its pool size. `pools.size()` must equal
+  /// `num_shards`; rendezvous ranking within a pool is unchanged.
+  ShardMap(std::size_t num_shards, std::size_t nodes, std::size_t replication,
+           std::span<const std::pair<NodeId, NodeId>> pools);
+
+  /// The placement pool of a shard: `[first, last)` node range it may
+  /// occupy. Unconstrained maps report the full `[0, nodes)` range.
+  [[nodiscard]] std::pair<NodeId, NodeId> pool_of(ShardId shard) const;
 
   [[nodiscard]] std::size_t num_shards() const { return by_shard_.size(); }
   [[nodiscard]] std::size_t replication() const { return replication_; }
@@ -121,8 +135,12 @@ class ShardMap {
   void add_replica(ShardId shard, NodeId node, ReplicaState state);
   bool remove_replica(ShardId shard, NodeId node, ReplicaState* was = nullptr);
 
+  [[nodiscard]] bool in_pool(ShardId shard, NodeId node) const;
+
   std::vector<std::vector<Replica>> by_shard_;
   std::vector<std::vector<ShardId>> lost_;  ///< per-node stash for rejoin
+  /// Per-shard placement pool [first, last); empty = unconstrained.
+  std::vector<std::pair<NodeId, NodeId>> pools_;
   std::size_t replication_ = 0;
 };
 

@@ -1,0 +1,106 @@
+// Per-shard term statistics: extraction matches the index it came from,
+// the binary form round-trips exactly (it is the QASS v2 stats section),
+// and corrupt or truncated bytes die loudly instead of returning a
+// quietly wrong resource description.
+
+#include "ir/shard_stats.hpp"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ir/inverted_index.hpp"
+
+namespace qadist::ir {
+namespace {
+
+// One shard with fully known statistics after analysis: "amsen" in one
+// paragraph (tf 2), "quartz" in both paragraphs (tf 1 each).
+InvertedIndex known_shard() {
+  corpus::Collection c;
+  corpus::Document d;
+  d.id = 0;
+  d.title = "doc";
+  d.paragraphs = {"amsen quartz amsen", "quartz"};
+  c.add(std::move(d));
+  const corpus::SubCollection sub(&c, 0, 1);
+  Analyzer analyzer;
+  return InvertedIndex::build(sub, analyzer);
+}
+
+std::string serialized(const ShardTermStats& stats) {
+  std::ostringstream out;
+  save_term_stats(stats, out);
+  return std::move(out).str();
+}
+
+TEST(ShardTermStatsTest, ExtractionMatchesTheIndex) {
+  const auto index = known_shard();
+  const auto stats = extract_term_stats(index);
+  EXPECT_EQ(stats.paragraphs, 2u);
+  EXPECT_EQ(stats.words, 4u);  // tf: amsen 2 + quartz 1 + quartz 1
+  ASSERT_EQ(stats.df.size(), 2u);
+  EXPECT_EQ(stats.df.at("amsen"), 1u);   // one paragraph contains it
+  EXPECT_EQ(stats.df.at("quartz"), 2u);  // both paragraphs contain it
+}
+
+TEST(ShardTermStatsTest, SaveLoadRoundTripsExactly) {
+  const auto stats = extract_term_stats(known_shard());
+  std::istringstream in(serialized(stats));
+  const auto loaded = load_term_stats(in);
+  EXPECT_EQ(loaded, stats);
+}
+
+TEST(ShardTermStatsTest, EmptyStatsRoundTrip) {
+  const ShardTermStats empty;
+  std::istringstream in(serialized(empty));
+  const auto loaded = load_term_stats(in);
+  EXPECT_EQ(loaded, empty);
+}
+
+TEST(ShardTermStatsTest, ByteStreamIsCanonical) {
+  // Same logical stats serialized twice -> identical bytes (terms are
+  // sorted on the way out, whatever the hash map's iteration order).
+  const auto stats = extract_term_stats(known_shard());
+  EXPECT_EQ(serialized(stats), serialized(stats));
+  ShardTermStats rebuilt;
+  rebuilt.paragraphs = stats.paragraphs;
+  rebuilt.words = stats.words;
+  rebuilt.df.emplace("quartz", 2u);  // reversed insertion order
+  rebuilt.df.emplace("amsen", 1u);
+  EXPECT_EQ(serialized(rebuilt), serialized(stats));
+}
+
+TEST(ShardTermStatsDeathTest, TruncatedStreamDies) {
+  const auto bytes = serialized(extract_term_stats(known_shard()));
+  ASSERT_GT(bytes.size(), 4u);
+  for (std::size_t cut : {bytes.size() - 1, bytes.size() / 2,
+                          std::size_t{3}}) {
+    std::istringstream in(bytes.substr(0, cut));
+    EXPECT_DEATH((void)load_term_stats(in), "truncated stream");
+  }
+}
+
+TEST(ShardTermStatsDeathTest, ImpossibleDfDies) {
+  // df above the paragraph count can never come from a real index.
+  ShardTermStats bad;
+  bad.paragraphs = 1;
+  bad.words = 10;
+  bad.df.emplace("amsen", 5u);
+  std::istringstream in(serialized(bad));
+  EXPECT_DEATH((void)load_term_stats(in), "corrupt term stats: df");
+}
+
+TEST(ShardTermStatsDeathTest, WordCountBelowDfSumDies) {
+  ShardTermStats bad;
+  bad.paragraphs = 4;
+  bad.words = 1;  // two terms with df 2 need at least 4 occurrences
+  bad.df.emplace("amsen", 2u);
+  bad.df.emplace("quartz", 2u);
+  std::istringstream in(serialized(bad));
+  EXPECT_DEATH((void)load_term_stats(in), "word count");
+}
+
+}  // namespace
+}  // namespace qadist::ir

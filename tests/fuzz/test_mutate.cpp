@@ -56,6 +56,25 @@ TEST(MutatorTest, EveryChildIsValid) {
   }
 }
 
+TEST(MutatorTest, ExploresTheBrokerAxis) {
+  // The broker preset op must actually fire and produce valid children:
+  // a deep walk should visit tiered and selective configurations (the
+  // EveryChildIsValid walk above already proves they never go invalid).
+  Mutator m(13);
+  Scenario parent = reference_scenario(12, 118.0);
+  bool saw_tier = false;
+  bool saw_selection = false;
+  for (int round = 0; round < 300 && !(saw_tier && saw_selection); ++round) {
+    const Scenario child = m.mutate(parent, kPlanCount);
+    saw_tier = saw_tier || child.brokers > 0;
+    saw_selection =
+        saw_selection || child.selectivity < 1.0 || child.top_k > 0;
+    parent = child;
+  }
+  EXPECT_TRUE(saw_tier);
+  EXPECT_TRUE(saw_selection);
+}
+
 TEST(MutatorTest, ReportsTheOpsItApplied) {
   Mutator m(5);
   const Scenario parent = reference_scenario(8, 100.0);

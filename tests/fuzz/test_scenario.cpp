@@ -38,6 +38,9 @@ Scenario full_scenario() {
   s.ap_chunk = 16;
   s.num_shards = 8;
   s.replication = 2;
+  s.brokers = 3;
+  s.selectivity = 0.5;
+  s.top_k = 2;
   s.crashes.push_back({2, 33.5, 45.0});
   s.crashes.push_back({0, 10.0, -1.0});
   s.drop_probability = 0.05;
@@ -97,6 +100,9 @@ TEST(ScenarioJsonTest, RoundTripsEveryFieldExactly) {
   EXPECT_EQ(r.ap_chunk, s.ap_chunk);
   EXPECT_EQ(r.num_shards, s.num_shards);
   EXPECT_EQ(r.replication, s.replication);
+  EXPECT_EQ(r.brokers, s.brokers);
+  EXPECT_EQ(r.selectivity, s.selectivity);
+  EXPECT_EQ(r.top_k, s.top_k);
   ASSERT_EQ(r.crashes.size(), 2u);
   EXPECT_EQ(r.crashes[0].node, 2u);
   EXPECT_EQ(r.crashes[0].at, 33.5);
@@ -136,6 +142,24 @@ TEST(ScenarioJsonTest, SeedsTravelAsDecimalStrings) {
   const Scenario r = scenario_from_json(json);
   EXPECT_EQ(r.seed, kBigSeed);
   EXPECT_EQ(r.traffic.seed, (std::uint64_t{1} << 63) + 12345);
+}
+
+TEST(ScenarioJsonTest, BrokerKnobsDefaultWhenAbsent) {
+  // The broker fields postdate the original corpus: a pre-broker scenario
+  // JSON must still parse, with the knobs at their off defaults.
+  Scenario s = full_scenario();
+  s.brokers = 0;
+  s.selectivity = 1.0;
+  s.top_k = 0;
+  std::string json = to_json(s);
+  const std::string fields = ",\"brokers\":0,\"selectivity\":1,\"top_k\":0";
+  const auto at = json.find(fields);
+  ASSERT_NE(at, std::string::npos);
+  json.erase(at, fields.size());
+  const Scenario r = scenario_from_json(json);
+  EXPECT_EQ(r.brokers, 0u);
+  EXPECT_EQ(r.selectivity, 1.0);
+  EXPECT_EQ(r.top_k, 0u);
 }
 
 TEST(ScenarioJsonTest, PinIsOmittedWhenAbsent) {
@@ -256,6 +280,23 @@ TEST(ScenarioProblemTest, RejectsBadInputs) {
             std::string::npos);
   EXPECT_NE(problem_of([](Scenario& s) { s.plan_offset = 50; })
                 .find("selects no plans"),
+            std::string::npos);
+  EXPECT_NE(problem_of([](Scenario& s) {
+              s.num_shards = 8;
+              s.replication = 2;
+              s.brokers = 9;  // more brokers than nodes
+            }).find("brokers"),
+            std::string::npos);
+  EXPECT_NE(problem_of([](Scenario& s) {
+              s.num_shards = 0;
+              s.selectivity = 0.5;  // selection without a sharded corpus
+            }).find("sharded corpus"),
+            std::string::npos);
+  EXPECT_NE(problem_of([](Scenario& s) {
+              s.num_shards = 8;
+              s.replication = 2;
+              s.selectivity = 0.0;
+            }).find("selectivity"),
             std::string::npos);
 }
 

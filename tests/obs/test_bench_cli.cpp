@@ -62,6 +62,30 @@ TEST(BenchCliTest, ParsesDropRate) {
   EXPECT_DOUBLE_EQ(parse({})->drop_rate_or(0.02), 0.02);
 }
 
+TEST(BenchCliTest, ParsesBrokerTierFlags) {
+  const auto cli = parse({"--brokers=4", "--selectivity", "0.25"});
+  ASSERT_TRUE(cli.has_value());
+  EXPECT_EQ(cli->brokers_or(0), 4u);
+  EXPECT_DOUBLE_EQ(cli->selectivity_or(1.0), 0.25);
+  const auto flat = parse({"--brokers", "0"});
+  ASSERT_TRUE(flat.has_value());
+  ASSERT_TRUE(flat->brokers.has_value());  // explicit flat star, not a default
+  EXPECT_EQ(flat->brokers_or(8), 0u);
+  EXPECT_EQ(parse({})->brokers_or(3), 3u);
+  EXPECT_DOUBLE_EQ(parse({})->selectivity_or(1.0), 1.0);
+}
+
+TEST(BenchCliTest, RejectsBadBrokerTierValues) {
+  std::string error;
+  EXPECT_FALSE(parse({"--brokers", "-1"}, &error).has_value());
+  EXPECT_NE(error.find("--brokers"), std::string::npos);
+  EXPECT_FALSE(parse({"--brokers", "many"}, &error).has_value());
+  EXPECT_FALSE(parse({"--selectivity", "0"}, &error).has_value());
+  EXPECT_NE(error.find("--selectivity"), std::string::npos);
+  EXPECT_FALSE(parse({"--selectivity", "1.5"}, &error).has_value());
+  EXPECT_FALSE(parse({"--selectivity"}, &error).has_value());
+}
+
 TEST(BenchCliTest, RejectsDropRateOutsideUnitInterval) {
   std::string error;
   EXPECT_FALSE(parse({"--drop-rate", "1.5"}, &error).has_value());
